@@ -1,0 +1,145 @@
+// Analysis (paper §4.5): *why* the composition's obtaining time varies so
+// much. The paper attributes the large σ to two request populations:
+//   - "short" requests, issued while the requester's cluster already holds
+//     the inter token (or the token is idle locally): served at LAN speed;
+//   - "long" requests, which must pull the token across the WAN.
+// This bench instruments a Naimi-Naimi run to classify every critical
+// section by whether the requester's coordinator was privileged at request
+// time, and reports the two populations separately — making the bimodality
+// (and hence Fig. 5's σ) directly visible.
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "gridmutex/core/composition.hpp"
+#include "gridmutex/workload/safety_monitor.hpp"
+
+namespace {
+
+using namespace gmx;
+
+struct Bimodal {
+  DurationStats local, remote;  // by coordinator state at request time
+  DurationStats all;
+};
+
+Bimodal run(double rho, int cs, std::uint64_t seed) {
+  Simulator sim;
+  sim.set_event_limit(300'000'000);
+  const Topology topo = Composition::make_topology(9, 20);
+  Network net(sim, topo,
+              std::make_shared<MatrixLatencyModel>(
+                  MatrixLatencyModel::grid5000(0.05)),
+              Rng(seed));
+  Composition comp(net, CompositionConfig{.seed = seed});
+  comp.start();
+
+  Bimodal out;
+  SafetyMonitor safety;
+  Rng root(seed);
+
+  struct App {
+    NodeId node;
+    ClusterId cluster;
+    int remaining;
+    SimTime requested_at;
+    bool was_local = false;
+  };
+  std::vector<App> apps;
+  for (NodeId v : comp.app_nodes())
+    apps.push_back(App{v, topo.cluster_of(v), cs, {}, false});
+
+  const SimDuration alpha = SimDuration::ms(10);
+  const SimDuration beta = alpha * rho;
+  std::function<void(std::size_t)> think = [&](std::size_t i) {
+    sim.schedule_after(root.fork(7000 + i).exponential(beta), [&, i] {
+      App& a = apps[i];
+      a.requested_at = sim.now();
+      // Classification at request time: privileged coordinator (or the
+      // token idle in-cluster) means no WAN round-trip is needed.
+      a.was_local = comp.coordinator(a.cluster).cluster_privileged() ||
+                    comp.coordinator(a.cluster).inter().holds_token();
+      comp.app_mutex(a.node).request_cs();
+    });
+  };
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    App& a = apps[i];
+    comp.app_mutex(a.node).set_callbacks(MutexCallbacks{
+        [&, i] {
+          App& me = apps[i];
+          const SimDuration d = sim.now() - me.requested_at;
+          (me.was_local ? out.local : out.remote).add(d);
+          out.all.add(d);
+          safety.enter();
+          sim.schedule_after(alpha, [&, i] {
+            safety.exit();
+            comp.app_mutex(apps[i].node).release_cs();
+            if (--apps[i].remaining > 0) think(i);
+          });
+        },
+        {},
+    });
+    think(i);
+  }
+  sim.run();
+  GMX_ASSERT(safety.violations() == 0);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gmx::bench;
+  const BenchParams bp;
+  const int cs = std::max(10, bp.cs / 2);
+
+  std::cout << "Analysis §4.5 — bimodality of the obtaining time "
+               "(Naimi-Naimi, Grid5000, 9x20).\n"
+               "'local' = requester's cluster held/owned the inter token at "
+               "request time.\n\n";
+  gmx::Table t({"rho", "local share", "local mean (ms)", "remote mean (ms)",
+                "remote/local", "overall sigma (ms)"});
+  double sparse_ratio = 0, saturated_ratio = 0;
+  for (double rho : {90.0, 360.0, 720.0, 1440.0}) {
+    Bimodal acc;
+    for (int rep = 0; rep < bp.reps; ++rep) {
+      Bimodal one = run(rho, cs, 31 + rep);
+      acc.local.merge(one.local);
+      acc.remote.merge(one.remote);
+      acc.all.merge(one.all);
+    }
+    const double share =
+        double(acc.local.count()) /
+        double(std::max<std::uint64_t>(1, acc.all.count()));
+    t.add_row({gmx::Table::num(rho, 0), gmx::Table::num(share, 2),
+               gmx::Table::num(acc.local.mean_ms()),
+               gmx::Table::num(acc.remote.mean_ms()),
+               gmx::Table::num(acc.remote.mean_ms() /
+                               std::max(1e-9, acc.local.mean_ms())),
+               gmx::Table::num(acc.all.stddev_ms())});
+    const double ratio =
+        acc.remote.mean_ms() / std::max(1e-9, acc.local.mean_ms());
+    if (rho == 90.0) saturated_ratio = ratio;
+    if (rho == 1440.0) sparse_ratio = ratio;
+    std::fprintf(stderr, "[bimodal] rho=%.0f done\n", rho);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading: under saturation the pending-queue delay "
+               "(T_pendCS) swamps both populations — exactly the paper's "
+               "low-rho regime where T_req is 'completely overlapped'. The "
+               "local/remote split only surfaces once queues drain: at high "
+               "parallelism a remote fetch costs a WAN round-trip that a "
+               "local grant never pays, which is the bimodality behind "
+               "Fig. 5's sigma_r plateau.\n";
+  std::cout << "\nChecks:\n";
+  check(sparse_ratio > 1.5,
+        "rho>=3N: remote fetches are >=1.5x slower than local grants "
+        "(WAN round-trip visible)");
+  check(saturated_ratio < 1.5,
+        "rho<=N/2: queueing dominates — the local/remote gap vanishes "
+        "(T_pendCS overlaps T_req, paper §4.3)");
+  return 0;
+}

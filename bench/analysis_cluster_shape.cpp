@@ -1,0 +1,75 @@
+// Analysis (beyond the paper): grouping granularity. N = 180 processes
+// fixed, uniform 0.5/10 ms two-level latency, but carved into different
+// cluster counts: few fat clusters aggregate more demand per inter
+// acquisition; many thin clusters shrink the intra instances but multiply
+// WAN handovers. Reports both load regimes.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace gmx;
+  using namespace gmx::bench;
+  const BenchParams p;
+  const int cs = std::max(10, p.cs / 2);
+
+  struct Shape {
+    std::uint32_t clusters, apps;
+  };
+  const Shape shapes[] = {{3, 60}, {6, 30}, {9, 20}, {18, 10}, {30, 6}};
+
+  auto run_shape = [&](Shape s, double rho) {
+    ExperimentConfig cfg;
+    cfg.clusters = s.clusters;
+    cfg.apps_per_cluster = s.apps;
+    cfg.latency = LatencySpec::two_level(SimDuration::ms_f(0.5),
+                                         SimDuration::ms(10), 0.05);
+    cfg.workload.cs_count = cs;
+    cfg.workload.rho = rho;
+    return run_replicated(cfg, p.reps);
+  };
+
+  std::cout << "Analysis — cluster granularity at fixed N=180 "
+               "(Naimi-Naimi, 0.5/10ms).\n";
+  double sat_few = 0, sat_many = 0, sparse_few = 0, sparse_many = 0;
+  for (double rho : {90.0, 720.0}) {
+    std::cout << "\n== rho = " << rho
+              << (rho <= 180 ? " (saturated)" : " (sparse)") << " ==\n";
+    Table t({"shape", "obtain (ms)", "sigma (ms)", "inter/CS",
+             "acquisitions", "grants/acquisition"});
+    for (const Shape s : shapes) {
+      const auto r = run_shape(s, rho);
+      const double per_acq =
+          r.inter_acquisitions == 0
+              ? 0.0
+              : double(r.total_cs) / double(r.inter_acquisitions);
+      t.add_row({std::to_string(s.clusters) + "x" + std::to_string(s.apps),
+                 Table::num(r.obtaining_ms()), Table::num(r.stddev_ms()),
+                 Table::num(r.inter_msgs_per_cs()),
+                 std::to_string(r.inter_acquisitions),
+                 Table::num(per_acq)});
+      if (rho == 90.0 && s.clusters == 3) sat_few = r.obtaining_ms();
+      if (rho == 90.0 && s.clusters == 30) sat_many = r.obtaining_ms();
+      if (rho == 720.0 && s.clusters == 3) sparse_few = r.obtaining_ms();
+      if (rho == 720.0 && s.clusters == 30) sparse_many = r.obtaining_ms();
+      std::fprintf(stderr, "[cluster-shape] %ux%u rho=%.0f done\n",
+                   s.clusters, s.apps, rho);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nChecks:\n";
+  check(sat_few < sat_many,
+        "saturated: fewer, fatter clusters win (more grants amortized per "
+        "WAN acquisition)");
+  check(sparse_few < sparse_many,
+        "sparse: the ordering persists (every handover between thin "
+        "clusters pays WAN)");
+  check(sparse_many - sparse_few < (sat_many - sat_few) / 4.0,
+        "but the absolute cost of a bad granularity collapses once queues "
+        "vanish — shape matters most under saturation");
+  std::cout << "\n(With a uniform WAN, fewer and fatter clusters always "
+               "help; real grids group by actual latency proximity, as "
+               "Fig. 3's sites do.)\n";
+  return 0;
+}

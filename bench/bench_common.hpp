@@ -1,0 +1,133 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench binary reproduces one table/figure of the paper (see
+// DESIGN.md §4) at the paper's full scale by default: 9 clusters × 20
+// application processes, Grid5000 latency matrix, α = 10 ms, 100 CS per
+// process, averaged over repetitions. Environment overrides for quick runs:
+//   GRIDMUTEX_REPS  repetitions per point   (default 5; paper used 10)
+//   GRIDMUTEX_CS    critical sections/proc  (default 100, as the paper)
+//   GRIDMUTEX_THREADS sweep parallelism     (default: hardware)
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gridmutex/workload/report.hpp"
+#include "gridmutex/workload/runner.hpp"
+
+namespace gmx::bench {
+
+inline int env_int(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::atoi(v) : fallback;
+}
+
+struct BenchParams {
+  int reps = env_int("GRIDMUTEX_REPS", 5);
+  int cs = env_int("GRIDMUTEX_CS", 100);
+  std::size_t threads = std::size_t(env_int("GRIDMUTEX_THREADS", 0));
+};
+
+/// The paper's ρ axis. N = 180: low parallelism ρ≤N, intermediate
+/// N<ρ≤3N, high ρ≥3N.
+inline std::vector<double> paper_rhos() {
+  return {45, 90, 135, 180, 270, 360, 450, 540, 720, 900, 1080};
+}
+
+inline ExperimentConfig paper_base(const BenchParams& p) {
+  ExperimentConfig cfg;  // defaults: 9×20, grid5000 latency
+  cfg.workload.alpha = SimDuration::ms(10);
+  cfg.workload.cs_count = p.cs;
+  return cfg;
+}
+
+/// Runs one series (config template) over the ρ axis.
+inline std::vector<SeriesPoint> run_series(std::string name,
+                                           ExperimentConfig base,
+                                           const std::vector<double>& rhos,
+                                           const BenchParams& p) {
+  std::fprintf(stderr, "[%s] running %zu points x %d reps...\n", name.c_str(),
+               rhos.size(), p.reps);
+  const auto results =
+      run_rho_sweep(base, rhos,
+                    SweepOptions{.threads = p.threads,
+                                 .repetitions = p.reps,
+                                 .progress = {}});
+  std::vector<SeriesPoint> out;
+  for (std::size_t i = 0; i < rhos.size(); ++i)
+    out.push_back(SeriesPoint{name, rhos[i], results[i]});
+  return out;
+}
+
+inline void append(std::vector<SeriesPoint>& all,
+                   std::vector<SeriesPoint> more) {
+  for (auto& p : more) all.push_back(std::move(p));
+}
+
+/// When GRIDMUTEX_CSV_DIR is set, dumps every point of a bench to
+/// <dir>/<name>.csv for external plotting.
+inline void maybe_write_csv(const std::string& name,
+                            std::span<const SeriesPoint> points) {
+  const char* dir = std::getenv("GRIDMUTEX_CSV_DIR");
+  if (dir == nullptr) return;
+  const std::string path = std::string(dir) + "/" + name + ".csv";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  write_csv(out, points);
+  std::fprintf(stderr, "wrote %zu points to %s\n", points.size(),
+               path.c_str());
+}
+
+/// Paper-shape check output: the bench binaries verify the qualitative
+/// claims of the evaluation section and print a verdict per claim.
+inline void check(bool ok, const std::string& claim) {
+  std::cout << (ok ? "  [ok]   " : "  [MISS] ") << claim << "\n";
+}
+
+inline const ExperimentResult& at(const std::vector<SeriesPoint>& pts,
+                                  const std::string& series, double rho) {
+  for (const auto& p : pts)
+    if (p.series == series && p.rho == rho) return p.result;
+  std::fprintf(stderr, "missing point %s@%g\n", series.c_str(), rho);
+  std::abort();
+}
+
+/// Mean of a metric over the ρ values in [lo, hi].
+inline double band_mean(const std::vector<SeriesPoint>& pts,
+                        const std::string& series, double lo, double hi,
+                        double (*metric)(const ExperimentResult&)) {
+  double sum = 0;
+  int n = 0;
+  for (const auto& p : pts) {
+    if (p.series == series && p.rho >= lo && p.rho <= hi) {
+      sum += metric(p.result);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+inline double metric_obtaining(const ExperimentResult& r) {
+  return r.obtaining_ms();
+}
+inline double metric_stddev(const ExperimentResult& r) {
+  return r.stddev_ms();
+}
+inline double metric_relative_stddev(const ExperimentResult& r) {
+  return r.relative_stddev();
+}
+inline double metric_inter_msgs(const ExperimentResult& r) {
+  return r.inter_msgs_per_cs();
+}
+inline double metric_total_msgs(const ExperimentResult& r) {
+  return r.total_msgs_per_cs();
+}
+
+}  // namespace gmx::bench

@@ -1,0 +1,59 @@
+// Reproduces paper Figure 3: the Grid5000 average-RTT latency matrix that
+// drives every other experiment. Prints the matrix as configured in the
+// simulator (ms RTT, i.e. 2× the one-way delay the network uses) and checks
+// the structural properties the paper's analysis leans on.
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gridmutex/net/latency.hpp"
+#include "gridmutex/net/topology.hpp"
+
+int main() {
+  using namespace gmx;
+  const auto model = MatrixLatencyModel::grid5000(0.0);
+  const auto names = grid5000_site_names();
+
+  std::cout << "Figure 3 — Grid5000 RTT latencies (average ms), as "
+               "configured in gridmutex\n\n";
+  std::printf("%-9s", "from\\to");
+  for (auto n : names) std::printf(" %8.*s", int(n.size()), n.data());
+  std::printf("\n");
+  for (ClusterId i = 0; i < 9; ++i) {
+    std::printf("%-9.*s", int(names[i].size()), names[i].data());
+    for (ClusterId j = 0; j < 9; ++j)
+      std::printf(" %8.3f", 2.0 * model.one_way_ms(i, j));
+    std::printf("\n");
+  }
+
+  std::cout << "\nStructural checks (paper §4.1/§4.5):\n";
+  // LAN ≪ WAN: the hierarchy of communication delays.
+  double max_diag = 0, min_off = 1e9;
+  for (ClusterId i = 0; i < 9; ++i) {
+    for (ClusterId j = 0; j < 9; ++j) {
+      const double v = model.one_way_ms(i, j);
+      if (i == j)
+        max_diag = std::max(max_diag, v);
+      else
+        min_off = std::min(min_off, v);
+    }
+  }
+  bench::check(max_diag * 10 < min_off,
+               "intra-cluster latency is >10x below any inter-cluster link");
+  // Non-uniform WAN (argued in §4.5 for the large σ).
+  double min_wan = 1e9, max_wan = 0;
+  for (ClusterId i = 0; i < 9; ++i)
+    for (ClusterId j = 0; j < 9; ++j)
+      if (i != j) {
+        min_wan = std::min(min_wan, model.one_way_ms(i, j));
+        max_wan = std::max(max_wan, model.one_way_ms(i, j));
+      }
+  bench::check(max_wan / min_wan > 5,
+               "inter-cluster latencies are heterogeneous (>5x spread)");
+  // Asymmetry is preserved from the measured table.
+  bench::check(model.one_way_ms(0, 7) != model.one_way_ms(7, 0),
+               "matrix preserves the measured route asymmetry");
+  std::printf("\nWAN one-way spread: %.3f .. %.3f ms; worst link %s->%s\n",
+              min_wan, max_wan, "nancy", "toulouse");
+  return 0;
+}

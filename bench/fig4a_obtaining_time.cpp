@@ -1,0 +1,80 @@
+// Reproduces paper Figure 4(a): average obtaining time of application
+// processes vs ρ, for the compositions Naimi-Naimi, Naimi-Martin,
+// Naimi-Suzuki and the original (flat) Naimi-Tréhel baseline, on the
+// Grid5000 topology (9 clusters × 20 processes, α = 10 ms).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace gmx;
+  using namespace gmx::bench;
+  const BenchParams p;
+  const auto rhos = paper_rhos();
+  const double N = 180;
+
+  std::vector<SeriesPoint> pts;
+  for (const char* inter : {"naimi", "martin", "suzuki"}) {
+    ExperimentConfig cfg = paper_base(p);
+    cfg.inter = inter;
+    append(pts, run_series(cfg.label(), cfg, rhos, p));
+  }
+  {
+    ExperimentConfig cfg = paper_base(p);
+    cfg.mode = ExperimentConfig::Mode::kFlat;
+    cfg.flat_algorithm = "naimi";
+    append(pts, run_series(cfg.label(), cfg, rhos, p));
+  }
+
+  std::cout << "Figure 4(a) — obtaining time vs rho (ms). N=" << N
+            << ", alpha=10ms, " << p.cs << " CS/process, " << p.reps
+            << " repetitions.\n";
+  print_metric_table(std::cout, "Obtaining time (ms)", pts,
+                     metric_obtaining);
+
+  std::cout << "\nPaper-shape checks (§4.3):\n";
+  // Monotone decrease with rho for every series.
+  for (const char* s :
+       {"Naimi-Naimi", "Naimi-Martin", "Naimi-Suzuki", "Naimi (flat)"}) {
+    check(at(pts, s, 45).obtaining_ms() > at(pts, s, 1080).obtaining_ms(),
+          std::string(s) + ": obtaining time decreases as rho grows");
+  }
+  // Low parallelism (rho<=N): the three compositions are equivalent
+  // (within 10%) — T_pendCS dominates, T_token = T for all.
+  {
+    const double nn = band_mean(pts, "Naimi-Naimi", 45, N, metric_obtaining);
+    const double nm = band_mean(pts, "Naimi-Martin", 45, N, metric_obtaining);
+    const double ns = band_mean(pts, "Naimi-Suzuki", 45, N, metric_obtaining);
+    const double lo = std::min({nn, nm, ns}), hi = std::max({nn, nm, ns});
+    check(hi / lo < 1.10,
+          "rho<=N: all three compositions within 10% of each other");
+    check(band_mean(pts, "Naimi (flat)", 45, N, metric_obtaining) > hi,
+          "rho<=N: compositions beat the original flat algorithm");
+  }
+  // Intermediate (N..3N): Naimi ≈ Suzuki, Martin slightly higher.
+  {
+    const double nn = band_mean(pts, "Naimi-Naimi", N + 1, 3 * N,
+                                metric_obtaining);
+    const double nm = band_mean(pts, "Naimi-Martin", N + 1, 3 * N,
+                                metric_obtaining);
+    const double ns = band_mean(pts, "Naimi-Suzuki", N + 1, 3 * N,
+                                metric_obtaining);
+    check(nm > nn && nm > ns,
+          "N<rho<=3N: Martin-inter is the slowest of the three");
+    check(std::abs(nn - ns) / std::min(nn, ns) < 0.35,
+          "N<rho<=3N: Naimi-inter and Suzuki-inter comparable");
+  }
+  // High parallelism (rho>=3N): Suzuki lowest, Martin highest.
+  {
+    const double nn =
+        band_mean(pts, "Naimi-Naimi", 3 * N, 1e9, metric_obtaining);
+    const double nm =
+        band_mean(pts, "Naimi-Martin", 3 * N, 1e9, metric_obtaining);
+    const double ns =
+        band_mean(pts, "Naimi-Suzuki", 3 * N, 1e9, metric_obtaining);
+    check(ns < nn && nn < nm,
+          "rho>=3N: Suzuki-inter < Naimi-inter < Martin-inter");
+  }
+  maybe_write_csv("fig4a", pts);
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Reproduces paper Figure 4(b): number of inter-cluster sent messages per
+// critical section vs ρ, same four series as Fig. 4(a).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace gmx;
+  using namespace gmx::bench;
+  const BenchParams p;
+  const auto rhos = paper_rhos();
+  const double N = 180;
+
+  std::vector<SeriesPoint> pts;
+  for (const char* inter : {"naimi", "martin", "suzuki"}) {
+    ExperimentConfig cfg = paper_base(p);
+    cfg.inter = inter;
+    append(pts, run_series(cfg.label(), cfg, rhos, p));
+  }
+  {
+    ExperimentConfig cfg = paper_base(p);
+    cfg.mode = ExperimentConfig::Mode::kFlat;
+    cfg.flat_algorithm = "naimi";
+    append(pts, run_series(cfg.label(), cfg, rhos, p));
+  }
+
+  std::cout << "Figure 4(b) — inter-cluster sent messages per CS vs rho.\n";
+  print_metric_table(std::cout, "Inter-cluster messages / CS", pts,
+                     metric_inter_msgs);
+
+  std::cout << "\nPaper-shape checks (§4.2/§4.4):\n";
+  // Original Naimi: roughly constant in rho (routing ignores location).
+  {
+    const double lo = at(pts, "Naimi (flat)", 45).inter_msgs_per_cs();
+    const double hi = at(pts, "Naimi (flat)", 1080).inter_msgs_per_cs();
+    check(std::abs(hi - lo) / std::max(hi, lo) < 0.35,
+          "flat Naimi: inter-cluster messages/CS roughly constant in rho");
+  }
+  // Compositions below the original for small rho; growing with rho.
+  for (const char* s : {"Naimi-Naimi", "Naimi-Martin", "Naimi-Suzuki"}) {
+    check(at(pts, s, 45).inter_msgs_per_cs() <
+              at(pts, "Naimi (flat)", 45).inter_msgs_per_cs(),
+          std::string(s) + ": far fewer inter messages than flat at rho=45");
+    check(at(pts, s, 45).inter_msgs_per_cs() <
+              at(pts, s, 1080).inter_msgs_per_cs(),
+          std::string(s) + ": messages/CS increase with rho");
+  }
+  // Martin cheapest at low rho (requests absorbed on the ring).
+  check(band_mean(pts, "Naimi-Martin", 45, N, metric_inter_msgs) <
+            band_mean(pts, "Naimi-Naimi", 45, N, metric_inter_msgs),
+        "rho<=N: Martin-inter sends fewer inter messages than Naimi-inter");
+  check(band_mean(pts, "Naimi-Martin", 45, N, metric_inter_msgs) <
+            band_mean(pts, "Naimi-Suzuki", 45, N, metric_inter_msgs),
+        "rho<=N: Martin-inter sends fewer inter messages than Suzuki-inter");
+  // Naimi < Suzuki everywhere (log K vs K requests).
+  check(band_mean(pts, "Naimi-Naimi", 45, 1e9, metric_inter_msgs) <
+            band_mean(pts, "Naimi-Suzuki", 45, 1e9, metric_inter_msgs),
+        "Naimi-inter cheaper than Suzuki-inter overall");
+  // High parallelism: Martin slightly above Naimi.
+  check(band_mean(pts, "Naimi-Martin", 3 * N, 1e9, metric_inter_msgs) >
+            band_mean(pts, "Naimi-Naimi", 3 * N, 1e9, metric_inter_msgs),
+        "rho>=3N: Martin-inter slightly above Naimi-inter");
+  maybe_write_csv("fig4b", pts);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces paper Figure 5: (a) standard deviation σ of the obtaining
+// time vs ρ and (b) relative deviation σᵣ = σ/mean vs ρ, for the three
+// compositions and the flat Naimi baseline.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace gmx;
+  using namespace gmx::bench;
+  const BenchParams p;
+  const auto rhos = paper_rhos();
+  const double N = 180;
+
+  std::vector<SeriesPoint> pts;
+  for (const char* inter : {"naimi", "martin", "suzuki"}) {
+    ExperimentConfig cfg = paper_base(p);
+    cfg.inter = inter;
+    append(pts, run_series(cfg.label(), cfg, rhos, p));
+  }
+  {
+    ExperimentConfig cfg = paper_base(p);
+    cfg.mode = ExperimentConfig::Mode::kFlat;
+    cfg.flat_algorithm = "naimi";
+    append(pts, run_series(cfg.label(), cfg, rhos, p));
+  }
+
+  std::cout << "Figure 5 — obtaining-time variability vs rho.\n";
+  print_metric_table(std::cout, "(a) standard deviation (ms)", pts,
+                     metric_stddev);
+  print_metric_table(std::cout, "(b) relative deviation sigma/mean", pts,
+                     metric_relative_stddev, 3);
+
+  std::cout << "\nPaper-shape checks (§4.5):\n";
+  // Sigma is significant compared to the 10ms CS time everywhere.
+  check(band_mean(pts, "Naimi-Naimi", 45, 1e9, metric_stddev) > 10.0,
+        "sigma is large relative to the 10ms CS time (WAN heterogeneity)");
+  // Relative deviation of flat Naimi below the compositions
+  // (token path is location-independent).
+  {
+    const double flat =
+        band_mean(pts, "Naimi (flat)", 45, 1e9, metric_relative_stddev);
+    for (const char* s : {"Naimi-Naimi", "Naimi-Martin", "Naimi-Suzuki"}) {
+      check(flat < band_mean(pts, s, 45, 1e9, metric_relative_stddev),
+            std::string("flat Naimi sigma_r below ") + s);
+    }
+  }
+  // Sigma_r grows from low rho then plateaus: compare first point vs band.
+  for (const char* s : {"Naimi-Naimi", "Naimi-Martin", "Naimi-Suzuki"}) {
+    check(at(pts, s, 45).relative_stddev() <
+              band_mean(pts, s, 3 * N, 1e9, metric_relative_stddev),
+          std::string(s) + ": sigma_r rises from the saturated regime");
+  }
+  // Intermediate band: Martin worst absolute sigma.
+  {
+    const double nm =
+        band_mean(pts, "Naimi-Martin", N + 1, 3 * N, metric_stddev);
+    check(nm > band_mean(pts, "Naimi-Naimi", N + 1, 3 * N, metric_stddev) &&
+              nm > band_mean(pts, "Naimi-Suzuki", N + 1, 3 * N,
+                             metric_stddev),
+          "N<rho<=3N: Martin-inter has the worst absolute sigma");
+  }
+  // High parallelism: Suzuki smallest sigma.
+  {
+    const double ns =
+        band_mean(pts, "Naimi-Suzuki", 3 * N, 1e9, metric_stddev);
+    check(ns < band_mean(pts, "Naimi-Naimi", 3 * N, 1e9, metric_stddev) &&
+              ns < band_mean(pts, "Naimi-Martin", 3 * N, 1e9, metric_stddev),
+          "rho>=3N: Suzuki-inter has the smallest sigma");
+  }
+  maybe_write_csv("fig5", pts);
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Micro-benchmarks of full simulated runs (google-benchmark): wall-clock
+// cost of simulating one experiment per algorithm/mode, i.e. the
+// throughput of the whole stack (kernel + network + protocol).
+#include <benchmark/benchmark.h>
+
+#include "gridmutex/workload/experiment.hpp"
+
+namespace {
+
+using namespace gmx;
+
+ExperimentConfig bench_cfg() {
+  ExperimentConfig cfg;
+  cfg.clusters = 4;
+  cfg.apps_per_cluster = 5;
+  cfg.latency =
+      LatencySpec::two_level(SimDuration::ms_f(0.5), SimDuration::ms(10));
+  cfg.workload.cs_count = 20;
+  cfg.workload.rho = 40;
+  return cfg;
+}
+
+void BM_FlatAlgorithmRun(benchmark::State& state,
+                         const std::string& algorithm) {
+  ExperimentConfig cfg = bench_cfg();
+  cfg.mode = ExperimentConfig::Mode::kFlat;
+  cfg.flat_algorithm = algorithm;
+  std::uint64_t cs = 0, events = 0;
+  for (auto _ : state) {
+    cfg.seed++;
+    const auto r = run_experiment(cfg);
+    cs += r.total_cs;
+    events += r.events;
+  }
+  state.SetItemsProcessed(std::int64_t(cs));
+  state.counters["events/run"] =
+      benchmark::Counter(double(events) / double(state.iterations()));
+}
+BENCHMARK_CAPTURE(BM_FlatAlgorithmRun, naimi, "naimi");
+BENCHMARK_CAPTURE(BM_FlatAlgorithmRun, martin, "martin");
+BENCHMARK_CAPTURE(BM_FlatAlgorithmRun, suzuki, "suzuki");
+BENCHMARK_CAPTURE(BM_FlatAlgorithmRun, raymond, "raymond");
+BENCHMARK_CAPTURE(BM_FlatAlgorithmRun, central, "central");
+BENCHMARK_CAPTURE(BM_FlatAlgorithmRun, ricart, "ricart");
+
+void BM_CompositionRun(benchmark::State& state, const std::string& intra,
+                       const std::string& inter) {
+  ExperimentConfig cfg = bench_cfg();
+  cfg.intra = intra;
+  cfg.inter = inter;
+  std::uint64_t cs = 0;
+  for (auto _ : state) {
+    cfg.seed++;
+    cs += run_experiment(cfg).total_cs;
+  }
+  state.SetItemsProcessed(std::int64_t(cs));
+}
+BENCHMARK_CAPTURE(BM_CompositionRun, naimi_naimi, "naimi", "naimi");
+BENCHMARK_CAPTURE(BM_CompositionRun, naimi_martin, "naimi", "martin");
+BENCHMARK_CAPTURE(BM_CompositionRun, naimi_suzuki, "naimi", "suzuki");
+BENCHMARK_CAPTURE(BM_CompositionRun, suzuki_suzuki, "suzuki", "suzuki");
+
+void BM_PaperScaleRun(benchmark::State& state) {
+  // One full Fig. 4 point: 9x20 Grid5000, 100 CS per process.
+  ExperimentConfig cfg;
+  cfg.workload.cs_count = 100;
+  cfg.workload.rho = 180;
+  std::uint64_t cs = 0;
+  for (auto _ : state) {
+    cfg.seed++;
+    cs += run_experiment(cfg).total_cs;
+  }
+  state.SetItemsProcessed(std::int64_t(cs));
+}
+BENCHMARK(BM_PaperScaleRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

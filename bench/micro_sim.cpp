@@ -1,0 +1,106 @@
+// Micro-benchmarks of the simulation substrate (google-benchmark):
+// event-queue operations, simulator dispatch rate, RNG, wire codec.
+// These bound how much grid time a wall-clock second can simulate.
+#include <benchmark/benchmark.h>
+
+#include "gridmutex/net/wire.hpp"
+#include "gridmutex/sim/event_queue.hpp"
+#include "gridmutex/sim/random.hpp"
+#include "gridmutex/sim/simulator.hpp"
+#include "gridmutex/sim/stats.hpp"
+
+namespace {
+
+using namespace gmx;
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  const std::int64_t depth = state.range(0);
+  EventQueue q;
+  Rng rng(1);
+  // Steady state: keep `depth` events pending, push one / pop one.
+  for (std::int64_t i = 0; i < depth; ++i)
+    q.push(SimTime::from_ns(std::int64_t(rng.next_below(1'000'000))), [] {});
+  std::int64_t t = 1'000'000;
+  for (auto _ : state) {
+    q.push(SimTime::from_ns(t + std::int64_t(rng.next_below(10'000))), [] {});
+    ++t;
+    benchmark::DoNotOptimize(q.pop());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueuePushPop)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SimulatorSelfScheduling(benchmark::State& state) {
+  // An event chain that re-schedules itself: pure kernel dispatch cost.
+  Simulator sim;
+  std::function<void()> tick = [&] {
+    sim.schedule_after(SimDuration::us(1), tick);
+  };
+  sim.schedule_after(SimDuration::us(1), tick);
+  for (auto _ : state) {
+    sim.run_steps(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SimulatorSelfScheduling);
+
+void BM_RngU64(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_u64());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngU64);
+
+void BM_RngExponential(benchmark::State& state) {
+  Rng rng(7);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.exponential(10.0));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngExponential);
+
+void BM_OnlineStatsAdd(benchmark::State& state) {
+  OnlineStats s;
+  Rng rng(3);
+  for (auto _ : state) s.add(rng.next_double());
+  benchmark::DoNotOptimize(s.mean());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OnlineStatsAdd);
+
+void BM_WireEncodeSuzukiToken(benchmark::State& state) {
+  // The largest message in the system: LN array + queue, size ∝ N.
+  const std::int64_t n = state.range(0);
+  std::vector<std::uint64_t> ln(static_cast<std::size_t>(n));
+  std::vector<std::uint32_t> q(static_cast<std::size_t>(n) / 4);
+  Rng rng(5);
+  for (auto& v : ln) v = rng.next_below(1000);
+  for (auto& v : q) v = std::uint32_t(rng.next_below(std::uint64_t(n)));
+  for (auto _ : state) {
+    wire::Writer w(std::size_t(n) * 3);
+    w.varint_array(std::span<const std::uint64_t>(ln));
+    w.varint_array(std::span<const std::uint32_t>(q));
+    benchmark::DoNotOptimize(w.view().data());
+  }
+  state.SetBytesProcessed(state.iterations() * n * 2);
+}
+BENCHMARK(BM_WireEncodeSuzukiToken)->Arg(9)->Arg(180)->Arg(1024);
+
+void BM_WireDecodeSuzukiToken(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  std::vector<std::uint64_t> ln(std::size_t(n), 123);
+  std::vector<std::uint32_t> q(std::size_t(n) / 4, 7);
+  wire::Writer w;
+  w.varint_array(std::span<const std::uint64_t>(ln));
+  w.varint_array(std::span<const std::uint32_t>(q));
+  for (auto _ : state) {
+    wire::Reader r(w.view());
+    benchmark::DoNotOptimize(r.varint_array_u64());
+    benchmark::DoNotOptimize(r.varint_array_u32());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WireDecodeSuzukiToken)->Arg(9)->Arg(180)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

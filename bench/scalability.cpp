@@ -1,0 +1,114 @@
+// Reproduces the paper's §4.7 scalability arguments:
+//   - "Suzuki-Suzuki scales much better than flat Suzuki": messages per CS
+//     drop from ~N to ~(#clusters + cluster size), and the token payload
+//     stays bounded by the instance size instead of N.
+//   - "Naimi-Naimi also presents better scalability than original Naimi"
+//     in inter-cluster messages.
+// Swept over grid sizes with a synthetic two-level latency (0.5 ms LAN /
+// 10 ms WAN) so the cluster count can vary beyond the 9 of Fig. 3.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace gmx;
+  using namespace gmx::bench;
+  const BenchParams p;
+
+  struct GridShape {
+    std::uint32_t clusters, apps;
+  };
+  const GridShape shapes[] = {{3, 5}, {6, 10}, {9, 20}, {12, 30}};
+
+  struct Row {
+    GridShape shape;
+    double flat_suzuki_msgs, comp_suzuki_msgs;
+    double flat_suzuki_bytes, comp_suzuki_bytes;
+    double flat_naimi_inter, comp_naimi_inter;
+  };
+  std::vector<Row> rows;
+
+  for (const GridShape s : shapes) {
+    auto base = [&] {
+      ExperimentConfig cfg;
+      cfg.clusters = s.clusters;
+      cfg.apps_per_cluster = s.apps;
+      cfg.latency = LatencySpec::two_level(SimDuration::ms_f(0.5),
+                                           SimDuration::ms(10), 0.05);
+      cfg.workload.cs_count = std::max(10, p.cs / 5);
+      cfg.workload.rho = 2.0 * double(s.clusters * s.apps);  // intermediate
+      return cfg;
+    };
+    Row row{s, 0, 0, 0, 0, 0, 0};
+
+    ExperimentConfig cfg = base();
+    cfg.mode = ExperimentConfig::Mode::kFlat;
+    cfg.flat_algorithm = "suzuki";
+    auto r = run_replicated(cfg, p.reps);
+    row.flat_suzuki_msgs = r.total_msgs_per_cs();
+    row.flat_suzuki_bytes =
+        double(r.messages.bytes_total) / double(r.total_cs);
+
+    cfg = base();
+    cfg.intra = cfg.inter = "suzuki";
+    r = run_replicated(cfg, p.reps);
+    row.comp_suzuki_msgs = r.total_msgs_per_cs();
+    row.comp_suzuki_bytes =
+        double(r.messages.bytes_total) / double(r.total_cs);
+
+    cfg = base();
+    cfg.mode = ExperimentConfig::Mode::kFlat;
+    cfg.flat_algorithm = "naimi";
+    r = run_replicated(cfg, p.reps);
+    row.flat_naimi_inter = r.inter_msgs_per_cs();
+
+    cfg = base();
+    cfg.intra = cfg.inter = "naimi";
+    r = run_replicated(cfg, p.reps);
+    row.comp_naimi_inter = r.inter_msgs_per_cs();
+
+    rows.push_back(row);
+    std::fprintf(stderr, "[scalability] done %ux%u\n", s.clusters, s.apps);
+  }
+
+  std::cout << "Section 4.7 — scalability of composition vs flat "
+               "algorithms (intermediate parallelism, two-level latency).\n";
+  Table t({"grid (KxA)", "N", "Suzuki flat msg/CS", "Suzuki-Suzuki msg/CS",
+           "Suzuki flat B/CS", "Suzuki-Suzuki B/CS", "Naimi flat inter/CS",
+           "Naimi-Naimi inter/CS"});
+  for (const Row& r : rows) {
+    const auto n = r.shape.clusters * r.shape.apps;
+    t.add_row({std::to_string(r.shape.clusters) + "x" +
+                   std::to_string(r.shape.apps),
+               std::to_string(n), Table::num(r.flat_suzuki_msgs),
+               Table::num(r.comp_suzuki_msgs),
+               Table::num(r.flat_suzuki_bytes, 0),
+               Table::num(r.comp_suzuki_bytes, 0),
+               Table::num(r.flat_naimi_inter),
+               Table::num(r.comp_naimi_inter)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nPaper-shape checks (§4.7):\n";
+  for (const Row& r : rows) {
+    const auto n = r.shape.clusters * r.shape.apps;
+    check(r.comp_suzuki_msgs < r.flat_suzuki_msgs,
+          "N=" + std::to_string(n) +
+              ": Suzuki-Suzuki sends fewer messages/CS than flat Suzuki");
+    check(r.comp_naimi_inter < r.flat_naimi_inter,
+          "N=" + std::to_string(n) +
+              ": Naimi-Naimi sends fewer inter messages/CS than flat Naimi");
+  }
+  // Flat Suzuki message cost grows ~linearly with N; composed stays flat-ish.
+  const double flat_growth =
+      rows.back().flat_suzuki_msgs / rows.front().flat_suzuki_msgs;
+  const double comp_growth =
+      rows.back().comp_suzuki_msgs / rows.front().comp_suzuki_msgs;
+  check(flat_growth > 3.0, "flat Suzuki msg/CS grows steeply with N");
+  check(comp_growth < flat_growth / 2,
+        "Suzuki-Suzuki msg/CS grows much more slowly than flat");
+  // Token payload: flat Suzuki's token carries O(N); composed O(cluster).
+  check(rows.back().comp_suzuki_bytes < rows.back().flat_suzuki_bytes,
+        "composition bounds Suzuki's per-CS byte volume");
+  return 0;
+}

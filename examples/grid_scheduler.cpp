@@ -1,0 +1,143 @@
+// Scenario: a grid-wide job scheduler protecting a shared job queue.
+//
+// The paper's motivating workload (§1): processes of a computational grid
+// application need exclusive access to a shared resource. Here 9 clusters
+// of worker daemons pop jobs from one logical queue; popping is a critical
+// section guarded by a gridmutex composition. The workload is bursty —
+// some clusters are busy (short think times), others mostly idle — and the
+// example reports per-cluster fairness and the message bill, comparing two
+// compositions side by side.
+//
+//   $ ./grid_scheduler
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "gridmutex/core/composition.hpp"
+#include "gridmutex/net/network.hpp"
+#include "gridmutex/sim/stats.hpp"
+#include "gridmutex/workload/report.hpp"
+
+namespace {
+
+using namespace gmx;
+
+struct RunStats {
+  std::vector<int> jobs_by_cluster;
+  DurationStats obtaining;
+  std::uint64_t inter_msgs = 0;
+  std::uint64_t total_msgs = 0;
+  double makespan_ms = 0;
+};
+
+RunStats run(const std::string& intra, const std::string& inter) {
+  constexpr int kJobs = 600;
+  constexpr int kClusters = 9;
+  constexpr int kWorkersPerCluster = 4;
+
+  Simulator sim;
+  const Topology topo =
+      Composition::make_topology(kClusters, kWorkersPerCluster);
+  Network net(sim, topo,
+              std::make_shared<MatrixLatencyModel>(
+                  MatrixLatencyModel::grid5000(0.05)),
+              Rng(7));
+  Composition comp(net, CompositionConfig{.intra_algorithm = intra,
+                                          .inter_algorithm = inter,
+                                          .seed = 7});
+  comp.start();
+
+  RunStats stats;
+  stats.jobs_by_cluster.assign(kClusters, 0);
+  int queue = kJobs;  // the shared job queue (guarded state)
+  Rng rng(99);
+
+  struct Worker {
+    NodeId node;
+    ClusterId cluster;
+    SimDuration think;
+    SimTime requested_at;
+  };
+  std::vector<Worker> workers;
+  for (ClusterId c = 0; c < kClusters; ++c) {
+    for (int w = 0; w < kWorkersPerCluster; ++w) {
+      // Busy clusters (0-2) poll hard; the rest are mostly idle.
+      const auto think = c < 3 ? SimDuration::ms(20 + 10 * w)
+                               : SimDuration::ms(400 + 100 * w);
+      workers.push_back(
+          Worker{topo.first_node_of(c) + 1 + std::uint32_t(w), c, think, {}});
+    }
+  }
+
+  std::function<void(std::size_t)> schedule_poll = [&](std::size_t i) {
+    Worker& w = workers[i];
+    sim.schedule_after(rng.exponential(w.think), [&, i] {
+      workers[i].requested_at = sim.now();
+      comp.app_mutex(workers[i].node).request_cs();
+    });
+  };
+
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    Worker& w = workers[i];
+    comp.app_mutex(w.node).set_callbacks(MutexCallbacks{
+        [&, i] {
+          Worker& me = workers[i];
+          stats.obtaining.add(sim.now() - me.requested_at);
+          // --- critical section: pop one job ---------------------------
+          const bool got = queue > 0;
+          if (got) {
+            --queue;
+            ++stats.jobs_by_cluster[me.cluster];
+          }
+          // "process" inside the CS for 2ms (queue bookkeeping only; the
+          // job itself would run outside).
+          sim.schedule_after(SimDuration::ms(2), [&, i, got] {
+            comp.app_mutex(workers[i].node).release_cs();
+            if (got) schedule_poll(i);  // queue drained → stop polling
+          });
+        },
+        {},
+    });
+    schedule_poll(i);
+  }
+
+  sim.run();
+  stats.inter_msgs = net.counters().inter_cluster;
+  stats.total_msgs = net.counters().sent;
+  stats.makespan_ms = sim.now().as_ms();
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gmx;
+  std::printf("grid_scheduler: 600 jobs, 9 clusters x 4 workers, "
+              "3 hot clusters / 6 cold, Grid5000 latencies\n\n");
+
+  Table t({"composition", "jobs hot clusters", "jobs cold clusters",
+           "mean obtain (ms)", "sigma (ms)", "inter msgs", "total msgs",
+           "makespan (s)"});
+  for (const auto& [intra, inter] :
+       {std::pair{"naimi", "martin"}, std::pair{"naimi", "suzuki"}}) {
+    const RunStats s = run(intra, inter);
+    int hot = 0, cold = 0;
+    for (std::size_t c = 0; c < s.jobs_by_cluster.size(); ++c)
+      (c < 3 ? hot : cold) += s.jobs_by_cluster[c];
+    t.add_row({std::string(intra) + "-" + inter, std::to_string(hot),
+               std::to_string(cold), Table::num(s.obtaining.mean_ms()),
+               Table::num(s.obtaining.stddev_ms()),
+               std::to_string(s.inter_msgs), std::to_string(s.total_msgs),
+               Table::num(s.makespan_ms / 1000.0)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nHot clusters grab most jobs (they poll 20x faster), but cold\n"
+      "clusters are never starved: every pop request is eventually served\n"
+      "(liveness of the composition). Martin-inter sends fewer messages\n"
+      "under this saturated queue; Suzuki-inter reacts faster when the\n"
+      "queue empties out. See bench/fig4*_ for the systematic comparison.\n");
+  return 0;
+}

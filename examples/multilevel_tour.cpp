@@ -1,0 +1,103 @@
+// Scenario: a continental grid with three latency tiers.
+//
+// Demonstrates the multi-level extension (paper §6): 12 clusters grouped
+// into 4 metro sites, LAN 0.5 ms / metro 4 ms / WAN 60 ms. Compares the
+// token's travel bill when demand is site-local versus continent-wide, and
+// prints the coordinator tree.
+//
+//   $ ./multilevel_tour
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "gridmutex/core/multilevel.hpp"
+#include "gridmutex/net/network.hpp"
+#include "gridmutex/workload/app_process.hpp"
+
+namespace {
+
+using namespace gmx;
+
+const HierarchySpec kSpec{.arity = {4, 3, 4},
+                          .algorithms = {"naimi", "naimi", "naimi"}};
+const std::vector<SimDuration> kDelays = {
+    SimDuration::ms_f(0.5), SimDuration::ms(4), SimDuration::ms(60)};
+
+struct RunResult {
+  double obtaining_ms;
+  std::uint64_t inter_msgs;
+  double makespan_s;
+};
+
+RunResult run(bool site_local) {
+  Simulator sim;
+  const Topology topo = MultiLevelComposition::make_topology(kSpec);
+  Network net(sim, topo, MultiLevelComposition::make_latency(kSpec, kDelays),
+              Rng(13));
+  MultiLevelComposition ml(net, kSpec, 1, 13);
+  ml.start();
+
+  WorkloadMetrics metrics;
+  SafetyMonitor safety;
+  Rng rng(17);
+  WorkloadParams p;
+  p.rho = 10;
+  p.cs_count = 40;
+
+  std::vector<std::unique_ptr<AppProcess>> procs;
+  std::vector<NodeId> chosen;
+  if (site_local) {
+    // All demand inside site 0 (clusters 0-2).
+    for (NodeId v : ml.app_nodes())
+      if (topo.cluster_of(v) < 3) chosen.push_back(v);
+  } else {
+    // One app per cluster, spread over every site.
+    for (ClusterId c = 0; c < topo.cluster_count(); ++c)
+      chosen.push_back(topo.first_node_of(c) + 1);
+  }
+  for (NodeId v : chosen) {
+    procs.push_back(std::make_unique<AppProcess>(
+        sim, ml.app_mutex(v), p, rng.fork(v), metrics, safety));
+    procs.back()->start();
+  }
+  sim.run();
+  return RunResult{metrics.obtaining.mean_ms(),
+                   net.counters().inter_cluster, sim.now().as_sec()};
+}
+
+}  // namespace
+
+int main() {
+  using namespace gmx;
+  const Topology topo = MultiLevelComposition::make_topology(kSpec);
+  std::printf("multilevel_tour: %u apps in %u clusters, 4 sites, 3 latency "
+              "tiers (0.5/4/60 ms)\n\n",
+              kSpec.application_count(), topo.cluster_count());
+  std::printf("hierarchy: %u cluster coordinators -> %u site coordinators "
+              "-> 1 root instance\n\n",
+              kSpec.groups_at(0), kSpec.groups_at(1));
+
+  const RunResult local = run(/*site_local=*/true);
+  const RunResult spread = run(/*site_local=*/false);
+
+  std::printf("%-22s %18s %14s %12s\n", "demand pattern", "mean obtain (ms)",
+              "inter msgs", "makespan (s)");
+  std::printf("%-22s %18.2f %14llu %12.1f\n", "site-local (site 0)",
+              local.obtaining_ms,
+              static_cast<unsigned long long>(local.inter_msgs),
+              local.makespan_s);
+  std::printf("%-22s %18.2f %14llu %12.1f\n", "continent-wide",
+              spread.obtaining_ms,
+              static_cast<unsigned long long>(spread.inter_msgs),
+              spread.makespan_s);
+
+  std::printf(
+      "\nWith site-local demand the token never crosses a 60ms WAN link\n"
+      "after the first acquisition: the site instance keeps it close, so\n"
+      "the obtaining time reflects metro hops only. Continent-wide demand\n"
+      "pays the WAN on every site handover — exactly the hierarchy-of-\n"
+      "latencies effect the composition exists to exploit.\n");
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: the smallest complete gridmutex program.
+//
+// Builds a 3-cluster grid (LAN 0.5 ms, WAN 10 ms), composes Naimi-Tréhel
+// intra with Martin inter, and has two applications in different clusters
+// alternate through a critical section. Shows the three things a user
+// touches: the simulated Network, the Composition, and app_mutex().
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <memory>
+
+#include "gridmutex/core/composition.hpp"
+#include "gridmutex/net/network.hpp"
+
+int main() {
+  using namespace gmx;
+
+  // 1. A simulated grid: 3 clusters x 4 application nodes (+1 coordinator
+  //    slot per cluster, added by make_topology).
+  Simulator sim;
+  const Topology topo = Composition::make_topology(/*clusters=*/3,
+                                                   /*apps_per_cluster=*/4);
+  Network net(sim, topo,
+              std::make_shared<MatrixLatencyModel>(
+                  MatrixLatencyModel::two_level(3, SimDuration::ms_f(0.5),
+                                                SimDuration::ms(10))),
+              Rng(42));
+
+  // 2. A two-level composition: any registered algorithms plug in here.
+  Composition comp(net, CompositionConfig{.intra_algorithm = "naimi",
+                                          .inter_algorithm = "martin"});
+  comp.start();
+
+  // 3. Applications ask their local intra endpoint — the hierarchy is
+  //    invisible to them (paper §3.1).
+  const NodeId alice = topo.first_node_of(0) + 1;  // cluster 0
+  const NodeId bob = topo.first_node_of(2) + 1;    // cluster 2
+
+  int rounds = 3;
+  std::function<void(NodeId, const char*)> enter;
+
+  auto hold_and_release = [&](NodeId who, const char* name) {
+    std::printf("[%8.3f ms] %s ENTERS the critical section\n",
+                sim.now().as_ms(), name);
+    sim.schedule_after(SimDuration::ms(5), [&, who, name] {
+      std::printf("[%8.3f ms] %s leaves\n", sim.now().as_ms(), name);
+      comp.app_mutex(who).release_cs();
+      if (--rounds > 0) enter(who == alice ? bob : alice,
+                              who == alice ? "bob  " : "alice");
+    });
+  };
+
+  comp.app_mutex(alice).set_callbacks(
+      MutexCallbacks{[&] { hold_and_release(alice, "alice"); }, {}});
+  comp.app_mutex(bob).set_callbacks(
+      MutexCallbacks{[&] { hold_and_release(bob, "bob  "); }, {}});
+  enter = [&](NodeId who, const char* name) {
+    std::printf("[%8.3f ms] %s requests\n", sim.now().as_ms(), name);
+    comp.app_mutex(who).request_cs();
+  };
+
+  enter(alice, "alice");
+  sim.run();
+
+  const auto& c = net.counters();
+  std::printf(
+      "\ndone: %llu messages (%llu inter-cluster, %llu bytes total), "
+      "%.3f ms simulated\n",
+      static_cast<unsigned long long>(c.sent),
+      static_cast<unsigned long long>(c.inter_cluster),
+      static_cast<unsigned long long>(c.bytes_total), sim.now().as_ms());
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Adaptive composition (paper §6 future work: "a dynamic and adaptive
+// composition scheme where the inter algorithm will be replaced according to
+// the application behavior").
+//
+// A controller samples how many coordinators are competing for the inter
+// token and classifies the application regime per the paper's §4.7
+// conclusions:
+//
+//   demand fraction      regime                   best inter algorithm
+//   >= low_threshold     low parallelism          martin  (fewest messages)
+//   in between           intermediate             naimi   (best balance)
+//   <= high_threshold    high parallelism         suzuki  (lowest latency)
+//
+// When the regime changes, the controller swaps the inter instance through a
+// reconfiguration epoch:
+//   1. pause: every coordinator abstains from NEW inter requests (local
+//      demand is remembered);
+//   2. drain: coordinators already past OUT finish their cycle; any
+//      coordinator idling in IN is told to vacate; the controller polls
+//      until all are OUT and no inter message is in flight;
+//   3. swap: the idle inter token's location is carried over as the new
+//      instance's initial holder; old endpoints are torn down, new ones
+//      built and rebound;
+//   4. resume: paused demand replays against the new algorithm.
+//
+// The quiesce detector uses the simulation's global view; a production
+// implementation would run a coordinator-among-coordinators round for the
+// same effect (documented substitution, DESIGN.md §5).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gridmutex/core/composition.hpp"
+
+namespace gmx {
+
+struct AdaptiveConfig {
+  /// Sampling/evaluation cadence.
+  SimDuration sample_every = SimDuration::ms(50);
+  SimDuration epoch = SimDuration::sec(1);
+  /// Quiesce poll cadence during a switch.
+  SimDuration quiesce_poll = SimDuration::ms(5);
+  /// Regime thresholds on the epoch-averaged fraction of coordinators with
+  /// inter-token demand (states WAIT_FOR_IN/IN/WAIT_FOR_OUT).
+  double low_parallelism_at = 0.60;
+  double high_parallelism_at = 0.20;
+  std::string low_algorithm = "martin";
+  std::string mid_algorithm = "naimi";
+  std::string high_algorithm = "suzuki";
+};
+
+class AdaptiveComposition {
+ public:
+  AdaptiveComposition(Network& net, Composition& comp, AdaptiveConfig cfg);
+
+  AdaptiveComposition(const AdaptiveComposition&) = delete;
+  AdaptiveComposition& operator=(const AdaptiveComposition&) = delete;
+
+  /// Begins sampling. Call after Composition::start().
+  void start();
+  /// Cancels all controller activity so the simulation can drain. A switch
+  /// in progress is completed first... callers should stop after their
+  /// workload deadline, then run the simulator dry.
+  void stop();
+
+  [[nodiscard]] const std::string& current_inter() const { return current_; }
+  [[nodiscard]] int switches_completed() const { return switches_; }
+  [[nodiscard]] bool switching() const { return switching_; }
+  /// Epoch-averaged demand fraction from the last completed epoch.
+  [[nodiscard]] double last_demand_fraction() const { return last_demand_; }
+
+  /// Regime classification used by the controller (exposed for tests).
+  [[nodiscard]] const std::string& pick_algorithm(double demand) const;
+
+ private:
+  void sample();
+  void evaluate_epoch();
+  void begin_switch(const std::string& target);
+  void poll_quiesce();
+  void do_swap();
+  void arm_sampler();
+
+  Network& net_;
+  Composition& comp_;
+  AdaptiveConfig cfg_;
+
+  std::string current_;
+  std::string target_;
+  bool running_ = false;
+  bool switching_ = false;
+  int switches_ = 0;
+
+  double demand_accum_ = 0.0;
+  std::uint64_t samples_ = 0;
+  SimTime epoch_start_;
+  double last_demand_ = 0.0;
+  EventId timer_ = kInvalidEventId;
+};
+
+}  // namespace gmx

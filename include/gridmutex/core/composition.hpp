@@ -1,0 +1,108 @@
+// Two-level composition of mutual exclusion algorithms (paper §3).
+//
+// Builds, for a clustered grid:
+//   - one *intra* algorithm instance per cluster, whose participants are the
+//     cluster's application nodes plus its coordinator (rank 0);
+//   - one *inter* algorithm instance over the coordinators (rank = cluster);
+//   - one Coordinator automaton per cluster bridging the two.
+//
+// Node convention: the FIRST node of every cluster hosts the coordinator;
+// the remaining nodes host application processes. Use
+// `Composition::make_topology()` (or Topology::grid5000(21)) to build a grid
+// with the extra coordinator slot per cluster.
+//
+// An application on node v interacts only with `app_mutex(v)` — the intra
+// endpoint — exactly as in the paper: composition is transparent to the
+// application (§3.1), and neither algorithm is modified.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridmutex/core/coordinator.hpp"
+#include "gridmutex/mutex/endpoint.hpp"
+#include "gridmutex/mutex/registry.hpp"
+#include "gridmutex/net/network.hpp"
+
+namespace gmx {
+
+struct CompositionConfig {
+  std::string intra_algorithm = "naimi";
+  std::string inter_algorithm = "naimi";
+  /// Cluster whose coordinator initially holds the inter token.
+  ClusterId initial_cluster = 0;
+  /// Base protocol id; the composition claims [base, base + clusters + 1).
+  ProtocolId protocol_base = 1;
+  std::uint64_t seed = 1;
+};
+
+class Composition {
+ public:
+  /// The network's topology must have >= 2 nodes per cluster (coordinator +
+  /// at least one application node).
+  Composition(Network& net, CompositionConfig cfg);
+  ~Composition();
+
+  Composition(const Composition&) = delete;
+  Composition& operator=(const Composition&) = delete;
+
+  /// Builds a topology with `apps_per_cluster`+1 nodes per cluster.
+  static Topology make_topology(std::uint32_t clusters,
+                                std::uint32_t apps_per_cluster);
+
+  /// Starts all coordinators. Call once, before (or at) the first request.
+  void start();
+
+  /// Application nodes, i.e. every node that is not a coordinator.
+  [[nodiscard]] const std::vector<NodeId>& app_nodes() const {
+    return app_nodes_;
+  }
+  [[nodiscard]] bool is_coordinator_node(NodeId node) const;
+
+  /// The mutex an application on `node` uses. `node` must be an app node.
+  [[nodiscard]] MutexEndpoint& app_mutex(NodeId node);
+
+  [[nodiscard]] Coordinator& coordinator(ClusterId c);
+  [[nodiscard]] const Coordinator& coordinator(ClusterId c) const;
+  [[nodiscard]] std::uint32_t cluster_count() const {
+    return std::uint32_t(coordinators_.size());
+  }
+
+  [[nodiscard]] const CompositionConfig& config() const { return cfg_; }
+  [[nodiscard]] ProtocolId inter_protocol() const {
+    return cfg_.protocol_base;
+  }
+  [[nodiscard]] ProtocolId intra_protocol(ClusterId c) const {
+    return cfg_.protocol_base + 1 + c;
+  }
+
+  /// Labeler for net::TraceSink: renders this composition's protocol ids
+  /// as "inter(martin).TOKEN" / "intra[2](naimi).REQUEST".
+  [[nodiscard]] std::function<std::string(ProtocolId, std::uint16_t)>
+  trace_labeler() const;
+
+  /// Number of coordinators in IN/WAIT_FOR_OUT. The composition safety
+  /// invariant is that this never exceeds 1 (asserted by tests after every
+  /// transition).
+  [[nodiscard]] int privileged_coordinators() const;
+
+  /// Sum of inter-token acquisitions across clusters (aggregation metric).
+  [[nodiscard]] std::uint64_t total_inter_acquisitions() const;
+
+ private:
+  friend class AdaptiveComposition;
+
+  Network& net_;
+  CompositionConfig cfg_;
+
+  // Per cluster: [0] = coordinator endpoint, [i>0] = app endpoints.
+  std::vector<std::vector<std::unique_ptr<MutexEndpoint>>> intra_;
+  std::vector<std::unique_ptr<MutexEndpoint>> inter_;  // one per cluster
+  std::vector<std::unique_ptr<Coordinator>> coordinators_;
+  std::vector<NodeId> app_nodes_;
+  std::vector<int> app_endpoint_of_node_;  // node -> index, -1 otherwise
+};
+
+}  // namespace gmx

@@ -1,0 +1,125 @@
+// The composition coordinator (paper §3).
+//
+// One coordinator per cluster. It is a hybrid participant: rank 0 of its
+// cluster's *intra* algorithm instance and one rank of the global *inter*
+// instance — and it never wants the resource for itself. Its job is a pure
+// protocol bridge, captured by the four-state automaton of paper Fig. 1(b):
+//
+//   state         Intra   Inter   meaning
+//   OUT           CS      NO_REQ  no local demand; holds the intra token
+//   WAIT_FOR_IN   CS      REQ     local demand; waiting for the inter token
+//   IN            NO_REQ  CS      cluster owns the resource; intra token
+//                                 circulates among local applications
+//   WAIT_FOR_OUT  REQ     CS      remote demand; reclaiming the intra token
+//
+// Transitions (paper Fig. 2):
+//   OUT          --local request pending-->   InterCSRequest, WAIT_FOR_IN
+//   WAIT_FOR_IN  --inter CS granted------->   IntraCSRelease, IN
+//   IN           --inter request pending-->   IntraCSRequest, WAIT_FOR_OUT
+//   WAIT_FOR_OUT --intra CS granted------->   InterCSRelease, OUT
+//
+// At most one coordinator grid-wide is in {IN, WAIT_FOR_OUT} at any time
+// (it holds the inter token in CS) — that is the global safety argument:
+// an application can hold its intra token only while its coordinator is in
+// one of those two states.
+//
+// The "pending" inputs are the MutexObserver::on_pending_request upcalls of
+// the two endpoints; because those are edge-triggered, every transition
+// *into* a state re-checks has_pending_requests() level-wise, so no wakeup
+// is ever lost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "gridmutex/mutex/handle.hpp"
+
+namespace gmx {
+
+class Coordinator {
+ public:
+  enum class State : std::uint8_t { kOut, kWaitForIn, kIn, kWaitForOut };
+
+  /// `intra` must be rank 0 of the cluster instance and live on this
+  /// coordinator's node; `inter` is this coordinator's rank in the
+  /// coordinators' instance. Both endpoints' callbacks are claimed by the
+  /// coordinator.
+  Coordinator(MutexHandle& intra, MutexHandle& inter);
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Enters service: acquires the intra token CS (instantaneous — the
+  /// coordinator is the initial intra holder) and settles in OUT. Call once,
+  /// at simulation start, after both endpoints' init().
+  void start();
+
+  [[nodiscard]] State state() const { return state_; }
+  /// True in IN/WAIT_FOR_OUT — this cluster currently owns the resource.
+  [[nodiscard]] bool cluster_privileged() const {
+    return state_ == State::kIn || state_ == State::kWaitForOut;
+  }
+
+  [[nodiscard]] MutexHandle& intra() { return intra_; }
+  [[nodiscard]] MutexHandle& inter() { return inter_; }
+
+  /// Counters for analysis: how often the cluster acquired the inter token,
+  /// and how many intra grants each acquisition amortized (the message-
+  /// aggregation effect of §4.4).
+  [[nodiscard]] std::uint64_t inter_acquisitions() const {
+    return inter_acquisitions_;
+  }
+  [[nodiscard]] std::uint64_t state_transitions() const {
+    return transitions_;
+  }
+
+  /// Adaptive-composition support (core/adaptive.hpp). While paused, the
+  /// coordinator abstains from *new* inter requests; local demand is
+  /// remembered and replayed on resume().
+  void pause_inter_requests();
+  void resume_inter_requests();
+  [[nodiscard]] bool paused() const { return paused_; }
+
+  /// Drives an idle-privileged coordinator (IN, with no remote demand) back
+  /// to OUT so the inter token becomes idle — used by the adaptive switcher
+  /// to quiesce the inter level. No-op in other states.
+  void force_vacate();
+
+  /// Rebinds the inter endpoint after an adaptive swap. Only legal while
+  /// paused and in OUT.
+  void rebind_inter(MutexHandle& inter);
+
+  /// Optional hook invoked after every state transition (tests, tracing).
+  using TransitionHook =
+      std::function<void(const Coordinator&, State from, State to)>;
+  void set_transition_hook(TransitionHook hook) { hook_ = std::move(hook); }
+
+ private:
+  void on_intra_granted();
+  void on_intra_pending();
+  void on_inter_granted();
+  void on_inter_pending();
+
+  void enter_out();   // common OUT entry: release inter, re-arm if needed
+  void complete_handover();  // IN entry: release intra, honour inter demand
+  void go(State to);
+  void request_inter();
+
+  MutexHandle& intra_;
+  std::reference_wrapper<MutexHandle> inter_;
+  State state_ = State::kOut;
+  bool started_ = false;
+  bool paused_ = false;
+  bool want_inter_ = false;       // demand observed while paused
+  bool vacate_requested_ = false; // force_vacate() in flight
+  bool handover_pending_ = false; // inter granted before intra CS (startup
+                                  // transient of permission-based intra)
+  std::uint64_t inter_acquisitions_ = 0;
+  std::uint64_t transitions_ = 0;
+  TransitionHook hook_;
+};
+
+[[nodiscard]] std::string_view to_string(Coordinator::State s);
+
+}  // namespace gmx

@@ -1,0 +1,103 @@
+// Multi-level composition (paper §6: "our two-level approach ... can be
+// easily extended to multiple levels of algorithm hierarchy").
+//
+// A hierarchy of L levels is described bottom-up by `HierarchySpec::arity`:
+// arity[0] applications per leaf group, arity[l>0] level-(l-1) groups per
+// level-l group. One algorithm instance runs per group:
+//   - a leaf group's instance spans its applications + its coordinator
+//     (rank 0);
+//   - an inner group's instance spans its children's coordinators + its own
+//     coordinator (rank 0);
+//   - the root instance spans the top-level coordinators only.
+// Every non-root group's coordinator runs the *same* Coordinator automaton
+// as the two-level case, bridging its group instance (as "intra") with its
+// parent's instance (as "inter") — composition is closed under itself.
+//
+// Example: arity {19, 3, 3} = 9 clusters of 19 apps grouped 3-per-site:
+// 9 cluster instances (20 participants), 3 site instances (4 participants:
+// 3 cluster coordinators + 1 site coordinator), 1 root instance (3 site
+// coordinators).
+//
+// Placement: leaf group i maps onto cluster i of the Topology. A level-l>0
+// coordinator lives on an extra node inside the first leaf cluster of its
+// group. Use make_topology()/make_latency() to build a consistent pair.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gridmutex/core/coordinator.hpp"
+#include "gridmutex/mutex/endpoint.hpp"
+#include "gridmutex/net/latency.hpp"
+#include "gridmutex/net/network.hpp"
+
+namespace gmx {
+
+struct HierarchySpec {
+  /// Bottom-up group sizes; arity.size() == number of levels L >= 2.
+  std::vector<std::uint32_t> arity;
+  /// One algorithm per level: algorithms[0] for leaf instances, ...,
+  /// algorithms[L-1] for the root instance.
+  std::vector<std::string> algorithms;
+
+  [[nodiscard]] std::size_t levels() const { return arity.size(); }
+  /// Number of groups at `level` (level L-1 has exactly one: the root).
+  [[nodiscard]] std::uint32_t groups_at(std::size_t level) const;
+  [[nodiscard]] std::uint32_t leaf_groups() const { return groups_at(0); }
+  [[nodiscard]] std::uint32_t application_count() const;
+};
+
+class MultiLevelComposition {
+ public:
+  MultiLevelComposition(Network& net, HierarchySpec spec,
+                        ProtocolId protocol_base = 1, std::uint64_t seed = 1);
+  ~MultiLevelComposition();
+
+  MultiLevelComposition(const MultiLevelComposition&) = delete;
+  MultiLevelComposition& operator=(const MultiLevelComposition&) = delete;
+
+  /// Topology whose cluster i is leaf group i, including the extra nodes
+  /// hosting inner coordinators.
+  static Topology make_topology(const HierarchySpec& spec);
+
+  /// Latency whose delay between two clusters is level_delays[lca-level]:
+  /// level_delays[0] = LAN (same cluster), level_delays[l] = links between
+  /// clusters whose lowest common group sits at level l.
+  static std::shared_ptr<MatrixLatencyModel> make_latency(
+      const HierarchySpec& spec, std::span<const SimDuration> level_delays,
+      double jitter_fraction = 0.0);
+
+  void start();
+
+  [[nodiscard]] const std::vector<NodeId>& app_nodes() const {
+    return app_nodes_;
+  }
+  [[nodiscard]] MutexEndpoint& app_mutex(NodeId node);
+
+  [[nodiscard]] std::size_t levels() const { return spec_.levels(); }
+  /// Coordinator of `group` at `level` (levels 0..L-2 have coordinators).
+  [[nodiscard]] Coordinator& coordinator(std::size_t level,
+                                         std::uint32_t group);
+  [[nodiscard]] std::uint32_t coordinator_count(std::size_t level) const;
+
+  /// Safety diagnostics: privileged coordinators at a level must be <= 1
+  /// per parent group.
+  [[nodiscard]] int privileged_at(std::size_t level) const;
+
+ private:
+  Network& net_;
+  HierarchySpec spec_;
+
+  // instances_[level][group] = endpoints of that group's instance
+  // (rank order: coordinator first for non-root levels).
+  std::vector<std::vector<std::vector<std::unique_ptr<MutexEndpoint>>>>
+      instances_;
+  // coordinators_[level][group], for level in [0, L-2].
+  std::vector<std::vector<std::unique_ptr<Coordinator>>> coordinators_;
+  std::vector<NodeId> app_nodes_;
+  std::vector<int> app_index_of_node_;  // node -> rank in its leaf instance
+};
+
+}  // namespace gmx

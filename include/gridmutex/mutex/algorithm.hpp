@@ -1,0 +1,150 @@
+// Mutual exclusion algorithm interface.
+//
+// An algorithm instance is a per-participant state machine. Participants are
+// identified by *rank* 0..size-1 within the instance; the mapping of ranks
+// onto grid nodes (and the network send path) is provided by a MutexContext.
+// The same algorithm object code therefore runs, unmodified:
+//   - flat over all grid nodes (the paper's "original algorithm" baselines),
+//   - as an *intra* instance over one cluster's nodes + coordinator,
+//   - as an *inter* instance over the coordinators only.
+// This rank/node separation is the mechanism behind the paper's claim (§3.1)
+// that "the chosen algorithms for both layers do not need to be modified".
+//
+// State model (paper Fig. 1a): every participant is Idle (NO_REQ),
+// Requesting (REQ) or InCs (CS). `request_cs()` moves Idle→Requesting and
+// eventually the observer's on_cs_granted() fires (possibly at the same
+// simulated instant, for an idle token holder); `release_cs()` moves
+// InCs→Idle.
+//
+// The observer additionally reports *pending requests*: classical token
+// algorithms queue requests that arrive while the holder is in its critical
+// section; `on_pending_request()` surfaces the 0→>0 transition of that
+// queue. The composition coordinator (core/coordinator.hpp) drives its
+// automaton from exactly this signal — it is instrumentation of existing
+// algorithm state, not a protocol change.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "gridmutex/net/wire.hpp"
+#include "gridmutex/sim/random.hpp"
+#include "gridmutex/sim/time.hpp"
+
+namespace gmx {
+
+/// Paper Fig. 1(a): NO_REQ / REQ / CS.
+enum class CsState : std::uint8_t { kIdle, kRequesting, kInCs };
+
+[[nodiscard]] std::string_view to_string(CsState s);
+
+/// Services an algorithm may use; implemented by MutexEndpoint.
+class MutexContext {
+ public:
+  virtual ~MutexContext() = default;
+
+  /// This participant's rank within the instance.
+  [[nodiscard]] virtual int self() const = 0;
+  /// Number of participants.
+  [[nodiscard]] virtual int size() const = 0;
+
+  /// Sends a protocol message to another participant. `to_rank` must differ
+  /// from self(): algorithms handle loopback internally (a queue update is
+  /// not a message — and the paper's message counts must not inflate).
+  virtual void send(int to_rank, std::uint16_t type,
+                    std::span<const std::uint8_t> payload) = 0;
+
+  /// Cluster of a participant's node. Classical algorithms ignore this;
+  /// cluster-aware ones (Bertier-style hierarchical Naimi-Tréhel) use it
+  /// for locality-preferring grant policies.
+  [[nodiscard]] virtual int cluster_of_rank(int rank) const = 0;
+
+  /// Deterministic per-instance randomness (tie-breaking, jitter).
+  virtual Rng& rng() = 0;
+
+  /// Current simulated time (timestamps, diagnostics).
+  [[nodiscard]] virtual SimTime now() const = 0;
+};
+
+/// Upcalls from the algorithm. Implementations must tolerate being invoked
+/// from within request_cs()/release_cs()/on_message() frames; MutexEndpoint
+/// defers its user-facing callbacks through the simulator to decouple them.
+class MutexObserver {
+ public:
+  virtual ~MutexObserver() = default;
+
+  /// The local request has been granted; the participant is now InCs.
+  virtual void on_cs_granted() = 0;
+
+  /// The algorithm learned of at least one other participant's request that
+  /// this participant will have to satisfy (it currently holds the token /
+  /// the privilege). Edge-triggered on the empty→non-empty transition.
+  virtual void on_pending_request() = 0;
+};
+
+class MutexAlgorithm {
+ public:
+  virtual ~MutexAlgorithm() = default;
+
+  MutexAlgorithm() = default;
+  MutexAlgorithm(const MutexAlgorithm&) = delete;
+  MutexAlgorithm& operator=(const MutexAlgorithm&) = delete;
+
+  /// Binds the instance to its context and observer. Called exactly once,
+  /// before init().
+  void attach(MutexContext& ctx, MutexObserver& obs);
+
+  /// Establishes the initial protocol state on this participant.
+  /// `holder_rank` names the participant that initially holds the token,
+  /// idle (token-based algorithms require 0 <= holder_rank < size).
+  /// Permission-based algorithms (Ricart-Agrawala) have no token and accept
+  /// kNoHolder. Called once on every participant, all with the same value,
+  /// before any request.
+  static constexpr int kNoHolder = -1;
+  virtual void init(int holder_rank) = 0;
+
+  /// Asks for the critical section. Precondition: state()==kIdle.
+  virtual void request_cs() = 0;
+
+  /// Leaves the critical section. Precondition: state()==kInCs.
+  virtual void release_cs() = 0;
+
+  /// Delivers a protocol message from `from_rank`. Malformed payloads throw
+  /// wire::WireError.
+  virtual void on_message(int from_rank, std::uint16_t type,
+                          wire::Reader payload) = 0;
+
+  /// True when another participant's request is waiting on this one.
+  [[nodiscard]] virtual bool has_pending_requests() const = 0;
+
+  /// True when this participant possesses the token (token algorithms) or
+  /// is in CS (permission algorithms — the closest analogue).
+  [[nodiscard]] virtual bool holds_token() const = 0;
+
+  /// Algorithm identifier, e.g. "naimi".
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  [[nodiscard]] CsState state() const { return state_; }
+  [[nodiscard]] bool in_cs() const { return state_ == CsState::kInCs; }
+
+ protected:
+  [[nodiscard]] MutexContext& ctx() const;
+  [[nodiscard]] MutexObserver& observer() const;
+  [[nodiscard]] bool attached() const { return ctx_ != nullptr; }
+
+  void set_state(CsState s) { state_ = s; }
+
+  /// Transition helpers shared by all implementations; they enforce the
+  /// Fig. 1(a) automaton.
+  void begin_request();             // kIdle -> kRequesting
+  void enter_cs_and_notify();       // kRequesting -> kInCs + on_cs_granted
+  void begin_release();             // kInCs -> kIdle
+
+ private:
+  MutexContext* ctx_ = nullptr;
+  MutexObserver* obs_ = nullptr;
+  CsState state_ = CsState::kIdle;
+};
+
+}  // namespace gmx

@@ -1,0 +1,75 @@
+// Bertier-style hierarchical Naimi-Tréhel (related work, paper §5).
+//
+// Bertier, Arantes & Sens (JPDC 2006) adapt Naimi-Tréhel to a grid not by
+// composing two instances (this paper's approach) but by making the single
+// flat algorithm *cluster-aware*: pending requests queue at the token
+// holder, which grants requests from its own cluster first, bounded by an
+// aging limit so remote clusters cannot starve. gridmutex implements it as
+// a comparison baseline for the composition approach.
+//
+// Structure, relative to classical Naimi-Tréhel:
+//   - `last` pointers form a chase-the-token chain: each holder, when it
+//     ships the token, points `last` at the recipient. Requests forward
+//     along `last` until they reach the current holder (no path reversal —
+//     the requester is not the next owner; the holder's queue decides).
+//     This is a deliberate simplification of Bertier's machinery: path
+//     reversal toward a *requester* would be unsound here because
+//     requesters do not absorb requests (only holders queue), so reversal
+//     could build forwarding cycles. The measurable cost of the chase —
+//     long WAN request walks at high parallelism — is itself a finding;
+//     see bench/baseline_bertier.cpp.
+//   - the token message carries the pending queue plus the current
+//     local-grant streak; the holder grants a same-cluster requester while
+//     streak < max_local_streak, else the oldest remote one.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "gridmutex/mutex/algorithm.hpp"
+
+namespace gmx {
+
+class BertierMutex final : public MutexAlgorithm {
+ public:
+  enum MsgType : std::uint16_t {
+    kRequest = 1,  // payload: varint requester rank
+    kToken = 2,    // payload: varint streak, varint_array queue
+  };
+
+  /// `max_local_streak`: consecutive same-cluster grants before a queued
+  /// remote request must be served (the aging bound; Bertier's "local
+  /// preference" parameter).
+  explicit BertierMutex(int max_local_streak = 5)
+      : max_local_streak_(max_local_streak) {}
+
+  void init(int holder_rank) override;
+  void request_cs() override;
+  void release_cs() override;
+  void on_message(int from_rank, std::uint16_t type,
+                  wire::Reader payload) override;
+
+  [[nodiscard]] bool has_pending_requests() const override {
+    return has_token_ && !q_.empty();
+  }
+  [[nodiscard]] bool holds_token() const override { return has_token_; }
+  [[nodiscard]] std::string_view name() const override { return "bertier"; }
+
+  [[nodiscard]] int last() const { return last_; }
+  [[nodiscard]] int local_streak() const { return streak_; }
+  [[nodiscard]] const std::deque<std::uint32_t>& queue() const { return q_; }
+
+ private:
+  void handle_request(int requester);
+  /// Pops the next grantee per the locality policy and ships the token.
+  void grant_from_queue();
+
+  int max_local_streak_;
+  int last_ = 0;        // toward the probable token holder
+  bool has_token_ = false;
+  // Holder-only state (travels with the token):
+  std::deque<std::uint32_t> q_;
+  int streak_ = 0;      // consecutive grants within the holder's cluster
+};
+
+}  // namespace gmx

@@ -1,0 +1,65 @@
+// Centralized coordinator mutex (textbook baseline; the paper's related
+// work cites two-level schemes with a centralized lower level, e.g.
+// Madhuram & Kumar).
+//
+// One participant (the initial holder) acts as the server: it owns the
+// token and a FIFO queue. Clients send REQUEST, receive GRANT, and send
+// RELEASE when done. 3 messages per CS (2 when the server itself requests),
+// all funneling through one participant — minimal message count, maximal
+// load concentration.
+//
+// Extension for composition: when a request queues behind a lent-out grant,
+// the server sends a single REVOKE to the current holder. A plain client
+// ignores demand signals anyway, but a composition coordinator holding the
+// inter grant must learn that other clusters are waiting (the
+// on_pending_request contract) — without REVOKE the centralized algorithm
+// has no holder-side demand channel at all. Costs at most one extra message
+// per contended grant.
+#pragma once
+
+#include <deque>
+
+#include "gridmutex/mutex/algorithm.hpp"
+
+namespace gmx {
+
+class CentralServerMutex final : public MutexAlgorithm {
+ public:
+  enum MsgType : std::uint16_t {
+    kRequest = 1,  // client -> server, empty payload
+    kGrant = 2,    // server -> client, empty payload
+    kRelease = 3,  // client -> server, empty payload
+    kRevoke = 4,   // server -> current holder: others are waiting
+  };
+
+  void init(int holder_rank) override;
+  void request_cs() override;
+  void release_cs() override;
+  void on_message(int from_rank, std::uint16_t type,
+                  wire::Reader payload) override;
+
+  [[nodiscard]] bool has_pending_requests() const override;
+  [[nodiscard]] bool holds_token() const override;
+  [[nodiscard]] std::string_view name() const override { return "central"; }
+
+  [[nodiscard]] bool is_server() const { return server_ == ctx().self(); }
+  [[nodiscard]] int server_rank() const { return server_; }
+
+ private:
+  void server_enqueue(int client);
+  void server_grant_next();
+  void server_on_release();
+
+  void maybe_revoke();
+
+  int server_ = 0;
+  // Server-side state:
+  std::deque<int> q_;
+  bool busy_ = false;      // token lent out (or used by the server itself)
+  int current_ = kNoHolder;
+  bool revoke_sent_ = false;  // one REVOKE per grant
+  // Client-side state:
+  bool revoked_ = false;   // server signalled pending demand on our grant
+};
+
+}  // namespace gmx

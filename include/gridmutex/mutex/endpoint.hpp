@@ -1,0 +1,103 @@
+// MutexEndpoint: binds an algorithm instance participant to the network.
+//
+// One endpoint = one participant of one algorithm instance, living on one
+// grid node. It translates between instance ranks and grid NodeIds, attaches
+// to the network under the instance's ProtocolId, and exposes the user-facing
+// mutex API (request/release + callbacks).
+//
+// Observer decoupling: algorithms invoke MutexObserver upcalls synchronously
+// from deep inside protocol frames. The endpoint re-dispatches them to the
+// user's callbacks through a zero-delay simulator event, so user code (the
+// application driver, or the composition coordinator) never re-enters an
+// algorithm while one of its frames is on the stack.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "gridmutex/mutex/algorithm.hpp"
+#include "gridmutex/mutex/handle.hpp"
+#include "gridmutex/net/network.hpp"
+
+namespace gmx {
+
+class MutexEndpoint final : public MutexHandle,
+                            private MutexContext,
+                            private MutexObserver {
+ public:
+  /// `members[rank]` is the grid node of each participant; `self_rank`
+  /// selects which participant this endpoint embodies — it must live on
+  /// `members[self_rank]`. All endpoints of an instance share `protocol`.
+  MutexEndpoint(Network& net, ProtocolId protocol,
+                std::vector<NodeId> members, int self_rank,
+                std::unique_ptr<MutexAlgorithm> algorithm, Rng rng);
+  ~MutexEndpoint() override;
+
+  MutexEndpoint(const MutexEndpoint&) = delete;
+  MutexEndpoint& operator=(const MutexEndpoint&) = delete;
+
+  /// Forwards to MutexAlgorithm::init. Call on every endpoint of the
+  /// instance, with the same holder rank, before any request.
+  void init(int holder_rank) { algo_->init(holder_rank); }
+
+  void set_callbacks(MutexCallbacks cb) override {
+    callbacks_ = std::move(cb);
+  }
+
+  /// Asks for the critical section; on_granted fires when acquired.
+  void request_cs() override { algo_->request_cs(); }
+  /// Leaves the critical section.
+  void release_cs() override { algo_->release_cs(); }
+
+  [[nodiscard]] CsState state() const override { return algo_->state(); }
+  [[nodiscard]] bool in_cs() const override { return algo_->in_cs(); }
+  [[nodiscard]] bool holds_token() const override {
+    return algo_->holds_token();
+  }
+  [[nodiscard]] bool has_pending_requests() const override {
+    return algo_->has_pending_requests();
+  }
+
+  [[nodiscard]] MutexAlgorithm& algorithm() { return *algo_; }
+  [[nodiscard]] const MutexAlgorithm& algorithm() const { return *algo_; }
+
+  [[nodiscard]] NodeId node() const override {
+    return members_[std::size_t(rank_)];
+  }
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] ProtocolId protocol() const { return protocol_; }
+  [[nodiscard]] const std::vector<NodeId>& members() const { return members_; }
+
+  // MutexContext (exposed for white-box algorithm tests).
+  [[nodiscard]] int self() const override { return rank_; }
+  [[nodiscard]] int size() const override {
+    return int(members_.size());
+  }
+  [[nodiscard]] int cluster_of_rank(int rank) const override;
+
+ private:
+  // MutexContext
+  void send(int to_rank, std::uint16_t type,
+            std::span<const std::uint8_t> payload) override;
+  Rng& rng() override { return rng_; }
+  [[nodiscard]] SimTime now() const override;
+
+  // MutexObserver — deferred fan-out to user callbacks.
+  void on_cs_granted() override;
+  void on_pending_request() override;
+
+  void handle_message(const Message& msg);
+
+  Network& net_;
+  ProtocolId protocol_;
+  std::vector<NodeId> members_;
+  std::unordered_map<NodeId, int> rank_of_;
+  int rank_;
+  std::unique_ptr<MutexAlgorithm> algo_;
+  Rng rng_;
+  MutexCallbacks callbacks_;
+};
+
+}  // namespace gmx

@@ -1,0 +1,45 @@
+// MutexHandle: the substrate-independent face of one mutex participant.
+//
+// The composition coordinator (core/coordinator.hpp) drives two mutex
+// endpoints without caring whether they live on the deterministic
+// simulator (mutex/endpoint.hpp) or on the real-thread runtime
+// (rt/endpoint.hpp). This interface is exactly the surface it needs:
+// request/release, the callback hooks, and state snapshots.
+//
+// Threading note: on the simulator everything is single-threaded; on the
+// rt runtime a handle must only be driven from its node's serial queue
+// (which is where callbacks are delivered), so implementations need no
+// internal locking.
+#pragma once
+
+#include <functional>
+
+#include "gridmutex/mutex/algorithm.hpp"
+#include "gridmutex/net/topology.hpp"
+
+namespace gmx {
+
+struct MutexCallbacks {
+  /// Invoked when this endpoint's pending request is granted.
+  std::function<void()> on_granted;
+  /// Invoked when the underlying algorithm reports newly pending foreign
+  /// requests (see MutexObserver::on_pending_request). Optional.
+  std::function<void()> on_pending;
+};
+
+class MutexHandle {
+ public:
+  virtual ~MutexHandle() = default;
+
+  virtual void set_callbacks(MutexCallbacks cb) = 0;
+  virtual void request_cs() = 0;
+  virtual void release_cs() = 0;
+
+  [[nodiscard]] virtual CsState state() const = 0;
+  [[nodiscard]] virtual bool in_cs() const = 0;
+  [[nodiscard]] virtual bool holds_token() const = 0;
+  [[nodiscard]] virtual bool has_pending_requests() const = 0;
+  [[nodiscard]] virtual NodeId node() const = 0;
+};
+
+}  // namespace gmx

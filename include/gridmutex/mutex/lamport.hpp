@@ -1,0 +1,64 @@
+// Lamport's mutual exclusion algorithm (Lamport 1978; paper §1's first
+// permission-based citation).
+//
+// Every participant maintains a logical clock and a request queue ordered
+// by (timestamp, rank). To enter, broadcast REQUEST(ts) and wait until
+// (a) your request heads your local queue and (b) every peer has answered
+// with something later than ts (here: an explicit REPLY). RELEASE is
+// broadcast on exit and removes the entry everywhere. 3(N-1) messages per
+// CS — the historical baseline the later permission algorithms improve on.
+//
+// Requires FIFO channels (a RELEASE overtaking its REQUEST breaks the
+// queue discipline) — gridmutex networks are FIFO per pair by default.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gridmutex/mutex/algorithm.hpp"
+
+namespace gmx {
+
+class LamportMutex final : public MutexAlgorithm {
+ public:
+  enum MsgType : std::uint16_t {
+    kRequest = 1,  // payload: varint timestamp
+    kReply = 2,    // payload: varint timestamp
+    kRelease = 3,  // empty payload
+  };
+
+  void init(int holder_rank) override;
+  void request_cs() override;
+  void release_cs() override;
+  void on_message(int from_rank, std::uint16_t type,
+                  wire::Reader payload) override;
+
+  [[nodiscard]] bool has_pending_requests() const override;
+  [[nodiscard]] bool holds_token() const override { return in_cs(); }
+  [[nodiscard]] std::string_view name() const override { return "lamport"; }
+
+  [[nodiscard]] std::uint64_t clock() const { return clock_; }
+  /// Queue entries as (timestamp, rank), for white-box tests.
+  struct Entry {
+    std::uint64_t ts;
+    int rank;
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.ts != b.ts) return a.ts < b.ts;
+      return a.rank < b.rank;
+    }
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+  [[nodiscard]] const std::vector<Entry>& queue() const { return queue_; }
+
+ private:
+  void insert(Entry e);
+  void erase(int rank);
+  void maybe_enter();
+
+  std::uint64_t clock_ = 0;
+  std::uint64_t request_ts_ = 0;
+  std::vector<Entry> queue_;         // kept sorted
+  std::vector<std::uint64_t> acked_; // last REPLY ts per rank
+};
+
+}  // namespace gmx

@@ -1,0 +1,101 @@
+// Maekawa's √N quorum algorithm (Maekawa 1985; paper §1 and §5 — Chang et
+// al.'s hybrid uses it between groups).
+//
+// Every participant i owns a *quorum* R_i of ~2√N arbiters such that any
+// two quorums intersect (grid construction: i's row ∪ i's column of a
+// ⌈√N⌉-wide arrangement; the intersection property holds including the
+// ragged last row). To enter, i asks every arbiter in R_i for its LOCKED
+// vote; an arbiter grants one candidate at a time, so intersecting quorums
+// make two simultaneous full quorums impossible — mutual exclusion with
+// O(√N) messages per CS.
+//
+// Deadlock avoidance: requests carry Lamport timestamps. When an arbiter
+// holding a lock for candidate C queues a strictly *older* request, it
+// sends INQUIRE to C; C answers RELINQUISH if it has not yet entered the
+// CS (it keeps the lock and stays silent if it has — the arbiter is
+// answered by the eventual RELEASE). The timestamp total order guarantees
+// the globally oldest request collects its quorum.
+//
+// Composition extension (mirrors CentralServerMutex's REVOKE): an arbiter
+// that queues any request behind the current lock sends one DEMAND notice
+// to its candidate, so a coordinator sitting in the CS learns that the
+// grid wants the resource — pure notification, no protocol change.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "gridmutex/mutex/algorithm.hpp"
+
+namespace gmx {
+
+class MaekawaMutex final : public MutexAlgorithm {
+ public:
+  enum MsgType : std::uint16_t {
+    kRequest = 1,     // payload: varint timestamp
+    kLocked = 2,      // empty: arbiter's vote
+    kInquire = 3,     // empty: arbiter asks its candidate to step back
+    kRelinquish = 4,  // empty: candidate returns the vote
+    kRelease = 5,     // empty: candidate is done
+    kDemand = 6,      // empty: others are waiting (composition hook)
+  };
+
+  void init(int holder_rank) override;
+  void request_cs() override;
+  void release_cs() override;
+  void on_message(int from_rank, std::uint16_t type,
+                  wire::Reader payload) override;
+
+  [[nodiscard]] bool has_pending_requests() const override;
+  [[nodiscard]] bool holds_token() const override { return in_cs(); }
+  [[nodiscard]] std::string_view name() const override { return "maekawa"; }
+
+  /// This participant's quorum (sorted ranks, self included).
+  [[nodiscard]] const std::vector<int>& quorum() const { return quorum_; }
+  /// Votes currently held.
+  [[nodiscard]] std::size_t votes() const { return locked_from_.size(); }
+
+  /// Grid quorum of `rank` among `n` participants (exposed for tests).
+  static std::vector<int> grid_quorum(int rank, int n);
+
+ private:
+  struct Entry {
+    std::uint64_t ts;
+    int rank;
+    friend bool operator<(const Entry& a, const Entry& b) {
+      if (a.ts != b.ts) return a.ts < b.ts;
+      return a.rank < b.rank;
+    }
+  };
+
+  // Requester side --------------------------------------------------------
+  void ask(int arbiter);
+  void on_locked(int arbiter);
+  void on_inquire(int arbiter);
+  void on_demand();
+
+  // Arbiter side -----------------------------------------------------------
+  void arb_request(Entry e);
+  void arb_relinquish(int from);
+  void arb_release(int from);
+  void arb_grant(Entry e);
+  void arb_signal_demand();
+
+  // Local-delivery shims (self is always in its own quorum; no self-sends).
+  void send_or_local(int to, std::uint16_t type);
+
+  std::vector<int> quorum_;
+  std::uint64_t clock_ = 0;
+  std::uint64_t request_ts_ = 0;
+  std::set<int> locked_from_;
+  bool demanded_ = false;
+
+  std::optional<Entry> arb_current_;
+  std::vector<Entry> arb_queue_;  // sorted
+  bool arb_inquired_ = false;
+  bool arb_demanded_ = false;
+};
+
+}  // namespace gmx

@@ -1,0 +1,57 @@
+// Martin's ring token algorithm (paper §2.1; Martin 1985).
+//
+// Participants form a logical ring. Requests travel clockwise (to the
+// successor, rank+1 mod N); the token travels counter-clockwise (to the
+// predecessor). A request hops along the ring until it reaches the token
+// holder; the holder (when out of its CS) launches the token backwards, and
+// every participant the token crosses either consumes it (if requesting) or
+// relays it toward its predecessor.
+//
+// Optimization from §2.1: a participant that is itself requesting — or that
+// has already forwarded a request — absorbs further incoming requests: one
+// token traversal satisfies every request along its path. The boolean
+// `pass_to_pred_` encodes "when the token reaches me and I am done with it,
+// it must continue to my predecessor".
+//
+// Cost per CS: with x participants between requester and holder, (x+1)
+// request hops + (x+1) token hops — N messages on average, and both T_req
+// and T_token average (N/2)·T, which is what makes Martin attractive under
+// saturation (requests absorb) and poor under high parallelism (§4.3).
+#pragma once
+
+#include "gridmutex/mutex/algorithm.hpp"
+
+namespace gmx {
+
+class MartinMutex final : public MutexAlgorithm {
+ public:
+  enum MsgType : std::uint16_t {
+    kRequest = 1,  // empty payload: requests are anonymous on the ring
+    kToken = 2,    // empty payload
+  };
+
+  void init(int holder_rank) override;
+  void request_cs() override;
+  void release_cs() override;
+  void on_message(int from_rank, std::uint16_t type,
+                  wire::Reader payload) override;
+
+  [[nodiscard]] bool has_pending_requests() const override {
+    return pass_to_pred_;
+  }
+  [[nodiscard]] bool holds_token() const override { return has_token_; }
+  [[nodiscard]] std::string_view name() const override { return "martin"; }
+
+  [[nodiscard]] int successor() const;
+  [[nodiscard]] int predecessor() const;
+
+ private:
+  void handle_request();
+  void handle_token();
+  void forward_token_to_predecessor();
+
+  bool has_token_ = false;
+  bool pass_to_pred_ = false;  // a request passed through (or stopped) here
+};
+
+}  // namespace gmx

@@ -1,0 +1,73 @@
+// Mueller-style prioritized token mutex (related work, paper §5).
+//
+// Mueller (1998) extends Naimi-Tréhel with request priorities: the token is
+// granted to the highest-priority pending request rather than in request
+// order. gridmutex implements the idea with the same chase-the-token
+// structure as the Bertier baseline (mutex/bertier.hpp): pending requests
+// queue at the token holder and travel with the token; the holder grants
+//   1. the highest *effective* priority (base priority + aging credit),
+//   2. FIFO among equals.
+// Aging: every time a grant passes over a waiting request, that request
+// gains one priority point — so a low-priority request is granted after at
+// most (max_priority_gap) bypasses, which keeps the algorithm starvation-
+// free (Mueller's liveness argument).
+//
+// Applications set the priority of their *next* request with
+// set_priority(); composition layers and the generic workload leave it at
+// 0, in which case the algorithm degenerates to FIFO-at-holder.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gridmutex/mutex/algorithm.hpp"
+
+namespace gmx {
+
+class MuellerMutex final : public MutexAlgorithm {
+ public:
+  enum MsgType : std::uint16_t {
+    kRequest = 1,  // payload: varint requester, varint base priority
+    kToken = 2,    // payload: varint count, then per entry
+                   // (varint rank, varint base, varint age)
+  };
+
+  void init(int holder_rank) override;
+  void request_cs() override;
+  void release_cs() override;
+  void on_message(int from_rank, std::uint16_t type,
+                  wire::Reader payload) override;
+
+  [[nodiscard]] bool has_pending_requests() const override {
+    return has_token_ && !q_.empty();
+  }
+  [[nodiscard]] bool holds_token() const override { return has_token_; }
+  [[nodiscard]] std::string_view name() const override { return "mueller"; }
+
+  /// Base priority attached to this participant's next request_cs().
+  /// Higher wins. Sticky until changed.
+  void set_priority(int p) { my_priority_ = p; }
+  [[nodiscard]] int priority() const { return my_priority_; }
+
+  struct Pending {
+    std::uint32_t rank;
+    std::uint32_t base;
+    std::uint32_t age;  // bypass count
+    [[nodiscard]] std::uint64_t effective() const {
+      return std::uint64_t(base) + age;
+    }
+  };
+  [[nodiscard]] const std::vector<Pending>& queue() const { return q_; }
+  [[nodiscard]] int last() const { return last_; }
+
+ private:
+  void handle_request(std::uint32_t requester, std::uint32_t base);
+  void grant_from_queue();
+
+  int my_priority_ = 0;
+  int last_ = 0;
+  bool has_token_ = false;
+  std::vector<Pending> q_;  // holder-only; travels with the token
+};
+
+}  // namespace gmx

@@ -1,0 +1,55 @@
+// Naimi-Tréhel token algorithm (paper §2.2; Naimi, Tréhel, Arnold 1996).
+//
+// Two distributed structures:
+//  - the *last tree*: every participant keeps `last`, its best guess of the
+//    most recent requester (the tree root). Requests climb the tree via
+//    `last` pointers, and each hop performs path reversal (`last` := new
+//    requester), so the requester becomes the new root.
+//  - the *next queue*: `next` at participant i names who receives the token
+//    when i leaves its critical section, forming a distributed FIFO of
+//    unsatisfied requests.
+//
+// Message cost per CS averages O(log N); a request travels O(log N) hops,
+// the token exactly one.
+#pragma once
+
+#include <optional>
+
+#include "gridmutex/mutex/algorithm.hpp"
+
+namespace gmx {
+
+class NaimiTrehelMutex final : public MutexAlgorithm {
+ public:
+  /// Message kinds (wire `type` field).
+  enum MsgType : std::uint16_t {
+    kRequest = 1,  // payload: varint original-requester rank
+    kToken = 2,    // empty payload
+  };
+
+  void init(int holder_rank) override;
+  void request_cs() override;
+  void release_cs() override;
+  void on_message(int from_rank, std::uint16_t type,
+                  wire::Reader payload) override;
+
+  [[nodiscard]] bool has_pending_requests() const override {
+    return next_.has_value();
+  }
+  [[nodiscard]] bool holds_token() const override { return has_token_; }
+  [[nodiscard]] std::string_view name() const override { return "naimi"; }
+
+  /// White-box accessors for structural tests.
+  [[nodiscard]] int last() const { return last_; }
+  [[nodiscard]] std::optional<int> next() const { return next_; }
+
+ private:
+  void handle_request(int requester);
+  void handle_token();
+
+  int last_ = 0;                // probable owner; == self() when root
+  std::optional<int> next_;     // successor in the distributed queue
+  bool has_token_ = false;
+};
+
+}  // namespace gmx

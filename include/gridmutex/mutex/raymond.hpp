@@ -1,0 +1,53 @@
+// Raymond's tree token algorithm (Raymond 1989).
+//
+// Not one of the paper's three evaluated algorithms, but cited in its
+// related work (Housni et al. use it intra-group) and a natural extra
+// plug-in for the composition framework: a *static* spanning tree where
+// each participant only knows its neighbours, a `holder` pointer along the
+// edge toward the token, and a local FIFO of requests (its own + its
+// neighbours'). O(log N) messages per CS on a balanced tree.
+//
+// The tree here is the binary heap shape re-rooted at the initial holder:
+// parent(v) = (v-1)/2 on virtual indices v = (rank - holder) mod N.
+#pragma once
+
+#include <deque>
+
+#include "gridmutex/mutex/algorithm.hpp"
+
+namespace gmx {
+
+class RaymondMutex final : public MutexAlgorithm {
+ public:
+  enum MsgType : std::uint16_t {
+    kRequest = 1,  // empty payload: a request from a subtree is anonymous
+    kToken = 2,    // empty payload
+  };
+
+  void init(int holder_rank) override;
+  void request_cs() override;
+  void release_cs() override;
+  void on_message(int from_rank, std::uint16_t type,
+                  wire::Reader payload) override;
+
+  [[nodiscard]] bool has_pending_requests() const override;
+  [[nodiscard]] bool holds_token() const override {
+    return holder_ == ctx().self();
+  }
+  [[nodiscard]] std::string_view name() const override { return "raymond"; }
+
+  /// Tree neighbour toward the token (== self when holding it).
+  [[nodiscard]] int holder_dir() const { return holder_; }
+  [[nodiscard]] int tree_parent() const;  // kNoHolder when we are the root
+
+ private:
+  void assign_privilege();
+  void make_request();
+
+  int holder_ = 0;       // neighbour toward the token, or self
+  int root_ = 0;         // initial holder, fixes the tree shape
+  bool asked_ = false;   // a kRequest is already outstanding toward holder_
+  std::deque<int> q_;    // FIFO of requesting neighbours (or self)
+};
+
+}  // namespace gmx

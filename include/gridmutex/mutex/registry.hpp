@@ -1,0 +1,52 @@
+// Algorithm factory.
+//
+// The composition framework (and the experiment configs) select algorithms
+// by name — the paper's "Intra-Inter" notation ("Naimi-Martin" = Naimi
+// intra, Martin inter) maps onto two factory lookups.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gridmutex/mutex/algorithm.hpp"
+
+namespace gmx {
+
+using AlgorithmFactory = std::function<std::unique_ptr<MutexAlgorithm>()>;
+
+/// Creates an algorithm by name. Known names: "naimi", "martin", "suzuki",
+/// "raymond", "central", "ricart". Throws std::invalid_argument otherwise.
+[[nodiscard]] std::unique_ptr<MutexAlgorithm> make_algorithm(
+    std::string_view name);
+
+/// Factory handle for the same names (useful when one experiment
+/// instantiates many endpoints).
+[[nodiscard]] AlgorithmFactory algorithm_factory(std::string_view name);
+
+/// All registered algorithm names, in presentation order (the paper's three
+/// first).
+[[nodiscard]] const std::vector<std::string>& algorithm_names();
+
+/// True for algorithms that pass a token (init requires a holder);
+/// false for permission-based ones (init accepts kNoHolder).
+[[nodiscard]] bool is_token_based(std::string_view name);
+
+/// Human-readable name of a protocol message type, e.g.
+/// message_type_name("naimi", 2) == "TOKEN". Returns "type<N>" for unknown
+/// codes (trace output must never fail on a corrupt frame).
+[[nodiscard]] std::string message_type_name(std::string_view algorithm,
+                                            std::uint16_t type);
+
+/// Parses the paper's "Intra-Inter" composition notation, e.g.
+/// "naimi-martin" → {"naimi", "martin"}. Case-insensitive. Throws
+/// std::invalid_argument on malformed input or unknown algorithms.
+struct CompositionSpec {
+  std::string intra;
+  std::string inter;
+};
+[[nodiscard]] CompositionSpec parse_composition(std::string_view spec);
+
+}  // namespace gmx

@@ -1,0 +1,59 @@
+// Ricart-Agrawala permission-based mutex (Ricart & Agrawala 1981).
+//
+// The paper's taxonomy (§1) contrasts token-based algorithms with
+// permission-based ones; this implementation provides the latter as a
+// comparison baseline and as an extra composition plug-in (several related
+// hybrid schemes — Housni, Erciyes — use Ricart-Agrawala at one level).
+//
+// A requester stamps its request with a Lamport clock and broadcasts it;
+// it enters the CS after all N-1 peers reply. A peer replies immediately
+// unless it is in the CS, or requesting with an older (smaller) timestamp —
+// then it defers the reply until its own release. 2(N-1) messages per CS.
+//
+// Token-mapping notes for the composition layer: there is no token, so
+// init() accepts kNoHolder; `holds_token()` degenerates to in_cs(); the
+// deferred-reply set plays the pending-request role. Ties are broken by
+// rank, so giving a composition coordinator rank 0 lets it win the initial
+// all-equal-timestamp race deterministically (see core/composition.cpp).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gridmutex/mutex/algorithm.hpp"
+
+namespace gmx {
+
+class RicartAgrawalaMutex final : public MutexAlgorithm {
+ public:
+  enum MsgType : std::uint16_t {
+    kRequest = 1,  // payload: varint Lamport timestamp
+    kReply = 2,    // empty payload
+  };
+
+  void init(int holder_rank) override;
+  void request_cs() override;
+  void release_cs() override;
+  void on_message(int from_rank, std::uint16_t type,
+                  wire::Reader payload) override;
+
+  [[nodiscard]] bool has_pending_requests() const override {
+    return !deferred_.empty();
+  }
+  [[nodiscard]] bool holds_token() const override { return in_cs(); }
+  [[nodiscard]] std::string_view name() const override { return "ricart"; }
+
+  [[nodiscard]] std::uint64_t clock() const { return clock_; }
+  [[nodiscard]] int replies_missing() const { return replies_missing_; }
+
+ private:
+  /// True when (their_ts, their_rank) precedes our outstanding request.
+  [[nodiscard]] bool their_request_wins(std::uint64_t ts, int rank) const;
+
+  std::uint64_t clock_ = 0;
+  std::uint64_t request_ts_ = 0;  // valid while state()==kRequesting/kInCs
+  int replies_missing_ = 0;
+  std::vector<int> deferred_;     // peers awaiting our reply
+};
+
+}  // namespace gmx

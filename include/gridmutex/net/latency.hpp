@@ -1,0 +1,97 @@
+// Communication latency models.
+//
+// The paper's central premise is a *hierarchy of communication delays*:
+// LAN latency inside a cluster, per-pair WAN latency between clusters
+// (Fig. 3: Grid5000 average RTTs, asymmetric, 3–98 ms). `LatencyModel`
+// turns (src, dst) into a one-way delay sample; `MatrixLatencyModel`
+// carries a full cluster×cluster matrix and implements the Grid5000
+// substitution described in DESIGN.md §2.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "gridmutex/net/topology.hpp"
+#include "gridmutex/sim/random.hpp"
+#include "gridmutex/sim/time.hpp"
+
+namespace gmx {
+
+class LatencyModel {
+ public:
+  virtual ~LatencyModel() = default;
+
+  /// One-way delay for a message src→dst. `rng` supplies jitter; a model
+  /// may ignore it. Must return a strictly positive duration.
+  [[nodiscard]] virtual SimDuration sample(const Topology& topo, NodeId src,
+                                           NodeId dst, Rng& rng) const = 0;
+
+  /// Mean one-way delay src→dst (no jitter). Used for reporting and for
+  /// analytic expectations in tests.
+  [[nodiscard]] virtual SimDuration mean(const Topology& topo, NodeId src,
+                                         NodeId dst) const = 0;
+};
+
+/// Constant delay for every pair; the workhorse of unit tests where message
+/// counts and exact timings are asserted.
+class FixedLatencyModel final : public LatencyModel {
+ public:
+  explicit FixedLatencyModel(SimDuration delay) : delay_(delay) {}
+
+  [[nodiscard]] SimDuration sample(const Topology&, NodeId, NodeId,
+                                   Rng&) const override {
+    return delay_;
+  }
+  [[nodiscard]] SimDuration mean(const Topology&, NodeId,
+                                 NodeId) const override {
+    return delay_;
+  }
+
+ private:
+  SimDuration delay_;
+};
+
+/// Per-cluster-pair mean one-way delays with multiplicative uniform jitter
+/// in [1-j, 1+j]. Diagonal entries are the intra-cluster (LAN) delays.
+class MatrixLatencyModel final : public LatencyModel {
+ public:
+  /// `one_way_ms` is a row-major cluster_count×cluster_count matrix of mean
+  /// one-way delays in milliseconds.
+  MatrixLatencyModel(std::vector<double> one_way_ms,
+                     std::uint32_t cluster_count, double jitter_fraction);
+
+  /// The paper's Fig. 3 matrix (average RTT, ms). One-way = RTT/2. The
+  /// default 5% jitter approximates WAN variance; pass 0 for deterministic
+  /// delays.
+  static MatrixLatencyModel grid5000(double jitter_fraction = 0.05);
+
+  /// Two-level synthetic grid: `intra` one-way delay inside any cluster,
+  /// `inter` between any two distinct clusters. Used by scalability sweeps
+  /// where cluster count varies.
+  static MatrixLatencyModel two_level(std::uint32_t cluster_count,
+                                      SimDuration intra, SimDuration inter,
+                                      double jitter_fraction = 0.0);
+
+  [[nodiscard]] SimDuration sample(const Topology& topo, NodeId src,
+                                   NodeId dst, Rng& rng) const override;
+  [[nodiscard]] SimDuration mean(const Topology& topo, NodeId src,
+                                 NodeId dst) const override;
+
+  [[nodiscard]] std::uint32_t cluster_count() const { return clusters_; }
+  /// Mean one-way delay between clusters, in ms (matrix cell).
+  [[nodiscard]] double one_way_ms(ClusterId from, ClusterId to) const;
+  [[nodiscard]] double jitter_fraction() const { return jitter_; }
+
+ private:
+  std::vector<double> ms_;  // row-major, one-way means
+  std::uint32_t clusters_;
+  double jitter_;
+};
+
+/// The raw Fig. 3 data: average RTT in milliseconds, row = from-site,
+/// column = to-site, in `grid5000_site_names()` order.
+std::span<const double> grid5000_rtt_ms();
+
+}  // namespace gmx

@@ -1,0 +1,145 @@
+// Message transport over the simulated grid.
+//
+// Models the paper's implementation substrate (C processes exchanging UDP
+// datagrams) on top of the DES kernel: point-to-point datagrams, per-pair
+// latency drawn from a LatencyModel, optional loss/duplication/reordering
+// injection for robustness tests. Delivery is FIFO per (src,dst) pair by
+// default — on a single WAN path UDP datagrams rarely reorder, and the
+// classical algorithm descriptions assume channel FIFO-ness; tests flip it
+// off to probe tolerance.
+//
+// Several protocol instances share the network (each cluster's intra
+// algorithm, the inter algorithm, application chatter). A message carries a
+// `protocol` id; the network dispatches to the handler registered for
+// (dst node, protocol).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "gridmutex/net/latency.hpp"
+#include "gridmutex/net/topology.hpp"
+#include "gridmutex/sim/random.hpp"
+#include "gridmutex/sim/simulator.hpp"
+
+namespace gmx {
+
+/// Identifies a protocol instance (one algorithm instance = one id).
+using ProtocolId = std::uint32_t;
+
+struct Message {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  ProtocolId protocol = 0;
+  std::uint16_t type = 0;  // per-protocol message kind
+  std::vector<std::uint8_t> payload;
+
+  /// Emulated datagram application header: protocol id (4) + type (2) +
+  /// length (2). IP/UDP framing is excluded — the paper counts messages and
+  /// we additionally count protocol bytes, not kernel overhead.
+  static constexpr std::size_t kHeaderBytes = 8;
+  [[nodiscard]] std::size_t wire_size() const {
+    return payload.size() + kHeaderBytes;
+  }
+};
+
+/// Aggregate traffic counters. `inter_cluster`/`intra_cluster` partition
+/// *sent* messages by whether src and dst live in different clusters —
+/// the paper's Fig. 4(b) metric.
+struct MessageCounters {
+  std::uint64_t sent = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t intra_cluster = 0;
+  std::uint64_t inter_cluster = 0;
+  std::uint64_t bytes_total = 0;
+  std::uint64_t bytes_inter = 0;
+
+  MessageCounters& operator-=(const MessageCounters& o);
+  friend MessageCounters operator-(MessageCounters a,
+                                   const MessageCounters& b) {
+    a -= b;
+    return a;
+  }
+};
+
+class Network {
+ public:
+  using Handler = std::function<void(const Message&)>;
+  /// (message, send time, delivery time) — invoked on every delivery when a
+  /// tracer is installed.
+  using Tracer = std::function<void(const Message&, SimTime, SimTime)>;
+
+  Network(Simulator& sim, Topology topo,
+          std::shared_ptr<const LatencyModel> latency, Rng rng);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] const Topology& topology() const { return topo_; }
+  [[nodiscard]] Simulator& simulator() { return sim_; }
+  [[nodiscard]] const LatencyModel& latency() const { return *latency_; }
+
+  /// Registers the receive handler for (node, protocol). At most one
+  /// handler per pair; re-registration replaces (supports adaptive
+  /// algorithm swapping).
+  void attach(NodeId node, ProtocolId protocol, Handler handler);
+  void detach(NodeId node, ProtocolId protocol);
+
+  /// Sends a datagram. Self-sends are rejected (protocol bugs); loopback
+  /// optimization belongs in the caller, as it did in the paper's C code.
+  void send(Message msg);
+
+  /// Fault/ordering knobs (tests and robustness studies).
+  void set_fifo_per_pair(bool on) { fifo_ = on; }
+  void set_drop_probability(double p);
+  void set_duplicate_probability(double p);
+  /// Extra uniform [0,d) delay added per message when non-FIFO reordering
+  /// experiments need wider delivery races.
+  void set_reorder_spread(SimDuration d) { reorder_spread_ = d; }
+
+  void set_tracer(Tracer t) { tracer_ = std::move(t); }
+
+  [[nodiscard]] const MessageCounters& counters() const { return counters_; }
+  /// Per-protocol sent-message counts (diagnostics, §4.6 analyses).
+  [[nodiscard]] std::uint64_t sent_by_protocol(ProtocolId p) const;
+
+  /// Messages currently in flight (scheduled, not yet delivered).
+  [[nodiscard]] std::uint64_t in_flight() const { return in_flight_; }
+  /// In-flight messages of one protocol (quiescence checks during adaptive
+  /// reconfiguration).
+  [[nodiscard]] std::uint64_t in_flight_for(ProtocolId p) const;
+
+ private:
+  void deliver(Message msg, SimTime sent_at);
+  SimTime departure_to_delivery(const Message& msg);
+
+  Simulator& sim_;
+  Topology topo_;
+  std::shared_ptr<const LatencyModel> latency_;
+  Rng rng_;
+
+  // handler lookup: node → (protocol → handler)
+  std::vector<std::unordered_map<ProtocolId, Handler>> handlers_;
+
+  // FIFO clamp: last scheduled delivery per (src,dst)
+  std::unordered_map<std::uint64_t, SimTime> last_delivery_;
+
+  MessageCounters counters_;
+  std::unordered_map<ProtocolId, std::uint64_t> sent_by_protocol_;
+  std::unordered_map<ProtocolId, std::uint64_t> in_flight_by_protocol_;
+  std::uint64_t in_flight_ = 0;
+
+  bool fifo_ = true;
+  double drop_p_ = 0.0;
+  double dup_p_ = 0.0;
+  SimDuration reorder_spread_ = SimDuration::ns(0);
+  Tracer tracer_;
+};
+
+}  // namespace gmx

@@ -1,0 +1,63 @@
+// Grid topology: nodes grouped into clusters.
+//
+// Mirrors the paper's platform model (§1, §4.1): a federation of clusters,
+// LAN inside a cluster, WAN between clusters. A `Topology` is a static
+// partition of node ids [0, N) into clusters; latency semantics live in
+// LatencyModel, message delivery in Network.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gmx {
+
+using NodeId = std::uint32_t;
+using ClusterId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = UINT32_MAX;
+
+class Topology {
+ public:
+  /// `cluster_count` clusters of `nodes_per_cluster` nodes each.
+  static Topology uniform(std::uint32_t cluster_count,
+                          std::uint32_t nodes_per_cluster);
+
+  /// Heterogeneous cluster sizes; names optional (empty → "c<i>").
+  static Topology from_sizes(std::span<const std::uint32_t> sizes,
+                             std::vector<std::string> names = {});
+
+  /// The paper's testbed shape: 9 clusters × 20 nodes, Grid5000 site names
+  /// in the order of Fig. 3's latency matrix.
+  static Topology grid5000(std::uint32_t nodes_per_cluster = 20);
+
+  [[nodiscard]] std::uint32_t node_count() const { return node_count_; }
+  [[nodiscard]] std::uint32_t cluster_count() const {
+    return std::uint32_t(first_node_.size());
+  }
+
+  [[nodiscard]] ClusterId cluster_of(NodeId node) const;
+  [[nodiscard]] std::uint32_t cluster_size(ClusterId c) const;
+  /// Nodes of a cluster are a contiguous id range [first, first+size).
+  [[nodiscard]] NodeId first_node_of(ClusterId c) const;
+  [[nodiscard]] std::vector<NodeId> nodes_of(ClusterId c) const;
+  [[nodiscard]] const std::string& cluster_name(ClusterId c) const;
+
+  [[nodiscard]] bool same_cluster(NodeId a, NodeId b) const {
+    return cluster_of(a) == cluster_of(b);
+  }
+
+ private:
+  Topology() = default;
+
+  std::vector<NodeId> first_node_;        // per cluster
+  std::vector<ClusterId> cluster_of_;     // per node
+  std::vector<std::string> names_;        // per cluster
+  std::uint32_t node_count_ = 0;
+};
+
+/// The nine Grid5000 site names, in the row/column order of paper Fig. 3.
+std::span<const std::string_view> grid5000_site_names();
+
+}  // namespace gmx

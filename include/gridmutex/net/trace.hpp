@@ -1,0 +1,41 @@
+// Human-readable message tracing.
+//
+// Install on a Network to log every delivery: time, endpoints (with cluster
+// names), protocol, type, payload size, transit latency. Used by examples
+// and when debugging protocol interleavings; not active in benchmarks.
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+
+#include "gridmutex/net/network.hpp"
+
+namespace gmx {
+
+class TraceSink {
+ public:
+  /// Maps (protocol, type) to a label, e.g. "naimi.REQUEST". Optional.
+  using Labeler =
+      std::function<std::string(ProtocolId, std::uint16_t)>;
+
+  explicit TraceSink(std::ostream& out, Labeler labeler = {});
+
+  /// Installs this sink on the network. The sink must outlive the network's
+  /// use of it.
+  void install(Network& net);
+
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] std::uint64_t lines_written() const { return lines_; }
+
+ private:
+  void write(const Network& net, const Message& msg, SimTime sent,
+             SimTime recv);
+
+  std::ostream& out_;
+  Labeler labeler_;
+  bool enabled_ = true;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace gmx

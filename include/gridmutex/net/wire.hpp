@@ -1,0 +1,96 @@
+// Byte-level message codec.
+//
+// Every protocol message in gridmutex is serialized to bytes before it
+// enters the network, exactly as the paper's C/UDP implementation put
+// structs on the wire. This keeps per-message sizes honest — e.g. the
+// Suzuki-Kasami token carries a queue plus an N-entry array, and §4.7 of the
+// paper argues from that O(N) payload. The network layer accounts bytes from
+// these encodings.
+//
+// Encoding: little-endian fixed-width integers plus LEB128-style varints for
+// counts and ranks. Decoding is bounds-checked; malformed input throws
+// WireError (protocol bugs must fail loudly in simulation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gmx::wire {
+
+class WireError : public std::runtime_error {
+ public:
+  explicit WireError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Append-only byte sink.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(std::uint64_t(v)); }
+  void f64(double v);
+
+  /// Unsigned LEB128. 1 byte for values < 128 — ranks and small counts,
+  /// which dominate our messages.
+  void varint(std::uint64_t v);
+
+  /// varint length prefix followed by raw bytes.
+  void bytes(std::span<const std::uint8_t> data);
+  void str(std::string_view s);
+
+  /// varint count followed by each element as a varint.
+  void varint_array(std::span<const std::uint64_t> values);
+  void varint_array(std::span<const std::uint32_t> values);
+
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  [[nodiscard]] std::span<const std::uint8_t> view() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked byte source.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return std::int64_t(u64()); }
+  double f64();
+
+  std::uint64_t varint();
+
+  std::vector<std::uint8_t> bytes();
+  std::string str();
+
+  std::vector<std::uint64_t> varint_array_u64();
+  std::vector<std::uint32_t> varint_array_u32();
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool at_end() const { return remaining() == 0; }
+
+  /// Throws unless the payload was fully consumed — catches messages with
+  /// trailing garbage (usually an encoder/decoder version mismatch).
+  void expect_end() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gmx::wire

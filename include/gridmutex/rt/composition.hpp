@@ -1,0 +1,72 @@
+// Two-level composition on the real-thread runtime — the rt/ counterpart
+// of core/composition.hpp.
+//
+// Structure is identical (coordinator = first node of each cluster, intra
+// instances per cluster, one inter instance over coordinators, the same
+// Coordinator automaton via MutexHandle), but every participant runs on
+// its own OS thread with wall-clock emulated latencies. Because the
+// coordinator's two endpoints share a node, all automaton transitions run
+// on that node's serial queue — the same single-threaded discipline the
+// simulator provides, now enforced by the runtime.
+//
+// Validation-only, like the rest of rt/: the simulator remains the
+// measurement substrate.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridmutex/core/coordinator.hpp"
+#include "gridmutex/mutex/registry.hpp"
+#include "gridmutex/rt/endpoint.hpp"
+
+namespace gmx::rt {
+
+class RtComposition {
+ public:
+  struct Config {
+    std::string intra_algorithm = "naimi";
+    std::string inter_algorithm = "naimi";
+    ClusterId initial_cluster = 0;
+    ProtocolId protocol_base = 1;
+    std::uint64_t seed = 1;
+  };
+
+  /// The runtime's topology must have >= 2 nodes per cluster (coordinator
+  /// slot first, as in core/composition.hpp).
+  RtComposition(RtRuntime& rt, Config cfg);
+
+  RtComposition(const RtComposition&) = delete;
+  RtComposition& operator=(const RtComposition&) = delete;
+
+  /// Initializes every instance, waits for the runtime to settle, then
+  /// starts all coordinators (each on its own node's queue). Blocks until
+  /// the coordinators are in service or `timeout` expires; returns false
+  /// on timeout.
+  bool start(std::chrono::milliseconds timeout);
+
+  [[nodiscard]] const std::vector<NodeId>& app_nodes() const {
+    return app_nodes_;
+  }
+  [[nodiscard]] RtMutexEndpoint& app_mutex(NodeId node);
+  [[nodiscard]] Coordinator& coordinator(ClusterId c) {
+    return *coordinators_[c];
+  }
+  [[nodiscard]] std::uint32_t cluster_count() const {
+    return std::uint32_t(coordinators_.size());
+  }
+  /// Quiescent-only snapshot.
+  [[nodiscard]] int privileged_coordinators() const;
+
+ private:
+  RtRuntime& rt_;
+  Config cfg_;
+  std::vector<std::vector<std::unique_ptr<RtMutexEndpoint>>> intra_;
+  std::vector<std::unique_ptr<RtMutexEndpoint>> inter_;
+  std::vector<std::unique_ptr<Coordinator>> coordinators_;
+  std::vector<NodeId> app_nodes_;
+  std::vector<int> app_endpoint_of_node_;
+};
+
+}  // namespace gmx::rt

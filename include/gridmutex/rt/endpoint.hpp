@@ -1,0 +1,87 @@
+// RtMutexEndpoint: binds a MutexAlgorithm participant to the real-time
+// runtime — the rt/ counterpart of mutex/endpoint.hpp.
+//
+// Threading contract: the algorithm instance is touched exclusively on its
+// node's serial queue. Public entry points (init/request_cs/release_cs)
+// post there; observer upcalls re-dispatch the user callbacks through the
+// same queue, so user code never re-enters an algorithm frame. State
+// accessors (in_cs(), holds_token(), ...) are snapshots — safe to call
+// from other threads only when the runtime is quiescent.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "gridmutex/mutex/algorithm.hpp"
+#include "gridmutex/mutex/handle.hpp"
+#include "gridmutex/rt/runtime.hpp"
+
+namespace gmx::rt {
+
+class RtMutexEndpoint final : public MutexHandle,
+                              private MutexContext,
+                              private MutexObserver {
+ public:
+  RtMutexEndpoint(RtRuntime& rt, ProtocolId protocol,
+                  std::vector<NodeId> members, int self_rank,
+                  std::unique_ptr<MutexAlgorithm> algorithm, Rng rng);
+
+  RtMutexEndpoint(const RtMutexEndpoint&) = delete;
+  RtMutexEndpoint& operator=(const RtMutexEndpoint&) = delete;
+
+  void set_callbacks(MutexCallbacks cb) override {
+    callbacks_ = std::move(cb);
+  }
+
+  /// Asynchronous: posts to the node thread. Call init on every endpoint
+  /// and wait_quiescent before the first request.
+  void init(int holder_rank);
+  void request_cs() override;
+  void release_cs() override;
+
+  [[nodiscard]] NodeId node() const override {
+    return members_[std::size_t(rank_)];
+  }
+  [[nodiscard]] int rank() const { return rank_; }
+  /// Snapshots: exact on the owning node thread (where callbacks run) or
+  /// at quiescence; racy-but-atomic reads otherwise.
+  [[nodiscard]] CsState state() const override { return algo_->state(); }
+  [[nodiscard]] bool in_cs() const override { return algo_->in_cs(); }
+  [[nodiscard]] bool holds_token() const override {
+    return algo_->holds_token();
+  }
+  [[nodiscard]] bool has_pending_requests() const override {
+    return algo_->has_pending_requests();
+  }
+  [[nodiscard]] const MutexAlgorithm& algorithm() const { return *algo_; }
+
+ private:
+  // MutexContext
+  [[nodiscard]] int self() const override { return rank_; }
+  [[nodiscard]] int size() const override { return int(members_.size()); }
+  [[nodiscard]] int cluster_of_rank(int rank) const override;
+  void send(int to_rank, std::uint16_t type,
+            std::span<const std::uint8_t> payload) override;
+  Rng& rng() override { return rng_; }
+  [[nodiscard]] SimTime now() const override;
+
+  // MutexObserver
+  void on_cs_granted() override;
+  void on_pending_request() override;
+
+  void handle_message(const Message& msg);
+
+  RtRuntime& rt_;
+  ProtocolId protocol_;
+  std::vector<NodeId> members_;
+  std::unordered_map<NodeId, int> rank_of_;
+  int rank_;
+  std::unique_ptr<MutexAlgorithm> algo_;
+  Rng rng_;
+  MutexCallbacks callbacks_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace gmx::rt

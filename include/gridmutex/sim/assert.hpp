@@ -1,0 +1,28 @@
+// Lightweight contract checking for gridmutex.
+//
+// GMX_ASSERT is active in all build types: simulation correctness (token
+// uniqueness, automaton legality) must not silently degrade in Release, and
+// the checks are cheap relative to event dispatch.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gmx::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "gridmutex assertion failed: %s\n  at %s:%d\n  %s\n",
+               expr, file, line, msg != nullptr ? msg : "");
+  std::abort();
+}
+
+}  // namespace gmx::detail
+
+#define GMX_ASSERT(expr)                                              \
+  ((expr) ? static_cast<void>(0)                                      \
+          : ::gmx::detail::assert_fail(#expr, __FILE__, __LINE__, nullptr))
+
+#define GMX_ASSERT_MSG(expr, msg)                                     \
+  ((expr) ? static_cast<void>(0)                                      \
+          : ::gmx::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)))

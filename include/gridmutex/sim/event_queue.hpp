@@ -1,0 +1,86 @@
+// Pending-event set of the discrete-event kernel.
+//
+// A binary min-heap ordered by (time, sequence). The sequence number makes
+// the ordering a strict total order: two events scheduled for the same
+// instant fire in scheduling order, which keeps every simulation run
+// bit-for-bit deterministic for a given (configuration, seed) pair.
+//
+// Cancellation is lazy: `cancel()` marks the id and the heap drops the entry
+// when it surfaces. Timers are rare next to message deliveries, so the
+// tombstone set stays small.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "gridmutex/sim/time.hpp"
+
+namespace gmx {
+
+/// Identifies a scheduled event; valid until the event fires or is cancelled.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `fn` at absolute time `t`. Returns a handle usable with
+  /// `cancel()`.
+  EventId push(SimTime t, Callback fn);
+
+  /// Cancels a pending event. Returns false if the event already fired,
+  /// was already cancelled, or the id was never issued.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) event remains.
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  /// Number of live events.
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event. Precondition: !empty().
+  [[nodiscard]] SimTime next_time();
+
+  /// Extracts the earliest live event. Precondition: !empty().
+  struct Entry {
+    SimTime time;
+    EventId id;
+    Callback fn;
+  };
+  Entry pop();
+
+  /// Drops every pending event (cancelled ids are forgotten too).
+  void clear();
+
+  /// Total events ever pushed; monotone, survives clear(). Used by tests
+  /// and by the micro-benchmarks.
+  [[nodiscard]] std::uint64_t total_pushed() const { return next_id_ - 1; }
+
+ private:
+  struct HeapItem {
+    SimTime time;
+    EventId id;  // doubles as the tie-break sequence: ids grow monotonically
+    Callback fn;
+  };
+  static bool later(const HeapItem& a, const HeapItem& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.id > b.id;
+  }
+
+  void drop_cancelled_top();
+
+  std::vector<HeapItem> heap_;
+  std::unordered_set<EventId> cancelled_;
+  std::size_t live_ = 0;
+  EventId next_id_ = 1;  // 0 is kInvalidEventId
+};
+
+}  // namespace gmx

@@ -1,0 +1,62 @@
+// Deterministic pseudo-randomness for simulations.
+//
+// xoshiro256** seeded through splitmix64. We deliberately avoid
+// <random>'s engines-with-distributions: libstdc++ does not guarantee
+// identical distribution output across versions, and reproducibility of a
+// run from (config, seed) is a design requirement. All distribution
+// transforms are implemented here, in-repo, and pinned by unit tests.
+#pragma once
+
+#include <cstdint>
+
+#include "gridmutex/sim/time.hpp"
+
+namespace gmx {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  /// Uniform 64-bit draw (xoshiro256**).
+  std::uint64_t next_u64();
+
+  /// UniformRandomBitGenerator interface, so <algorithm> shuffles work.
+  std::uint64_t operator()() { return next_u64(); }
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ull; }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double next_double();
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  /// Precondition: bound > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Exponentially distributed value with the given mean (rate 1/mean).
+  /// Used for application think times (paper §4.1: β is a *mean* interval).
+  double exponential(double mean);
+
+  /// Exponentially distributed duration with the given mean.
+  SimDuration exponential(SimDuration mean);
+
+  /// Bernoulli draw.
+  bool chance(double p);
+
+  /// Derives an independent child generator; stable under reordering of
+  /// sibling derivations (each child is keyed by `stream`).
+  [[nodiscard]] Rng fork(std::uint64_t stream) const;
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;  // retained for fork()
+};
+
+}  // namespace gmx

@@ -1,0 +1,75 @@
+// Discrete-event simulation driver.
+//
+// The simulator owns the virtual clock and the pending-event set. Everything
+// in gridmutex — message deliveries, protocol timers, application think
+// times — is an event: a closure scheduled at an absolute simulated time.
+// `run()` repeatedly pops the earliest event, advances the clock to it, and
+// invokes it, until the event set drains or a stop condition triggers.
+//
+// Single-threaded by design: determinism is a core requirement (DESIGN.md
+// §5.4). Parallelism in this codebase happens *across* simulations (see
+// workload/runner.hpp), never inside one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "gridmutex/sim/event_queue.hpp"
+#include "gridmutex/sim/time.hpp"
+
+namespace gmx {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time. Monotonically non-decreasing.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t`, which must not be in the past.
+  EventId schedule_at(SimTime t, std::function<void()> fn);
+
+  /// Schedules `fn` after a non-negative delay from now.
+  EventId schedule_after(SimDuration d, std::function<void()> fn);
+
+  /// Cancels a pending event; returns false if it already fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+
+  /// Runs until the event set drains or `stop()` is called.
+  void run();
+
+  /// Runs events with time <= `deadline`. The clock ends at
+  /// min(deadline, time of last event) — it does not jump to the deadline
+  /// if the queue drains early. Returns true if the queue drained.
+  bool run_until(SimTime deadline);
+
+  /// Processes at most `n` events; returns how many actually ran.
+  std::size_t run_steps(std::size_t n);
+
+  /// Requests that the current run() loop return after the in-flight event.
+  void stop() { stop_requested_ = true; }
+
+  /// True when no live events remain.
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+  [[nodiscard]] std::uint64_t events_processed() const { return processed_; }
+
+  /// Hard cap on events per run; trips an assertion when exceeded. Guards
+  /// tests against livelock bugs (e.g. two nodes ping-ponging a message).
+  void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
+
+ private:
+  bool step();  // returns false when nothing ran
+
+  EventQueue queue_;
+  SimTime now_;
+  std::uint64_t processed_ = 0;
+  std::uint64_t event_limit_ = std::numeric_limits<std::uint64_t>::max();
+  bool stop_requested_ = false;
+};
+
+}  // namespace gmx

@@ -1,0 +1,93 @@
+// Statistics accumulators for simulation metrics.
+//
+// The paper reports, per experiment: the mean *obtaining time*, its standard
+// deviation σ (Fig. 5a), and the relative deviation σ/mean (Fig. 5b). These
+// are computed with Welford's online algorithm, numerically stable over the
+// ~18 000 samples a full run produces. A fixed-resolution histogram backs
+// percentile queries used by the extended analyses.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "gridmutex/sim/time.hpp"
+
+namespace gmx {
+
+/// Online mean/variance/min/max (Welford). Population variance, matching
+/// the paper's σ over the full set of measured critical sections.
+class OnlineStats {
+ public:
+  void add(double x);
+  void merge(const OnlineStats& other);
+  void reset();
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;         // population
+  [[nodiscard]] double sample_variance() const;  // Bessel-corrected
+  [[nodiscard]] double stddev() const;
+  /// σ/mean — the paper's "relative deviation σᵣ" (§4.5). 0 when mean==0.
+  [[nodiscard]] double relative_stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return mean() * double(n_); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Convenience wrapper recording durations in milliseconds.
+class DurationStats {
+ public:
+  void add(SimDuration d) { s_.add(d.as_ms()); }
+  void merge(const DurationStats& o) { s_.merge(o.s_); }
+  void reset() { s_.reset(); }
+
+  [[nodiscard]] std::uint64_t count() const { return s_.count(); }
+  [[nodiscard]] double mean_ms() const { return s_.mean(); }
+  [[nodiscard]] double stddev_ms() const { return s_.stddev(); }
+  [[nodiscard]] double relative_stddev() const { return s_.relative_stddev(); }
+  [[nodiscard]] double min_ms() const { return s_.min(); }
+  [[nodiscard]] double max_ms() const { return s_.max(); }
+  [[nodiscard]] const OnlineStats& raw() const { return s_; }
+
+ private:
+  OnlineStats s_;
+};
+
+/// Fixed-width-bucket histogram over [0, limit); overflow values land in a
+/// dedicated tail bucket. Percentiles are linearly interpolated within a
+/// bucket.
+class Histogram {
+ public:
+  /// `buckets` uniform buckets spanning [0, limit).
+  Histogram(double limit, std::size_t buckets);
+
+  void add(double x);
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return total_; }
+  [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
+
+  /// q in [0, 1]. Returns an interpolated value; values in the overflow
+  /// bucket report the limit. Precondition: count() > 0.
+  [[nodiscard]] double percentile(double q) const;
+
+  /// Multi-line ASCII rendering (used by examples and debug dumps).
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double limit_;
+  double bucket_width_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace gmx

@@ -1,0 +1,81 @@
+// Application process driver (paper §4.1).
+//
+// Each application process loops `cs_count` times:
+//   think (exponential, mean β = ρ·α) → request CS → [obtaining time] →
+//   hold CS for α → release.
+// α defaults to the paper's 10 ms; ρ = β/α parameterizes the degree of
+// parallelism (low ρ = heavy contention). The *obtaining time* — request to
+// grant — is the paper's primary metric and is recorded per CS into a
+// shared collector.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "gridmutex/mutex/endpoint.hpp"
+#include "gridmutex/sim/random.hpp"
+#include "gridmutex/sim/simulator.hpp"
+#include "gridmutex/sim/stats.hpp"
+#include "gridmutex/workload/safety_monitor.hpp"
+
+namespace gmx {
+
+struct WorkloadParams {
+  /// Critical section duration α (paper: 10 ms, "the same order of
+  /// magnitude as a data packet hop time between two clusters").
+  SimDuration alpha = SimDuration::ms(10);
+  /// ρ = β/α: mean think time in units of α. The paper's regimes, with
+  /// N = 180 processes: low ρ≤N, intermediate N<ρ≤3N, high ρ≥3N.
+  double rho = 180.0;
+  /// Critical sections per process (paper: 100).
+  int cs_count = 100;
+  /// Exponential think times by default; fixed for deterministic tests.
+  bool exponential_think = true;
+
+  [[nodiscard]] SimDuration beta() const { return alpha * rho; }
+};
+
+/// Grant-order and obtaining-time sink shared by all processes of a run.
+struct WorkloadMetrics {
+  DurationStats obtaining;
+  Histogram obtaining_hist{10'000.0, 200};  // ms buckets, 0..10s
+  std::uint64_t completed_cs = 0;
+};
+
+class AppProcess {
+ public:
+  AppProcess(Simulator& sim, MutexEndpoint& mutex, WorkloadParams params,
+             Rng rng, WorkloadMetrics& metrics, SafetyMonitor& safety);
+
+  AppProcess(const AppProcess&) = delete;
+  AppProcess& operator=(const AppProcess&) = delete;
+
+  /// Schedules the first request (after one think interval).
+  void start();
+
+  [[nodiscard]] bool done() const { return remaining_ == 0 && !active_; }
+  [[nodiscard]] int completed() const {
+    return params_.cs_count - remaining_ - (active_ ? 1 : 0);
+  }
+  /// Invoked when this process finishes its last CS. Optional.
+  std::function<void()> on_done;
+
+ private:
+  void think_then_request();
+  void on_granted();
+  void release_and_continue();
+  [[nodiscard]] SimDuration think_time();
+
+  Simulator& sim_;
+  MutexEndpoint& mutex_;
+  WorkloadParams params_;
+  Rng rng_;
+  WorkloadMetrics& metrics_;
+  SafetyMonitor& safety_;
+
+  int remaining_;
+  bool active_ = false;  // between request and release
+  SimTime requested_at_;
+};
+
+}  // namespace gmx

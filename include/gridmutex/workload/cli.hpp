@@ -1,0 +1,59 @@
+// Command-line front end for the experiment runner (tools/gridmutex_cli).
+//
+// Parsing is a pure function over argv so it is unit-testable; the binary
+// in tools/ is a thin shell around parse_cli() + run_sweep() + reporting.
+//
+// Grammar (all optional unless noted):
+//   --composition <intra>-<inter>   e.g. --composition naimi-martin
+//   --flat <algorithm>              another series over the same sweep
+//   --multilevel <a0xa1x...>        hierarchy arity bottom-up, e.g. 4x3x3;
+//                                   requires --algorithms and --delays
+//   --algorithms <list>             one per level, e.g. naimi,naimi,martin
+//   --delays <ms list>              one per level, e.g. 0.5,5,40
+//   --clusters <n>      default 9
+//   --apps <n>          per cluster, default 20
+//   --rho <list>        comma-separated, default "45,90,180,540,1080"
+//   --cs <n>            critical sections per process, default 100
+//   --alpha-ms <f>      CS duration, default 10
+//   --reps <n>          repetitions, default 5
+//   --seed <n>          default 1
+//   --latency grid5000 | <lan_ms>:<wan_ms>   default grid5000
+//   --jitter <f>        default 0.05
+//   --threads <n>       sweep parallelism, 0 = hardware
+//   --csv <path>        also write a CSV of every point
+//   --help
+// Repeating --composition/--flat adds more series to the same sweep.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "gridmutex/workload/experiment.hpp"
+
+namespace gmx {
+
+struct CliOptions {
+  /// One entry per requested series.
+  std::vector<ExperimentConfig> series;
+  std::vector<double> rhos = {45, 90, 180, 540, 1080};
+  int repetitions = 5;
+  std::size_t threads = 0;
+  std::optional<std::string> csv_path;
+  bool help = false;
+};
+
+struct CliError {
+  std::string message;
+};
+
+/// Parses arguments (excluding argv[0]). On success every series in
+/// `series` is fully validated (algorithm names resolved, latency buildable).
+[[nodiscard]] std::variant<CliOptions, CliError> parse_cli(
+    std::span<const std::string_view> args);
+
+[[nodiscard]] std::string cli_usage();
+
+}  // namespace gmx

@@ -1,0 +1,114 @@
+// Experiment configuration and execution (paper §4).
+//
+// One experiment = one simulated run of a workload over a mutual exclusion
+// configuration: either a two-level *composition* ("naimi-martin"), a *flat*
+// original algorithm over all application nodes (the paper's baseline), or
+// a *multi-level* hierarchy. `run_experiment` executes a single seed;
+// `run_replicated` averages R seeded repetitions exactly as the paper
+// averages 10 testbed runs.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gridmutex/core/multilevel.hpp"
+#include "gridmutex/net/latency.hpp"
+#include "gridmutex/workload/app_process.hpp"
+
+namespace gmx {
+
+/// How node-to-node delays are generated.
+struct LatencySpec {
+  enum class Kind { kGrid5000, kTwoLevel };
+  Kind kind = Kind::kGrid5000;
+  double jitter = 0.05;
+  // kTwoLevel parameters:
+  SimDuration lan = SimDuration::ms_f(0.5);
+  SimDuration wan = SimDuration::ms(10);
+
+  static LatencySpec grid5000(double jitter = 0.05) {
+    return LatencySpec{Kind::kGrid5000, jitter, {}, {}};
+  }
+  static LatencySpec two_level(SimDuration lan, SimDuration wan,
+                               double jitter = 0.0) {
+    return LatencySpec{Kind::kTwoLevel, jitter, lan, wan};
+  }
+
+  /// Builds the model; kGrid5000 requires clusters == 9.
+  [[nodiscard]] std::shared_ptr<const LatencyModel> build(
+      std::uint32_t clusters) const;
+};
+
+struct ExperimentConfig {
+  enum class Mode { kComposition, kFlat, kMultiLevel };
+  Mode mode = Mode::kComposition;
+
+  // kComposition:
+  std::string intra = "naimi";
+  std::string inter = "naimi";
+  // kFlat:
+  std::string flat_algorithm = "naimi";
+  // kMultiLevel (topology/latency derive from the spec, not the fields
+  // below; level_delays must match the spec's depth):
+  std::optional<HierarchySpec> hierarchy;
+  std::vector<SimDuration> level_delays;
+
+  std::uint32_t clusters = 9;
+  std::uint32_t apps_per_cluster = 20;  // paper: 20 nodes per cluster
+  LatencySpec latency = LatencySpec::grid5000();
+
+  WorkloadParams workload;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] std::uint32_t application_count() const;
+  /// Human-readable series label, e.g. "Naimi-Martin" or "Naimi (flat)".
+  [[nodiscard]] std::string label() const;
+};
+
+struct ExperimentResult {
+  std::string label;
+  double rho = 0;
+  std::uint64_t total_cs = 0;
+
+  DurationStats obtaining;  // merged over every CS of every process (and
+                            // every repetition, for run_replicated)
+  Histogram obtaining_hist{10'000.0, 200};
+
+  MessageCounters messages;
+  std::uint64_t inter_acquisitions = 0;  // composition modes only
+  SimDuration makespan;                  // simulated completion time
+  std::uint64_t events = 0;
+  std::uint64_t safety_entries = 0;
+  int repetitions = 1;
+
+  /// Paper metrics.
+  [[nodiscard]] double obtaining_ms() const { return obtaining.mean_ms(); }
+  [[nodiscard]] double stddev_ms() const { return obtaining.stddev_ms(); }
+  [[nodiscard]] double relative_stddev() const {
+    return obtaining.relative_stddev();
+  }
+  [[nodiscard]] double inter_msgs_per_cs() const {
+    return total_cs == 0 ? 0.0
+                         : double(messages.inter_cluster) / double(total_cs);
+  }
+  [[nodiscard]] double total_msgs_per_cs() const {
+    return total_cs == 0 ? 0.0 : double(messages.sent) / double(total_cs);
+  }
+  [[nodiscard]] double inter_bytes_per_cs() const {
+    return total_cs == 0 ? 0.0 : double(messages.bytes_inter) / double(total_cs);
+  }
+
+  void merge(const ExperimentResult& other);
+};
+
+/// Runs one seeded experiment to completion. Aborts (assert) on any safety
+/// violation or livelock.
+[[nodiscard]] ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// Runs `repetitions` seeds (cfg.seed, cfg.seed+1, ...) and merges.
+[[nodiscard]] ExperimentResult run_replicated(ExperimentConfig cfg,
+                                              int repetitions);
+
+}  // namespace gmx

@@ -1,0 +1,49 @@
+// Result presentation: fixed-width tables (what the bench binaries print —
+// one table per paper figure) and CSV export for external plotting.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gridmutex/workload/experiment.hpp"
+
+namespace gmx {
+
+/// Column-aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  Table& add_row(std::vector<std::string> cells);
+  void print(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with `digits` fraction digits.
+  static std::string num(double v, int digits = 2);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One row per (series, ρ) point with every paper metric — shared by the
+/// figure benches and the CSV export.
+struct SeriesPoint {
+  std::string series;
+  double rho;
+  ExperimentResult result;
+};
+
+/// Figure-style tables: rows = ρ values, columns = series.
+void print_metric_table(std::ostream& out, std::string_view title,
+                        std::span<const SeriesPoint> points,
+                        double (*metric)(const ExperimentResult&),
+                        int digits = 2);
+
+/// Full-detail CSV (one line per point, all metrics).
+void write_csv(std::ostream& out, std::span<const SeriesPoint> points);
+
+}  // namespace gmx

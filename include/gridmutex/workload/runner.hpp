@@ -1,0 +1,35 @@
+// Sweep runner: executes a batch of experiment configurations, optionally
+// in parallel across hardware threads (each simulation stays
+// single-threaded; results are returned in input order, so the sweep is
+// deterministic regardless of thread count).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "gridmutex/workload/experiment.hpp"
+
+namespace gmx {
+
+struct SweepOptions {
+  /// 0 = hardware concurrency; 1 = serial.
+  std::size_t threads = 0;
+  int repetitions = 1;
+  /// Progress callback, invoked from worker threads as points complete
+  /// (guarded internally). Optional.
+  std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+/// Runs every configuration (each replicated `repetitions` times) and
+/// returns results in input order.
+[[nodiscard]] std::vector<ExperimentResult> run_sweep(
+    std::span<const ExperimentConfig> configs, const SweepOptions& opt = {});
+
+/// Convenience: the paper's ρ sweep for a fixed configuration template.
+/// Returns one result per ρ value, in order.
+[[nodiscard]] std::vector<ExperimentResult> run_rho_sweep(
+    ExperimentConfig base, std::span<const double> rhos,
+    const SweepOptions& opt = {});
+
+}  // namespace gmx

@@ -1,0 +1,47 @@
+// Global mutual exclusion monitor.
+//
+// Counts application processes currently inside the critical section. Every
+// experiment and example runs with this armed: a protocol bug that ever lets
+// two processes in is caught at the moment it happens, not post-hoc.
+#pragma once
+
+#include <cstdint>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+class SafetyMonitor {
+ public:
+  /// `abort_on_violation` false lets tests observe violations instead of
+  /// dying (the default aborts — experiments must not silently produce
+  /// numbers from an unsafe run).
+  explicit SafetyMonitor(bool abort_on_violation = true)
+      : abort_(abort_on_violation) {}
+
+  void enter() {
+    ++in_cs_;
+    ++entries_;
+    if (in_cs_ > 1) {
+      ++violations_;
+      GMX_ASSERT_MSG(!abort_, "mutual exclusion violated: 2 processes in CS");
+    }
+  }
+
+  void exit() {
+    GMX_ASSERT_MSG(in_cs_ > 0, "exit() without matching enter()");
+    --in_cs_;
+  }
+
+  [[nodiscard]] int in_cs() const { return in_cs_; }
+  [[nodiscard]] std::uint64_t entries() const { return entries_; }
+  [[nodiscard]] std::uint64_t violations() const { return violations_; }
+
+ private:
+  bool abort_;
+  int in_cs_ = 0;
+  std::uint64_t entries_ = 0;
+  std::uint64_t violations_ = 0;
+};
+
+}  // namespace gmx

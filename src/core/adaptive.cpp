@@ -1,0 +1,140 @@
+#include "gridmutex/core/adaptive.hpp"
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+AdaptiveComposition::AdaptiveComposition(Network& net, Composition& comp,
+                                         AdaptiveConfig cfg)
+    : net_(net),
+      comp_(comp),
+      cfg_(std::move(cfg)),
+      current_(comp.config().inter_algorithm) {
+  GMX_ASSERT(cfg_.low_parallelism_at > cfg_.high_parallelism_at);
+  // Validate the three targets eagerly.
+  (void)algorithm_factory(cfg_.low_algorithm);
+  (void)algorithm_factory(cfg_.mid_algorithm);
+  (void)algorithm_factory(cfg_.high_algorithm);
+}
+
+void AdaptiveComposition::start() {
+  GMX_ASSERT(!running_);
+  running_ = true;
+  epoch_start_ = net_.simulator().now();
+  arm_sampler();
+}
+
+void AdaptiveComposition::stop() {
+  running_ = false;
+  if (!switching_ && timer_ != kInvalidEventId) {
+    net_.simulator().cancel(timer_);
+    timer_ = kInvalidEventId;
+  }
+  // A switch in progress keeps polling until the swap completes, leaving
+  // the composition in a consistent, resumed state.
+}
+
+void AdaptiveComposition::arm_sampler() {
+  if (!running_) return;
+  timer_ = net_.simulator().schedule_after(cfg_.sample_every,
+                                           [this] { sample(); });
+}
+
+void AdaptiveComposition::sample() {
+  timer_ = kInvalidEventId;
+  if (!running_) return;
+  // Competing coordinators only: WAIT_FOR_IN means the cluster has demand
+  // and does not own the token. A coordinator parked in IN with no rival is
+  // not contention (the paper's regimes count *requesting* clusters).
+  int demanding = 0;
+  for (ClusterId c = 0; c < comp_.cluster_count(); ++c) {
+    if (comp_.coordinator(c).state() == Coordinator::State::kWaitForIn)
+      ++demanding;
+  }
+  demand_accum_ += double(demanding) / double(comp_.cluster_count());
+  ++samples_;
+  if (net_.simulator().now() - epoch_start_ >= cfg_.epoch) evaluate_epoch();
+  if (!switching_) arm_sampler();
+}
+
+void AdaptiveComposition::evaluate_epoch() {
+  last_demand_ = samples_ == 0 ? 0.0 : demand_accum_ / double(samples_);
+  demand_accum_ = 0.0;
+  samples_ = 0;
+  epoch_start_ = net_.simulator().now();
+  const std::string& want = pick_algorithm(last_demand_);
+  if (want != current_) begin_switch(want);
+}
+
+const std::string& AdaptiveComposition::pick_algorithm(double demand) const {
+  if (demand >= cfg_.low_parallelism_at) return cfg_.low_algorithm;
+  if (demand <= cfg_.high_parallelism_at) return cfg_.high_algorithm;
+  return cfg_.mid_algorithm;
+}
+
+void AdaptiveComposition::begin_switch(const std::string& target) {
+  GMX_ASSERT(!switching_);
+  switching_ = true;
+  target_ = target;
+  for (ClusterId c = 0; c < comp_.cluster_count(); ++c)
+    comp_.coordinator(c).pause_inter_requests();
+  net_.simulator().schedule_after(cfg_.quiesce_poll,
+                                  [this] { poll_quiesce(); });
+}
+
+void AdaptiveComposition::poll_quiesce() {
+  bool all_out = true;
+  for (ClusterId c = 0; c < comp_.cluster_count(); ++c) {
+    Coordinator& coord = comp_.coordinator(c);
+    if (coord.state() == Coordinator::State::kIn) coord.force_vacate();
+    if (coord.state() != Coordinator::State::kOut) all_out = false;
+  }
+  if (all_out && net_.in_flight_for(comp_.inter_protocol()) == 0) {
+    do_swap();
+    return;
+  }
+  net_.simulator().schedule_after(cfg_.quiesce_poll,
+                                  [this] { poll_quiesce(); });
+}
+
+void AdaptiveComposition::do_swap() {
+  // Carry the idle inter token's location into the new instance.
+  ClusterId holder = comp_.config().initial_cluster;
+  bool found = false;
+  for (std::size_t c = 0; c < comp_.inter_.size(); ++c) {
+    if (comp_.inter_[c]->holds_token()) {
+      GMX_ASSERT_MSG(!found, "two inter tokens at swap time");
+      holder = ClusterId(c);
+      found = true;
+    }
+  }
+  const std::vector<NodeId> members = comp_.inter_[0]->members();
+  const ProtocolId proto = comp_.inter_protocol();
+  Rng root(comp_.config().seed ^ 0xADA9'71CEull ^
+           std::uint64_t(switches_ + 1));
+
+  comp_.inter_.clear();  // detaches the old instance
+  const bool token = is_token_based(target_);
+  for (std::size_t c = 0; c < members.size(); ++c) {
+    comp_.inter_.push_back(std::make_unique<MutexEndpoint>(
+        net_, proto, members, int(c), make_algorithm(target_),
+        root.fork(c)));
+  }
+  for (auto& ep : comp_.inter_)
+    ep->init(token ? int(holder) : MutexAlgorithm::kNoHolder);
+  for (ClusterId c = 0; c < comp_.cluster_count(); ++c)
+    comp_.coordinator(c).rebind_inter(*comp_.inter_[c]);
+  for (ClusterId c = 0; c < comp_.cluster_count(); ++c)
+    comp_.coordinator(c).resume_inter_requests();
+
+  current_ = target_;
+  ++switches_;
+  switching_ = false;
+  // Fresh epoch under the new algorithm.
+  demand_accum_ = 0.0;
+  samples_ = 0;
+  epoch_start_ = net_.simulator().now();
+  arm_sampler();
+}
+
+}  // namespace gmx

@@ -1,0 +1,126 @@
+#include "gridmutex/core/composition.hpp"
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+Topology Composition::make_topology(std::uint32_t clusters,
+                                    std::uint32_t apps_per_cluster) {
+  return Topology::uniform(clusters, apps_per_cluster + 1);
+}
+
+Composition::Composition(Network& net, CompositionConfig cfg)
+    : net_(net), cfg_(std::move(cfg)) {
+  const Topology& topo = net_.topology();
+  const std::uint32_t clusters = topo.cluster_count();
+  GMX_ASSERT_MSG(cfg_.initial_cluster < clusters,
+                 "initial cluster out of range");
+  Rng root(cfg_.seed);
+
+  // Inter instance: one endpoint per coordinator node; rank == cluster id.
+  std::vector<NodeId> coordinator_nodes;
+  coordinator_nodes.reserve(clusters);
+  for (ClusterId c = 0; c < clusters; ++c) {
+    GMX_ASSERT_MSG(topo.cluster_size(c) >= 2,
+                   "each cluster needs a coordinator and >=1 app node");
+    coordinator_nodes.push_back(topo.first_node_of(c));
+  }
+  const bool inter_token = is_token_based(cfg_.inter_algorithm);
+  for (ClusterId c = 0; c < clusters; ++c) {
+    inter_.push_back(std::make_unique<MutexEndpoint>(
+        net_, inter_protocol(), coordinator_nodes, int(c),
+        make_algorithm(cfg_.inter_algorithm), root.fork(1000 + c)));
+  }
+  for (auto& ep : inter_)
+    ep->init(inter_token ? int(cfg_.initial_cluster)
+                         : MutexAlgorithm::kNoHolder);
+
+  // Intra instances: per cluster, coordinator first (rank 0 — this also
+  // wins Ricart-Agrawala timestamp ties at startup, see
+  // mutex/ricart_agrawala.hpp).
+  app_endpoint_of_node_.assign(topo.node_count(), -1);
+  const bool intra_token = is_token_based(cfg_.intra_algorithm);
+  intra_.resize(clusters);
+  for (ClusterId c = 0; c < clusters; ++c) {
+    const std::vector<NodeId> members = topo.nodes_of(c);
+    for (std::size_t r = 0; r < members.size(); ++r) {
+      intra_[c].push_back(std::make_unique<MutexEndpoint>(
+          net_, intra_protocol(c), members, int(r),
+          make_algorithm(cfg_.intra_algorithm),
+          root.fork(2000 + std::uint64_t(c) * 64 + r)));
+      if (r > 0) {
+        app_nodes_.push_back(members[r]);
+        app_endpoint_of_node_[members[r]] = int(r);
+      }
+    }
+    for (auto& ep : intra_[c])
+      ep->init(intra_token ? 0 : MutexAlgorithm::kNoHolder);
+  }
+
+  // Coordinators bridge intra rank 0 with inter rank c.
+  for (ClusterId c = 0; c < clusters; ++c) {
+    coordinators_.push_back(
+        std::make_unique<Coordinator>(*intra_[c][0], *inter_[c]));
+  }
+}
+
+Composition::~Composition() = default;
+
+void Composition::start() {
+  for (auto& coord : coordinators_) coord->start();
+}
+
+bool Composition::is_coordinator_node(NodeId node) const {
+  return node < app_endpoint_of_node_.size() &&
+         app_endpoint_of_node_[node] == -1;
+}
+
+MutexEndpoint& Composition::app_mutex(NodeId node) {
+  GMX_ASSERT(node < app_endpoint_of_node_.size());
+  const int idx = app_endpoint_of_node_[node];
+  GMX_ASSERT_MSG(idx > 0, "node is a coordinator, not an application node");
+  const ClusterId c = net_.topology().cluster_of(node);
+  return *intra_[c][std::size_t(idx)];
+}
+
+Coordinator& Composition::coordinator(ClusterId c) {
+  GMX_ASSERT(c < coordinators_.size());
+  return *coordinators_[c];
+}
+
+const Coordinator& Composition::coordinator(ClusterId c) const {
+  GMX_ASSERT(c < coordinators_.size());
+  return *coordinators_[c];
+}
+
+std::function<std::string(ProtocolId, std::uint16_t)>
+Composition::trace_labeler() const {
+  const ProtocolId inter = inter_protocol();
+  const ProtocolId intra_base = intra_protocol(0);
+  const std::uint32_t clusters = cluster_count();
+  const std::string intra_name = cfg_.intra_algorithm;
+  const std::string inter_name = cfg_.inter_algorithm;
+  return [=](ProtocolId p, std::uint16_t type) -> std::string {
+    if (p == inter)
+      return "inter(" + inter_name + ")." + message_type_name(inter_name, type);
+    if (p >= intra_base && p < intra_base + clusters)
+      return "intra[" + std::to_string(p - intra_base) + "](" + intra_name +
+             ")." + message_type_name(intra_name, type);
+    return "p" + std::to_string(p) + ".t" + std::to_string(type);
+  };
+}
+
+int Composition::privileged_coordinators() const {
+  int n = 0;
+  for (const auto& coord : coordinators_)
+    if (coord->cluster_privileged()) ++n;
+  return n;
+}
+
+std::uint64_t Composition::total_inter_acquisitions() const {
+  std::uint64_t n = 0;
+  for (const auto& coord : coordinators_) n += coord->inter_acquisitions();
+  return n;
+}
+
+}  // namespace gmx

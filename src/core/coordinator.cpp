@@ -1,0 +1,166 @@
+#include "gridmutex/core/coordinator.hpp"
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+std::string_view to_string(Coordinator::State s) {
+  switch (s) {
+    case Coordinator::State::kOut:
+      return "OUT";
+    case Coordinator::State::kWaitForIn:
+      return "WAIT_FOR_IN";
+    case Coordinator::State::kIn:
+      return "IN";
+    case Coordinator::State::kWaitForOut:
+      return "WAIT_FOR_OUT";
+  }
+  return "?";
+}
+
+Coordinator::Coordinator(MutexHandle& intra, MutexHandle& inter)
+    : intra_(intra), inter_(inter) {
+  GMX_ASSERT_MSG(intra_.node() == inter_.get().node(),
+                 "the coordinator's two endpoints must share a node");
+  intra_.set_callbacks(MutexCallbacks{[this] { on_intra_granted(); },
+                                      [this] { on_intra_pending(); }});
+  inter_.get().set_callbacks(MutexCallbacks{[this] { on_inter_granted(); },
+                                            [this] { on_inter_pending(); }});
+}
+
+void Coordinator::start() {
+  GMX_ASSERT_MSG(!started_, "start() called twice");
+  GMX_ASSERT_MSG(intra_.state() == CsState::kIdle,
+                 "coordinator must start before any intra activity");
+  started_ = true;
+  // OUT requires Intra=CS. For token-based intra algorithms the coordinator
+  // is the initial holder, so this grant is instantaneous; for
+  // permission-based ones (Ricart-Agrawala) the request wins every startup
+  // race by rank-0 tie-break and the CS arrives within one LAN round-trip.
+  intra_.request_cs();
+}
+
+void Coordinator::go(State to) {
+  const State from = state_;
+  state_ = to;
+  ++transitions_;
+  if (hook_) hook_(*this, from, to);
+}
+
+void Coordinator::request_inter() {
+  inter_.get().request_cs();
+  go(State::kWaitForIn);
+}
+
+void Coordinator::on_intra_pending() {
+  // Paper Fig. 2 line 9: a local application wants the CS.
+  if (state_ != State::kOut) return;       // already acting on it
+  if (!intra_.has_pending_requests()) return;  // stale deferred event
+  if (paused_) {
+    want_inter_ = true;
+    return;
+  }
+  request_inter();
+}
+
+void Coordinator::on_inter_granted() {
+  GMX_ASSERT_MSG(state_ == State::kWaitForIn,
+                 "inter CS granted outside WAIT_FOR_IN");
+  ++inter_acquisitions_;
+  go(State::kIn);
+  // Paper Fig. 2 line 11: hand the intra token to the waiting application.
+  // With a permission-based intra algorithm the coordinator's own startup
+  // CS grant may still be in flight (token-based grants are instantaneous);
+  // then the handover completes from on_intra_granted().
+  if (intra_.in_cs()) {
+    complete_handover();
+  } else {
+    handover_pending_ = true;
+  }
+}
+
+void Coordinator::complete_handover() {
+  intra_.release_cs();
+  // Level-triggered re-check: remote coordinators may have queued behind us
+  // while the inter grant was in flight.
+  if (inter_.get().has_pending_requests()) {
+    go(State::kWaitForOut);
+    intra_.request_cs();
+  }
+}
+
+void Coordinator::on_inter_pending() {
+  // Paper Fig. 2 line 16: another coordinator wants the inter token; we may
+  // release it only once we hold our intra token again (no local app in CS).
+  if (state_ != State::kIn) return;  // WAIT_FOR_OUT: reclaim already running;
+                                     // OUT/WAIT_FOR_IN: inter layer handles
+                                     // it without us (token not in our CS)
+  go(State::kWaitForOut);
+  intra_.request_cs();
+}
+
+void Coordinator::on_intra_granted() {
+  if (handover_pending_ && state_ == State::kIn) {
+    // Delayed startup grant of a permission-based intra algorithm arriving
+    // after the inter token (see on_inter_granted).
+    handover_pending_ = false;
+    complete_handover();
+    return;
+  }
+  if (state_ == State::kWaitForOut) {
+    enter_out();
+    return;
+  }
+  if (state_ == State::kOut) {
+    // Echo of start()'s grant. With a permission-based intra algorithm the
+    // grant may arrive only after a LAN round-trip, and local requests that
+    // queued in the meantime produced no pending *edge* (the algorithm was
+    // not yet in CS) — re-check the level or the cluster deadlocks.
+    if (paused_) {
+      want_inter_ = intra_.has_pending_requests();
+      return;
+    }
+    if (intra_.has_pending_requests()) request_inter();
+  }
+}
+
+void Coordinator::enter_out() {
+  // Paper Fig. 2 line 18: we hold the intra token again — no local
+  // application is in (or can enter) the CS; the inter token may leave.
+  go(State::kOut);
+  inter_.get().release_cs();
+  vacate_requested_ = false;
+  if (paused_) {
+    want_inter_ = intra_.has_pending_requests();
+    return;
+  }
+  // Local requests that queued while we were reclaiming restart the cycle.
+  if (intra_.has_pending_requests()) request_inter();
+}
+
+void Coordinator::pause_inter_requests() { paused_ = true; }
+
+void Coordinator::resume_inter_requests() {
+  GMX_ASSERT(paused_);
+  paused_ = false;
+  const bool demand = want_inter_ || intra_.has_pending_requests();
+  want_inter_ = false;
+  if (state_ == State::kOut && demand) request_inter();
+}
+
+void Coordinator::force_vacate() {
+  if (state_ != State::kIn || vacate_requested_) return;
+  vacate_requested_ = true;
+  go(State::kWaitForOut);
+  intra_.request_cs();
+}
+
+void Coordinator::rebind_inter(MutexHandle& inter) {
+  GMX_ASSERT_MSG(paused_ && state_ == State::kOut,
+                 "rebind requires a paused coordinator in OUT");
+  inter_ = inter;
+  inter_.get().set_callbacks(MutexCallbacks{[this] { on_inter_granted(); },
+                                            [this] { on_inter_pending(); }});
+}
+
+}  // namespace gmx

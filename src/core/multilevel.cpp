@@ -1,0 +1,186 @@
+#include "gridmutex/core/multilevel.hpp"
+
+#include "gridmutex/mutex/registry.hpp"
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+namespace {
+
+/// Leaves (level-0 groups) contained in one level-l group.
+std::uint32_t leaves_per_group(const HierarchySpec& spec, std::size_t level) {
+  std::uint32_t n = 1;
+  for (std::size_t k = 1; k <= level; ++k) n *= spec.arity[k];
+  return n;
+}
+
+void validate(const HierarchySpec& spec) {
+  GMX_ASSERT_MSG(spec.levels() >= 2, "hierarchy needs at least two levels");
+  GMX_ASSERT_MSG(spec.algorithms.size() == spec.levels(),
+                 "one algorithm per level");
+  for (std::uint32_t a : spec.arity)
+    GMX_ASSERT_MSG(a >= 1, "empty level in hierarchy");
+}
+
+/// Node id of the coordinator of (level, group). Level-0 coordinators are
+/// the first node of their cluster; level-l>0 coordinators live at offset
+/// 1 + arity[0] + (l-1) inside the first leaf cluster of their group.
+NodeId coordinator_node(const Topology& topo, const HierarchySpec& spec,
+                        std::size_t level, std::uint32_t group) {
+  const std::uint32_t leaf =
+      group * leaves_per_group(spec, level);
+  const NodeId base = topo.first_node_of(leaf);
+  if (level == 0) return base;
+  return base + 1 + spec.arity[0] + std::uint32_t(level - 1);
+}
+
+}  // namespace
+
+std::uint32_t HierarchySpec::groups_at(std::size_t level) const {
+  GMX_ASSERT(level < levels());
+  std::uint32_t n = 1;
+  for (std::size_t k = level + 1; k < levels(); ++k) n *= arity[k];
+  return n;
+}
+
+std::uint32_t HierarchySpec::application_count() const {
+  return arity[0] * groups_at(0);
+}
+
+Topology MultiLevelComposition::make_topology(const HierarchySpec& spec) {
+  validate(spec);
+  const std::uint32_t leaves = spec.groups_at(0);
+  std::vector<std::uint32_t> sizes(leaves, 1 + spec.arity[0]);
+  // Host each inner (level 1..L-2) coordinator in its group's first leaf.
+  for (std::size_t l = 1; l + 1 < spec.levels(); ++l) {
+    const std::uint32_t per = leaves_per_group(spec, l);
+    for (std::uint32_t g = 0; g < spec.groups_at(l); ++g)
+      sizes[g * per] += 1;
+  }
+  return Topology::from_sizes(sizes);
+}
+
+std::shared_ptr<MatrixLatencyModel> MultiLevelComposition::make_latency(
+    const HierarchySpec& spec, std::span<const SimDuration> level_delays,
+    double jitter_fraction) {
+  validate(spec);
+  GMX_ASSERT_MSG(level_delays.size() == spec.levels(),
+                 "one delay per hierarchy level");
+  const std::uint32_t leaves = spec.groups_at(0);
+  std::vector<double> ms(std::size_t(leaves) * leaves);
+  for (std::uint32_t i = 0; i < leaves; ++i) {
+    for (std::uint32_t j = 0; j < leaves; ++j) {
+      std::size_t lca = 0;
+      while (i / leaves_per_group(spec, lca) !=
+             j / leaves_per_group(spec, lca)) {
+        ++lca;
+      }
+      ms[std::size_t(i) * leaves + j] = level_delays[lca].as_ms();
+    }
+  }
+  return std::make_shared<MatrixLatencyModel>(std::move(ms), leaves,
+                                              jitter_fraction);
+}
+
+MultiLevelComposition::MultiLevelComposition(Network& net, HierarchySpec spec,
+                                             ProtocolId protocol_base,
+                                             std::uint64_t seed)
+    : net_(net), spec_(std::move(spec)) {
+  validate(spec_);
+  const Topology& topo = net_.topology();
+  GMX_ASSERT_MSG(topo.cluster_count() == spec_.leaf_groups(),
+                 "topology does not match hierarchy (use make_topology)");
+  Rng root(seed);
+  ProtocolId next_protocol = protocol_base;
+  const std::size_t levels = spec_.levels();
+
+  app_index_of_node_.assign(topo.node_count(), -1);
+  instances_.resize(levels);
+  coordinators_.resize(levels - 1);
+
+  for (std::size_t l = 0; l < levels; ++l) {
+    const std::uint32_t groups = spec_.groups_at(l);
+    const bool is_root = (l + 1 == levels);
+    const bool token = is_token_based(spec_.algorithms[l]);
+    instances_[l].resize(groups);
+    for (std::uint32_t g = 0; g < groups; ++g) {
+      // Member list: own coordinator first (non-root), then children.
+      std::vector<NodeId> members;
+      if (!is_root) members.push_back(coordinator_node(topo, spec_, l, g));
+      if (l == 0) {
+        for (std::uint32_t i = 0; i < spec_.arity[0]; ++i)
+          members.push_back(topo.first_node_of(g) + 1 + i);
+      } else {
+        for (std::uint32_t c = 0; c < spec_.arity[l]; ++c)
+          members.push_back(
+              coordinator_node(topo, spec_, l - 1, g * spec_.arity[l] + c));
+      }
+      const ProtocolId proto = next_protocol++;
+      auto& inst = instances_[l][g];
+      for (std::size_t r = 0; r < members.size(); ++r) {
+        inst.push_back(std::make_unique<MutexEndpoint>(
+            net_, proto, members, int(r),
+            make_algorithm(spec_.algorithms[l]),
+            root.fork((l << 24) ^ (std::uint64_t(g) << 8) ^ r)));
+        if (l == 0 && r > 0) {
+          app_nodes_.push_back(members[r]);
+          app_index_of_node_[members[r]] = int(r);
+        }
+      }
+      for (auto& ep : inst)
+        ep->init(token ? 0 : MutexAlgorithm::kNoHolder);
+    }
+  }
+
+  // Automata: (lower = own instance rank 0, upper = slot in parent).
+  for (std::size_t l = 0; l + 1 < levels; ++l) {
+    const std::uint32_t groups = spec_.groups_at(l);
+    const bool parent_is_root = (l + 2 == levels);
+    for (std::uint32_t g = 0; g < groups; ++g) {
+      const std::uint32_t parent = g / spec_.arity[l + 1];
+      const std::uint32_t child_slot = g % spec_.arity[l + 1];
+      const std::size_t upper_rank =
+          parent_is_root ? child_slot : child_slot + 1;
+      coordinators_[l].push_back(std::make_unique<Coordinator>(
+          *instances_[l][g][0], *instances_[l + 1][parent][upper_rank]));
+    }
+  }
+}
+
+MultiLevelComposition::~MultiLevelComposition() = default;
+
+void MultiLevelComposition::start() {
+  for (auto& level : coordinators_)
+    for (auto& coord : level) coord->start();
+}
+
+MutexEndpoint& MultiLevelComposition::app_mutex(NodeId node) {
+  GMX_ASSERT(node < app_index_of_node_.size());
+  const int idx = app_index_of_node_[node];
+  GMX_ASSERT_MSG(idx > 0, "node does not host an application");
+  const ClusterId c = net_.topology().cluster_of(node);
+  return *instances_[0][c][std::size_t(idx)];
+}
+
+Coordinator& MultiLevelComposition::coordinator(std::size_t level,
+                                                std::uint32_t group) {
+  GMX_ASSERT(level + 1 < spec_.levels());
+  GMX_ASSERT(group < coordinators_[level].size());
+  return *coordinators_[level][group];
+}
+
+std::uint32_t MultiLevelComposition::coordinator_count(
+    std::size_t level) const {
+  GMX_ASSERT(level + 1 < spec_.levels());
+  return std::uint32_t(coordinators_[level].size());
+}
+
+int MultiLevelComposition::privileged_at(std::size_t level) const {
+  GMX_ASSERT(level + 1 < spec_.levels());
+  int n = 0;
+  for (const auto& coord : coordinators_[level])
+    if (coord->cluster_privileged()) ++n;
+  return n;
+}
+
+}  // namespace gmx

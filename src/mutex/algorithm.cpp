@@ -1,0 +1,53 @@
+#include "gridmutex/mutex/algorithm.hpp"
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+std::string_view to_string(CsState s) {
+  switch (s) {
+    case CsState::kIdle:
+      return "NO_REQ";
+    case CsState::kRequesting:
+      return "REQ";
+    case CsState::kInCs:
+      return "CS";
+  }
+  return "?";
+}
+
+void MutexAlgorithm::attach(MutexContext& ctx, MutexObserver& obs) {
+  GMX_ASSERT_MSG(ctx_ == nullptr, "attach() called twice");
+  ctx_ = &ctx;
+  obs_ = &obs;
+}
+
+MutexContext& MutexAlgorithm::ctx() const {
+  GMX_ASSERT_MSG(ctx_ != nullptr, "algorithm used before attach()");
+  return *ctx_;
+}
+
+MutexObserver& MutexAlgorithm::observer() const {
+  GMX_ASSERT_MSG(obs_ != nullptr, "algorithm used before attach()");
+  return *obs_;
+}
+
+void MutexAlgorithm::begin_request() {
+  GMX_ASSERT_MSG(state_ == CsState::kIdle,
+                 "request_cs() while already requesting or in CS");
+  state_ = CsState::kRequesting;
+}
+
+void MutexAlgorithm::enter_cs_and_notify() {
+  GMX_ASSERT_MSG(state_ == CsState::kRequesting,
+                 "CS granted to a participant that was not requesting");
+  state_ = CsState::kInCs;
+  observer().on_cs_granted();
+}
+
+void MutexAlgorithm::begin_release() {
+  GMX_ASSERT_MSG(state_ == CsState::kInCs, "release_cs() outside CS");
+  state_ = CsState::kIdle;
+}
+
+}  // namespace gmx

@@ -1,0 +1,131 @@
+#include "gridmutex/mutex/bertier.hpp"
+
+#include <algorithm>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+void BertierMutex::init(int holder_rank) {
+  GMX_ASSERT_MSG(holder_rank >= 0 && holder_rank < ctx().size(),
+                 "Bertier requires an initial token holder");
+  GMX_ASSERT(max_local_streak_ >= 1);
+  last_ = holder_rank;
+  has_token_ = (ctx().self() == holder_rank);
+  q_.clear();
+  streak_ = 0;
+}
+
+void BertierMutex::request_cs() {
+  begin_request();
+  if (has_token_) {
+    GMX_ASSERT_MSG(q_.empty(), "idle holder must have drained its queue");
+    enter_cs_and_notify();
+    return;
+  }
+  wire::Writer w;
+  w.varint(std::uint64_t(ctx().self()));
+  ctx().send(last_, kRequest, w.view());
+  // No path reversal: the queue at the holder, not the request path,
+  // decides the grant order. last_ keeps chasing the token.
+}
+
+void BertierMutex::release_cs() {
+  begin_release();
+  GMX_ASSERT(has_token_);
+  if (!q_.empty()) grant_from_queue();
+  // Empty queue: park the token here.
+}
+
+void BertierMutex::on_message(int from_rank, std::uint16_t type,
+                              wire::Reader payload) {
+  switch (type) {
+    case kRequest: {
+      const auto requester = int(payload.varint());
+      payload.expect_end();
+      GMX_ASSERT(requester >= 0 && requester < ctx().size());
+      (void)from_rank;
+      handle_request(requester);
+      break;
+    }
+    case kToken: {
+      const auto streak = int(payload.varint());
+      const auto q = payload.varint_array_u32();
+      payload.expect_end();
+      GMX_ASSERT_MSG(!has_token_, "duplicate token");
+      GMX_ASSERT_MSG(state() == CsState::kRequesting,
+                     "token arrived at a non-requesting participant");
+      has_token_ = true;
+      streak_ = streak;
+      q_.assign(q.begin(), q.end());
+      enter_cs_and_notify();
+      break;
+    }
+    default:
+      throw wire::WireError("bertier: unknown message type");
+  }
+}
+
+void BertierMutex::handle_request(int requester) {
+  if (!has_token_) {
+    // Chase the token: forward one hop toward the probable holder.
+    GMX_ASSERT_MSG(last_ != ctx().self(),
+                   "non-holder cannot be its own probable holder");
+    wire::Writer w;
+    w.varint(std::uint64_t(requester));
+    ctx().send(last_, kRequest, w.view());
+    return;
+  }
+  if (state() == CsState::kIdle && q_.empty()) {
+    // Idle holder: grant directly (a local/remote distinction is moot with
+    // an empty queue; streak bookkeeping happens in the send).
+    q_.push_back(std::uint32_t(requester));
+    grant_from_queue();
+    return;
+  }
+  q_.push_back(std::uint32_t(requester));
+  observer().on_pending_request();
+}
+
+void BertierMutex::grant_from_queue() {
+  GMX_ASSERT(has_token_ && !q_.empty());
+  const int my_cluster = ctx().cluster_of_rank(ctx().self());
+
+  auto cluster_of = [&](std::uint32_t r) {
+    return ctx().cluster_of_rank(int(r));
+  };
+  // Locality policy with aging: take the oldest same-cluster request while
+  // the streak allows; otherwise the oldest remote request (falling back to
+  // local if no remote is queued, which does not extend the streak's
+  // starvation window since no remote exists to starve).
+  auto it = q_.end();
+  if (streak_ < max_local_streak_) {
+    it = std::find_if(q_.begin(), q_.end(), [&](std::uint32_t r) {
+      return cluster_of(r) == my_cluster;
+    });
+  }
+  if (it == q_.end()) {
+    it = std::find_if(q_.begin(), q_.end(), [&](std::uint32_t r) {
+      return cluster_of(r) != my_cluster;
+    });
+  }
+  if (it == q_.end()) it = q_.begin();  // only local ones, streak exhausted
+
+  const auto grantee = *it;
+  q_.erase(it);
+  const bool stays_local = cluster_of(grantee) == my_cluster;
+  const int new_streak = stays_local ? streak_ + 1 : 0;
+
+  wire::Writer w;
+  w.varint(std::uint64_t(new_streak));
+  std::vector<std::uint32_t> q(q_.begin(), q_.end());
+  w.varint_array(std::span<const std::uint32_t>(q));
+
+  has_token_ = false;
+  q_.clear();
+  streak_ = 0;
+  last_ = int(grantee);
+  ctx().send(int(grantee), kToken, w.view());
+}
+
+}  // namespace gmx

@@ -1,0 +1,129 @@
+#include "gridmutex/mutex/central_server.hpp"
+
+#include <algorithm>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+void CentralServerMutex::init(int holder_rank) {
+  GMX_ASSERT_MSG(holder_rank >= 0 && holder_rank < ctx().size(),
+                 "central server: the initial holder is the server");
+  server_ = holder_rank;
+  q_.clear();
+  busy_ = false;
+  current_ = kNoHolder;
+  revoke_sent_ = false;
+  revoked_ = false;
+}
+
+void CentralServerMutex::request_cs() {
+  begin_request();
+  if (is_server()) {
+    server_enqueue(ctx().self());
+  } else {
+    ctx().send(server_, kRequest, {});
+  }
+}
+
+void CentralServerMutex::release_cs() {
+  begin_release();
+  revoked_ = false;
+  if (is_server()) {
+    server_on_release();
+  } else {
+    ctx().send(server_, kRelease, {});
+  }
+}
+
+void CentralServerMutex::on_message(int from_rank, std::uint16_t type,
+                                    wire::Reader payload) {
+  payload.expect_end();
+  switch (type) {
+    case kRequest:
+      GMX_ASSERT_MSG(is_server(), "kRequest routed to a non-server");
+      server_enqueue(from_rank);
+      break;
+    case kRelease:
+      GMX_ASSERT_MSG(is_server(), "kRelease routed to a non-server");
+      GMX_ASSERT(current_ == from_rank);
+      server_on_release();
+      break;
+    case kGrant:
+      GMX_ASSERT_MSG(!is_server(), "kGrant routed to the server");
+      GMX_ASSERT(from_rank == server_);
+      enter_cs_and_notify();
+      break;
+    case kRevoke:
+      GMX_ASSERT_MSG(!is_server(), "kRevoke routed to the server");
+      GMX_ASSERT(from_rank == server_);
+      if (!revoked_) {
+        revoked_ = true;
+        observer().on_pending_request();
+      }
+      break;
+    default:
+      throw wire::WireError("central: unknown message type");
+  }
+}
+
+void CentralServerMutex::server_enqueue(int client) {
+  q_.push_back(client);
+  if (busy_) {
+    if (current_ == ctx().self()) {
+      // The server participant itself sits in the CS (composition hook).
+      if (client != ctx().self()) observer().on_pending_request();
+    } else {
+      maybe_revoke();
+    }
+    return;
+  }
+  server_grant_next();
+}
+
+void CentralServerMutex::maybe_revoke() {
+  GMX_ASSERT(busy_ && current_ != ctx().self());
+  if (revoke_sent_ || q_.empty()) return;
+  revoke_sent_ = true;
+  ctx().send(current_, kRevoke, {});
+}
+
+void CentralServerMutex::server_grant_next() {
+  GMX_ASSERT(!busy_);
+  if (q_.empty()) return;
+  const int head = q_.front();
+  q_.pop_front();
+  busy_ = true;
+  current_ = head;
+  revoke_sent_ = false;
+  if (head == ctx().self()) {
+    enter_cs_and_notify();
+    if (has_pending_requests()) observer().on_pending_request();
+  } else {
+    ctx().send(head, kGrant, {});
+    maybe_revoke();  // queue may already be non-empty behind this grant
+  }
+}
+
+void CentralServerMutex::server_on_release() {
+  GMX_ASSERT(busy_);
+  busy_ = false;
+  current_ = kNoHolder;
+  revoke_sent_ = false;
+  server_grant_next();
+}
+
+bool CentralServerMutex::has_pending_requests() const {
+  if (!is_server()) return revoked_;
+  return std::any_of(q_.begin(), q_.end(),
+                     [self = ctx().self()](int r) { return r != self; });
+}
+
+bool CentralServerMutex::holds_token() const {
+  // The "token" abstraction maps to: the server's grant is currently with
+  // us (clients), or the server is free / serving itself (server).
+  if (is_server()) return !busy_ || current_ == ctx().self();
+  return in_cs();
+}
+
+}  // namespace gmx

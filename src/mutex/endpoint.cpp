@@ -1,0 +1,73 @@
+#include "gridmutex/mutex/endpoint.hpp"
+
+#include <utility>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+MutexEndpoint::MutexEndpoint(Network& net, ProtocolId protocol,
+                             std::vector<NodeId> members, int self_rank,
+                             std::unique_ptr<MutexAlgorithm> algorithm,
+                             Rng rng)
+    : net_(net),
+      protocol_(protocol),
+      members_(std::move(members)),
+      rank_(self_rank),
+      algo_(std::move(algorithm)),
+      rng_(rng) {
+  GMX_ASSERT_MSG(!members_.empty(), "instance needs at least one member");
+  GMX_ASSERT(self_rank >= 0 && std::size_t(self_rank) < members_.size());
+  GMX_ASSERT(algo_ != nullptr);
+  for (std::size_t r = 0; r < members_.size(); ++r) {
+    const auto [it, inserted] = rank_of_.emplace(members_[r], int(r));
+    (void)it;
+    GMX_ASSERT_MSG(inserted, "duplicate node in member list");
+  }
+  algo_->attach(*this, *this);
+  net_.attach(node(), protocol_,
+              [this](const Message& m) { handle_message(m); });
+}
+
+MutexEndpoint::~MutexEndpoint() { net_.detach(node(), protocol_); }
+
+void MutexEndpoint::send(int to_rank, std::uint16_t type,
+                         std::span<const std::uint8_t> payload) {
+  GMX_ASSERT(to_rank >= 0 && std::size_t(to_rank) < members_.size());
+  GMX_ASSERT_MSG(to_rank != rank_, "algorithm attempted a self-send");
+  Message m;
+  m.src = node();
+  m.dst = members_[std::size_t(to_rank)];
+  m.protocol = protocol_;
+  m.type = type;
+  m.payload.assign(payload.begin(), payload.end());
+  net_.send(std::move(m));
+}
+
+SimTime MutexEndpoint::now() const { return net_.simulator().now(); }
+
+int MutexEndpoint::cluster_of_rank(int rank) const {
+  GMX_ASSERT(rank >= 0 && std::size_t(rank) < members_.size());
+  return int(net_.topology().cluster_of(members_[std::size_t(rank)]));
+}
+
+void MutexEndpoint::on_cs_granted() {
+  if (!callbacks_.on_granted) return;
+  net_.simulator().schedule_after(SimDuration::ns(0),
+                                  [cb = callbacks_.on_granted] { cb(); });
+}
+
+void MutexEndpoint::on_pending_request() {
+  if (!callbacks_.on_pending) return;
+  net_.simulator().schedule_after(SimDuration::ns(0),
+                                  [cb = callbacks_.on_pending] { cb(); });
+}
+
+void MutexEndpoint::handle_message(const Message& msg) {
+  const auto it = rank_of_.find(msg.src);
+  GMX_ASSERT_MSG(it != rank_of_.end(),
+                 "message from a node outside this instance");
+  algo_->on_message(it->second, msg.type, wire::Reader(msg.payload));
+}
+
+}  // namespace gmx

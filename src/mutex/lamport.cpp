@@ -1,0 +1,104 @@
+#include "gridmutex/mutex/lamport.hpp"
+
+#include <algorithm>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+void LamportMutex::init(int holder_rank) {
+  GMX_ASSERT(holder_rank == kNoHolder || holder_rank < ctx().size());
+  clock_ = 0;
+  request_ts_ = 0;
+  queue_.clear();
+  acked_.assign(std::size_t(ctx().size()), 0);
+}
+
+void LamportMutex::insert(Entry e) {
+  const auto it = std::lower_bound(queue_.begin(), queue_.end(), e);
+  queue_.insert(it, e);
+}
+
+void LamportMutex::erase(int rank) {
+  const auto it =
+      std::find_if(queue_.begin(), queue_.end(),
+                   [rank](const Entry& e) { return e.rank == rank; });
+  GMX_ASSERT_MSG(it != queue_.end(), "lamport: release without request");
+  queue_.erase(it);
+}
+
+void LamportMutex::request_cs() {
+  begin_request();
+  request_ts_ = ++clock_;
+  insert(Entry{request_ts_, ctx().self()});
+  wire::Writer w;
+  w.varint(request_ts_);
+  for (int r = 0; r < ctx().size(); ++r)
+    if (r != ctx().self()) ctx().send(r, kRequest, w.view());
+  maybe_enter();  // singleton instance enters immediately
+}
+
+void LamportMutex::release_cs() {
+  begin_release();
+  erase(ctx().self());
+  for (int r = 0; r < ctx().size(); ++r)
+    if (r != ctx().self()) ctx().send(r, kRelease, {});
+}
+
+void LamportMutex::on_message(int from_rank, std::uint16_t type,
+                              wire::Reader payload) {
+  switch (type) {
+    case kRequest: {
+      const std::uint64_t ts = payload.varint();
+      payload.expect_end();
+      clock_ = std::max(clock_, ts) + 1;
+      insert(Entry{ts, from_rank});
+      if (in_cs()) observer().on_pending_request();
+      wire::Writer w;
+      w.varint(++clock_);
+      ctx().send(from_rank, kReply, w.view());
+      break;
+    }
+    case kReply: {
+      const std::uint64_t ts = payload.varint();
+      payload.expect_end();
+      clock_ = std::max(clock_, ts) + 1;
+      acked_[std::size_t(from_rank)] =
+          std::max(acked_[std::size_t(from_rank)], ts);
+      maybe_enter();
+      break;
+    }
+    case kRelease:
+      payload.expect_end();
+      ++clock_;
+      erase(from_rank);
+      maybe_enter();
+      break;
+    default:
+      throw wire::WireError("lamport: unknown message type");
+  }
+}
+
+void LamportMutex::maybe_enter() {
+  if (state() != CsState::kRequesting) return;
+  // Head-of-queue test.
+  if (queue_.empty() || queue_.front().rank != ctx().self() ||
+      queue_.front().ts != request_ts_) {
+    return;
+  }
+  // Everyone has answered past our timestamp.
+  for (int r = 0; r < ctx().size(); ++r) {
+    if (r == ctx().self()) continue;
+    if (acked_[std::size_t(r)] <= request_ts_) return;
+  }
+  enter_cs_and_notify();
+}
+
+bool LamportMutex::has_pending_requests() const {
+  return std::any_of(queue_.begin(), queue_.end(),
+                     [self = ctx().self()](const Entry& e) {
+                       return e.rank != self;
+                     });
+}
+
+}  // namespace gmx

@@ -1,0 +1,224 @@
+#include "gridmutex/mutex/maekawa.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+std::vector<int> MaekawaMutex::grid_quorum(int rank, int n) {
+  GMX_ASSERT(rank >= 0 && rank < n);
+  const int k = int(std::ceil(std::sqrt(double(n))));
+  const int row = rank / k;
+  const int col = rank % k;
+  std::set<int> q;
+  for (int c = 0; c < k; ++c) {
+    const int v = row * k + c;
+    if (v < n) q.insert(v);
+  }
+  for (int r = 0; (r * k + col) < n; ++r) q.insert(r * k + col);
+  return {q.begin(), q.end()};
+}
+
+void MaekawaMutex::init(int holder_rank) {
+  GMX_ASSERT(holder_rank == kNoHolder || holder_rank < ctx().size());
+  quorum_ = grid_quorum(ctx().self(), ctx().size());
+  clock_ = 0;
+  request_ts_ = 0;
+  locked_from_.clear();
+  demanded_ = false;
+  arb_current_.reset();
+  arb_queue_.clear();
+  arb_inquired_ = false;
+  arb_demanded_ = false;
+}
+
+void MaekawaMutex::send_or_local(int to, std::uint16_t type) {
+  if (to != ctx().self()) {
+    ctx().send(to, type, {});
+    return;
+  }
+  // Local shim: dispatch to the self handler without a network hop.
+  switch (type) {
+    case kLocked:
+      on_locked(ctx().self());
+      break;
+    case kInquire:
+      on_inquire(ctx().self());
+      break;
+    case kRelinquish:
+      arb_relinquish(ctx().self());
+      break;
+    case kRelease:
+      arb_release(ctx().self());
+      break;
+    case kDemand:
+      on_demand();
+      break;
+    default:
+      GMX_ASSERT_MSG(false, "bad local maekawa dispatch");
+  }
+}
+
+// --- requester ------------------------------------------------------------
+
+void MaekawaMutex::request_cs() {
+  begin_request();
+  request_ts_ = ++clock_;
+  GMX_ASSERT(locked_from_.empty());
+  for (int arbiter : quorum_) ask(arbiter);
+}
+
+void MaekawaMutex::ask(int arbiter) {
+  if (arbiter == ctx().self()) {
+    arb_request(Entry{request_ts_, ctx().self()});
+    return;
+  }
+  wire::Writer w;
+  w.varint(request_ts_);
+  ctx().send(arbiter, kRequest, w.view());
+}
+
+void MaekawaMutex::on_locked(int arbiter) {
+  GMX_ASSERT_MSG(state() == CsState::kRequesting,
+                 "vote outside a request");
+  GMX_ASSERT(std::find(quorum_.begin(), quorum_.end(), arbiter) !=
+             quorum_.end());
+  const bool inserted = locked_from_.insert(arbiter).second;
+  GMX_ASSERT_MSG(inserted, "duplicate vote from one arbiter");
+  if (state() == CsState::kRequesting &&
+      locked_from_.size() == quorum_.size()) {
+    enter_cs_and_notify();
+  }
+}
+
+void MaekawaMutex::on_inquire(int arbiter) {
+  // Step back only while still collecting votes; once in the CS the arbiter
+  // is answered by our RELEASE. A stale inquire (vote already returned, or
+  // we already released) is ignored.
+  if (state() == CsState::kRequesting &&
+      locked_from_.erase(arbiter) == 1) {
+    send_or_local(arbiter, kRelinquish);
+  }
+}
+
+void MaekawaMutex::on_demand() {
+  if (!demanded_) {
+    demanded_ = true;
+    observer().on_pending_request();
+  }
+}
+
+void MaekawaMutex::release_cs() {
+  begin_release();
+  GMX_ASSERT(locked_from_.size() == quorum_.size());
+  locked_from_.clear();
+  demanded_ = false;
+  for (int arbiter : quorum_) send_or_local(arbiter, kRelease);
+}
+
+// --- arbiter ----------------------------------------------------------------
+
+void MaekawaMutex::arb_grant(Entry e) {
+  arb_current_ = e;
+  arb_inquired_ = false;
+  arb_demanded_ = false;
+  send_or_local(e.rank, kLocked);
+}
+
+void MaekawaMutex::arb_request(Entry e) {
+  if (!arb_current_) {
+    GMX_ASSERT(arb_queue_.empty());
+    arb_grant(e);
+    return;
+  }
+  arb_queue_.insert(
+      std::lower_bound(arb_queue_.begin(), arb_queue_.end(), e), e);
+  // Revocation attempt: only for a strictly older request than the current
+  // lock (classic rule; keeps the oldest request moving).
+  if (!arb_inquired_ && arb_queue_.front() < *arb_current_) {
+    arb_inquired_ = true;
+    send_or_local(arb_current_->rank, kInquire);
+  }
+  arb_signal_demand();
+}
+
+void MaekawaMutex::arb_signal_demand() {
+  if (!arb_demanded_ && arb_current_ && !arb_queue_.empty()) {
+    arb_demanded_ = true;
+    send_or_local(arb_current_->rank, kDemand);
+  }
+}
+
+void MaekawaMutex::arb_relinquish(int from) {
+  GMX_ASSERT_MSG(arb_current_ && arb_current_->rank == from,
+                 "relinquish from a non-candidate");
+  // The candidate keeps waiting: back into the queue, oldest first wins.
+  Entry back = *arb_current_;
+  arb_queue_.insert(
+      std::lower_bound(arb_queue_.begin(), arb_queue_.end(), back), back);
+  const Entry next = arb_queue_.front();
+  arb_queue_.erase(arb_queue_.begin());
+  arb_grant(next);
+  arb_signal_demand();
+}
+
+void MaekawaMutex::arb_release(int from) {
+  GMX_ASSERT_MSG(arb_current_ && arb_current_->rank == from,
+                 "release from a non-candidate");
+  arb_current_.reset();
+  arb_inquired_ = false;
+  arb_demanded_ = false;
+  if (!arb_queue_.empty()) {
+    const Entry next = arb_queue_.front();
+    arb_queue_.erase(arb_queue_.begin());
+    arb_grant(next);
+    arb_signal_demand();
+  }
+}
+
+// --- dispatch ---------------------------------------------------------------
+
+void MaekawaMutex::on_message(int from_rank, std::uint16_t type,
+                              wire::Reader payload) {
+  switch (type) {
+    case kRequest: {
+      const std::uint64_t ts = payload.varint();
+      payload.expect_end();
+      clock_ = std::max(clock_, ts) + 1;
+      arb_request(Entry{ts, from_rank});
+      break;
+    }
+    case kLocked:
+      payload.expect_end();
+      on_locked(from_rank);
+      break;
+    case kInquire:
+      payload.expect_end();
+      on_inquire(from_rank);
+      break;
+    case kRelinquish:
+      payload.expect_end();
+      arb_relinquish(from_rank);
+      break;
+    case kRelease:
+      payload.expect_end();
+      arb_release(from_rank);
+      break;
+    case kDemand:
+      payload.expect_end();
+      on_demand();
+      break;
+    default:
+      throw wire::WireError("maekawa: unknown message type");
+  }
+}
+
+bool MaekawaMutex::has_pending_requests() const {
+  if (demanded_) return true;
+  // Self-arbitration: we hold our own vote in the CS while others queue.
+  return in_cs() && !arb_queue_.empty();
+}
+
+}  // namespace gmx

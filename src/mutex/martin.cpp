@@ -1,0 +1,105 @@
+#include "gridmutex/mutex/martin.hpp"
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+int MartinMutex::successor() const {
+  return (ctx().self() + 1) % ctx().size();
+}
+
+int MartinMutex::predecessor() const {
+  return (ctx().self() + ctx().size() - 1) % ctx().size();
+}
+
+void MartinMutex::init(int holder_rank) {
+  GMX_ASSERT_MSG(holder_rank >= 0 && holder_rank < ctx().size(),
+                 "Martin requires an initial token holder");
+  GMX_ASSERT_MSG(ctx().size() >= 2, "a ring needs at least two participants");
+  has_token_ = (ctx().self() == holder_rank);
+  pass_to_pred_ = false;
+}
+
+void MartinMutex::request_cs() {
+  begin_request();
+  if (has_token_) {
+    enter_cs_and_notify();
+    return;
+  }
+  // If a request already passed through us, the token is bound to cross us;
+  // we will consume it then. Otherwise launch our own request clockwise.
+  if (!pass_to_pred_) ctx().send(successor(), kRequest, {});
+}
+
+void MartinMutex::release_cs() {
+  begin_release();
+  if (pass_to_pred_) forward_token_to_predecessor();
+  // Otherwise the token parks here.
+}
+
+void MartinMutex::on_message(int from_rank, std::uint16_t type,
+                             wire::Reader payload) {
+  payload.expect_end();  // both Martin messages are header-only
+  switch (type) {
+    case kRequest:
+      GMX_ASSERT_MSG(from_rank == predecessor(),
+                     "requests must arrive from the ring predecessor");
+      handle_request();
+      break;
+    case kToken:
+      GMX_ASSERT_MSG(from_rank == successor(),
+                     "the token must arrive from the ring successor");
+      handle_token();
+      break;
+    default:
+      throw wire::WireError("martin: unknown message type");
+  }
+}
+
+void MartinMutex::handle_request() {
+  if (has_token_) {
+    if (state() == CsState::kIdle && !pass_to_pred_) {
+      // Idle holder: launch the token backwards immediately.
+      has_token_ = false;
+      ctx().send(predecessor(), kToken, {});
+    } else {
+      // In CS (or a send is already owed): remember to pass it on.
+      if (!pass_to_pred_) {
+        pass_to_pred_ = true;
+        observer().on_pending_request();
+      }
+    }
+    return;
+  }
+  if (state() == CsState::kRequesting || pass_to_pred_) {
+    // Absorb: our own pending request (or an already-forwarded one) will
+    // bring the token through here; no need to forward (§2.1 optimization).
+    pass_to_pred_ = true;
+    return;
+  }
+  // Pure relay: forward the request clockwise and remember the duty to
+  // relay the token when it comes back.
+  pass_to_pred_ = true;
+  ctx().send(successor(), kRequest, {});
+}
+
+void MartinMutex::handle_token() {
+  GMX_ASSERT_MSG(!has_token_, "duplicate token");
+  has_token_ = true;
+  if (state() == CsState::kRequesting) {
+    // Consume. pass_to_pred_, if set, is honoured at release.
+    enter_cs_and_notify();
+    return;
+  }
+  GMX_ASSERT_MSG(pass_to_pred_, "token arrived with nothing owed");
+  forward_token_to_predecessor();
+}
+
+void MartinMutex::forward_token_to_predecessor() {
+  GMX_ASSERT(has_token_ && pass_to_pred_);
+  has_token_ = false;
+  pass_to_pred_ = false;
+  ctx().send(predecessor(), kToken, {});
+}
+
+}  // namespace gmx

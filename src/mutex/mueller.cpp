@@ -1,0 +1,116 @@
+#include "gridmutex/mutex/mueller.hpp"
+
+#include <algorithm>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+void MuellerMutex::init(int holder_rank) {
+  GMX_ASSERT_MSG(holder_rank >= 0 && holder_rank < ctx().size(),
+                 "Mueller requires an initial token holder");
+  last_ = holder_rank;
+  has_token_ = (ctx().self() == holder_rank);
+  q_.clear();
+}
+
+void MuellerMutex::request_cs() {
+  begin_request();
+  GMX_ASSERT_MSG(my_priority_ >= 0, "priorities are non-negative");
+  if (has_token_) {
+    GMX_ASSERT(q_.empty());
+    enter_cs_and_notify();
+    return;
+  }
+  wire::Writer w;
+  w.varint(std::uint64_t(ctx().self()));
+  w.varint(std::uint64_t(my_priority_));
+  ctx().send(last_, kRequest, w.view());
+}
+
+void MuellerMutex::release_cs() {
+  begin_release();
+  GMX_ASSERT(has_token_);
+  if (!q_.empty()) grant_from_queue();
+}
+
+void MuellerMutex::on_message(int from_rank, std::uint16_t type,
+                              wire::Reader payload) {
+  switch (type) {
+    case kRequest: {
+      const auto requester = std::uint32_t(payload.varint());
+      const auto base = std::uint32_t(payload.varint());
+      payload.expect_end();
+      GMX_ASSERT(int(requester) < ctx().size());
+      (void)from_rank;
+      handle_request(requester, base);
+      break;
+    }
+    case kToken: {
+      const auto count = payload.varint();
+      std::vector<Pending> q;
+      q.reserve(count);
+      for (std::uint64_t i = 0; i < count; ++i) {
+        Pending p;
+        p.rank = std::uint32_t(payload.varint());
+        p.base = std::uint32_t(payload.varint());
+        p.age = std::uint32_t(payload.varint());
+        q.push_back(p);
+      }
+      payload.expect_end();
+      GMX_ASSERT_MSG(!has_token_, "duplicate token");
+      GMX_ASSERT_MSG(state() == CsState::kRequesting,
+                     "token arrived at a non-requesting participant");
+      has_token_ = true;
+      q_ = std::move(q);
+      enter_cs_and_notify();
+      break;
+    }
+    default:
+      throw wire::WireError("mueller: unknown message type");
+  }
+}
+
+void MuellerMutex::handle_request(std::uint32_t requester,
+                                  std::uint32_t base) {
+  if (!has_token_) {
+    wire::Writer w;
+    w.varint(requester);
+    w.varint(base);
+    ctx().send(last_, kRequest, w.view());
+    return;
+  }
+  q_.push_back(Pending{requester, base, 0});
+  if (state() == CsState::kIdle && q_.size() == 1) {
+    grant_from_queue();
+    return;
+  }
+  observer().on_pending_request();
+}
+
+void MuellerMutex::grant_from_queue() {
+  GMX_ASSERT(has_token_ && !q_.empty());
+  // Highest effective priority; FIFO among equals (stable: first max).
+  auto best = q_.begin();
+  for (auto it = q_.begin() + 1; it != q_.end(); ++it) {
+    if (it->effective() > best->effective()) best = it;
+  }
+  const Pending grantee = *best;
+  q_.erase(best);
+  // Aging: every bypassed request gains a point.
+  for (Pending& p : q_) ++p.age;
+
+  wire::Writer w;
+  w.varint(q_.size());
+  for (const Pending& p : q_) {
+    w.varint(p.rank);
+    w.varint(p.base);
+    w.varint(p.age);
+  }
+  has_token_ = false;
+  q_.clear();
+  last_ = int(grantee.rank);
+  ctx().send(int(grantee.rank), kToken, w.view());
+}
+
+}  // namespace gmx

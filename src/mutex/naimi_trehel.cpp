@@ -1,0 +1,97 @@
+#include "gridmutex/mutex/naimi_trehel.hpp"
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+void NaimiTrehelMutex::init(int holder_rank) {
+  GMX_ASSERT_MSG(holder_rank >= 0 && holder_rank < ctx().size(),
+                 "Naimi-Trehel requires an initial token holder");
+  last_ = holder_rank;
+  has_token_ = (ctx().self() == holder_rank);
+  next_.reset();
+}
+
+void NaimiTrehelMutex::request_cs() {
+  begin_request();
+  if (has_token_) {
+    // We are the idle root; enter directly, no message (paper §2.2 case 2).
+    GMX_ASSERT(last_ == ctx().self());
+    enter_cs_and_notify();
+    return;
+  }
+  // Climb the tree: ask our probable owner, then become the root.
+  GMX_ASSERT_MSG(last_ != ctx().self(),
+                 "root without token cannot be in Idle state");
+  wire::Writer w;
+  w.varint(std::uint64_t(ctx().self()));
+  ctx().send(last_, kRequest, w.view());
+  last_ = ctx().self();
+}
+
+void NaimiTrehelMutex::release_cs() {
+  begin_release();
+  if (next_) {
+    GMX_ASSERT(has_token_);
+    has_token_ = false;
+    const int to = *next_;
+    next_.reset();
+    ctx().send(to, kToken, {});
+  }
+  // Without a next, the token stays here idle.
+}
+
+void NaimiTrehelMutex::on_message(int from_rank, std::uint16_t type,
+                                  wire::Reader payload) {
+  switch (type) {
+    case kRequest: {
+      const auto requester = int(payload.varint());
+      payload.expect_end();
+      GMX_ASSERT(requester >= 0 && requester < ctx().size());
+      GMX_ASSERT(requester != ctx().self());
+      handle_request(requester);
+      break;
+    }
+    case kToken:
+      payload.expect_end();
+      (void)from_rank;
+      handle_token();
+      break;
+    default:
+      throw wire::WireError("naimi: unknown message type");
+  }
+}
+
+void NaimiTrehelMutex::handle_request(int requester) {
+  if (last_ == ctx().self()) {
+    // We are the root: the requester queues behind us.
+    if (has_token_ && state() == CsState::kIdle) {
+      // Idle holder: hand the token over directly.
+      has_token_ = false;
+      ctx().send(requester, kToken, {});
+    } else {
+      // Either in CS holding the token, or ourselves waiting for it.
+      GMX_ASSERT_MSG(!next_.has_value(),
+                     "root already has a next; tree routing broke");
+      next_ = requester;
+      observer().on_pending_request();
+    }
+  } else {
+    // Not the root: forward one hop up the tree.
+    wire::Writer w;
+    w.varint(std::uint64_t(requester));
+    ctx().send(last_, kRequest, w.view());
+  }
+  // Path reversal: the requester is the new probable owner.
+  last_ = requester;
+}
+
+void NaimiTrehelMutex::handle_token() {
+  GMX_ASSERT_MSG(!has_token_, "duplicate token");
+  GMX_ASSERT_MSG(state() == CsState::kRequesting,
+                 "token arrived at a participant that is not requesting");
+  has_token_ = true;
+  enter_cs_and_notify();
+}
+
+}  // namespace gmx

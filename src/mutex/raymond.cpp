@@ -1,0 +1,98 @@
+#include "gridmutex/mutex/raymond.hpp"
+
+#include <algorithm>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+namespace {
+// Virtual heap index of `rank` in a tree rooted at `root`.
+int virtual_index(int rank, int root, int n) { return (rank - root + n) % n; }
+int real_rank(int vindex, int root, int n) { return (vindex + root) % n; }
+}  // namespace
+
+int RaymondMutex::tree_parent() const {
+  const int n = ctx().size();
+  const int v = virtual_index(ctx().self(), root_, n);
+  if (v == 0) return kNoHolder;
+  return real_rank((v - 1) / 2, root_, n);
+}
+
+void RaymondMutex::init(int holder_rank) {
+  GMX_ASSERT_MSG(holder_rank >= 0 && holder_rank < ctx().size(),
+                 "Raymond requires an initial token holder");
+  root_ = holder_rank;
+  // Initially every edge points toward the root, i.e. holder == parent
+  // (or self at the root).
+  holder_ = (ctx().self() == holder_rank) ? ctx().self() : tree_parent();
+  asked_ = false;
+  q_.clear();
+}
+
+void RaymondMutex::request_cs() {
+  begin_request();
+  q_.push_back(ctx().self());
+  assign_privilege();
+  make_request();
+}
+
+void RaymondMutex::release_cs() {
+  begin_release();
+  assign_privilege();
+  make_request();
+}
+
+void RaymondMutex::on_message(int from_rank, std::uint16_t type,
+                              wire::Reader payload) {
+  payload.expect_end();
+  switch (type) {
+    case kRequest:
+      q_.push_back(from_rank);
+      if (holds_token() && from_rank != ctx().self())
+        observer().on_pending_request();
+      assign_privilege();
+      make_request();
+      break;
+    case kToken:
+      GMX_ASSERT_MSG(from_rank == holder_,
+                     "token must arrive along the holder edge");
+      holder_ = ctx().self();
+      asked_ = false;
+      assign_privilege();
+      make_request();
+      break;
+    default:
+      throw wire::WireError("raymond: unknown message type");
+  }
+}
+
+void RaymondMutex::assign_privilege() {
+  if (holder_ != ctx().self()) return;    // token elsewhere
+  if (state() == CsState::kInCs) return;  // we are using it
+  if (q_.empty()) return;                 // nobody wants it
+  const int head = q_.front();
+  q_.pop_front();
+  if (head == ctx().self()) {
+    GMX_ASSERT(state() == CsState::kRequesting);
+    enter_cs_and_notify();
+    return;
+  }
+  holder_ = head;
+  asked_ = false;
+  ctx().send(head, kToken, {});
+}
+
+void RaymondMutex::make_request() {
+  if (holder_ == ctx().self()) return;
+  if (q_.empty() || asked_) return;
+  asked_ = true;
+  ctx().send(holder_, kRequest, {});
+}
+
+bool RaymondMutex::has_pending_requests() const {
+  return std::any_of(q_.begin(), q_.end(),
+                     [self = ctx().self()](int r) { return r != self; });
+}
+
+}  // namespace gmx

@@ -1,0 +1,145 @@
+#include "gridmutex/mutex/registry.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+#include <cctype>
+#include <stdexcept>
+
+#include "gridmutex/mutex/bertier.hpp"
+#include "gridmutex/mutex/central_server.hpp"
+#include "gridmutex/mutex/lamport.hpp"
+#include "gridmutex/mutex/maekawa.hpp"
+#include "gridmutex/mutex/martin.hpp"
+#include "gridmutex/mutex/mueller.hpp"
+#include "gridmutex/mutex/naimi_trehel.hpp"
+#include "gridmutex/mutex/raymond.hpp"
+#include "gridmutex/mutex/ricart_agrawala.hpp"
+#include "gridmutex/mutex/suzuki_kasami.hpp"
+
+namespace gmx {
+
+namespace {
+
+std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return char(std::tolower(c)); });
+  return out;
+}
+
+struct Entry {
+  const char* name;
+  bool token_based;
+  std::unique_ptr<MutexAlgorithm> (*make)();
+};
+
+constexpr Entry kEntries[] = {
+    {"naimi", true, [] { return std::unique_ptr<MutexAlgorithm>(
+                             std::make_unique<NaimiTrehelMutex>()); }},
+    {"martin", true, [] { return std::unique_ptr<MutexAlgorithm>(
+                              std::make_unique<MartinMutex>()); }},
+    {"suzuki", true, [] { return std::unique_ptr<MutexAlgorithm>(
+                              std::make_unique<SuzukiKasamiMutex>()); }},
+    {"raymond", true, [] { return std::unique_ptr<MutexAlgorithm>(
+                               std::make_unique<RaymondMutex>()); }},
+    {"central", true, [] { return std::unique_ptr<MutexAlgorithm>(
+                               std::make_unique<CentralServerMutex>()); }},
+    {"ricart", false, [] { return std::unique_ptr<MutexAlgorithm>(
+                               std::make_unique<RicartAgrawalaMutex>()); }},
+    {"bertier", true, [] { return std::unique_ptr<MutexAlgorithm>(
+                               std::make_unique<BertierMutex>()); }},
+    {"mueller", true, [] { return std::unique_ptr<MutexAlgorithm>(
+                               std::make_unique<MuellerMutex>()); }},
+    {"lamport", false, [] { return std::unique_ptr<MutexAlgorithm>(
+                                std::make_unique<LamportMutex>()); }},
+    {"maekawa", false, [] { return std::unique_ptr<MutexAlgorithm>(
+                                std::make_unique<MaekawaMutex>()); }},
+};
+
+const Entry& find_entry(std::string_view name) {
+  const std::string key = lower(name);
+  for (const Entry& e : kEntries) {
+    if (key == e.name) return e;
+  }
+  throw std::invalid_argument("unknown mutex algorithm: \"" +
+                              std::string(name) + "\"");
+}
+
+}  // namespace
+
+std::unique_ptr<MutexAlgorithm> make_algorithm(std::string_view name) {
+  return find_entry(name).make();
+}
+
+AlgorithmFactory algorithm_factory(std::string_view name) {
+  const Entry& e = find_entry(name);
+  return [make = e.make] { return make(); };
+}
+
+const std::vector<std::string>& algorithm_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const Entry& e : kEntries) out.emplace_back(e.name);
+    return out;
+  }();
+  return names;
+}
+
+bool is_token_based(std::string_view name) {
+  return find_entry(name).token_based;
+}
+
+std::string message_type_name(std::string_view algorithm,
+                              std::uint16_t type) {
+  const std::string key = lower(algorithm);
+  // Message codes per algorithm; see each header's MsgType enum.
+  struct TypeName {
+    std::uint16_t code;
+    const char* label;
+  };
+  static const std::unordered_map<std::string, std::vector<TypeName>> kNames =
+      {
+          {"naimi", {{1, "REQUEST"}, {2, "TOKEN"}}},
+          {"martin", {{1, "REQUEST"}, {2, "TOKEN"}}},
+          {"suzuki", {{1, "REQUEST"}, {2, "TOKEN"}}},
+          {"raymond", {{1, "REQUEST"}, {2, "TOKEN"}}},
+          {"bertier", {{1, "REQUEST"}, {2, "TOKEN"}}},
+          {"mueller", {{1, "REQUEST"}, {2, "TOKEN"}}},
+          {"central",
+           {{1, "REQUEST"}, {2, "GRANT"}, {3, "RELEASE"}, {4, "REVOKE"}}},
+          {"ricart", {{1, "REQUEST"}, {2, "REPLY"}}},
+          {"lamport",
+           {{1, "REQUEST"}, {2, "REPLY"}, {3, "RELEASE"}}},
+          {"maekawa",
+           {{1, "REQUEST"},
+            {2, "LOCKED"},
+            {3, "INQUIRE"},
+            {4, "RELINQUISH"},
+            {5, "RELEASE"},
+            {6, "DEMAND"}}},
+      };
+  const auto it = kNames.find(key);
+  if (it != kNames.end()) {
+    for (const TypeName& t : it->second)
+      if (t.code == type) return t.label;
+  }
+  return "type" + std::to_string(type);
+}
+
+CompositionSpec parse_composition(std::string_view spec) {
+  const auto dash = spec.find('-');
+  if (dash == std::string_view::npos || dash == 0 ||
+      dash + 1 == spec.size()) {
+    throw std::invalid_argument(
+        "composition spec must be \"intra-inter\", got \"" +
+        std::string(spec) + "\"");
+  }
+  CompositionSpec out{lower(spec.substr(0, dash)),
+                      lower(spec.substr(dash + 1))};
+  find_entry(out.intra);  // validate
+  find_entry(out.inter);
+  return out;
+}
+
+}  // namespace gmx

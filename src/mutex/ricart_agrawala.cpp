@@ -1,0 +1,79 @@
+#include "gridmutex/mutex/ricart_agrawala.hpp"
+
+#include <algorithm>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+void RicartAgrawalaMutex::init(int holder_rank) {
+  // Permission-based: no token exists. A designated holder is meaningless;
+  // accept kNoHolder or any valid rank (ignored) so the registry can treat
+  // all algorithms uniformly.
+  GMX_ASSERT(holder_rank == kNoHolder || holder_rank < ctx().size());
+  clock_ = 0;
+  request_ts_ = 0;
+  replies_missing_ = 0;
+  deferred_.clear();
+}
+
+void RicartAgrawalaMutex::request_cs() {
+  begin_request();
+  request_ts_ = ++clock_;
+  replies_missing_ = ctx().size() - 1;
+  if (replies_missing_ == 0) {  // singleton instance
+    enter_cs_and_notify();
+    return;
+  }
+  wire::Writer w;
+  w.varint(request_ts_);
+  for (int r = 0; r < ctx().size(); ++r) {
+    if (r != ctx().self()) ctx().send(r, kRequest, w.view());
+  }
+}
+
+void RicartAgrawalaMutex::release_cs() {
+  begin_release();
+  for (int peer : deferred_) ctx().send(peer, kReply, {});
+  deferred_.clear();
+}
+
+void RicartAgrawalaMutex::on_message(int from_rank, std::uint16_t type,
+                                     wire::Reader payload) {
+  switch (type) {
+    case kRequest: {
+      const std::uint64_t ts = payload.varint();
+      payload.expect_end();
+      clock_ = std::max(clock_, ts) + 1;
+      const bool defer =
+          state() == CsState::kInCs ||
+          (state() == CsState::kRequesting &&
+           !their_request_wins(ts, from_rank));
+      if (defer) {
+        GMX_ASSERT(std::find(deferred_.begin(), deferred_.end(), from_rank) ==
+                   deferred_.end());
+        deferred_.push_back(from_rank);
+        observer().on_pending_request();
+      } else {
+        ctx().send(from_rank, kReply, {});
+      }
+      break;
+    }
+    case kReply:
+      payload.expect_end();
+      GMX_ASSERT_MSG(state() == CsState::kRequesting && replies_missing_ > 0,
+                     "unexpected reply");
+      if (--replies_missing_ == 0) enter_cs_and_notify();
+      break;
+    default:
+      throw wire::WireError("ricart: unknown message type");
+  }
+}
+
+bool RicartAgrawalaMutex::their_request_wins(std::uint64_t ts,
+                                             int rank) const {
+  if (ts != request_ts_) return ts < request_ts_;
+  return rank < ctx().self();
+}
+
+}  // namespace gmx

@@ -1,0 +1,127 @@
+#include "gridmutex/mutex/suzuki_kasami.hpp"
+
+#include <algorithm>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+void SuzukiKasamiMutex::init(int holder_rank) {
+  GMX_ASSERT_MSG(holder_rank >= 0 && holder_rank < ctx().size(),
+                 "Suzuki-Kasami requires an initial token holder");
+  rn_.assign(std::size_t(ctx().size()), 0);
+  has_token_ = (ctx().self() == holder_rank);
+  if (has_token_) {
+    ln_.assign(std::size_t(ctx().size()), 0);
+    q_.clear();
+  }
+}
+
+void SuzukiKasamiMutex::request_cs() {
+  begin_request();
+  const auto self = std::size_t(ctx().self());
+  ++rn_[self];
+  if (has_token_) {
+    enter_cs_and_notify();
+    return;
+  }
+  wire::Writer w;
+  w.varint(rn_[self]);
+  for (int r = 0; r < ctx().size(); ++r) {
+    if (r != ctx().self()) ctx().send(r, kRequest, w.view());
+  }
+}
+
+void SuzukiKasamiMutex::release_cs() {
+  begin_release();
+  GMX_ASSERT(has_token_);
+  const auto self = std::size_t(ctx().self());
+  ln_[self] = rn_[self];
+  // Enqueue every participant with an unsatisfied request, scanning from
+  // self+1 so the rank order rotates (canonical formulation). Note what is
+  // deliberately *absent*: arrival-time ordering. §4.6 of the paper traces
+  // Suzuki's weaker fairness to exactly this.
+  const int n = ctx().size();
+  for (int off = 1; off < n; ++off) {
+    const int j = (ctx().self() + off) % n;
+    if (rn_[std::size_t(j)] > ln_[std::size_t(j)] &&
+        std::find(q_.begin(), q_.end(), std::uint32_t(j)) == q_.end()) {
+      q_.push_back(std::uint32_t(j));
+    }
+  }
+  if (!q_.empty()) {
+    const int head = int(q_.front());
+    q_.pop_front();
+    send_token_to(head);
+  }
+}
+
+void SuzukiKasamiMutex::on_message(int from_rank, std::uint16_t type,
+                                   wire::Reader payload) {
+  switch (type) {
+    case kRequest: {
+      const std::uint64_t seq = payload.varint();
+      payload.expect_end();
+      handle_request(from_rank, seq);
+      break;
+    }
+    case kToken:
+      handle_token(payload);
+      break;
+    default:
+      throw wire::WireError("suzuki: unknown message type");
+  }
+}
+
+void SuzukiKasamiMutex::handle_request(int from_rank, std::uint64_t seq) {
+  auto& rn = rn_[std::size_t(from_rank)];
+  rn = std::max(rn, seq);
+  if (!has_token_) return;
+  if (state() == CsState::kIdle) {
+    // Idle holder: grant any not-yet-satisfied request immediately. The
+    // classical test is rn == ln+1; comparing with > additionally tolerates
+    // reordered duplicates of the (single) outstanding request per node.
+    if (rn > ln_[std::size_t(from_rank)]) send_token_to(from_rank);
+  } else {
+    // Holding the token inside the CS: the request will be served at
+    // release; surface it (composition hook).
+    if (rn > ln_[std::size_t(from_rank)]) observer().on_pending_request();
+  }
+}
+
+void SuzukiKasamiMutex::handle_token(wire::Reader& payload) {
+  GMX_ASSERT_MSG(!has_token_, "duplicate token");
+  GMX_ASSERT_MSG(state() == CsState::kRequesting,
+                 "token arrived at a non-requesting participant");
+  const auto ln = payload.varint_array_u64();
+  const auto q = payload.varint_array_u32();
+  payload.expect_end();
+  if (int(ln.size()) != ctx().size())
+    throw wire::WireError("suzuki: token LN size mismatch");
+  ln_ = ln;
+  q_.assign(q.begin(), q.end());
+  has_token_ = true;
+  enter_cs_and_notify();
+}
+
+void SuzukiKasamiMutex::send_token_to(int rank) {
+  GMX_ASSERT(has_token_);
+  has_token_ = false;
+  wire::Writer w;
+  w.varint_array(std::span<const std::uint64_t>(ln_));
+  std::vector<std::uint32_t> q(q_.begin(), q_.end());
+  w.varint_array(std::span<const std::uint32_t>(q));
+  ctx().send(rank, kToken, w.view());
+  q_.clear();
+}
+
+bool SuzukiKasamiMutex::has_pending_requests() const {
+  if (!has_token_) return false;
+  for (int j = 0; j < int(rn_.size()); ++j) {
+    if (j == ctx().self()) continue;
+    if (rn_[std::size_t(j)] > ln_[std::size_t(j)]) return true;
+  }
+  return false;
+}
+
+}  // namespace gmx

@@ -1,0 +1,135 @@
+#include "gridmutex/net/network.hpp"
+
+#include <utility>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+MessageCounters& MessageCounters::operator-=(const MessageCounters& o) {
+  sent -= o.sent;
+  delivered -= o.delivered;
+  dropped -= o.dropped;
+  duplicated -= o.duplicated;
+  intra_cluster -= o.intra_cluster;
+  inter_cluster -= o.inter_cluster;
+  bytes_total -= o.bytes_total;
+  bytes_inter -= o.bytes_inter;
+  return *this;
+}
+
+Network::Network(Simulator& sim, Topology topo,
+                 std::shared_ptr<const LatencyModel> latency, Rng rng)
+    : sim_(sim),
+      topo_(std::move(topo)),
+      latency_(std::move(latency)),
+      rng_(rng),
+      handlers_(topo_.node_count()) {
+  GMX_ASSERT(latency_ != nullptr);
+}
+
+void Network::attach(NodeId node, ProtocolId protocol, Handler handler) {
+  GMX_ASSERT(node < topo_.node_count());
+  GMX_ASSERT(handler != nullptr);
+  handlers_[node][protocol] = std::move(handler);
+}
+
+void Network::detach(NodeId node, ProtocolId protocol) {
+  GMX_ASSERT(node < topo_.node_count());
+  handlers_[node].erase(protocol);
+}
+
+void Network::set_drop_probability(double p) {
+  GMX_ASSERT(p >= 0.0 && p < 1.0);
+  drop_p_ = p;
+}
+
+void Network::set_duplicate_probability(double p) {
+  GMX_ASSERT(p >= 0.0 && p <= 1.0);
+  dup_p_ = p;
+}
+
+std::uint64_t Network::sent_by_protocol(ProtocolId p) const {
+  const auto it = sent_by_protocol_.find(p);
+  return it == sent_by_protocol_.end() ? 0 : it->second;
+}
+
+std::uint64_t Network::in_flight_for(ProtocolId p) const {
+  const auto it = in_flight_by_protocol_.find(p);
+  return it == in_flight_by_protocol_.end() ? 0 : it->second;
+}
+
+SimTime Network::departure_to_delivery(const Message& msg) {
+  SimDuration delay = latency_->sample(topo_, msg.src, msg.dst, rng_);
+  GMX_ASSERT(delay > SimDuration::ns(0));
+  if (!reorder_spread_.is_zero())
+    delay += SimDuration::ns(std::int64_t(
+        rng_.next_below(std::uint64_t(reorder_spread_.count_ns()))));
+  SimTime at = sim_.now() + delay;
+  if (fifo_) {
+    const std::uint64_t key =
+        (std::uint64_t(msg.src) << 32) | std::uint64_t(msg.dst);
+    auto [it, inserted] = last_delivery_.try_emplace(key, at);
+    if (!inserted) {
+      if (at < it->second) at = it->second;  // clamp: no overtaking
+      it->second = at;
+    }
+  }
+  return at;
+}
+
+void Network::send(Message msg) {
+  GMX_ASSERT(msg.src < topo_.node_count());
+  GMX_ASSERT(msg.dst < topo_.node_count());
+  GMX_ASSERT_MSG(msg.src != msg.dst,
+                 "self-send: handle loopback in the protocol layer");
+
+  ++counters_.sent;
+  counters_.bytes_total += msg.wire_size();
+  if (topo_.same_cluster(msg.src, msg.dst)) {
+    ++counters_.intra_cluster;
+  } else {
+    ++counters_.inter_cluster;
+    counters_.bytes_inter += msg.wire_size();
+  }
+  ++sent_by_protocol_[msg.protocol];
+
+  if (drop_p_ > 0.0 && rng_.chance(drop_p_)) {
+    ++counters_.dropped;
+    return;
+  }
+
+  const bool duplicate = dup_p_ > 0.0 && rng_.chance(dup_p_);
+  const SimTime sent_at = sim_.now();
+
+  const SimTime at = departure_to_delivery(msg);
+  ++in_flight_;
+  ++in_flight_by_protocol_[msg.protocol];
+  if (duplicate) {
+    ++counters_.duplicated;
+    Message copy = msg;
+    const SimTime at2 = departure_to_delivery(copy);
+    ++in_flight_;
+    ++in_flight_by_protocol_[copy.protocol];
+    sim_.schedule_at(at2, [this, m = std::move(copy), sent_at]() mutable {
+      deliver(std::move(m), sent_at);
+    });
+  }
+  sim_.schedule_at(at, [this, m = std::move(msg), sent_at]() mutable {
+    deliver(std::move(m), sent_at);
+  });
+}
+
+void Network::deliver(Message msg, SimTime sent_at) {
+  --in_flight_;
+  --in_flight_by_protocol_[msg.protocol];
+  ++counters_.delivered;
+  if (tracer_) tracer_(msg, sent_at, sim_.now());
+  auto& node_handlers = handlers_[msg.dst];
+  const auto it = node_handlers.find(msg.protocol);
+  GMX_ASSERT_MSG(it != node_handlers.end(),
+                 "message delivered to node with no handler for its protocol");
+  it->second(msg);
+}
+
+}  // namespace gmx

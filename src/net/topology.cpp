@@ -1,0 +1,84 @@
+#include "gridmutex/net/topology.hpp"
+
+#include <array>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+namespace {
+constexpr std::array<std::string_view, 9> kGrid5000Sites = {
+    "orsay", "grenoble", "lyon",     "rennes", "lille",
+    "nancy", "toulouse", "sophia",   "bordeaux"};
+}  // namespace
+
+std::span<const std::string_view> grid5000_site_names() {
+  return kGrid5000Sites;
+}
+
+Topology Topology::uniform(std::uint32_t cluster_count,
+                           std::uint32_t nodes_per_cluster) {
+  std::vector<std::uint32_t> sizes(cluster_count, nodes_per_cluster);
+  return from_sizes(sizes);
+}
+
+Topology Topology::from_sizes(std::span<const std::uint32_t> sizes,
+                              std::vector<std::string> names) {
+  GMX_ASSERT_MSG(!sizes.empty(), "topology needs at least one cluster");
+  GMX_ASSERT_MSG(names.empty() || names.size() == sizes.size(),
+                 "one name per cluster, or none");
+  Topology t;
+  NodeId next = 0;
+  for (std::size_t c = 0; c < sizes.size(); ++c) {
+    GMX_ASSERT_MSG(sizes[c] > 0, "empty cluster");
+    t.first_node_.push_back(next);
+    for (std::uint32_t i = 0; i < sizes[c]; ++i)
+      t.cluster_of_.push_back(ClusterId(c));
+    next += sizes[c];
+    t.names_.push_back(names.empty() ? "c" + std::to_string(c)
+                                     : std::move(names[c]));
+  }
+  t.node_count_ = next;
+  return t;
+}
+
+Topology Topology::grid5000(std::uint32_t nodes_per_cluster) {
+  std::vector<std::uint32_t> sizes(kGrid5000Sites.size(), nodes_per_cluster);
+  std::vector<std::string> names;
+  names.reserve(kGrid5000Sites.size());
+  for (auto s : kGrid5000Sites) names.emplace_back(s);
+  return from_sizes(sizes, std::move(names));
+}
+
+ClusterId Topology::cluster_of(NodeId node) const {
+  GMX_ASSERT(node < node_count_);
+  return cluster_of_[node];
+}
+
+std::uint32_t Topology::cluster_size(ClusterId c) const {
+  GMX_ASSERT(c < cluster_count());
+  const NodeId first = first_node_[c];
+  const NodeId end =
+      (c + 1 < cluster_count()) ? first_node_[c + 1] : node_count_;
+  return end - first;
+}
+
+NodeId Topology::first_node_of(ClusterId c) const {
+  GMX_ASSERT(c < cluster_count());
+  return first_node_[c];
+}
+
+std::vector<NodeId> Topology::nodes_of(ClusterId c) const {
+  const NodeId first = first_node_of(c);
+  const std::uint32_t n = cluster_size(c);
+  std::vector<NodeId> out(n);
+  for (std::uint32_t i = 0; i < n; ++i) out[i] = first + i;
+  return out;
+}
+
+const std::string& Topology::cluster_name(ClusterId c) const {
+  GMX_ASSERT(c < cluster_count());
+  return names_[c];
+}
+
+}  // namespace gmx

@@ -1,0 +1,32 @@
+#include "gridmutex/net/trace.hpp"
+
+#include <iomanip>
+
+namespace gmx {
+
+TraceSink::TraceSink(std::ostream& out, Labeler labeler)
+    : out_(out), labeler_(std::move(labeler)) {}
+
+void TraceSink::install(Network& net) {
+  net.set_tracer([this, &net](const Message& m, SimTime sent, SimTime recv) {
+    if (enabled_) write(net, m, sent, recv);
+  });
+}
+
+void TraceSink::write(const Network& net, const Message& msg, SimTime sent,
+                      SimTime recv) {
+  const Topology& topo = net.topology();
+  const std::string label =
+      labeler_ ? labeler_(msg.protocol, msg.type)
+               : "p" + std::to_string(msg.protocol) + "/t" +
+                     std::to_string(msg.type);
+  out_ << std::fixed << std::setprecision(3) << recv.as_ms() << "ms  "
+       << label << "  n" << msg.src << "("
+       << topo.cluster_name(topo.cluster_of(msg.src)) << ") -> n" << msg.dst
+       << "(" << topo.cluster_name(topo.cluster_of(msg.dst)) << ")  "
+       << msg.wire_size() << "B  transit=" << (recv - sent).to_string()
+       << "\n";
+  ++lines_;
+}
+
+}  // namespace gmx

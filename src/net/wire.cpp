@@ -1,0 +1,155 @@
+#include "gridmutex/net/wire.hpp"
+
+#include <cstring>
+
+namespace gmx::wire {
+
+void Writer::u16(std::uint16_t v) {
+  buf_.push_back(std::uint8_t(v));
+  buf_.push_back(std::uint8_t(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(std::uint8_t(v >> (8 * i)));
+}
+
+void Writer::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+void Writer::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(std::uint8_t(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(std::uint8_t(v));
+}
+
+void Writer::bytes(std::span<const std::uint8_t> data) {
+  varint(data.size());
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void Writer::str(std::string_view s) {
+  varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::varint_array(std::span<const std::uint64_t> values) {
+  varint(values.size());
+  for (auto v : values) varint(v);
+}
+
+void Writer::varint_array(std::span<const std::uint32_t> values) {
+  varint(values.size());
+  for (auto v : values) varint(v);
+}
+
+void Reader::need(std::size_t n) const {
+  if (remaining() < n) throw WireError("wire: truncated message");
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  std::uint16_t v = std::uint16_t(data_[pos_]) |
+                    std::uint16_t(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= std::uint32_t(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+double Reader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+std::uint64_t Reader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    need(1);
+    const std::uint8_t byte = data_[pos_++];
+    if (shift == 63 && (byte & 0x7E) != 0)
+      throw WireError("wire: varint overflows 64 bits");
+    v |= std::uint64_t(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+    if (shift > 63) throw WireError("wire: varint too long");
+  }
+}
+
+std::vector<std::uint8_t> Reader::bytes() {
+  const std::uint64_t n = varint();
+  need(n);
+  std::vector<std::uint8_t> out(data_.begin() + std::ptrdiff_t(pos_),
+                                data_.begin() + std::ptrdiff_t(pos_ + n));
+  pos_ += n;
+  return out;
+}
+
+std::string Reader::str() {
+  const std::uint64_t n = varint();
+  need(n);
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+  pos_ += n;
+  return out;
+}
+
+std::vector<std::uint64_t> Reader::varint_array_u64() {
+  const std::uint64_t n = varint();
+  if (n > remaining())  // each element takes >= 1 byte
+    throw WireError("wire: array length exceeds payload");
+  std::vector<std::uint64_t> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) out.push_back(varint());
+  return out;
+}
+
+std::vector<std::uint32_t> Reader::varint_array_u32() {
+  const std::uint64_t n = varint();
+  if (n > remaining())
+    throw WireError("wire: array length exceeds payload");
+  std::vector<std::uint32_t> out;
+  out.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const std::uint64_t v = varint();
+    if (v > UINT32_MAX) throw WireError("wire: u32 array element overflow");
+    out.push_back(std::uint32_t(v));
+  }
+  return out;
+}
+
+void Reader::expect_end() const {
+  if (!at_end()) throw WireError("wire: trailing bytes after message");
+}
+
+}  // namespace gmx::wire

@@ -1,0 +1,80 @@
+#include "gridmutex/rt/composition.hpp"
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx::rt {
+
+RtComposition::RtComposition(RtRuntime& rt, Config cfg)
+    : rt_(rt), cfg_(std::move(cfg)) {
+  const Topology& topo = rt_.topology();
+  const std::uint32_t clusters = topo.cluster_count();
+  GMX_ASSERT(cfg_.initial_cluster < clusters);
+  Rng root(cfg_.seed);
+
+  std::vector<NodeId> coordinator_nodes;
+  for (ClusterId c = 0; c < clusters; ++c) {
+    GMX_ASSERT_MSG(topo.cluster_size(c) >= 2,
+                   "each cluster needs a coordinator and >=1 app node");
+    coordinator_nodes.push_back(topo.first_node_of(c));
+  }
+  for (ClusterId c = 0; c < clusters; ++c) {
+    inter_.push_back(std::make_unique<RtMutexEndpoint>(
+        rt_, cfg_.protocol_base, coordinator_nodes, int(c),
+        make_algorithm(cfg_.inter_algorithm), root.fork(1000 + c)));
+  }
+
+  app_endpoint_of_node_.assign(topo.node_count(), -1);
+  intra_.resize(clusters);
+  for (ClusterId c = 0; c < clusters; ++c) {
+    const std::vector<NodeId> members = topo.nodes_of(c);
+    for (std::size_t r = 0; r < members.size(); ++r) {
+      intra_[c].push_back(std::make_unique<RtMutexEndpoint>(
+          rt_, cfg_.protocol_base + 1 + c, members, int(r),
+          make_algorithm(cfg_.intra_algorithm),
+          root.fork(2000 + std::uint64_t(c) * 64 + r)));
+      if (r > 0) {
+        app_nodes_.push_back(members[r]);
+        app_endpoint_of_node_[members[r]] = int(r);
+      }
+    }
+  }
+  for (ClusterId c = 0; c < clusters; ++c) {
+    coordinators_.push_back(
+        std::make_unique<Coordinator>(*intra_[c][0], *inter_[c]));
+  }
+}
+
+bool RtComposition::start(std::chrono::milliseconds timeout) {
+  const bool inter_token = is_token_based(cfg_.inter_algorithm);
+  const bool intra_token = is_token_based(cfg_.intra_algorithm);
+  for (auto& ep : inter_)
+    ep->init(inter_token ? int(cfg_.initial_cluster)
+                         : MutexAlgorithm::kNoHolder);
+  for (auto& cluster : intra_)
+    for (auto& ep : cluster)
+      ep->init(intra_token ? 0 : MutexAlgorithm::kNoHolder);
+  // All inits must land before any protocol traffic.
+  if (!rt_.wait_quiescent(timeout)) return false;
+  for (ClusterId c = 0; c < cluster_count(); ++c) {
+    Coordinator* coord = coordinators_[c].get();
+    rt_.post(rt_.topology().first_node_of(c), [coord] { coord->start(); });
+  }
+  return rt_.wait_quiescent(timeout);
+}
+
+RtMutexEndpoint& RtComposition::app_mutex(NodeId node) {
+  GMX_ASSERT(node < app_endpoint_of_node_.size());
+  const int idx = app_endpoint_of_node_[node];
+  GMX_ASSERT_MSG(idx > 0, "node is a coordinator, not an application node");
+  const ClusterId c = rt_.topology().cluster_of(node);
+  return *intra_[c][std::size_t(idx)];
+}
+
+int RtComposition::privileged_coordinators() const {
+  int n = 0;
+  for (const auto& coord : coordinators_)
+    if (coord->cluster_privileged()) ++n;
+  return n;
+}
+
+}  // namespace gmx::rt

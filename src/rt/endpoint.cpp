@@ -1,0 +1,84 @@
+#include "gridmutex/rt/endpoint.hpp"
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx::rt {
+
+RtMutexEndpoint::RtMutexEndpoint(RtRuntime& rt, ProtocolId protocol,
+                                 std::vector<NodeId> members, int self_rank,
+                                 std::unique_ptr<MutexAlgorithm> algorithm,
+                                 Rng rng)
+    : rt_(rt),
+      protocol_(protocol),
+      members_(std::move(members)),
+      rank_(self_rank),
+      algo_(std::move(algorithm)),
+      rng_(rng),
+      epoch_(std::chrono::steady_clock::now()) {
+  GMX_ASSERT(!members_.empty());
+  GMX_ASSERT(self_rank >= 0 && std::size_t(self_rank) < members_.size());
+  for (std::size_t r = 0; r < members_.size(); ++r) {
+    const auto [it, inserted] = rank_of_.emplace(members_[r], int(r));
+    (void)it;
+    GMX_ASSERT_MSG(inserted, "duplicate node in member list");
+  }
+  algo_->attach(*this, *this);
+  rt_.attach(node(), protocol_,
+             [this](const Message& m) { handle_message(m); });
+}
+
+void RtMutexEndpoint::init(int holder_rank) {
+  rt_.post(node(), [this, holder_rank] { algo_->init(holder_rank); });
+}
+
+void RtMutexEndpoint::request_cs() {
+  rt_.post(node(), [this] { algo_->request_cs(); });
+}
+
+void RtMutexEndpoint::release_cs() {
+  rt_.post(node(), [this] { algo_->release_cs(); });
+}
+
+int RtMutexEndpoint::cluster_of_rank(int rank) const {
+  GMX_ASSERT(rank >= 0 && std::size_t(rank) < members_.size());
+  return int(rt_.topology().cluster_of(members_[std::size_t(rank)]));
+}
+
+void RtMutexEndpoint::send(int to_rank, std::uint16_t type,
+                           std::span<const std::uint8_t> payload) {
+  GMX_ASSERT(to_rank >= 0 && std::size_t(to_rank) < members_.size());
+  GMX_ASSERT_MSG(to_rank != rank_, "algorithm attempted a self-send");
+  Message m;
+  m.src = node();
+  m.dst = members_[std::size_t(to_rank)];
+  m.protocol = protocol_;
+  m.type = type;
+  m.payload.assign(payload.begin(), payload.end());
+  rt_.send(std::move(m));
+}
+
+SimTime RtMutexEndpoint::now() const {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - epoch_)
+                      .count();
+  return SimTime::from_ns(ns);
+}
+
+void RtMutexEndpoint::on_cs_granted() {
+  if (!callbacks_.on_granted) return;
+  rt_.post(node(), [cb = callbacks_.on_granted] { cb(); });
+}
+
+void RtMutexEndpoint::on_pending_request() {
+  if (!callbacks_.on_pending) return;
+  rt_.post(node(), [cb = callbacks_.on_pending] { cb(); });
+}
+
+void RtMutexEndpoint::handle_message(const Message& msg) {
+  const auto it = rank_of_.find(msg.src);
+  GMX_ASSERT_MSG(it != rank_of_.end(),
+                 "message from a node outside this instance");
+  algo_->on_message(it->second, msg.type, wire::Reader(msg.payload));
+}
+
+}  // namespace gmx::rt

@@ -1,0 +1,191 @@
+#include "gridmutex/rt/runtime.hpp"
+
+#include <chrono>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx::rt {
+
+namespace {
+std::uint64_t pair_key(std::uint32_t a, std::uint32_t b) {
+  return (std::uint64_t(a) << 32) | b;
+}
+}  // namespace
+
+RtRuntime::RtRuntime(Topology topo,
+                     std::shared_ptr<const LatencyModel> latency,
+                     std::uint64_t seed, double time_scale)
+    : topo_(std::move(topo)),
+      latency_(std::move(latency)),
+      scale_(time_scale),
+      rng_(seed) {
+  GMX_ASSERT(latency_ != nullptr);
+  GMX_ASSERT(scale_ > 0);
+  workers_.reserve(topo_.node_count());
+  for (NodeId v = 0; v < topo_.node_count(); ++v) {
+    workers_.push_back(std::make_unique<NodeWorker>());
+  }
+  for (NodeId v = 0; v < topo_.node_count(); ++v) {
+    workers_[v]->thread = std::thread([this, v] { worker_loop(v); });
+  }
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+RtRuntime::~RtRuntime() { shutdown(); }
+
+void RtRuntime::shutdown() {
+  if (stopping_.exchange(true)) return;
+  heap_cv_.notify_all();
+  for (auto& w : workers_) {
+    const std::lock_guard lock(w->mu);
+    w->cv.notify_all();
+  }
+  if (dispatcher_.joinable()) dispatcher_.join();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+void RtRuntime::attach(NodeId node, ProtocolId protocol, Handler handler) {
+  GMX_ASSERT(node < topo_.node_count());
+  GMX_ASSERT(handler != nullptr);
+  const std::lock_guard lock(handlers_mu_);
+  handlers_[pair_key(node, protocol)] = std::move(handler);
+}
+
+void RtRuntime::post(NodeId node, std::function<void()> fn) {
+  GMX_ASSERT(node < topo_.node_count());
+  if (stopping_.load()) return;
+  NodeWorker& w = *workers_[node];
+  pending_work_.fetch_add(1);
+  {
+    const std::lock_guard lock(w.mu);
+    w.tasks.push_back(std::move(fn));
+  }
+  w.cv.notify_one();
+}
+
+void RtRuntime::send(Message msg) {
+  GMX_ASSERT(msg.src < topo_.node_count());
+  GMX_ASSERT(msg.dst < topo_.node_count());
+  GMX_ASSERT_MSG(msg.src != msg.dst, "self-send");
+  if (stopping_.load()) return;
+  sent_.fetch_add(1);
+  pending_work_.fetch_add(1);
+
+  SimDuration d;
+  {
+    const std::lock_guard lock(rng_mu_);
+    d = latency_->sample(topo_, msg.src, msg.dst, rng_);
+  }
+  const auto delay = std::chrono::nanoseconds(
+      std::int64_t(double(d.count_ns()) * scale_));
+  auto due = std::chrono::steady_clock::now() + delay;
+
+  {
+    const std::lock_guard lock(heap_mu_);
+    // Per-pair FIFO: a later send never overtakes an earlier one.
+    auto [it, inserted] =
+        last_delivery_.try_emplace(pair_key(msg.src, msg.dst), due);
+    if (!inserted) {
+      if (due < it->second) due = it->second;
+      it->second = due;
+    }
+    heap_.push(InFlight{due, seq_++, std::move(msg)});
+  }
+  heap_cv_.notify_one();
+}
+
+void RtRuntime::dispatcher_loop() {
+  std::unique_lock lock(heap_mu_);
+  for (;;) {
+    if (stopping_.load() && heap_.empty()) return;
+    if (heap_.empty()) {
+      heap_cv_.wait(lock, [this] { return stopping_.load() || !heap_.empty(); });
+      continue;
+    }
+    const auto due = heap_.top().due;
+    const auto now = std::chrono::steady_clock::now();
+    if (now < due) {
+      heap_cv_.wait_until(lock, due);
+      continue;
+    }
+    Message msg = heap_.top().msg;
+    heap_.pop();
+    lock.unlock();
+    deliver(std::move(msg));
+    lock.lock();
+  }
+}
+
+void RtRuntime::deliver(Message msg) {
+  Handler* handler = nullptr;
+  {
+    const std::lock_guard lock(handlers_mu_);
+    const auto it = handlers_.find(pair_key(msg.dst, msg.protocol));
+    GMX_ASSERT_MSG(it != handlers_.end(),
+                   "rt: message for an unattached (node, protocol)");
+    handler = &it->second;
+  }
+  const NodeId dst = msg.dst;
+  NodeWorker& w = *workers_[dst];
+  {
+    const std::lock_guard lock(w.mu);
+    w.tasks.push_back([this, handler, m = std::move(msg)] {
+      delivered_.fetch_add(1);
+      (*handler)(m);
+    });
+  }
+  w.cv.notify_one();
+  // The task inherits the in-flight pending_work_ credit taken in send();
+  // worker_loop releases it when the task completes.
+}
+
+void RtRuntime::worker_loop(NodeId node) {
+  NodeWorker& w = *workers_[node];
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(w.mu);
+      w.cv.wait(lock, [&] { return stopping_.load() || !w.tasks.empty(); });
+      if (w.tasks.empty()) {
+        if (stopping_.load()) return;
+        continue;
+      }
+      task = std::move(w.tasks.front());
+      w.tasks.pop_front();
+      w.busy = true;
+    }
+    task();
+    {
+      const std::lock_guard lock(w.mu);
+      w.busy = false;
+    }
+    pending_work_.fetch_sub(1);
+  }
+}
+
+bool RtRuntime::wait_quiescent(std::chrono::milliseconds timeout) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  for (;;) {
+    bool idle = pending_work_.load() == 0;
+    if (idle) {
+      const std::lock_guard lock(heap_mu_);
+      idle = heap_.empty();
+    }
+    if (idle) {
+      // Double-check after a settle period: a task may be between queues.
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      bool still = pending_work_.load() == 0;
+      if (still) {
+        const std::lock_guard lock(heap_mu_);
+        still = heap_.empty();
+      }
+      if (still) return true;
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+}  // namespace gmx::rt

@@ -1,0 +1,73 @@
+#include "gridmutex/sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+EventId EventQueue::push(SimTime t, Callback fn) {
+  GMX_ASSERT_MSG(fn != nullptr, "cannot schedule a null callback");
+  const EventId id = next_id_++;
+  heap_.push_back(HeapItem{t, id, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  ++live_;
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id == kInvalidEventId || id >= next_id_) return false;
+  // An id in `cancelled_` is pending-dead; an id absent from both the heap
+  // and the set has already fired. Distinguishing the latter requires a
+  // membership probe of the heap only when the insert "succeeds" spuriously,
+  // which we avoid by checking insertion result against live heap content:
+  // ids are unique, so a second cancel of the same id fails on set insert.
+  if (!cancelled_.insert(id).second) return false;
+  // The id may have fired already; then the tombstone is garbage. Sweep it
+  // opportunistically: if nothing in the heap carries this id, erase and
+  // report failure.
+  const bool in_heap =
+      std::any_of(heap_.begin(), heap_.end(),
+                  [id](const HeapItem& h) { return h.id == id; });
+  if (!in_heap) {
+    cancelled_.erase(id);
+    return false;
+  }
+  --live_;
+  return true;
+}
+
+void EventQueue::drop_cancelled_top() {
+  while (!heap_.empty()) {
+    const EventId id = heap_.front().id;
+    auto it = cancelled_.find(id);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::next_time() {
+  drop_cancelled_top();
+  GMX_ASSERT_MSG(!heap_.empty(), "next_time() on empty queue");
+  return heap_.front().time;
+}
+
+EventQueue::Entry EventQueue::pop() {
+  drop_cancelled_top();
+  GMX_ASSERT_MSG(!heap_.empty(), "pop() on empty queue");
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  HeapItem item = std::move(heap_.back());
+  heap_.pop_back();
+  --live_;
+  return Entry{item.time, item.id, std::move(item.fn)};
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  cancelled_.clear();
+  live_ = 0;
+}
+
+}  // namespace gmx

@@ -1,0 +1,103 @@
+#include "gridmutex/sim/random.hpp"
+
+#include <cmath>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // xoshiro's all-zero state is absorbing; splitmix64 cannot produce four
+  // zero outputs from any seed, but guard against it anyway.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  return double(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  GMX_ASSERT(bound > 0);
+  // Lemire (2019): unbiased bounded integers without division in the
+  // common case.
+  std::uint64_t x = next_u64();
+  __uint128_t m = __uint128_t(x) * __uint128_t(bound);
+  std::uint64_t l = std::uint64_t(m);
+  if (l < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (l < threshold) {
+      x = next_u64();
+      m = __uint128_t(x) * __uint128_t(bound);
+      l = std::uint64_t(m);
+    }
+  }
+  return std::uint64_t(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  GMX_ASSERT(lo <= hi);
+  const std::uint64_t span = std::uint64_t(hi - lo) + 1;
+  if (span == 0) return std::int64_t(next_u64());  // full 64-bit range
+  return lo + std::int64_t(next_below(span));
+}
+
+double Rng::uniform(double lo, double hi) {
+  GMX_ASSERT(lo <= hi);
+  return lo + (hi - lo) * next_double();
+}
+
+double Rng::exponential(double mean) {
+  GMX_ASSERT(mean > 0);
+  // Inverse CDF; 1 - u avoids log(0).
+  return -mean * std::log1p(-next_double());
+}
+
+SimDuration Rng::exponential(SimDuration mean) {
+  GMX_ASSERT(mean > SimDuration::ns(0));
+  return SimDuration::sec_f(exponential(mean.as_sec()));
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0) return false;
+  if (p >= 1) return true;
+  return next_double() < p;
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  // Mix the parent seed with the stream key; splitmix64 of the combination
+  // decorrelates children regardless of how close the keys are.
+  std::uint64_t x = seed_ ^ (0xA0761D6478BD642Full * (stream + 1));
+  const std::uint64_t derived = splitmix64(x);
+  return Rng(derived);
+}
+
+}  // namespace gmx

@@ -1,0 +1,53 @@
+#include "gridmutex/sim/simulator.hpp"
+
+#include <utility>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
+  GMX_ASSERT_MSG(t >= now_, "cannot schedule an event in the past");
+  return queue_.push(t, std::move(fn));
+}
+
+EventId Simulator::schedule_after(SimDuration d, std::function<void()> fn) {
+  GMX_ASSERT_MSG(!d.is_negative(), "negative delay");
+  return queue_.push(now_ + d, std::move(fn));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  EventQueue::Entry e = queue_.pop();
+  GMX_ASSERT(e.time >= now_);
+  now_ = e.time;
+  ++processed_;
+  GMX_ASSERT_MSG(processed_ <= event_limit_,
+                 "event limit exceeded — livelock or runaway protocol?");
+  e.fn();
+  return true;
+}
+
+void Simulator::run() {
+  stop_requested_ = false;
+  while (!stop_requested_ && step()) {
+  }
+}
+
+bool Simulator::run_until(SimTime deadline) {
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.empty() &&
+         queue_.next_time() <= deadline) {
+    step();
+  }
+  return queue_.empty();
+}
+
+std::size_t Simulator::run_steps(std::size_t n) {
+  stop_requested_ = false;
+  std::size_t ran = 0;
+  while (ran < n && !stop_requested_ && step()) ++ran;
+  return ran;
+}
+
+}  // namespace gmx

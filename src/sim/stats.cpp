@@ -1,0 +1,125 @@
+#include "gridmutex/sim/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / double(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& o) {
+  if (o.n_ == 0) return;
+  if (n_ == 0) {
+    *this = o;
+    return;
+  }
+  // Chan et al. parallel combination.
+  const double delta = o.mean_ - mean_;
+  const std::uint64_t n = n_ + o.n_;
+  const double new_mean = mean_ + delta * double(o.n_) / double(n);
+  m2_ += o.m2_ + delta * delta * double(n_) * double(o.n_) / double(n);
+  mean_ = new_mean;
+  n_ = n;
+  min_ = std::min(min_, o.min_);
+  max_ = std::max(max_, o.max_);
+}
+
+void OnlineStats::reset() { *this = OnlineStats{}; }
+
+double OnlineStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double OnlineStats::variance() const {
+  return n_ == 0 ? 0.0 : m2_ / double(n_);
+}
+
+double OnlineStats::sample_variance() const {
+  return n_ < 2 ? 0.0 : m2_ / double(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::relative_stddev() const {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+double OnlineStats::min() const { return n_ == 0 ? 0.0 : min_; }
+double OnlineStats::max() const { return n_ == 0 ? 0.0 : max_; }
+
+Histogram::Histogram(double limit, std::size_t buckets)
+    : limit_(limit), bucket_width_(limit / double(buckets)), buckets_(buckets) {
+  GMX_ASSERT(limit > 0 && buckets > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < 0) x = 0;
+  if (x >= limit_) {
+    ++overflow_;
+    return;
+  }
+  const auto idx = std::size_t(x / bucket_width_);
+  ++buckets_[std::min(idx, buckets_.size() - 1)];
+}
+
+void Histogram::merge(const Histogram& o) {
+  GMX_ASSERT_MSG(buckets_.size() == o.buckets_.size() && limit_ == o.limit_,
+                 "merging incompatible histograms");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += o.buckets_[i];
+  overflow_ += o.overflow_;
+  total_ += o.total_;
+}
+
+double Histogram::percentile(double q) const {
+  GMX_ASSERT(total_ > 0);
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * double(total_);
+  double cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double next = cum + double(buckets_[i]);
+    if (next >= target && buckets_[i] > 0) {
+      const double frac = (target - cum) / double(buckets_[i]);
+      return (double(i) + frac) * bucket_width_;
+    }
+    cum = next;
+  }
+  return limit_;  // target falls in the overflow tail
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = overflow_;
+  for (auto b : buckets_) peak = std::max(peak, b);
+  if (peak == 0) peak = 1;
+
+  std::ostringstream out;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const double lo = double(i) * bucket_width_;
+    const auto bar = std::size_t(double(buckets_[i]) * double(width) /
+                                 double(peak));
+    out << "[" << lo << ", " << lo + bucket_width_ << ") "
+        << std::string(bar, '#') << " " << buckets_[i] << "\n";
+  }
+  if (overflow_ > 0) {
+    const auto bar =
+        std::size_t(double(overflow_) * double(width) / double(peak));
+    out << "[" << limit_ << ", inf) " << std::string(bar, '#') << " "
+        << overflow_ << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace gmx

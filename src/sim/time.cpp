@@ -1,0 +1,38 @@
+#include "gridmutex/sim/time.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+namespace gmx {
+namespace {
+
+std::string format_ns(std::int64_t ns) {
+  char buf[64];
+  const double a = std::abs(double(ns));
+  if (a >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.3fs", double(ns) / 1e9);
+  } else if (a >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.3fms", double(ns) / 1e6);
+  } else if (a >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.3fus", double(ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(ns));
+  }
+  return buf;
+}
+
+}  // namespace
+
+SimDuration SimDuration::ms_f(double v) {
+  return SimDuration::ns(std::int64_t(std::llround(v * 1e6)));
+}
+
+SimDuration SimDuration::sec_f(double v) {
+  return SimDuration::ns(std::int64_t(std::llround(v * 1e9)));
+}
+
+std::string SimDuration::to_string() const { return format_ns(ns_); }
+
+std::string SimTime::to_string() const { return format_ns(ns_); }
+
+}  // namespace gmx

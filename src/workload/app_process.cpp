@@ -1,0 +1,61 @@
+#include "gridmutex/workload/app_process.hpp"
+
+namespace gmx {
+
+AppProcess::AppProcess(Simulator& sim, MutexEndpoint& mutex,
+                       WorkloadParams params, Rng rng,
+                       WorkloadMetrics& metrics, SafetyMonitor& safety)
+    : sim_(sim),
+      mutex_(mutex),
+      params_(params),
+      rng_(rng),
+      metrics_(metrics),
+      safety_(safety),
+      remaining_(params.cs_count) {
+  GMX_ASSERT(params_.cs_count >= 0);
+  GMX_ASSERT(params_.rho > 0.0);
+  mutex_.set_callbacks(MutexCallbacks{[this] { on_granted(); }, {}});
+}
+
+void AppProcess::start() {
+  if (remaining_ == 0) {
+    if (on_done) on_done();
+    return;
+  }
+  think_then_request();
+}
+
+SimDuration AppProcess::think_time() {
+  if (!params_.exponential_think) return params_.beta();
+  return rng_.exponential(params_.beta());
+}
+
+void AppProcess::think_then_request() {
+  sim_.schedule_after(think_time(), [this] {
+    active_ = true;
+    --remaining_;
+    requested_at_ = sim_.now();
+    mutex_.request_cs();
+  });
+}
+
+void AppProcess::on_granted() {
+  metrics_.obtaining.add(sim_.now() - requested_at_);
+  metrics_.obtaining_hist.add((sim_.now() - requested_at_).as_ms());
+  safety_.enter();
+  sim_.schedule_after(params_.alpha, [this] { release_and_continue(); });
+}
+
+void AppProcess::release_and_continue() {
+  safety_.exit();
+  mutex_.release_cs();
+  ++metrics_.completed_cs;
+  active_ = false;
+  if (remaining_ > 0) {
+    think_then_request();
+  } else if (on_done) {
+    on_done();
+  }
+}
+
+}  // namespace gmx

@@ -1,0 +1,295 @@
+#include "gridmutex/workload/cli.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+
+#include "gridmutex/mutex/registry.hpp"
+
+namespace gmx {
+
+namespace {
+
+std::optional<double> parse_double(std::string_view s) {
+  // std::from_chars<double> is complete in libstdc++ 11+; keep strtod for
+  // older toolchains, with full-consumption checking.
+  const std::string buf(s);
+  char* end = nullptr;
+  const double v = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || buf.empty()) return std::nullopt;
+  return v;
+}
+
+std::optional<long long> parse_int(std::string_view s) {
+  long long v = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::vector<double>> parse_double_list(std::string_view s) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string_view item =
+        s.substr(pos, comma == std::string_view::npos ? std::string_view::npos
+                                                      : comma - pos);
+    const auto v = parse_double(item);
+    if (!v) return std::nullopt;
+    out.push_back(*v);
+    if (comma == std::string_view::npos) break;
+    pos = comma + 1;
+  }
+  return out.empty() ? std::nullopt : std::optional(out);
+}
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t hit = s.find(sep, pos);
+    out.emplace_back(s.substr(
+        pos, hit == std::string_view::npos ? std::string_view::npos
+                                           : hit - pos));
+    if (hit == std::string_view::npos) break;
+    pos = hit + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string cli_usage() {
+  return R"(gridmutex_cli — run gridmutex experiments from the command line
+
+usage: gridmutex_cli [series...] [options]
+
+series (repeatable; default: --composition naimi-naimi):
+  --composition <intra>-<inter>  two-level composition, e.g. naimi-martin
+  --flat <algorithm>             flat baseline over all nodes
+  --multilevel <a0xa1x...>       hierarchy arity bottom-up, e.g. 4x3x3;
+                                 needs --algorithms and --delays (per level)
+  --algorithms <list>            e.g. naimi,naimi,martin
+  --delays <ms list>             e.g. 0.5,5,40
+
+options:
+  --clusters <n>     clusters in the grid (default 9)
+  --apps <n>         application nodes per cluster (default 20)
+  --rho <list>       comma-separated rho values (default 45,90,180,540,1080)
+  --cs <n>           critical sections per process (default 100)
+  --alpha-ms <f>     CS duration in ms (default 10)
+  --reps <n>         repetitions per point (default 5)
+  --seed <n>         base RNG seed (default 1)
+  --latency grid5000 | <lan_ms>:<wan_ms>   (default grid5000; grid5000
+                     requires --clusters 9)
+  --jitter <f>       multiplicative latency jitter fraction (default 0.05)
+  --threads <n>      sweep parallelism, 0 = hardware (default 0)
+  --csv <path>       also write all points as CSV
+  --help             this text
+
+known algorithms: naimi martin suzuki raymond central ricart bertier mueller
+)";
+}
+
+std::variant<CliOptions, CliError> parse_cli(
+    std::span<const std::string_view> args) {
+  CliOptions opt;
+  // Defaults applied to every series after parsing.
+  std::uint32_t clusters = 9, apps = 20;
+  double alpha_ms = 10.0, jitter = 0.05;
+  int cs = 100;
+  std::uint64_t seed = 1;
+  double tl_lan_ms = 0.5, tl_wan_ms = 10.0;  // used when !grid5000
+  bool grid5000 = true;
+  std::optional<std::vector<std::uint32_t>> ml_arity;
+  std::optional<std::vector<std::string>> ml_algorithms;
+  std::optional<std::vector<double>> ml_delays;
+
+  auto err = [](std::string m) {
+    return std::variant<CliOptions, CliError>(CliError{std::move(m)});
+  };
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string_view a = args[i];
+    auto value = [&]() -> std::optional<std::string_view> {
+      if (i + 1 >= args.size()) return std::nullopt;
+      return args[++i];
+    };
+    if (a == "--help" || a == "-h") {
+      opt.help = true;
+      return opt;
+    } else if (a == "--composition") {
+      const auto v = value();
+      if (!v) return err("--composition needs a value");
+      ExperimentConfig cfg;
+      try {
+        const CompositionSpec spec = parse_composition(*v);
+        cfg.intra = spec.intra;
+        cfg.inter = spec.inter;
+      } catch (const std::invalid_argument& e) {
+        return err(e.what());
+      }
+      opt.series.push_back(cfg);
+    } else if (a == "--flat") {
+      const auto v = value();
+      if (!v) return err("--flat needs a value");
+      try {
+        (void)make_algorithm(*v);
+      } catch (const std::invalid_argument& e) {
+        return err(e.what());
+      }
+      ExperimentConfig cfg;
+      cfg.mode = ExperimentConfig::Mode::kFlat;
+      cfg.flat_algorithm = std::string(*v);
+      opt.series.push_back(cfg);
+    } else if (a == "--multilevel") {
+      const auto v = value();
+      if (!v) return err("--multilevel needs a value like 4x3x3");
+      std::vector<std::uint32_t> arity;
+      for (const std::string& part : split(*v, 'x')) {
+        const auto n = parse_int(part);
+        if (!n || *n < 1)
+          return err("--multilevel expects positive arities like 4x3x3");
+        arity.push_back(std::uint32_t(*n));
+      }
+      if (arity.size() < 2) return err("--multilevel needs >= 2 levels");
+      ml_arity = arity;
+    } else if (a == "--algorithms") {
+      const auto v = value();
+      if (!v) return err("--algorithms needs a comma-separated list");
+      std::vector<std::string> algos = split(*v, ',');
+      for (const std::string& name : algos) {
+        try {
+          (void)make_algorithm(name);
+        } catch (const std::invalid_argument& e) {
+          return err(e.what());
+        }
+      }
+      ml_algorithms = std::move(algos);
+    } else if (a == "--delays") {
+      const auto v = value();
+      const auto list = v ? parse_double_list(*v) : std::nullopt;
+      if (!list) return err("--delays needs a comma-separated ms list");
+      for (double d : *list)
+        if (d <= 0) return err("--delays must be positive");
+      ml_delays = *list;
+    } else if (a == "--clusters") {
+      const auto v = value();
+      const auto n = v ? parse_int(*v) : std::nullopt;
+      if (!n || *n < 1) return err("--clusters needs a positive integer");
+      clusters = std::uint32_t(*n);
+    } else if (a == "--apps") {
+      const auto v = value();
+      const auto n = v ? parse_int(*v) : std::nullopt;
+      if (!n || *n < 1) return err("--apps needs a positive integer");
+      apps = std::uint32_t(*n);
+    } else if (a == "--rho") {
+      const auto v = value();
+      const auto list = v ? parse_double_list(*v) : std::nullopt;
+      if (!list) return err("--rho needs a comma-separated number list");
+      for (double r : *list)
+        if (r <= 0) return err("rho values must be positive");
+      opt.rhos = *list;
+    } else if (a == "--cs") {
+      const auto v = value();
+      const auto n = v ? parse_int(*v) : std::nullopt;
+      if (!n || *n < 1) return err("--cs needs a positive integer");
+      cs = int(*n);
+    } else if (a == "--alpha-ms") {
+      const auto v = value();
+      const auto f = v ? parse_double(*v) : std::nullopt;
+      if (!f || *f <= 0) return err("--alpha-ms needs a positive number");
+      alpha_ms = *f;
+    } else if (a == "--reps") {
+      const auto v = value();
+      const auto n = v ? parse_int(*v) : std::nullopt;
+      if (!n || *n < 1) return err("--reps needs a positive integer");
+      opt.repetitions = int(*n);
+    } else if (a == "--seed") {
+      const auto v = value();
+      const auto n = v ? parse_int(*v) : std::nullopt;
+      if (!n || *n < 0) return err("--seed needs a non-negative integer");
+      seed = std::uint64_t(*n);
+    } else if (a == "--latency") {
+      const auto v = value();
+      if (!v) return err("--latency needs a value");
+      if (*v == "grid5000") {
+        grid5000 = true;
+      } else {
+        const auto colon = v->find(':');
+        if (colon == std::string_view::npos)
+          return err("--latency expects grid5000 or <lan_ms>:<wan_ms>");
+        const auto lan = parse_double(v->substr(0, colon));
+        const auto wan = parse_double(v->substr(colon + 1));
+        if (!lan || !wan || *lan <= 0 || *wan <= 0)
+          return err("--latency delays must be positive numbers");
+        grid5000 = false;
+        tl_lan_ms = *lan;
+        tl_wan_ms = *wan;
+      }
+    } else if (a == "--jitter") {
+      const auto v = value();
+      const auto f = v ? parse_double(*v) : std::nullopt;
+      if (!f || *f < 0 || *f >= 1)
+        return err("--jitter needs a fraction in [0, 1)");
+      jitter = *f;
+    } else if (a == "--threads") {
+      const auto v = value();
+      const auto n = v ? parse_int(*v) : std::nullopt;
+      if (!n || *n < 0) return err("--threads needs a non-negative integer");
+      opt.threads = std::size_t(*n);
+    } else if (a == "--csv") {
+      const auto v = value();
+      if (!v) return err("--csv needs a path");
+      opt.csv_path = std::string(*v);
+    } else {
+      return err("unknown argument: " + std::string(a));
+    }
+  }
+
+  if (ml_arity || ml_algorithms || ml_delays) {
+    if (!ml_arity || !ml_algorithms || !ml_delays)
+      return err("--multilevel requires --algorithms and --delays");
+    if (ml_algorithms->size() != ml_arity->size())
+      return err("--algorithms must list one algorithm per level");
+    if (ml_delays->size() != ml_arity->size())
+      return err("--delays must list one delay per level");
+    ExperimentConfig cfg;
+    cfg.mode = ExperimentConfig::Mode::kMultiLevel;
+    cfg.hierarchy = HierarchySpec{*ml_arity, *ml_algorithms};
+    for (double d : *ml_delays)
+      cfg.level_delays.push_back(SimDuration::ms_f(d));
+    opt.series.push_back(std::move(cfg));
+  }
+  if (opt.series.empty()) opt.series.emplace_back();  // naimi-naimi default
+  const bool needs_grid = std::any_of(
+      opt.series.begin(), opt.series.end(), [](const ExperimentConfig& c) {
+        return c.mode != ExperimentConfig::Mode::kMultiLevel;
+      });
+  if (needs_grid && grid5000 && clusters != 9)
+    return err("--latency grid5000 requires --clusters 9 (paper Fig. 3)");
+
+  for (ExperimentConfig& cfg : opt.series) {
+    if (cfg.mode == ExperimentConfig::Mode::kMultiLevel) {
+      cfg.workload.cs_count = cs;
+      cfg.workload.alpha = SimDuration::ms_f(alpha_ms);
+      cfg.seed = seed;
+      cfg.latency.jitter = jitter;
+      continue;
+    }
+    cfg.clusters = clusters;
+    cfg.apps_per_cluster = apps;
+    cfg.workload.cs_count = cs;
+    cfg.workload.alpha = SimDuration::ms_f(alpha_ms);
+    cfg.seed = seed;
+    cfg.latency = grid5000
+                      ? LatencySpec::grid5000(jitter)
+                      : LatencySpec::two_level(SimDuration::ms_f(tl_lan_ms),
+                                               SimDuration::ms_f(tl_wan_ms),
+                                               jitter);
+  }
+  return opt;
+}
+
+}  // namespace gmx

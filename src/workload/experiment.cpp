@@ -1,0 +1,189 @@
+#include "gridmutex/workload/experiment.hpp"
+
+#include <cctype>
+#include <memory>
+
+#include "gridmutex/core/composition.hpp"
+#include "gridmutex/mutex/registry.hpp"
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+std::shared_ptr<const LatencyModel> LatencySpec::build(
+    std::uint32_t clusters) const {
+  switch (kind) {
+    case Kind::kGrid5000:
+      GMX_ASSERT_MSG(clusters == 9,
+                     "the Grid5000 matrix (paper Fig. 3) covers 9 clusters");
+      return std::make_shared<MatrixLatencyModel>(
+          MatrixLatencyModel::grid5000(jitter));
+    case Kind::kTwoLevel:
+      return std::make_shared<MatrixLatencyModel>(
+          MatrixLatencyModel::two_level(clusters, lan, wan, jitter));
+  }
+  GMX_ASSERT_MSG(false, "unreachable");
+  return nullptr;
+}
+
+std::uint32_t ExperimentConfig::application_count() const {
+  if (mode == Mode::kMultiLevel) {
+    GMX_ASSERT(hierarchy.has_value());
+    return hierarchy->application_count();
+  }
+  return clusters * apps_per_cluster;
+}
+
+namespace {
+
+std::string capitalize(std::string s) {
+  if (!s.empty()) s[0] = char(std::toupper(static_cast<unsigned char>(s[0])));
+  return s;
+}
+
+}  // namespace
+
+std::string ExperimentConfig::label() const {
+  switch (mode) {
+    case Mode::kComposition:
+      return capitalize(intra) + "-" + capitalize(inter);
+    case Mode::kFlat:
+      return capitalize(flat_algorithm) + " (flat)";
+    case Mode::kMultiLevel: {
+      GMX_ASSERT(hierarchy.has_value());
+      std::string out = "ML[";
+      for (std::size_t i = 0; i < hierarchy->algorithms.size(); ++i) {
+        if (i > 0) out += "-";
+        out += capitalize(hierarchy->algorithms[i]);
+      }
+      return out + "]";
+    }
+  }
+  return "?";
+}
+
+void ExperimentResult::merge(const ExperimentResult& other) {
+  GMX_ASSERT(label == other.label);
+  total_cs += other.total_cs;
+  obtaining.merge(other.obtaining);
+  obtaining_hist.merge(other.obtaining_hist);
+  messages.sent += other.messages.sent;
+  messages.delivered += other.messages.delivered;
+  messages.intra_cluster += other.messages.intra_cluster;
+  messages.inter_cluster += other.messages.inter_cluster;
+  messages.bytes_total += other.messages.bytes_total;
+  messages.bytes_inter += other.messages.bytes_inter;
+  inter_acquisitions += other.inter_acquisitions;
+  if (other.makespan > makespan) makespan = other.makespan;
+  events += other.events;
+  safety_entries += other.safety_entries;
+  repetitions += other.repetitions;
+}
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+  Simulator sim;
+  // Generous livelock guard: the heaviest paper-scale run (flat Suzuki,
+  // 18 000 CS × ~180 messages) stays well under this.
+  sim.set_event_limit(600'000'000);
+
+  const bool multilevel = cfg.mode == ExperimentConfig::Mode::kMultiLevel;
+  const bool composition = cfg.mode == ExperimentConfig::Mode::kComposition;
+
+  Topology topo = [&] {
+    if (multilevel) return MultiLevelComposition::make_topology(*cfg.hierarchy);
+    if (composition)
+      return Composition::make_topology(cfg.clusters, cfg.apps_per_cluster);
+    return Topology::uniform(cfg.clusters, cfg.apps_per_cluster);
+  }();
+
+  std::shared_ptr<const LatencyModel> latency =
+      multilevel ? MultiLevelComposition::make_latency(
+                       *cfg.hierarchy, cfg.level_delays, cfg.latency.jitter)
+                 : cfg.latency.build(cfg.clusters);
+
+  Rng root(cfg.seed);
+  Network net(sim, topo, latency, root.fork(1));
+
+  // Mutex endpoints per application node.
+  std::unique_ptr<Composition> comp;
+  std::unique_ptr<MultiLevelComposition> ml;
+  std::vector<std::unique_ptr<MutexEndpoint>> flat;  // flat mode owns these
+  std::vector<MutexEndpoint*> mutexes;
+  std::vector<NodeId> app_nodes;
+
+  if (composition) {
+    comp = std::make_unique<Composition>(
+        net, CompositionConfig{.intra_algorithm = cfg.intra,
+                               .inter_algorithm = cfg.inter,
+                               .initial_cluster = 0,
+                               .protocol_base = 1,
+                               .seed = root.fork(2).next_u64()});
+    app_nodes = comp->app_nodes();
+    for (NodeId v : app_nodes) mutexes.push_back(&comp->app_mutex(v));
+    comp->start();
+  } else if (multilevel) {
+    ml = std::make_unique<MultiLevelComposition>(net, *cfg.hierarchy, 1,
+                                                 root.fork(2).next_u64());
+    app_nodes = ml->app_nodes();
+    for (NodeId v : app_nodes) mutexes.push_back(&ml->app_mutex(v));
+    ml->start();
+  } else {
+    const bool token = is_token_based(cfg.flat_algorithm);
+    std::vector<NodeId> members(topo.node_count());
+    for (NodeId v = 0; v < topo.node_count(); ++v) members[v] = v;
+    for (NodeId v = 0; v < topo.node_count(); ++v) {
+      flat.push_back(std::make_unique<MutexEndpoint>(
+          net, 1, members, int(v), make_algorithm(cfg.flat_algorithm),
+          root.fork(3'000'000 + v)));
+    }
+    for (auto& ep : flat)
+      ep->init(token ? 0 : MutexAlgorithm::kNoHolder);
+    app_nodes = members;
+    for (auto& ep : flat) mutexes.push_back(ep.get());
+  }
+
+  WorkloadMetrics metrics;
+  SafetyMonitor safety;
+  std::vector<std::unique_ptr<AppProcess>> processes;
+  processes.reserve(mutexes.size());
+  for (std::size_t i = 0; i < mutexes.size(); ++i) {
+    processes.push_back(std::make_unique<AppProcess>(
+        sim, *mutexes[i], cfg.workload, root.fork(10'000 + i), metrics,
+        safety));
+  }
+  for (auto& p : processes) p->start();
+
+  sim.run();
+
+  // The run must drain completely: every process finished, no message in
+  // flight, nobody left inside the CS.
+  for (auto& p : processes)
+    GMX_ASSERT_MSG(p->done(), "liveness failure: process did not finish");
+  GMX_ASSERT(net.in_flight() == 0);
+  GMX_ASSERT(safety.in_cs() == 0);
+  GMX_ASSERT(safety.violations() == 0);
+
+  ExperimentResult res;
+  res.label = cfg.label();
+  res.rho = cfg.workload.rho;
+  res.total_cs = metrics.completed_cs;
+  res.obtaining = metrics.obtaining;
+  res.obtaining_hist = metrics.obtaining_hist;
+  res.messages = net.counters();
+  res.makespan = sim.now() - SimTime::zero();
+  res.events = sim.events_processed();
+  res.safety_entries = safety.entries();
+  if (comp) res.inter_acquisitions = comp->total_inter_acquisitions();
+  return res;
+}
+
+ExperimentResult run_replicated(ExperimentConfig cfg, int repetitions) {
+  GMX_ASSERT(repetitions >= 1);
+  ExperimentResult merged = run_experiment(cfg);
+  for (int r = 1; r < repetitions; ++r) {
+    cfg.seed += 1;
+    merged.merge(run_experiment(cfg));
+  }
+  return merged;
+}
+
+}  // namespace gmx

@@ -1,0 +1,110 @@
+#include "gridmutex/workload/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  GMX_ASSERT(!header_.empty());
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  GMX_ASSERT_MSG(cells.size() == header_.size(),
+                 "row width does not match header");
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      // Right-align all but the first column (labels left, numbers right).
+      if (c == 0) {
+        out << row[c] << std::string(width[c] - row[c].size(), ' ');
+      } else {
+        out << std::string(width[c] - row[c].size(), ' ') << row[c];
+      }
+    }
+    out << "\n";
+  };
+
+  print_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < width.size(); ++c)
+    total += width[c] + (c == 0 ? 0 : 2);
+  out << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void print_metric_table(std::ostream& out, std::string_view title,
+                        std::span<const SeriesPoint> points,
+                        double (*metric)(const ExperimentResult&),
+                        int digits) {
+  // Collect axes preserving first-appearance order.
+  std::vector<std::string> series;
+  std::vector<double> rhos;
+  for (const auto& p : points) {
+    if (std::find(series.begin(), series.end(), p.series) == series.end())
+      series.push_back(p.series);
+    if (std::find(rhos.begin(), rhos.end(), p.rho) == rhos.end())
+      rhos.push_back(p.rho);
+  }
+  std::map<std::pair<std::string, double>, double> cell;
+  for (const auto& p : points)
+    cell[{p.series, p.rho}] = metric(p.result);
+
+  out << "\n== " << title << " ==\n";
+  std::vector<std::string> header{"rho"};
+  header.insert(header.end(), series.begin(), series.end());
+  Table t(std::move(header));
+  for (double rho : rhos) {
+    std::vector<std::string> row{Table::num(rho, 0)};
+    for (const auto& s : series) {
+      const auto it = cell.find({s, rho});
+      row.push_back(it == cell.end() ? "-" : Table::num(it->second, digits));
+    }
+    t.add_row(std::move(row));
+  }
+  t.print(out);
+}
+
+void write_csv(std::ostream& out, std::span<const SeriesPoint> points) {
+  out << "series,rho,total_cs,obtaining_ms,stddev_ms,relative_stddev,"
+         "obtaining_p50_ms,obtaining_p99_ms,"
+         "inter_msgs_per_cs,total_msgs_per_cs,inter_bytes_per_cs,"
+         "inter_acquisitions,makespan_ms,repetitions\n";
+  for (const auto& p : points) {
+    const ExperimentResult& r = p.result;
+    const bool has_hist = r.obtaining_hist.count() > 0;
+    out << p.series << ',' << p.rho << ',' << r.total_cs << ','
+        << r.obtaining_ms() << ',' << r.stddev_ms() << ','
+        << r.relative_stddev() << ','
+        << (has_hist ? r.obtaining_hist.percentile(0.50) : 0.0) << ','
+        << (has_hist ? r.obtaining_hist.percentile(0.99) : 0.0) << ','
+        << r.inter_msgs_per_cs() << ','
+        << r.total_msgs_per_cs() << ',' << r.inter_bytes_per_cs() << ','
+        << r.inter_acquisitions << ',' << r.makespan.as_ms() << ','
+        << r.repetitions << "\n";
+  }
+}
+
+}  // namespace gmx

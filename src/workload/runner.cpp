@@ -1,0 +1,47 @@
+#include "gridmutex/workload/runner.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "gridmutex/workload/thread_pool.hpp"
+
+namespace gmx {
+
+std::vector<ExperimentResult> run_sweep(
+    std::span<const ExperimentConfig> configs, const SweepOptions& opt) {
+  std::vector<ExperimentResult> results(configs.size());
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mu;
+
+  auto run_one = [&](std::size_t i) {
+    results[i] = run_replicated(configs[i], opt.repetitions);
+    const std::size_t d = ++done;
+    if (opt.progress) {
+      const std::lock_guard lock(progress_mu);
+      opt.progress(d, configs.size());
+    }
+  };
+
+  if (opt.threads == 1 || configs.size() <= 1) {
+    for (std::size_t i = 0; i < configs.size(); ++i) run_one(i);
+  } else {
+    ThreadPool pool(opt.threads);
+    pool.parallel_for(configs.size(), run_one);
+  }
+  return results;
+}
+
+std::vector<ExperimentResult> run_rho_sweep(ExperimentConfig base,
+                                            std::span<const double> rhos,
+                                            const SweepOptions& opt) {
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(rhos.size());
+  for (double rho : rhos) {
+    ExperimentConfig cfg = base;
+    cfg.workload.rho = rho;
+    configs.push_back(cfg);
+  }
+  return run_sweep(configs, opt);
+}
+
+}  // namespace gmx

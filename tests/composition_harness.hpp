@@ -1,0 +1,137 @@
+// Test harness for two-level compositions: builds a clustered grid with a
+// two-tier latency model, drives application processes, and checks the
+// composition-level safety invariants on every grant:
+//   (a) at most one application is in CS grid-wide;
+//   (b) at most one coordinator is privileged (IN/WAIT_FOR_OUT);
+//   (c) the application in CS belongs to the privileged coordinator's
+//       cluster.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridmutex/core/composition.hpp"
+#include "gridmutex/net/network.hpp"
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx::testing {
+
+struct CompositionHarnessOptions {
+  std::string intra = "naimi";
+  std::string inter = "naimi";
+  std::uint32_t clusters = 3;
+  std::uint32_t apps_per_cluster = 3;
+  SimDuration lan = SimDuration::ms_f(0.5);
+  SimDuration wan = SimDuration::ms(10);
+  std::uint64_t seed = 1;
+};
+
+class CompositionHarness {
+ public:
+  explicit CompositionHarness(CompositionHarnessOptions opt)
+      : opt_(std::move(opt)),
+        topo_(Composition::make_topology(opt_.clusters,
+                                         opt_.apps_per_cluster)),
+        net_(sim_, topo_,
+             std::make_shared<MatrixLatencyModel>(MatrixLatencyModel::two_level(
+                 opt_.clusters, opt_.lan, opt_.wan)),
+             Rng(opt_.seed)),
+        comp_(net_, CompositionConfig{.intra_algorithm = opt_.intra,
+                                      .inter_algorithm = opt_.inter,
+                                      .initial_cluster = 0,
+                                      .protocol_base = 1,
+                                      .seed = opt_.seed}) {
+    sim_.set_event_limit(20'000'000);
+    for (NodeId v : comp_.app_nodes()) {
+      comp_.app_mutex(v).set_callbacks(MutexCallbacks{
+          [this, v] { on_granted(v); },
+          {},
+      });
+    }
+  }
+
+  void start() { comp_.start(); }
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] Network& net() { return net_; }
+  [[nodiscard]] Composition& comp() { return comp_; }
+  [[nodiscard]] const Topology& topo() const { return topo_; }
+  [[nodiscard]] SimDuration wan() const { return opt_.wan; }
+  [[nodiscard]] SimDuration lan() const { return opt_.lan; }
+
+  void request(NodeId v) { comp_.app_mutex(v).request_cs(); }
+  void release(NodeId v) { comp_.app_mutex(v).release_cs(); }
+  void request_at(SimDuration when, NodeId v) {
+    sim_.schedule_after(when, [this, v] { request(v); });
+  }
+
+  void set_auto_release(SimDuration cs_time) {
+    auto_release_ = true;
+    cs_time_ = cs_time;
+  }
+
+  /// App on `v` performs `count` critical sections with `think` gaps.
+  void drive(NodeId v, int count, SimDuration think) {
+    GMX_ASSERT(auto_release_);
+    remaining_[v] = count - 1;
+    think_[v] = think;
+    sim_.schedule_after(think, [this, v] { request(v); });
+  }
+
+  void run() { sim_.run(); }
+  void run_for(SimDuration d) { sim_.run_until(sim_.now() + d); }
+
+  [[nodiscard]] const std::vector<NodeId>& grants() const { return grants_; }
+  [[nodiscard]] int grant_count(NodeId v) const {
+    int c = 0;
+    for (NodeId g : grants_)
+      if (g == v) ++c;
+    return c;
+  }
+  [[nodiscard]] bool safety_violated() const { return safety_violated_; }
+  [[nodiscard]] int apps_in_cs() {
+    int c = 0;
+    for (NodeId v : comp_.app_nodes())
+      if (comp_.app_mutex(v).in_cs()) ++c;
+    return c;
+  }
+
+ private:
+  void on_granted(NodeId v) {
+    grants_.push_back(v);
+    // (a) global mutual exclusion over applications
+    if (apps_in_cs() != 1) safety_violated_ = true;
+    // (b) inter-level exclusivity
+    if (comp_.privileged_coordinators() > 1) safety_violated_ = true;
+    // (c) the privileged coordinator is ours
+    const ClusterId mine = topo_.cluster_of(v);
+    if (!comp_.coordinator(mine).cluster_privileged())
+      safety_violated_ = true;
+    if (auto_release_) {
+      sim_.schedule_after(cs_time_, [this, v] {
+        release(v);
+        auto it = remaining_.find(v);
+        if (it != remaining_.end() && it->second > 0) {
+          --it->second;
+          sim_.schedule_after(think_[v], [this, v] { request(v); });
+        }
+      });
+    }
+  }
+
+  CompositionHarnessOptions opt_;
+  Simulator sim_;
+  Topology topo_;
+  Network net_;
+  Composition comp_;
+
+  std::vector<NodeId> grants_;
+  bool safety_violated_ = false;
+  bool auto_release_ = false;
+  SimDuration cs_time_ = SimDuration::ms(1);
+  std::unordered_map<NodeId, int> remaining_;
+  std::unordered_map<NodeId, SimDuration> think_;
+};
+
+}  // namespace gmx::testing

@@ -1,0 +1,164 @@
+// Adaptive composition tests (paper §6 future work): regime classification,
+// quiesce-and-swap reconfiguration, and safety across switches.
+#include "gridmutex/core/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "composition_harness.hpp"
+
+namespace gmx::testing {
+namespace {
+
+TEST(AdaptivePolicy, RegimeThresholds) {
+  CompositionHarness h({});
+  AdaptiveComposition ada(h.net(), h.comp(), AdaptiveConfig{});
+  EXPECT_EQ(ada.pick_algorithm(0.9), "martin");
+  EXPECT_EQ(ada.pick_algorithm(0.60), "martin");
+  EXPECT_EQ(ada.pick_algorithm(0.4), "naimi");
+  EXPECT_EQ(ada.pick_algorithm(0.20), "suzuki");
+  EXPECT_EQ(ada.pick_algorithm(0.0), "suzuki");
+}
+
+TEST(AdaptivePolicy, RejectsUnknownTargets) {
+  CompositionHarness h({});
+  AdaptiveConfig cfg;
+  cfg.low_algorithm = "nope";
+  EXPECT_THROW(AdaptiveComposition(h.net(), h.comp(), cfg),
+               std::invalid_argument);
+}
+
+TEST(Adaptive, IdleGridSwitchesTowardSuzuki) {
+  // No demand at all → demand fraction 0 → high-parallelism regime.
+  CompositionHarness h({.inter = "naimi"});
+  AdaptiveConfig cfg;
+  cfg.sample_every = SimDuration::ms(20);
+  cfg.epoch = SimDuration::ms(200);
+  AdaptiveComposition ada(h.net(), h.comp(), cfg);
+  h.start();
+  ada.start();
+  h.run_for(SimDuration::ms(500));
+  ada.stop();
+  h.run();
+  EXPECT_EQ(ada.current_inter(), "suzuki");
+  EXPECT_EQ(ada.switches_completed(), 1);
+  EXPECT_LE(ada.last_demand_fraction(), 0.2);
+}
+
+TEST(Adaptive, SaturatedGridSwitchesTowardMartin) {
+  CompositionHarness h({.inter = "naimi",
+                        .clusters = 3,
+                        .apps_per_cluster = 3});
+  AdaptiveConfig cfg;
+  cfg.sample_every = SimDuration::ms(20);
+  cfg.epoch = SimDuration::ms(300);
+  AdaptiveComposition ada(h.net(), h.comp(), cfg);
+  h.set_auto_release(SimDuration::ms(5));
+  h.start();
+  ada.start();
+  // Heavy demand everywhere: every app loops with negligible think time.
+  for (NodeId v : h.comp().app_nodes()) h.drive(v, 2000, SimDuration::us(10));
+  h.run_for(SimDuration::sec(3));
+  ada.stop();
+  EXPECT_EQ(ada.current_inter(), "martin");
+  EXPECT_GE(ada.switches_completed(), 1);
+  EXPECT_FALSE(h.safety_violated());
+  EXPECT_GE(ada.last_demand_fraction(), 0.6);
+}
+
+TEST(Adaptive, WorkloadSurvivesSwitchSafely) {
+  // Run a full workload across at least one switch and verify liveness:
+  // every request issued is eventually granted, despite the pause/drain.
+  CompositionHarness h({.inter = "naimi", .seed = 3});
+  AdaptiveConfig cfg;
+  cfg.sample_every = SimDuration::ms(10);
+  cfg.epoch = SimDuration::ms(150);
+  AdaptiveComposition ada(h.net(), h.comp(), cfg);
+  h.set_auto_release(SimDuration::ms(2));
+  h.start();
+  ada.start();
+  const int cycles = 40;
+  for (NodeId v : h.comp().app_nodes())
+    h.drive(v, cycles, SimDuration::us(200));
+  h.run_for(SimDuration::sec(5));
+  ada.stop();
+  h.run();  // drain
+  EXPECT_GE(ada.switches_completed(), 1);
+  EXPECT_FALSE(h.safety_violated());
+  for (NodeId v : h.comp().app_nodes())
+    EXPECT_EQ(h.grant_count(v), cycles) << "node " << v;
+}
+
+TEST(Adaptive, NoSwitchWhenRegimeStable) {
+  // Start with the algorithm the regime already calls for: no switches.
+  CompositionHarness h({.inter = "suzuki"});
+  AdaptiveConfig cfg;
+  cfg.sample_every = SimDuration::ms(20);
+  cfg.epoch = SimDuration::ms(200);
+  AdaptiveComposition ada(h.net(), h.comp(), cfg);
+  h.set_auto_release(SimDuration::ms(1));
+  h.start();
+  ada.start();
+  // Very sparse demand: one cluster pokes occasionally.
+  const NodeId app = h.topo().first_node_of(1) + 1;
+  h.drive(app, 5, SimDuration::ms(100));
+  h.run_for(SimDuration::sec(1));
+  ada.stop();
+  h.run();
+  EXPECT_EQ(ada.switches_completed(), 0);
+  EXPECT_EQ(ada.current_inter(), "suzuki");
+  EXPECT_EQ(h.grant_count(app), 5);
+}
+
+TEST(Adaptive, TokenLocationSurvivesSwap) {
+  // Give the inter token to cluster 2, let the controller swap algorithms,
+  // and check the new instance starts with the token at cluster 2.
+  CompositionHarness h({.inter = "naimi"});
+  AdaptiveConfig cfg;
+  cfg.sample_every = SimDuration::ms(20);
+  cfg.epoch = SimDuration::ms(200);
+  AdaptiveComposition ada(h.net(), h.comp(), cfg);
+  h.set_auto_release(SimDuration::ms(1));
+  h.start();
+  const NodeId app2 = h.topo().first_node_of(2) + 1;
+  h.drive(app2, 1, SimDuration::ms(1));
+  h.run();  // cluster 2 acquires and keeps the inter token
+  ada.start();
+  h.run_for(SimDuration::ms(600));
+  ada.stop();
+  h.run();
+  ASSERT_EQ(ada.switches_completed(), 1);
+  EXPECT_EQ(ada.current_inter(), "suzuki");
+  EXPECT_TRUE(h.comp().coordinator(2).inter().holds_token());
+  // And the swapped instance still works end to end.
+  const NodeId app0 = h.topo().first_node_of(0) + 1;
+  h.request(app0);
+  h.run();
+  EXPECT_EQ(h.grant_count(app0), 1);
+  EXPECT_FALSE(h.safety_violated());
+}
+
+TEST(Adaptive, SwitchIsQuiescentBeforeSwap) {
+  // During do_swap no inter message may be in flight; the easiest check is
+  // that a switch under load never trips endpoint/protocol asserts and the
+  // run drains cleanly (asserts would abort the process).
+  CompositionHarness h({.inter = "martin", .seed = 9});
+  AdaptiveConfig cfg;
+  cfg.sample_every = SimDuration::ms(10);
+  cfg.epoch = SimDuration::ms(100);
+  AdaptiveComposition ada(h.net(), h.comp(), cfg);
+  h.set_auto_release(SimDuration::ms(1));
+  h.start();
+  ada.start();
+  Rng rng(9);
+  for (NodeId v : h.comp().app_nodes())
+    h.drive(v, 30, SimDuration::ms(std::int64_t(rng.next_below(30)) + 1));
+  h.run_for(SimDuration::sec(4));
+  ada.stop();
+  h.run();
+  EXPECT_FALSE(h.safety_violated());
+  EXPECT_EQ(h.net().in_flight(), 0u);
+  for (NodeId v : h.comp().app_nodes()) EXPECT_EQ(h.grant_count(v), 30);
+}
+
+}  // namespace
+}  // namespace gmx::testing

@@ -1,0 +1,238 @@
+// Composition-level conformance: every (intra, inter) algorithm pair must
+// preserve grid-wide safety and liveness — the paper's central claim that
+// any two token algorithms compose unmodified (§3.1). Also checks the
+// structural properties: message aggregation, transparency, topology rules.
+#include "gridmutex/core/composition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "gridmutex/net/trace.hpp"
+
+#include "composition_harness.hpp"
+
+namespace gmx::testing {
+namespace {
+
+struct PairParam {
+  std::string intra;
+  std::string inter;
+  std::uint64_t seed;
+};
+
+std::vector<PairParam> pair_space() {
+  std::vector<PairParam> out;
+  for (const auto& intra : algorithm_names())
+    for (const auto& inter : algorithm_names())
+      out.push_back({intra, inter, 11});
+  // Deeper seed sweep for the paper's three algorithms.
+  for (const std::string intra : {"naimi", "martin", "suzuki"})
+    for (const std::string inter : {"naimi", "martin", "suzuki"})
+      for (std::uint64_t seed : {2ull, 3ull})
+        out.push_back({intra, inter, seed});
+  return out;
+}
+
+class CompositionPairs : public ::testing::TestWithParam<PairParam> {};
+
+std::string pair_name(const ::testing::TestParamInfo<PairParam>& info) {
+  return info.param.intra + "_" + info.param.inter + "_s" +
+         std::to_string(info.param.seed);
+}
+
+TEST_P(CompositionPairs, SaturatedWorkloadIsSafeAndLive) {
+  const auto& p = GetParam();
+  CompositionHarness h({.intra = p.intra, .inter = p.inter, .seed = p.seed});
+  h.set_auto_release(SimDuration::ms(2));
+  h.start();
+  const int cycles = 4;
+  Rng rng(p.seed);
+  for (NodeId v : h.comp().app_nodes())
+    h.drive(v, cycles,
+            SimDuration::us(std::int64_t(rng.next_below(3000)) + 1));
+  h.run();
+  EXPECT_FALSE(h.safety_violated());
+  for (NodeId v : h.comp().app_nodes())
+    EXPECT_EQ(h.grant_count(v), cycles) << "node " << v;
+  EXPECT_TRUE(h.sim().idle());
+  EXPECT_EQ(h.net().in_flight(), 0u);
+}
+
+TEST_P(CompositionPairs, SparseWorkloadIsSafeAndLive) {
+  const auto& p = GetParam();
+  CompositionHarness h({.intra = p.intra, .inter = p.inter, .seed = p.seed});
+  h.set_auto_release(SimDuration::ms(2));
+  h.start();
+  Rng rng(p.seed + 99);
+  for (NodeId v : h.comp().app_nodes())
+    h.drive(v, 2,
+            SimDuration::ms(std::int64_t(rng.next_below(400)) + 50));
+  h.run();
+  EXPECT_FALSE(h.safety_violated());
+  for (NodeId v : h.comp().app_nodes()) EXPECT_EQ(h.grant_count(v), 2);
+}
+
+TEST_P(CompositionPairs, AggregationReducesInterAcquisitions) {
+  // Under saturation, one inter acquisition serves many local CS entries
+  // (paper §4.4). The number of inter acquisitions must be strictly less
+  // than the number of grants.
+  const auto& p = GetParam();
+  CompositionHarness h({.intra = p.intra, .inter = p.inter, .seed = p.seed});
+  h.set_auto_release(SimDuration::ms(2));
+  h.start();
+  for (NodeId v : h.comp().app_nodes())
+    h.drive(v, 5, SimDuration::us(100));
+  h.run();
+  EXPECT_FALSE(h.safety_violated());
+  const std::uint64_t grants = h.grants().size();
+  EXPECT_EQ(grants, std::uint64_t(h.comp().app_nodes().size()) * 5u);
+  EXPECT_LT(h.comp().total_inter_acquisitions(), grants);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, CompositionPairs,
+                         ::testing::ValuesIn(pair_space()), pair_name);
+
+TEST(Composition, TopologyHelperAddsCoordinatorSlot) {
+  const Topology t = Composition::make_topology(9, 20);
+  EXPECT_EQ(t.cluster_count(), 9u);
+  EXPECT_EQ(t.node_count(), 9u * 21u);
+}
+
+TEST(Composition, AppNodesExcludeCoordinators) {
+  CompositionHarness h({.clusters = 3, .apps_per_cluster = 4});
+  EXPECT_EQ(h.comp().app_nodes().size(), 12u);
+  for (ClusterId c = 0; c < 3; ++c) {
+    EXPECT_TRUE(h.comp().is_coordinator_node(h.topo().first_node_of(c)));
+  }
+  for (NodeId v : h.comp().app_nodes())
+    EXPECT_FALSE(h.comp().is_coordinator_node(v));
+}
+
+TEST(Composition, ProtocolIdsArePartitioned) {
+  CompositionHarness h({});
+  EXPECT_EQ(h.comp().inter_protocol(), 1u);
+  EXPECT_EQ(h.comp().intra_protocol(0), 2u);
+  EXPECT_EQ(h.comp().intra_protocol(2), 4u);
+}
+
+TEST(Composition, TraceLabelerNamesProtocols) {
+  CompositionHarness h({.intra = "naimi", .inter = "martin"});
+  const auto label = h.comp().trace_labeler();
+  EXPECT_EQ(label(h.comp().inter_protocol(), 2), "inter(martin).TOKEN");
+  EXPECT_EQ(label(h.comp().intra_protocol(2), 1), "intra[2](naimi).REQUEST");
+  EXPECT_EQ(label(9999, 5), "p9999.t5");
+}
+
+TEST(Composition, TraceSinkIntegration) {
+  CompositionHarness h({});
+  std::ostringstream out;
+  TraceSink sink(out, h.comp().trace_labeler());
+  sink.install(h.net());
+  h.start();
+  h.run();
+  const NodeId app = h.topo().first_node_of(1) + 1;
+  h.request(app);
+  h.run();
+  const std::string log = out.str();
+  EXPECT_NE(log.find("intra[1](naimi).REQUEST"), std::string::npos);
+  EXPECT_NE(log.find("inter(naimi).TOKEN"), std::string::npos);
+  EXPECT_GT(sink.lines_written(), 3u);
+}
+
+TEST(Composition, CrossClusterTrafficOnlyWhenTokenMoves) {
+  // A purely local workload in the token-holding cluster generates zero
+  // inter-cluster messages.
+  CompositionHarness h({});
+  h.start();
+  h.run();
+  const NodeId local = h.topo().first_node_of(0) + 1;  // initial cluster
+  h.request(local);
+  h.run();
+  h.release(local);
+  h.run();
+  EXPECT_EQ(h.grants().size(), 1u);
+  EXPECT_EQ(h.net().counters().inter_cluster, 0u);
+}
+
+TEST(Composition, InterAcquisitionCountsPerCluster) {
+  CompositionHarness h({});
+  h.set_auto_release(SimDuration::ms(1));
+  h.start();
+  const NodeId a = h.topo().first_node_of(1) + 1;
+  const NodeId b = h.topo().first_node_of(2) + 1;
+  h.request(a);
+  h.run();
+  h.request(b);
+  h.run();
+  EXPECT_EQ(h.comp().coordinator(1).inter_acquisitions(), 1u);
+  EXPECT_EQ(h.comp().coordinator(2).inter_acquisitions(), 1u);
+  EXPECT_EQ(h.comp().coordinator(0).inter_acquisitions(), 0u);
+  EXPECT_EQ(h.comp().total_inter_acquisitions(), 2u);
+}
+
+TEST(Composition, PrivilegeInvariantHoldsAtEveryTransition) {
+  // Strongest form of the §3.2 claim: after *every* coordinator transition,
+  // at most one coordinator is in IN/WAIT_FOR_OUT.
+  CompositionHarness h({.clusters = 4, .apps_per_cluster = 3, .seed = 5});
+  int worst = 0;
+  for (ClusterId c = 0; c < 4; ++c) {
+    h.comp().coordinator(c).set_transition_hook(
+        [&](const Coordinator&, Coordinator::State, Coordinator::State) {
+          worst = std::max(worst, h.comp().privileged_coordinators());
+        });
+  }
+  h.set_auto_release(SimDuration::ms(1));
+  h.start();
+  Rng rng(17);
+  for (NodeId v : h.comp().app_nodes())
+    h.drive(v, 6, SimDuration::us(std::int64_t(rng.next_below(20000)) + 1));
+  h.run();
+  EXPECT_FALSE(h.safety_violated());
+  EXPECT_LE(worst, 1);
+}
+
+TEST(Composition, TwoClustersMinimumWorks) {
+  CompositionHarness h({.clusters = 2, .apps_per_cluster = 1});
+  h.set_auto_release(SimDuration::ms(1));
+  h.start();
+  for (NodeId v : h.comp().app_nodes()) h.drive(v, 3, SimDuration::ms(1));
+  h.run();
+  EXPECT_FALSE(h.safety_violated());
+  EXPECT_EQ(h.grants().size(), 6u);
+}
+
+TEST(Composition, InitialClusterConfigPlacesToken) {
+  Simulator sim;
+  const Topology topo = Composition::make_topology(3, 2);
+  Network net(sim, topo,
+              std::make_shared<FixedLatencyModel>(SimDuration::ms(1)),
+              Rng(1));
+  Composition comp(net, CompositionConfig{.intra_algorithm = "naimi",
+                                          .inter_algorithm = "naimi",
+                                          .initial_cluster = 2,
+                                          .seed = 1});
+  comp.start();
+  sim.run();
+  EXPECT_TRUE(comp.coordinator(2).inter().holds_token());
+  EXPECT_FALSE(comp.coordinator(0).inter().holds_token());
+}
+
+TEST(CompositionDeathTest, AppMutexOfCoordinatorNodeAborts) {
+  CompositionHarness h({});
+  EXPECT_DEATH((void)h.comp().app_mutex(h.topo().first_node_of(0)),
+               "coordinator");
+}
+
+TEST(CompositionDeathTest, SingleNodeClusterAborts) {
+  Simulator sim;
+  const Topology topo = Topology::uniform(2, 1);  // no room for apps
+  Network net(sim, topo,
+              std::make_shared<FixedLatencyModel>(SimDuration::ms(1)),
+              Rng(1));
+  EXPECT_DEATH(Composition(net, CompositionConfig{}), "coordinator and >=1");
+}
+
+}  // namespace
+}  // namespace gmx::testing

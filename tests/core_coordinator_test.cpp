@@ -1,0 +1,266 @@
+// Coordinator automaton tests (paper Figs. 1b/2): state transitions, token
+// handling at both levels, and the automaton legality invariant.
+#include "gridmutex/core/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "composition_harness.hpp"
+
+namespace gmx::testing {
+namespace {
+
+using State = Coordinator::State;
+
+TEST(CoordinatorStateNames, AllFourRender) {
+  EXPECT_EQ(to_string(State::kOut), "OUT");
+  EXPECT_EQ(to_string(State::kWaitForIn), "WAIT_FOR_IN");
+  EXPECT_EQ(to_string(State::kIn), "IN");
+  EXPECT_EQ(to_string(State::kWaitForOut), "WAIT_FOR_OUT");
+}
+
+TEST(Coordinator, StartsInOutHoldingIntraCs) {
+  CompositionHarness h({});
+  h.start();
+  h.run();
+  for (ClusterId c = 0; c < 3; ++c) {
+    auto& coord = h.comp().coordinator(c);
+    EXPECT_EQ(coord.state(), State::kOut) << c;
+    EXPECT_TRUE(coord.intra().in_cs()) << c;
+    EXPECT_EQ(coord.inter().state(), CsState::kIdle) << c;
+  }
+  // Startup costs no messages at all for token-based compositions.
+  EXPECT_EQ(h.net().counters().sent, 0u);
+}
+
+TEST(Coordinator, LocalRequestWalksOutWaitInCycle) {
+  CompositionHarness h({});
+  std::vector<std::pair<State, State>> trail;
+  h.start();
+  h.run();
+  h.comp().coordinator(1).set_transition_hook(
+      [&](const Coordinator&, State f, State t) { trail.emplace_back(f, t); });
+  const NodeId app = h.topo().first_node_of(1) + 1;
+  h.request(app);
+  h.run();
+  // Cluster 1's coordinator: OUT → WAIT_FOR_IN (asks cluster 0 for the
+  // token) → IN (token received, intra token released to the app).
+  ASSERT_GE(trail.size(), 2u);
+  EXPECT_EQ(trail[0], (std::pair<State, State>{State::kOut, State::kWaitForIn}));
+  EXPECT_EQ(trail[1], (std::pair<State, State>{State::kWaitForIn, State::kIn}));
+  EXPECT_EQ(h.comp().coordinator(1).state(), State::kIn);
+  EXPECT_TRUE(h.comp().app_mutex(app).in_cs());
+  EXPECT_EQ(h.grants().size(), 1u);
+}
+
+TEST(Coordinator, RemoteDemandTriggersWaitForOutAndHandover) {
+  CompositionHarness h({});
+  h.start();
+  h.run();
+  const NodeId app1 = h.topo().first_node_of(1) + 1;
+  const NodeId app2 = h.topo().first_node_of(2) + 1;
+  h.request(app1);
+  h.run();
+  EXPECT_EQ(h.comp().coordinator(1).state(), State::kIn);
+  // Cluster 2 wants in while app1 still holds the CS.
+  h.request(app2);
+  h.run_for(h.wan() * 3);
+  EXPECT_EQ(h.comp().coordinator(1).state(), State::kWaitForOut);
+  EXPECT_EQ(h.comp().coordinator(2).state(), State::kWaitForIn);
+  EXPECT_EQ(h.grants().size(), 1u);  // app2 must wait
+  h.release(app1);
+  h.run();
+  EXPECT_EQ(h.grants().size(), 2u);
+  EXPECT_EQ(h.grants()[1], app2);
+  EXPECT_EQ(h.comp().coordinator(1).state(), State::kOut);
+  EXPECT_EQ(h.comp().coordinator(2).state(), State::kIn);
+  EXPECT_FALSE(h.safety_violated());
+}
+
+TEST(Coordinator, InterTokenStaysWhileClusterKeepsRequesting) {
+  // Aggregation (paper §4.4): several local CS under one inter acquisition.
+  CompositionHarness h({});
+  h.start();
+  h.run();
+  const NodeId a = h.topo().first_node_of(1) + 1;
+  const NodeId b = h.topo().first_node_of(1) + 2;
+  const NodeId c = h.topo().first_node_of(1) + 3;
+  h.request(a);
+  h.request(b);
+  h.request(c);
+  h.run();
+  h.release(a);
+  h.run();
+  h.release(b);
+  h.run();
+  h.release(c);
+  h.run();
+  EXPECT_EQ(h.grants().size(), 3u);
+  EXPECT_EQ(h.comp().coordinator(1).inter_acquisitions(), 1u);
+  EXPECT_EQ(h.comp().coordinator(1).state(), State::kIn);  // nobody asked back
+  EXPECT_FALSE(h.safety_violated());
+}
+
+TEST(Coordinator, ReclaimWaitsForLocalCsToFinish) {
+  CompositionHarness h({});
+  h.start();
+  h.run();
+  const NodeId app1 = h.topo().first_node_of(1) + 1;
+  const NodeId app1b = h.topo().first_node_of(1) + 2;
+  const NodeId app2 = h.topo().first_node_of(2) + 1;
+  h.request(app1);
+  h.run();
+  h.request(app1b);  // queues locally behind app1
+  h.run_for(h.wan());
+  h.request(app2);   // remote demand → coordinator 1 reclaims
+  h.run_for(h.wan() * 3);
+  EXPECT_EQ(h.comp().coordinator(1).state(), State::kWaitForOut);
+  h.release(app1);
+  h.run();
+  // app1b was already queued before the reclaim: it is served first, only
+  // then does the inter token leave (bounded local service, no preemption).
+  ASSERT_EQ(h.grants().size(), 2u);
+  EXPECT_EQ(h.grants()[1], app1b);
+  h.release(app1b);
+  h.run();
+  EXPECT_EQ(h.grants().size(), 3u);
+  EXPECT_EQ(h.grants()[2], app2);
+  EXPECT_FALSE(h.safety_violated());
+}
+
+TEST(Coordinator, PendingLocalDemandAfterHandoverReRequests) {
+  CompositionHarness h({});
+  h.start();
+  h.run();
+  const NodeId app1 = h.topo().first_node_of(1) + 1;
+  const NodeId app1b = h.topo().first_node_of(1) + 2;
+  const NodeId app2 = h.topo().first_node_of(2) + 1;
+  h.request(app1);
+  h.run();
+  h.request(app2);  // remote demand
+  h.run_for(h.wan() * 3);
+  // New local demand arrives while coordinator 1 is reclaiming.
+  h.request(app1b);
+  h.run_for(h.wan());
+  h.release(app1);
+  h.run_for(h.wan() * 4);
+  // Coordinator 1 passed the token away and immediately re-requested it.
+  EXPECT_EQ(h.comp().coordinator(1).state(), State::kWaitForIn);
+  h.release(app2);
+  h.run();
+  EXPECT_EQ(h.grant_count(app1b), 1);
+  EXPECT_FALSE(h.safety_violated());
+  EXPECT_EQ(h.comp().coordinator(1).inter_acquisitions(), 2u);
+}
+
+TEST(Coordinator, TransitionCountsAreTracked) {
+  CompositionHarness h({});
+  h.start();
+  h.run();
+  const NodeId app = h.topo().first_node_of(1) + 1;
+  h.request(app);
+  h.run();
+  EXPECT_EQ(h.comp().coordinator(1).state_transitions(), 2u);  // OUT→WFI→IN
+  EXPECT_EQ(h.comp().coordinator(0).state_transitions(), 0u);
+}
+
+TEST(Coordinator, PermissionIntraStartupRaceDoesNotDeadlock) {
+  // Regression: with a permission-based intra algorithm the coordinator's
+  // startup CS grant takes a LAN round-trip; requests that arrive in that
+  // window raise no pending *edge*. The level re-check on the startup grant
+  // must pick them up or the cluster deadlocks (found by the all-pairs
+  // aggregation sweep with intra=lamport).
+  for (const char* intra : {"lamport", "ricart", "maekawa"}) {
+    CompositionHarness h({.intra = intra, .inter = "naimi"});
+    h.set_auto_release(SimDuration::ms(1));
+    h.start();
+    // Request immediately — guaranteed to beat the startup round-trip.
+    for (NodeId v : h.comp().app_nodes()) h.request(v);
+    h.run();
+    EXPECT_FALSE(h.safety_violated()) << intra;
+    EXPECT_EQ(h.grants().size(), h.comp().app_nodes().size()) << intra;
+  }
+}
+
+TEST(Coordinator, PauseDefersInterRequestsAndResumeReplays) {
+  CompositionHarness h({});
+  h.start();
+  h.run();
+  auto& coord = h.comp().coordinator(1);
+  coord.pause_inter_requests();
+  EXPECT_TRUE(coord.paused());
+  const NodeId app = h.topo().first_node_of(1) + 1;
+  h.request(app);
+  h.run();
+  // Demand noticed but no inter request issued.
+  EXPECT_EQ(coord.state(), Coordinator::State::kOut);
+  EXPECT_EQ(h.grants().size(), 0u);
+  coord.resume_inter_requests();
+  h.run();
+  EXPECT_EQ(h.grants().size(), 1u);
+  EXPECT_EQ(coord.state(), Coordinator::State::kIn);
+}
+
+TEST(Coordinator, ForceVacateParksTheTokenAndReturnsToOut) {
+  CompositionHarness h({});
+  h.set_auto_release(SimDuration::ms(1));
+  h.start();
+  const NodeId app = h.topo().first_node_of(2) + 1;
+  h.request(app);
+  h.run();
+  auto& coord = h.comp().coordinator(2);
+  EXPECT_EQ(coord.state(), Coordinator::State::kIn);
+  coord.force_vacate();
+  h.run();
+  EXPECT_EQ(coord.state(), Coordinator::State::kOut);
+  // The inter token is parked, idle, at cluster 2.
+  EXPECT_TRUE(coord.inter().holds_token());
+  EXPECT_EQ(coord.inter().state(), CsState::kIdle);
+}
+
+TEST(Coordinator, ForceVacateIsNoOpOutsideIn) {
+  CompositionHarness h({});
+  h.start();
+  h.run();
+  auto& coord = h.comp().coordinator(1);
+  ASSERT_EQ(coord.state(), Coordinator::State::kOut);
+  coord.force_vacate();
+  h.run();
+  EXPECT_EQ(coord.state(), Coordinator::State::kOut);
+  EXPECT_EQ(coord.state_transitions(), 0u);
+}
+
+TEST(CoordinatorDeathTest, RebindRequiresPausedOut) {
+  CompositionHarness h({});
+  h.start();
+  h.run();
+  EXPECT_DEATH(
+      h.comp().coordinator(0).rebind_inter(h.comp().coordinator(0).inter()),
+      "paused");
+}
+
+TEST(CoordinatorDeathTest, StartTwiceAborts) {
+  CompositionHarness h({});
+  h.start();
+  h.run();
+  EXPECT_DEATH(h.comp().coordinator(0).start(), "twice");
+}
+
+TEST(CoordinatorDeathTest, EndpointsOnDifferentNodesAbort) {
+  Simulator sim;
+  const Topology topo = Topology::uniform(2, 2);
+  Network net(sim, topo,
+              std::make_shared<FixedLatencyModel>(SimDuration::ms(1)),
+              Rng(1));
+  const std::vector<NodeId> intra_members = {0, 1};
+  const std::vector<NodeId> inter_members = {1, 2};
+  MutexEndpoint intra(net, 1, intra_members, 0, make_algorithm("naimi"),
+                      Rng(1));
+  MutexEndpoint inter(net, 2, inter_members, 1, make_algorithm("naimi"),
+                      Rng(1));
+  EXPECT_DEATH(Coordinator(intra, inter), "share a node");
+}
+
+}  // namespace
+}  // namespace gmx::testing

@@ -1,0 +1,213 @@
+// Multi-level composition tests (paper §6 extension): 2- and 3-level
+// hierarchies, topology/latency helpers, recursive safety and liveness.
+#include "gridmutex/core/multilevel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <unordered_map>
+
+#include "gridmutex/net/network.hpp"
+#include "gridmutex/sim/random.hpp"
+
+namespace gmx::testing {
+namespace {
+
+HierarchySpec three_level() {
+  return HierarchySpec{.arity = {2, 2, 3},
+                       .algorithms = {"naimi", "naimi", "naimi"}};
+}
+
+TEST(HierarchySpec, GroupCounts) {
+  const auto s = three_level();
+  EXPECT_EQ(s.levels(), 3u);
+  EXPECT_EQ(s.groups_at(0), 6u);  // leaf clusters
+  EXPECT_EQ(s.groups_at(1), 3u);  // sites
+  EXPECT_EQ(s.groups_at(2), 1u);  // root
+  EXPECT_EQ(s.application_count(), 12u);
+}
+
+TEST(MultiLevel, TopologyHostsInnerCoordinators) {
+  const auto s = three_level();
+  const Topology t = MultiLevelComposition::make_topology(s);
+  EXPECT_EQ(t.cluster_count(), 6u);
+  // Leaf clusters: 1 coordinator + 2 apps = 3 nodes; the first cluster of
+  // each site hosts its site coordinator too.
+  EXPECT_EQ(t.cluster_size(0), 4u);
+  EXPECT_EQ(t.cluster_size(1), 3u);
+  EXPECT_EQ(t.cluster_size(2), 4u);
+  EXPECT_EQ(t.cluster_size(3), 3u);
+  EXPECT_EQ(t.node_count(), 6u * 3u + 3u);
+}
+
+TEST(MultiLevel, LatencyReflectsLcaLevel) {
+  const auto s = three_level();
+  const SimDuration delays[] = {SimDuration::ms_f(0.5), SimDuration::ms(5),
+                                SimDuration::ms(40)};
+  const auto lat = MultiLevelComposition::make_latency(s, delays);
+  EXPECT_DOUBLE_EQ(lat->one_way_ms(0, 0), 0.5);   // same cluster
+  EXPECT_DOUBLE_EQ(lat->one_way_ms(0, 1), 5.0);   // same site
+  EXPECT_DOUBLE_EQ(lat->one_way_ms(0, 2), 40.0);  // cross site
+  EXPECT_DOUBLE_EQ(lat->one_way_ms(4, 5), 5.0);
+  EXPECT_DOUBLE_EQ(lat->one_way_ms(5, 0), 40.0);
+}
+
+std::vector<SimDuration> level_delays(const HierarchySpec& s) {
+  // 0.5ms LAN, then 5ms, 40ms, 80ms... per additional level.
+  std::vector<SimDuration> out{SimDuration::ms_f(0.5)};
+  std::int64_t ms = 5;
+  for (std::size_t l = 1; l < s.levels(); ++l) {
+    out.push_back(SimDuration::ms(ms));
+    ms *= 8;
+  }
+  return out;
+}
+
+struct MlFixture {
+  explicit MlFixture(HierarchySpec s, std::uint64_t seed = 1)
+      : spec(std::move(s)),
+        topo(MultiLevelComposition::make_topology(spec)),
+        net(sim, topo,
+            MultiLevelComposition::make_latency(spec, level_delays(spec)),
+            Rng(seed)),
+        ml(net, spec, 1, seed) {
+    sim.set_event_limit(20'000'000);
+    for (NodeId v : ml.app_nodes()) {
+      ml.app_mutex(v).set_callbacks(MutexCallbacks{
+          [this, v] { on_granted(v); },
+          {},
+      });
+    }
+  }
+
+  void on_granted(NodeId v) {
+    grants.push_back(v);
+    int in_cs = 0;
+    for (NodeId a : ml.app_nodes())
+      if (ml.app_mutex(a).in_cs()) ++in_cs;
+    if (in_cs != 1) safety_violated = true;
+    // Per-level exclusivity: at most one privileged coordinator per level 1+
+    // overall; at level 0, at most one per site... the global bound that
+    // matters: level L-2 coordinators privileged <= 1.
+    if (ml.privileged_at(ml.levels() - 2) > 1) safety_violated = true;
+    if (auto_release) {
+      sim.schedule_after(cs_time, [this, v] {
+        ml.app_mutex(v).release_cs();
+        auto it = remaining.find(v);
+        if (it != remaining.end() && it->second > 0) {
+          --it->second;
+          sim.schedule_after(think[v],
+                             [this, v] { ml.app_mutex(v).request_cs(); });
+        }
+      });
+    }
+  }
+
+  void drive(NodeId v, int count, SimDuration t) {
+    remaining[v] = count - 1;
+    think[v] = t;
+    sim.schedule_after(t, [this, v] { ml.app_mutex(v).request_cs(); });
+  }
+
+  HierarchySpec spec;
+  Simulator sim;
+  Topology topo;
+  Network net;
+  MultiLevelComposition ml;
+  std::vector<NodeId> grants;
+  bool safety_violated = false;
+  bool auto_release = true;
+  SimDuration cs_time = SimDuration::ms(2);
+  std::unordered_map<NodeId, int> remaining;
+  std::unordered_map<NodeId, SimDuration> think;
+};
+
+TEST(MultiLevel, TwoLevelSpecMatchesCompositionSemantics) {
+  MlFixture f(HierarchySpec{.arity = {3, 3},
+                            .algorithms = {"naimi", "martin"}});
+  f.ml.start();
+  f.sim.run();
+  EXPECT_EQ(f.ml.coordinator_count(0), 3u);
+  for (NodeId v : f.ml.app_nodes()) f.drive(v, 3, SimDuration::ms(1));
+  f.sim.run();
+  EXPECT_FALSE(f.safety_violated);
+  EXPECT_EQ(f.grants.size(), 9u * 3u);
+}
+
+TEST(MultiLevel, ThreeLevelSafetyAndLivenessUnderSaturation) {
+  MlFixture f(three_level());
+  f.ml.start();
+  f.sim.run();
+  Rng rng(3);
+  for (NodeId v : f.ml.app_nodes())
+    f.drive(v, 4, SimDuration::us(std::int64_t(rng.next_below(2000)) + 1));
+  f.sim.run();
+  EXPECT_FALSE(f.safety_violated);
+  EXPECT_EQ(f.grants.size(), f.spec.application_count() * 4u);
+  EXPECT_TRUE(f.sim.idle());
+  EXPECT_EQ(f.net.in_flight(), 0u);
+}
+
+TEST(MultiLevel, ThreeLevelSparseWorkload) {
+  MlFixture f(three_level(), 7);
+  f.ml.start();
+  f.sim.run();
+  Rng rng(7);
+  for (NodeId v : f.ml.app_nodes())
+    f.drive(v, 2, SimDuration::ms(std::int64_t(rng.next_below(300)) + 100));
+  f.sim.run();
+  EXPECT_FALSE(f.safety_violated);
+  EXPECT_EQ(f.grants.size(), f.spec.application_count() * 2u);
+}
+
+TEST(MultiLevel, MixedAlgorithmsPerLevel) {
+  MlFixture f(HierarchySpec{.arity = {2, 2, 2},
+                            .algorithms = {"suzuki", "naimi", "martin"}},
+              5);
+  f.ml.start();
+  f.sim.run();
+  for (NodeId v : f.ml.app_nodes()) f.drive(v, 3, SimDuration::ms(2));
+  f.sim.run();
+  EXPECT_FALSE(f.safety_violated);
+  EXPECT_EQ(f.grants.size(), 8u * 3u);
+}
+
+TEST(MultiLevel, FourLevelsDeep) {
+  MlFixture f(HierarchySpec{
+      .arity = {1, 2, 2, 2},
+      .algorithms = {"naimi", "naimi", "naimi", "naimi"}});
+  f.ml.start();
+  f.sim.run();
+  for (NodeId v : f.ml.app_nodes()) f.drive(v, 2, SimDuration::ms(1));
+  f.sim.run();
+  EXPECT_FALSE(f.safety_violated);
+  EXPECT_EQ(f.grants.size(), 8u * 2u);
+}
+
+TEST(MultiLevel, LocalWorkloadTouchesNoUpperLevel) {
+  // All demand inside leaf group 0 (which initially holds every token along
+  // its ancestor chain): only LAN traffic.
+  MlFixture f(three_level());
+  f.ml.start();
+  f.sim.run();
+  const NodeId app = f.topo.first_node_of(0) + 1;
+  f.remaining[app] = 0;
+  f.ml.app_mutex(app).request_cs();
+  f.sim.run();
+  EXPECT_EQ(f.grants.size(), 1u);
+  EXPECT_EQ(f.net.counters().inter_cluster, 0u);
+}
+
+TEST(MultiLevelDeathTest, SingleLevelRejected) {
+  HierarchySpec s{.arity = {5}, .algorithms = {"naimi"}};
+  EXPECT_DEATH(MultiLevelComposition::make_topology(s), "two levels");
+}
+
+TEST(MultiLevelDeathTest, AlgorithmCountMismatchRejected) {
+  HierarchySpec s{.arity = {2, 2}, .algorithms = {"naimi"}};
+  EXPECT_DEATH(MultiLevelComposition::make_topology(s),
+               "one algorithm per level");
+}
+
+}  // namespace
+}  // namespace gmx::testing

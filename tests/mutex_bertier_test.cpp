@@ -1,0 +1,167 @@
+// White-box tests of the Bertier-style hierarchical Naimi-Tréhel baseline:
+// token-carried queue, chase-the-token routing, locality preference and
+// its aging bound.
+#include "gridmutex/mutex/bertier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mutex_harness.hpp"
+
+namespace gmx::testing {
+namespace {
+
+BertierMutex& algo(MutexHarness& h, int rank) {
+  return dynamic_cast<BertierMutex&>(h.ep(rank).algorithm());
+}
+
+// Two clusters of three: ranks 0-2 in cluster 0, ranks 3-5 in cluster 1.
+HarnessOptions two_clusters() {
+  return {.participants = 6,
+          .algorithm = "bertier",
+          .holder_rank = 0,
+          .clusters = 2};
+}
+
+TEST(Bertier, HolderEntersWithoutMessages) {
+  MutexHarness h(two_clusters());
+  h.request(0);
+  h.run();
+  EXPECT_EQ(h.grants().size(), 1u);
+  EXPECT_EQ(h.net().counters().sent, 0u);
+}
+
+TEST(Bertier, DirectGrantWhenIdle) {
+  MutexHarness h(two_clusters());
+  h.request(4);
+  h.run();
+  EXPECT_EQ(h.grants(), (std::vector<int>{4}));
+  // request to holder + token back
+  EXPECT_EQ(h.net().counters().sent, 2u);
+  EXPECT_TRUE(h.ep(4).holds_token());
+  EXPECT_EQ(algo(h, 0).last(), 4);  // holder now points at the grantee
+}
+
+TEST(Bertier, RequestsChaseTheTokenThroughStaleLasts) {
+  MutexHarness h(two_clusters());
+  h.request(4);
+  h.run();
+  h.release(4);
+  h.run();
+  // Rank 1 still believes 0 holds the token; its request must hop 1→0→4.
+  const auto before = h.net().counters().sent;
+  h.request(1);
+  h.run();
+  EXPECT_EQ(h.grants().back(), 1);
+  EXPECT_EQ(h.net().counters().sent - before, 3u);  // 1→0, 0→4, token 4→1
+}
+
+TEST(Bertier, LocalRequestsServedBeforeOlderRemote) {
+  // Holder 0 in CS. A *remote* request (rank 3) arrives first, then a
+  // *local* one (rank 1). Plain Naimi/FIFO would serve 3 first; Bertier's
+  // locality preference serves 1 first.
+  MutexHarness h(two_clusters());
+  h.request(0);
+  h.run();
+  h.request(3);
+  h.run();
+  h.request(1);
+  h.run();
+  EXPECT_EQ(algo(h, 0).queue().size(), 2u);
+  h.release(0);
+  h.run();
+  EXPECT_EQ(h.grants()[1], 1);  // local jumped the queue
+  h.release(1);
+  h.run();
+  EXPECT_EQ(h.grants()[2], 3);
+}
+
+TEST(Bertier, AgingBoundPreventsRemoteStarvation) {
+  // Local ranks 0-2 hammer the CS; remote rank 3 asks once. With
+  // max_local_streak = 5 the remote request must be granted after at most
+  // 5 consecutive local grants.
+  MutexHarness h(two_clusters());
+  h.set_auto_release(SimDuration::ms(1));
+  h.drive(0, 20, SimDuration::us(10));
+  h.drive(1, 20, SimDuration::us(10));
+  h.drive(2, 20, SimDuration::us(10));
+  h.request_at(SimDuration::ms(3), 3);
+  h.run();
+  EXPECT_FALSE(h.safety_violated());
+  const auto& g = h.grants();
+  const auto pos = std::size_t(std::find(g.begin(), g.end(), 3) - g.begin());
+  ASSERT_LT(pos, g.size());
+  // Not served last: the bound kicked in while locals still had demand.
+  EXPECT_LT(pos, g.size() - 10)
+      << "remote request was effectively starved to the end";
+}
+
+TEST(Bertier, StreakTravelsWithTheToken) {
+  // Consecutive local grants accumulate the streak across holders.
+  MutexHarness h(two_clusters());
+  h.request(0);
+  h.run();
+  h.request(1);
+  h.request(2);
+  h.request(3);  // remote, arrives last in rank order... queue at holder 0
+  h.run();
+  h.release(0);
+  h.run();  // grant 1 (local, streak 1)
+  EXPECT_EQ(algo(h, 1).local_streak(), 1);
+  h.release(1);
+  h.run();  // grant 2 (local, streak 2)
+  EXPECT_EQ(algo(h, 2).local_streak(), 2);
+  h.release(2);
+  h.run();  // only remote left
+  EXPECT_EQ(h.grants(), (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(algo(h, 3).local_streak(), 0);  // reset on cluster change
+}
+
+TEST(Bertier, PendingObserverFiresAtBusyHolder) {
+  MutexHarness h(two_clusters());
+  h.request(0);
+  h.run();
+  h.request(5);
+  h.run();
+  ASSERT_GE(h.pending_events().size(), 1u);
+  EXPECT_EQ(h.pending_events()[0], 0);
+  EXPECT_TRUE(h.ep(0).has_pending_requests());
+}
+
+TEST(Bertier, SingleClusterDegeneratesToFifoQueue) {
+  MutexHarness h({.participants = 4, .algorithm = "bertier",
+                  .holder_rank = 0, .clusters = 1});
+  h.request(0);
+  h.run();
+  h.request(2);
+  h.run();
+  h.request(1);
+  h.run();
+  h.request(3);
+  h.run();
+  h.release(0);
+  h.run();
+  h.release(2);
+  h.run();
+  h.release(1);
+  h.run();
+  EXPECT_EQ(h.grants(), (std::vector<int>{0, 2, 1, 3}));
+}
+
+TEST(BertierDeathTest, DuplicateTokenAborts) {
+  MutexHarness h(two_clusters());
+  wire::Writer w;
+  w.varint(0);
+  const std::vector<std::uint32_t> q;
+  w.varint_array(std::span<const std::uint32_t>(q));
+  Message m;
+  m.src = 1;
+  m.dst = 0;
+  m.protocol = 1;
+  m.type = BertierMutex::kToken;
+  m.payload.assign(w.view().begin(), w.view().end());
+  h.net().send(std::move(m));
+  EXPECT_DEATH(h.run(), "duplicate token");
+}
+
+}  // namespace
+}  // namespace gmx::testing

@@ -1,0 +1,147 @@
+// White-box tests of the centralized-server baseline.
+#include "gridmutex/mutex/central_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mutex_harness.hpp"
+
+namespace gmx::testing {
+namespace {
+
+TEST(Central, ServerIsTheInitialHolder) {
+  MutexHarness h({.participants = 4, .algorithm = "central",
+                  .holder_rank = 2});
+  auto& a = dynamic_cast<CentralServerMutex&>(h.ep(2).algorithm());
+  EXPECT_TRUE(a.is_server());
+  EXPECT_EQ(a.server_rank(), 2);
+  EXPECT_TRUE(h.ep(2).holds_token());
+}
+
+TEST(Central, ClientCsCostsThreeMessages) {
+  MutexHarness h({.participants = 4, .algorithm = "central",
+                  .holder_rank = 0});
+  h.request(3);
+  h.run();
+  EXPECT_EQ(h.grants().size(), 1u);
+  EXPECT_EQ(h.net().counters().sent, 2u);  // request + grant
+  h.release(3);
+  h.run();
+  EXPECT_EQ(h.net().counters().sent, 3u);  // + release
+}
+
+TEST(Central, ServerSelfCsIsFree) {
+  MutexHarness h({.participants = 4, .algorithm = "central",
+                  .holder_rank = 0});
+  h.request(0);
+  h.run();
+  h.release(0);
+  h.run();
+  EXPECT_EQ(h.grants().size(), 1u);
+  EXPECT_EQ(h.net().counters().sent, 0u);
+}
+
+TEST(Central, QueueIsStrictlyFifoByArrival) {
+  MutexHarness h({.participants = 5, .algorithm = "central",
+                  .holder_rank = 0, .latency = SimDuration::ms(1)});
+  h.set_auto_release(SimDuration::ms(1));
+  h.request(0);
+  h.run_for(SimDuration::us(10));
+  // Stagger arrivals: 4 then 1 then 3.
+  h.request_at(SimDuration::us(100), 4);
+  h.request_at(SimDuration::us(200), 1);
+  h.request_at(SimDuration::us(300), 3);
+  h.run();
+  EXPECT_EQ(h.grants(), (std::vector<int>{0, 4, 1, 3}));
+}
+
+TEST(Central, PendingObserverAtServerAndViaRevoke) {
+  MutexHarness h({.participants = 3, .algorithm = "central",
+                  .holder_rank = 0});
+  h.request(0);
+  h.run();
+  h.request(1);
+  h.run();
+  ASSERT_EQ(h.pending_events().size(), 1u);
+  EXPECT_EQ(h.pending_events()[0], 0);
+  h.release(0);
+  h.run();
+  // 1 in CS now; 2 queues at the server → the server revokes the holder,
+  // so rank 1 observes the pending demand.
+  h.request(2);
+  h.run();
+  ASSERT_EQ(h.pending_events().size(), 2u);
+  EXPECT_EQ(h.pending_events()[1], 1);
+  EXPECT_TRUE(h.ep(1).has_pending_requests());
+  h.release(1);
+  h.run();
+  EXPECT_EQ(h.grants(), (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Central, OnlyOneRevokePerGrant) {
+  MutexHarness h({.participants = 4, .algorithm = "central",
+                  .holder_rank = 0});
+  std::uint64_t revokes = 0;
+  h.net().set_tracer([&](const Message& m, SimTime, SimTime) {
+    if (m.type == CentralServerMutex::kRevoke) ++revokes;
+  });
+  h.request(1);
+  h.run();
+  h.request(2);
+  h.run();
+  h.request(3);  // second waiter: no second revoke
+  h.run();
+  EXPECT_EQ(revokes, 1u);
+  h.release(1);
+  h.run();
+  // New grant to 2, with 3 still queued → one more revoke.
+  EXPECT_EQ(revokes, 2u);
+  h.release(2);
+  h.run();
+  h.release(3);
+  h.run();
+  EXPECT_EQ(revokes, 2u);
+  EXPECT_EQ(h.grants(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Central, HoldsTokenSemantics) {
+  MutexHarness h({.participants = 3, .algorithm = "central",
+                  .holder_rank = 0});
+  EXPECT_TRUE(h.ep(0).holds_token());   // free server
+  EXPECT_FALSE(h.ep(1).holds_token());
+  h.request(1);
+  h.run();
+  EXPECT_FALSE(h.ep(0).holds_token());  // lent out
+  EXPECT_TRUE(h.ep(1).holds_token());
+  h.release(1);
+  h.run();
+  EXPECT_TRUE(h.ep(0).holds_token());
+}
+
+TEST(CentralDeathTest, GrantToServerAborts) {
+  MutexHarness h({.participants = 3, .algorithm = "central",
+                  .holder_rank = 0});
+  Message m;
+  m.src = 1;
+  m.dst = 0;
+  m.protocol = 1;
+  m.type = CentralServerMutex::kGrant;
+  h.net().send(std::move(m));
+  EXPECT_DEATH(h.run(), "routed to the server");
+}
+
+TEST(CentralDeathTest, ReleaseFromNonHolderAborts) {
+  MutexHarness h({.participants = 3, .algorithm = "central",
+                  .holder_rank = 0});
+  h.request(1);
+  h.run();
+  Message m;
+  m.src = 2;  // 2 never held the grant
+  m.dst = 0;
+  m.protocol = 1;
+  m.type = CentralServerMutex::kRelease;
+  h.net().send(std::move(m));
+  EXPECT_DEATH(h.run(), "");
+}
+
+}  // namespace
+}  // namespace gmx::testing

@@ -1,0 +1,196 @@
+// Cross-algorithm conformance suite.
+//
+// Every registered algorithm must satisfy the mutual exclusion contract:
+// safety (never two participants in CS), liveness (every request eventually
+// granted), quiescence (the protocol stops talking once demand stops), and
+// token uniqueness for token-based algorithms. Parameterized over
+// (algorithm, participants, seed) per DESIGN.md §6.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <tuple>
+
+#include "mutex_harness.hpp"
+
+namespace gmx::testing {
+namespace {
+
+struct ConformanceParam {
+  std::string algorithm;
+  int participants;
+  std::uint64_t seed;
+  std::uint32_t clusters = 1;
+};
+
+std::vector<ConformanceParam> conformance_space() {
+  std::vector<ConformanceParam> out;
+  for (const std::string& a : algorithm_names()) {
+    for (int n : {2, 3, 5, 9, 20}) {
+      for (std::uint64_t seed : {1ull, 7ull, 42ull}) {
+        out.push_back({a, n, seed, 1});
+        // Multi-cluster flat deployment: same contract, and it exercises
+        // the cluster-aware paths (Bertier/Mueller grant policies).
+        if (n >= 5) out.push_back({a, n, seed, 3});
+      }
+    }
+  }
+  return out;
+}
+
+class Conformance : public ::testing::TestWithParam<ConformanceParam> {};
+
+std::string param_name(
+    const ::testing::TestParamInfo<ConformanceParam>& info) {
+  return info.param.algorithm + "_n" + std::to_string(info.param.participants) +
+         "_s" + std::to_string(info.param.seed) + "_c" +
+         std::to_string(info.param.clusters);
+}
+
+TEST_P(Conformance, SingleUncontendedRequestIsGranted) {
+  const auto& p = GetParam();
+  MutexHarness h({.participants = p.participants,
+                  .algorithm = p.algorithm,
+                  .seed = p.seed,
+                  .clusters = p.clusters});
+  const int requester = p.participants - 1;
+  h.request(requester);
+  h.run();
+  ASSERT_EQ(h.grants().size(), 1u);
+  EXPECT_EQ(h.grants()[0], requester);
+  EXPECT_FALSE(h.safety_violated());
+  h.release(requester);
+  h.run();
+  EXPECT_EQ(h.in_cs_count(), 0);
+}
+
+TEST_P(Conformance, AllRanksContendingAreEachServedExactlyOnce) {
+  const auto& p = GetParam();
+  MutexHarness h({.participants = p.participants,
+                  .algorithm = p.algorithm,
+                  .seed = p.seed,
+                  .clusters = p.clusters});
+  h.set_auto_release(SimDuration::ms(2));
+  for (int r = 0; r < p.participants; ++r) h.request(r);
+  h.run();
+  EXPECT_FALSE(h.safety_violated());
+  ASSERT_EQ(h.grants().size(), std::size_t(p.participants));
+  std::set<int> served(h.grants().begin(), h.grants().end());
+  EXPECT_EQ(served.size(), std::size_t(p.participants));
+}
+
+TEST_P(Conformance, RepeatedCyclesStaySafeAndLive) {
+  const auto& p = GetParam();
+  MutexHarness h({.participants = p.participants,
+                  .algorithm = p.algorithm,
+                  .seed = p.seed,
+                  .clusters = p.clusters});
+  h.set_auto_release(SimDuration::ms(1));
+  const int cycles = 10;
+  Rng rng(p.seed);
+  for (int r = 0; r < p.participants; ++r)
+    h.drive(r, cycles, SimDuration::us(std::int64_t(rng.next_below(5000))));
+  h.run();
+  EXPECT_FALSE(h.safety_violated());
+  for (int r = 0; r < p.participants; ++r)
+    EXPECT_EQ(h.grant_count(r), cycles) << "rank " << r;
+}
+
+TEST_P(Conformance, QuiescentAfterDemandStops) {
+  const auto& p = GetParam();
+  MutexHarness h({.participants = p.participants,
+                  .algorithm = p.algorithm,
+                  .seed = p.seed,
+                  .clusters = p.clusters});
+  h.set_auto_release(SimDuration::ms(1));
+  for (int r = 0; r < p.participants; ++r) h.drive(r, 3, SimDuration::ms(1));
+  h.run();
+  // The simulator drained: no protocol message loops forever.
+  EXPECT_TRUE(h.sim().idle());
+  EXPECT_EQ(h.net().in_flight(), 0u);
+  EXPECT_EQ(h.in_cs_count(), 0);
+}
+
+TEST_P(Conformance, TokenIsUniqueAtQuiescence) {
+  const auto& p = GetParam();
+  if (!is_token_based(p.algorithm)) GTEST_SKIP() << "permission-based";
+  MutexHarness h({.participants = p.participants,
+                  .algorithm = p.algorithm,
+                  .seed = p.seed,
+                  .clusters = p.clusters});
+  h.set_auto_release(SimDuration::ms(1));
+  for (int r = 0; r < p.participants; ++r) h.drive(r, 2, SimDuration::ms(2));
+  h.run();
+  EXPECT_EQ(h.token_holder_count(), 1);
+}
+
+TEST_P(Conformance, StaggeredRequestsServedInIssueOrder) {
+  // Requests separated by much more than any message delay must be served
+  // FIFO — a weak fairness floor every reasonable mutex satisfies.
+  const auto& p = GetParam();
+  MutexHarness h({.participants = p.participants,
+                  .algorithm = p.algorithm,
+                  .seed = p.seed,
+                  .clusters = p.clusters});
+  h.set_auto_release(SimDuration::us(100));
+  std::vector<int> issue_order(std::size_t(p.participants));
+  std::iota(issue_order.begin(), issue_order.end(), 0);
+  Rng rng(p.seed + 1);
+  std::shuffle(issue_order.begin(), issue_order.end(), rng);
+  SimDuration when = SimDuration::ms(1);
+  for (int r : issue_order) {
+    h.request_at(when, r);
+    when += SimDuration::ms(200);  // ≫ N · latency
+  }
+  h.run();
+  EXPECT_FALSE(h.safety_violated());
+  EXPECT_EQ(h.grants(), issue_order);
+}
+
+TEST_P(Conformance, LateJoinerIsNotStarvedByAHotRequester) {
+  // Rank 0 hammers the CS; rank 1 asks once. Liveness demands rank 1 gets
+  // in within a bounded number of rank-0 cycles.
+  const auto& p = GetParam();
+  if (p.participants < 2) GTEST_SKIP();
+  MutexHarness h({.participants = p.participants,
+                  .algorithm = p.algorithm,
+                  .seed = p.seed,
+                  .clusters = p.clusters});
+  h.set_auto_release(SimDuration::ms(1));
+  h.drive(0, 50, SimDuration::us(10));
+  h.request_at(SimDuration::ms(5), 1);
+  h.run();
+  EXPECT_FALSE(h.safety_violated());
+  ASSERT_EQ(h.grant_count(1), 1);
+  // Find rank 1's position: it must not be the very last grant.
+  const auto& g = h.grants();
+  const auto pos = std::size_t(
+      std::find(g.begin(), g.end(), 1) - g.begin());
+  EXPECT_LT(pos, g.size() - 1)
+      << "rank 1 was served only after the hot requester fully finished";
+}
+
+TEST_P(Conformance, DeterministicAcrossIdenticalRuns) {
+  const auto& p = GetParam();
+  auto run_once = [&] {
+    MutexHarness h({.participants = p.participants,
+                    .algorithm = p.algorithm,
+                    .seed = p.seed,
+                    .clusters = p.clusters});
+    h.set_auto_release(SimDuration::ms(1));
+    for (int r = 0; r < p.participants; ++r)
+      h.drive(r, 5, SimDuration::ms(r + 1));
+    h.run();
+    return std::make_tuple(h.grants(), h.net().counters().sent,
+                           h.sim().now());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, Conformance,
+                         ::testing::ValuesIn(conformance_space()),
+                         param_name);
+
+}  // namespace
+}  // namespace gmx::testing

@@ -1,0 +1,200 @@
+// Tests of MutexEndpoint plumbing (rank mapping, deferred callbacks,
+// instance isolation) and of the algorithm registry.
+#include "gridmutex/mutex/endpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gridmutex/mutex/naimi_trehel.hpp"
+#include "gridmutex/mutex/registry.hpp"
+#include "mutex_harness.hpp"
+
+namespace gmx::testing {
+namespace {
+
+TEST(Registry, CreatesEveryRegisteredAlgorithm) {
+  for (const auto& name : algorithm_names()) {
+    auto a = make_algorithm(name);
+    ASSERT_NE(a, nullptr) << name;
+    EXPECT_EQ(a->name(), name);
+  }
+}
+
+TEST(Registry, NamesListIsStableAndPaperFirst) {
+  const auto& names = algorithm_names();
+  ASSERT_GE(names.size(), 3u);
+  EXPECT_EQ(names[0], "naimi");
+  EXPECT_EQ(names[1], "martin");
+  EXPECT_EQ(names[2], "suzuki");
+}
+
+TEST(Registry, IsCaseInsensitive) {
+  EXPECT_EQ(make_algorithm("NAIMI")->name(), "naimi");
+  EXPECT_EQ(make_algorithm("Suzuki")->name(), "suzuki");
+}
+
+TEST(Registry, UnknownNameThrows) {
+  EXPECT_THROW(make_algorithm("dijkstra"), std::invalid_argument);
+  EXPECT_THROW(make_algorithm(""), std::invalid_argument);
+}
+
+TEST(Registry, TokenBasedClassification) {
+  EXPECT_TRUE(is_token_based("naimi"));
+  EXPECT_TRUE(is_token_based("martin"));
+  EXPECT_TRUE(is_token_based("suzuki"));
+  EXPECT_TRUE(is_token_based("raymond"));
+  EXPECT_TRUE(is_token_based("central"));
+  EXPECT_FALSE(is_token_based("ricart"));
+}
+
+TEST(Registry, FactoryProducesIndependentInstances) {
+  auto f = algorithm_factory("naimi");
+  auto a = f();
+  auto b = f();
+  EXPECT_NE(a.get(), b.get());
+}
+
+TEST(Registry, MessageTypeNames) {
+  EXPECT_EQ(message_type_name("naimi", 1), "REQUEST");
+  EXPECT_EQ(message_type_name("naimi", 2), "TOKEN");
+  EXPECT_EQ(message_type_name("central", 4), "REVOKE");
+  EXPECT_EQ(message_type_name("ricart", 2), "REPLY");
+  EXPECT_EQ(message_type_name("SUZUKI", 2), "TOKEN");  // case-insensitive
+  EXPECT_EQ(message_type_name("naimi", 77), "type77");
+  EXPECT_EQ(message_type_name("nosuch", 1), "type1");
+}
+
+TEST(Registry, ParseCompositionSpec) {
+  const auto c = parse_composition("naimi-martin");
+  EXPECT_EQ(c.intra, "naimi");
+  EXPECT_EQ(c.inter, "martin");
+  const auto d = parse_composition("Suzuki-Naimi");
+  EXPECT_EQ(d.intra, "suzuki");
+  EXPECT_EQ(d.inter, "naimi");
+}
+
+TEST(Registry, ParseCompositionRejectsMalformed) {
+  EXPECT_THROW(parse_composition("naimi"), std::invalid_argument);
+  EXPECT_THROW(parse_composition("-martin"), std::invalid_argument);
+  EXPECT_THROW(parse_composition("naimi-"), std::invalid_argument);
+  EXPECT_THROW(parse_composition("naimi-foo"), std::invalid_argument);
+}
+
+TEST(Endpoint, RanksMapOntoArbitraryNodes) {
+  // Members need not be nodes 0..n-1: pick scattered nodes of a grid.
+  Simulator sim;
+  const Topology topo = Topology::uniform(3, 4);  // nodes 0..11
+  Network net(sim, topo,
+              std::make_shared<FixedLatencyModel>(SimDuration::ms(1)),
+              Rng(1));
+  const std::vector<NodeId> members = {10, 3, 7};
+  std::vector<std::unique_ptr<MutexEndpoint>> eps;
+  std::vector<int> grants;
+  for (int r = 0; r < 3; ++r) {
+    eps.push_back(std::make_unique<MutexEndpoint>(
+        net, 5, members, r, make_algorithm("naimi"), Rng(2)));
+    eps.back()->set_callbacks(
+        MutexCallbacks{[&grants, r] { grants.push_back(r); }, {}});
+  }
+  for (auto& ep : eps) ep->init(0);
+  EXPECT_EQ(eps[0]->node(), 10u);
+  EXPECT_EQ(eps[2]->node(), 7u);
+  eps[2]->request_cs();
+  sim.run();
+  ASSERT_EQ(grants.size(), 1u);
+  EXPECT_EQ(grants[0], 2);
+  // Traffic flowed between node 10 (cluster 2) and node 7 (cluster 1).
+  EXPECT_EQ(net.counters().inter_cluster, 2u);
+}
+
+TEST(Endpoint, GrantCallbackIsDeferredNotReentrant) {
+  // The holder's request is granted "immediately", but the callback must
+  // arrive via the event loop, not inside request_cs().
+  MutexHarness h({.participants = 2, .algorithm = "naimi",
+                  .holder_rank = 0});
+  h.request(0);
+  EXPECT_TRUE(h.ep(0).in_cs());      // algorithm state already advanced
+  EXPECT_TRUE(h.grants().empty());   // callback not yet delivered
+  h.run();
+  EXPECT_EQ(h.grants().size(), 1u);  // delivered at the same sim time
+  EXPECT_EQ(h.sim().now(), SimTime::zero());
+}
+
+TEST(Endpoint, TwoInstancesOnOneNodeAreIsolated) {
+  // A node can participate in several protocol instances (exactly how the
+  // composition coordinator lives in intra + inter). Messages must not
+  // cross.
+  Simulator sim;
+  const Topology topo = Topology::uniform(1, 3);
+  Network net(sim, topo,
+              std::make_shared<FixedLatencyModel>(SimDuration::ms(1)),
+              Rng(1));
+  const std::vector<NodeId> members = {0, 1, 2};
+  std::vector<std::unique_ptr<MutexEndpoint>> inst1, inst2;
+  int grants1 = 0, grants2 = 0;
+  for (int r = 0; r < 3; ++r) {
+    inst1.push_back(std::make_unique<MutexEndpoint>(
+        net, 100, members, r, make_algorithm("naimi"), Rng(3)));
+    inst1.back()->set_callbacks(MutexCallbacks{[&] { ++grants1; }, {}});
+    inst2.push_back(std::make_unique<MutexEndpoint>(
+        net, 200, members, r, make_algorithm("suzuki"), Rng(4)));
+    inst2.back()->set_callbacks(MutexCallbacks{[&] { ++grants2; }, {}});
+  }
+  for (auto& e : inst1) e->init(0);
+  for (auto& e : inst2) e->init(0);
+  inst1[1]->request_cs();
+  inst2[2]->request_cs();
+  sim.run();
+  EXPECT_EQ(grants1, 1);
+  EXPECT_EQ(grants2, 1);
+  EXPECT_TRUE(inst1[1]->in_cs());
+  EXPECT_TRUE(inst2[2]->in_cs());
+  EXPECT_EQ(net.sent_by_protocol(100), 2u);  // naimi: request + token
+  EXPECT_EQ(net.sent_by_protocol(200), 3u);  // suzuki: 2 requests + token
+}
+
+TEST(Endpoint, PendingCallbackOptional) {
+  // No on_pending callback set: events are simply not delivered (no crash).
+  MutexHarness h({.participants = 2, .algorithm = "naimi",
+                  .holder_rank = 0});
+  h.ep(0).set_callbacks(MutexCallbacks{{}, {}});
+  h.request(0);
+  h.run();
+  h.request(1);
+  h.run();
+  EXPECT_TRUE(h.ep(0).has_pending_requests());
+}
+
+TEST(EndpointDeathTest, MessageFromOutsiderAborts) {
+  Simulator sim;
+  const Topology topo = Topology::uniform(1, 3);
+  Network net(sim, topo,
+              std::make_shared<FixedLatencyModel>(SimDuration::ms(1)),
+              Rng(1));
+  const std::vector<NodeId> members = {0, 1};  // node 2 is not a member
+  MutexEndpoint ep(net, 9, members, 0, make_algorithm("naimi"), Rng(1));
+  ep.init(0);
+  Message m;
+  m.src = 2;
+  m.dst = 0;
+  m.protocol = 9;
+  m.type = NaimiTrehelMutex::kRequest;
+  net.send(std::move(m));
+  EXPECT_DEATH(sim.run(), "outside this instance");
+}
+
+TEST(EndpointDeathTest, DuplicateMemberAborts) {
+  Simulator sim;
+  const Topology topo = Topology::uniform(1, 3);
+  Network net(sim, topo,
+              std::make_shared<FixedLatencyModel>(SimDuration::ms(1)),
+              Rng(1));
+  const std::vector<NodeId> members = {0, 1, 1};
+  EXPECT_DEATH(MutexEndpoint(net, 9, members, 0, make_algorithm("naimi"),
+                             Rng(1)),
+               "duplicate node");
+}
+
+}  // namespace
+}  // namespace gmx::testing

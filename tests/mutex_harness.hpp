@@ -1,0 +1,172 @@
+// Test harness for mutex algorithm instances.
+//
+// Builds a full simulated instance (simulator + network + one endpoint per
+// participant), wires grant callbacks into a safety monitor, and offers both
+// scripted control (request/release specific ranks at specific times) and a
+// self-driving mode (every rank performs k critical sections with think
+// times). Used by the per-algorithm unit tests and the cross-algorithm
+// conformance suite.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridmutex/mutex/endpoint.hpp"
+#include "gridmutex/mutex/registry.hpp"
+#include "gridmutex/net/network.hpp"
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx::testing {
+
+struct HarnessOptions {
+  int participants = 5;
+  std::string algorithm = "naimi";
+  int holder_rank = 0;
+  SimDuration latency = SimDuration::ms(1);
+  std::uint64_t seed = 1;
+  bool fifo = true;
+  // Topology: all participants in one cluster unless clusters > 1, in which
+  // case participants are spread round-robin-contiguously across clusters.
+  std::uint32_t clusters = 1;
+};
+
+class MutexHarness {
+ public:
+  explicit MutexHarness(HarnessOptions opt)
+      : opt_(std::move(opt)),
+        topo_(make_topology(opt_)),
+        net_(sim_, topo_,
+             std::make_shared<FixedLatencyModel>(opt_.latency),
+             Rng(opt_.seed)) {
+    net_.set_fifo_per_pair(opt_.fifo);
+    sim_.set_event_limit(5'000'000);
+    const int n = opt_.participants;
+    std::vector<NodeId> members(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) members[std::size_t(r)] = NodeId(r);
+    for (int r = 0; r < n; ++r) {
+      auto ep = std::make_unique<MutexEndpoint>(
+          net_, /*protocol=*/1, members, r, make_algorithm(opt_.algorithm),
+          Rng(opt_.seed).fork(std::uint64_t(r)));
+      ep->set_callbacks(MutexCallbacks{
+          [this, r] { on_granted(r); },
+          [this, r] { pending_events_.push_back(r); },
+      });
+      endpoints_.push_back(std::move(ep));
+    }
+    const int holder =
+        is_token_based(opt_.algorithm) ? opt_.holder_rank
+                                       : MutexAlgorithm::kNoHolder;
+    for (auto& ep : endpoints_) ep->init(holder);
+  }
+
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] Network& net() { return net_; }
+  [[nodiscard]] MutexEndpoint& ep(int rank) {
+    return *endpoints_[std::size_t(rank)];
+  }
+  [[nodiscard]] int size() const { return opt_.participants; }
+
+  /// Scripted entry points --------------------------------------------------
+
+  void request(int rank) { ep(rank).request_cs(); }
+  void release(int rank) { ep(rank).release_cs(); }
+  void request_at(SimDuration when, int rank) {
+    sim_.schedule_after(when, [this, rank] { request(rank); });
+  }
+
+  /// When set, every grant is followed by an automatic release after
+  /// `cs_time` (and the safety monitor still checks overlap).
+  void set_auto_release(SimDuration cs_time) {
+    auto_release_ = true;
+    cs_time_ = cs_time;
+  }
+
+  /// Self-driving mode: `rank` performs `count` critical sections, waiting
+  /// `think` between release and next request. Implies auto-release.
+  void drive(int rank, int count, SimDuration think) {
+    GMX_ASSERT(auto_release_);
+    remaining_[std::size_t(rank)] = count;
+    think_[std::size_t(rank)] = think;
+    sim_.schedule_after(think, [this, rank] { request(rank); });
+    remaining_[std::size_t(rank)] -= 1;
+  }
+
+  void run() { sim_.run(); }
+  void run_for(SimDuration d) { sim_.run_until(sim_.now() + d); }
+
+  /// Observed behaviour -----------------------------------------------------
+
+  /// Ranks in grant order (every CS entry).
+  [[nodiscard]] const std::vector<int>& grants() const { return grants_; }
+  [[nodiscard]] int grant_count(int rank) const {
+    int c = 0;
+    for (int g : grants_)
+      if (g == rank) ++c;
+    return c;
+  }
+  /// Ranks whose on_pending callbacks fired, in order.
+  [[nodiscard]] const std::vector<int>& pending_events() const {
+    return pending_events_;
+  }
+  [[nodiscard]] int in_cs_count() const {
+    int c = 0;
+    for (const auto& ep : endpoints_)
+      if (ep->in_cs()) ++c;
+    return c;
+  }
+  [[nodiscard]] int token_holder_count() const {
+    int c = 0;
+    for (const auto& ep : endpoints_)
+      if (ep->holds_token()) ++c;
+    return c;
+  }
+  [[nodiscard]] bool safety_violated() const { return safety_violated_; }
+
+ private:
+  static Topology make_topology(const HarnessOptions& opt) {
+    if (opt.clusters <= 1)
+      return Topology::uniform(1, std::uint32_t(opt.participants));
+    // Contiguous blocks, last cluster takes the remainder.
+    const auto per = std::uint32_t(opt.participants) / opt.clusters;
+    std::vector<std::uint32_t> sizes(opt.clusters, per);
+    sizes.back() += std::uint32_t(opt.participants) % opt.clusters;
+    return Topology::from_sizes(sizes);
+  }
+
+  void on_granted(int rank) {
+    grants_.push_back(rank);
+    // Mutual exclusion check at every entry: the granted endpoint is InCs;
+    // nobody else may be.
+    if (in_cs_count() != 1) safety_violated_ = true;
+    if (auto_release_) {
+      sim_.schedule_after(cs_time_, [this, rank] {
+        release(rank);
+        auto& rem = remaining_[std::size_t(rank)];
+        if (rem > 0) {
+          --rem;
+          sim_.schedule_after(think_[std::size_t(rank)],
+                              [this, rank] { request(rank); });
+        }
+      });
+    }
+  }
+
+  HarnessOptions opt_;
+  Simulator sim_;
+  Topology topo_;
+  Network net_;
+  std::vector<std::unique_ptr<MutexEndpoint>> endpoints_;
+
+  std::vector<int> grants_;
+  std::vector<int> pending_events_;
+  bool safety_violated_ = false;
+
+  bool auto_release_ = false;
+  SimDuration cs_time_ = SimDuration::ms(1);
+  std::vector<int> remaining_ = std::vector<int>(1024, 0);
+  std::vector<SimDuration> think_ = std::vector<SimDuration>(1024);
+};
+
+}  // namespace gmx::testing

@@ -1,0 +1,111 @@
+// White-box tests of Lamport's algorithm: queue discipline, clock
+// propagation, 3(N-1) message cost.
+#include "gridmutex/mutex/lamport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mutex_harness.hpp"
+
+namespace gmx::testing {
+namespace {
+
+LamportMutex& algo(MutexHarness& h, int rank) {
+  return dynamic_cast<LamportMutex&>(h.ep(rank).algorithm());
+}
+
+TEST(Lamport, UncontendedCsCostsThreeNMinusThreeMessages) {
+  const int n = 5;
+  MutexHarness h({.participants = n, .algorithm = "lamport"});
+  h.request(2);
+  h.run();
+  EXPECT_EQ(h.grants().size(), 1u);
+  // N-1 requests + N-1 replies to enter...
+  EXPECT_EQ(h.net().counters().sent, std::uint64_t(2 * (n - 1)));
+  h.release(2);
+  h.run();
+  // ... + N-1 releases.
+  EXPECT_EQ(h.net().counters().sent, std::uint64_t(3 * (n - 1)));
+}
+
+TEST(Lamport, QueueOrdersByTimestampThenRank) {
+  MutexHarness h({.participants = 3, .algorithm = "lamport"});
+  // Simultaneous requests: identical timestamps, rank breaks the tie.
+  h.set_auto_release(SimDuration::ms(1));
+  h.request(2);
+  h.request(1);
+  h.run();
+  EXPECT_EQ(h.grants(), (std::vector<int>{1, 2}));
+  EXPECT_FALSE(h.safety_violated());
+}
+
+TEST(Lamport, QueueVisibleAtAllParticipants) {
+  MutexHarness h({.participants = 3, .algorithm = "lamport"});
+  h.request(0);
+  h.run();
+  h.request(2);
+  h.run();
+  // Everyone's queue holds both entries, 0 first (earlier timestamp).
+  for (int r = 0; r < 3; ++r) {
+    ASSERT_EQ(algo(h, r).queue().size(), 2u) << r;
+    EXPECT_EQ(algo(h, r).queue()[0].rank, 0) << r;
+    EXPECT_EQ(algo(h, r).queue()[1].rank, 2) << r;
+  }
+  h.release(0);
+  h.run();
+  for (int r = 0; r < 3; ++r) EXPECT_EQ(algo(h, r).queue().size(), 1u) << r;
+}
+
+TEST(Lamport, ClockAdvancesThroughTraffic) {
+  MutexHarness h({.participants = 2, .algorithm = "lamport"});
+  EXPECT_EQ(algo(h, 0).clock(), 0u);
+  h.request(0);
+  h.run();
+  h.release(0);
+  h.run();
+  // 1 saw request + sent reply + saw release.
+  EXPECT_GE(algo(h, 1).clock(), 3u);
+}
+
+TEST(Lamport, PendingObserverFiresInCs) {
+  MutexHarness h({.participants = 3, .algorithm = "lamport"});
+  h.request(0);
+  h.run();
+  h.request(1);
+  h.run();
+  ASSERT_GE(h.pending_events().size(), 1u);
+  EXPECT_EQ(h.pending_events()[0], 0);
+  EXPECT_TRUE(h.ep(0).has_pending_requests());
+}
+
+TEST(Lamport, SingletonEntersInstantly) {
+  MutexHarness h({.participants = 1, .algorithm = "lamport"});
+  h.request(0);
+  h.run();
+  EXPECT_EQ(h.grants().size(), 1u);
+  EXPECT_EQ(h.net().counters().sent, 0u);
+}
+
+TEST(Lamport, HoldsTokenMapsToInCs) {
+  MutexHarness h({.participants = 2, .algorithm = "lamport"});
+  EXPECT_EQ(h.token_holder_count(), 0);
+  h.request(1);
+  h.run();
+  EXPECT_TRUE(h.ep(1).holds_token());
+  h.release(1);
+  h.run();
+  EXPECT_EQ(h.token_holder_count(), 0);
+}
+
+TEST(LamportDeathTest, ReleaseWithoutRequestAborts) {
+  MutexHarness h({.participants = 2, .algorithm = "lamport"});
+  Message m;
+  m.src = 1;
+  m.dst = 0;
+  m.protocol = 1;
+  m.type = LamportMutex::kRelease;
+  h.net().send(std::move(m));
+  EXPECT_DEATH(h.run(), "release without request");
+}
+
+}  // namespace
+}  // namespace gmx::testing

@@ -1,0 +1,159 @@
+// White-box tests of Maekawa's quorum algorithm: grid quorum construction
+// and intersection, vote accounting, inquire/relinquish revocation, DEMAND
+// notification, O(sqrt N) message cost.
+#include "gridmutex/mutex/maekawa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mutex_harness.hpp"
+
+namespace gmx::testing {
+namespace {
+
+MaekawaMutex& algo(MutexHarness& h, int rank) {
+  return dynamic_cast<MaekawaMutex&>(h.ep(rank).algorithm());
+}
+
+bool intersects(const std::vector<int>& a, const std::vector<int>& b) {
+  for (int x : a)
+    if (std::find(b.begin(), b.end(), x) != b.end()) return true;
+  return false;
+}
+
+TEST(MaekawaQuorum, SquareGrid) {
+  // n=9, k=3: node 4 = (1,1) → row {3,4,5} ∪ col {1,4,7}.
+  EXPECT_EQ(MaekawaMutex::grid_quorum(4, 9),
+            (std::vector<int>{1, 3, 4, 5, 7}));
+  EXPECT_EQ(MaekawaMutex::grid_quorum(0, 9),
+            (std::vector<int>{0, 1, 2, 3, 6}));
+}
+
+TEST(MaekawaQuorum, ContainsSelf) {
+  for (int n : {1, 2, 5, 9, 16, 20, 50}) {
+    for (int r = 0; r < n; ++r) {
+      const auto q = MaekawaMutex::grid_quorum(r, n);
+      EXPECT_TRUE(std::find(q.begin(), q.end(), r) != q.end())
+          << "n=" << n << " r=" << r;
+    }
+  }
+}
+
+TEST(MaekawaQuorum, AnyTwoQuorumsIntersect) {
+  // The safety-critical property, including ragged last rows.
+  for (int n : {2, 3, 5, 7, 9, 10, 12, 16, 20, 23, 37}) {
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < n; ++j) {
+        EXPECT_TRUE(intersects(MaekawaMutex::grid_quorum(i, n),
+                               MaekawaMutex::grid_quorum(j, n)))
+            << "n=" << n << " i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(MaekawaQuorum, SizeIsOrderSqrtN) {
+  const auto q = MaekawaMutex::grid_quorum(0, 100);
+  EXPECT_EQ(q.size(), 19u);  // row(10) + col(10) - self
+}
+
+TEST(Maekawa, UncontendedCsUsesQuorumMessages) {
+  MutexHarness h({.participants = 9, .algorithm = "maekawa"});
+  h.request(4);
+  h.run();
+  EXPECT_EQ(h.grants().size(), 1u);
+  // Quorum of 4 has 5 members incl. self: 4 requests + 4 votes.
+  EXPECT_EQ(h.net().counters().sent, 8u);
+  EXPECT_EQ(algo(h, 4).votes(), 5u);
+  h.release(4);
+  h.run();
+  EXPECT_EQ(h.net().counters().sent, 12u);  // + 4 releases
+  EXPECT_EQ(algo(h, 4).votes(), 0u);
+}
+
+TEST(Maekawa, ArbiterGrantsOneCandidateAtATime) {
+  MutexHarness h({.participants = 9, .algorithm = "maekawa"});
+  h.set_auto_release(SimDuration::ms(2));
+  // 3 and 5 share arbiters (row 1). Concurrent requests must serialize.
+  h.request(3);
+  h.request(5);
+  h.run();
+  EXPECT_FALSE(h.safety_violated());
+  EXPECT_EQ(h.grant_count(3), 1);
+  EXPECT_EQ(h.grant_count(5), 1);
+}
+
+TEST(Maekawa, InquireRevokesFromSlowCollector) {
+  // Force the revocation path: many overlapping requesters with identical
+  // start times; the oldest (ts,rank) must win without deadlock.
+  MutexHarness h({.participants = 16, .algorithm = "maekawa", .seed = 13});
+  h.set_auto_release(SimDuration::ms(1));
+  std::uint64_t inquires = 0, relinquishes = 0;
+  h.net().set_tracer([&](const Message& m, SimTime, SimTime) {
+    if (m.type == MaekawaMutex::kInquire) ++inquires;
+    if (m.type == MaekawaMutex::kRelinquish) ++relinquishes;
+  });
+  // Stagger in *reverse* rank order: arbiters lock for high ranks first,
+  // then the lower-ranked (hence older at equal Lamport time) requests
+  // arrive and force INQUIREs.
+  for (int r = 15; r >= 0; --r)
+    h.request_at(SimDuration::us(50 * (15 - r)), r);
+  h.run();
+  EXPECT_FALSE(h.safety_violated());
+  for (int r = 0; r < 16; ++r) EXPECT_EQ(h.grant_count(r), 1) << r;
+  EXPECT_GT(inquires, 0u) << "contention never exercised the inquire path";
+  EXPECT_LE(relinquishes, inquires);
+}
+
+TEST(Maekawa, DemandNoticeReachesTheCsHolder) {
+  MutexHarness h({.participants = 9, .algorithm = "maekawa"});
+  h.request(0);
+  h.run();
+  EXPECT_TRUE(h.pending_events().empty());
+  h.request(8);  // quorum {2,5,6,7,8} ∩ quorum(0) = {2, 6}
+  h.run();
+  ASSERT_GE(h.pending_events().size(), 1u);
+  EXPECT_EQ(h.pending_events()[0], 0);
+  EXPECT_TRUE(h.ep(0).has_pending_requests());
+  h.release(0);
+  h.run();
+  EXPECT_EQ(h.grants(), (std::vector<int>{0, 8}));
+}
+
+TEST(Maekawa, MessageCostScalesLikeSqrtN) {
+  // 36 participants: quorum 11; one uncontended CS ≈ 3·10 messages versus
+  // Lamport's 3·35.
+  MutexHarness h({.participants = 36, .algorithm = "maekawa"});
+  h.request(17);
+  h.run();
+  h.release(17);
+  h.run();
+  EXPECT_EQ(h.grants().size(), 1u);
+  EXPECT_LE(h.net().counters().sent, 33u);
+  EXPECT_GE(h.net().counters().sent, 27u);
+}
+
+TEST(Maekawa, SingletonWorks) {
+  MutexHarness h({.participants = 1, .algorithm = "maekawa"});
+  h.request(0);
+  h.run();
+  EXPECT_EQ(h.grants().size(), 1u);
+  EXPECT_EQ(h.net().counters().sent, 0u);
+  h.release(0);
+  h.run();
+}
+
+TEST(MaekawaDeathTest, ReleaseFromNonCandidateAborts) {
+  MutexHarness h({.participants = 9, .algorithm = "maekawa"});
+  Message m;
+  m.src = 3;  // in 0's quorum? row0={0,1,2}, col0={0,3,6} → yes, 3 arbiters for 0
+  m.dst = 0;
+  m.protocol = 1;
+  m.type = MaekawaMutex::kRelease;
+  h.net().send(std::move(m));
+  EXPECT_DEATH(h.run(), "release from a non-candidate");
+}
+
+}  // namespace
+}  // namespace gmx::testing

@@ -1,0 +1,164 @@
+// White-box tests of Martin's ring algorithm: hop counts (2(x+1) messages
+// per CS, §2.1), request absorption, and token routing direction.
+#include "gridmutex/mutex/martin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mutex_harness.hpp"
+
+namespace gmx::testing {
+namespace {
+
+MartinMutex& algo(MutexHarness& h, int rank) {
+  return dynamic_cast<MartinMutex&>(h.ep(rank).algorithm());
+}
+
+TEST(Martin, RingNeighboursWrapAround) {
+  MutexHarness h({.participants = 5, .algorithm = "martin"});
+  EXPECT_EQ(algo(h, 0).successor(), 1);
+  EXPECT_EQ(algo(h, 0).predecessor(), 4);
+  EXPECT_EQ(algo(h, 4).successor(), 0);
+  EXPECT_EQ(algo(h, 4).predecessor(), 3);
+}
+
+TEST(Martin, HolderEntersWithoutMessages) {
+  MutexHarness h({.participants = 5, .algorithm = "martin", .holder_rank = 2});
+  h.request(2);
+  h.run();
+  EXPECT_EQ(h.grants().size(), 1u);
+  EXPECT_EQ(h.net().counters().sent, 0u);
+}
+
+TEST(Martin, MessageCostIsTwiceTheRingDistance) {
+  // Paper §2.1: x nodes between requester and holder → 2(x+1) messages.
+  // Requests travel clockwise (successor direction): requester i reaches
+  // holder k in (k-i) mod N hops.
+  for (int requester : {1, 3, 7}) {
+    MutexHarness h(
+        {.participants = 8, .algorithm = "martin", .holder_rank = 0});
+    h.request(requester);
+    h.run();
+    ASSERT_EQ(h.grants().size(), 1u) << requester;
+    const auto hops = std::uint64_t((0 - requester + 8) % 8);
+    EXPECT_EQ(h.net().counters().sent, 2 * hops) << requester;
+  }
+}
+
+TEST(Martin, TokenTravelsCounterClockwise) {
+  MutexHarness h({.participants = 4, .algorithm = "martin", .holder_rank = 0});
+  std::vector<std::pair<NodeId, NodeId>> token_moves;
+  h.net().set_tracer([&](const Message& m, SimTime, SimTime) {
+    if (m.type == MartinMutex::kToken)
+      token_moves.emplace_back(m.src, m.dst);
+  });
+  h.request(2);  // request path 2→3→0; token path 0→3→2
+  h.run();
+  ASSERT_EQ(token_moves.size(), 2u);
+  EXPECT_EQ(token_moves[0], (std::pair<NodeId, NodeId>{0, 3}));
+  EXPECT_EQ(token_moves[1], (std::pair<NodeId, NodeId>{3, 2}));
+}
+
+TEST(Martin, RelayNodesKeepPassDutyNotTheToken) {
+  MutexHarness h({.participants = 4, .algorithm = "martin", .holder_rank = 0});
+  h.request(2);
+  h.run();
+  // After the transfer, relays must hold neither token nor duty.
+  EXPECT_FALSE(h.ep(3).holds_token());
+  EXPECT_FALSE(h.ep(3).has_pending_requests());
+  EXPECT_TRUE(h.ep(2).holds_token());
+}
+
+TEST(Martin, RequestAbsorptionAtARequestingNode) {
+  // 0 holds and is in CS. 2 requests (2→3→0: flag at 3). Then 1 requests:
+  // its request stops at 2 (which is requesting) — no extra hops.
+  MutexHarness h({.participants = 4, .algorithm = "martin", .holder_rank = 0});
+  h.request(0);
+  h.run();
+  h.request(2);
+  h.run();
+  const auto before = h.net().counters().sent;
+  h.request(1);
+  h.run();
+  EXPECT_EQ(h.net().counters().sent - before, 1u);  // just 1→2
+  // One token release now serves 2 then 1 with one hop each.
+  h.release(0);
+  h.run();
+  h.release(2);
+  h.run();
+  EXPECT_EQ(h.grants(), (std::vector<int>{0, 2, 1}));
+}
+
+TEST(Martin, SaturatedRingCostsTwoMessagesPerCs) {
+  // The paper's low-parallelism sweet spot: when everyone requests, each
+  // request is absorbed by the clockwise neighbour (1 message) and each
+  // token grant is a single counter-clockwise hop (1 message).
+  const int n = 6;
+  MutexHarness h({.participants = n, .algorithm = "martin", .holder_rank = 0});
+  h.set_auto_release(SimDuration::ms(1));
+  for (int r = 0; r < n; ++r) h.request(r);
+  h.run();
+  ASSERT_EQ(h.grants().size(), std::size_t(n));
+  // n-1 request messages (holder's own request is free) + n-1 token hops
+  // for the others + final parking: token ends at the last server.
+  EXPECT_LE(h.net().counters().sent, std::uint64_t(2 * n));
+  EXPECT_FALSE(h.safety_violated());
+}
+
+TEST(Martin, PendingObserverFiresWhenHolderInCsSeesRequest) {
+  MutexHarness h({.participants = 3, .algorithm = "martin", .holder_rank = 0});
+  h.request(0);
+  h.run();
+  h.request(2);  // travels 2→0
+  h.run();
+  ASSERT_GE(h.pending_events().size(), 1u);
+  EXPECT_EQ(h.pending_events()[0], 0);
+  EXPECT_TRUE(h.ep(0).has_pending_requests());
+  h.release(0);
+  h.run();
+  EXPECT_EQ(h.grants(), (std::vector<int>{0, 2}));
+}
+
+TEST(Martin, IdleHolderLaunchesTokenImmediately) {
+  MutexHarness h({.participants = 3, .algorithm = "martin", .holder_rank = 0});
+  h.request(1);  // 1→2→0, token 0→2→1
+  h.run();
+  EXPECT_TRUE(h.pending_events().empty());
+  EXPECT_TRUE(h.ep(1).holds_token());
+  EXPECT_EQ(h.net().counters().sent, 4u);
+}
+
+TEST(Martin, TwoParticipantRing) {
+  MutexHarness h({.participants = 2, .algorithm = "martin", .holder_rank = 0});
+  h.set_auto_release(SimDuration::ms(1));
+  h.drive(0, 5, SimDuration::ms(1));
+  h.drive(1, 5, SimDuration::ms(1));
+  h.run();
+  EXPECT_EQ(h.grant_count(0), 5);
+  EXPECT_EQ(h.grant_count(1), 5);
+  EXPECT_FALSE(h.safety_violated());
+}
+
+TEST(MartinDeathTest, DuplicateTokenAborts) {
+  MutexHarness h({.participants = 3, .algorithm = "martin", .holder_rank = 0});
+  Message m;
+  m.src = 1;  // 0's successor
+  m.dst = 0;
+  m.protocol = 1;
+  m.type = MartinMutex::kToken;
+  h.net().send(std::move(m));
+  EXPECT_DEATH(h.run(), "duplicate token");
+}
+
+TEST(MartinDeathTest, UnsolicitedTokenAborts) {
+  MutexHarness h({.participants = 3, .algorithm = "martin", .holder_rank = 0});
+  Message m;
+  m.src = 2;  // 1's successor
+  m.dst = 1;
+  m.protocol = 1;
+  m.type = MartinMutex::kToken;
+  h.net().send(std::move(m));
+  EXPECT_DEATH(h.run(), "nothing owed");
+}
+
+}  // namespace
+}  // namespace gmx::testing

@@ -1,0 +1,166 @@
+// White-box tests of Naimi-Tréhel: last-tree path reversal, next-queue
+// behaviour, and the O(log N)/2-message cost structure from paper §2.2.
+#include "gridmutex/mutex/naimi_trehel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mutex_harness.hpp"
+
+namespace gmx::testing {
+namespace {
+
+NaimiTrehelMutex& algo(MutexHarness& h, int rank) {
+  return dynamic_cast<NaimiTrehelMutex&>(h.ep(rank).algorithm());
+}
+
+TEST(NaimiTrehel, InitialStarTreePointsAtHolder) {
+  MutexHarness h({.participants = 5, .algorithm = "naimi", .holder_rank = 2});
+  for (int r = 0; r < 5; ++r) EXPECT_EQ(algo(h, r).last(), 2);
+  EXPECT_TRUE(h.ep(2).holds_token());
+  EXPECT_EQ(h.token_holder_count(), 1);
+}
+
+TEST(NaimiTrehel, HolderEntersWithoutMessages) {
+  MutexHarness h({.participants = 5, .algorithm = "naimi", .holder_rank = 0});
+  h.request(0);
+  h.run();
+  EXPECT_EQ(h.grants().size(), 1u);
+  EXPECT_EQ(h.net().counters().sent, 0u);
+}
+
+TEST(NaimiTrehel, UncontendedRemoteRequestCostsTwoMessages) {
+  // Fresh star tree: request goes straight to the root (1 msg), token comes
+  // back (1 msg) — the paper's T_req = O(log N)·T, T_token = T, with the
+  // star giving exactly one request hop.
+  MutexHarness h({.participants = 8, .algorithm = "naimi", .holder_rank = 0});
+  h.request(5);
+  h.run();
+  EXPECT_EQ(h.grants().size(), 1u);
+  EXPECT_EQ(h.net().counters().sent, 2u);
+}
+
+TEST(NaimiTrehel, PathReversalMakesRequesterTheRoot) {
+  MutexHarness h({.participants = 4, .algorithm = "naimi", .holder_rank = 0});
+  h.request(3);
+  h.run();
+  // 3 now in CS; 0 must point at 3 (path reversal), 3 points at itself.
+  EXPECT_EQ(algo(h, 0).last(), 3);
+  EXPECT_EQ(algo(h, 3).last(), 3);
+  // 1 and 2 still believe 0 is the owner — lazily updated on next request.
+  EXPECT_EQ(algo(h, 1).last(), 0);
+  EXPECT_EQ(algo(h, 2).last(), 0);
+}
+
+TEST(NaimiTrehel, RequestForwardedThroughStaleLastChain) {
+  MutexHarness h({.participants = 4, .algorithm = "naimi", .holder_rank = 0});
+  h.request(3);
+  h.run();
+  h.release(3);
+  h.run();
+  // 1's last still points to 0; its request must be forwarded 1→0→3.
+  const auto before = h.net().counters().sent;
+  h.request(1);
+  h.run();
+  EXPECT_EQ(h.grants().back(), 1);
+  // 1→0 request, 0→3 forward, 3→1 token.
+  EXPECT_EQ(h.net().counters().sent - before, 3u);
+  EXPECT_EQ(algo(h, 0).last(), 1);
+  EXPECT_EQ(algo(h, 3).last(), 1);
+}
+
+TEST(NaimiTrehel, NextChainsFormDistributedFifoQueue) {
+  MutexHarness h({.participants = 5, .algorithm = "naimi", .holder_rank = 0});
+  h.request(0);
+  h.run();
+  // Queue three waiters while 0 is in CS; requests arrive in rank order
+  // because all are sent at t=0 over equal-latency links and FIFO tie-break
+  // is scheduling order.
+  h.request(1);
+  h.request(2);
+  h.request(3);
+  h.run();
+  EXPECT_EQ(algo(h, 0).next(), std::optional<int>(1));
+  EXPECT_EQ(algo(h, 1).next(), std::optional<int>(2));
+  EXPECT_EQ(algo(h, 2).next(), std::optional<int>(3));
+  EXPECT_FALSE(algo(h, 3).next().has_value());
+  // Releases pass the token down the chain in order.
+  h.release(0);
+  h.run();
+  h.release(1);
+  h.run();
+  h.release(2);
+  h.run();
+  EXPECT_EQ(h.grants(), (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(NaimiTrehel, PendingObserverFiresWhenRootInCsGetsRequest) {
+  MutexHarness h({.participants = 3, .algorithm = "naimi", .holder_rank = 0});
+  h.request(0);
+  h.run();
+  EXPECT_TRUE(h.pending_events().empty());
+  h.request(1);
+  h.run();
+  ASSERT_EQ(h.pending_events().size(), 1u);
+  EXPECT_EQ(h.pending_events()[0], 0);
+  EXPECT_TRUE(h.ep(0).has_pending_requests());
+}
+
+TEST(NaimiTrehel, IdleHolderForwardsTokenWithoutPendingEvent) {
+  MutexHarness h({.participants = 3, .algorithm = "naimi", .holder_rank = 0});
+  h.request(2);
+  h.run();
+  EXPECT_TRUE(h.pending_events().empty());
+  EXPECT_FALSE(h.ep(0).has_pending_requests());
+  EXPECT_TRUE(h.ep(2).holds_token());
+}
+
+TEST(NaimiTrehel, TokenStaysWithLastUserWhenIdle) {
+  MutexHarness h({.participants = 3, .algorithm = "naimi", .holder_rank = 0});
+  h.request(2);
+  h.run();
+  h.release(2);
+  h.run();
+  EXPECT_TRUE(h.ep(2).holds_token());
+  EXPECT_FALSE(h.ep(0).holds_token());
+  // Re-request by 2 is free.
+  const auto before = h.net().counters().sent;
+  h.request(2);
+  h.run();
+  EXPECT_EQ(h.net().counters().sent, before);
+  EXPECT_EQ(h.grants().back(), 2);
+}
+
+TEST(NaimiTrehel, AverageMessagesPerCsIsLogarithmic) {
+  // Self-driving workload on 32 participants: the average number of
+  // messages per CS must sit well under the linear algorithms' N.
+  MutexHarness h({.participants = 32, .algorithm = "naimi", .seed = 3});
+  h.set_auto_release(SimDuration::ms(1));
+  for (int r = 0; r < 32; ++r) h.drive(r, 8, SimDuration::ms(5));
+  h.run();
+  const double per_cs =
+      double(h.net().counters().sent) / double(h.grants().size());
+  EXPECT_EQ(h.grants().size(), 32u * 8u);
+  EXPECT_LT(per_cs, 12.0);  // log2(32)=5; generous envelope vs N=32
+  EXPECT_FALSE(h.safety_violated());
+}
+
+TEST(NaimiTrehelDeathTest, DuplicateTokenAborts) {
+  MutexHarness h({.participants = 2, .algorithm = "naimi", .holder_rank = 0});
+  // Deliver a forged token to the holder.
+  Message m;
+  m.src = 1;
+  m.dst = 0;
+  m.protocol = 1;
+  m.type = NaimiTrehelMutex::kToken;
+  h.net().send(std::move(m));
+  EXPECT_DEATH(h.run(), "duplicate token");
+}
+
+TEST(NaimiTrehelDeathTest, RequestWhileRequestingAborts) {
+  MutexHarness h({.participants = 2, .algorithm = "naimi", .holder_rank = 0});
+  h.request(1);
+  EXPECT_DEATH(h.request(1), "already requesting");
+}
+
+}  // namespace
+}  // namespace gmx::testing

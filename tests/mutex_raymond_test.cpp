@@ -1,0 +1,147 @@
+// White-box tests of Raymond's tree algorithm: static tree shape, holder
+// edge maintenance, and local FIFO behaviour.
+#include "gridmutex/mutex/raymond.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mutex_harness.hpp"
+
+namespace gmx::testing {
+namespace {
+
+RaymondMutex& algo(MutexHarness& h, int rank) {
+  return dynamic_cast<RaymondMutex&>(h.ep(rank).algorithm());
+}
+
+TEST(Raymond, HeapTreeRootedAtHolder) {
+  MutexHarness h({.participants = 7, .algorithm = "raymond",
+                  .holder_rank = 0});
+  EXPECT_EQ(algo(h, 0).tree_parent(), MutexAlgorithm::kNoHolder);
+  EXPECT_EQ(algo(h, 1).tree_parent(), 0);
+  EXPECT_EQ(algo(h, 2).tree_parent(), 0);
+  EXPECT_EQ(algo(h, 3).tree_parent(), 1);
+  EXPECT_EQ(algo(h, 4).tree_parent(), 1);
+  EXPECT_EQ(algo(h, 5).tree_parent(), 2);
+  EXPECT_EQ(algo(h, 6).tree_parent(), 2);
+}
+
+TEST(Raymond, TreeReRootsAtNonZeroHolder) {
+  MutexHarness h({.participants = 5, .algorithm = "raymond",
+                  .holder_rank = 3});
+  EXPECT_EQ(algo(h, 3).tree_parent(), MutexAlgorithm::kNoHolder);
+  // Virtual index of rank 4 is 1 → parent v0 → rank 3.
+  EXPECT_EQ(algo(h, 4).tree_parent(), 3);
+  // Virtual index of rank 0 is 2 → parent v0 → rank 3.
+  EXPECT_EQ(algo(h, 0).tree_parent(), 3);
+  EXPECT_TRUE(h.ep(3).holds_token());
+}
+
+TEST(Raymond, InitialHolderEdgesPointTowardRoot) {
+  MutexHarness h({.participants = 7, .algorithm = "raymond",
+                  .holder_rank = 0});
+  EXPECT_EQ(algo(h, 0).holder_dir(), 0);
+  EXPECT_EQ(algo(h, 5).holder_dir(), 2);
+  EXPECT_EQ(algo(h, 3).holder_dir(), 1);
+}
+
+TEST(Raymond, LeafRequestClimbsToRootAndTokenDescends) {
+  MutexHarness h({.participants = 7, .algorithm = "raymond",
+                  .holder_rank = 0});
+  h.request(5);  // path 5→2→0; token 0→2→5
+  h.run();
+  ASSERT_EQ(h.grants().size(), 1u);
+  EXPECT_EQ(h.grants()[0], 5);
+  EXPECT_EQ(h.net().counters().sent, 4u);  // 2 requests + 2 token hops
+  // Holder edges now point toward 5.
+  EXPECT_EQ(algo(h, 0).holder_dir(), 2);
+  EXPECT_EQ(algo(h, 2).holder_dir(), 5);
+  EXPECT_EQ(algo(h, 5).holder_dir(), 5);
+}
+
+TEST(Raymond, TokenReturnsAlongHolderEdges) {
+  MutexHarness h({.participants = 7, .algorithm = "raymond",
+                  .holder_rank = 0});
+  h.request(5);
+  h.run();
+  h.release(5);
+  h.run();
+  const auto before = h.net().counters().sent;
+  h.request(6);  // 6→2 (2's holder edge points at 5) →5; token back 5→2→6
+  h.run();
+  EXPECT_EQ(h.grants().back(), 6);
+  EXPECT_EQ(h.net().counters().sent - before, 4u);
+}
+
+TEST(Raymond, IntermediateNodeServesItselfBeforeForwarding) {
+  // 5 requests, then 2 (on 5's path) requests: 2's own entry enqueues
+  // behind the duty to forward to 5... order at 2's queue is [5-origin,
+  // self], so 5 is served first, then the token comes back to 2.
+  MutexHarness h({.participants = 7, .algorithm = "raymond",
+                  .holder_rank = 0});
+  h.request(0);
+  h.run();
+  h.request(5);
+  h.run();
+  h.request(2);
+  h.run();
+  h.release(0);
+  h.run();
+  h.release(5);
+  h.run();
+  h.release(2);
+  h.run();
+  EXPECT_EQ(h.grants(), (std::vector<int>{0, 5, 2}));
+  EXPECT_FALSE(h.safety_violated());
+}
+
+TEST(Raymond, PendingObserverFiresAtHolderInCs) {
+  MutexHarness h({.participants = 3, .algorithm = "raymond",
+                  .holder_rank = 0});
+  h.request(0);
+  h.run();
+  h.request(1);
+  h.run();
+  ASSERT_GE(h.pending_events().size(), 1u);
+  EXPECT_EQ(h.pending_events()[0], 0);
+  EXPECT_TRUE(h.ep(0).has_pending_requests());
+}
+
+TEST(Raymond, AskedFlagPreventsDuplicateRequests) {
+  // Two children of the same relay request concurrently; the relay must
+  // send a single kRequest upward.
+  MutexHarness h({.participants = 7, .algorithm = "raymond",
+                  .holder_rank = 0});
+  h.request(0);
+  h.run();
+  std::uint64_t requests_to_root = 0;
+  h.net().set_tracer([&](const Message& m, SimTime, SimTime) {
+    if (m.type == RaymondMutex::kRequest && m.dst == 0) ++requests_to_root;
+  });
+  h.request(5);
+  h.request(6);  // both under relay 2
+  h.run();
+  EXPECT_EQ(requests_to_root, 1u);  // relay 2 asked once
+  h.release(0);
+  h.run();
+  h.release(5);
+  h.run();
+  h.release(6);
+  h.run();
+  EXPECT_EQ(h.grant_count(5), 1);
+  EXPECT_EQ(h.grant_count(6), 1);
+}
+
+TEST(Raymond, MessagesPerCsBoundedByTreeDepth) {
+  MutexHarness h({.participants = 31, .algorithm = "raymond", .seed = 9});
+  h.set_auto_release(SimDuration::ms(1));
+  for (int r = 0; r < 31; ++r) h.drive(r, 6, SimDuration::ms(4));
+  h.run();
+  const double per_cs =
+      double(h.net().counters().sent) / double(h.grants().size());
+  // Depth of a 31-node heap is 4; worst case 4 up + 4 down per CS.
+  EXPECT_LE(per_cs, 8.0);
+  EXPECT_FALSE(h.safety_violated());
+}
+
+}  // namespace
+}  // namespace gmx::testing

@@ -1,0 +1,209 @@
+// White-box tests of Suzuki-Kasami: RN/LN bookkeeping, N messages per CS
+// (§2.3), O(N) token payload (§4.7), queue fairness quirk (§4.6), and
+// tolerance to non-FIFO delivery via sequence numbers.
+#include "gridmutex/mutex/suzuki_kasami.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mutex_harness.hpp"
+
+namespace gmx::testing {
+namespace {
+
+SuzukiKasamiMutex& algo(MutexHarness& h, int rank) {
+  return dynamic_cast<SuzukiKasamiMutex&>(h.ep(rank).algorithm());
+}
+
+TEST(Suzuki, HolderEntersWithoutMessages) {
+  MutexHarness h({.participants = 6, .algorithm = "suzuki", .holder_rank = 3});
+  h.request(3);
+  h.run();
+  EXPECT_EQ(h.grants().size(), 1u);
+  EXPECT_EQ(h.net().counters().sent, 0u);
+}
+
+TEST(Suzuki, RemoteCsCostsExactlyNMessages) {
+  // N-1 broadcast requests + 1 token message (§2.3).
+  const int n = 7;
+  MutexHarness h({.participants = n, .algorithm = "suzuki", .holder_rank = 0});
+  h.request(4);
+  h.run();
+  EXPECT_EQ(h.grants().size(), 1u);
+  EXPECT_EQ(h.net().counters().sent, std::uint64_t(n));
+}
+
+TEST(Suzuki, EverybodyLearnsTheSequenceNumber) {
+  MutexHarness h({.participants = 4, .algorithm = "suzuki", .holder_rank = 0});
+  h.request(2);
+  h.run();
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(algo(h, r).rn(2), 1u) << r;
+  h.release(2);
+  h.run();
+  // 2 kept the token; its next request is local — no broadcast, so only 2
+  // itself bumps RN[2].
+  h.request(2);
+  h.run();
+  EXPECT_EQ(algo(h, 2).rn(2), 2u);
+  for (int r : {0, 1, 3}) EXPECT_EQ(algo(h, r).rn(2), 1u) << r;
+  // Once the token moves away and 2 requests again, the broadcast spreads
+  // the new sequence number.
+  h.release(2);
+  h.run();
+  h.request(0);
+  h.run();
+  h.release(0);
+  h.run();
+  h.request(2);
+  h.run();
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(algo(h, r).rn(2), 3u) << r;
+}
+
+TEST(Suzuki, TokenQueueCollectsWaiters) {
+  MutexHarness h({.participants = 5, .algorithm = "suzuki", .holder_rank = 0});
+  h.request(0);
+  h.run();
+  h.request(1);
+  h.request(3);
+  h.run();
+  EXPECT_TRUE(h.ep(0).has_pending_requests());
+  h.release(0);
+  h.run();
+  // 0 released: queue filled from rank scan starting at 1 → {1,3}; token to
+  // 1, queue carries {3}.
+  EXPECT_EQ(h.grants(), (std::vector<int>{0, 1}));
+  EXPECT_EQ(algo(h, 1).token_queue(), (std::deque<std::uint32_t>{3}));
+  h.release(1);
+  h.run();
+  EXPECT_EQ(h.grants(), (std::vector<int>{0, 1, 3}));
+}
+
+TEST(Suzuki, RankScanOrderIgnoresArrivalTimes) {
+  // §4.6: Suzuki appends by RN scan, not arrival time. Holder 0 in CS; rank
+  // 4 asks first, rank 1 asks later — yet 1 is served before 4 because the
+  // release scan starts at holder+1.
+  MutexHarness h({.participants = 5, .algorithm = "suzuki", .holder_rank = 0});
+  h.request(0);
+  h.run();
+  h.request(4);
+  h.run();  // 4's request fully delivered
+  h.request(1);
+  h.run();
+  h.release(0);
+  h.run();
+  h.release(1);
+  h.run();
+  h.release(4);
+  h.run();
+  EXPECT_EQ(h.grants(), (std::vector<int>{0, 1, 4}));
+}
+
+TEST(Suzuki, TokenPayloadGrowsLinearlyWithN) {
+  // §4.7's scalability argument: the token carries LN[N] and Q.
+  auto token_bytes = [](int n) {
+    MutexHarness h({.participants = n, .algorithm = "suzuki",
+                    .holder_rank = 0});
+    std::size_t bytes = 0;
+    h.net().set_tracer([&](const Message& m, SimTime, SimTime) {
+      if (m.type == SuzukiKasamiMutex::kToken) bytes = m.wire_size();
+    });
+    h.request(n - 1);
+    h.run();
+    return bytes;
+  };
+  const std::size_t small = token_bytes(8);
+  const std::size_t big = token_bytes(64);
+  EXPECT_GT(big, small + 40);  // ~1 varint per extra participant
+}
+
+TEST(Suzuki, IdleHolderGrantsImmediately) {
+  MutexHarness h({.participants = 3, .algorithm = "suzuki", .holder_rank = 0});
+  h.request(1);
+  h.run();
+  EXPECT_TRUE(h.pending_events().empty());
+  EXPECT_TRUE(h.ep(1).holds_token());
+}
+
+TEST(Suzuki, PendingObserverFiresForHolderInCs) {
+  MutexHarness h({.participants = 3, .algorithm = "suzuki", .holder_rank = 0});
+  h.request(0);
+  h.run();
+  h.request(2);
+  h.run();
+  ASSERT_GE(h.pending_events().size(), 1u);
+  EXPECT_EQ(h.pending_events()[0], 0);
+}
+
+TEST(Suzuki, StaleRequestDoesNotStealToken) {
+  // After 1's request is satisfied, replaying its old request (duplicate
+  // delivery) at the idle holder must not re-grant.
+  MutexHarness h({.participants = 3, .algorithm = "suzuki", .holder_rank = 0});
+  h.request(1);
+  h.run();
+  h.release(1);
+  h.run();
+  // Token is idle at 1. A stale message is one whose seq <= LN: for rank 0
+  // (which never requested) LN[0]=0, so a duplicate with seq=0 must be
+  // ignored by the idle holder.
+  wire::Writer stale;
+  stale.varint(0);
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.protocol = 1;
+  m.type = SuzukiKasamiMutex::kRequest;
+  m.payload.assign(stale.view().begin(), stale.view().end());
+  h.net().send(std::move(m));
+  h.run();
+  EXPECT_TRUE(h.ep(1).holds_token());  // not granted away
+  EXPECT_EQ(h.grants().size(), 1u);
+}
+
+TEST(Suzuki, ToleratesNonFifoDelivery) {
+  // Sequence numbers make Suzuki robust to reordering (DESIGN.md §6).
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    MutexHarness h({.participants = 6, .algorithm = "suzuki",
+                    .seed = seed, .fifo = false});
+    h.net().set_reorder_spread(SimDuration::ms(5));
+    h.set_auto_release(SimDuration::ms(1));
+    for (int r = 0; r < 6; ++r) h.drive(r, 5, SimDuration::ms(2));
+    h.run();
+    EXPECT_FALSE(h.safety_violated()) << seed;
+    for (int r = 0; r < 6; ++r) EXPECT_EQ(h.grant_count(r), 5) << seed;
+  }
+}
+
+TEST(Suzuki, MalformedTokenPayloadThrows) {
+  MutexHarness h({.participants = 3, .algorithm = "suzuki", .holder_rank = 0});
+  h.request(1);  // 1 is Requesting, will accept a token
+  h.run_for(SimDuration::us(1));
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.protocol = 1;
+  m.type = SuzukiKasamiMutex::kToken;
+  m.payload = {0x01};  // truncated arrays
+  h.net().send(std::move(m));
+  EXPECT_THROW(h.run(), wire::WireError);
+}
+
+TEST(Suzuki, TokenLnSizeMismatchThrows) {
+  MutexHarness h({.participants = 3, .algorithm = "suzuki", .holder_rank = 0});
+  h.request(1);
+  h.run_for(SimDuration::us(1));
+  wire::Writer w;
+  const std::vector<std::uint64_t> ln = {0, 0};  // wrong: size 2, need 3
+  w.varint_array(std::span<const std::uint64_t>(ln));
+  const std::vector<std::uint32_t> q;
+  w.varint_array(std::span<const std::uint32_t>(q));
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.protocol = 1;
+  m.type = SuzukiKasamiMutex::kToken;
+  m.payload.assign(w.view().begin(), w.view().end());
+  h.net().send(std::move(m));
+  EXPECT_THROW(h.run(), wire::WireError);
+}
+
+}  // namespace
+}  // namespace gmx::testing

@@ -1,0 +1,106 @@
+#include "gridmutex/net/latency.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gmx {
+namespace {
+
+TEST(FixedLatency, ConstantEverywhere) {
+  const Topology t = Topology::uniform(2, 2);
+  FixedLatencyModel m(SimDuration::ms(5));
+  Rng rng(1);
+  EXPECT_EQ(m.sample(t, 0, 3, rng), SimDuration::ms(5));
+  EXPECT_EQ(m.mean(t, 1, 2), SimDuration::ms(5));
+}
+
+TEST(Grid5000Matrix, DiagonalIsLan) {
+  const auto m = MatrixLatencyModel::grid5000(0.0);
+  for (ClusterId c = 0; c < 9; ++c) {
+    EXPECT_LT(m.one_way_ms(c, c), 0.05) << "cluster " << c;
+  }
+}
+
+TEST(Grid5000Matrix, OneWayIsHalfPaperRtt) {
+  const auto m = MatrixLatencyModel::grid5000(0.0);
+  // Paper Fig. 3: orsay→grenoble RTT 15.039 ms.
+  EXPECT_DOUBLE_EQ(m.one_way_ms(0, 1), 15.039 / 2.0);
+  // nancy→toulouse is the 98.398 ms outlier.
+  EXPECT_DOUBLE_EQ(m.one_way_ms(5, 6), 98.398 / 2.0);
+}
+
+TEST(Grid5000Matrix, PreservesPaperAsymmetry) {
+  const auto m = MatrixLatencyModel::grid5000(0.0);
+  // orsay→sophia 20.239 vs sophia→orsay 20.332: distinct in Fig. 3.
+  EXPECT_NE(m.one_way_ms(0, 7), m.one_way_ms(7, 0));
+}
+
+TEST(Grid5000Matrix, RawTableHasEightyOneEntries) {
+  EXPECT_EQ(grid5000_rtt_ms().size(), 81u);
+}
+
+TEST(Grid5000Matrix, MeanMatchesMatrix) {
+  const Topology topo = Topology::grid5000();
+  const auto m = MatrixLatencyModel::grid5000(0.0);
+  // Node 0 is in orsay (cluster 0), node 20 in grenoble (cluster 1).
+  EXPECT_EQ(m.mean(topo, 0, 20), SimDuration::ms_f(15.039 / 2.0));
+  EXPECT_EQ(m.mean(topo, 0, 1), SimDuration::ms_f(0.034 / 2.0));
+}
+
+TEST(Grid5000Matrix, ZeroJitterIsDeterministic) {
+  const Topology topo = Topology::grid5000();
+  const auto m = MatrixLatencyModel::grid5000(0.0);
+  Rng rng(7);
+  const auto a = m.sample(topo, 0, 20, rng);
+  const auto b = m.sample(topo, 0, 20, rng);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, m.mean(topo, 0, 20));
+}
+
+TEST(Grid5000Matrix, JitterStaysWithinBand) {
+  const Topology topo = Topology::grid5000();
+  const auto m = MatrixLatencyModel::grid5000(0.10);
+  Rng rng(7);
+  const auto mean = m.mean(topo, 0, 20);
+  for (int i = 0; i < 1000; ++i) {
+    const auto s = m.sample(topo, 0, 20, rng);
+    EXPECT_GE(s, mean * 0.899);
+    EXPECT_LE(s, mean * 1.101);
+  }
+}
+
+TEST(Grid5000Matrix, JitterAveragesToMean) {
+  const Topology topo = Topology::grid5000();
+  const auto m = MatrixLatencyModel::grid5000(0.10);
+  Rng rng(11);
+  SimDuration sum;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += m.sample(topo, 0, 20, rng);
+  EXPECT_NEAR(sum.as_ms() / n, m.mean(topo, 0, 20).as_ms(), 0.05);
+}
+
+TEST(TwoLevelMatrix, IntraVsInter) {
+  const auto m = MatrixLatencyModel::two_level(4, SimDuration::ms_f(0.5),
+                                               SimDuration::ms(10));
+  EXPECT_DOUBLE_EQ(m.one_way_ms(2, 2), 0.5);
+  EXPECT_DOUBLE_EQ(m.one_way_ms(0, 3), 10.0);
+  EXPECT_EQ(m.cluster_count(), 4u);
+}
+
+TEST(TwoLevelMatrix, WorksWithMatchingTopology) {
+  const Topology topo = Topology::uniform(4, 5);
+  const auto m = MatrixLatencyModel::two_level(4, SimDuration::ms_f(0.5),
+                                               SimDuration::ms(10));
+  Rng rng(1);
+  EXPECT_EQ(m.sample(topo, 0, 1, rng), SimDuration::ms_f(0.5));
+  EXPECT_EQ(m.sample(topo, 0, 19, rng), SimDuration::ms(10));
+}
+
+TEST(MatrixLatencyDeathTest, TopologyClusterMismatchAborts) {
+  const Topology topo = Topology::uniform(3, 2);
+  const auto m = MatrixLatencyModel::two_level(4, SimDuration::ms_f(0.5),
+                                               SimDuration::ms(10));
+  EXPECT_DEATH((void)m.mean(topo, 0, 5), "does not match topology");
+}
+
+}  // namespace
+}  // namespace gmx

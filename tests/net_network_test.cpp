@@ -1,0 +1,235 @@
+#include "gridmutex/net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "gridmutex/net/trace.hpp"
+
+namespace gmx {
+namespace {
+
+struct NetFixture : ::testing::Test {
+  NetFixture()
+      : topo(Topology::uniform(2, 3)),
+        net(sim, topo,
+            std::make_shared<FixedLatencyModel>(SimDuration::ms(5)),
+            Rng(1)) {}
+
+  Message make(NodeId src, NodeId dst, std::uint16_t type = 0,
+               std::size_t payload = 4) {
+    Message m;
+    m.src = src;
+    m.dst = dst;
+    m.protocol = 7;
+    m.type = type;
+    m.payload.assign(payload, std::uint8_t(0xEE));
+    return m;
+  }
+
+  Simulator sim;
+  Topology topo;
+  Network net;
+};
+
+TEST_F(NetFixture, DeliversAfterLatency) {
+  std::vector<std::pair<SimTime, std::uint16_t>> got;
+  net.attach(1, 7, [&](const Message& m) { got.emplace_back(sim.now(), m.type); });
+  net.send(make(0, 1, 42));
+  sim.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].first, SimTime::zero() + SimDuration::ms(5));
+  EXPECT_EQ(got[0].second, 42);
+}
+
+TEST_F(NetFixture, CountsIntraVsInterCluster) {
+  net.attach(1, 7, [](const Message&) {});
+  net.attach(3, 7, [](const Message&) {});
+  net.send(make(0, 1));  // same cluster (nodes 0-2 are cluster 0)
+  net.send(make(0, 3));  // cross cluster
+  sim.run();
+  EXPECT_EQ(net.counters().sent, 2u);
+  EXPECT_EQ(net.counters().intra_cluster, 1u);
+  EXPECT_EQ(net.counters().inter_cluster, 1u);
+  EXPECT_EQ(net.counters().delivered, 2u);
+}
+
+TEST_F(NetFixture, AccountsBytes) {
+  net.attach(3, 7, [](const Message&) {});
+  net.send(make(0, 3, 0, 10));
+  sim.run();
+  EXPECT_EQ(net.counters().bytes_total, 10 + Message::kHeaderBytes);
+  EXPECT_EQ(net.counters().bytes_inter, 10 + Message::kHeaderBytes);
+}
+
+TEST_F(NetFixture, RoutesByProtocol) {
+  int via7 = 0, via9 = 0;
+  net.attach(1, 7, [&](const Message&) { ++via7; });
+  net.attach(1, 9, [&](const Message&) { ++via9; });
+  Message m = make(0, 1);
+  net.send(m);
+  m.protocol = 9;
+  net.send(m);
+  sim.run();
+  EXPECT_EQ(via7, 1);
+  EXPECT_EQ(via9, 1);
+  EXPECT_EQ(net.sent_by_protocol(7), 1u);
+  EXPECT_EQ(net.sent_by_protocol(9), 1u);
+  EXPECT_EQ(net.sent_by_protocol(1234), 0u);
+}
+
+TEST_F(NetFixture, ReattachReplacesHandler) {
+  int first = 0, second = 0;
+  net.attach(1, 7, [&](const Message&) { ++first; });
+  net.attach(1, 7, [&](const Message&) { ++second; });
+  net.send(make(0, 1));
+  sim.run();
+  EXPECT_EQ(first, 0);
+  EXPECT_EQ(second, 1);
+}
+
+TEST_F(NetFixture, DropInjection) {
+  net.attach(1, 7, [](const Message&) {});
+  net.set_drop_probability(0.5);
+  for (int i = 0; i < 400; ++i) net.send(make(0, 1));
+  sim.run();
+  EXPECT_EQ(net.counters().sent, 400u);
+  EXPECT_EQ(net.counters().delivered + net.counters().dropped, 400u);
+  EXPECT_NEAR(double(net.counters().dropped), 200.0, 50.0);
+}
+
+TEST_F(NetFixture, DuplicateInjection) {
+  int got = 0;
+  net.attach(1, 7, [&](const Message&) { ++got; });
+  net.set_duplicate_probability(1.0);
+  net.send(make(0, 1));
+  sim.run();
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(net.counters().duplicated, 1u);
+}
+
+TEST_F(NetFixture, InFlightTracksPendingDeliveries) {
+  net.attach(1, 7, [](const Message&) {});
+  net.send(make(0, 1));
+  net.send(make(0, 1));
+  EXPECT_EQ(net.in_flight(), 2u);
+  sim.run();
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+TEST_F(NetFixture, CounterSnapshotsSubtract) {
+  net.attach(1, 7, [](const Message&) {});
+  net.send(make(0, 1));
+  sim.run();
+  const MessageCounters before = net.counters();
+  net.send(make(0, 1));
+  net.send(make(0, 1));
+  sim.run();
+  const MessageCounters delta = net.counters() - before;
+  EXPECT_EQ(delta.sent, 2u);
+  EXPECT_EQ(delta.delivered, 2u);
+}
+
+TEST(NetworkFifo, FifoClampPreventsOvertaking) {
+  // With jittered latency, a later send could overtake an earlier one on the
+  // same pair; FIFO mode must clamp.
+  Simulator sim;
+  const Topology topo = Topology::uniform(1, 2);
+  auto lat = std::make_shared<MatrixLatencyModel>(
+      MatrixLatencyModel::two_level(1, SimDuration::ms(10),
+                                    SimDuration::ms(10), 0.5));
+  Network net(sim, topo, lat, Rng(3));
+  std::vector<std::uint16_t> order;
+  net.attach(1, 7, [&](const Message& m) { order.push_back(m.type); });
+  for (std::uint16_t i = 0; i < 50; ++i) {
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.protocol = 7;
+    m.type = i;
+    net.send(std::move(m));
+    sim.run_until(sim.now() + SimDuration::ms_f(0.1));
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 50u);
+  for (std::uint16_t i = 0; i < 50; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(NetworkFifo, NonFifoWithSpreadCanReorder) {
+  Simulator sim;
+  const Topology topo = Topology::uniform(1, 2);
+  Network net(sim, topo,
+              std::make_shared<FixedLatencyModel>(SimDuration::ms(5)),
+              Rng(3));
+  net.set_fifo_per_pair(false);
+  net.set_reorder_spread(SimDuration::ms(20));
+  std::vector<std::uint16_t> order;
+  net.attach(1, 7, [&](const Message& m) { order.push_back(m.type); });
+  for (std::uint16_t i = 0; i < 50; ++i) {
+    Message m;
+    m.src = 0;
+    m.dst = 1;
+    m.protocol = 7;
+    m.type = i;
+    net.send(std::move(m));
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 50u);
+  bool reordered = false;
+  for (std::size_t i = 1; i < order.size(); ++i)
+    if (order[i] < order[i - 1]) reordered = true;
+  EXPECT_TRUE(reordered);
+}
+
+TEST(NetworkTrace, TraceSinkWritesOneLinePerDelivery) {
+  Simulator sim;
+  const Topology topo = Topology::grid5000(1);
+  Network net(sim, topo,
+              std::make_shared<FixedLatencyModel>(SimDuration::ms(2)),
+              Rng(5));
+  std::ostringstream out;
+  TraceSink sink(out, [](ProtocolId, std::uint16_t) { return "naimi.REQ"; });
+  sink.install(net);
+  net.attach(1, 7, [](const Message&) {});
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.protocol = 7;
+  net.send(std::move(m));
+  sim.run();
+  EXPECT_EQ(sink.lines_written(), 1u);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("naimi.REQ"), std::string::npos);
+  EXPECT_NE(line.find("orsay"), std::string::npos);
+  EXPECT_NE(line.find("grenoble"), std::string::npos);
+}
+
+TEST(NetworkDeathTest, SelfSendAborts) {
+  Simulator sim;
+  const Topology topo = Topology::uniform(1, 2);
+  Network net(sim, topo,
+              std::make_shared<FixedLatencyModel>(SimDuration::ms(1)),
+              Rng(1));
+  Message m;
+  m.src = 0;
+  m.dst = 0;
+  EXPECT_DEATH(net.send(std::move(m)), "self-send");
+}
+
+TEST(NetworkDeathTest, DeliveryWithoutHandlerAborts) {
+  Simulator sim;
+  const Topology topo = Topology::uniform(1, 2);
+  Network net(sim, topo,
+              std::make_shared<FixedLatencyModel>(SimDuration::ms(1)),
+              Rng(1));
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  net.send(std::move(m));
+  EXPECT_DEATH(sim.run(), "no handler");
+}
+
+}  // namespace
+}  // namespace gmx

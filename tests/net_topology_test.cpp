@@ -1,0 +1,92 @@
+#include "gridmutex/net/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gmx {
+namespace {
+
+TEST(Topology, UniformShape) {
+  const Topology t = Topology::uniform(9, 20);
+  EXPECT_EQ(t.node_count(), 180u);
+  EXPECT_EQ(t.cluster_count(), 9u);
+  for (ClusterId c = 0; c < 9; ++c) EXPECT_EQ(t.cluster_size(c), 20u);
+}
+
+TEST(Topology, ClusterOfMapsContiguousRanges) {
+  const Topology t = Topology::uniform(3, 4);
+  EXPECT_EQ(t.cluster_of(0), 0u);
+  EXPECT_EQ(t.cluster_of(3), 0u);
+  EXPECT_EQ(t.cluster_of(4), 1u);
+  EXPECT_EQ(t.cluster_of(11), 2u);
+}
+
+TEST(Topology, FirstNodeAndNodesOf) {
+  const Topology t = Topology::uniform(3, 4);
+  EXPECT_EQ(t.first_node_of(0), 0u);
+  EXPECT_EQ(t.first_node_of(2), 8u);
+  const auto nodes = t.nodes_of(1);
+  EXPECT_EQ(nodes, (std::vector<NodeId>{4, 5, 6, 7}));
+}
+
+TEST(Topology, HeterogeneousSizes) {
+  const std::vector<std::uint32_t> sizes = {2, 5, 1};
+  const Topology t = Topology::from_sizes(sizes);
+  EXPECT_EQ(t.node_count(), 8u);
+  EXPECT_EQ(t.cluster_size(0), 2u);
+  EXPECT_EQ(t.cluster_size(1), 5u);
+  EXPECT_EQ(t.cluster_size(2), 1u);
+  EXPECT_EQ(t.cluster_of(7), 2u);
+}
+
+TEST(Topology, DefaultNames) {
+  const std::vector<std::uint32_t> sizes = {1, 1};
+  const Topology t = Topology::from_sizes(sizes);
+  EXPECT_EQ(t.cluster_name(0), "c0");
+  EXPECT_EQ(t.cluster_name(1), "c1");
+}
+
+TEST(Topology, CustomNames) {
+  const std::vector<std::uint32_t> sizes = {1, 1};
+  const Topology t = Topology::from_sizes(sizes, {"paris", "lyon"});
+  EXPECT_EQ(t.cluster_name(0), "paris");
+  EXPECT_EQ(t.cluster_name(1), "lyon");
+}
+
+TEST(Topology, SameCluster) {
+  const Topology t = Topology::uniform(2, 3);
+  EXPECT_TRUE(t.same_cluster(0, 2));
+  EXPECT_FALSE(t.same_cluster(2, 3));
+}
+
+TEST(Topology, Grid5000MatchesPaperShape) {
+  const Topology t = Topology::grid5000();
+  EXPECT_EQ(t.cluster_count(), 9u);
+  EXPECT_EQ(t.node_count(), 180u);
+  EXPECT_EQ(t.cluster_name(0), "orsay");
+  EXPECT_EQ(t.cluster_name(8), "bordeaux");
+}
+
+TEST(Topology, Grid5000SiteNamesOrder) {
+  const auto names = grid5000_site_names();
+  ASSERT_EQ(names.size(), 9u);
+  EXPECT_EQ(names[4], "lille");
+  EXPECT_EQ(names[5], "nancy");
+}
+
+TEST(Topology, Grid5000CustomClusterSize) {
+  const Topology t = Topology::grid5000(21);  // room for a coordinator node
+  EXPECT_EQ(t.node_count(), 9u * 21u);
+}
+
+TEST(TopologyDeathTest, EmptyClusterListAborts) {
+  const std::vector<std::uint32_t> none;
+  EXPECT_DEATH(Topology::from_sizes(none), "at least one cluster");
+}
+
+TEST(TopologyDeathTest, OutOfRangeNodeAborts) {
+  const Topology t = Topology::uniform(2, 2);
+  EXPECT_DEATH((void)t.cluster_of(4), "");
+}
+
+}  // namespace
+}  // namespace gmx

@@ -1,0 +1,184 @@
+#include "gridmutex/net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace gmx::wire {
+namespace {
+
+TEST(Wire, FixedWidthRoundTrip) {
+  Writer w;
+  w.u8(0xAB);
+  w.u16(0xBEEF);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.f64(3.14159);
+
+  Reader r(w.view());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0xBEEF);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  r.expect_end();
+}
+
+TEST(Wire, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  const auto v = w.view();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0], 0x04);
+  EXPECT_EQ(v[3], 0x01);
+}
+
+TEST(Wire, VarintSmallValuesAreOneByte) {
+  for (std::uint64_t v : {0ull, 1ull, 127ull}) {
+    Writer w;
+    w.varint(v);
+    EXPECT_EQ(w.size(), 1u) << v;
+    Reader r(w.view());
+    EXPECT_EQ(r.varint(), v);
+  }
+}
+
+TEST(Wire, VarintBoundaries) {
+  const std::uint64_t cases[] = {128, 16383, 16384, 0xFFFFFFFF,
+                                 std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t v : cases) {
+    Writer w;
+    w.varint(v);
+    Reader r(w.view());
+    EXPECT_EQ(r.varint(), v);
+    r.expect_end();
+  }
+}
+
+TEST(Wire, VarintMaxUsesTenBytes) {
+  Writer w;
+  w.varint(std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(w.size(), 10u);
+}
+
+TEST(Wire, BytesRoundTrip) {
+  Writer w;
+  const std::vector<std::uint8_t> data = {1, 2, 3, 255, 0};
+  w.bytes(data);
+  Reader r(w.view());
+  EXPECT_EQ(r.bytes(), data);
+  r.expect_end();
+}
+
+TEST(Wire, EmptyBytes) {
+  Writer w;
+  w.bytes({});
+  Reader r(w.view());
+  EXPECT_TRUE(r.bytes().empty());
+  r.expect_end();
+}
+
+TEST(Wire, StringRoundTrip) {
+  Writer w;
+  w.str("naimi-trehel");
+  w.str("");
+  Reader r(w.view());
+  EXPECT_EQ(r.str(), "naimi-trehel");
+  EXPECT_EQ(r.str(), "");
+  r.expect_end();
+}
+
+TEST(Wire, VarintArrayRoundTrip) {
+  Writer w;
+  const std::vector<std::uint64_t> v = {0, 1, 128, 99999, 1ull << 50};
+  w.varint_array(std::span<const std::uint64_t>(v));
+  Reader r(w.view());
+  EXPECT_EQ(r.varint_array_u64(), v);
+  r.expect_end();
+}
+
+TEST(Wire, VarintArrayU32RoundTrip) {
+  Writer w;
+  const std::vector<std::uint32_t> v = {7, 0, 4000000000u};
+  w.varint_array(std::span<const std::uint32_t>(v));
+  Reader r(w.view());
+  EXPECT_EQ(r.varint_array_u32(), v);
+}
+
+TEST(Wire, TruncatedFixedWidthThrows) {
+  Writer w;
+  w.u16(7);
+  Reader r(w.view());
+  r.u8();
+  EXPECT_THROW(r.u16(), WireError);
+}
+
+TEST(Wire, TruncatedVarintThrows) {
+  const std::vector<std::uint8_t> bad = {0x80, 0x80};  // never terminates
+  Reader r(bad);
+  EXPECT_THROW(r.varint(), WireError);
+}
+
+TEST(Wire, OverlongVarintThrows) {
+  // 11 continuation bytes exceed a 64-bit value.
+  const std::vector<std::uint8_t> bad(11, 0x80);
+  Reader r(bad);
+  EXPECT_THROW(r.varint(), WireError);
+}
+
+TEST(Wire, VarintBitOverflowThrows) {
+  // 10 bytes whose top chunk would set bits above 2^64.
+  std::vector<std::uint8_t> bad(9, 0x80);
+  bad.push_back(0x7F);
+  Reader r(bad);
+  EXPECT_THROW(r.varint(), WireError);
+}
+
+TEST(Wire, ArrayLengthBombThrows) {
+  Writer w;
+  w.varint(1'000'000);  // claims a million elements, provides none
+  Reader r(w.view());
+  EXPECT_THROW(r.varint_array_u64(), WireError);
+}
+
+TEST(Wire, U32ArrayElementOverflowThrows) {
+  Writer w;
+  w.varint(1);
+  w.varint(1ull << 40);
+  Reader r(w.view());
+  EXPECT_THROW(r.varint_array_u32(), WireError);
+}
+
+TEST(Wire, TrailingBytesDetected) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  Reader r(w.view());
+  r.u8();
+  EXPECT_THROW(r.expect_end(), WireError);
+}
+
+TEST(Wire, RemainingTracksConsumption) {
+  Writer w;
+  w.u32(5);
+  Reader r(w.view());
+  EXPECT_EQ(r.remaining(), 4u);
+  r.u16();
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_FALSE(r.at_end());
+  r.u16();
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Wire, WriterTakeMovesBuffer) {
+  Writer w;
+  w.u8(9);
+  auto buf = w.take();
+  EXPECT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0], 9);
+}
+
+}  // namespace
+}  // namespace gmx::wire

@@ -1,0 +1,158 @@
+// Randomized property tests ("chaos"): random request/hold/release
+// interleavings over jittered Grid5000 latencies, checked for the three
+// contract properties — safety, liveness, quiescence — across algorithms,
+// compositions and seeds. Complements the structured conformance suites
+// with schedules no hand-written scenario would produce.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "gridmutex/core/composition.hpp"
+#include "gridmutex/mutex/registry.hpp"
+#include "gridmutex/workload/safety_monitor.hpp"
+
+namespace gmx::testing {
+namespace {
+
+// A chaotic driver for one mutex endpoint: loops { think U(0,spread);
+// request; hold U(0,hold); release } a random number of times.
+class ChaosDriver {
+ public:
+  ChaosDriver(Simulator& sim, MutexEndpoint& ep, Rng rng,
+              SafetyMonitor& safety)
+      : sim_(sim), ep_(ep), rng_(rng), safety_(safety) {
+    cycles_ = 1 + int(rng_.next_below(8));
+    ep_.set_callbacks(MutexCallbacks{[this] { on_granted(); }, {}});
+  }
+
+  void start() { think(); }
+  [[nodiscard]] int served() const { return served_; }
+  [[nodiscard]] int requested() const { return requested_; }
+
+ private:
+  void think() {
+    sim_.schedule_after(
+        SimDuration::us(std::int64_t(rng_.next_below(60'000))), [this] {
+          ++requested_;
+          ep_.request_cs();
+        });
+  }
+  void on_granted() {
+    safety_.enter();
+    ++served_;
+    sim_.schedule_after(
+        SimDuration::us(std::int64_t(rng_.next_below(8'000)) + 1), [this] {
+          safety_.exit();
+          ep_.release_cs();
+          if (served_ < cycles_) think();
+        });
+  }
+
+  Simulator& sim_;
+  MutexEndpoint& ep_;
+  Rng rng_;
+  SafetyMonitor& safety_;
+  int cycles_ = 0;
+  int served_ = 0;
+  int requested_ = 0;
+};
+
+struct ChaosParam {
+  std::string flat_or_composition;  // "flat:<name>" or "<intra>-<inter>"
+  std::uint64_t seed;
+  bool fifo = true;
+};
+
+std::vector<ChaosParam> chaos_space() {
+  std::vector<ChaosParam> out;
+  for (const auto& a : algorithm_names())
+    for (std::uint64_t s : {101ull, 202ull, 303ull})
+      out.push_back({"flat:" + a, s, true});
+  for (const char* c : {"naimi-naimi", "naimi-martin", "suzuki-suzuki",
+                        "martin-suzuki", "bertier-ricart"})
+    for (std::uint64_t s : {11ull, 22ull})
+      out.push_back({c, s, true});
+  // Non-FIFO links for the algorithms that claim tolerance (sequence
+  // numbers / self-synchronizing replies).
+  for (const char* a : {"suzuki", "ricart"})
+    for (std::uint64_t s : {404ull, 505ull, 606ull})
+      out.push_back({std::string("flat:") + a, s, false});
+  return out;
+}
+
+class Chaos : public ::testing::TestWithParam<ChaosParam> {};
+
+std::string chaos_name(const ::testing::TestParamInfo<ChaosParam>& info) {
+  std::string n = info.param.flat_or_composition;
+  for (char& ch : n)
+    if (ch == ':' || ch == '-') ch = '_';
+  return n + "_s" + std::to_string(info.param.seed) +
+         (info.param.fifo ? "" : "_nofifo");
+}
+
+TEST_P(Chaos, RandomScheduleKeepsContract) {
+  const auto& p = GetParam();
+  Simulator sim;
+  sim.set_event_limit(30'000'000);
+  const bool flat = p.flat_or_composition.starts_with("flat:");
+
+  const Topology topo = flat ? Topology::grid5000(2)
+                             : Composition::make_topology(9, 2);
+  Network net(sim, topo,
+              std::make_shared<MatrixLatencyModel>(
+                  MatrixLatencyModel::grid5000(0.10)),
+              Rng(p.seed));
+  if (!p.fifo) {
+    net.set_fifo_per_pair(false);
+    net.set_reorder_spread(SimDuration::ms(5));
+  }
+
+  SafetyMonitor safety(/*abort_on_violation=*/false);
+  Rng root(p.seed * 7919);
+  std::vector<std::unique_ptr<MutexEndpoint>> flat_eps;
+  std::unique_ptr<Composition> comp;
+  std::vector<std::unique_ptr<ChaosDriver>> drivers;
+
+  if (flat) {
+    const std::string algo = p.flat_or_composition.substr(5);
+    const bool token = is_token_based(algo);
+    std::vector<NodeId> members(topo.node_count());
+    for (NodeId v = 0; v < topo.node_count(); ++v) members[v] = v;
+    for (NodeId v = 0; v < topo.node_count(); ++v)
+      flat_eps.push_back(std::make_unique<MutexEndpoint>(
+          net, 1, members, int(v), make_algorithm(algo), root.fork(v)));
+    for (auto& ep : flat_eps)
+      ep->init(token ? 0 : MutexAlgorithm::kNoHolder);
+    for (auto& ep : flat_eps)
+      drivers.push_back(std::make_unique<ChaosDriver>(
+          sim, *ep, root.fork(1000 + ep->rank()), safety));
+  } else {
+    const CompositionSpec spec = parse_composition(p.flat_or_composition);
+    comp = std::make_unique<Composition>(
+        net, CompositionConfig{.intra_algorithm = spec.intra,
+                               .inter_algorithm = spec.inter,
+                               .seed = p.seed});
+    comp->start();
+    for (NodeId v : comp->app_nodes())
+      drivers.push_back(std::make_unique<ChaosDriver>(
+          sim, comp->app_mutex(v), root.fork(1000 + v), safety));
+  }
+
+  for (auto& d : drivers) d->start();
+  sim.run();
+
+  // Safety: never two holders.
+  EXPECT_EQ(safety.violations(), 0u);
+  // Liveness: every issued request was served.
+  for (auto& d : drivers) EXPECT_EQ(d->served(), d->requested());
+  // Quiescence: nothing left in flight, nobody left in CS.
+  EXPECT_EQ(net.in_flight(), 0u);
+  EXPECT_EQ(safety.in_cs(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, Chaos,
+                         ::testing::ValuesIn(chaos_space()), chaos_name);
+
+}  // namespace
+}  // namespace gmx::testing

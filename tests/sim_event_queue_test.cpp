@@ -1,0 +1,117 @@
+#include "gridmutex/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gmx {
+namespace {
+
+SimTime at_ms(std::int64_t ms) { return SimTime::zero() + SimDuration::ms(ms); }
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(at_ms(30), [&] { order.push_back(3); });
+  q.push(at_ms(10), [&] { order.push_back(1); });
+  q.push(at_ms(20), [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTimeFiresInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i)
+    q.push(at_ms(5), [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop().fn();
+  ASSERT_EQ(order.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliestLiveEvent) {
+  EventQueue q;
+  q.push(at_ms(7), [] {});
+  q.push(at_ms(3), [] {});
+  EXPECT_EQ(q.next_time(), at_ms(3));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(at_ms(1), [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelOfFiredEventFails) {
+  EventQueue q;
+  const EventId id = q.push(at_ms(1), [] {});
+  q.pop().fn();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, DoubleCancelFails) {
+  EventQueue q;
+  const EventId id = q.push(at_ms(1), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelOfUnknownIdFails) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(kInvalidEventId));
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, CancelledEventSkippedByPop) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(at_ms(1), [&] { order.push_back(1); });
+  const EventId id = q.push(at_ms(2), [&] { order.push_back(2); });
+  q.push(at_ms(3), [&] { order.push_back(3); });
+  q.cancel(id);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  q.push(at_ms(1), [] {});
+  q.push(at_ms(2), [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, TotalPushedIsMonotone) {
+  EventQueue q;
+  q.push(at_ms(1), [] {});
+  q.push(at_ms(2), [] {});
+  q.clear();
+  q.push(at_ms(3), [] {});
+  EXPECT_EQ(q.total_pushed(), 3u);
+}
+
+TEST(EventQueue, InterleavedPushPopKeepsOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(at_ms(10), [&] { order.push_back(10); });
+  q.push(at_ms(5), [&] { order.push_back(5); });
+  q.pop().fn();  // fires 5
+  q.push(at_ms(7), [&] { order.push_back(7); });
+  q.push(at_ms(20), [&] { order.push_back(20); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{5, 7, 10, 20}));
+}
+
+}  // namespace
+}  // namespace gmx

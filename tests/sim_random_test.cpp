@@ -1,0 +1,136 @@
+#include "gridmutex/sim/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace gmx {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next_u64() == b.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowRespectsBound) {
+  Rng r(11);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 180ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowOneIsAlwaysZero) {
+  Rng r(3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, NextBelowCoversRange) {
+  Rng r(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.next_below(9));
+  EXPECT_EQ(seen.size(), 9u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng r(17);
+  bool lo_seen = false, hi_seen = false;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    lo_seen |= (v == -3);
+    hi_seen |= (v == 3);
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng r(23);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(10.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.15);
+}
+
+TEST(Rng, ExponentialDurationMeanConverges) {
+  Rng r(29);
+  SimDuration sum;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(SimDuration::ms(100));
+  EXPECT_NEAR(sum.as_ms() / n, 100.0, 2.0);
+}
+
+TEST(Rng, ExponentialIsPositive) {
+  Rng r(31);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(r.exponential(1.0), 0.0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(37);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0.0));
+    EXPECT_TRUE(r.chance(1.0));
+  }
+}
+
+TEST(Rng, ChanceFrequency) {
+  Rng r(41);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.chance(0.3) ? 1 : 0;
+  EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndStable) {
+  Rng parent(99);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  Rng c1_again = parent.fork(1);
+  EXPECT_EQ(c1.next_u64(), c1_again.next_u64());
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (c1.next_u64() == c2.next_u64()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, ForkIndependentOfParentDrawState) {
+  Rng parent(99);
+  Rng before = parent.fork(5);
+  parent.next_u64();
+  Rng after = parent.fork(5);
+  EXPECT_EQ(before.next_u64(), after.next_u64());
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(43);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform(2.0, 5.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, WorksWithStdShuffleConcept) {
+  static_assert(std::uniform_random_bit_generator<Rng>);
+}
+
+}  // namespace
+}  // namespace gmx

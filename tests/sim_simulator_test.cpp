@@ -1,0 +1,127 @@
+#include "gridmutex/sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gmx {
+namespace {
+
+TEST(Simulator, ClockStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), SimTime::zero());
+  EXPECT_TRUE(sim.idle());
+}
+
+TEST(Simulator, RunAdvancesClockToEventTimes) {
+  Simulator sim;
+  std::vector<std::int64_t> seen;
+  sim.schedule_after(SimDuration::ms(5),
+                     [&] { seen.push_back(sim.now().count_ns()); });
+  sim.schedule_after(SimDuration::ms(2),
+                     [&] { seen.push_back(sim.now().count_ns()); });
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{2'000'000, 5'000'000}));
+  EXPECT_EQ(sim.now().count_ns(), 5'000'000);
+  EXPECT_EQ(sim.events_processed(), 2u);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) sim.schedule_after(SimDuration::ms(1), chain);
+  };
+  sim.schedule_after(SimDuration::ms(1), chain);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now().count_ns(), 10 * 1'000'000);
+}
+
+TEST(Simulator, ZeroDelayEventFiresAtCurrentTime) {
+  Simulator sim;
+  bool inner = false;
+  sim.schedule_after(SimDuration::ms(3), [&] {
+    sim.schedule_after(SimDuration::ns(0), [&] {
+      inner = true;
+      EXPECT_EQ(sim.now().count_ns(), 3'000'000);
+    });
+  });
+  sim.run();
+  EXPECT_TRUE(inner);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i)
+    sim.schedule_after(SimDuration::ms(i), [&] { ++fired; });
+  const bool drained = sim.run_until(SimTime::zero() + SimDuration::ms(4));
+  EXPECT_FALSE(drained);
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(sim.pending_events(), 6u);
+  // Clock sits at the last event run, not the deadline.
+  EXPECT_EQ(sim.now().count_ns(), 4'000'000);
+}
+
+TEST(Simulator, RunUntilReportsDrain) {
+  Simulator sim;
+  sim.schedule_after(SimDuration::ms(1), [] {});
+  EXPECT_TRUE(sim.run_until(SimTime::zero() + SimDuration::sec(1)));
+}
+
+TEST(Simulator, RunStepsLimitsWork) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 5; ++i)
+    sim.schedule_after(SimDuration::ms(i), [&] { ++fired; });
+  EXPECT_EQ(sim.run_steps(3), 3u);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.run_steps(100), 2u);
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(Simulator, StopInterruptsRun) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 1; i <= 5; ++i)
+    sim.schedule_after(SimDuration::ms(i), [&] {
+      if (++fired == 2) sim.stop();
+    });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.pending_events(), 3u);
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(Simulator, CancelledEventDoesNotRun) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_after(SimDuration::ms(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(SimulatorDeathTest, SchedulingInThePastAborts) {
+  Simulator sim;
+  sim.schedule_after(SimDuration::ms(10), [] {});
+  sim.run();
+  EXPECT_DEATH(sim.schedule_at(SimTime::zero() + SimDuration::ms(5), [] {}),
+               "past");
+}
+
+TEST(SimulatorDeathTest, EventLimitTripsOnLivelock) {
+  Simulator sim;
+  sim.set_event_limit(100);
+  std::function<void()> forever = [&] {
+    sim.schedule_after(SimDuration::ms(1), forever);
+  };
+  sim.schedule_after(SimDuration::ms(1), forever);
+  EXPECT_DEATH(sim.run(), "event limit");
+}
+
+}  // namespace
+}  // namespace gmx

@@ -1,0 +1,156 @@
+#include "gridmutex/sim/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gridmutex/sim/random.hpp"
+
+namespace gmx {
+namespace {
+
+TEST(OnlineStats, EmptyIsZero) {
+  OnlineStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.relative_stddev(), 0.0);
+}
+
+TEST(OnlineStats, SingleValue) {
+  OnlineStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 5.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(OnlineStats, KnownPopulation) {
+  OnlineStats s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // classic σ²=4 example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.relative_stddev(), 0.4);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(OnlineStats, SampleVarianceUsesBessel) {
+  OnlineStats s;
+  for (double v : {1.0, 2.0, 3.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 1.0);
+}
+
+TEST(OnlineStats, MergeMatchesSequential) {
+  OnlineStats whole, a, b;
+  Rng r(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.uniform(0, 100);
+    whole.add(v);
+    (i % 2 == 0 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), whole.variance(), 1e-7);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(OnlineStats, MergeWithEmptyIsIdentity) {
+  OnlineStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean);
+  OnlineStats b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean);
+  EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(OnlineStats, ResetClears) {
+  OnlineStats s;
+  s.add(42.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(OnlineStats, NumericalStabilityLargeOffset) {
+  // Welford must survive values with a large common offset.
+  OnlineStats s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2));
+  EXPECT_NEAR(s.mean(), 1e9 + 0.5, 1e-3);
+  EXPECT_NEAR(s.variance(), 0.25, 1e-6);
+}
+
+TEST(DurationStats, RecordsMilliseconds) {
+  DurationStats s;
+  s.add(SimDuration::ms(10));
+  s.add(SimDuration::ms(20));
+  EXPECT_DOUBLE_EQ(s.mean_ms(), 15.0);
+  EXPECT_DOUBLE_EQ(s.min_ms(), 10.0);
+  EXPECT_DOUBLE_EQ(s.max_ms(), 20.0);
+  EXPECT_DOUBLE_EQ(s.stddev_ms(), 5.0);
+}
+
+TEST(Histogram, CountsAndOverflow) {
+  Histogram h(100.0, 10);
+  h.add(5);
+  h.add(15);
+  h.add(95);
+  h.add(150);  // overflow
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(Histogram, PercentileInterpolates) {
+  Histogram h(100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(double(i) + 0.5);
+  EXPECT_NEAR(h.percentile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.percentile(0.9), 90.0, 1.5);
+  EXPECT_NEAR(h.percentile(0.0), 0.0, 1.5);
+}
+
+TEST(Histogram, PercentileOfOverflowReportsLimit) {
+  Histogram h(10.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(100.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 10.0);
+}
+
+TEST(Histogram, MergeAddsBuckets) {
+  Histogram a(100.0, 10), b(100.0, 10);
+  a.add(5);
+  b.add(5);
+  b.add(95);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_NEAR(a.percentile(0.4), 5.0, 6.0);
+}
+
+TEST(Histogram, NegativeValuesClampToZeroBucket) {
+  Histogram h(10.0, 10);
+  h.add(-5.0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_LT(h.percentile(0.5), 1.0);
+}
+
+TEST(Histogram, RenderProducesOneLinePerNonEmptyRegion) {
+  Histogram h(10.0, 2);
+  h.add(1);
+  h.add(6);
+  h.add(100);
+  const std::string out = h.render(10);
+  EXPECT_NE(out.find("[0, 5)"), std::string::npos);
+  EXPECT_NE(out.find("[5, 10)"), std::string::npos);
+  EXPECT_NE(out.find("[10, inf)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gmx

@@ -1,0 +1,86 @@
+#include "gridmutex/sim/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gmx {
+namespace {
+
+TEST(SimDuration, UnitConstructorsAgree) {
+  EXPECT_EQ(SimDuration::us(1).count_ns(), 1'000);
+  EXPECT_EQ(SimDuration::ms(1).count_ns(), 1'000'000);
+  EXPECT_EQ(SimDuration::sec(1).count_ns(), 1'000'000'000);
+  EXPECT_EQ(SimDuration::ms(10), SimDuration::us(10'000));
+}
+
+TEST(SimDuration, FractionalMillisecondsRoundToNearestNs) {
+  // Grid5000 matrix entries look like 15.039 ms.
+  EXPECT_EQ(SimDuration::ms_f(15.039).count_ns(), 15'039'000);
+  EXPECT_EQ(SimDuration::ms_f(0.001).count_ns(), 1'000);
+  EXPECT_EQ(SimDuration::ms_f(0.0000005).count_ns(), 1);  // rounds up
+}
+
+TEST(SimDuration, Arithmetic) {
+  const auto a = SimDuration::ms(10);
+  const auto b = SimDuration::ms(4);
+  EXPECT_EQ((a + b).count_ns(), 14'000'000);
+  EXPECT_EQ((a - b).count_ns(), 6'000'000);
+  EXPECT_EQ((b - a).count_ns(), -6'000'000);
+  EXPECT_TRUE((b - a).is_negative());
+  EXPECT_EQ((a * 3).count_ns(), 30'000'000);
+  EXPECT_EQ((3 * a).count_ns(), 30'000'000);
+  EXPECT_DOUBLE_EQ(a / b, 2.5);
+}
+
+TEST(SimDuration, ScalingByDouble) {
+  const auto a = SimDuration::ms(10);
+  EXPECT_EQ((a * 0.5).count_ns(), 5'000'000);
+  EXPECT_EQ((a * 1.5).count_ns(), 15'000'000);
+}
+
+TEST(SimDuration, CompoundAssignment) {
+  auto d = SimDuration::ms(1);
+  d += SimDuration::ms(2);
+  EXPECT_EQ(d, SimDuration::ms(3));
+  d -= SimDuration::ms(1);
+  EXPECT_EQ(d, SimDuration::ms(2));
+  d *= 5;
+  EXPECT_EQ(d, SimDuration::ms(10));
+}
+
+TEST(SimDuration, Ordering) {
+  EXPECT_LT(SimDuration::us(999), SimDuration::ms(1));
+  EXPECT_GT(SimDuration::sec(1), SimDuration::ms(999));
+  EXPECT_LE(SimDuration::ms(1), SimDuration::ms(1));
+}
+
+TEST(SimDuration, Conversions) {
+  EXPECT_DOUBLE_EQ(SimDuration::ms(10).as_ms(), 10.0);
+  EXPECT_DOUBLE_EQ(SimDuration::ms(10).as_sec(), 0.01);
+  EXPECT_DOUBLE_EQ(SimDuration::us(5).as_us(), 5.0);
+}
+
+TEST(SimDuration, ToStringPicksUnit) {
+  EXPECT_EQ(SimDuration::ns(12).to_string(), "12ns");
+  EXPECT_EQ(SimDuration::us(3).to_string(), "3.000us");
+  EXPECT_EQ(SimDuration::ms(15).to_string(), "15.000ms");
+  EXPECT_EQ(SimDuration::sec(2).to_string(), "2.000s");
+}
+
+TEST(SimTime, StartsAtZero) {
+  EXPECT_EQ(SimTime{}, SimTime::zero());
+  EXPECT_EQ(SimTime::zero().count_ns(), 0);
+}
+
+TEST(SimTime, PointPlusDuration) {
+  const SimTime t = SimTime::zero() + SimDuration::ms(5);
+  EXPECT_EQ(t.count_ns(), 5'000'000);
+  EXPECT_EQ((t - SimDuration::ms(2)).count_ns(), 3'000'000);
+  EXPECT_EQ(t - SimTime::zero(), SimDuration::ms(5));
+}
+
+TEST(SimTime, MaxActsAsInfinity) {
+  EXPECT_GT(SimTime::max(), SimTime::zero() + SimDuration::sec(1'000'000));
+}
+
+}  // namespace
+}  // namespace gmx

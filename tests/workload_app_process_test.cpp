@@ -1,0 +1,172 @@
+// Application driver tests: loop structure, obtaining-time measurement,
+// safety monitor wiring.
+#include "gridmutex/workload/app_process.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "gridmutex/mutex/registry.hpp"
+#include "gridmutex/net/network.hpp"
+
+namespace gmx::testing {
+namespace {
+
+struct AppFixture : ::testing::Test {
+  AppFixture()
+      : topo(Topology::uniform(1, 2)),
+        net(sim, topo,
+            std::make_shared<FixedLatencyModel>(SimDuration::ms(1)),
+            Rng(1)) {
+    const std::vector<NodeId> members = {0, 1};
+    for (int r = 0; r < 2; ++r) {
+      eps.push_back(std::make_unique<MutexEndpoint>(
+          net, 1, members, r, make_algorithm("naimi"), Rng(2)));
+    }
+    for (auto& e : eps) e->init(0);
+  }
+
+  Simulator sim;
+  Topology topo;
+  Network net;
+  std::vector<std::unique_ptr<MutexEndpoint>> eps;
+  WorkloadMetrics metrics;
+  SafetyMonitor safety;
+};
+
+TEST_F(AppFixture, CompletesConfiguredNumberOfCs) {
+  WorkloadParams params;
+  params.alpha = SimDuration::ms(10);
+  params.rho = 5;
+  params.cs_count = 7;
+  AppProcess p(sim, *eps[0], params, Rng(3), metrics, safety);
+  p.start();
+  sim.run();
+  EXPECT_TRUE(p.done());
+  EXPECT_EQ(p.completed(), 7);
+  EXPECT_EQ(metrics.completed_cs, 7u);
+  EXPECT_EQ(metrics.obtaining.count(), 7u);
+  EXPECT_EQ(safety.entries(), 7u);
+  EXPECT_EQ(safety.in_cs(), 0);
+}
+
+TEST_F(AppFixture, ZeroCsCountFinishesImmediately) {
+  WorkloadParams params;
+  params.cs_count = 0;
+  bool done = false;
+  AppProcess p(sim, *eps[0], params, Rng(3), metrics, safety);
+  p.on_done = [&] { done = true; };
+  p.start();
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(metrics.completed_cs, 0u);
+}
+
+TEST_F(AppFixture, HolderObtainingTimeIsZero) {
+  // Rank 0 holds the token: every obtaining time is exactly zero.
+  WorkloadParams params;
+  params.cs_count = 3;
+  params.exponential_think = false;
+  AppProcess p(sim, *eps[0], params, Rng(3), metrics, safety);
+  p.start();
+  sim.run();
+  EXPECT_DOUBLE_EQ(metrics.obtaining.mean_ms(), 0.0);
+  EXPECT_DOUBLE_EQ(metrics.obtaining.max_ms(), 0.0);
+}
+
+TEST_F(AppFixture, RemoteObtainingIncludesRoundTrip) {
+  // Rank 1 must fetch the token from rank 0: request (1ms) + token (1ms).
+  WorkloadParams params;
+  params.cs_count = 1;
+  params.exponential_think = false;
+  AppProcess p(sim, *eps[1], params, Rng(3), metrics, safety);
+  p.start();
+  sim.run();
+  ASSERT_EQ(metrics.obtaining.count(), 1u);
+  EXPECT_DOUBLE_EQ(metrics.obtaining.mean_ms(), 2.0);
+}
+
+TEST_F(AppFixture, FixedThinkTimeIsBetaExactly) {
+  WorkloadParams params;
+  params.alpha = SimDuration::ms(10);
+  params.rho = 3;  // beta = 30ms
+  params.cs_count = 2;
+  params.exponential_think = false;
+  AppProcess p(sim, *eps[0], params, Rng(3), metrics, safety);
+  p.start();
+  sim.run();
+  // Timeline: think 30 + CS 10 + think 30 + CS 10 = 80ms.
+  EXPECT_EQ(sim.now().count_ns(), 80'000'000);
+}
+
+TEST_F(AppFixture, ExponentialThinkAveragesBeta) {
+  WorkloadParams params;
+  params.alpha = SimDuration::ms(1);
+  params.rho = 20;  // beta = 20ms
+  params.cs_count = 2000;
+  AppProcess p(sim, *eps[0], params, Rng(5), metrics, safety);
+  p.start();
+  sim.run();
+  // Total ≈ cs_count · (beta + alpha); tolerate 5% statistical wobble.
+  const double expect_ms = 2000.0 * 21.0;
+  EXPECT_NEAR(sim.now().as_ms(), expect_ms, expect_ms * 0.05);
+}
+
+TEST_F(AppFixture, TwoProcessesInterleaveSafely) {
+  WorkloadParams params;
+  params.alpha = SimDuration::ms(5);
+  params.rho = 2;
+  params.cs_count = 20;
+  AppProcess p0(sim, *eps[0], params, Rng(7), metrics, safety);
+  AppProcess p1(sim, *eps[1], params, Rng(8), metrics, safety);
+  p0.start();
+  p1.start();
+  sim.run();
+  EXPECT_EQ(metrics.completed_cs, 40u);
+  EXPECT_EQ(safety.violations(), 0u);
+}
+
+TEST_F(AppFixture, OnDoneFiresOnce) {
+  WorkloadParams params;
+  params.cs_count = 3;
+  int done_calls = 0;
+  AppProcess p(sim, *eps[0], params, Rng(3), metrics, safety);
+  p.on_done = [&] { ++done_calls; };
+  p.start();
+  sim.run();
+  EXPECT_EQ(done_calls, 1);
+}
+
+TEST(WorkloadParams, BetaIsRhoTimesAlpha) {
+  WorkloadParams p;
+  p.alpha = SimDuration::ms(10);
+  p.rho = 540;
+  EXPECT_EQ(p.beta(), SimDuration::ms(5400));
+}
+
+TEST(SafetyMonitorTest, CountsEntriesAndDetectsOverlap) {
+  SafetyMonitor m(/*abort_on_violation=*/false);
+  m.enter();
+  EXPECT_EQ(m.in_cs(), 1);
+  EXPECT_EQ(m.violations(), 0u);
+  m.enter();  // second process — violation recorded, not fatal
+  EXPECT_EQ(m.violations(), 1u);
+  m.exit();
+  m.exit();
+  EXPECT_EQ(m.in_cs(), 0);
+  EXPECT_EQ(m.entries(), 2u);
+}
+
+TEST(SafetyMonitorDeathTest, AbortingMonitorDiesOnOverlap) {
+  SafetyMonitor m;
+  m.enter();
+  EXPECT_DEATH(m.enter(), "mutual exclusion violated");
+}
+
+TEST(SafetyMonitorDeathTest, ExitWithoutEnterAborts) {
+  SafetyMonitor m;
+  EXPECT_DEATH(m.exit(), "without matching enter");
+}
+
+}  // namespace
+}  // namespace gmx::testing

@@ -1,0 +1,196 @@
+// CLI argument parsing tests (tools/gridmutex_cli front end).
+#include "gridmutex/workload/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gmx::testing {
+namespace {
+
+std::variant<CliOptions, CliError> parse(
+    std::initializer_list<std::string_view> args) {
+  std::vector<std::string_view> v(args);
+  return parse_cli(v);
+}
+
+CliOptions ok(const std::variant<CliOptions, CliError>& r) {
+  if (const auto* err = std::get_if<CliError>(&r)) {
+    ADD_FAILURE() << "unexpected parse error: " << err->message;
+    return {};
+  }
+  return std::get<CliOptions>(r);
+}
+
+std::string fail(const std::variant<CliOptions, CliError>& r) {
+  if (!std::holds_alternative<CliError>(r)) {
+    ADD_FAILURE() << "expected a parse error";
+    return "";
+  }
+  return std::get<CliError>(r).message;
+}
+
+TEST(Cli, DefaultsToSingleNaimiNaimiSeries) {
+  const auto o = ok(parse({}));
+  ASSERT_EQ(o.series.size(), 1u);
+  EXPECT_EQ(o.series[0].label(), "Naimi-Naimi");
+  EXPECT_EQ(o.series[0].clusters, 9u);
+  EXPECT_EQ(o.series[0].apps_per_cluster, 20u);
+  EXPECT_EQ(o.series[0].workload.cs_count, 100);
+  EXPECT_EQ(o.repetitions, 5);
+  EXPECT_EQ(o.rhos.size(), 5u);
+  EXPECT_FALSE(o.csv_path.has_value());
+}
+
+TEST(Cli, HelpShortCircuits) {
+  EXPECT_TRUE(ok(parse({"--help"})).help);
+  EXPECT_TRUE(ok(parse({"-h"})).help);
+  EXPECT_NE(cli_usage().find("--composition"), std::string::npos);
+}
+
+TEST(Cli, CompositionSeries) {
+  const auto o = ok(parse({"--composition", "suzuki-martin"}));
+  ASSERT_EQ(o.series.size(), 1u);
+  EXPECT_EQ(o.series[0].intra, "suzuki");
+  EXPECT_EQ(o.series[0].inter, "martin");
+}
+
+TEST(Cli, MultipleSeriesAccumulate) {
+  const auto o = ok(parse({"--composition", "naimi-martin", "--flat",
+                            "naimi", "--composition", "naimi-suzuki"}));
+  ASSERT_EQ(o.series.size(), 3u);
+  EXPECT_EQ(o.series[1].mode, ExperimentConfig::Mode::kFlat);
+  EXPECT_EQ(o.series[1].flat_algorithm, "naimi");
+}
+
+TEST(Cli, SharedParametersApplyToAllSeries) {
+  const auto& o =
+      ok(parse({"--flat", "suzuki", "--composition", "naimi-naimi",
+                "--clusters", "4", "--apps", "7", "--cs", "17", "--seed",
+                "99", "--latency", "1:25", "--alpha-ms", "2.5"}));
+  for (const auto& s : o.series) {
+    EXPECT_EQ(s.clusters, 4u);
+    EXPECT_EQ(s.apps_per_cluster, 7u);
+    EXPECT_EQ(s.workload.cs_count, 17);
+    EXPECT_EQ(s.seed, 99u);
+    EXPECT_EQ(s.latency.kind, LatencySpec::Kind::kTwoLevel);
+    EXPECT_EQ(s.latency.lan, SimDuration::ms(1));
+    EXPECT_EQ(s.latency.wan, SimDuration::ms(25));
+    EXPECT_EQ(s.workload.alpha, SimDuration::ms_f(2.5));
+  }
+}
+
+TEST(Cli, RhoListParses) {
+  const auto o = ok(parse({"--rho", "45,90.5,1080"}));
+  EXPECT_EQ(o.rhos, (std::vector<double>{45, 90.5, 1080}));
+}
+
+TEST(Cli, CsvAndThreads) {
+  const auto o = ok(parse({"--csv", "out.csv", "--threads", "3"}));
+  EXPECT_EQ(o.csv_path, "out.csv");
+  EXPECT_EQ(o.threads, 3u);
+}
+
+TEST(Cli, UnknownAlgorithmRejected) {
+  EXPECT_NE(fail(parse({"--flat", "dijkstra"})).find("unknown"),
+            std::string::npos);
+  EXPECT_NE(fail(parse({"--composition", "naimi-dijkstra"})).find("unknown"),
+            std::string::npos);
+}
+
+TEST(Cli, MalformedCompositionRejected) {
+  EXPECT_FALSE(fail(parse({"--composition", "naimi"})).empty());
+}
+
+TEST(Cli, MissingValuesRejected) {
+  EXPECT_FALSE(fail(parse({"--flat"})).empty());
+  EXPECT_FALSE(fail(parse({"--rho"})).empty());
+  EXPECT_FALSE(fail(parse({"--csv"})).empty());
+}
+
+TEST(Cli, BadNumbersRejected) {
+  EXPECT_FALSE(fail(parse({"--clusters", "zero"})).empty());
+  EXPECT_FALSE(fail(parse({"--clusters", "0"})).empty());
+  EXPECT_FALSE(fail(parse({"--rho", "45,,90"})).empty());
+  EXPECT_FALSE(fail(parse({"--rho", "-2"})).empty());
+  EXPECT_FALSE(fail(parse({"--jitter", "1.5"})).empty());
+  EXPECT_FALSE(fail(parse({"--cs", "1.5"})).empty());
+}
+
+TEST(Cli, BadLatencyRejected) {
+  EXPECT_FALSE(fail(parse({"--latency", "fast"})).empty());
+  EXPECT_FALSE(fail(parse({"--latency", "1:"})).empty());
+  EXPECT_FALSE(fail(parse({"--latency", "-1:10"})).empty());
+}
+
+TEST(Cli, Grid5000RequiresNineClusters) {
+  EXPECT_NE(fail(parse({"--clusters", "4"})).find("grid5000"),
+            std::string::npos);
+  // But two-level latency lifts the restriction.
+  const auto o = ok(parse({"--clusters", "4", "--latency", "0.5:10"}));
+  EXPECT_EQ(o.series[0].clusters, 4u);
+}
+
+TEST(Cli, UnknownFlagRejected) {
+  EXPECT_NE(fail(parse({"--frobnicate"})).find("unknown argument"),
+            std::string::npos);
+}
+
+TEST(Cli, MultilevelSeriesParses) {
+  const auto o = ok(parse({"--multilevel", "2x2x3", "--algorithms",
+                           "naimi,naimi,martin", "--delays", "0.5,5,40"}));
+  ASSERT_EQ(o.series.size(), 1u);
+  const auto& cfg = o.series[0];
+  EXPECT_EQ(cfg.mode, ExperimentConfig::Mode::kMultiLevel);
+  ASSERT_TRUE(cfg.hierarchy.has_value());
+  EXPECT_EQ(cfg.hierarchy->arity, (std::vector<std::uint32_t>{2, 2, 3}));
+  EXPECT_EQ(cfg.hierarchy->algorithms,
+            (std::vector<std::string>{"naimi", "naimi", "martin"}));
+  ASSERT_EQ(cfg.level_delays.size(), 3u);
+  EXPECT_EQ(cfg.level_delays[2], SimDuration::ms(40));
+  EXPECT_EQ(cfg.label(), "ML[Naimi-Naimi-Martin]");
+}
+
+TEST(Cli, MultilevelRequiresMatchingLists) {
+  EXPECT_FALSE(fail(parse({"--multilevel", "2x2"})).empty());
+  EXPECT_FALSE(fail(parse({"--multilevel", "2x2", "--algorithms", "naimi",
+                           "--delays", "1,2"}))
+                   .empty());
+  EXPECT_FALSE(fail(parse({"--multilevel", "2x2", "--algorithms",
+                           "naimi,naimi", "--delays", "1"}))
+                   .empty());
+  EXPECT_FALSE(fail(parse({"--multilevel", "2"})).empty());
+  EXPECT_FALSE(fail(parse({"--multilevel", "2xfoo", "--algorithms",
+                           "naimi,naimi", "--delays", "1,2"}))
+                   .empty());
+}
+
+TEST(Cli, MultilevelDoesNotNeedNineClusters) {
+  // Multilevel derives its own topology; the grid5000 9-cluster rule only
+  // applies to flat/composition series.
+  const auto o = ok(parse({"--multilevel", "2x2", "--algorithms",
+                           "naimi,naimi", "--delays", "0.5,10"}));
+  EXPECT_EQ(o.series[0].mode, ExperimentConfig::Mode::kMultiLevel);
+}
+
+TEST(Cli, MultilevelCombinesWithOtherSeries) {
+  const auto o = ok(parse({"--flat", "naimi", "--multilevel", "2x2",
+                           "--algorithms", "naimi,naimi", "--delays",
+                           "0.5,10", "--cs", "7"}));
+  ASSERT_EQ(o.series.size(), 2u);
+  EXPECT_EQ(o.series[0].mode, ExperimentConfig::Mode::kFlat);
+  EXPECT_EQ(o.series[1].mode, ExperimentConfig::Mode::kMultiLevel);
+  EXPECT_EQ(o.series[1].workload.cs_count, 7);
+}
+
+TEST(Cli, ParsedConfigActuallyRuns) {
+  // End-to-end: a parsed tiny config must execute.
+  const auto o = ok(parse({"--flat", "martin", "--clusters", "2", "--apps",
+                            "2", "--cs", "2", "--latency", "0.5:5", "--rho",
+                            "10"}));
+  ExperimentConfig cfg = o.series[0];
+  cfg.workload.rho = o.rhos[0];
+  const auto r = run_experiment(cfg);
+  EXPECT_EQ(r.total_cs, 8u);
+}
+
+}  // namespace
+}  // namespace gmx::testing

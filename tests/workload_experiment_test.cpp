@@ -1,0 +1,153 @@
+// Experiment execution tests: all three modes, determinism, replication
+// merging, and the derived paper metrics.
+#include "gridmutex/workload/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gmx::testing {
+namespace {
+
+ExperimentConfig small_composition() {
+  ExperimentConfig cfg;
+  cfg.clusters = 3;
+  cfg.apps_per_cluster = 3;
+  cfg.latency = LatencySpec::two_level(SimDuration::ms_f(0.5),
+                                       SimDuration::ms(10));
+  cfg.workload.cs_count = 5;
+  cfg.workload.rho = 20;
+  return cfg;
+}
+
+TEST(Experiment, CompositionRunCompletesAllCs) {
+  const auto r = run_experiment(small_composition());
+  EXPECT_EQ(r.total_cs, 9u * 5u);
+  EXPECT_EQ(r.obtaining.count(), 45u);
+  EXPECT_EQ(r.safety_entries, 45u);
+  EXPECT_GT(r.events, 0u);
+  EXPECT_GT(r.makespan, SimDuration::ms(1));
+  EXPECT_EQ(r.label, "Naimi-Naimi");
+  EXPECT_GT(r.inter_acquisitions, 0u);
+}
+
+TEST(Experiment, FlatRunCompletesAllCs) {
+  ExperimentConfig cfg = small_composition();
+  cfg.mode = ExperimentConfig::Mode::kFlat;
+  cfg.flat_algorithm = "suzuki";
+  const auto r = run_experiment(cfg);
+  EXPECT_EQ(r.total_cs, 45u);
+  EXPECT_EQ(r.label, "Suzuki (flat)");
+  EXPECT_EQ(r.inter_acquisitions, 0u);
+}
+
+TEST(Experiment, MultiLevelRunCompletesAllCs) {
+  ExperimentConfig cfg;
+  cfg.mode = ExperimentConfig::Mode::kMultiLevel;
+  cfg.hierarchy = HierarchySpec{.arity = {2, 2, 2},
+                                .algorithms = {"naimi", "naimi", "martin"}};
+  cfg.level_delays = {SimDuration::ms_f(0.5), SimDuration::ms(5),
+                      SimDuration::ms(40)};
+  cfg.workload.cs_count = 3;
+  cfg.workload.rho = 30;
+  const auto r = run_experiment(cfg);
+  EXPECT_EQ(r.total_cs, 8u * 3u);
+  EXPECT_EQ(r.label, "ML[Naimi-Naimi-Martin]");
+}
+
+TEST(Experiment, SameSeedIsBitIdentical) {
+  const auto a = run_experiment(small_composition());
+  const auto b = run_experiment(small_composition());
+  EXPECT_EQ(a.total_cs, b.total_cs);
+  EXPECT_DOUBLE_EQ(a.obtaining_ms(), b.obtaining_ms());
+  EXPECT_DOUBLE_EQ(a.stddev_ms(), b.stddev_ms());
+  EXPECT_EQ(a.messages.sent, b.messages.sent);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.makespan, b.makespan);
+}
+
+TEST(Experiment, DifferentSeedsDiffer) {
+  ExperimentConfig cfg = small_composition();
+  const auto a = run_experiment(cfg);
+  cfg.seed = 999;
+  const auto b = run_experiment(cfg);
+  EXPECT_NE(a.makespan, b.makespan);
+}
+
+TEST(Experiment, ReplicationMergesSamples) {
+  const auto one = run_experiment(small_composition());
+  const auto three = run_replicated(small_composition(), 3);
+  EXPECT_EQ(three.total_cs, one.total_cs * 3);
+  EXPECT_EQ(three.obtaining.count(), one.obtaining.count() * 3);
+  EXPECT_EQ(three.repetitions, 3);
+}
+
+TEST(Experiment, HigherRhoLowersObtainingTime) {
+  // The paper's headline monotonicity: less concurrency → shorter waits.
+  ExperimentConfig cfg = small_composition();
+  cfg.workload.cs_count = 20;
+  cfg.workload.rho = 2;
+  const auto contended = run_experiment(cfg);
+  cfg.workload.rho = 200;
+  const auto sparse = run_experiment(cfg);
+  EXPECT_GT(contended.obtaining_ms(), sparse.obtaining_ms());
+}
+
+TEST(Experiment, CompositionSendsFewerInterClusterMessagesThanFlat) {
+  // Paper §4.2/Fig. 4(b) under saturation.
+  ExperimentConfig cfg = small_composition();
+  cfg.workload.rho = 3;
+  cfg.workload.cs_count = 20;
+  const auto composed = run_experiment(cfg);
+  cfg.mode = ExperimentConfig::Mode::kFlat;
+  const auto flat = run_experiment(cfg);
+  EXPECT_LT(composed.inter_msgs_per_cs(), flat.inter_msgs_per_cs());
+}
+
+TEST(Experiment, Grid5000DefaultShape) {
+  ExperimentConfig cfg;  // default: 9 clusters × 20 apps, grid5000 matrix
+  cfg.workload.cs_count = 1;
+  cfg.workload.rho = 1000;
+  const auto r = run_experiment(cfg);
+  EXPECT_EQ(cfg.application_count(), 180u);
+  EXPECT_EQ(r.total_cs, 180u);
+}
+
+TEST(Experiment, MetricAccessors) {
+  ExperimentResult r;
+  r.label = "x";
+  EXPECT_DOUBLE_EQ(r.inter_msgs_per_cs(), 0.0);  // no division by zero
+  r.total_cs = 10;
+  r.messages.inter_cluster = 25;
+  r.messages.sent = 100;
+  r.messages.bytes_inter = 500;
+  EXPECT_DOUBLE_EQ(r.inter_msgs_per_cs(), 2.5);
+  EXPECT_DOUBLE_EQ(r.total_msgs_per_cs(), 10.0);
+  EXPECT_DOUBLE_EQ(r.inter_bytes_per_cs(), 50.0);
+}
+
+TEST(Experiment, LabelFormats) {
+  ExperimentConfig cfg;
+  cfg.intra = "suzuki";
+  cfg.inter = "martin";
+  EXPECT_EQ(cfg.label(), "Suzuki-Martin");
+  cfg.mode = ExperimentConfig::Mode::kFlat;
+  cfg.flat_algorithm = "martin";
+  EXPECT_EQ(cfg.label(), "Martin (flat)");
+}
+
+TEST(LatencySpecTest, TwoLevelBuild) {
+  const auto spec = LatencySpec::two_level(SimDuration::ms(1),
+                                           SimDuration::ms(20));
+  const auto model = spec.build(4);
+  ASSERT_NE(model, nullptr);
+  const Topology topo = Topology::uniform(4, 2);
+  EXPECT_EQ(model->mean(topo, 0, 1), SimDuration::ms(1));
+  EXPECT_EQ(model->mean(topo, 0, 7), SimDuration::ms(20));
+}
+
+TEST(LatencySpecDeathTest, Grid5000RequiresNineClusters) {
+  const auto spec = LatencySpec::grid5000();
+  EXPECT_DEATH(spec.build(5), "9 clusters");
+}
+
+}  // namespace
+}  // namespace gmx::testing

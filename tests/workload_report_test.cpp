@@ -1,0 +1,100 @@
+// Table and CSV reporting tests.
+#include "gridmutex/workload/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gmx::testing {
+namespace {
+
+SeriesPoint point(const std::string& series, double rho, double obtaining_ms,
+                  std::uint64_t inter_msgs) {
+  SeriesPoint p;
+  p.series = series;
+  p.rho = rho;
+  p.result.label = series;
+  p.result.rho = rho;
+  p.result.total_cs = 100;
+  for (int i = 0; i < 100; ++i)
+    p.result.obtaining.add(SimDuration::ms_f(obtaining_ms));
+  p.result.messages.inter_cluster = inter_msgs;
+  p.result.messages.sent = inter_msgs * 2;
+  return p;
+}
+
+TEST(TableTest, AlignsColumns) {
+  Table t({"rho", "Naimi-Naimi", "Naimi-Martin"});
+  t.add_row({"90", "915.31", "913.40"});
+  t.add_row({"1080", "9.1", "12.2"});
+  std::ostringstream out;
+  t.print(out);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("rho"), std::string::npos);
+  EXPECT_NE(s.find("Naimi-Martin"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+  // All lines equal length (alignment).
+  std::istringstream lines(s);
+  std::string line;
+  std::size_t len = 0;
+  while (std::getline(lines, line)) {
+    if (len == 0) len = line.size();
+    EXPECT_EQ(line.size(), len) << line;
+  }
+}
+
+TEST(TableTest, NumFormatsDigits) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.14159, 0), "3");
+  EXPECT_EQ(Table::num(1080, 0), "1080");
+}
+
+TEST(TableDeathTest, RowWidthMismatchAborts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "row width");
+}
+
+TEST(MetricTable, RowsAreRhosColumnsAreSeries) {
+  std::vector<SeriesPoint> pts = {
+      point("A", 90, 10.0, 100),
+      point("B", 90, 20.0, 200),
+      point("A", 540, 1.0, 300),
+      point("B", 540, 2.0, 400),
+  };
+  std::ostringstream out;
+  print_metric_table(out, "Obtaining time (ms)", pts,
+                     [](const ExperimentResult& r) { return r.obtaining_ms(); });
+  const std::string s = out.str();
+  EXPECT_NE(s.find("== Obtaining time (ms) =="), std::string::npos);
+  EXPECT_NE(s.find("A"), std::string::npos);
+  EXPECT_NE(s.find("B"), std::string::npos);
+  EXPECT_NE(s.find("90"), std::string::npos);
+  EXPECT_NE(s.find("540"), std::string::npos);
+  EXPECT_NE(s.find("10.00"), std::string::npos);
+  EXPECT_NE(s.find("2.00"), std::string::npos);
+}
+
+TEST(MetricTable, MissingCellsRenderDash) {
+  std::vector<SeriesPoint> pts = {
+      point("A", 90, 10.0, 100),
+      point("B", 540, 2.0, 400),  // no B at 90, no A at 540
+  };
+  std::ostringstream out;
+  print_metric_table(out, "t", pts,
+                     [](const ExperimentResult& r) { return r.obtaining_ms(); });
+  EXPECT_NE(out.str().find('-'), std::string::npos);
+}
+
+TEST(Csv, HeaderAndRows) {
+  std::vector<SeriesPoint> pts = {point("Naimi-Naimi", 90, 915.3, 4800)};
+  std::ostringstream out;
+  write_csv(out, pts);
+  const std::string s = out.str();
+  EXPECT_EQ(s.find("series,rho,total_cs,obtaining_ms"), 0u);
+  EXPECT_NE(s.find("Naimi-Naimi,90,100,915.3"), std::string::npos);
+  // exactly 2 lines
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+}
+
+}  // namespace
+}  // namespace gmx::testing

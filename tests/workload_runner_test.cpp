@@ -1,0 +1,103 @@
+// Sweep runner and thread pool tests: ordering, serial/parallel identity.
+#include "gridmutex/workload/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "gridmutex/workload/thread_pool.hpp"
+
+namespace gmx::testing {
+namespace {
+
+ExperimentConfig tiny(double rho) {
+  ExperimentConfig cfg;
+  cfg.clusters = 2;
+  cfg.apps_per_cluster = 2;
+  cfg.latency = LatencySpec::two_level(SimDuration::ms_f(0.5),
+                                       SimDuration::ms(10));
+  cfg.workload.cs_count = 3;
+  cfg.workload.rho = rho;
+  return cfg;
+}
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(Runner, ResultsInInputOrder) {
+  const std::vector<ExperimentConfig> configs = {tiny(2), tiny(50),
+                                                 tiny(500)};
+  const auto results = run_sweep(configs, {.threads = 1});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_DOUBLE_EQ(results[0].rho, 2);
+  EXPECT_DOUBLE_EQ(results[1].rho, 50);
+  EXPECT_DOUBLE_EQ(results[2].rho, 500);
+}
+
+TEST(Runner, ParallelSweepMatchesSerial) {
+  const std::vector<ExperimentConfig> configs = {tiny(2), tiny(20), tiny(200),
+                                                 tiny(2000)};
+  const auto serial = run_sweep(configs, {.threads = 1});
+  const auto parallel = run_sweep(configs, {.threads = 4});
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial[i].obtaining_ms(), parallel[i].obtaining_ms())
+        << i;
+    EXPECT_EQ(serial[i].messages.sent, parallel[i].messages.sent) << i;
+    EXPECT_EQ(serial[i].events, parallel[i].events) << i;
+  }
+}
+
+TEST(Runner, RepetitionsAreApplied) {
+  const std::vector<ExperimentConfig> configs = {tiny(10)};
+  const auto results = run_sweep(configs, {.threads = 1, .repetitions = 4});
+  EXPECT_EQ(results[0].repetitions, 4);
+  EXPECT_EQ(results[0].total_cs, 4u * 4u * 3u);  // nodes × cs × reps
+}
+
+TEST(Runner, ProgressCallbackSeesEveryPoint) {
+  const std::vector<ExperimentConfig> configs = {tiny(1), tiny(2), tiny(3)};
+  std::size_t calls = 0, last_total = 0;
+  SweepOptions opt;
+  opt.threads = 2;
+  opt.progress = [&](std::size_t, std::size_t total) {
+    ++calls;
+    last_total = total;
+  };
+  (void)run_sweep(configs, opt);
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(last_total, 3u);
+}
+
+TEST(Runner, RhoSweepBuildsOnePointPerRho) {
+  const double rhos[] = {5, 50, 500};
+  const auto results = run_rho_sweep(tiny(0.1), rhos, {.threads = 1});
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_DOUBLE_EQ(results[i].rho, rhos[i]);
+}
+
+}  // namespace
+}  // namespace gmx::testing

@@ -1,0 +1,72 @@
+// gridmutex_cli — run composition/flat experiments from the command line.
+//
+//   $ gridmutex_cli --composition naimi-martin --flat naimi
+//         --rho 45,180,720 --reps 3 --csv out.csv
+//
+// See --help (workload/cli.hpp) for the full grammar.
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "gridmutex/workload/cli.hpp"
+#include "gridmutex/workload/report.hpp"
+#include "gridmutex/workload/runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gmx;
+  std::vector<std::string_view> args(argv + 1, argv + argc);
+  const auto parsed = parse_cli(args);
+  if (const auto* err = std::get_if<CliError>(&parsed)) {
+    std::cerr << "error: " << err->message << "\n\n" << cli_usage();
+    return 2;
+  }
+  const CliOptions& opt = std::get<CliOptions>(parsed);
+  if (opt.help) {
+    std::cout << cli_usage();
+    return 0;
+  }
+
+  std::vector<SeriesPoint> points;
+  for (const ExperimentConfig& base : opt.series) {
+    std::cerr << "running " << base.label() << " over " << opt.rhos.size()
+              << " rho points x " << opt.repetitions << " reps...\n";
+    const auto results = run_rho_sweep(
+        base, opt.rhos,
+        SweepOptions{.threads = opt.threads,
+                     .repetitions = opt.repetitions,
+                     .progress = {}});
+    for (std::size_t i = 0; i < results.size(); ++i)
+      points.push_back(SeriesPoint{base.label(), opt.rhos[i], results[i]});
+  }
+
+  print_metric_table(std::cout, "Obtaining time (ms)", points,
+                     [](const ExperimentResult& r) { return r.obtaining_ms(); });
+  print_metric_table(std::cout, "Obtaining time sigma (ms)", points,
+                     [](const ExperimentResult& r) { return r.stddev_ms(); });
+  print_metric_table(std::cout, "Inter-cluster messages / CS", points,
+                     [](const ExperimentResult& r) {
+                       return r.inter_msgs_per_cs();
+                     });
+  print_metric_table(std::cout, "Total messages / CS", points,
+                     [](const ExperimentResult& r) {
+                       return r.total_msgs_per_cs();
+                     });
+  print_metric_table(std::cout, "Obtaining time p99 (ms)", points,
+                     [](const ExperimentResult& r) {
+                       return r.obtaining_hist.count() > 0
+                                  ? r.obtaining_hist.percentile(0.99)
+                                  : 0.0;
+                     });
+
+  if (opt.csv_path) {
+    std::ofstream csv(*opt.csv_path);
+    if (!csv) {
+      std::cerr << "error: cannot write " << *opt.csv_path << "\n";
+      return 1;
+    }
+    write_csv(csv, points);
+    std::cerr << "wrote " << points.size() << " points to " << *opt.csv_path
+              << "\n";
+  }
+  return 0;
+}
