@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_bimodal.dir/analysis_bimodal.cpp.o"
+  "CMakeFiles/analysis_bimodal.dir/analysis_bimodal.cpp.o.d"
+  "analysis_bimodal"
+  "analysis_bimodal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_bimodal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

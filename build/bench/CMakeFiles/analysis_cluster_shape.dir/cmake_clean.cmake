@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_cluster_shape.dir/analysis_cluster_shape.cpp.o"
+  "CMakeFiles/analysis_cluster_shape.dir/analysis_cluster_shape.cpp.o.d"
+  "analysis_cluster_shape"
+  "analysis_cluster_shape.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_cluster_shape.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_latency_sensitivity.dir/analysis_latency_sensitivity.cpp.o"
+  "CMakeFiles/analysis_latency_sensitivity.dir/analysis_latency_sensitivity.cpp.o.d"
+  "analysis_latency_sensitivity"
+  "analysis_latency_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_latency_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_bertier.dir/baseline_bertier.cpp.o"
+  "CMakeFiles/baseline_bertier.dir/baseline_bertier.cpp.o.d"
+  "baseline_bertier"
+  "baseline_bertier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_bertier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

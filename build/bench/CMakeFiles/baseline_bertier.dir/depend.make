@@ -1,0 +1,2 @@
+# Empty dependencies file for baseline_bertier.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_latency_matrix.dir/fig3_latency_matrix.cpp.o"
+  "CMakeFiles/fig3_latency_matrix.dir/fig3_latency_matrix.cpp.o.d"
+  "fig3_latency_matrix"
+  "fig3_latency_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_latency_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4b_intercluster_messages.dir/fig4b_intercluster_messages.cpp.o"
+  "CMakeFiles/fig4b_intercluster_messages.dir/fig4b_intercluster_messages.cpp.o.d"
+  "fig4b_intercluster_messages"
+  "fig4b_intercluster_messages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4b_intercluster_messages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

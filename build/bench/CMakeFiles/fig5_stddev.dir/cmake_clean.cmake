@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_stddev.dir/fig5_stddev.cpp.o"
+  "CMakeFiles/fig5_stddev.dir/fig5_stddev.cpp.o.d"
+  "fig5_stddev"
+  "fig5_stddev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_stddev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_intra_choice.dir/fig6_intra_choice.cpp.o"
+  "CMakeFiles/fig6_intra_choice.dir/fig6_intra_choice.cpp.o.d"
+  "fig6_intra_choice"
+  "fig6_intra_choice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_intra_choice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

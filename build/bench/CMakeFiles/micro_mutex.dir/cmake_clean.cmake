@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_mutex.dir/micro_mutex.cpp.o"
+  "CMakeFiles/micro_mutex.dir/micro_mutex.cpp.o.d"
+  "micro_mutex"
+  "micro_mutex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_mutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

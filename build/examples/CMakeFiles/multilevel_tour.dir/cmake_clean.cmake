@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilevel_tour.dir/multilevel_tour.cpp.o"
+  "CMakeFiles/multilevel_tour.dir/multilevel_tour.cpp.o.d"
+  "multilevel_tour"
+  "multilevel_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilevel_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

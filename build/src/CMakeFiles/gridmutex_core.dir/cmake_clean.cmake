@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmutex_core.dir/core/adaptive.cpp.o"
+  "CMakeFiles/gridmutex_core.dir/core/adaptive.cpp.o.d"
+  "CMakeFiles/gridmutex_core.dir/core/composition.cpp.o"
+  "CMakeFiles/gridmutex_core.dir/core/composition.cpp.o.d"
+  "CMakeFiles/gridmutex_core.dir/core/coordinator.cpp.o"
+  "CMakeFiles/gridmutex_core.dir/core/coordinator.cpp.o.d"
+  "CMakeFiles/gridmutex_core.dir/core/multilevel.cpp.o"
+  "CMakeFiles/gridmutex_core.dir/core/multilevel.cpp.o.d"
+  "libgridmutex_core.a"
+  "libgridmutex_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmutex_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

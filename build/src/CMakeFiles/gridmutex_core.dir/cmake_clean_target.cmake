@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgridmutex_core.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mutex/algorithm.cpp" "src/CMakeFiles/gridmutex_mutex.dir/mutex/algorithm.cpp.o" "gcc" "src/CMakeFiles/gridmutex_mutex.dir/mutex/algorithm.cpp.o.d"
+  "/root/repo/src/mutex/bertier.cpp" "src/CMakeFiles/gridmutex_mutex.dir/mutex/bertier.cpp.o" "gcc" "src/CMakeFiles/gridmutex_mutex.dir/mutex/bertier.cpp.o.d"
+  "/root/repo/src/mutex/central_server.cpp" "src/CMakeFiles/gridmutex_mutex.dir/mutex/central_server.cpp.o" "gcc" "src/CMakeFiles/gridmutex_mutex.dir/mutex/central_server.cpp.o.d"
+  "/root/repo/src/mutex/endpoint.cpp" "src/CMakeFiles/gridmutex_mutex.dir/mutex/endpoint.cpp.o" "gcc" "src/CMakeFiles/gridmutex_mutex.dir/mutex/endpoint.cpp.o.d"
+  "/root/repo/src/mutex/lamport.cpp" "src/CMakeFiles/gridmutex_mutex.dir/mutex/lamport.cpp.o" "gcc" "src/CMakeFiles/gridmutex_mutex.dir/mutex/lamport.cpp.o.d"
+  "/root/repo/src/mutex/maekawa.cpp" "src/CMakeFiles/gridmutex_mutex.dir/mutex/maekawa.cpp.o" "gcc" "src/CMakeFiles/gridmutex_mutex.dir/mutex/maekawa.cpp.o.d"
+  "/root/repo/src/mutex/martin.cpp" "src/CMakeFiles/gridmutex_mutex.dir/mutex/martin.cpp.o" "gcc" "src/CMakeFiles/gridmutex_mutex.dir/mutex/martin.cpp.o.d"
+  "/root/repo/src/mutex/mueller.cpp" "src/CMakeFiles/gridmutex_mutex.dir/mutex/mueller.cpp.o" "gcc" "src/CMakeFiles/gridmutex_mutex.dir/mutex/mueller.cpp.o.d"
+  "/root/repo/src/mutex/naimi_trehel.cpp" "src/CMakeFiles/gridmutex_mutex.dir/mutex/naimi_trehel.cpp.o" "gcc" "src/CMakeFiles/gridmutex_mutex.dir/mutex/naimi_trehel.cpp.o.d"
+  "/root/repo/src/mutex/raymond.cpp" "src/CMakeFiles/gridmutex_mutex.dir/mutex/raymond.cpp.o" "gcc" "src/CMakeFiles/gridmutex_mutex.dir/mutex/raymond.cpp.o.d"
+  "/root/repo/src/mutex/registry.cpp" "src/CMakeFiles/gridmutex_mutex.dir/mutex/registry.cpp.o" "gcc" "src/CMakeFiles/gridmutex_mutex.dir/mutex/registry.cpp.o.d"
+  "/root/repo/src/mutex/ricart_agrawala.cpp" "src/CMakeFiles/gridmutex_mutex.dir/mutex/ricart_agrawala.cpp.o" "gcc" "src/CMakeFiles/gridmutex_mutex.dir/mutex/ricart_agrawala.cpp.o.d"
+  "/root/repo/src/mutex/suzuki_kasami.cpp" "src/CMakeFiles/gridmutex_mutex.dir/mutex/suzuki_kasami.cpp.o" "gcc" "src/CMakeFiles/gridmutex_mutex.dir/mutex/suzuki_kasami.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gridmutex_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridmutex_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmutex_mutex.dir/mutex/algorithm.cpp.o"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/algorithm.cpp.o.d"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/bertier.cpp.o"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/bertier.cpp.o.d"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/central_server.cpp.o"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/central_server.cpp.o.d"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/endpoint.cpp.o"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/endpoint.cpp.o.d"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/lamport.cpp.o"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/lamport.cpp.o.d"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/maekawa.cpp.o"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/maekawa.cpp.o.d"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/martin.cpp.o"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/martin.cpp.o.d"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/mueller.cpp.o"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/mueller.cpp.o.d"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/naimi_trehel.cpp.o"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/naimi_trehel.cpp.o.d"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/raymond.cpp.o"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/raymond.cpp.o.d"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/registry.cpp.o"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/registry.cpp.o.d"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/ricart_agrawala.cpp.o"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/ricart_agrawala.cpp.o.d"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/suzuki_kasami.cpp.o"
+  "CMakeFiles/gridmutex_mutex.dir/mutex/suzuki_kasami.cpp.o.d"
+  "libgridmutex_mutex.a"
+  "libgridmutex_mutex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmutex_mutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

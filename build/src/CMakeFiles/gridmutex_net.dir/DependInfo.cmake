@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/latency.cpp" "src/CMakeFiles/gridmutex_net.dir/net/latency.cpp.o" "gcc" "src/CMakeFiles/gridmutex_net.dir/net/latency.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/CMakeFiles/gridmutex_net.dir/net/network.cpp.o" "gcc" "src/CMakeFiles/gridmutex_net.dir/net/network.cpp.o.d"
+  "/root/repo/src/net/topology.cpp" "src/CMakeFiles/gridmutex_net.dir/net/topology.cpp.o" "gcc" "src/CMakeFiles/gridmutex_net.dir/net/topology.cpp.o.d"
+  "/root/repo/src/net/trace.cpp" "src/CMakeFiles/gridmutex_net.dir/net/trace.cpp.o" "gcc" "src/CMakeFiles/gridmutex_net.dir/net/trace.cpp.o.d"
+  "/root/repo/src/net/wire.cpp" "src/CMakeFiles/gridmutex_net.dir/net/wire.cpp.o" "gcc" "src/CMakeFiles/gridmutex_net.dir/net/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gridmutex_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

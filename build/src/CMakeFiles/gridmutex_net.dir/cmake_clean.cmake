@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmutex_net.dir/net/latency.cpp.o"
+  "CMakeFiles/gridmutex_net.dir/net/latency.cpp.o.d"
+  "CMakeFiles/gridmutex_net.dir/net/network.cpp.o"
+  "CMakeFiles/gridmutex_net.dir/net/network.cpp.o.d"
+  "CMakeFiles/gridmutex_net.dir/net/topology.cpp.o"
+  "CMakeFiles/gridmutex_net.dir/net/topology.cpp.o.d"
+  "CMakeFiles/gridmutex_net.dir/net/trace.cpp.o"
+  "CMakeFiles/gridmutex_net.dir/net/trace.cpp.o.d"
+  "CMakeFiles/gridmutex_net.dir/net/wire.cpp.o"
+  "CMakeFiles/gridmutex_net.dir/net/wire.cpp.o.d"
+  "libgridmutex_net.a"
+  "libgridmutex_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmutex_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

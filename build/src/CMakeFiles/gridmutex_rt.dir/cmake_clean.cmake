@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmutex_rt.dir/rt/composition.cpp.o"
+  "CMakeFiles/gridmutex_rt.dir/rt/composition.cpp.o.d"
+  "CMakeFiles/gridmutex_rt.dir/rt/endpoint.cpp.o"
+  "CMakeFiles/gridmutex_rt.dir/rt/endpoint.cpp.o.d"
+  "CMakeFiles/gridmutex_rt.dir/rt/runtime.cpp.o"
+  "CMakeFiles/gridmutex_rt.dir/rt/runtime.cpp.o.d"
+  "libgridmutex_rt.a"
+  "libgridmutex_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmutex_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmutex_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/gridmutex_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/gridmutex_sim.dir/sim/random.cpp.o"
+  "CMakeFiles/gridmutex_sim.dir/sim/random.cpp.o.d"
+  "CMakeFiles/gridmutex_sim.dir/sim/simulator.cpp.o"
+  "CMakeFiles/gridmutex_sim.dir/sim/simulator.cpp.o.d"
+  "CMakeFiles/gridmutex_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/gridmutex_sim.dir/sim/stats.cpp.o.d"
+  "CMakeFiles/gridmutex_sim.dir/sim/time.cpp.o"
+  "CMakeFiles/gridmutex_sim.dir/sim/time.cpp.o.d"
+  "libgridmutex_sim.a"
+  "libgridmutex_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmutex_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

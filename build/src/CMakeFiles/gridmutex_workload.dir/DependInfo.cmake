@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_process.cpp" "src/CMakeFiles/gridmutex_workload.dir/workload/app_process.cpp.o" "gcc" "src/CMakeFiles/gridmutex_workload.dir/workload/app_process.cpp.o.d"
+  "/root/repo/src/workload/cli.cpp" "src/CMakeFiles/gridmutex_workload.dir/workload/cli.cpp.o" "gcc" "src/CMakeFiles/gridmutex_workload.dir/workload/cli.cpp.o.d"
+  "/root/repo/src/workload/experiment.cpp" "src/CMakeFiles/gridmutex_workload.dir/workload/experiment.cpp.o" "gcc" "src/CMakeFiles/gridmutex_workload.dir/workload/experiment.cpp.o.d"
+  "/root/repo/src/workload/report.cpp" "src/CMakeFiles/gridmutex_workload.dir/workload/report.cpp.o" "gcc" "src/CMakeFiles/gridmutex_workload.dir/workload/report.cpp.o.d"
+  "/root/repo/src/workload/runner.cpp" "src/CMakeFiles/gridmutex_workload.dir/workload/runner.cpp.o" "gcc" "src/CMakeFiles/gridmutex_workload.dir/workload/runner.cpp.o.d"
+  "/root/repo/src/workload/thread_pool.cpp" "src/CMakeFiles/gridmutex_workload.dir/workload/thread_pool.cpp.o" "gcc" "src/CMakeFiles/gridmutex_workload.dir/workload/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gridmutex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridmutex_mutex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridmutex_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridmutex_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmutex_workload.dir/workload/app_process.cpp.o"
+  "CMakeFiles/gridmutex_workload.dir/workload/app_process.cpp.o.d"
+  "CMakeFiles/gridmutex_workload.dir/workload/cli.cpp.o"
+  "CMakeFiles/gridmutex_workload.dir/workload/cli.cpp.o.d"
+  "CMakeFiles/gridmutex_workload.dir/workload/experiment.cpp.o"
+  "CMakeFiles/gridmutex_workload.dir/workload/experiment.cpp.o.d"
+  "CMakeFiles/gridmutex_workload.dir/workload/report.cpp.o"
+  "CMakeFiles/gridmutex_workload.dir/workload/report.cpp.o.d"
+  "CMakeFiles/gridmutex_workload.dir/workload/runner.cpp.o"
+  "CMakeFiles/gridmutex_workload.dir/workload/runner.cpp.o.d"
+  "CMakeFiles/gridmutex_workload.dir/workload/thread_pool.cpp.o"
+  "CMakeFiles/gridmutex_workload.dir/workload/thread_pool.cpp.o.d"
+  "libgridmutex_workload.a"
+  "libgridmutex_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmutex_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

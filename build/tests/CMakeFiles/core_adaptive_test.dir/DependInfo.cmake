@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_adaptive_test.cpp" "tests/CMakeFiles/core_adaptive_test.dir/core_adaptive_test.cpp.o" "gcc" "tests/CMakeFiles/core_adaptive_test.dir/core_adaptive_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gridmutex_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridmutex_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridmutex_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridmutex_mutex.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridmutex_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gridmutex_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_coordinator_test.dir/core_coordinator_test.cpp.o"
+  "CMakeFiles/core_coordinator_test.dir/core_coordinator_test.cpp.o.d"
+  "core_coordinator_test"
+  "core_coordinator_test.pdb"
+  "core_coordinator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_coordinator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

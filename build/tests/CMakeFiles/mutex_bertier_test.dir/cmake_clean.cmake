@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_bertier_test.dir/mutex_bertier_test.cpp.o"
+  "CMakeFiles/mutex_bertier_test.dir/mutex_bertier_test.cpp.o.d"
+  "mutex_bertier_test"
+  "mutex_bertier_test.pdb"
+  "mutex_bertier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_bertier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

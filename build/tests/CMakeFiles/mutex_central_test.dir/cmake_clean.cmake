@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_central_test.dir/mutex_central_test.cpp.o"
+  "CMakeFiles/mutex_central_test.dir/mutex_central_test.cpp.o.d"
+  "mutex_central_test"
+  "mutex_central_test.pdb"
+  "mutex_central_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_central_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_conformance_test.dir/mutex_conformance_test.cpp.o"
+  "CMakeFiles/mutex_conformance_test.dir/mutex_conformance_test.cpp.o.d"
+  "mutex_conformance_test"
+  "mutex_conformance_test.pdb"
+  "mutex_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_endpoint_test.dir/mutex_endpoint_test.cpp.o"
+  "CMakeFiles/mutex_endpoint_test.dir/mutex_endpoint_test.cpp.o.d"
+  "mutex_endpoint_test"
+  "mutex_endpoint_test.pdb"
+  "mutex_endpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_endpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

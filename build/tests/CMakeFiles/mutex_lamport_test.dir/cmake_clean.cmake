@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_lamport_test.dir/mutex_lamport_test.cpp.o"
+  "CMakeFiles/mutex_lamport_test.dir/mutex_lamport_test.cpp.o.d"
+  "mutex_lamport_test"
+  "mutex_lamport_test.pdb"
+  "mutex_lamport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_lamport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

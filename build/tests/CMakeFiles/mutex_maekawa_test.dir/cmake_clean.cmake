@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_maekawa_test.dir/mutex_maekawa_test.cpp.o"
+  "CMakeFiles/mutex_maekawa_test.dir/mutex_maekawa_test.cpp.o.d"
+  "mutex_maekawa_test"
+  "mutex_maekawa_test.pdb"
+  "mutex_maekawa_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_maekawa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

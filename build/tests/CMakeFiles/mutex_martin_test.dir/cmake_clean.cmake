@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_martin_test.dir/mutex_martin_test.cpp.o"
+  "CMakeFiles/mutex_martin_test.dir/mutex_martin_test.cpp.o.d"
+  "mutex_martin_test"
+  "mutex_martin_test.pdb"
+  "mutex_martin_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_martin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

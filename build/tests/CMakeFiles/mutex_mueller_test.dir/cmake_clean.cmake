@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_mueller_test.dir/mutex_mueller_test.cpp.o"
+  "CMakeFiles/mutex_mueller_test.dir/mutex_mueller_test.cpp.o.d"
+  "mutex_mueller_test"
+  "mutex_mueller_test.pdb"
+  "mutex_mueller_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_mueller_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

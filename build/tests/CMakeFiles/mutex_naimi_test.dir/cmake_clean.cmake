@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_naimi_test.dir/mutex_naimi_test.cpp.o"
+  "CMakeFiles/mutex_naimi_test.dir/mutex_naimi_test.cpp.o.d"
+  "mutex_naimi_test"
+  "mutex_naimi_test.pdb"
+  "mutex_naimi_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_naimi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_raymond_test.dir/mutex_raymond_test.cpp.o"
+  "CMakeFiles/mutex_raymond_test.dir/mutex_raymond_test.cpp.o.d"
+  "mutex_raymond_test"
+  "mutex_raymond_test.pdb"
+  "mutex_raymond_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_raymond_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_ricart_test.dir/mutex_ricart_test.cpp.o"
+  "CMakeFiles/mutex_ricart_test.dir/mutex_ricart_test.cpp.o.d"
+  "mutex_ricart_test"
+  "mutex_ricart_test.pdb"
+  "mutex_ricart_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_ricart_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mutex_suzuki_test.dir/mutex_suzuki_test.cpp.o"
+  "CMakeFiles/mutex_suzuki_test.dir/mutex_suzuki_test.cpp.o.d"
+  "mutex_suzuki_test"
+  "mutex_suzuki_test.pdb"
+  "mutex_suzuki_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mutex_suzuki_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/property_chaos_test.dir/property_chaos_test.cpp.o"
+  "CMakeFiles/property_chaos_test.dir/property_chaos_test.cpp.o.d"
+  "property_chaos_test"
+  "property_chaos_test.pdb"
+  "property_chaos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/property_chaos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_runtime_test.dir/rt_runtime_test.cpp.o"
+  "CMakeFiles/rt_runtime_test.dir/rt_runtime_test.cpp.o.d"
+  "rt_runtime_test"
+  "rt_runtime_test.pdb"
+  "rt_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_app_process_test.dir/workload_app_process_test.cpp.o"
+  "CMakeFiles/workload_app_process_test.dir/workload_app_process_test.cpp.o.d"
+  "workload_app_process_test"
+  "workload_app_process_test.pdb"
+  "workload_app_process_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_app_process_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

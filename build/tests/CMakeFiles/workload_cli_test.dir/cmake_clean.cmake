@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_cli_test.dir/workload_cli_test.cpp.o"
+  "CMakeFiles/workload_cli_test.dir/workload_cli_test.cpp.o.d"
+  "workload_cli_test"
+  "workload_cli_test.pdb"
+  "workload_cli_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_cli_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_experiment_test.dir/workload_experiment_test.cpp.o"
+  "CMakeFiles/workload_experiment_test.dir/workload_experiment_test.cpp.o.d"
+  "workload_experiment_test"
+  "workload_experiment_test.pdb"
+  "workload_experiment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_experiment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_report_test.dir/workload_report_test.cpp.o"
+  "CMakeFiles/workload_report_test.dir/workload_report_test.cpp.o.d"
+  "workload_report_test"
+  "workload_report_test.pdb"
+  "workload_report_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_report_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_runner_test.dir/workload_runner_test.cpp.o"
+  "CMakeFiles/workload_runner_test.dir/workload_runner_test.cpp.o.d"
+  "workload_runner_test"
+  "workload_runner_test.pdb"
+  "workload_runner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_runner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

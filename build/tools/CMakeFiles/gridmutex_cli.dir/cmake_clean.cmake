@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gridmutex_cli.dir/gridmutex_cli.cpp.o"
+  "CMakeFiles/gridmutex_cli.dir/gridmutex_cli.cpp.o.d"
+  "gridmutex_cli"
+  "gridmutex_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gridmutex_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
