@@ -1,0 +1,78 @@
+// Small-N model checking by exhaustive delivery-order exploration.
+//
+// The simulator is single-threaded and deterministic: given a configuration
+// and a seed, the only freedom the DES semantics leave is which member of a
+// time-tied event set fires first. Every adversarial delivery order of a
+// protocol therefore corresponds to some sequence of tie-set choices — and
+// with identical link latencies, every cross-pair message race lands in a
+// tie-set. `model_check` drives a depth-first search over those choice
+// sequences: each schedule is one full, cheap re-run of the scenario from
+// scratch (replaying the decision prefix reproduces the state exactly), and
+// the search backtracks over the last undecided choice until the tree is
+// exhausted or a cap is hit.
+//
+// A scenario reports "" when the run was safe (ProtocolChecker clean) and
+// live (every request granted, queue drained); anything else is a
+// diagnostic and the harness stops with the offending decision path.
+//
+// Feasible for N <= 4 participants and 1-2 critical sections each; the
+// state space is factorial in the tie-set sizes, so the caps matter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace gmx {
+
+class Simulator;
+
+struct ModelCheckOptions {
+  /// Stop after this many schedules even if the tree is not exhausted.
+  std::uint64_t max_schedules = 100'000;
+  /// Per-run guard: choices beyond this depth follow the default order and
+  /// are not branched over (the result is then reported as not exhausted).
+  std::size_t max_choice_depth = 50'000;
+};
+
+struct ModelCheckResult {
+  std::uint64_t schedules = 0;      // complete runs executed
+  std::uint64_t choice_points = 0;  // branch points encountered, summed
+  bool exhausted = false;           // the whole tree fit under the caps
+  bool violation = false;
+  std::string diagnostic;              // first failing run's report
+  std::vector<std::size_t> schedule;   // decision path of the failing run
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One run of the scenario under a controlled delivery order. The callable
+/// receives a fresh Simulator (with the exploring tie-breaker already
+/// installed), builds the world, runs it to completion, and returns a
+/// diagnostic string — "" means this schedule was safe and live.
+using Scenario = std::function<std::string(Simulator&)>;
+
+[[nodiscard]] ModelCheckResult model_check(const Scenario& scenario,
+                                           const ModelCheckOptions& opt = {});
+
+/// Canned scenarios -----------------------------------------------------
+
+/// Flat instance of `algorithm`: `n` participants, each performing
+/// `cs_per_rank` critical sections, all requesting at t=0. Identical link
+/// latencies (so every cross-pair delivery order is explored) with per-pair
+/// FIFO preserved (the classical algorithms assume channel FIFO-ness).
+[[nodiscard]] Scenario flat_scenario(std::string algorithm, int n,
+                                     int cs_per_rank);
+
+/// Two-level composition over `clusters` x `apps_per_cluster` applications,
+/// every application performing `cs_per_app` critical sections. The checker
+/// watches all intra instances, the inter instance, every coordinator and
+/// the privilege invariant.
+[[nodiscard]] Scenario composition_scenario(std::string intra,
+                                            std::string inter,
+                                            std::uint32_t clusters,
+                                            std::uint32_t apps_per_cluster,
+                                            int cs_per_app);
+
+}  // namespace gmx

@@ -1,0 +1,187 @@
+// Omniscient protocol checker (the correctness layer under every claim).
+//
+// The paper's argument is that unmodified token algorithms stay safe and
+// live when composed hierarchically. A per-run CS counter (SafetyMonitor)
+// only witnesses the end effect; this checker watches the protocol itself.
+// It attaches to every endpoint and coordinator of a run and, after *every*
+// simulator event — the instants at which global state is consistent —
+// verifies the cross-participant invariants:
+//
+//   - token uniqueness: per token-algorithm instance, at most one
+//     participant with holds_token(); zero holders only while a message of
+//     that instance is in flight (the token is on the wire);
+//   - CS exclusion: at most one participant of an instance in CS;
+//   - Fig. 1(a) automaton legality on every participant state change
+//     (NO_REQ → REQ → CS → NO_REQ, nothing else);
+//   - coordinator automaton legality on every transition
+//     (OUT → WAIT_FOR_IN → IN → WAIT_FOR_OUT → OUT, paper Fig. 2);
+//   - coordinator privilege: at most one coordinator of a composition in
+//     {IN, WAIT_FOR_OUT} — the paper's global safety argument;
+//   - request conservation: every request_cs() is granted within a
+//     configurable simulated-time bound (a liveness watchdog that converts
+//     starvation into a diagnostic naming the stuck rank and instance);
+//   - message conservation: sent + duplicated == delivered + dropped +
+//     in-flight at every instant (nothing delivered twice or vanished), and
+//     no delivery to a node outside the destination instance.
+//
+// Ownership discipline: the checker installs hooks into the simulator, the
+// network, the endpoints and the coordinators, and removes them in its
+// destructor. Declare it AFTER the objects it watches (so it dies first),
+// or keep it alive until after they are gone is a use-after-free.
+//
+// Cost: O(sum of attached instance sizes) per event. Meant for tests, the
+// model checker, and checker-armed experiment runs — not for the paper-
+// scale measurement sweeps (arm those explicitly via
+// ExperimentConfig::check_protocol when auditing).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "gridmutex/core/composition.hpp"
+#include "gridmutex/core/coordinator.hpp"
+#include "gridmutex/mutex/endpoint.hpp"
+#include "gridmutex/net/network.hpp"
+#include "gridmutex/sim/simulator.hpp"
+
+namespace gmx {
+
+struct CheckerOptions {
+  /// Liveness watchdog: a request outstanding longer than this simulated
+  /// time is reported as starvation. Choose generously — a sound bound for
+  /// the fair algorithms is participants × (CS hold + a few RTTs) × CSes
+  /// per participant. Zero disables the watchdog.
+  SimDuration grant_bound = SimDuration::sec(120);
+  /// Abort the process on the first violation (experiment runs must not
+  /// silently produce numbers from an unsafe run). False lets tests and the
+  /// model checker observe violations.
+  bool abort_on_violation = false;
+  /// Keep at most this many violations (the first is always kept).
+  std::size_t max_violations = 16;
+};
+
+class ProtocolChecker {
+ public:
+  struct Violation {
+    enum class Kind {
+      kTokenDuplicated,
+      kTokenLost,
+      kOverlappingCs,
+      kIllegalCsTransition,
+      kIllegalCoordinatorTransition,
+      kPrivilegeOverlap,
+      kStarvation,
+      kMessageNonConservation,
+      kForeignDelivery,
+    };
+    Kind kind;
+    SimTime time;
+    std::string instance;  // instance or coordinator name
+    int rank = -1;         // primary rank involved, -1 when not applicable
+    std::string detail;    // human diagnostic naming every rank involved
+
+    [[nodiscard]] std::string to_string() const;
+  };
+
+  explicit ProtocolChecker(Simulator& sim, CheckerOptions opt = {});
+  ~ProtocolChecker();
+
+  ProtocolChecker(const ProtocolChecker&) = delete;
+  ProtocolChecker& operator=(const ProtocolChecker&) = delete;
+
+  /// Arms the message-conservation equation and the foreign-delivery tap.
+  void attach_network(Network& net);
+
+  /// Registers one algorithm instance: `endpoints[rank]` for every rank,
+  /// all sharing one ProtocolId. `token_based` governs the token rules
+  /// (permission-based instances get only the CS-level checks).
+  void attach_instance(std::string name,
+                       std::span<MutexEndpoint* const> endpoints,
+                       bool token_based);
+
+  /// Registers one coordinator for Fig. 1(b) automaton legality.
+  void attach_coordinator(std::string name, Coordinator& coordinator);
+
+  /// Registers a set of coordinators bridged by one inter instance: at most
+  /// one of them may be privileged (IN / WAIT_FOR_OUT) at any instant.
+  void attach_privilege_group(std::string name,
+                              std::vector<const Coordinator*> group);
+
+  /// Convenience: attaches a whole two-level composition — its inter
+  /// instance, every intra instance, every coordinator, and the privilege
+  /// group over all coordinators.
+  void attach_composition(Composition& comp);
+
+  /// Transition feed — normally driven by the installed hooks; public so
+  /// mutation tests can probe the judgement directly.
+  void report_cs_transition(const std::string& instance, int rank,
+                            CsState from, CsState to);
+  void report_coordinator_transition(const std::string& name,
+                                     Coordinator::State from,
+                                     Coordinator::State to);
+
+  [[nodiscard]] bool ok() const { return violations_.empty(); }
+  [[nodiscard]] const std::vector<Violation>& violations() const {
+    return violations_;
+  }
+  /// Number of post-event sweeps performed.
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_; }
+  /// Total violations observed (may exceed the stored list's cap).
+  [[nodiscard]] std::uint64_t violation_count() const {
+    return violation_count_;
+  }
+  /// Multi-line rendering of every stored violation; "" when ok().
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  struct Instance {
+    std::string name;
+    ProtocolId protocol = 0;
+    bool token_based = false;
+    std::vector<MutexEndpoint*> endpoints;
+    std::unordered_set<NodeId> nodes;
+    std::unordered_map<int, SimTime> outstanding;  // rank -> requested_at
+    // Sweep-detected conditions persist across events; flag them on the
+    // rising edge only, so one bug yields one diagnostic.
+    bool overlap_flagged = false;
+    bool token_flagged = false;
+  };
+
+  void after_event();
+  void sweep_instance(Instance& inst);
+  void check_conservation();
+  void on_delivery(const Message& msg);
+  void on_cs_transition(Instance& inst, int rank, CsState from, CsState to);
+  void add_violation(Violation v);
+
+  Simulator& sim_;
+  CheckerOptions opt_;
+  Network* net_ = nullptr;
+  std::vector<std::unique_ptr<Instance>> instances_;  // stable addresses
+  std::unordered_map<ProtocolId, Instance*> by_protocol_;
+  struct CoordinatorSlot {
+    std::string name;
+    Coordinator* coordinator;
+  };
+  std::vector<CoordinatorSlot> coordinators_;
+  struct PrivilegeGroup {
+    std::string name;
+    std::vector<const Coordinator*> group;
+    bool flagged = false;
+  };
+  std::vector<PrivilegeGroup> privilege_groups_;
+
+  std::vector<Violation> violations_;
+  std::uint64_t violation_count_ = 0;
+  std::uint64_t checks_ = 0;
+  bool conservation_flagged_ = false;
+};
+
+[[nodiscard]] std::string_view to_string(ProtocolChecker::Violation::Kind k);
+
+}  // namespace gmx

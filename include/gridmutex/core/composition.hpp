@@ -66,6 +66,12 @@ class Composition {
 
   [[nodiscard]] Coordinator& coordinator(ClusterId c);
   [[nodiscard]] const Coordinator& coordinator(ClusterId c) const;
+
+  /// Analysis accessors (analysis/protocol_checker.hpp): the rank-ordered
+  /// endpoints of one intra instance (rank 0 = coordinator) and of the
+  /// inter instance (rank = cluster id).
+  [[nodiscard]] std::vector<MutexEndpoint*> intra_instance(ClusterId c);
+  [[nodiscard]] std::vector<MutexEndpoint*> inter_instance();
   [[nodiscard]] std::uint32_t cluster_count() const {
     return std::uint32_t(coordinators_.size());
   }

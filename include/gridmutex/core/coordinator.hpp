@@ -95,6 +95,12 @@ class Coordinator {
       std::function<void(const Coordinator&, State from, State to)>;
   void set_transition_hook(TransitionHook hook) { hook_ = std::move(hook); }
 
+  /// Separate slot for the protocol checker (analysis/protocol_checker.hpp)
+  /// so arming a run never displaces a test's or tracer's hook.
+  void set_checker_hook(TransitionHook hook) {
+    checker_hook_ = std::move(hook);
+  }
+
  private:
   void on_intra_granted();
   void on_intra_pending();
@@ -118,6 +124,7 @@ class Coordinator {
   std::uint64_t inter_acquisitions_ = 0;
   std::uint64_t transitions_ = 0;
   TransitionHook hook_;
+  TransitionHook checker_hook_;
 };
 
 [[nodiscard]] std::string_view to_string(Coordinator::State s);

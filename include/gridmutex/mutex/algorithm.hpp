@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string_view>
 
@@ -128,12 +129,23 @@ class MutexAlgorithm {
   [[nodiscard]] CsState state() const { return state_; }
   [[nodiscard]] bool in_cs() const { return state_ == CsState::kInCs; }
 
+  /// Analysis tap (analysis/protocol_checker.hpp): fires on every Fig. 1(a)
+  /// state change with the exact (from, to) pair, including any transition
+  /// an algorithm performs outside the protected helpers — which is exactly
+  /// what an omniscient checker must see to judge automaton legality.
+  using StateHook = std::function<void(CsState from, CsState to)>;
+  void set_state_hook(StateHook hook) { state_hook_ = std::move(hook); }
+
  protected:
   [[nodiscard]] MutexContext& ctx() const;
   [[nodiscard]] MutexObserver& observer() const;
   [[nodiscard]] bool attached() const { return ctx_ != nullptr; }
 
-  void set_state(CsState s) { state_ = s; }
+  void set_state(CsState s) {
+    const CsState from = state_;
+    state_ = s;
+    if (state_hook_ && from != s) state_hook_(from, s);
+  }
 
   /// Transition helpers shared by all implementations; they enforce the
   /// Fig. 1(a) automaton.
@@ -145,6 +157,7 @@ class MutexAlgorithm {
   MutexContext* ctx_ = nullptr;
   MutexObserver* obs_ = nullptr;
   CsState state_ = CsState::kIdle;
+  StateHook state_hook_;
 };
 
 }  // namespace gmx

@@ -105,6 +105,11 @@ class Network {
 
   void set_tracer(Tracer t) { tracer_ = std::move(t); }
 
+  /// Checker tap (analysis/protocol_checker.hpp): observes every delivery
+  /// just like a tracer, but in its own slot so arming the checker never
+  /// displaces a user-installed tracer.
+  void set_delivery_tap(Tracer t) { delivery_tap_ = std::move(t); }
+
   [[nodiscard]] const MessageCounters& counters() const { return counters_; }
   /// Per-protocol sent-message counts (diagnostics, §4.6 analyses).
   [[nodiscard]] std::uint64_t sent_by_protocol(ProtocolId p) const;
@@ -140,6 +145,7 @@ class Network {
   double dup_p_ = 0.0;
   SimDuration reorder_spread_ = SimDuration::ns(0);
   Tracer tracer_;
+  Tracer delivery_tap_;
 };
 
 }  // namespace gmx

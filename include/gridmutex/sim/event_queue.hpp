@@ -57,6 +57,17 @@ class EventQueue {
   };
   Entry pop();
 
+  /// Number of live events tied at the earliest time (the *tie-set*).
+  /// Precondition: !empty(). O(heap size) — meant for the model-check
+  /// harness, not the hot pop path.
+  [[nodiscard]] std::size_t tie_count();
+
+  /// Extracts the k-th member of the tie-set, ordered by id (so
+  /// pop_nth(0) == pop()). Precondition: k < tie_count(). This is the
+  /// reorder point the model checker permutes: every member of the tie-set
+  /// is a legal "next event" under the DES semantics.
+  Entry pop_nth(std::size_t k);
+
   /// Drops every pending event (cancelled ids are forgotten too).
   void clear();
 

@@ -62,6 +62,23 @@ class Simulator {
   /// tests against livelock bugs (e.g. two nodes ping-ponging a message).
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
 
+  /// Analysis hook (analysis/protocol_checker.hpp): invoked after every
+  /// event callback returns, i.e. at the instants where global state is
+  /// consistent and cross-participant invariants must hold. One slot; unset
+  /// by default and free when unset.
+  void set_post_event_hook(std::function<void()> hook) {
+    post_event_ = std::move(hook);
+  }
+
+  /// Reorder hook (analysis/model_check.hpp): when several events tie at
+  /// the earliest time, the chooser picks which fires next (index into the
+  /// id-ordered tie-set of size `n`, i.e. 0 reproduces the default order).
+  /// Every member of a tie-set is a legal next event under DES semantics,
+  /// so permuting the choice explores exactly the adversarial delivery
+  /// orders. Unset = deterministic scheduling order.
+  using TieBreaker = std::function<std::size_t(std::size_t n)>;
+  void set_tie_breaker(TieBreaker chooser) { chooser_ = std::move(chooser); }
+
  private:
   bool step();  // returns false when nothing ran
 
@@ -70,6 +87,8 @@ class Simulator {
   std::uint64_t processed_ = 0;
   std::uint64_t event_limit_ = std::numeric_limits<std::uint64_t>::max();
   bool stop_requested_ = false;
+  std::function<void()> post_event_;
+  TieBreaker chooser_;
 };
 
 }  // namespace gmx

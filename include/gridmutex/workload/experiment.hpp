@@ -62,6 +62,17 @@ struct ExperimentConfig {
   WorkloadParams workload;
   std::uint64_t seed = 1;
 
+  /// Arms the omniscient ProtocolChecker (analysis/protocol_checker.hpp) on
+  /// the run: every cross-participant invariant is re-verified after every
+  /// simulator event, and any violation aborts loudly with a diagnostic
+  /// naming the instance and ranks. Costs roughly O(participants) per
+  /// event — meant for audit runs and tests, off for measurement sweeps.
+  /// (kFlat and kComposition runs get full instance coverage; kMultiLevel
+  /// runs get coordinator-automaton and network-conservation coverage.)
+  bool check_protocol = false;
+  /// Liveness watchdog bound used when check_protocol is set.
+  SimDuration grant_bound = SimDuration::sec(120);
+
   [[nodiscard]] std::uint32_t application_count() const;
   /// Human-readable series label, e.g. "Naimi-Martin" or "Naimi (flat)".
   [[nodiscard]] std::string label() const;
@@ -81,6 +92,13 @@ struct ExperimentResult {
   SimDuration makespan;                  // simulated completion time
   std::uint64_t events = 0;
   std::uint64_t safety_entries = 0;
+  std::uint64_t safety_violations = 0;
+  /// Diagnostic of the first safety violation (time, instance, ranks) —
+  /// empty on a clean run. Populated for forensics even though
+  /// run_experiment aborts on violations by default.
+  std::string first_violation;
+  /// Post-event invariant sweeps performed (0 unless check_protocol).
+  std::uint64_t invariant_checks = 0;
   int repetitions = 1;
 
   /// Paper metrics.

@@ -1,47 +1,112 @@
 // Global mutual exclusion monitor.
 //
-// Counts application processes currently inside the critical section. Every
-// experiment and example runs with this armed: a protocol bug that ever lets
-// two processes in is caught at the moment it happens, not post-hoc.
+// Tracks the application processes currently inside the critical section.
+// Every experiment and example runs with this armed: a protocol bug that
+// ever lets two processes in is caught at the moment it happens, not
+// post-hoc — and the first violation is recorded with the simulated time,
+// the instance ids and the ranks involved, so the diagnostic names the
+// culprits instead of just counting them.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "gridmutex/sim/assert.hpp"
+#include "gridmutex/sim/time.hpp"
 
 namespace gmx {
 
 class SafetyMonitor {
  public:
+  /// Who is (or was) inside the CS. `instance` is the protocol id of the
+  /// mutex the process entered through, `rank` its rank there; -1 when the
+  /// caller did not say (legacy enter()).
+  struct Occupant {
+    int instance = -1;
+    int rank = -1;
+    SimTime entered_at;
+  };
+
+  /// Forensics of the first violation observed.
+  struct Violation {
+    SimTime time;                  // when the overlapping entry happened
+    Occupant entering;             // the process whose entry violated
+    std::vector<Occupant> inside;  // who was already in the CS
+
+    [[nodiscard]] std::string to_string() const {
+      std::string out = "mutual exclusion violated at " + time.to_string() +
+                        ": " + describe(entering) + " entered while " +
+                        std::to_string(inside.size()) + " inside (";
+      for (std::size_t i = 0; i < inside.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += describe(inside[i]);
+      }
+      return out + ")";
+    }
+
+   private:
+    static std::string describe(const Occupant& o) {
+      if (o.instance < 0 && o.rank < 0) return "<unidentified>";
+      return "instance " + std::to_string(o.instance) + " rank " +
+             std::to_string(o.rank);
+    }
+  };
+
   /// `abort_on_violation` false lets tests observe violations instead of
   /// dying (the default aborts — experiments must not silently produce
   /// numbers from an unsafe run).
   explicit SafetyMonitor(bool abort_on_violation = true)
       : abort_(abort_on_violation) {}
 
-  void enter() {
-    ++in_cs_;
+  void enter(SimTime now = SimTime::zero(), int instance = -1,
+             int rank = -1) {
     ++entries_;
-    if (in_cs_ > 1) {
+    if (!occupants_.empty()) {
       ++violations_;
-      GMX_ASSERT_MSG(!abort_, "mutual exclusion violated: 2 processes in CS");
+      if (!first_violation_) {
+        first_violation_ = Violation{now, Occupant{instance, rank, now},
+                                     occupants_};
+      }
+      if (abort_) {
+        std::fprintf(stderr, "gridmutex safety monitor: %s\n",
+                     first_violation_->to_string().c_str());
+        GMX_ASSERT_MSG(false, "mutual exclusion violated (diagnostic above)");
+      }
     }
+    occupants_.push_back(Occupant{instance, rank, now});
   }
 
-  void exit() {
-    GMX_ASSERT_MSG(in_cs_ > 0, "exit() without matching enter()");
-    --in_cs_;
+  void exit(int instance = -1, int rank = -1) {
+    GMX_ASSERT_MSG(!occupants_.empty(), "exit() without matching enter()");
+    // Remove the matching occupant (newest first); legacy callers that
+    // never identify themselves pop the most recent entry.
+    for (auto it = occupants_.rbegin(); it != occupants_.rend(); ++it) {
+      if ((instance < 0 && rank < 0) ||
+          (it->instance == instance && it->rank == rank)) {
+        occupants_.erase(std::next(it).base());
+        return;
+      }
+    }
+    GMX_ASSERT_MSG(false, "exit() by a process that never entered");
   }
 
-  [[nodiscard]] int in_cs() const { return in_cs_; }
+  [[nodiscard]] int in_cs() const { return int(occupants_.size()); }
   [[nodiscard]] std::uint64_t entries() const { return entries_; }
   [[nodiscard]] std::uint64_t violations() const { return violations_; }
+  [[nodiscard]] const std::optional<Violation>& first_violation() const {
+    return first_violation_;
+  }
 
  private:
   bool abort_;
-  int in_cs_ = 0;
+  std::vector<Occupant> occupants_;
   std::uint64_t entries_ = 0;
   std::uint64_t violations_ = 0;
+  std::optional<Violation> first_violation_;
 };
 
 }  // namespace gmx

@@ -1,0 +1,236 @@
+#include "gridmutex/analysis/model_check.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "gridmutex/analysis/protocol_checker.hpp"
+#include "gridmutex/core/composition.hpp"
+#include "gridmutex/mutex/endpoint.hpp"
+#include "gridmutex/mutex/registry.hpp"
+#include "gridmutex/net/network.hpp"
+#include "gridmutex/sim/assert.hpp"
+#include "gridmutex/sim/simulator.hpp"
+
+namespace gmx {
+
+std::string ModelCheckResult::to_string() const {
+  std::string out = std::to_string(schedules) + " schedules, " +
+                    std::to_string(choice_points) + " choice points, " +
+                    (exhausted ? "exhausted" : "capped");
+  if (violation) {
+    out += "\nviolating schedule:";
+    for (std::size_t d : schedule) out += " " + std::to_string(d);
+    out += "\n" + diagnostic;
+  }
+  return out;
+}
+
+ModelCheckResult model_check(const Scenario& scenario,
+                             const ModelCheckOptions& opt) {
+  ModelCheckResult res;
+  std::vector<std::size_t> prefix;  // decisions forced on the next run
+  bool depth_capped = false;
+
+  while (res.schedules < opt.max_schedules) {
+    // (chosen, options) per branch point of this run, in order.
+    std::vector<std::pair<std::size_t, std::size_t>> path;
+    Simulator sim;
+    sim.set_tie_breaker([&](std::size_t n) -> std::size_t {
+      if (path.size() >= opt.max_choice_depth) {
+        depth_capped = true;
+        return 0;  // follow the default order, do not branch
+      }
+      std::size_t pick = 0;
+      if (path.size() < prefix.size()) {
+        pick = prefix[path.size()];
+        // The sim is deterministic: replaying a prefix must reproduce the
+        // same tie-sets, so a recorded decision always stays in range.
+        GMX_ASSERT_MSG(pick < n, "model check replay diverged");
+      }
+      path.emplace_back(pick, n);
+      return pick;
+    });
+
+    std::string diag = scenario(sim);
+    ++res.schedules;
+    res.choice_points += path.size();
+
+    if (!diag.empty()) {
+      res.violation = true;
+      res.diagnostic = std::move(diag);
+      res.schedule.reserve(path.size());
+      for (const auto& [chosen, options] : path) {
+        (void)options;
+        res.schedule.push_back(chosen);
+      }
+      return res;
+    }
+
+    // Backtrack: advance the rightmost decision that still has unexplored
+    // siblings; drop everything after it.
+    std::size_t j = path.size();
+    bool found = false;
+    while (j > 0) {
+      --j;
+      if (path[j].first + 1 < path[j].second) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      res.exhausted = !depth_capped;
+      return res;
+    }
+    prefix.clear();
+    prefix.reserve(j + 1);
+    for (std::size_t t = 0; t < j; ++t) prefix.push_back(path[t].first);
+    prefix.push_back(path[j].first + 1);
+  }
+  return res;  // schedule cap hit; exhausted stays false
+}
+
+namespace {
+
+/// Self-driving request/hold/release loop for one endpoint, used by both
+/// canned scenarios. Holds for a fixed 1 ms, re-requests after 1 ms.
+struct ScenarioDriver {
+  Simulator* sim = nullptr;
+  MutexEndpoint* ep = nullptr;
+  int remaining = 0;
+  int granted = 0;
+
+  void arm() {
+    ep->set_callbacks(MutexCallbacks{[this] { on_granted(); }, {}});
+  }
+  void kickoff() {
+    sim->schedule_after(SimDuration::ns(0), [this] { ep->request_cs(); });
+  }
+  void on_granted() {
+    ++granted;
+    sim->schedule_after(SimDuration::ms(1), [this] {
+      ep->release_cs();
+      if (--remaining > 0) {
+        sim->schedule_after(SimDuration::ms(1),
+                            [this] { ep->request_cs(); });
+      }
+    });
+  }
+};
+
+std::string check_drivers(const std::vector<ScenarioDriver>& drivers,
+                          int expected_each, const Network& net,
+                          const ProtocolChecker& checker) {
+  std::string diag = checker.summary();
+  for (std::size_t i = 0; i < drivers.size(); ++i) {
+    if (drivers[i].granted != expected_each) {
+      if (!diag.empty()) diag += "\n";
+      diag += "deadlock/starvation: driver " + std::to_string(i) +
+              " completed " + std::to_string(drivers[i].granted) + "/" +
+              std::to_string(expected_each) + " critical sections";
+    }
+    if (drivers[i].ep->state() != CsState::kIdle) {
+      if (!diag.empty()) diag += "\n";
+      diag += "driver " + std::to_string(i) +
+              " did not end idle (state " +
+              std::string(to_string(drivers[i].ep->state())) + ")";
+    }
+  }
+  if (net.in_flight() != 0) {
+    if (!diag.empty()) diag += "\n";
+    diag += std::to_string(net.in_flight()) +
+            " messages still in flight after drain";
+  }
+  return diag;
+}
+
+}  // namespace
+
+Scenario flat_scenario(std::string algorithm, int n, int cs_per_rank) {
+  GMX_ASSERT(n >= 2 && cs_per_rank >= 1);
+  return [algorithm = std::move(algorithm), n,
+          cs_per_rank](Simulator& sim) -> std::string {
+    Topology topo = Topology::uniform(1, std::uint32_t(n));
+    Network net(sim, topo,
+                std::make_shared<FixedLatencyModel>(SimDuration::ms(1)),
+                Rng(7));
+    sim.set_event_limit(500'000);
+
+    std::vector<NodeId> members(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) members[std::size_t(r)] = NodeId(r);
+    std::vector<std::unique_ptr<MutexEndpoint>> eps;
+    for (int r = 0; r < n; ++r) {
+      eps.push_back(std::make_unique<MutexEndpoint>(
+          net, /*protocol=*/1, members, r, make_algorithm(algorithm),
+          Rng(7).fork(std::uint64_t(r))));
+    }
+    const bool token = is_token_based(algorithm);
+    for (auto& ep : eps) ep->init(token ? 0 : MutexAlgorithm::kNoHolder);
+
+    // Checker after the world: destroyed first, so hook removal is safe.
+    ProtocolChecker checker(sim, CheckerOptions{
+                                     .grant_bound = SimDuration::sec(3600),
+                                     .abort_on_violation = false,
+                                 });
+    checker.attach_network(net);
+    std::vector<MutexEndpoint*> raw;
+    for (auto& ep : eps) raw.push_back(ep.get());
+    checker.attach_instance(algorithm, raw, token);
+
+    std::vector<ScenarioDriver> drivers(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      auto& d = drivers[std::size_t(r)];
+      d.sim = &sim;
+      d.ep = eps[std::size_t(r)].get();
+      d.remaining = cs_per_rank;
+      d.arm();
+      d.kickoff();
+    }
+    sim.run();
+    return check_drivers(drivers, cs_per_rank, net, checker);
+  };
+}
+
+Scenario composition_scenario(std::string intra, std::string inter,
+                              std::uint32_t clusters,
+                              std::uint32_t apps_per_cluster,
+                              int cs_per_app) {
+  GMX_ASSERT(clusters >= 2 && apps_per_cluster >= 1 && cs_per_app >= 1);
+  return [intra = std::move(intra), inter = std::move(inter), clusters,
+          apps_per_cluster, cs_per_app](Simulator& sim) -> std::string {
+    Topology topo = Composition::make_topology(clusters, apps_per_cluster);
+    // Identical LAN and WAN delay: intra and inter messages land in shared
+    // tie-sets, so the search also races the two layers against each other.
+    Network net(sim, topo,
+                std::make_shared<FixedLatencyModel>(SimDuration::ms(1)),
+                Rng(7));
+    sim.set_event_limit(500'000);
+
+    Composition comp(net, CompositionConfig{.intra_algorithm = intra,
+                                            .inter_algorithm = inter,
+                                            .initial_cluster = 0,
+                                            .protocol_base = 1,
+                                            .seed = 7});
+
+    ProtocolChecker checker(sim, CheckerOptions{
+                                     .grant_bound = SimDuration::sec(3600),
+                                     .abort_on_violation = false,
+                                 });
+    checker.attach_network(net);
+    checker.attach_composition(comp);
+
+    std::vector<ScenarioDriver> drivers(comp.app_nodes().size());
+    for (std::size_t i = 0; i < comp.app_nodes().size(); ++i) {
+      auto& d = drivers[i];
+      d.sim = &sim;
+      d.ep = &comp.app_mutex(comp.app_nodes()[i]);
+      d.remaining = cs_per_app;
+      d.arm();
+      d.kickoff();
+    }
+    comp.start();
+    sim.run();
+    return check_drivers(drivers, cs_per_app, net, checker);
+  };
+}
+
+}  // namespace gmx

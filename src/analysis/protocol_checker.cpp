@@ -1,0 +1,327 @@
+#include "gridmutex/analysis/protocol_checker.hpp"
+
+#include <cstdio>
+#include <utility>
+
+#include "gridmutex/mutex/registry.hpp"
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+std::string_view to_string(ProtocolChecker::Violation::Kind k) {
+  using Kind = ProtocolChecker::Violation::Kind;
+  switch (k) {
+    case Kind::kTokenDuplicated:
+      return "token duplicated";
+    case Kind::kTokenLost:
+      return "token lost";
+    case Kind::kOverlappingCs:
+      return "overlapping CS";
+    case Kind::kIllegalCsTransition:
+      return "illegal CS transition";
+    case Kind::kIllegalCoordinatorTransition:
+      return "illegal coordinator transition";
+    case Kind::kPrivilegeOverlap:
+      return "coordinator privilege overlap";
+    case Kind::kStarvation:
+      return "starvation";
+    case Kind::kMessageNonConservation:
+      return "message non-conservation";
+    case Kind::kForeignDelivery:
+      return "foreign delivery";
+  }
+  return "?";
+}
+
+std::string ProtocolChecker::Violation::to_string() const {
+  std::string out = "[" + time.to_string() + "] " +
+                    std::string(gmx::to_string(kind)) + " in " + instance;
+  if (rank >= 0) out += " (rank " + std::to_string(rank) + ")";
+  if (!detail.empty()) out += ": " + detail;
+  return out;
+}
+
+ProtocolChecker::ProtocolChecker(Simulator& sim, CheckerOptions opt)
+    : sim_(sim), opt_(opt) {
+  sim_.set_post_event_hook([this] { after_event(); });
+}
+
+ProtocolChecker::~ProtocolChecker() {
+  sim_.set_post_event_hook(nullptr);
+  if (net_ != nullptr) net_->set_delivery_tap(nullptr);
+  for (auto& inst : instances_) {
+    for (MutexEndpoint* ep : inst->endpoints)
+      ep->algorithm().set_state_hook(nullptr);
+  }
+  for (CoordinatorSlot& slot : coordinators_)
+    slot.coordinator->set_checker_hook(nullptr);
+}
+
+void ProtocolChecker::attach_network(Network& net) {
+  GMX_ASSERT_MSG(net_ == nullptr, "attach_network() called twice");
+  net_ = &net;
+  net_->set_delivery_tap(
+      [this](const Message& m, SimTime, SimTime) { on_delivery(m); });
+}
+
+void ProtocolChecker::attach_instance(
+    std::string name, std::span<MutexEndpoint* const> endpoints,
+    bool token_based) {
+  GMX_ASSERT_MSG(!endpoints.empty(), "instance needs at least one endpoint");
+  auto inst = std::make_unique<Instance>();
+  inst->name = std::move(name);
+  inst->protocol = endpoints.front()->protocol();
+  inst->token_based = token_based;
+  for (MutexEndpoint* ep : endpoints) {
+    GMX_ASSERT(ep != nullptr);
+    GMX_ASSERT_MSG(ep->protocol() == inst->protocol,
+                   "endpoints of one instance must share a protocol id");
+    inst->endpoints.push_back(ep);
+    inst->nodes.insert(ep->node());
+  }
+  Instance* raw = inst.get();
+  for (MutexEndpoint* ep : inst->endpoints) {
+    const int rank = ep->rank();
+    ep->algorithm().set_state_hook([this, raw, rank](CsState f, CsState t) {
+      on_cs_transition(*raw, rank, f, t);
+    });
+  }
+  const auto [it, inserted] = by_protocol_.emplace(inst->protocol, raw);
+  (void)it;
+  GMX_ASSERT_MSG(inserted, "protocol id attached twice");
+  instances_.push_back(std::move(inst));
+}
+
+void ProtocolChecker::attach_coordinator(std::string name,
+                                         Coordinator& coordinator) {
+  coordinators_.push_back(CoordinatorSlot{std::move(name), &coordinator});
+  const std::string& key = coordinators_.back().name;
+  coordinator.set_checker_hook(
+      [this, key](const Coordinator&, Coordinator::State f,
+                  Coordinator::State t) {
+        report_coordinator_transition(key, f, t);
+      });
+}
+
+void ProtocolChecker::attach_privilege_group(
+    std::string name, std::vector<const Coordinator*> group) {
+  privilege_groups_.push_back(PrivilegeGroup{std::move(name),
+                                             std::move(group), false});
+}
+
+void ProtocolChecker::attach_composition(Composition& comp) {
+  const CompositionConfig& cfg = comp.config();
+  {
+    const auto inter = comp.inter_instance();
+    attach_instance("inter(" + cfg.inter_algorithm + ")", inter,
+                    is_token_based(cfg.inter_algorithm));
+  }
+  std::vector<const Coordinator*> group;
+  for (ClusterId c = 0; c < comp.cluster_count(); ++c) {
+    const auto intra = comp.intra_instance(c);
+    attach_instance(
+        "intra[" + std::to_string(c) + "](" + cfg.intra_algorithm + ")",
+        intra, is_token_based(cfg.intra_algorithm));
+    attach_coordinator("coord[" + std::to_string(c) + "]",
+                       comp.coordinator(c));
+    group.push_back(&comp.coordinator(c));
+  }
+  attach_privilege_group("composition", std::move(group));
+}
+
+void ProtocolChecker::report_cs_transition(const std::string& instance,
+                                           int rank, CsState from,
+                                           CsState to) {
+  for (auto& inst : instances_) {
+    if (inst->name == instance) {
+      on_cs_transition(*inst, rank, from, to);
+      return;
+    }
+  }
+  // Unknown instance: still judge legality (mutation tests probe this).
+  Instance probe;
+  probe.name = instance;
+  on_cs_transition(probe, rank, from, to);
+}
+
+void ProtocolChecker::on_cs_transition(Instance& inst, int rank, CsState from,
+                                       CsState to) {
+  const bool legal = (from == CsState::kIdle && to == CsState::kRequesting) ||
+                     (from == CsState::kRequesting && to == CsState::kInCs) ||
+                     (from == CsState::kInCs && to == CsState::kIdle);
+  if (!legal) {
+    add_violation(Violation{
+        Violation::Kind::kIllegalCsTransition, sim_.now(), inst.name, rank,
+        std::string(gmx::to_string(from)) + " -> " +
+            std::string(gmx::to_string(to)) +
+            " is not an edge of the Fig. 1(a) automaton"});
+  }
+  if (to == CsState::kRequesting) {
+    inst.outstanding[rank] = sim_.now();
+  } else if (from == CsState::kRequesting) {
+    inst.outstanding.erase(rank);
+  }
+}
+
+void ProtocolChecker::report_coordinator_transition(const std::string& name,
+                                                    Coordinator::State from,
+                                                    Coordinator::State to) {
+  using S = Coordinator::State;
+  const bool legal = (from == S::kOut && to == S::kWaitForIn) ||
+                     (from == S::kWaitForIn && to == S::kIn) ||
+                     (from == S::kIn && to == S::kWaitForOut) ||
+                     (from == S::kWaitForOut && to == S::kOut);
+  if (!legal) {
+    add_violation(Violation{
+        Violation::Kind::kIllegalCoordinatorTransition, sim_.now(), name, -1,
+        std::string(gmx::to_string(from)) + " -> " +
+            std::string(gmx::to_string(to)) +
+            " is not an edge of the Fig. 1(b) automaton"});
+  }
+}
+
+void ProtocolChecker::after_event() {
+  ++checks_;
+  for (auto& inst : instances_) sweep_instance(*inst);
+  for (PrivilegeGroup& pg : privilege_groups_) {
+    int privileged = 0;
+    std::string who;
+    for (const Coordinator* c : pg.group) {
+      if (c->cluster_privileged()) {
+        ++privileged;
+        if (!who.empty()) who += ", ";
+        who += gmx::to_string(c->state());
+      }
+    }
+    if (privileged > 1 && !pg.flagged) {
+      pg.flagged = true;
+      add_violation(Violation{
+          Violation::Kind::kPrivilegeOverlap, sim_.now(), pg.name, -1,
+          std::to_string(privileged) +
+              " coordinators privileged at once (states: " + who + ")"});
+    } else if (privileged <= 1) {
+      pg.flagged = false;
+    }
+  }
+  if (net_ != nullptr) check_conservation();
+}
+
+void ProtocolChecker::sweep_instance(Instance& inst) {
+  int holders = 0;
+  int in_cs = 0;
+  std::string holder_ranks;
+  std::string cs_ranks;
+  for (const MutexEndpoint* ep : inst.endpoints) {
+    if (ep->holds_token()) {
+      ++holders;
+      if (!holder_ranks.empty()) holder_ranks += ", ";
+      holder_ranks += std::to_string(ep->rank());
+    }
+    if (ep->in_cs()) {
+      ++in_cs;
+      if (!cs_ranks.empty()) cs_ranks += ", ";
+      cs_ranks += std::to_string(ep->rank());
+    }
+  }
+  if (in_cs > 1 && !inst.overlap_flagged) {
+    inst.overlap_flagged = true;
+    add_violation(Violation{Violation::Kind::kOverlappingCs, sim_.now(),
+                            inst.name, -1,
+                            std::to_string(in_cs) +
+                                " participants in CS at once (ranks " +
+                                cs_ranks + ")"});
+  } else if (in_cs <= 1) {
+    inst.overlap_flagged = false;
+  }
+  if (inst.token_based) {
+    if (holders > 1 && !inst.token_flagged) {
+      inst.token_flagged = true;
+      add_violation(Violation{Violation::Kind::kTokenDuplicated, sim_.now(),
+                              inst.name, -1,
+                              std::to_string(holders) +
+                                  " token holders at once (ranks " +
+                                  holder_ranks + ")"});
+    } else if (holders == 0 && net_ != nullptr &&
+               net_->in_flight_for(inst.protocol) == 0 &&
+               !inst.token_flagged) {
+      // No holder and nothing of this instance on the wire: the token is
+      // gone for good — no future event can recreate it.
+      inst.token_flagged = true;
+      add_violation(Violation{Violation::Kind::kTokenLost, sim_.now(),
+                              inst.name, -1,
+                              "no holder and no message of this instance in "
+                              "flight"});
+    } else if (holders == 1) {
+      inst.token_flagged = false;
+    }
+  }
+  if (!opt_.grant_bound.is_zero()) {
+    for (auto it = inst.outstanding.begin(); it != inst.outstanding.end();) {
+      const SimDuration waited = sim_.now() - it->second;
+      if (waited > opt_.grant_bound) {
+        add_violation(Violation{
+            Violation::Kind::kStarvation, sim_.now(), inst.name, it->first,
+            "request outstanding for " + waited.to_string() +
+                " (bound " + opt_.grant_bound.to_string() + ")"});
+        it = inst.outstanding.erase(it);  // report each starved rank once
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+void ProtocolChecker::check_conservation() {
+  const MessageCounters& c = net_->counters();
+  const std::uint64_t created = c.sent + c.duplicated;
+  const std::uint64_t accounted = c.delivered + c.dropped + net_->in_flight();
+  if (created != accounted && !conservation_flagged_) {
+    conservation_flagged_ = true;
+    add_violation(Violation{
+        Violation::Kind::kMessageNonConservation, sim_.now(), "network", -1,
+        "sent+duplicated=" + std::to_string(created) +
+            " but delivered+dropped+in_flight=" + std::to_string(accounted) +
+            " (a message was delivered twice or vanished)"});
+  }
+}
+
+void ProtocolChecker::on_delivery(const Message& msg) {
+  const auto it = by_protocol_.find(msg.protocol);
+  if (it == by_protocol_.end()) return;  // not an instance we watch
+  const Instance& inst = *it->second;
+  if (inst.nodes.find(msg.dst) == inst.nodes.end() ||
+      inst.nodes.find(msg.src) == inst.nodes.end()) {
+    add_violation(Violation{
+        Violation::Kind::kForeignDelivery, sim_.now(), inst.name, -1,
+        "message " + std::to_string(msg.src) + " -> " +
+            std::to_string(msg.dst) + " (type " + std::to_string(msg.type) +
+            ") crosses the instance's member set"});
+  }
+}
+
+void ProtocolChecker::add_violation(Violation v) {
+  ++violation_count_;
+  if (violations_.size() < opt_.max_violations)
+    violations_.push_back(v);
+  if (opt_.abort_on_violation) {
+    std::fprintf(stderr, "gridmutex protocol checker: %s\n",
+                 v.to_string().c_str());
+    GMX_ASSERT_MSG(false, "protocol invariant violated (diagnostic above)");
+  }
+}
+
+std::string ProtocolChecker::summary() const {
+  std::string out;
+  for (const Violation& v : violations_) {
+    if (!out.empty()) out += "\n";
+    out += v.to_string();
+  }
+  if (violation_count_ > violations_.size()) {
+    out += "\n(+" +
+           std::to_string(violation_count_ - violations_.size()) +
+           " further violations not stored)";
+  }
+  return out;
+}
+
+}  // namespace gmx

@@ -93,6 +93,21 @@ const Coordinator& Composition::coordinator(ClusterId c) const {
   return *coordinators_[c];
 }
 
+std::vector<MutexEndpoint*> Composition::intra_instance(ClusterId c) {
+  GMX_ASSERT(c < intra_.size());
+  std::vector<MutexEndpoint*> out;
+  out.reserve(intra_[c].size());
+  for (auto& ep : intra_[c]) out.push_back(ep.get());
+  return out;
+}
+
+std::vector<MutexEndpoint*> Composition::inter_instance() {
+  std::vector<MutexEndpoint*> out;
+  out.reserve(inter_.size());
+  for (auto& ep : inter_) out.push_back(ep.get());
+  return out;
+}
+
 std::function<std::string(ProtocolId, std::uint16_t)>
 Composition::trace_labeler() const {
   const ProtocolId inter = inter_protocol();

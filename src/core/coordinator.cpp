@@ -44,6 +44,7 @@ void Coordinator::go(State to) {
   const State from = state_;
   state_ = to;
   ++transitions_;
+  if (checker_hook_) checker_hook_(*this, from, to);
   if (hook_) hook_(*this, from, to);
 }
 

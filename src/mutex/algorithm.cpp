@@ -33,21 +33,21 @@ MutexObserver& MutexAlgorithm::observer() const {
 }
 
 void MutexAlgorithm::begin_request() {
-  GMX_ASSERT_MSG(state_ == CsState::kIdle,
+  GMX_ASSERT_MSG(state() == CsState::kIdle,
                  "request_cs() while already requesting or in CS");
-  state_ = CsState::kRequesting;
+  set_state(CsState::kRequesting);
 }
 
 void MutexAlgorithm::enter_cs_and_notify() {
-  GMX_ASSERT_MSG(state_ == CsState::kRequesting,
+  GMX_ASSERT_MSG(state() == CsState::kRequesting,
                  "CS granted to a participant that was not requesting");
-  state_ = CsState::kInCs;
+  set_state(CsState::kInCs);
   observer().on_cs_granted();
 }
 
 void MutexAlgorithm::begin_release() {
-  GMX_ASSERT_MSG(state_ == CsState::kInCs, "release_cs() outside CS");
-  state_ = CsState::kIdle;
+  GMX_ASSERT_MSG(state() == CsState::kInCs, "release_cs() outside CS");
+  set_state(CsState::kIdle);
 }
 
 }  // namespace gmx

@@ -124,6 +124,7 @@ void Network::deliver(Message msg, SimTime sent_at) {
   --in_flight_;
   --in_flight_by_protocol_[msg.protocol];
   ++counters_.delivered;
+  if (delivery_tap_) delivery_tap_(msg, sent_at, sim_.now());
   if (tracer_) tracer_(msg, sent_at, sim_.now());
   auto& node_handlers = handlers_[msg.dst];
   const auto it = node_handlers.find(msg.protocol);

@@ -64,6 +64,43 @@ EventQueue::Entry EventQueue::pop() {
   return Entry{item.time, item.id, std::move(item.fn)};
 }
 
+std::size_t EventQueue::tie_count() {
+  drop_cancelled_top();
+  GMX_ASSERT_MSG(!heap_.empty(), "tie_count() on empty queue");
+  const SimTime t = heap_.front().time;
+  std::size_t n = 0;
+  for (const HeapItem& h : heap_) {
+    if (h.time == t && cancelled_.find(h.id) == cancelled_.end()) ++n;
+  }
+  return n;
+}
+
+EventQueue::Entry EventQueue::pop_nth(std::size_t k) {
+  drop_cancelled_top();
+  GMX_ASSERT_MSG(!heap_.empty(), "pop_nth() on empty queue");
+  const SimTime t = heap_.front().time;
+  // Select the live tie-set member with the k-th smallest id. Ids grow
+  // monotonically, so id order == scheduling order (pop_nth(0) == pop()).
+  std::vector<std::pair<EventId, std::size_t>> ties;  // (id, heap index)
+  for (std::size_t i = 0; i < heap_.size(); ++i) {
+    const HeapItem& h = heap_[i];
+    if (h.time == t && cancelled_.find(h.id) == cancelled_.end())
+      ties.emplace_back(h.id, i);
+  }
+  GMX_ASSERT_MSG(k < ties.size(), "pop_nth(): k outside the tie-set");
+  std::sort(ties.begin(), ties.end());
+  const std::size_t at = ties[k].second;
+  if (ties[k].first == heap_.front().id) return pop();
+  // Arbitrary-position removal: swap with the back and rebuild. O(n), fine
+  // for model-check queue sizes.
+  HeapItem item = std::move(heap_[at]);
+  if (at + 1 != heap_.size()) heap_[at] = std::move(heap_.back());
+  heap_.pop_back();
+  std::make_heap(heap_.begin(), heap_.end(), later);
+  --live_;
+  return Entry{item.time, item.id, std::move(item.fn)};
+}
+
 void EventQueue::clear() {
   heap_.clear();
   cancelled_.clear();

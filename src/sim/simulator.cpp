@@ -18,13 +18,24 @@ EventId Simulator::schedule_after(SimDuration d, std::function<void()> fn) {
 
 bool Simulator::step() {
   if (queue_.empty()) return false;
-  EventQueue::Entry e = queue_.pop();
+  EventQueue::Entry e = [&] {
+    if (chooser_) {
+      const std::size_t n = queue_.tie_count();
+      if (n > 1) {
+        const std::size_t k = chooser_(n);
+        GMX_ASSERT_MSG(k < n, "tie breaker chose outside the tie-set");
+        return queue_.pop_nth(k);
+      }
+    }
+    return queue_.pop();
+  }();
   GMX_ASSERT(e.time >= now_);
   now_ = e.time;
   ++processed_;
   GMX_ASSERT_MSG(processed_ <= event_limit_,
                  "event limit exceeded — livelock or runaway protocol?");
   e.fn();
+  if (post_event_) post_event_();
   return true;
 }
 

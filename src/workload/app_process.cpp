@@ -42,12 +42,12 @@ void AppProcess::think_then_request() {
 void AppProcess::on_granted() {
   metrics_.obtaining.add(sim_.now() - requested_at_);
   metrics_.obtaining_hist.add((sim_.now() - requested_at_).as_ms());
-  safety_.enter();
+  safety_.enter(sim_.now(), int(mutex_.protocol()), mutex_.rank());
   sim_.schedule_after(params_.alpha, [this] { release_and_continue(); });
 }
 
 void AppProcess::release_and_continue() {
-  safety_.exit();
+  safety_.exit(int(mutex_.protocol()), mutex_.rank());
   mutex_.release_cs();
   ++metrics_.completed_cs;
   active_ = false;

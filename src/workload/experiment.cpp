@@ -3,6 +3,7 @@
 #include <cctype>
 #include <memory>
 
+#include "gridmutex/analysis/protocol_checker.hpp"
 #include "gridmutex/core/composition.hpp"
 #include "gridmutex/mutex/registry.hpp"
 #include "gridmutex/sim/assert.hpp"
@@ -64,6 +65,9 @@ std::string ExperimentConfig::label() const {
 void ExperimentResult::merge(const ExperimentResult& other) {
   GMX_ASSERT(label == other.label);
   total_cs += other.total_cs;
+  safety_violations += other.safety_violations;
+  if (first_violation.empty()) first_violation = other.first_violation;
+  invariant_checks += other.invariant_checks;
   obtaining.merge(other.obtaining);
   obtaining_hist.merge(other.obtaining_hist);
   messages.sent += other.messages.sent;
@@ -141,6 +145,37 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     for (auto& ep : flat) mutexes.push_back(ep.get());
   }
 
+  // The checker is declared after the world it watches so its destructor
+  // (which uninstalls the hooks) runs first.
+  std::unique_ptr<ProtocolChecker> checker;
+  if (cfg.check_protocol) {
+    checker = std::make_unique<ProtocolChecker>(
+        sim, CheckerOptions{.grant_bound = cfg.grant_bound,
+                            .abort_on_violation = true});
+    checker->attach_network(net);
+    if (comp) {
+      checker->attach_composition(*comp);
+    } else if (ml) {
+      // Multi-level internals stay private; cover the coordinator automata
+      // and the privilege invariant per level.
+      for (std::size_t level = 0; level + 1 < ml->levels(); ++level) {
+        std::vector<const Coordinator*> group;
+        for (std::uint32_t g = 0; g < ml->coordinator_count(level); ++g) {
+          Coordinator& co = ml->coordinator(level, g);
+          checker->attach_coordinator("coord[" + std::to_string(level) +
+                                          "][" + std::to_string(g) + "]",
+                                      co);
+          group.push_back(&co);
+        }
+        if (level + 2 == ml->levels())
+          checker->attach_privilege_group("root level", std::move(group));
+      }
+    } else {
+      checker->attach_instance(cfg.flat_algorithm, mutexes,
+                               is_token_based(cfg.flat_algorithm));
+    }
+  }
+
   WorkloadMetrics metrics;
   SafetyMonitor safety;
   std::vector<std::unique_ptr<AppProcess>> processes;
@@ -172,6 +207,10 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
   res.makespan = sim.now() - SimTime::zero();
   res.events = sim.events_processed();
   res.safety_entries = safety.entries();
+  res.safety_violations = safety.violations();
+  if (safety.first_violation())
+    res.first_violation = safety.first_violation()->to_string();
+  if (checker) res.invariant_checks = checker->checks_run();
   if (comp) res.inter_acquisitions = comp->total_inter_acquisitions();
   return res;
 }

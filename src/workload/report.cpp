@@ -91,10 +91,14 @@ void write_csv(std::ostream& out, std::span<const SeriesPoint> points) {
   out << "series,rho,total_cs,obtaining_ms,stddev_ms,relative_stddev,"
          "obtaining_p50_ms,obtaining_p99_ms,"
          "inter_msgs_per_cs,total_msgs_per_cs,inter_bytes_per_cs,"
-         "inter_acquisitions,makespan_ms,repetitions\n";
+         "inter_acquisitions,makespan_ms,repetitions,"
+         "safety_violations,first_violation\n";
   for (const auto& p : points) {
     const ExperimentResult& r = p.result;
     const bool has_hist = r.obtaining_hist.count() > 0;
+    // A comma inside the diagnostic would shear the CSV row.
+    std::string violation = r.first_violation;
+    std::replace(violation.begin(), violation.end(), ',', ';');
     out << p.series << ',' << p.rho << ',' << r.total_cs << ','
         << r.obtaining_ms() << ',' << r.stddev_ms() << ','
         << r.relative_stddev() << ','
@@ -103,7 +107,8 @@ void write_csv(std::ostream& out, std::span<const SeriesPoint> points) {
         << r.inter_msgs_per_cs() << ','
         << r.total_msgs_per_cs() << ',' << r.inter_bytes_per_cs() << ','
         << r.inter_acquisitions << ',' << r.makespan.as_ms() << ','
-        << r.repetitions << "\n";
+        << r.repetitions << ',' << r.safety_violations << ','
+        << violation << "\n";
   }
 }
 

@@ -1,0 +1,213 @@
+// ProtocolChecker on healthy runs: every invariant sweep stays clean over
+// flat instances (token and permission based), full compositions, and
+// checker-armed experiments — and the SafetyMonitor forensics record
+// time/instance/rank detail.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridmutex/analysis/protocol_checker.hpp"
+#include "gridmutex/core/composition.hpp"
+#include "gridmutex/mutex/registry.hpp"
+#include "gridmutex/workload/experiment.hpp"
+#include "gridmutex/workload/safety_monitor.hpp"
+#include "mutex_harness.hpp"
+
+namespace gmx {
+namespace {
+
+using testing::HarnessOptions;
+using testing::MutexHarness;
+
+// ---------------------------------------------------------------- flat runs
+
+class FlatCheckerTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(FlatCheckerTest, HealthyRunIsClean) {
+  const std::string algorithm = GetParam();
+  MutexHarness h(HarnessOptions{.participants = 4, .algorithm = algorithm});
+
+  // Checker declared after the harness: destroyed first, hooks removed
+  // before the endpoints die.
+  ProtocolChecker checker(h.sim(),
+                          CheckerOptions{.grant_bound = SimDuration::sec(60)});
+  checker.attach_network(h.net());
+  std::vector<MutexEndpoint*> eps;
+  for (int r = 0; r < h.size(); ++r) eps.push_back(&h.ep(r));
+  checker.attach_instance(algorithm, eps, is_token_based(algorithm));
+
+  h.set_auto_release(SimDuration::ms(2));
+  for (int r = 0; r < h.size(); ++r) h.drive(r, 3, SimDuration::ms(3));
+  h.run();
+
+  EXPECT_TRUE(checker.ok()) << checker.summary();
+  EXPECT_EQ(checker.violation_count(), 0u);
+  EXPECT_GT(checker.checks_run(), 0u);
+  for (int r = 0; r < h.size(); ++r) EXPECT_EQ(h.grant_count(r), 3);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllAlgorithms, FlatCheckerTest,
+                         ::testing::ValuesIn(algorithm_names()),
+                         [](const auto& info) { return info.param; });
+
+TEST(FlatChecker, CountsOneSweepPerEvent) {
+  MutexHarness h(HarnessOptions{.participants = 3, .algorithm = "naimi"});
+  ProtocolChecker checker(h.sim());
+  checker.attach_network(h.net());
+  std::vector<MutexEndpoint*> eps;
+  for (int r = 0; r < h.size(); ++r) eps.push_back(&h.ep(r));
+  checker.attach_instance("naimi", eps, true);
+
+  h.set_auto_release(SimDuration::ms(1));
+  h.drive(1, 2, SimDuration::ms(1));
+  h.run();
+
+  EXPECT_EQ(checker.checks_run(), h.sim().events_processed());
+}
+
+TEST(FlatChecker, DetachRestoresUncheckedExecution) {
+  MutexHarness h(HarnessOptions{.participants = 3, .algorithm = "naimi"});
+  {
+    ProtocolChecker checker(h.sim());
+    checker.attach_network(h.net());
+    std::vector<MutexEndpoint*> eps;
+    for (int r = 0; r < h.size(); ++r) eps.push_back(&h.ep(r));
+    checker.attach_instance("naimi", eps, true);
+  }
+  // Hooks are gone: the run proceeds as if never watched.
+  h.set_auto_release(SimDuration::ms(1));
+  h.drive(2, 2, SimDuration::ms(1));
+  h.run();
+  EXPECT_EQ(h.grant_count(2), 2);
+  EXPECT_FALSE(h.safety_violated());
+}
+
+// --------------------------------------------------------------- composition
+
+TEST(CompositionChecker, TwoLevelRunIsClean) {
+  Simulator sim;
+  sim.set_event_limit(5'000'000);
+  Topology topo = Composition::make_topology(3, 2);
+  Network net(sim, topo,
+              std::make_shared<FixedLatencyModel>(SimDuration::ms(1)), Rng(5));
+  Composition comp(net, CompositionConfig{.intra_algorithm = "naimi",
+                                          .inter_algorithm = "martin",
+                                          .initial_cluster = 0,
+                                          .protocol_base = 1,
+                                          .seed = 5});
+
+  ProtocolChecker checker(sim,
+                          CheckerOptions{.grant_bound = SimDuration::sec(60)});
+  checker.attach_network(net);
+  checker.attach_composition(comp);
+
+  struct App {
+    Simulator* sim;
+    MutexEndpoint* ep;
+    int remaining;
+    int granted = 0;
+  };
+  std::vector<App> apps;
+  apps.reserve(comp.app_nodes().size());
+  for (NodeId v : comp.app_nodes())
+    apps.push_back(App{&sim, &comp.app_mutex(v), 2});
+  for (auto& a : apps) {
+    a.ep->set_callbacks(MutexCallbacks{[&a] {
+      ++a.granted;
+      a.sim->schedule_after(SimDuration::ms(1), [&a] {
+        a.ep->release_cs();
+        if (--a.remaining > 0) {
+          a.sim->schedule_after(SimDuration::ms(1),
+                                [&a] { a.ep->request_cs(); });
+        }
+      });
+    }, {}});
+    a.sim->schedule_after(SimDuration::us(100), [&a] { a.ep->request_cs(); });
+  }
+  comp.start();
+  sim.run();
+
+  EXPECT_TRUE(checker.ok()) << checker.summary();
+  for (const auto& a : apps) EXPECT_EQ(a.granted, 2);
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
+// ---------------------------------------------------------------- experiment
+
+TEST(ExperimentChecker, ArmedRunReportsSweepsAndStaysClean) {
+  ExperimentConfig cfg;
+  cfg.mode = ExperimentConfig::Mode::kComposition;
+  cfg.intra = "naimi";
+  cfg.inter = "naimi";
+  cfg.clusters = 2;
+  cfg.apps_per_cluster = 3;
+  cfg.latency = LatencySpec::two_level(SimDuration::ms_f(0.5),
+                                       SimDuration::ms(10));
+  cfg.workload.cs_count = 2;
+  cfg.check_protocol = true;
+
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_GT(res.invariant_checks, 0u);
+  EXPECT_EQ(res.invariant_checks, res.events);
+  EXPECT_EQ(res.safety_violations, 0u);
+  EXPECT_TRUE(res.first_violation.empty());
+}
+
+TEST(ExperimentChecker, FlatModeArmsToo) {
+  ExperimentConfig cfg;
+  cfg.mode = ExperimentConfig::Mode::kFlat;
+  cfg.flat_algorithm = "suzuki";
+  cfg.clusters = 2;
+  cfg.apps_per_cluster = 2;
+  cfg.latency = LatencySpec::two_level(SimDuration::ms_f(0.5),
+                                       SimDuration::ms(10));
+  cfg.workload.cs_count = 2;
+  cfg.check_protocol = true;
+
+  const ExperimentResult res = run_experiment(cfg);
+  EXPECT_GT(res.invariant_checks, 0u);
+  EXPECT_EQ(res.safety_violations, 0u);
+}
+
+// ------------------------------------------------------------ SafetyMonitor
+
+TEST(SafetyMonitorDetail, RecordsTimeInstanceAndRanks) {
+  SafetyMonitor mon(/*abort_on_violation=*/false);
+  mon.enter(SimTime::zero() + SimDuration::ms(5), /*instance=*/1, /*rank=*/3);
+  EXPECT_EQ(mon.violations(), 0u);
+  mon.enter(SimTime::zero() + SimDuration::ms(7), /*instance=*/1, /*rank=*/4);
+  ASSERT_EQ(mon.violations(), 1u);
+
+  ASSERT_TRUE(mon.first_violation().has_value());
+  const SafetyMonitor::Violation& v = *mon.first_violation();
+  EXPECT_EQ(v.time, SimTime::zero() + SimDuration::ms(7));
+  EXPECT_EQ(v.entering.instance, 1);
+  EXPECT_EQ(v.entering.rank, 4);
+  ASSERT_EQ(v.inside.size(), 1u);
+  EXPECT_EQ(v.inside[0].rank, 3);
+
+  const std::string s = v.to_string();
+  EXPECT_NE(s.find("rank 4"), std::string::npos) << s;
+  EXPECT_NE(s.find("rank 3"), std::string::npos) << s;
+
+  mon.exit(1, 4);
+  mon.exit(1, 3);
+  EXPECT_EQ(mon.in_cs(), 0);
+  // The first violation is preserved for forensics after the dust settles.
+  EXPECT_TRUE(mon.first_violation().has_value());
+}
+
+TEST(SafetyMonitorDetail, LegacyCallersStillWork) {
+  SafetyMonitor mon(false);
+  mon.enter();
+  EXPECT_EQ(mon.in_cs(), 1);
+  EXPECT_EQ(mon.violations(), 0u);
+  mon.exit();
+  EXPECT_EQ(mon.in_cs(), 0);
+  EXPECT_EQ(mon.entries(), 1u);
+}
+
+}  // namespace
+}  // namespace gmx

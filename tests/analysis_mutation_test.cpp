@@ -1,0 +1,312 @@
+// Mutation tests: seed a protocol bug on purpose and require the analysis
+// layer to catch it. Three mutations from the issue checklist:
+//   1. a grant that duplicates the token (server keeps it while granting),
+//   2. a queued request that is silently dropped (starvation/deadlock),
+//   3. an illegal coordinator transition (automaton edge that does not
+//      exist in paper Fig. 2).
+// Each must be flagged by the ProtocolChecker, and (for the two protocol
+// mutations) found by the model-check harness as well.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridmutex/analysis/model_check.hpp"
+#include "gridmutex/analysis/protocol_checker.hpp"
+#include "gridmutex/mutex/endpoint.hpp"
+#include "gridmutex/net/network.hpp"
+#include "gridmutex/sim/assert.hpp"
+#include "gridmutex/sim/simulator.hpp"
+
+namespace gmx {
+namespace {
+
+// A deliberately breakable central-server mutex: rank 0 is a pure server
+// (it never requests), clients send REQ and wait for GRANT, release with
+// RELEASE. Correct by construction with Fault::kNone; each fault re-creates
+// one classic implementation bug.
+class BreakableCentral final : public MutexAlgorithm {
+ public:
+  enum class Fault {
+    kNone,
+    kDuplicateTokenOnGrant,  // server grants but never gives the token up
+    kDropQueuedRequest,      // a REQ arriving while busy is discarded
+  };
+
+  static constexpr std::uint16_t kReq = 1;
+  static constexpr std::uint16_t kGrant = 2;
+  static constexpr std::uint16_t kRelease = 3;
+
+  explicit BreakableCentral(Fault fault) : fault_(fault) {}
+
+  void init(int holder_rank) override {
+    GMX_ASSERT(holder_rank == 0);
+    if (ctx().self() == 0) have_token_ = true;
+  }
+
+  void request_cs() override {
+    GMX_ASSERT_MSG(ctx().self() != 0, "rank 0 is a pure server here");
+    begin_request();
+    ctx().send(0, kReq, {});
+  }
+
+  void release_cs() override {
+    begin_release();
+    have_token_ = false;
+    ctx().send(0, kRelease, {});
+  }
+
+  void on_message(int from_rank, std::uint16_t type, wire::Reader) override {
+    switch (type) {
+      case kReq:
+        if (have_token_) {
+          grant_to(from_rank);
+        } else if (fault_ != Fault::kDropQueuedRequest) {
+          queue_.push_back(from_rank);
+        }
+        return;
+      case kGrant:
+        have_token_ = true;
+        enter_cs_and_notify();
+        return;
+      case kRelease:
+        have_token_ = true;
+        if (!queue_.empty()) {
+          const int next = queue_.front();
+          queue_.pop_front();
+          grant_to(next);
+        }
+        return;
+      default:
+        GMX_ASSERT_MSG(false, "unknown message type");
+    }
+  }
+
+  [[nodiscard]] bool has_pending_requests() const override {
+    return !queue_.empty();
+  }
+  [[nodiscard]] bool holds_token() const override { return have_token_; }
+  [[nodiscard]] std::string_view name() const override {
+    return "breakable-central";
+  }
+
+ private:
+  void grant_to(int rank) {
+    if (fault_ != Fault::kDuplicateTokenOnGrant) have_token_ = false;
+    ctx().send(rank, kGrant, {});
+  }
+
+  Fault fault_;
+  bool have_token_ = false;
+  std::deque<int> queue_;
+};
+
+/// One server + `clients` clients, all clients requesting at t=0 and doing
+/// one CS each; the checker watches with `grant_bound`. After the run the
+/// world reports the checker summary plus any client that never finished.
+struct BrokenWorld {
+  explicit BrokenWorld(Simulator& sim, BreakableCentral::Fault fault,
+                       int clients, SimDuration grant_bound)
+      : topo(Topology::uniform(1, std::uint32_t(clients) + 1)),
+        net(sim, topo,
+            std::make_shared<FixedLatencyModel>(SimDuration::ms(1)), Rng(3)) {
+    sim.set_event_limit(200'000);
+    const int n = clients + 1;
+    std::vector<NodeId> members(static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) members[std::size_t(r)] = NodeId(r);
+    for (int r = 0; r < n; ++r) {
+      eps.push_back(std::make_unique<MutexEndpoint>(
+          net, /*protocol=*/1, members, r,
+          std::make_unique<BreakableCentral>(fault),
+          Rng(3).fork(std::uint64_t(r))));
+    }
+    for (auto& ep : eps) ep->init(0);
+
+    checker = std::make_unique<ProtocolChecker>(
+        sim, CheckerOptions{.grant_bound = grant_bound,
+                            .abort_on_violation = false});
+    checker->attach_network(net);
+    std::vector<MutexEndpoint*> raw;
+    for (auto& ep : eps) raw.push_back(ep.get());
+    checker->attach_instance("breakable-central", raw, /*token_based=*/true);
+
+    granted.assign(std::size_t(n), 0);
+    Simulator* simp = &sim;
+    for (int r = 1; r < n; ++r) {
+      MutexEndpoint* ep = eps[std::size_t(r)].get();
+      ep->set_callbacks(MutexCallbacks{[this, simp, ep, r] {
+        ++granted[std::size_t(r)];
+        simp->schedule_after(SimDuration::ms(1), [ep] { ep->release_cs(); });
+      }, {}});
+      sim.schedule_after(SimDuration::ns(0), [ep] { ep->request_cs(); });
+    }
+  }
+
+  Topology topo;
+  Network net;
+  std::vector<std::unique_ptr<MutexEndpoint>> eps;
+  std::unique_ptr<ProtocolChecker> checker;  // destroyed before the eps
+  std::vector<int> granted;
+};
+
+bool has_kind(const ProtocolChecker& checker,
+              ProtocolChecker::Violation::Kind kind) {
+  for (const auto& v : checker.violations())
+    if (v.kind == kind) return true;
+  return false;
+}
+
+// ------------------------------------------------- mutation 1: duplication
+
+TEST(Mutation, DuplicatedTokenOnGrantIsFlagged) {
+  Simulator sim;
+  BrokenWorld w(sim, BreakableCentral::Fault::kDuplicateTokenOnGrant,
+                /*clients=*/2, SimDuration::sec(60));
+  sim.run();
+
+  EXPECT_FALSE(w.checker->ok());
+  EXPECT_TRUE(has_kind(*w.checker,
+                       ProtocolChecker::Violation::Kind::kTokenDuplicated))
+      << w.checker->summary();
+  const std::string s = w.checker->summary();
+  EXPECT_NE(s.find("token duplicated"), std::string::npos) << s;
+  EXPECT_NE(s.find("breakable-central"), std::string::npos) << s;
+}
+
+TEST(Mutation, HealthyVariantOfTheSameWorldIsClean) {
+  Simulator sim;
+  BrokenWorld w(sim, BreakableCentral::Fault::kNone, /*clients=*/2,
+                SimDuration::sec(60));
+  sim.run();
+  EXPECT_TRUE(w.checker->ok()) << w.checker->summary();
+  EXPECT_EQ(w.granted[1], 1);
+  EXPECT_EQ(w.granted[2], 1);
+}
+
+// -------------------------------------------- mutation 2: dropped request
+
+TEST(Mutation, DroppedQueuedRequestStarvesAndIsFlagged) {
+  Simulator sim;
+  // Tight liveness bound; the no-op heartbeat below keeps events (and thus
+  // checker sweeps) flowing past it after the protocol has wedged.
+  BrokenWorld w(sim, BreakableCentral::Fault::kDropQueuedRequest,
+                /*clients=*/2, SimDuration::ms(500));
+  for (int tick = 1; tick <= 4; ++tick)
+    sim.schedule_after(SimDuration::ms(400) * tick, [] {});
+  sim.run();
+
+  EXPECT_FALSE(w.checker->ok());
+  EXPECT_TRUE(has_kind(*w.checker,
+                       ProtocolChecker::Violation::Kind::kStarvation))
+      << w.checker->summary();
+  // Exactly one of the two clients got in; the other's REQ was discarded.
+  EXPECT_EQ(w.granted[1] + w.granted[2], 1);
+  // The diagnostic names the starved rank.
+  bool named = false;
+  for (const auto& v : w.checker->violations()) {
+    if (v.kind == ProtocolChecker::Violation::Kind::kStarvation) {
+      EXPECT_EQ(v.instance, "breakable-central");
+      EXPECT_TRUE(v.rank == 1 || v.rank == 2) << v.to_string();
+      named = true;
+    }
+  }
+  EXPECT_TRUE(named);
+}
+
+// ------------------------------- the same mutations under the model checker
+
+Scenario broken_scenario(BreakableCentral::Fault fault, int clients) {
+  return [fault, clients](Simulator& sim) -> std::string {
+    BrokenWorld w(sim, fault, clients, SimDuration::sec(3600));
+    sim.run();
+    std::string diag = w.checker->summary();
+    for (int r = 1; r <= clients; ++r) {
+      if (w.granted[std::size_t(r)] != 1) {
+        if (!diag.empty()) diag += "\n";
+        diag += "deadlock: client " + std::to_string(r) + " completed " +
+                std::to_string(w.granted[std::size_t(r)]) +
+                "/1 critical sections";
+      }
+    }
+    return diag;
+  };
+}
+
+TEST(MutationModelCheck, FindsTheDuplicatedToken) {
+  const ModelCheckResult res = model_check(
+      broken_scenario(BreakableCentral::Fault::kDuplicateTokenOnGrant, 2),
+      ModelCheckOptions{.max_schedules = 200});
+  ASSERT_TRUE(res.violation) << res.to_string();
+  EXPECT_NE(res.diagnostic.find("token duplicated"), std::string::npos)
+      << res.diagnostic;
+}
+
+TEST(MutationModelCheck, FindsTheDroppedRequestDeadlock) {
+  const ModelCheckResult res = model_check(
+      broken_scenario(BreakableCentral::Fault::kDropQueuedRequest, 2),
+      ModelCheckOptions{.max_schedules = 200});
+  ASSERT_TRUE(res.violation) << res.to_string();
+  EXPECT_NE(res.diagnostic.find("deadlock"), std::string::npos)
+      << res.diagnostic;
+}
+
+TEST(MutationModelCheck, HealthyVariantSurvivesTheSameSweep) {
+  const ModelCheckResult res =
+      model_check(broken_scenario(BreakableCentral::Fault::kNone, 2),
+                  ModelCheckOptions{.max_schedules = 200});
+  EXPECT_FALSE(res.violation) << res.to_string();
+}
+
+// -------------------------- mutation 3: illegal coordinator transition
+
+TEST(Mutation, IllegalCoordinatorTransitionIsFlagged) {
+  using S = Coordinator::State;
+  Simulator sim;
+  ProtocolChecker checker(sim, CheckerOptions{.abort_on_violation = false});
+
+  // Every Fig. 2 edge is legal...
+  checker.report_coordinator_transition("coord[0]", S::kOut, S::kWaitForIn);
+  checker.report_coordinator_transition("coord[0]", S::kWaitForIn, S::kIn);
+  checker.report_coordinator_transition("coord[0]", S::kIn, S::kWaitForOut);
+  checker.report_coordinator_transition("coord[0]", S::kWaitForOut, S::kOut);
+  EXPECT_TRUE(checker.ok()) << checker.summary();
+
+  // ...and every skipped or reversed edge is not. OUT -> IN grabs the
+  // privilege without ever requesting the inter token.
+  checker.report_coordinator_transition("coord[0]", S::kOut, S::kIn);
+  EXPECT_FALSE(checker.ok());
+  ASSERT_EQ(checker.violations().size(), 1u);
+  const auto& v = checker.violations().front();
+  EXPECT_EQ(v.kind,
+            ProtocolChecker::Violation::Kind::kIllegalCoordinatorTransition);
+  EXPECT_EQ(v.instance, "coord[0]");
+  EXPECT_NE(v.detail.find("Fig. 1(b)"), std::string::npos) << v.detail;
+
+  checker.report_coordinator_transition("coord[0]", S::kIn, S::kOut);
+  checker.report_coordinator_transition("coord[0]", S::kWaitForIn, S::kOut);
+  EXPECT_EQ(checker.violation_count(), 3u);
+}
+
+TEST(Mutation, IllegalCsTransitionIsFlagged) {
+  Simulator sim;
+  ProtocolChecker checker(sim, CheckerOptions{.abort_on_violation = false});
+
+  checker.report_cs_transition("probe", 2, CsState::kIdle,
+                               CsState::kRequesting);
+  checker.report_cs_transition("probe", 2, CsState::kRequesting,
+                               CsState::kInCs);
+  checker.report_cs_transition("probe", 2, CsState::kInCs, CsState::kIdle);
+  EXPECT_TRUE(checker.ok()) << checker.summary();
+
+  // Entering the CS without requesting skips a Fig. 1(a) edge.
+  checker.report_cs_transition("probe", 2, CsState::kIdle, CsState::kInCs);
+  EXPECT_FALSE(checker.ok());
+  const auto& v = checker.violations().front();
+  EXPECT_EQ(v.kind, ProtocolChecker::Violation::Kind::kIllegalCsTransition);
+  EXPECT_EQ(v.rank, 2);
+}
+
+}  // namespace
+}  // namespace gmx
