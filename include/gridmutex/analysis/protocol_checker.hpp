@@ -78,6 +78,7 @@ class ProtocolChecker {
       kStarvation,
       kMessageNonConservation,
       kForeignDelivery,
+      kRegenerationOverlap,
     };
     Kind kind;
     SimTime time;
@@ -125,6 +126,24 @@ class ProtocolChecker {
                                      Coordinator::State from,
                                      Coordinator::State to);
 
+  /// Recovery-aware judging for an attached token instance (wire this to a
+  /// TokenRecoveryManager; the checker stays ignorant of the fault layer).
+  /// With recovery enabled, a missing token is flagged as lost only after
+  /// `grace` of sustained absence *outside* a regeneration epoch — covering
+  /// the detector's timeout plus probe drift. Choose grace > the manager's
+  /// detect_timeout + a few probe intervals; a loss the manager misses (or
+  /// gives up on) still surfaces, just `grace` later.
+  void enable_recovery(ProtocolId protocol, SimDuration grace);
+
+  /// Regeneration epoch boundary (TokenRecoveryManager::set_epoch_hook →
+  /// here). Inside an open epoch token uniqueness is relaxed — zero holders
+  /// is the expected detected-loss state, and a transient duplicate from a
+  /// late-cancelled round is tolerated — but CS exclusion is NOT: recovery
+  /// must never admit two critical sections. Opening an epoch while one is
+  /// already open is itself a violation (kRegenerationOverlap: at most one
+  /// regeneration in flight per instance).
+  void note_regeneration(ProtocolId protocol, bool open);
+
   [[nodiscard]] bool ok() const { return violations_.empty(); }
   [[nodiscard]] const std::vector<Violation>& violations() const {
     return violations_;
@@ -150,6 +169,10 @@ class ProtocolChecker {
     // rising edge only, so one bug yields one diagnostic.
     bool overlap_flagged = false;
     bool token_flagged = false;
+    // Recovery awareness (enable_recovery / note_regeneration).
+    SimDuration recovery_grace;        // zero = flag losses immediately
+    bool in_regen_epoch = false;
+    SimTime token_missing_since = SimTime::max();
   };
 
   void after_event();

@@ -90,6 +90,18 @@ class Coordinator {
   /// paused and in OUT.
   void rebind_inter(MutexHandle& inter);
 
+  /// Coordinator failover (fault/failover.hpp). fail() models the process
+  /// crash: every endpoint upcall is swallowed until recover(), exactly as
+  /// a dead process misses its callbacks. recover() re-enters the Fig. 2
+  /// automaton: the pre-crash state plus the endpoints' *level* state
+  /// determine which edges were missed, and each is replayed as the legal
+  /// transition it would have been — the replacement coordinator inherits
+  /// the warm protocol state and rejoins the inter instance mid-cycle.
+  void fail();
+  void recover();
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] bool recovered_once() const { return recovered_once_; }
+
   /// Optional hook invoked after every state transition (tests, tracing).
   using TransitionHook =
       std::function<void(const Coordinator&, State from, State to)>;
@@ -117,6 +129,8 @@ class Coordinator {
   State state_ = State::kOut;
   bool started_ = false;
   bool paused_ = false;
+  bool failed_ = false;          // crash window: upcalls swallowed
+  bool recovered_once_ = false;  // tolerate stale deferred grant echoes
   bool want_inter_ = false;       // demand observed while paused
   bool vacate_requested_ = false; // force_vacate() in flight
   bool handover_pending_ = false; // inter granted before intra CS (startup

@@ -1,0 +1,52 @@
+// Coordinator failover for the composition layer.
+//
+// Bridges FaultInjector crash/restart notifications to the Fig. 2
+// automaton: when a coordinator's node crashes, its Coordinator enters the
+// failed window (upcalls swallowed — the process is gone); on restart the
+// replacement coordinator re-enters the automaton via
+// Coordinator::recover(), which replays every missed edge from the
+// endpoints' level state and rejoins the inter instance mid-cycle.
+//
+// In the warm-restart model the "replacement" inherits the crashed
+// process's protocol endpoints — the paper's node convention pins one
+// coordinator slot per cluster, so a real deployment's elected replacement
+// would equally adopt the slot's intra rank 0 / inter rank c identities.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "gridmutex/core/composition.hpp"
+#include "gridmutex/fault/injector.hpp"
+#include "gridmutex/sim/stats.hpp"
+
+namespace gmx {
+
+class CoordinatorFailover {
+ public:
+  struct Stats {
+    std::uint64_t failovers = 0;   // completed crash→recover cycles
+    DurationStats outage;          // crash instant → recover instant
+  };
+
+  /// Subscribes to `injector` for the lifetime of this object; the
+  /// injector must outlive it. Crashes of non-coordinator nodes are
+  /// ignored here (the network's omission window covers them).
+  CoordinatorFailover(Composition& comp, FaultInjector& injector);
+
+  CoordinatorFailover(const CoordinatorFailover&) = delete;
+  CoordinatorFailover& operator=(const CoordinatorFailover&) = delete;
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void on_node(NodeId node, bool up);
+
+  Composition& comp_;
+  Stats stats_;
+  std::unordered_map<NodeId, ClusterId> cluster_of_coordinator_;
+  std::unordered_map<NodeId, SimTime> down_since_;
+  Simulator& sim_;
+};
+
+}  // namespace gmx

@@ -1,0 +1,89 @@
+// FaultInjector: compiles a FaultPlan onto a Network.
+//
+// Every plan entry becomes one or two simulator events (onset and, when
+// bounded, recovery) scheduled at arm() time; targeted message drops become
+// a Network drop filter evaluated at send time. All injected randomness
+// lives in the Network's dedicated fault Rng stream, so arming a campaign
+// never perturbs latency or workload draws — a faulted run and its clean
+// twin share every non-fault random choice.
+//
+// Crash semantics are the Network's omission window (set_node_up): while a
+// node is down its datagrams are lost in both directions, but handlers and
+// protocol state survive — a warm restart. Higher layers subscribe to
+// add_node_hook() to model the process-level consequences (coordinator
+// failover: fault/failover.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "gridmutex/fault/plan.hpp"
+#include "gridmutex/net/network.hpp"
+
+namespace gmx {
+
+class FaultInjector {
+ public:
+  /// Injection event counts (distinct from the Network's message counters:
+  /// one partition event drops many messages).
+  struct Stats {
+    std::uint64_t crashes = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t partitions = 0;
+    std::uint64_t heals = 0;
+    std::uint64_t lossy_links = 0;
+    std::uint64_t targeted_drops = 0;
+  };
+
+  FaultInjector(Network& net, FaultPlan plan);
+  ~FaultInjector();
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every plan entry and installs the targeted-drop filter.
+  /// Call exactly once, before running the simulation past the first
+  /// fault onset.
+  void arm();
+
+  /// Notification of crash (`up == false`) / restart (`up == true`)
+  /// transitions, fired right after the Network state flips. Multiple
+  /// subscribers; called in subscription order.
+  using NodeHook = std::function<void(NodeId node, bool up)>;
+  void add_node_hook(NodeHook hook) {
+    node_hooks_.push_back(std::move(hook));
+  }
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] Network& network() { return net_; }
+
+  /// Number of fault windows open right now: crashed nodes not yet
+  /// restarted, unhealed partitions, active lossy links, and targeted-drop
+  /// rules still holding ammunition inside their window. Gauges the
+  /// "under faults" instants for metrics; 0 on a clean (or fully healed)
+  /// grid.
+  [[nodiscard]] int active_faults() const;
+
+ private:
+  struct ActiveDrop {
+    FaultPlan::MessageDrops rule;
+    int remaining = 0;
+  };
+
+  void schedule(SimTime at, std::function<void()> fn);
+  void set_node(NodeId node, bool up);
+  [[nodiscard]] bool should_drop(const Message& msg);
+
+  Network& net_;
+  FaultPlan plan_;
+  Stats stats_;
+  bool armed_ = false;
+  int active_windows_ = 0;          // crash/partition/lossy windows open
+  std::vector<EventId> scheduled_;  // cancelled on destruction
+  std::vector<ActiveDrop> drops_;
+  std::vector<NodeHook> node_hooks_;
+};
+
+}  // namespace gmx

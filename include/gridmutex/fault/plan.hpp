@@ -1,0 +1,95 @@
+// Declarative fault campaigns.
+//
+// A FaultPlan is a pure description — a list of timed fault entries against
+// the simulated grid — with no behavior of its own; FaultInjector
+// (fault/injector.hpp) compiles it onto a Network. Keeping the plan inert
+// makes campaigns reproducible artifacts: the same plan against the same
+// seed yields the same trajectory, and a plan can be printed, stored next
+// to experiment configs, or perturbed programmatically.
+//
+// Three fault families, mirroring what Grid5000 deployments actually see:
+//   - node crash/restart: the process disappears for a window (messages to
+//     and from it are lost; its protocol state survives — warm restart);
+//   - inter-cluster partition / lossy link: the WAN path between two
+//     clusters drops all (or a fraction of) datagrams for a window;
+//   - targeted message drops: the next `count` messages matching a
+//     (protocol, type) pattern vanish — the scalpel used to kill exactly
+//     one token and nothing else.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gridmutex/net/network.hpp"
+
+namespace gmx {
+
+struct FaultPlan {
+  /// Wildcard for MessageDrops::type: match every message of the protocol.
+  /// Distinct from Message::kAckType (0xFFFF), which a drop rule may name
+  /// explicitly to kill acknowledgements.
+  static constexpr std::uint16_t kAnyType = 0xFFFE;
+
+  struct Crash {
+    NodeId node = kInvalidNode;
+    SimTime at;
+    SimTime restart = SimTime::max();  // max() = never restarts
+  };
+  struct Partition {
+    ClusterId a = 0;
+    ClusterId b = 0;
+    SimTime at;
+    SimTime heal = SimTime::max();
+  };
+  struct LossyLink {
+    ClusterId a = 0;
+    ClusterId b = 0;
+    double p = 0.0;
+    SimTime at;
+    SimTime until = SimTime::max();
+  };
+  struct MessageDrops {
+    ProtocolId protocol = 0;
+    std::uint16_t type = kAnyType;
+    int count = 1;  // at most this many matches are dropped
+    SimTime from;
+    SimTime until = SimTime::max();
+  };
+
+  std::vector<Crash> crashes;
+  std::vector<Partition> partitions;
+  std::vector<LossyLink> lossy_links;
+  std::vector<MessageDrops> message_drops;
+
+  // Fluent builders; all return *this so campaigns read as one expression.
+  FaultPlan& crash(NodeId node, SimTime at, SimTime restart) {
+    crashes.push_back({node, at, restart});
+    return *this;
+  }
+  FaultPlan& crash_forever(NodeId node, SimTime at) {
+    crashes.push_back({node, at, SimTime::max()});
+    return *this;
+  }
+  FaultPlan& partition_clusters(ClusterId a, ClusterId b, SimTime at,
+                                SimTime heal) {
+    partitions.push_back({a, b, at, heal});
+    return *this;
+  }
+  FaultPlan& lossy_link(ClusterId a, ClusterId b, double p, SimTime at,
+                        SimTime until = SimTime::max()) {
+    lossy_links.push_back({a, b, p, at, until});
+    return *this;
+  }
+  FaultPlan& drop_messages(ProtocolId protocol, std::uint16_t type, int count,
+                           SimTime from, SimTime until = SimTime::max()) {
+    message_drops.push_back({protocol, type, count, from, until});
+    return *this;
+  }
+
+  [[nodiscard]] bool empty() const {
+    return crashes.empty() && partitions.empty() && lossy_links.empty() &&
+           message_drops.empty();
+  }
+};
+
+}  // namespace gmx

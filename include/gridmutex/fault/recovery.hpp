@@ -1,0 +1,140 @@
+// Token-loss detection and recovery.
+//
+// The TokenRecoveryManager watches algorithm instances for the one failure
+// no token algorithm survives on its own: the token vanishing in transit.
+// Detection is deliberately *outside* the protocol — the manager is an
+// omniscient observer of the simulated grid (like the checker), polling a
+// cheap liveness probe while an instance is active:
+//
+//   loss  :=  some participant is Requesting
+//          && no participant holds the token
+//          && no message of the instance is in flight
+//          && no reliable frame awaits (re)transmission
+//          sustained for `detect_timeout`.
+//
+// On detection the manager elects an initiator — the highest-rank
+// participant on a live node, the classical deterministic choice — and
+// drives the algorithm's own regeneration protocol
+// (MutexAlgorithm::begin_token_regeneration). If the round wedges (e.g. a
+// consulted peer crashes mid-round) a retry timer cancels the old round and
+// re-elects. A *stranded* token — alive but idle at a holder that never
+// learned of an outstanding request — is repaired by forcing the holder to
+// surrender it to a requester.
+//
+// Probes are armed only while the instance shows activity (a send tap on
+// the network) and disarm when it goes idle, so a finished simulation still
+// drains — the "drain = done" contract of the DES kernel survives recovery.
+//
+// The regeneration *epoch* — detection until the replacement token is
+// minted — is published through an epoch hook; the ProtocolChecker relaxes
+// token-uniqueness only inside it (analysis/protocol_checker.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gridmutex/mutex/endpoint.hpp"
+#include "gridmutex/net/network.hpp"
+#include "gridmutex/sim/stats.hpp"
+
+namespace gmx {
+
+struct RecoveryConfig {
+  /// ARQ applied to every watched protocol (Network::set_reliable): masks
+  /// losses below the retry horizon so regeneration only handles true
+  /// losses. Disable to exercise detection/regeneration directly.
+  bool enable_retransmit = true;
+  RetransmitConfig retransmit;
+
+  /// The loss condition must hold this long before recovery starts —
+  /// absorbs grant races around the probe instants.
+  SimDuration detect_timeout = SimDuration::ms(400);
+  /// Probe cadence while an instance is active.
+  SimDuration probe_interval = SimDuration::ms(100);
+  /// Pause between detection and electing the initiator (models the
+  /// election message round a real deployment would run).
+  SimDuration election_delay = SimDuration::ms(50);
+  /// A regeneration round not completed within this window is cancelled
+  /// and re-elected (consulted peer crashed mid-round).
+  SimDuration regen_retry = SimDuration::sec(2);
+};
+
+class TokenRecoveryManager {
+ public:
+  struct Stats {
+    std::uint64_t losses_detected = 0;
+    std::uint64_t regenerations = 0;
+    std::uint64_t reelections = 0;
+    std::uint64_t false_alarms = 0;    // round aborted, token was alive
+    std::uint64_t stranded_repairs = 0;
+    /// Detection instant → replacement token minted.
+    DurationStats recovery_latency;
+  };
+
+  TokenRecoveryManager(Network& net, RecoveryConfig cfg);
+  ~TokenRecoveryManager();
+
+  TokenRecoveryManager(const TokenRecoveryManager&) = delete;
+  TokenRecoveryManager& operator=(const TokenRecoveryManager&) = delete;
+
+  /// Watches one algorithm instance. `endpoints` rank-ordered, as returned
+  /// by Composition::intra_instance()/inter_instance(). Instances of
+  /// algorithms without regeneration support are still watched — a detected
+  /// loss then latches given_up() instead of recovering (and the run's
+  /// drain assertion fails loudly, which is the honest outcome).
+  void watch_instance(std::string name, ProtocolId protocol,
+                      std::vector<MutexEndpoint*> endpoints);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  /// A loss was detected on an instance that cannot regenerate.
+  [[nodiscard]] bool given_up() const { return given_up_; }
+  /// True while `protocol` is inside a regeneration epoch.
+  [[nodiscard]] bool in_regeneration(ProtocolId protocol) const;
+
+  /// Epoch boundary notifications: (protocol, open). Fired at detection
+  /// (open) and at token re-mint (close). One slot — the checker's.
+  using EpochHook = std::function<void(ProtocolId, bool open)>;
+  void set_epoch_hook(EpochHook hook) { epoch_hook_ = std::move(hook); }
+
+  [[nodiscard]] const RecoveryConfig& config() const { return cfg_; }
+
+ private:
+  struct Watched {
+    std::string name;
+    ProtocolId protocol = 0;
+    std::vector<MutexEndpoint*> endpoints;
+    bool probe_armed = false;
+    EventId probe = kInvalidEventId;
+    /// First probe instant at which the loss (or stranded) condition held;
+    /// SimTime::max() when it does not currently hold.
+    SimTime loss_since = SimTime::max();
+    SimTime stranded_since = SimTime::max();
+    bool regenerating = false;
+    SimTime detected_at;
+    int initiator = -1;
+    EventId pending_action = kInvalidEventId;  // election / retry timer
+  };
+
+  void on_send(const Message& msg);
+  void arm_probe(Watched& w);
+  void probe(ProtocolId protocol);
+  [[nodiscard]] bool quiescent(const Watched& w) const;
+  void detect_loss(Watched& w);
+  void elect_and_begin(Watched& w);
+  void retry_regeneration(Watched& w);
+  void on_regenerated(ProtocolId protocol, int rank);
+  void repair_stranded(Watched& w);
+  [[nodiscard]] int pick_initiator(const Watched& w, int exclude) const;
+
+  Network& net_;
+  RecoveryConfig cfg_;
+  Stats stats_;
+  bool given_up_ = false;
+  std::unordered_map<ProtocolId, Watched> watched_;
+  EpochHook epoch_hook_;
+};
+
+}  // namespace gmx

@@ -136,6 +136,47 @@ class MutexAlgorithm {
   using StateHook = std::function<void(CsState from, CsState to)>;
   void set_state_hook(StateHook hook) { state_hook_ = std::move(hook); }
 
+  // --- Token regeneration (fault/recovery.hpp) -----------------------------
+  //
+  // A lost token is detected *outside* the algorithm (the recovery manager
+  // watches network quiescence); regeneration itself is a protocol extension
+  // the algorithm implements, because only it knows how to rebuild a token
+  // consistent with its distributed state. Algorithms without an
+  // implementation return false from supports_token_regeneration() and
+  // ignore the other calls; the recovery manager then reports the loss as
+  // unrecoverable rather than guessing.
+
+  /// True if this algorithm implements begin_token_regeneration().
+  [[nodiscard]] virtual bool supports_token_regeneration() const {
+    return false;
+  }
+
+  /// Starts a regeneration round on this participant (chosen by the
+  /// recovery manager as initiator). The algorithm consults peers as its
+  /// protocol requires and eventually recreates the token exactly once,
+  /// then reports completion through the recovery hook below. Must be
+  /// idempotent-safe: a second call while a round is running is ignored.
+  virtual void begin_token_regeneration() {}
+
+  /// Abandons an in-progress regeneration round (the recovery manager is
+  /// about to elect a different initiator). After this returns the
+  /// participant must be unable to mint a token from stale replies.
+  virtual void cancel_token_regeneration() {}
+
+  /// Forensic/repair handle: forcibly re-seats an idle token at `to_rank`
+  /// on *this* participant's local state (called only on the participant
+  /// that holds a stranded token). Used by recovery tooling to reconcile
+  /// state the normal protocol cannot reach; asserts holds_token().
+  virtual void surrender_token_to(int to_rank);
+
+  /// Fires when a regeneration round started here completes and the token
+  /// has been re-minted locally. The recovery manager closes the
+  /// regeneration epoch from this signal.
+  using RecoveryHook = std::function<void()>;
+  void set_recovery_hook(RecoveryHook hook) {
+    recovery_hook_ = std::move(hook);
+  }
+
  protected:
   [[nodiscard]] MutexContext& ctx() const;
   [[nodiscard]] MutexObserver& observer() const;
@@ -153,11 +194,18 @@ class MutexAlgorithm {
   void enter_cs_and_notify();       // kRequesting -> kInCs + on_cs_granted
   void begin_release();             // kInCs -> kIdle
 
+  /// Regenerating implementations call this right after re-minting the
+  /// token to notify the recovery manager (no-op when no hook installed).
+  void notify_token_regenerated() {
+    if (recovery_hook_) recovery_hook_();
+  }
+
  private:
   MutexContext* ctx_ = nullptr;
   MutexObserver* obs_ = nullptr;
   CsState state_ = CsState::kIdle;
   StateHook state_hook_;
+  RecoveryHook recovery_hook_;
 };
 
 }  // namespace gmx

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "gridmutex/mutex/algorithm.hpp"
 
@@ -23,9 +24,14 @@ class NaimiTrehelMutex final : public MutexAlgorithm {
  public:
   /// Message kinds (wire `type` field).
   enum MsgType : std::uint16_t {
-    kRequest = 1,  // payload: varint original-requester rank
-    kToken = 2,    // empty payload
+    kRequest = 1,     // payload: varint original-requester rank
+    kToken = 2,       // empty payload
+    kRegenQuery = 3,  // payload: varint round
+    kRegenReply = 4,  // payload: varint round, varint flags, varint next+1|0
   };
+  /// kRegenReply flag bits.
+  static constexpr std::uint64_t kFlagRequesting = 1;
+  static constexpr std::uint64_t kFlagHasToken = 2;
 
   void init(int holder_rank) override;
   void request_cs() override;
@@ -39,6 +45,24 @@ class NaimiTrehelMutex final : public MutexAlgorithm {
   [[nodiscard]] bool holds_token() const override { return has_token_; }
   [[nodiscard]] std::string_view name() const override { return "naimi"; }
 
+  // Token regeneration (see algorithm.hpp). A token is only ever lost in
+  // transit to a requesting participant, and at detection time (network
+  // quiescent) the distributed queue survives intact in the `next` pointers:
+  // the lost token's intended recipient is exactly the requester that no
+  // other participant names as its `next`. The elected initiator collects
+  // (requesting, next) from every peer, identifies that queue head, and
+  // mints one fresh token to it; the chain then drains normally. Requests
+  // racing the consultation can momentarily produce a second headless
+  // requester — the initiator picks deterministically (lowest rank) and the
+  // recovery manager's stranded-token repair restores liveness for the
+  // other. A reply reporting the token alive aborts the round.
+  [[nodiscard]] bool supports_token_regeneration() const override {
+    return true;
+  }
+  void begin_token_regeneration() override;
+  void cancel_token_regeneration() override;
+  void surrender_token_to(int to_rank) override;
+
   /// White-box accessors for structural tests.
   [[nodiscard]] int last() const { return last_; }
   [[nodiscard]] std::optional<int> next() const { return next_; }
@@ -46,10 +70,22 @@ class NaimiTrehelMutex final : public MutexAlgorithm {
  private:
   void handle_request(int requester);
   void handle_token();
+  void handle_regen_query(int from_rank, std::uint64_t round);
+  void handle_regen_reply(int from_rank, std::uint64_t round,
+                          std::uint64_t flags, std::uint64_t next_plus_one);
+  void finish_regeneration();
 
   int last_ = 0;                // probable owner; == self() when root
   std::optional<int> next_;     // successor in the distributed queue
   bool has_token_ = false;
+
+  // Regeneration round state (initiator side only).
+  bool regen_active_ = false;
+  std::uint64_t regen_round_ = 0;  // bumped per round; stale replies ignored
+  std::vector<std::uint8_t> regen_seen_;        // reply recorded, per rank
+  std::vector<std::uint8_t> regen_requesting_;  // replier requesting?
+  std::vector<int> regen_next_;                 // replier's next, -1 = none
+  int regen_outstanding_ = 0;
 };
 
 }  // namespace gmx

@@ -24,9 +24,14 @@ namespace gmx {
 class SuzukiKasamiMutex final : public MutexAlgorithm {
  public:
   enum MsgType : std::uint16_t {
-    kRequest = 1,  // payload: varint sequence number
-    kToken = 2,    // payload: varint_array LN, varint_array Q
+    kRequest = 1,     // payload: varint sequence number
+    kToken = 2,       // payload: varint_array LN, varint_array Q
+    kRegenQuery = 3,  // payload: varint round
+    kRegenReply = 4,  // payload: varint round, varint flags, varint own seq
   };
+  /// kRegenReply flag bits.
+  static constexpr std::uint64_t kFlagRequesting = 1;
+  static constexpr std::uint64_t kFlagHasToken = 2;
 
   void init(int holder_rank) override;
   void request_cs() override;
@@ -37,6 +42,21 @@ class SuzukiKasamiMutex final : public MutexAlgorithm {
   [[nodiscard]] bool has_pending_requests() const override;
   [[nodiscard]] bool holds_token() const override { return has_token_; }
   [[nodiscard]] std::string_view name() const override { return "suzuki"; }
+
+  // Token regeneration (see algorithm.hpp). The elected initiator queries
+  // every peer; each reply carries the replier's *own* request counter and
+  // whether it is requesting, which pins its LN entry exactly: an idle
+  // participant has had all its requests satisfied (LN[j] = seq_j), a
+  // requesting one all but the outstanding one (LN[j] = seq_j - 1). With LN
+  // rebuilt, a fresh token (empty Q) is minted once and normal granting
+  // resumes. If any reply reports the token alive, the round aborts —
+  // the loss was a false alarm and minting would break uniqueness.
+  [[nodiscard]] bool supports_token_regeneration() const override {
+    return true;
+  }
+  void begin_token_regeneration() override;
+  void cancel_token_regeneration() override;
+  void surrender_token_to(int to_rank) override;
 
   /// White-box accessors for tests.
   [[nodiscard]] std::uint64_t rn(int rank) const {
@@ -50,12 +70,23 @@ class SuzukiKasamiMutex final : public MutexAlgorithm {
   void handle_request(int from_rank, std::uint64_t seq);
   void handle_token(wire::Reader& payload);
   void send_token_to(int rank);
+  void handle_regen_query(int from_rank, std::uint64_t round);
+  void handle_regen_reply(int from_rank, std::uint64_t round,
+                          std::uint64_t flags, std::uint64_t own_seq);
+  void finish_regeneration();
 
   std::vector<std::uint64_t> rn_;  // highest request seq seen, per rank
   // Token state; meaningful only while has_token_ is true.
   std::vector<std::uint64_t> ln_;  // last satisfied seq, per rank
   std::deque<std::uint32_t> q_;    // pending grants (FIFO)
   bool has_token_ = false;
+
+  // Regeneration round state (initiator side only).
+  bool regen_active_ = false;
+  std::uint64_t regen_round_ = 0;  // bumped per round; stale replies ignored
+  std::vector<std::uint8_t> regen_seen_;    // reply recorded, per rank
+  std::vector<std::uint64_t> regen_last_;   // reconstructed LN, per rank
+  int regen_outstanding_ = 0;
 };
 
 }  // namespace gmx

@@ -15,10 +15,13 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <tuple>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "gridmutex/net/latency.hpp"
@@ -36,7 +39,16 @@ struct Message {
   NodeId dst = kInvalidNode;
   ProtocolId protocol = 0;
   std::uint16_t type = 0;  // per-protocol message kind
+  /// ARQ sequence number, assigned by the network when the protocol is
+  /// registered as reliable (set_reliable); 0 = unsequenced datagram. The
+  /// sequence piggybacks on the emulated header (no extra wire bytes), so
+  /// byte accounting matches the unreliable baseline.
+  std::uint64_t seq = 0;
   std::vector<std::uint8_t> payload;
+
+  /// Reserved `type` for ARQ acknowledgements; never dispatched to protocol
+  /// handlers. Protocol MsgType enums must stay below this value.
+  static constexpr std::uint16_t kAckType = 0xFFFF;
 
   /// Emulated datagram application header: protocol id (4) + type (2) +
   /// length (2). IP/UDP framing is excluded — the paper counts messages and
@@ -55,6 +67,9 @@ struct MessageCounters {
   std::uint64_t delivered = 0;
   std::uint64_t dropped = 0;
   std::uint64_t duplicated = 0;
+  /// ARQ resends of reliable-protocol frames. Each resend also counts in
+  /// `sent` (it is a real datagram); this isolates the recovery overhead.
+  std::uint64_t retransmitted = 0;
   std::uint64_t intra_cluster = 0;
   std::uint64_t inter_cluster = 0;
   std::uint64_t bytes_total = 0;
@@ -66,6 +81,17 @@ struct MessageCounters {
     a -= b;
     return a;
   }
+};
+
+/// Per-protocol ARQ parameters (set_reliable). Defaults suit the Grid5000
+/// latency scale: rto clears one WAN round-trip, exponential backoff bounds
+/// the storm, max_attempts bounds the retry horizon so a permanently
+/// partitioned peer cannot keep the event queue alive forever.
+struct RetransmitConfig {
+  SimDuration rto = SimDuration::ms(200);
+  double backoff = 2.0;
+  SimDuration rto_max = SimDuration::sec(2);
+  int max_attempts = 8;
 };
 
 class Network {
@@ -95,7 +121,10 @@ class Network {
   /// optimization belongs in the caller, as it did in the paper's C code.
   void send(Message msg);
 
-  /// Fault/ordering knobs (tests and robustness studies).
+  /// Fault/ordering knobs (tests and robustness studies). All fault
+  /// randomness (drop, duplicate, link loss) draws from a dedicated Rng
+  /// stream forked off the network's, so enabling faults never perturbs
+  /// latency sampling — fault campaigns stay comparable to clean runs.
   void set_fifo_per_pair(bool on) { fifo_ = on; }
   void set_drop_probability(double p);
   void set_duplicate_probability(double p);
@@ -103,12 +132,65 @@ class Network {
   /// experiments need wider delivery races.
   void set_reorder_spread(SimDuration d) { reorder_spread_ = d; }
 
+  /// Per-cluster-pair loss (fault campaigns): messages between clusters a
+  /// and b (either direction) are dropped with probability p; p = 0 clears
+  /// the entry. Inter-cluster links fail independently of the global
+  /// drop probability above.
+  void set_link_drop_probability(ClusterId a, ClusterId b, double p);
+  /// Full partition between two clusters: every message between them is
+  /// dropped (link drop probability 1) until heal().
+  void partition(ClusterId a, ClusterId b);
+  void heal(ClusterId a, ClusterId b);
+
+  /// Crash/restart omission windows: while a node is down, datagrams it
+  /// sends are lost at the source and datagrams addressed to it are lost at
+  /// delivery time (all counted in `dropped`). Handlers stay attached — the
+  /// node's protocol state survives, modeling a process whose host rejoins
+  /// with its memory intact (warm restart).
+  void set_node_up(NodeId node, bool up);
+  [[nodiscard]] bool node_up(NodeId node) const {
+    return node_up_[node] != 0;
+  }
+
+  /// Targeted drop filter (fault/injector.hpp): consulted on every send;
+  /// return true to drop the message (counted in `dropped`). One slot.
+  using DropFilter = std::function<bool(const Message&)>;
+  void set_drop_filter(DropFilter f) { drop_filter_ = std::move(f); }
+
+  /// Enables ARQ for one protocol: outgoing frames get a per-(src,dst)
+  /// sequence number, receivers acknowledge (Message::kAckType) and
+  /// deduplicate, senders retransmit with exponential backoff until acked
+  /// or max_attempts is exhausted. Channels are stop-and-wait — one frame
+  /// in flight per (src,dst,protocol); later frames queue at the sender
+  /// until the head is acked or given up — so reliable delivery preserves
+  /// per-pair FIFO order (a retransmitted frame can never be overtaken by
+  /// a younger one; the FIFO-dependent algorithms survive lossy links).
+  /// Request/token loss then becomes transparent below the retry horizon;
+  /// losses beyond it are a pure omission, surfaced via unacked_for()
+  /// reaching zero with the frame undelivered.
+  void set_reliable(ProtocolId protocol, RetransmitConfig cfg = {});
+  [[nodiscard]] bool reliable(ProtocolId protocol) const {
+    return reliable_.find(protocol) != reliable_.end();
+  }
+  /// Reliable frames of `protocol` not yet acknowledged — in flight,
+  /// awaiting retransmission, or queued behind a channel head. Recovery
+  /// detectors treat unacked > 0 like in-flight: the token may still
+  /// reappear.
+  [[nodiscard]] std::uint64_t unacked_for(ProtocolId protocol) const;
+
   void set_tracer(Tracer t) { tracer_ = std::move(t); }
 
   /// Checker tap (analysis/protocol_checker.hpp): observes every delivery
   /// just like a tracer, but in its own slot so arming the checker never
   /// displaces a user-installed tracer.
   void set_delivery_tap(Tracer t) { delivery_tap_ = std::move(t); }
+
+  /// Recovery tap (fault/recovery.hpp): observes every datagram handed to
+  /// the wire — including retransmissions and acks, before any fault drop.
+  /// The token-recovery manager keys its liveness probes off this activity
+  /// signal so a quiescent simulation still drains. One slot.
+  using SendTap = std::function<void(const Message&)>;
+  void set_send_tap(SendTap t) { send_tap_ = std::move(t); }
 
   [[nodiscard]] const MessageCounters& counters() const { return counters_; }
   /// Per-protocol sent-message counts (diagnostics, §4.6 analyses).
@@ -121,13 +203,46 @@ class Network {
   [[nodiscard]] std::uint64_t in_flight_for(ProtocolId p) const;
 
  private:
+  /// The raw datagram path: counters, fault drops, latency, scheduling.
+  /// send() adds ARQ registration on top and retransmissions re-enter here.
+  void transmit(Message msg);
   void deliver(Message msg, SimTime sent_at);
   SimTime departure_to_delivery(const Message& msg);
+
+  // ARQ plumbing (active only for protocols passed to set_reliable()).
+  struct PendingSend {
+    Message msg;
+    int attempts = 1;
+    SimDuration rto;
+    EventId timer = kInvalidEventId;
+  };
+  struct Channel {
+    std::uint64_t next_seq = 0;  // sender side
+    // Stop-and-wait head: at most one entry (keyed by seq so a stale ack
+    // or timer resolves against the exact frame it belongs to).
+    std::unordered_map<std::uint64_t, PendingSend> pending;  // sender side
+    std::deque<Message> queue;  // sender side: frames awaiting their turn
+    std::unordered_set<std::uint64_t> seen;  // receiver side
+  };
+  using ChannelKey = std::tuple<NodeId, NodeId, ProtocolId>;
+  Channel& channel(NodeId src, NodeId dst, ProtocolId protocol);
+  /// Sequences `msg` on its channel. Returns true if the frame is the new
+  /// channel head (caller transmits it now); false if it was queued behind
+  /// an unacked head.
+  [[nodiscard]] bool register_reliable_send(Message& msg,
+                                            const RetransmitConfig& cfg);
+  void make_head(Channel& ch, Message msg, const RetransmitConfig& cfg);
+  void launch_next(NodeId src, NodeId dst, ProtocolId protocol);
+  void retransmit(NodeId src, NodeId dst, ProtocolId protocol,
+                  std::uint64_t seq);
+  void resolve_ack(const Message& ack);
+  [[nodiscard]] std::uint64_t link_key(ClusterId a, ClusterId b) const;
 
   Simulator& sim_;
   Topology topo_;
   std::shared_ptr<const LatencyModel> latency_;
   Rng rng_;
+  Rng fault_rng_;  // forked off rng_; fault draws never shift latency draws
 
   // handler lookup: node → (protocol → handler)
   std::vector<std::unordered_map<ProtocolId, Handler>> handlers_;
@@ -144,8 +259,15 @@ class Network {
   double drop_p_ = 0.0;
   double dup_p_ = 0.0;
   SimDuration reorder_spread_ = SimDuration::ns(0);
+  std::unordered_map<std::uint64_t, double> link_drop_;  // cluster pair → p
+  std::vector<std::uint8_t> node_up_;
+  DropFilter drop_filter_;
+  std::unordered_map<ProtocolId, RetransmitConfig> reliable_;
+  std::map<ChannelKey, Channel> channels_;
+  std::unordered_map<ProtocolId, std::uint64_t> unacked_by_protocol_;
   Tracer tracer_;
   Tracer delivery_tap_;
+  SendTap send_tap_;
 };
 
 }  // namespace gmx

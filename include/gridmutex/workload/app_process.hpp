@@ -40,6 +40,9 @@ struct WorkloadMetrics {
   DurationStats obtaining;
   Histogram obtaining_hist{10'000.0, 200};  // ms buckets, 0..10s
   std::uint64_t completed_cs = 0;
+  /// Subset of completed_cs released while the run's under_fault gauge was
+  /// raised (fault campaigns; 0 otherwise).
+  std::uint64_t cs_under_faults = 0;
 };
 
 class AppProcess {
@@ -59,6 +62,9 @@ class AppProcess {
   }
   /// Invoked when this process finishes its last CS. Optional.
   std::function<void()> on_done;
+  /// Fault gauge: sampled at each CS release to count cs_under_faults.
+  /// Optional (fault campaigns wire it to FaultInjector::active_faults).
+  std::function<bool()> under_fault;
 
  private:
   void think_then_request();

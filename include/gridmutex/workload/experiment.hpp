@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "gridmutex/core/multilevel.hpp"
+#include "gridmutex/fault/plan.hpp"
+#include "gridmutex/fault/recovery.hpp"
 #include "gridmutex/net/latency.hpp"
 #include "gridmutex/workload/app_process.hpp"
 
@@ -73,6 +75,27 @@ struct ExperimentConfig {
   /// Liveness watchdog bound used when check_protocol is set.
   SimDuration grant_bound = SimDuration::sec(120);
 
+  /// Fault campaign (fault/ subsystem). With `enabled == false` — the
+  /// default — no fault object is constructed and no fault-stream Rng draw
+  /// is made, so the trajectory is bit-for-bit the fault-free one.
+  /// (kMultiLevel runs do not support campaigns.)
+  struct FaultCampaign {
+    bool enabled = false;
+    FaultPlan plan;
+    /// Arms ARQ retransmission, token-loss detection/regeneration and —
+    /// for kComposition — coordinator failover. Disabled = the negative
+    /// control: the same campaign runs and nobody recovers, so a killed
+    /// token stalls the run (set stall_horizon to observe the stall
+    /// instead of tripping the liveness assertions).
+    bool recovery = true;
+    RecoveryConfig recovery_cfg;
+    /// When bounded, the run stops at this simulated instant if it has not
+    /// drained by itself; the drain/liveness assertions are replaced by
+    /// ExperimentResult::stalled. Safety is still asserted.
+    SimTime stall_horizon = SimTime::max();
+  };
+  FaultCampaign faults;
+
   [[nodiscard]] std::uint32_t application_count() const;
   /// Human-readable series label, e.g. "Naimi-Martin" or "Naimi (flat)".
   [[nodiscard]] std::string label() const;
@@ -100,6 +123,21 @@ struct ExperimentResult {
   /// Post-event invariant sweeps performed (0 unless check_protocol).
   std::uint64_t invariant_checks = 0;
   int repetitions = 1;
+
+  // Fault-campaign outcome (all zero/false on fault-free runs).
+  std::uint64_t faults_injected = 0;    // crashes + partitions + lossy links
+                                        // + targeted drops fired
+  std::uint64_t cs_under_faults = 0;    // CS completed inside a fault window
+  std::uint64_t token_losses = 0;       // TokenRecoveryManager detections
+  std::uint64_t token_regenerations = 0;
+  std::uint64_t stranded_repairs = 0;
+  std::uint64_t false_alarms = 0;
+  std::uint64_t coordinator_failovers = 0;
+  /// Loss detection instant → replacement token minted.
+  DurationStats recovery_latency;
+  /// The run hit FaultCampaign::stall_horizon without draining (negative
+  /// controls). total_cs then under-counts the configured workload.
+  bool stalled = false;
 
   /// Paper metrics.
   [[nodiscard]] double obtaining_ms() const { return obtaining.mean_ms(); }

@@ -29,6 +29,8 @@ std::string_view to_string(ProtocolChecker::Violation::Kind k) {
       return "message non-conservation";
     case Kind::kForeignDelivery:
       return "foreign delivery";
+    case Kind::kRegenerationOverlap:
+      return "overlapping regeneration";
   }
   return "?";
 }
@@ -234,7 +236,11 @@ void ProtocolChecker::sweep_instance(Instance& inst) {
     inst.overlap_flagged = false;
   }
   if (inst.token_based) {
-    if (holders > 1 && !inst.token_flagged) {
+    if (holders >= 1) inst.token_missing_since = SimTime::max();
+    if (holders > 1 && !inst.in_regen_epoch && !inst.token_flagged) {
+      // Inside a regeneration epoch a transient duplicate (late cancel of a
+      // round racing the resurfacing token) is the relaxation the epoch
+      // exists for; outside one it is always a protocol bug.
       inst.token_flagged = true;
       add_violation(Violation{Violation::Kind::kTokenDuplicated, sim_.now(),
                               inst.name, -1,
@@ -243,14 +249,31 @@ void ProtocolChecker::sweep_instance(Instance& inst) {
                                   holder_ranks + ")"});
     } else if (holders == 0 && net_ != nullptr &&
                net_->in_flight_for(inst.protocol) == 0 &&
-               !inst.token_flagged) {
-      // No holder and nothing of this instance on the wire: the token is
-      // gone for good — no future event can recreate it.
-      inst.token_flagged = true;
-      add_violation(Violation{Violation::Kind::kTokenLost, sim_.now(),
-                              inst.name, -1,
-                              "no holder and no message of this instance in "
-                              "flight"});
+               net_->unacked_for(inst.protocol) == 0 &&
+               !inst.in_regen_epoch && !inst.token_flagged) {
+      // No holder, nothing of this instance on the wire, and no reliable
+      // frame awaiting retransmission: nothing in the protocol can recreate
+      // the token. With recovery enabled this is the *expected* state for
+      // up to the detection grace — only a sustained absence is a loss.
+      if (inst.recovery_grace.is_zero()) {
+        inst.token_flagged = true;
+        add_violation(Violation{Violation::Kind::kTokenLost, sim_.now(),
+                                inst.name, -1,
+                                "no holder and no message of this instance "
+                                "in flight"});
+      } else if (inst.token_missing_since == SimTime::max()) {
+        inst.token_missing_since = sim_.now();
+      } else if (sim_.now() - inst.token_missing_since >
+                 inst.recovery_grace) {
+        inst.token_flagged = true;
+        add_violation(Violation{
+            Violation::Kind::kTokenLost, sim_.now(), inst.name, -1,
+            "token absent for " +
+                (sim_.now() - inst.token_missing_since).to_string() +
+                " with recovery enabled (grace " +
+                inst.recovery_grace.to_string() +
+                ") and no regeneration declared"});
+      }
     } else if (holders == 1) {
       inst.token_flagged = false;
     }
@@ -268,6 +291,34 @@ void ProtocolChecker::sweep_instance(Instance& inst) {
         ++it;
       }
     }
+  }
+}
+
+void ProtocolChecker::enable_recovery(ProtocolId protocol,
+                                      SimDuration grace) {
+  GMX_ASSERT(grace > SimDuration::ns(0));
+  const auto it = by_protocol_.find(protocol);
+  GMX_ASSERT_MSG(it != by_protocol_.end(),
+                 "enable_recovery on an unattached protocol");
+  it->second->recovery_grace = grace;
+}
+
+void ProtocolChecker::note_regeneration(ProtocolId protocol, bool open) {
+  const auto it = by_protocol_.find(protocol);
+  GMX_ASSERT_MSG(it != by_protocol_.end(),
+                 "note_regeneration on an unattached protocol");
+  Instance& inst = *it->second;
+  if (open && inst.in_regen_epoch) {
+    add_violation(Violation{
+        Violation::Kind::kRegenerationOverlap, sim_.now(), inst.name, -1,
+        "regeneration epoch opened while one is already in flight (at most "
+        "one regeneration per instance)"});
+  }
+  inst.in_regen_epoch = open;
+  if (!open) {
+    // Epoch closed at token re-mint; restart loss tracking from scratch.
+    inst.token_missing_since = SimTime::max();
+    inst.token_flagged = false;
   }
 }
 

@@ -54,6 +54,7 @@ void Coordinator::request_inter() {
 }
 
 void Coordinator::on_intra_pending() {
+  if (failed_) return;  // crashed process: the upcall is lost
   // Paper Fig. 2 line 9: a local application wants the CS.
   if (state_ != State::kOut) return;       // already acting on it
   if (!intra_.has_pending_requests()) return;  // stale deferred event
@@ -65,8 +66,14 @@ void Coordinator::on_intra_pending() {
 }
 
 void Coordinator::on_inter_granted() {
-  GMX_ASSERT_MSG(state_ == State::kWaitForIn,
-                 "inter CS granted outside WAIT_FOR_IN");
+  if (failed_) return;  // crashed process: recover() replays from level state
+  if (state_ != State::kWaitForIn) {
+    // A deferred grant callback can trail a recover() that already replayed
+    // the WAIT_FOR_IN → IN edge from the endpoint's level state; the echo
+    // is a duplicate, not a protocol violation. Never legal otherwise.
+    GMX_ASSERT_MSG(recovered_once_, "inter CS granted outside WAIT_FOR_IN");
+    return;
+  }
   ++inter_acquisitions_;
   go(State::kIn);
   // Paper Fig. 2 line 11: hand the intra token to the waiting application.
@@ -91,6 +98,7 @@ void Coordinator::complete_handover() {
 }
 
 void Coordinator::on_inter_pending() {
+  if (failed_) return;  // crashed process: the upcall is lost
   // Paper Fig. 2 line 16: another coordinator wants the inter token; we may
   // release it only once we hold our intra token again (no local app in CS).
   if (state_ != State::kIn) return;  // WAIT_FOR_OUT: reclaim already running;
@@ -101,6 +109,7 @@ void Coordinator::on_inter_pending() {
 }
 
 void Coordinator::on_intra_granted() {
+  if (failed_) return;  // crashed process: recover() replays from level state
   if (handover_pending_ && state_ == State::kIn) {
     // Delayed startup grant of a permission-based intra algorithm arriving
     // after the inter token (see on_inter_granted).
@@ -154,6 +163,59 @@ void Coordinator::force_vacate() {
   vacate_requested_ = true;
   go(State::kWaitForOut);
   intra_.request_cs();
+}
+
+void Coordinator::fail() {
+  GMX_ASSERT_MSG(started_, "fail() before start()");
+  GMX_ASSERT_MSG(!failed_, "fail() called twice");
+  failed_ = true;
+}
+
+void Coordinator::recover() {
+  GMX_ASSERT_MSG(failed_, "recover() without fail()");
+  failed_ = false;
+  recovered_once_ = true;
+  handover_pending_ = false;
+  vacate_requested_ = false;
+  // Replay the automaton edges whose triggering upcalls were swallowed
+  // during the crash window. The endpoints' protocol state advanced without
+  // us (grants land in the algorithm even while callbacks are lost), so the
+  // pre-crash state plus the current level state pinpoint each missed edge.
+  switch (state_) {
+    case State::kOut:
+      // Missed on_intra_pending edges: re-check the level.
+      if (paused_) {
+        want_inter_ = intra_.has_pending_requests();
+      } else if (intra_.in_cs() && intra_.has_pending_requests()) {
+        request_inter();
+      }
+      break;
+    case State::kWaitForIn:
+      if (inter_.get().in_cs()) {
+        // The inter grant landed mid-crash: replay WAIT_FOR_IN → IN,
+        // including the acquisition count the swallowed upcall would have
+        // recorded (its late echo, if any, is ignored in on_inter_granted).
+        ++inter_acquisitions_;
+        go(State::kIn);
+        if (intra_.in_cs()) {
+          complete_handover();
+        } else {
+          handover_pending_ = true;
+        }
+      }
+      break;
+    case State::kIn:
+      // Missed on_inter_pending edges: re-check remote demand.
+      if (inter_.get().has_pending_requests()) {
+        go(State::kWaitForOut);
+        intra_.request_cs();
+      }
+      break;
+    case State::kWaitForOut:
+      // The intra reclaim may have completed mid-crash.
+      if (intra_.in_cs()) enter_out();
+      break;
+  }
 }
 
 void Coordinator::rebind_inter(MutexHandle& inter) {

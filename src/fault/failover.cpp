@@ -1,0 +1,30 @@
+#include "gridmutex/fault/failover.hpp"
+
+namespace gmx {
+
+CoordinatorFailover::CoordinatorFailover(Composition& comp,
+                                         FaultInjector& injector)
+    : comp_(comp), sim_(injector.network().simulator()) {
+  const Topology& topo = injector.network().topology();
+  for (NodeId n = 0; n < topo.node_count(); ++n) {
+    if (comp_.is_coordinator_node(n))
+      cluster_of_coordinator_[n] = topo.cluster_of(n);
+  }
+  injector.add_node_hook([this](NodeId node, bool up) { on_node(node, up); });
+}
+
+void CoordinatorFailover::on_node(NodeId node, bool up) {
+  const auto it = cluster_of_coordinator_.find(node);
+  if (it == cluster_of_coordinator_.end()) return;
+  Coordinator& coord = comp_.coordinator(it->second);
+  if (!up) {
+    coord.fail();
+    down_since_[node] = sim_.now();
+  } else {
+    coord.recover();
+    ++stats_.failovers;
+    stats_.outage.add(sim_.now() - down_since_.at(node));
+  }
+}
+
+}  // namespace gmx

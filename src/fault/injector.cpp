@@ -1,0 +1,109 @@
+#include "gridmutex/fault/injector.hpp"
+
+#include <utility>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+FaultInjector::FaultInjector(Network& net, FaultPlan plan)
+    : net_(net), plan_(std::move(plan)) {}
+
+FaultInjector::~FaultInjector() {
+  for (const EventId id : scheduled_) net_.simulator().cancel(id);
+  if (armed_ && !drops_.empty()) net_.set_drop_filter(nullptr);
+}
+
+void FaultInjector::schedule(SimTime at, std::function<void()> fn) {
+  scheduled_.push_back(net_.simulator().schedule_at(at, std::move(fn)));
+}
+
+void FaultInjector::arm() {
+  GMX_ASSERT_MSG(!armed_, "arm() called twice");
+  armed_ = true;
+  const SimTime now = net_.simulator().now();
+  for (const auto& c : plan_.crashes) {
+    GMX_ASSERT(c.at >= now);
+    GMX_ASSERT(c.restart > c.at);
+    schedule(c.at, [this, node = c.node] {
+      ++active_windows_;
+      set_node(node, false);
+    });
+    if (c.restart < SimTime::max())
+      schedule(c.restart, [this, node = c.node] {
+        --active_windows_;
+        set_node(node, true);
+      });
+  }
+  for (const auto& p : plan_.partitions) {
+    GMX_ASSERT(p.at >= now && p.heal > p.at);
+    schedule(p.at, [this, a = p.a, b = p.b] {
+      net_.partition(a, b);
+      ++active_windows_;
+      ++stats_.partitions;
+    });
+    if (p.heal < SimTime::max())
+      schedule(p.heal, [this, a = p.a, b = p.b] {
+        net_.heal(a, b);
+        --active_windows_;
+        ++stats_.heals;
+      });
+  }
+  for (const auto& l : plan_.lossy_links) {
+    GMX_ASSERT(l.at >= now && l.until > l.at);
+    schedule(l.at, [this, l] {
+      net_.set_link_drop_probability(l.a, l.b, l.p);
+      ++active_windows_;
+      ++stats_.lossy_links;
+    });
+    if (l.until < SimTime::max())
+      schedule(l.until, [this, a = l.a, b = l.b] {
+        net_.set_link_drop_probability(a, b, 0.0);
+        --active_windows_;
+      });
+  }
+  if (!plan_.message_drops.empty()) {
+    drops_.reserve(plan_.message_drops.size());
+    for (const auto& d : plan_.message_drops) {
+      GMX_ASSERT(d.count > 0 && d.until > d.from);
+      drops_.push_back({d, d.count});
+    }
+    net_.set_drop_filter([this](const Message& m) { return should_drop(m); });
+  }
+}
+
+void FaultInjector::set_node(NodeId node, bool up) {
+  net_.set_node_up(node, up);
+  if (up) {
+    ++stats_.restarts;
+  } else {
+    ++stats_.crashes;
+  }
+  for (const auto& hook : node_hooks_) hook(node, up);
+}
+
+int FaultInjector::active_faults() const {
+  int n = active_windows_;
+  const SimTime now = net_.simulator().now();
+  for (const ActiveDrop& d : drops_) {
+    if (d.remaining > 0 && now >= d.rule.from && now < d.rule.until) ++n;
+  }
+  return n;
+}
+
+bool FaultInjector::should_drop(const Message& msg) {
+  const SimTime now = net_.simulator().now();
+  for (ActiveDrop& d : drops_) {
+    if (d.remaining <= 0) continue;
+    if (msg.protocol != d.rule.protocol) continue;
+    if (d.rule.type != FaultPlan::kAnyType && msg.type != d.rule.type)
+      continue;
+    if (now < d.rule.from || now >= d.rule.until) continue;
+    --d.remaining;
+    ++stats_.targeted_drops;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace gmx

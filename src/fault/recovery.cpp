@@ -1,0 +1,239 @@
+#include "gridmutex/fault/recovery.hpp"
+
+#include <utility>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+TokenRecoveryManager::TokenRecoveryManager(Network& net, RecoveryConfig cfg)
+    : net_(net), cfg_(cfg) {
+  GMX_ASSERT(cfg_.detect_timeout > SimDuration::ns(0));
+  GMX_ASSERT(cfg_.probe_interval > SimDuration::ns(0));
+  GMX_ASSERT(cfg_.regen_retry > SimDuration::ns(0));
+  net_.set_send_tap([this](const Message& m) { on_send(m); });
+}
+
+TokenRecoveryManager::~TokenRecoveryManager() {
+  for (auto& [proto, w] : watched_) {
+    net_.simulator().cancel(w.probe);
+    net_.simulator().cancel(w.pending_action);
+    for (MutexEndpoint* e : w.endpoints)
+      e->algorithm().set_recovery_hook(nullptr);
+  }
+  net_.set_send_tap(nullptr);
+}
+
+void TokenRecoveryManager::watch_instance(std::string name,
+                                          ProtocolId protocol,
+                                          std::vector<MutexEndpoint*> eps) {
+  GMX_ASSERT(!eps.empty());
+  GMX_ASSERT_MSG(watched_.find(protocol) == watched_.end(),
+                 "instance already watched");
+  if (cfg_.enable_retransmit) net_.set_reliable(protocol, cfg_.retransmit);
+  Watched w;
+  w.name = std::move(name);
+  w.protocol = protocol;
+  w.endpoints = std::move(eps);
+  for (int r = 0; r < int(w.endpoints.size()); ++r) {
+    w.endpoints[std::size_t(r)]->algorithm().set_recovery_hook(
+        [this, protocol, r] { on_regenerated(protocol, r); });
+  }
+  auto [it, inserted] = watched_.emplace(protocol, std::move(w));
+  GMX_ASSERT(inserted);
+  arm_probe(it->second);  // the first probe disarms itself if idle
+}
+
+bool TokenRecoveryManager::in_regeneration(ProtocolId protocol) const {
+  const auto it = watched_.find(protocol);
+  return it != watched_.end() && it->second.regenerating;
+}
+
+void TokenRecoveryManager::on_send(const Message& msg) {
+  const auto it = watched_.find(msg.protocol);
+  if (it == watched_.end()) return;
+  if (!it->second.probe_armed) arm_probe(it->second);
+}
+
+void TokenRecoveryManager::arm_probe(Watched& w) {
+  w.probe_armed = true;
+  w.probe = net_.simulator().schedule_after(
+      cfg_.probe_interval, [this, p = w.protocol] { probe(p); });
+}
+
+bool TokenRecoveryManager::quiescent(const Watched& w) const {
+  return net_.in_flight_for(w.protocol) == 0 &&
+         net_.unacked_for(w.protocol) == 0;
+}
+
+void TokenRecoveryManager::probe(ProtocolId protocol) {
+  Watched& w = watched_.at(protocol);
+  w.probe_armed = false;
+  w.probe = kInvalidEventId;
+  if (given_up_) return;
+  if (w.regenerating) return;  // retry timer owns the instance for now
+
+  bool outstanding = false;
+  int holders = 0;
+  for (const MutexEndpoint* e : w.endpoints) {
+    if (e->state() == CsState::kRequesting) outstanding = true;
+    if (e->holds_token()) ++holders;
+  }
+  if (!outstanding) {
+    // Idle instance: nothing can be lost from a requester's point of view.
+    // Deliberately do NOT re-arm — this is what lets the simulation drain.
+    w.loss_since = SimTime::max();
+    w.stranded_since = SimTime::max();
+    return;
+  }
+  const SimTime now = net_.simulator().now();
+  if (holders > 0) {
+    w.loss_since = SimTime::max();
+    // Stranded token: alive but idle at a holder that knows of no request,
+    // while a requester waits and the wire is silent — the request itself
+    // died beyond the retry horizon.
+    const MutexEndpoint* holder = nullptr;
+    for (const MutexEndpoint* e : w.endpoints) {
+      if (e->holds_token()) holder = e;
+    }
+    const bool stranded = quiescent(w) && holder->state() == CsState::kIdle &&
+                          !holder->has_pending_requests();
+    if (!stranded) {
+      w.stranded_since = SimTime::max();
+    } else if (w.stranded_since == SimTime::max()) {
+      w.stranded_since = now;
+    } else if (now - w.stranded_since >= cfg_.detect_timeout) {
+      repair_stranded(w);
+    }
+    arm_probe(w);
+    return;
+  }
+  w.stranded_since = SimTime::max();
+  if (!quiescent(w)) {
+    w.loss_since = SimTime::max();  // the token may still be in flight
+  } else if (w.loss_since == SimTime::max()) {
+    w.loss_since = now;
+  } else if (now - w.loss_since >= cfg_.detect_timeout) {
+    detect_loss(w);
+  }
+  arm_probe(w);
+}
+
+void TokenRecoveryManager::detect_loss(Watched& w) {
+  ++stats_.losses_detected;
+  w.detected_at = net_.simulator().now();
+  w.loss_since = SimTime::max();
+  if (!w.endpoints[0]->algorithm().supports_token_regeneration()) {
+    // No protocol to rebuild the token with. Latch instead of guessing:
+    // probing stops, the run's drain assertion reports the wedge loudly.
+    given_up_ = true;
+    return;
+  }
+  w.regenerating = true;
+  if (epoch_hook_) epoch_hook_(w.protocol, true);
+  w.pending_action = net_.simulator().schedule_after(
+      cfg_.election_delay,
+      [this, p = w.protocol] { elect_and_begin(watched_.at(p)); });
+}
+
+int TokenRecoveryManager::pick_initiator(const Watched& w,
+                                         int exclude) const {
+  for (int r = int(w.endpoints.size()) - 1; r >= 0; --r) {
+    if (r == exclude) continue;
+    if (net_.node_up(w.endpoints[std::size_t(r)]->node())) return r;
+  }
+  return -1;
+}
+
+void TokenRecoveryManager::elect_and_begin(Watched& w) {
+  w.pending_action = kInvalidEventId;
+  if (!w.regenerating) return;
+  w.initiator = pick_initiator(w, -1);
+  if (w.initiator >= 0) {
+    w.endpoints[std::size_t(w.initiator)]
+        ->algorithm()
+        .begin_token_regeneration();
+  }
+  // Every live node down is possible mid-campaign; the retry below then
+  // re-elects once something restarts.
+  w.pending_action = net_.simulator().schedule_after(
+      cfg_.regen_retry,
+      [this, p = w.protocol] { retry_regeneration(watched_.at(p)); });
+}
+
+void TokenRecoveryManager::retry_regeneration(Watched& w) {
+  w.pending_action = kInvalidEventId;
+  if (!w.regenerating) return;
+  bool outstanding = false;
+  int holders = 0;
+  for (const MutexEndpoint* e : w.endpoints) {
+    if (e->state() == CsState::kRequesting) outstanding = true;
+    if (e->holds_token()) ++holders;
+  }
+  if (holders > 0 || !outstanding) {
+    // The token resurfaced (or demand evaporated): the detection was a
+    // false alarm. Stand down — cancelling the round first, so a straggling
+    // reply cannot mint a second token later.
+    if (w.initiator >= 0) {
+      w.endpoints[std::size_t(w.initiator)]
+          ->algorithm()
+          .cancel_token_regeneration();
+    }
+    w.initiator = -1;
+    w.regenerating = false;
+    ++stats_.false_alarms;
+    if (epoch_hook_) epoch_hook_(w.protocol, false);
+    if (!w.probe_armed) arm_probe(w);
+    return;
+  }
+  // The round wedged (a consulted peer was down). Cancel before re-electing
+  // — two concurrent rounds could each mint a token.
+  if (w.initiator >= 0) {
+    w.endpoints[std::size_t(w.initiator)]
+        ->algorithm()
+        .cancel_token_regeneration();
+  }
+  ++stats_.reelections;
+  w.initiator = pick_initiator(w, -1);
+  if (w.initiator >= 0) {
+    w.endpoints[std::size_t(w.initiator)]
+        ->algorithm()
+        .begin_token_regeneration();
+  }
+  w.pending_action = net_.simulator().schedule_after(
+      cfg_.regen_retry,
+      [this, p = w.protocol] { retry_regeneration(watched_.at(p)); });
+}
+
+void TokenRecoveryManager::on_regenerated(ProtocolId protocol, int rank) {
+  Watched& w = watched_.at(protocol);
+  if (!w.regenerating || rank != w.initiator) return;  // stale echo
+  net_.simulator().cancel(w.pending_action);
+  w.pending_action = kInvalidEventId;
+  w.regenerating = false;
+  w.initiator = -1;
+  ++stats_.regenerations;
+  stats_.recovery_latency.add(net_.simulator().now() - w.detected_at);
+  if (epoch_hook_) epoch_hook_(w.protocol, false);
+  if (!w.probe_armed) arm_probe(w);
+}
+
+void TokenRecoveryManager::repair_stranded(Watched& w) {
+  w.stranded_since = SimTime::max();
+  if (!w.endpoints[0]->algorithm().supports_token_regeneration()) {
+    given_up_ = true;  // surrender_token_to is part of the same extension
+    return;
+  }
+  MutexEndpoint* holder = nullptr;
+  int requester = -1;
+  for (int r = 0; r < int(w.endpoints.size()); ++r) {
+    MutexEndpoint* e = w.endpoints[std::size_t(r)];
+    if (e->holds_token()) holder = e;
+    if (requester < 0 && e->state() == CsState::kRequesting) requester = r;
+  }
+  GMX_ASSERT(holder != nullptr && requester >= 0);
+  ++stats_.stranded_repairs;
+  holder->algorithm().surrender_token_to(requester);
+}
+
+}  // namespace gmx

@@ -50,4 +50,8 @@ void MutexAlgorithm::begin_release() {
   set_state(CsState::kIdle);
 }
 
+void MutexAlgorithm::surrender_token_to(int) {
+  GMX_ASSERT_MSG(false, "surrender_token_to() not supported by this algorithm");
+}
+
 }  // namespace gmx

@@ -57,6 +57,22 @@ void NaimiTrehelMutex::on_message(int from_rank, std::uint16_t type,
       (void)from_rank;
       handle_token();
       break;
+    case kRegenQuery: {
+      const std::uint64_t round = payload.varint();
+      payload.expect_end();
+      handle_regen_query(from_rank, round);
+      break;
+    }
+    case kRegenReply: {
+      const std::uint64_t round = payload.varint();
+      const std::uint64_t flags = payload.varint();
+      const std::uint64_t next_plus_one = payload.varint();
+      payload.expect_end();
+      if (next_plus_one > std::uint64_t(ctx().size()))
+        throw wire::WireError("naimi: regen reply next out of range");
+      handle_regen_reply(from_rank, round, flags, next_plus_one);
+      break;
+    }
     default:
       throw wire::WireError("naimi: unknown message type");
   }
@@ -92,6 +108,114 @@ void NaimiTrehelMutex::handle_token() {
                  "token arrived at a participant that is not requesting");
   has_token_ = true;
   enter_cs_and_notify();
+}
+
+void NaimiTrehelMutex::begin_token_regeneration() {
+  if (regen_active_) return;
+  if (has_token_) {  // false alarm: nothing to rebuild
+    notify_token_regenerated();
+    return;
+  }
+  GMX_ASSERT_MSG(state() != CsState::kInCs, "in CS without the token");
+  regen_active_ = true;
+  ++regen_round_;
+  const int n = ctx().size();
+  regen_seen_.assign(std::size_t(n), 0);
+  regen_requesting_.assign(std::size_t(n), 0);
+  regen_next_.assign(std::size_t(n), -1);
+  const auto self = std::size_t(ctx().self());
+  regen_seen_[self] = 1;
+  regen_requesting_[self] = state() == CsState::kRequesting ? 1 : 0;
+  regen_next_[self] = next_ ? *next_ : -1;
+  regen_outstanding_ = n - 1;
+  if (regen_outstanding_ == 0) {
+    finish_regeneration();
+    return;
+  }
+  wire::Writer w;
+  w.varint(regen_round_);
+  for (int r = 0; r < n; ++r) {
+    if (r != ctx().self()) ctx().send(r, kRegenQuery, w.view());
+  }
+}
+
+void NaimiTrehelMutex::cancel_token_regeneration() {
+  regen_active_ = false;
+  ++regen_round_;  // replies to the abandoned round become stale
+}
+
+void NaimiTrehelMutex::handle_regen_query(int from_rank,
+                                          std::uint64_t round) {
+  std::uint64_t flags = 0;
+  if (state() == CsState::kRequesting) flags |= kFlagRequesting;
+  if (has_token_) flags |= kFlagHasToken;
+  wire::Writer w;
+  w.varint(round);
+  w.varint(flags);
+  w.varint(next_ ? std::uint64_t(*next_) + 1 : 0);
+  ctx().send(from_rank, kRegenReply, w.view());
+}
+
+void NaimiTrehelMutex::handle_regen_reply(int from_rank, std::uint64_t round,
+                                          std::uint64_t flags,
+                                          std::uint64_t next_plus_one) {
+  if (!regen_active_ || round != regen_round_) return;  // stale round
+  if (regen_seen_[std::size_t(from_rank)]) return;      // duplicate reply
+  if ((flags & kFlagHasToken) != 0) {
+    // The token is alive after all; minting another would break uniqueness.
+    cancel_token_regeneration();
+    return;
+  }
+  regen_seen_[std::size_t(from_rank)] = 1;
+  regen_requesting_[std::size_t(from_rank)] =
+      (flags & kFlagRequesting) != 0 ? 1 : 0;
+  regen_next_[std::size_t(from_rank)] = int(next_plus_one) - 1;
+  if (--regen_outstanding_ == 0) finish_regeneration();
+}
+
+void NaimiTrehelMutex::finish_regeneration() {
+  regen_active_ = false;
+  const int n = ctx().size();
+  // The queue head: a requester no participant names as `next`. Ties (a
+  // request racing the consultation) break to the lowest rank; the other
+  // headless requester is later restored by the stranded-token repair.
+  std::vector<std::uint8_t> pointed_to(std::size_t(n), 0);
+  for (int r = 0; r < n; ++r) {
+    const int nx = regen_next_[std::size_t(r)];
+    if (nx >= 0) pointed_to[std::size_t(nx)] = 1;
+  }
+  int head = -1;
+  for (int r = 0; r < n && head < 0; ++r) {
+    if (regen_requesting_[std::size_t(r)] && !pointed_to[std::size_t(r)])
+      head = r;
+  }
+  if (head < 0) {  // every requester is mid-chain (or none): fall back
+    for (int r = 0; r < n && head < 0; ++r) {
+      if (regen_requesting_[std::size_t(r)]) head = r;
+    }
+  }
+  if (head < 0 || head == ctx().self()) {
+    // Mint locally: either we are the head, or nobody requests at all (a
+    // defensive fallback — an in-transit token always has a requesting
+    // recipient) and the initiator adopts the token as idle root.
+    has_token_ = true;
+    if (state() == CsState::kIdle) last_ = ctx().self();
+    notify_token_regenerated();
+    if (state() == CsState::kRequesting) enter_cs_and_notify();
+    return;
+  }
+  // Mint in flight: close the epoch at creation, then ship to the head.
+  notify_token_regenerated();
+  ctx().send(head, kToken, {});
+}
+
+void NaimiTrehelMutex::surrender_token_to(int to_rank) {
+  GMX_ASSERT_MSG(has_token_ && state() == CsState::kIdle,
+                 "surrender requires an idle token holder");
+  GMX_ASSERT(to_rank != ctx().self());
+  GMX_ASSERT_MSG(!next_.has_value(), "idle holder cannot have a next");
+  has_token_ = false;
+  ctx().send(to_rank, kToken, {});
 }
 
 }  // namespace gmx

@@ -100,9 +100,17 @@ std::string message_type_name(std::string_view algorithm,
   };
   static const std::unordered_map<std::string, std::vector<TypeName>> kNames =
       {
-          {"naimi", {{1, "REQUEST"}, {2, "TOKEN"}}},
+          {"naimi",
+           {{1, "REQUEST"},
+            {2, "TOKEN"},
+            {3, "REGEN_QUERY"},
+            {4, "REGEN_REPLY"}}},
           {"martin", {{1, "REQUEST"}, {2, "TOKEN"}}},
-          {"suzuki", {{1, "REQUEST"}, {2, "TOKEN"}}},
+          {"suzuki",
+           {{1, "REQUEST"},
+            {2, "TOKEN"},
+            {3, "REGEN_QUERY"},
+            {4, "REGEN_REPLY"}}},
           {"raymond", {{1, "REQUEST"}, {2, "TOKEN"}}},
           {"bertier", {{1, "REQUEST"}, {2, "TOKEN"}}},
           {"mueller", {{1, "REQUEST"}, {2, "TOKEN"}}},

@@ -68,6 +68,20 @@ void SuzukiKasamiMutex::on_message(int from_rank, std::uint16_t type,
     case kToken:
       handle_token(payload);
       break;
+    case kRegenQuery: {
+      const std::uint64_t round = payload.varint();
+      payload.expect_end();
+      handle_regen_query(from_rank, round);
+      break;
+    }
+    case kRegenReply: {
+      const std::uint64_t round = payload.varint();
+      const std::uint64_t flags = payload.varint();
+      const std::uint64_t own_seq = payload.varint();
+      payload.expect_end();
+      handle_regen_reply(from_rank, round, flags, own_seq);
+      break;
+    }
     default:
       throw wire::WireError("suzuki: unknown message type");
   }
@@ -113,6 +127,105 @@ void SuzukiKasamiMutex::send_token_to(int rank) {
   w.varint_array(std::span<const std::uint32_t>(q));
   ctx().send(rank, kToken, w.view());
   q_.clear();
+}
+
+void SuzukiKasamiMutex::begin_token_regeneration() {
+  if (regen_active_) return;
+  if (has_token_) {  // false alarm: nothing to rebuild
+    notify_token_regenerated();
+    return;
+  }
+  GMX_ASSERT_MSG(state() != CsState::kInCs, "in CS without the token");
+  regen_active_ = true;
+  ++regen_round_;
+  const int n = ctx().size();
+  const auto self = std::size_t(ctx().self());
+  regen_seen_.assign(std::size_t(n), 0);
+  regen_last_.assign(std::size_t(n), 0);
+  regen_seen_[self] = 1;
+  regen_last_[self] =
+      rn_[self] - (state() == CsState::kRequesting ? 1 : 0);
+  regen_outstanding_ = n - 1;
+  if (regen_outstanding_ == 0) {
+    finish_regeneration();
+    return;
+  }
+  wire::Writer w;
+  w.varint(regen_round_);
+  for (int r = 0; r < n; ++r) {
+    if (r != ctx().self()) ctx().send(r, kRegenQuery, w.view());
+  }
+}
+
+void SuzukiKasamiMutex::cancel_token_regeneration() {
+  regen_active_ = false;
+  ++regen_round_;  // replies to the abandoned round become stale
+}
+
+void SuzukiKasamiMutex::handle_regen_query(int from_rank,
+                                           std::uint64_t round) {
+  std::uint64_t flags = 0;
+  if (state() == CsState::kRequesting) flags |= kFlagRequesting;
+  if (has_token_) flags |= kFlagHasToken;
+  wire::Writer w;
+  w.varint(round);
+  w.varint(flags);
+  w.varint(rn_[std::size_t(ctx().self())]);
+  ctx().send(from_rank, kRegenReply, w.view());
+}
+
+void SuzukiKasamiMutex::handle_regen_reply(int from_rank, std::uint64_t round,
+                                           std::uint64_t flags,
+                                           std::uint64_t own_seq) {
+  if (!regen_active_ || round != regen_round_) return;  // stale round
+  if (regen_seen_[std::size_t(from_rank)]) return;      // duplicate reply
+  if ((flags & kFlagHasToken) != 0) {
+    // The token is alive after all; minting another would break uniqueness.
+    // Abort; the recovery manager's probe will observe the live holder.
+    cancel_token_regeneration();
+    return;
+  }
+  regen_seen_[std::size_t(from_rank)] = 1;
+  auto& rn = rn_[std::size_t(from_rank)];
+  rn = std::max(rn, own_seq);
+  regen_last_[std::size_t(from_rank)] =
+      own_seq - ((flags & kFlagRequesting) != 0 ? 1 : 0);
+  if (--regen_outstanding_ == 0) finish_regeneration();
+}
+
+void SuzukiKasamiMutex::finish_regeneration() {
+  regen_active_ = false;
+  ln_ = regen_last_;
+  q_.clear();
+  has_token_ = true;
+  // Close the regeneration epoch at mint time, before any grant: from here
+  // on the checker holds the instance to normal single-token invariants.
+  notify_token_regenerated();
+  if (state() == CsState::kRequesting) {
+    enter_cs_and_notify();
+    return;
+  }
+  // Idle holder: serve outstanding requesters exactly as release would.
+  const int n = ctx().size();
+  for (int off = 1; off < n; ++off) {
+    const int j = (ctx().self() + off) % n;
+    if (rn_[std::size_t(j)] > ln_[std::size_t(j)] &&
+        std::find(q_.begin(), q_.end(), std::uint32_t(j)) == q_.end()) {
+      q_.push_back(std::uint32_t(j));
+    }
+  }
+  if (!q_.empty()) {
+    const int head = int(q_.front());
+    q_.pop_front();
+    send_token_to(head);
+  }
+}
+
+void SuzukiKasamiMutex::surrender_token_to(int to_rank) {
+  GMX_ASSERT_MSG(has_token_ && state() == CsState::kIdle,
+                 "surrender requires an idle token holder");
+  GMX_ASSERT(to_rank != ctx().self());
+  send_token_to(to_rank);
 }
 
 bool SuzukiKasamiMutex::has_pending_requests() const {

@@ -1,5 +1,6 @@
 #include "gridmutex/net/network.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "gridmutex/sim/assert.hpp"
@@ -11,6 +12,7 @@ MessageCounters& MessageCounters::operator-=(const MessageCounters& o) {
   delivered -= o.delivered;
   dropped -= o.dropped;
   duplicated -= o.duplicated;
+  retransmitted -= o.retransmitted;
   intra_cluster -= o.intra_cluster;
   inter_cluster -= o.inter_cluster;
   bytes_total -= o.bytes_total;
@@ -24,7 +26,11 @@ Network::Network(Simulator& sim, Topology topo,
       topo_(std::move(topo)),
       latency_(std::move(latency)),
       rng_(rng),
-      handlers_(topo_.node_count()) {
+      // fork() is const: deriving the fault stream leaves rng_'s latency
+      // sequence exactly where a fault-free build would have it.
+      fault_rng_(rng.fork(0xFA017)),
+      handlers_(topo_.node_count()),
+      node_up_(topo_.node_count(), 1) {
   GMX_ASSERT(latency_ != nullptr);
 }
 
@@ -47,6 +53,49 @@ void Network::set_drop_probability(double p) {
 void Network::set_duplicate_probability(double p) {
   GMX_ASSERT(p >= 0.0 && p <= 1.0);
   dup_p_ = p;
+}
+
+std::uint64_t Network::link_key(ClusterId a, ClusterId b) const {
+  const auto lo = std::uint64_t(std::min(a, b));
+  const auto hi = std::uint64_t(std::max(a, b));
+  return (lo << 32) | hi;
+}
+
+void Network::set_link_drop_probability(ClusterId a, ClusterId b, double p) {
+  GMX_ASSERT(a < topo_.cluster_count() && b < topo_.cluster_count());
+  GMX_ASSERT_MSG(a != b, "link loss is between clusters; use "
+                         "set_drop_probability for uniform loss");
+  GMX_ASSERT(p >= 0.0 && p <= 1.0);
+  if (p == 0.0) {
+    link_drop_.erase(link_key(a, b));
+  } else {
+    link_drop_[link_key(a, b)] = p;
+  }
+}
+
+void Network::partition(ClusterId a, ClusterId b) {
+  set_link_drop_probability(a, b, 1.0);
+}
+
+void Network::heal(ClusterId a, ClusterId b) {
+  set_link_drop_probability(a, b, 0.0);
+}
+
+void Network::set_node_up(NodeId node, bool up) {
+  GMX_ASSERT(node < topo_.node_count());
+  node_up_[node] = up ? 1 : 0;
+}
+
+void Network::set_reliable(ProtocolId protocol, RetransmitConfig cfg) {
+  GMX_ASSERT(cfg.rto > SimDuration::ns(0));
+  GMX_ASSERT(cfg.backoff >= 1.0);
+  GMX_ASSERT(cfg.max_attempts >= 1);
+  reliable_[protocol] = cfg;
+}
+
+std::uint64_t Network::unacked_for(ProtocolId p) const {
+  const auto it = unacked_by_protocol_.find(p);
+  return it == unacked_by_protocol_.end() ? 0 : it->second;
 }
 
 std::uint64_t Network::sent_by_protocol(ProtocolId p) const {
@@ -78,12 +127,101 @@ SimTime Network::departure_to_delivery(const Message& msg) {
   return at;
 }
 
+Network::Channel& Network::channel(NodeId src, NodeId dst,
+                                   ProtocolId protocol) {
+  return channels_[ChannelKey{src, dst, protocol}];
+}
+
+bool Network::register_reliable_send(Message& msg,
+                                     const RetransmitConfig& cfg) {
+  Channel& ch = channel(msg.src, msg.dst, msg.protocol);
+  msg.seq = ++ch.next_seq;
+  ++unacked_by_protocol_[msg.protocol];
+  if (!ch.pending.empty()) {
+    // Stop-and-wait: the channel head is still unacked; this frame waits
+    // its turn so reliable delivery preserves per-pair FIFO order.
+    ch.queue.push_back(msg);
+    return false;
+  }
+  make_head(ch, msg, cfg);
+  return true;
+}
+
+void Network::make_head(Channel& ch, Message msg, const RetransmitConfig& cfg) {
+  PendingSend pending;
+  pending.msg = msg;
+  pending.rto = cfg.rto;
+  pending.timer = sim_.schedule_after(
+      cfg.rto, [this, src = msg.src, dst = msg.dst, proto = msg.protocol,
+                seq = msg.seq] { retransmit(src, dst, proto, seq); });
+  ch.pending.emplace(msg.seq, std::move(pending));
+}
+
+void Network::launch_next(NodeId src, NodeId dst, ProtocolId protocol) {
+  Channel& ch = channel(src, dst, protocol);
+  if (ch.queue.empty()) return;
+  Message msg = std::move(ch.queue.front());
+  ch.queue.pop_front();
+  make_head(ch, msg, reliable_.at(protocol));
+  transmit(std::move(msg));
+}
+
+void Network::retransmit(NodeId src, NodeId dst, ProtocolId protocol,
+                         std::uint64_t seq) {
+  const auto cit = channels_.find(ChannelKey{src, dst, protocol});
+  if (cit == channels_.end()) return;
+  const auto pit = cit->second.pending.find(seq);
+  if (pit == cit->second.pending.end()) return;  // acked concurrently
+  PendingSend& p = pit->second;
+  const RetransmitConfig& cfg = reliable_.at(protocol);
+  if (p.attempts >= cfg.max_attempts) {
+    // Retry horizon exhausted: the frame is lost for good — a pure
+    // omission, never a reorder. Token-loss detectors key off
+    // unacked_for() dropping to zero here.
+    cit->second.pending.erase(pit);
+    --unacked_by_protocol_[protocol];
+    launch_next(src, dst, protocol);
+    return;
+  }
+  ++p.attempts;
+  ++counters_.retransmitted;
+  transmit(p.msg);
+  p.rto = std::min(p.rto * cfg.backoff, cfg.rto_max);
+  p.timer = sim_.schedule_after(
+      p.rto, [this, src, dst, protocol, seq] {
+        retransmit(src, dst, protocol, seq);
+      });
+}
+
+void Network::resolve_ack(const Message& ack) {
+  // The ack travels receiver → sender, so the original flow is
+  // (ack.dst → ack.src).
+  const auto cit =
+      channels_.find(ChannelKey{ack.dst, ack.src, ack.protocol});
+  if (cit == channels_.end()) return;
+  const auto pit = cit->second.pending.find(ack.seq);
+  if (pit == cit->second.pending.end()) return;  // duplicate ack
+  sim_.cancel(pit->second.timer);
+  cit->second.pending.erase(pit);
+  --unacked_by_protocol_[ack.protocol];
+  launch_next(ack.dst, ack.src, ack.protocol);
+}
+
 void Network::send(Message msg) {
   GMX_ASSERT(msg.src < topo_.node_count());
   GMX_ASSERT(msg.dst < topo_.node_count());
   GMX_ASSERT_MSG(msg.src != msg.dst,
                  "self-send: handle loopback in the protocol layer");
+  if (!reliable_.empty()) {
+    const auto it = reliable_.find(msg.protocol);
+    if (it != reliable_.end() && !register_reliable_send(msg, it->second))
+      return;  // queued behind the channel head; launch_next transmits it
+  }
+  transmit(std::move(msg));
+}
 
+void Network::transmit(Message msg) {
+  if (send_tap_) send_tap_(msg);
   ++counters_.sent;
   counters_.bytes_total += msg.wire_size();
   if (topo_.same_cluster(msg.src, msg.dst)) {
@@ -94,12 +232,32 @@ void Network::send(Message msg) {
   }
   ++sent_by_protocol_[msg.protocol];
 
-  if (drop_p_ > 0.0 && rng_.chance(drop_p_)) {
+  // Fault checks, cheapest first; every branch is a no-op (no rng draw, no
+  // lookup) when the corresponding fault is unconfigured, preserving
+  // bit-for-bit trajectories of fault-free runs.
+  if (node_up_[msg.src] == 0) {  // sender offline: datagram never leaves
+    ++counters_.dropped;
+    return;
+  }
+  if (drop_filter_ && drop_filter_(msg)) {
+    ++counters_.dropped;
+    return;
+  }
+  if (!link_drop_.empty() && !topo_.same_cluster(msg.src, msg.dst)) {
+    const auto it = link_drop_.find(
+        link_key(topo_.cluster_of(msg.src), topo_.cluster_of(msg.dst)));
+    if (it != link_drop_.end() &&
+        (it->second >= 1.0 || fault_rng_.chance(it->second))) {
+      ++counters_.dropped;
+      return;
+    }
+  }
+  if (drop_p_ > 0.0 && fault_rng_.chance(drop_p_)) {
     ++counters_.dropped;
     return;
   }
 
-  const bool duplicate = dup_p_ > 0.0 && rng_.chance(dup_p_);
+  const bool duplicate = dup_p_ > 0.0 && fault_rng_.chance(dup_p_);
   const SimTime sent_at = sim_.now();
 
   const SimTime at = departure_to_delivery(msg);
@@ -123,9 +281,30 @@ void Network::send(Message msg) {
 void Network::deliver(Message msg, SimTime sent_at) {
   --in_flight_;
   --in_flight_by_protocol_[msg.protocol];
+  if (node_up_[msg.dst] == 0) {  // receiver offline: datagram lost on arrival
+    ++counters_.dropped;
+    return;
+  }
   ++counters_.delivered;
   if (delivery_tap_) delivery_tap_(msg, sent_at, sim_.now());
   if (tracer_) tracer_(msg, sent_at, sim_.now());
+  if (msg.seq != 0) {  // ARQ frame of a reliable protocol
+    if (msg.type == Message::kAckType) {
+      resolve_ack(msg);
+      return;
+    }
+    // Acknowledge before deduplicating: a duplicate means our previous ack
+    // was lost (or the sender timed out), so it must be acked again.
+    Message ack;
+    ack.src = msg.dst;
+    ack.dst = msg.src;
+    ack.protocol = msg.protocol;
+    ack.type = Message::kAckType;
+    ack.seq = msg.seq;
+    transmit(std::move(ack));
+    Channel& ch = channel(msg.src, msg.dst, msg.protocol);
+    if (!ch.seen.insert(msg.seq).second) return;  // duplicate: suppress
+  }
   auto& node_handlers = handlers_[msg.dst];
   const auto it = node_handlers.find(msg.protocol);
   GMX_ASSERT_MSG(it != node_handlers.end(),

@@ -50,6 +50,7 @@ void AppProcess::release_and_continue() {
   safety_.exit(int(mutex_.protocol()), mutex_.rank());
   mutex_.release_cs();
   ++metrics_.completed_cs;
+  if (under_fault && under_fault()) ++metrics_.cs_under_faults;
   active_ = false;
   if (remaining_ > 0) {
     think_then_request();

@@ -5,6 +5,8 @@
 
 #include "gridmutex/analysis/protocol_checker.hpp"
 #include "gridmutex/core/composition.hpp"
+#include "gridmutex/fault/failover.hpp"
+#include "gridmutex/fault/injector.hpp"
 #include "gridmutex/mutex/registry.hpp"
 #include "gridmutex/sim/assert.hpp"
 
@@ -72,6 +74,9 @@ void ExperimentResult::merge(const ExperimentResult& other) {
   obtaining_hist.merge(other.obtaining_hist);
   messages.sent += other.messages.sent;
   messages.delivered += other.messages.delivered;
+  messages.dropped += other.messages.dropped;
+  messages.duplicated += other.messages.duplicated;
+  messages.retransmitted += other.messages.retransmitted;
   messages.intra_cluster += other.messages.intra_cluster;
   messages.inter_cluster += other.messages.inter_cluster;
   messages.bytes_total += other.messages.bytes_total;
@@ -81,6 +86,15 @@ void ExperimentResult::merge(const ExperimentResult& other) {
   events += other.events;
   safety_entries += other.safety_entries;
   repetitions += other.repetitions;
+  faults_injected += other.faults_injected;
+  cs_under_faults += other.cs_under_faults;
+  token_losses += other.token_losses;
+  token_regenerations += other.token_regenerations;
+  stranded_repairs += other.stranded_repairs;
+  false_alarms += other.false_alarms;
+  coordinator_failovers += other.coordinator_failovers;
+  recovery_latency.merge(other.recovery_latency);
+  stalled = stalled || other.stalled;
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
@@ -145,6 +159,49 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     for (auto& ep : flat) mutexes.push_back(ep.get());
   }
 
+  // Fault campaign: injector → recovery manager → coordinator failover.
+  // Declared before the checker so the checker still dies first; the
+  // recovery manager installs hooks into the network and the endpoints, so
+  // it must precede (outlive-wise, die after) nothing but the checker.
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<TokenRecoveryManager> recovery;
+  std::unique_ptr<CoordinatorFailover> failover;
+  if (cfg.faults.enabled) {
+    GMX_ASSERT_MSG(!multilevel,
+                   "fault campaigns support kFlat and kComposition only");
+    injector = std::make_unique<FaultInjector>(net, cfg.faults.plan);
+    if (cfg.faults.recovery) {
+      const RecoveryConfig& rc = cfg.faults.recovery_cfg;
+      recovery = std::make_unique<TokenRecoveryManager>(net, rc);
+      if (comp) {
+        // ARQ shields every instance (permission-based ones included);
+        // token-loss watching applies only where a token can be lost.
+        if (rc.enable_retransmit) {
+          net.set_reliable(comp->inter_protocol(), rc.retransmit);
+          for (ClusterId c = 0; c < comp->cluster_count(); ++c)
+            net.set_reliable(comp->intra_protocol(c), rc.retransmit);
+        }
+        if (is_token_based(cfg.inter)) {
+          recovery->watch_instance("inter", comp->inter_protocol(),
+                                   comp->inter_instance());
+        }
+        if (is_token_based(cfg.intra)) {
+          for (ClusterId c = 0; c < comp->cluster_count(); ++c) {
+            recovery->watch_instance("intra[" + std::to_string(c) + "]",
+                                     comp->intra_protocol(c),
+                                     comp->intra_instance(c));
+          }
+        }
+        failover = std::make_unique<CoordinatorFailover>(*comp, *injector);
+      } else {
+        if (rc.enable_retransmit) net.set_reliable(1, rc.retransmit);
+        if (is_token_based(cfg.flat_algorithm))
+          recovery->watch_instance(cfg.flat_algorithm, 1, mutexes);
+      }
+    }
+    injector->arm();
+  }
+
   // The checker is declared after the world it watches so its destructor
   // (which uninstalls the hooks) runs first.
   std::unique_ptr<ProtocolChecker> checker;
@@ -174,6 +231,26 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
       checker->attach_instance(cfg.flat_algorithm, mutexes,
                                is_token_based(cfg.flat_algorithm));
     }
+    if (recovery) {
+      // Grace covers the detector's horizon: the sustained-absence timeout
+      // plus probe drift plus the election pause, with slack — a loss the
+      // manager misses still surfaces, just later.
+      const RecoveryConfig& rc = cfg.faults.recovery_cfg;
+      const SimDuration grace =
+          rc.detect_timeout + rc.probe_interval * 6 + rc.election_delay;
+      if (comp) {
+        if (is_token_based(cfg.inter))
+          checker->enable_recovery(comp->inter_protocol(), grace);
+        if (is_token_based(cfg.intra))
+          for (ClusterId c = 0; c < comp->cluster_count(); ++c)
+            checker->enable_recovery(comp->intra_protocol(c), grace);
+      } else if (is_token_based(cfg.flat_algorithm)) {
+        checker->enable_recovery(1, grace);
+      }
+      recovery->set_epoch_hook([ck = checker.get()](ProtocolId p, bool open) {
+        ck->note_regeneration(p, open);
+      });
+    }
   }
 
   WorkloadMetrics metrics;
@@ -184,17 +261,33 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     processes.push_back(std::make_unique<AppProcess>(
         sim, *mutexes[i], cfg.workload, root.fork(10'000 + i), metrics,
         safety));
+    if (injector) {
+      processes.back()->under_fault = [inj = injector.get()] {
+        return inj->active_faults() > 0;
+      };
+    }
   }
   for (auto& p : processes) p->start();
 
-  sim.run();
+  const bool bounded =
+      cfg.faults.enabled && cfg.faults.stall_horizon < SimTime::max();
+  if (bounded) {
+    sim.run_until(cfg.faults.stall_horizon);
+  } else {
+    sim.run();
+  }
 
   // The run must drain completely: every process finished, no message in
-  // flight, nobody left inside the CS.
-  for (auto& p : processes)
-    GMX_ASSERT_MSG(p->done(), "liveness failure: process did not finish");
-  GMX_ASSERT(net.in_flight() == 0);
-  GMX_ASSERT(safety.in_cs() == 0);
+  // flight, nobody left inside the CS. A bounded campaign (stall_horizon)
+  // may legitimately stop short — the stall is reported, not asserted.
+  bool stalled = false;
+  for (auto& p : processes) stalled = stalled || !p->done();
+  if (stalled) {
+    GMX_ASSERT_MSG(bounded, "liveness failure: process did not finish");
+  } else {
+    GMX_ASSERT(net.in_flight() == 0);
+    GMX_ASSERT(safety.in_cs() == 0);
+  }
   GMX_ASSERT(safety.violations() == 0);
 
   ExperimentResult res;
@@ -212,6 +305,22 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     res.first_violation = safety.first_violation()->to_string();
   if (checker) res.invariant_checks = checker->checks_run();
   if (comp) res.inter_acquisitions = comp->total_inter_acquisitions();
+  res.cs_under_faults = metrics.cs_under_faults;
+  res.stalled = stalled;
+  if (injector) {
+    const FaultInjector::Stats& fs = injector->stats();
+    res.faults_injected =
+        fs.crashes + fs.partitions + fs.lossy_links + fs.targeted_drops;
+  }
+  if (recovery) {
+    const TokenRecoveryManager::Stats& rs = recovery->stats();
+    res.token_losses = rs.losses_detected;
+    res.token_regenerations = rs.regenerations;
+    res.stranded_repairs = rs.stranded_repairs;
+    res.false_alarms = rs.false_alarms;
+    res.recovery_latency = rs.recovery_latency;
+  }
+  if (failover) res.coordinator_failovers = failover->stats().failovers;
   return res;
 }
 

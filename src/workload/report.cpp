@@ -92,7 +92,10 @@ void write_csv(std::ostream& out, std::span<const SeriesPoint> points) {
          "obtaining_p50_ms,obtaining_p99_ms,"
          "inter_msgs_per_cs,total_msgs_per_cs,inter_bytes_per_cs,"
          "inter_acquisitions,makespan_ms,repetitions,"
-         "safety_violations,first_violation\n";
+         "safety_violations,first_violation,"
+         "dropped,duplicated,retransmitted,faults_injected,cs_under_faults,"
+         "token_losses,token_regenerations,stranded_repairs,false_alarms,"
+         "coordinator_failovers,recovery_ms,stalled\n";
   for (const auto& p : points) {
     const ExperimentResult& r = p.result;
     const bool has_hist = r.obtaining_hist.count() > 0;
@@ -108,7 +111,14 @@ void write_csv(std::ostream& out, std::span<const SeriesPoint> points) {
         << r.total_msgs_per_cs() << ',' << r.inter_bytes_per_cs() << ','
         << r.inter_acquisitions << ',' << r.makespan.as_ms() << ','
         << r.repetitions << ',' << r.safety_violations << ','
-        << violation << "\n";
+        << violation << ','
+        << r.messages.dropped << ',' << r.messages.duplicated << ','
+        << r.messages.retransmitted << ',' << r.faults_injected << ','
+        << r.cs_under_faults << ',' << r.token_losses << ','
+        << r.token_regenerations << ',' << r.stranded_repairs << ','
+        << r.false_alarms << ',' << r.coordinator_failovers << ','
+        << r.recovery_latency.mean_ms() << ',' << (r.stalled ? 1 : 0)
+        << "\n";
   }
 }
 

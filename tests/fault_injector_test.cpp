@@ -1,0 +1,171 @@
+// FaultInjector: compiling declarative FaultPlans onto the network —
+// crash/restart omission windows, partition/heal, lossy-link windows,
+// targeted message drops, and the active-fault gauge.
+#include "gridmutex/fault/injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+namespace gmx {
+namespace {
+
+SimTime at(std::int64_t ms) { return SimTime::zero() + SimDuration::ms(ms); }
+
+struct InjectorFixture : ::testing::Test {
+  InjectorFixture()
+      : topo(Topology::uniform(2, 3)),
+        net(sim, topo,
+            std::make_shared<FixedLatencyModel>(SimDuration::ms(5)),
+            Rng(1)) {}
+
+  Message make(NodeId src, NodeId dst, std::uint16_t type = 0) {
+    Message m;
+    m.src = src;
+    m.dst = dst;
+    m.protocol = 7;
+    m.type = type;
+    m.payload.assign(4, std::uint8_t(0xEE));
+    return m;
+  }
+
+  void send_at(std::int64_t ms, NodeId src, NodeId dst,
+               std::uint16_t type = 0) {
+    sim.schedule_at(at(ms), [this, src, dst, type] {
+      net.send(make(src, dst, type));
+    });
+  }
+
+  Simulator sim;
+  Topology topo;
+  Network net;
+};
+
+TEST_F(InjectorFixture, CrashWindowDropsBothWaysThenRestores) {
+  std::vector<std::uint16_t> got;
+  net.attach(1, 7, [&](const Message& m) { got.push_back(m.type); });
+  net.attach(0, 7, [&](const Message& m) { got.push_back(m.type); });
+
+  FaultPlan plan;
+  plan.crash(1, at(10), at(30));
+  FaultInjector inj(net, std::move(plan));
+  std::vector<std::pair<NodeId, bool>> hooks;
+  inj.add_node_hook([&](NodeId n, bool up) { hooks.emplace_back(n, up); });
+  inj.arm();
+
+  send_at(15, 0, 1, 100);  // into the window: lost at the destination
+  send_at(15, 1, 0, 101);  // out of the window: lost at the source
+  send_at(40, 0, 1, 102);  // after restart: delivered
+  sim.schedule_at(at(15), [&] { EXPECT_EQ(inj.active_faults(), 1); });
+  sim.schedule_at(at(50), [&] { EXPECT_EQ(inj.active_faults(), 0); });
+  sim.run();
+
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 102);
+  EXPECT_EQ(inj.stats().crashes, 1u);
+  EXPECT_EQ(inj.stats().restarts, 1u);
+  ASSERT_EQ(hooks.size(), 2u);
+  EXPECT_EQ(hooks[0], (std::pair<NodeId, bool>{1, false}));
+  EXPECT_EQ(hooks[1], (std::pair<NodeId, bool>{1, true}));
+}
+
+TEST_F(InjectorFixture, PartitionWindowCutsTheClusterPair) {
+  int intra = 0, inter = 0;
+  net.attach(1, 7, [&](const Message&) { ++intra; });
+  net.attach(3, 7, [&](const Message&) { ++inter; });
+
+  FaultPlan plan;
+  plan.partition_clusters(0, 1, at(0), at(20));
+  FaultInjector inj(net, std::move(plan));
+  inj.arm();
+
+  send_at(5, 0, 3);   // cross-cluster, inside the window: dropped
+  send_at(5, 0, 1);   // intra-cluster: a partition never touches it
+  send_at(25, 0, 3);  // healed: delivered
+  sim.run();
+
+  EXPECT_EQ(intra, 1);
+  EXPECT_EQ(inter, 1);
+  EXPECT_EQ(net.counters().dropped, 1u);
+  EXPECT_EQ(inj.stats().partitions, 1u);
+  EXPECT_EQ(inj.stats().heals, 1u);
+}
+
+TEST_F(InjectorFixture, LossyLinkWindowExpires) {
+  int inter = 0;
+  net.attach(3, 7, [&](const Message&) { ++inter; });
+
+  FaultPlan plan;
+  plan.lossy_link(0, 1, 1.0, at(0), at(20));
+  FaultInjector inj(net, std::move(plan));
+  inj.arm();
+
+  send_at(5, 0, 3);
+  send_at(25, 0, 3);
+  sim.run();
+
+  EXPECT_EQ(inter, 1);
+  EXPECT_EQ(net.counters().dropped, 1u);
+  EXPECT_EQ(inj.stats().lossy_links, 1u);
+}
+
+TEST_F(InjectorFixture, TargetedDropsRespectTypeCountAndWindow) {
+  std::vector<std::uint16_t> got;
+  net.attach(1, 7, [&](const Message& m) { got.push_back(m.type); });
+
+  FaultPlan plan;
+  plan.drop_messages(7, 42, 2, at(0));          // first two type-42 frames
+  plan.drop_messages(7, 5, 10, at(0), at(10));  // type 5, but only early
+  FaultInjector inj(net, std::move(plan));
+  inj.arm();
+
+  send_at(1, 0, 1, 42);
+  send_at(2, 0, 1, 42);
+  send_at(3, 0, 1, 42);  // ammunition spent: delivered
+  send_at(4, 0, 1, 9);   // never matched
+  send_at(15, 0, 1, 5);  // outside the rule's window: delivered
+  sim.run();
+
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], 42);
+  EXPECT_EQ(got[1], 9);
+  EXPECT_EQ(got[2], 5);
+  EXPECT_EQ(inj.stats().targeted_drops, 2u);
+}
+
+TEST_F(InjectorFixture, WildcardTypeMatchesEveryFrameOfTheProtocol) {
+  int got = 0;
+  net.attach(1, 7, [&](const Message&) { ++got; });
+
+  FaultPlan plan;
+  plan.drop_messages(7, FaultPlan::kAnyType, 1, at(0));
+  FaultInjector inj(net, std::move(plan));
+  inj.arm();
+
+  send_at(1, 0, 1, 3);
+  send_at(2, 0, 1, 4);
+  sim.run();
+
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(inj.stats().targeted_drops, 1u);
+}
+
+TEST_F(InjectorFixture, DestructionCancelsScheduledFaults) {
+  int got = 0;
+  net.attach(1, 7, [&](const Message&) { ++got; });
+  {
+    FaultPlan plan;
+    plan.crash_forever(1, at(50));
+    FaultInjector inj(net, std::move(plan));
+    inj.arm();
+  }  // dies before the crash fires
+  send_at(60, 0, 1);
+  sim.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_TRUE(net.node_up(1));
+}
+
+}  // namespace
+}  // namespace gmx

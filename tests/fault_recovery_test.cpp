@@ -1,0 +1,160 @@
+// Token-loss recovery: detection, regeneration (Suzuki-Kasami and
+// Naimi-Trehel), stranded-token repair, the given-up latch for algorithms
+// without a regeneration protocol, and ARQ masking of single losses.
+#include "gridmutex/fault/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gridmutex/fault/injector.hpp"
+#include "mutex_harness.hpp"
+
+namespace gmx::testing {
+namespace {
+
+SimTime at(std::int64_t ms) { return SimTime::zero() + SimDuration::ms(ms); }
+
+// Tight timers so the tests stay fast; real campaigns use the defaults.
+RecoveryConfig fast_recovery(bool retransmit) {
+  RecoveryConfig rc;
+  rc.enable_retransmit = retransmit;
+  rc.detect_timeout = SimDuration::ms(50);
+  rc.probe_interval = SimDuration::ms(10);
+  rc.election_delay = SimDuration::ms(5);
+  rc.regen_retry = SimDuration::ms(500);
+  return rc;
+}
+
+std::vector<MutexEndpoint*> endpoints_of(MutexHarness& h) {
+  std::vector<MutexEndpoint*> eps;
+  for (int r = 0; r < h.size(); ++r) eps.push_back(&h.ep(r));
+  return eps;
+}
+
+// One true token loss (no ARQ): the manager must detect it and drive the
+// algorithm's regeneration; the waiting requester must still be served.
+void run_regeneration_case(const std::string& algorithm) {
+  MutexHarness h({.participants = 3, .algorithm = algorithm});
+  TokenRecoveryManager mgr(h.net(), fast_recovery(/*retransmit=*/false));
+  mgr.watch_instance(algorithm, 1, endpoints_of(h));
+
+  FaultPlan plan;
+  plan.drop_messages(1, 2 /* kToken */, 1, at(0));
+  FaultInjector inj(h.net(), std::move(plan));
+  inj.arm();
+
+  h.set_auto_release(SimDuration::ms(2));
+  h.request(1);  // rank 0 holds the token; the grant dies on the wire
+  h.run();
+
+  EXPECT_EQ(h.grant_count(1), 1) << algorithm;
+  EXPECT_FALSE(h.safety_violated());
+  EXPECT_EQ(h.token_holder_count(), 1);
+  EXPECT_EQ(mgr.stats().losses_detected, 1u);
+  EXPECT_EQ(mgr.stats().regenerations, 1u);
+  EXPECT_EQ(mgr.stats().recovery_latency.count(), 1u);
+  EXPECT_FALSE(mgr.in_regeneration(1));
+  EXPECT_FALSE(mgr.given_up());
+}
+
+TEST(TokenRecovery, SuzukiRegeneratesAfterTokenLoss) {
+  run_regeneration_case("suzuki");
+}
+
+TEST(TokenRecovery, NaimiRegeneratesAfterTokenLoss) {
+  run_regeneration_case("naimi");
+}
+
+TEST(TokenRecovery, StrandedTokenIsSurrenderedToTheRequester) {
+  MutexHarness h({.participants = 3, .algorithm = "naimi"});
+  TokenRecoveryManager mgr(h.net(), fast_recovery(/*retransmit=*/false));
+  mgr.watch_instance("naimi", 1, endpoints_of(h));
+
+  // Kill the REQUEST instead of the token: the holder stays idle with the
+  // token, never learning that rank 1 waits.
+  FaultPlan plan;
+  plan.drop_messages(1, 1 /* kRequest */, 1, at(0));
+  FaultInjector inj(h.net(), std::move(plan));
+  inj.arm();
+
+  h.set_auto_release(SimDuration::ms(2));
+  h.request(1);
+  h.run();
+
+  EXPECT_EQ(h.grant_count(1), 1);
+  EXPECT_FALSE(h.safety_violated());
+  EXPECT_EQ(mgr.stats().stranded_repairs, 1u);
+  EXPECT_EQ(mgr.stats().losses_detected, 0u);
+}
+
+TEST(TokenRecovery, AlgorithmWithoutRegenerationLatchesGivenUp) {
+  MutexHarness h({.participants = 3, .algorithm = "raymond"});
+  TokenRecoveryManager mgr(h.net(), fast_recovery(/*retransmit=*/false));
+  mgr.watch_instance("raymond", 1, endpoints_of(h));
+
+  FaultPlan plan;
+  plan.drop_messages(1, 2 /* kToken */, 1, at(0));
+  FaultInjector inj(h.net(), std::move(plan));
+  inj.arm();
+
+  h.set_auto_release(SimDuration::ms(2));
+  h.request(1);
+  h.run();  // drains because the latch stops the probes
+
+  EXPECT_TRUE(mgr.given_up());
+  EXPECT_EQ(h.grant_count(1), 0);  // honest outcome: the wedge is visible
+  EXPECT_FALSE(h.safety_violated());
+}
+
+TEST(TokenRecovery, ArqMasksASingleTokenLoss) {
+  MutexHarness h({.participants = 3, .algorithm = "naimi"});
+  RecoveryConfig rc = fast_recovery(/*retransmit=*/true);
+  rc.retransmit.rto = SimDuration::ms(10);
+  rc.detect_timeout = SimDuration::ms(100);
+  TokenRecoveryManager mgr(h.net(), rc);
+  mgr.watch_instance("naimi", 1, endpoints_of(h));
+
+  FaultPlan plan;
+  plan.drop_messages(1, 2 /* kToken */, 1, at(0));
+  FaultInjector inj(h.net(), std::move(plan));
+  inj.arm();
+
+  h.set_auto_release(SimDuration::ms(2));
+  h.request(1);
+  h.run();
+
+  EXPECT_EQ(h.grant_count(1), 1);
+  EXPECT_GE(h.net().counters().retransmitted, 1u);
+  // Retransmission healed the loss below the detection horizon.
+  EXPECT_EQ(mgr.stats().losses_detected, 0u);
+  EXPECT_EQ(mgr.stats().regenerations, 0u);
+}
+
+TEST(TokenRecovery, EpochHookBracketsTheRegeneration) {
+  MutexHarness h({.participants = 3, .algorithm = "suzuki"});
+  TokenRecoveryManager mgr(h.net(), fast_recovery(/*retransmit=*/false));
+  std::vector<std::pair<ProtocolId, bool>> epochs;
+  mgr.set_epoch_hook([&](ProtocolId p, bool open) {
+    epochs.emplace_back(p, open);
+  });
+  mgr.watch_instance("suzuki", 1, endpoints_of(h));
+
+  FaultPlan plan;
+  plan.drop_messages(1, 2 /* kToken */, 1, at(0));
+  FaultInjector inj(h.net(), std::move(plan));
+  inj.arm();
+
+  h.set_auto_release(SimDuration::ms(2));
+  h.request(1);
+  h.run();
+
+  ASSERT_EQ(epochs.size(), 2u);
+  EXPECT_EQ(epochs[0], (std::pair<ProtocolId, bool>{1, true}));
+  EXPECT_EQ(epochs[1], (std::pair<ProtocolId, bool>{1, false}));
+}
+
+}  // namespace
+}  // namespace gmx::testing

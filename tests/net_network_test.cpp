@@ -132,6 +132,147 @@ TEST_F(NetFixture, CounterSnapshotsSubtract) {
   EXPECT_EQ(delta.delivered, 2u);
 }
 
+TEST_F(NetFixture, LinkDropKillsCrossClusterTrafficOnly) {
+  int intra = 0, inter = 0;
+  net.attach(1, 7, [&](const Message&) { ++intra; });
+  net.attach(3, 7, [&](const Message&) { ++inter; });
+  net.set_link_drop_probability(0, 1, 1.0);
+  net.send(make(0, 1));  // cluster 0 → cluster 0: unaffected
+  net.send(make(0, 3));  // cluster 0 → cluster 1: dropped
+  sim.run();
+  EXPECT_EQ(intra, 1);
+  EXPECT_EQ(inter, 0);
+  EXPECT_EQ(net.counters().dropped, 1u);
+  // p = 0 clears the entry and restores the link.
+  net.set_link_drop_probability(0, 1, 0.0);
+  net.send(make(0, 3));
+  sim.run();
+  EXPECT_EQ(inter, 1);
+}
+
+TEST_F(NetFixture, PartitionThenHealRestoresDelivery) {
+  int got = 0;
+  net.attach(3, 7, [&](const Message&) { ++got; });
+  net.partition(0, 1);
+  net.send(make(0, 3));
+  sim.run();
+  EXPECT_EQ(got, 0);
+  net.heal(0, 1);
+  net.send(make(0, 3));
+  sim.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(net.counters().sent, 2u);
+  EXPECT_EQ(net.counters().delivered, 1u);
+  EXPECT_EQ(net.counters().dropped, 1u);
+}
+
+TEST_F(NetFixture, NodeDownIsAnOmissionWindowBothDirections) {
+  int at0 = 0, at1 = 0;
+  net.attach(0, 7, [&](const Message&) { ++at0; });
+  net.attach(1, 7, [&](const Message&) { ++at1; });
+  net.set_node_up(1, false);
+  EXPECT_FALSE(net.node_up(1));
+  net.send(make(0, 1));  // lost at the destination
+  net.send(make(1, 0));  // lost at the source
+  sim.run();
+  EXPECT_EQ(at0, 0);
+  EXPECT_EQ(at1, 0);
+  EXPECT_EQ(net.counters().dropped, 2u);
+  // Warm restart: the handler is still attached, traffic flows again.
+  net.set_node_up(1, true);
+  net.send(make(0, 1));
+  net.send(make(1, 0));
+  sim.run();
+  EXPECT_EQ(at0, 1);
+  EXPECT_EQ(at1, 1);
+  EXPECT_EQ(net.counters().sent, 4u);
+  EXPECT_EQ(net.counters().delivered + net.counters().dropped, 4u);
+}
+
+TEST_F(NetFixture, DropFilterTargetsBySelector) {
+  std::vector<std::uint16_t> got;
+  net.attach(1, 7, [&](const Message& m) { got.push_back(m.type); });
+  net.set_drop_filter([](const Message& m) { return m.type == 9; });
+  net.send(make(0, 1, 9));
+  net.send(make(0, 1, 2));
+  net.send(make(0, 1, 9));
+  sim.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], 2);
+  EXPECT_EQ(net.counters().dropped, 2u);
+  net.set_drop_filter(nullptr);
+  net.send(make(0, 1, 9));
+  sim.run();
+  EXPECT_EQ(got.size(), 2u);
+}
+
+TEST_F(NetFixture, ReliableRetransmitsThroughASingleLoss) {
+  int got = 0;
+  net.attach(1, 7, [&](const Message& m) {
+    EXPECT_EQ(m.type, 42);
+    ++got;
+  });
+  net.set_reliable(7, RetransmitConfig{.rto = SimDuration::ms(20)});
+  int killed = 0;
+  net.set_drop_filter([&](const Message& m) {
+    if (m.type == 42 && killed == 0) {
+      ++killed;
+      return true;  // the first copy dies; the retransmission survives
+    }
+    return false;
+  });
+  net.send(make(0, 1, 42));
+  sim.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_GE(net.counters().retransmitted, 1u);
+  EXPECT_EQ(net.unacked_for(7), 0u);  // acked: the queue drained
+}
+
+TEST_F(NetFixture, ReliableDeduplicatesAtTheReceiver) {
+  int got = 0;
+  net.attach(1, 7, [&](const Message&) { ++got; });
+  net.set_reliable(7);
+  net.set_duplicate_probability(1.0);
+  net.send(make(0, 1, 5));
+  sim.run();
+  EXPECT_EQ(got, 1);  // the duplicate was delivered but suppressed
+  EXPECT_GE(net.counters().duplicated, 1u);
+  EXPECT_EQ(net.unacked_for(7), 0u);
+}
+
+TEST_F(NetFixture, ReliableGivesUpAfterMaxAttempts) {
+  net.attach(1, 7, [](const Message&) { FAIL() << "nothing must arrive"; });
+  net.set_reliable(7, RetransmitConfig{.rto = SimDuration::ms(1),
+                                       .backoff = 1.0,
+                                       .max_attempts = 3});
+  net.set_drop_filter([](const Message& m) { return m.type != Message::kAckType; });
+  net.send(make(0, 1, 42));
+  EXPECT_EQ(net.unacked_for(7), 1u);
+  sim.run();  // the give-up bound lets the queue drain
+  EXPECT_EQ(net.unacked_for(7), 0u);
+  EXPECT_EQ(net.counters().delivered, 0u);
+  EXPECT_EQ(net.counters().dropped, 3u);       // 1 original + 2 retries
+  EXPECT_EQ(net.counters().retransmitted, 2u);
+}
+
+TEST_F(NetFixture, ConservationHoldsUnderCombinedFaults) {
+  net.attach(1, 7, [](const Message&) {});
+  net.attach(3, 7, [](const Message&) {});
+  net.set_drop_probability(0.3);
+  net.set_duplicate_probability(0.3);
+  net.set_link_drop_probability(0, 1, 0.5);
+  for (int i = 0; i < 200; ++i) {
+    net.send(make(0, 1));
+    net.send(make(0, 3));
+  }
+  sim.run();
+  const MessageCounters& c = net.counters();
+  EXPECT_EQ(c.sent, 400u);
+  EXPECT_EQ(c.delivered + c.dropped, c.sent + c.duplicated);
+  EXPECT_GT(c.dropped, 0u);
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
 TEST(NetworkFifo, FifoClampPreventsOvertaking) {
   // With jittered latency, a later send could overtake an earlier one on the
   // same pair; FIFO mode must clamp.

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "gridmutex/core/composition.hpp"
+#include "gridmutex/fault/recovery.hpp"
 #include "gridmutex/mutex/registry.hpp"
 #include "gridmutex/workload/safety_monitor.hpp"
 
@@ -62,6 +63,10 @@ struct ChaosParam {
   std::string flat_or_composition;  // "flat:<name>" or "<intra>-<inter>"
   std::uint64_t seed;
   bool fifo = true;
+  // Lossy-network mode: random drop/duplicate rates with ARQ + token-loss
+  // recovery armed. The contract must hold despite the noise.
+  double drop = 0.0;
+  double dup = 0.0;
 };
 
 std::vector<ChaosParam> chaos_space() {
@@ -78,6 +83,14 @@ std::vector<ChaosParam> chaos_space() {
   for (const char* a : {"suzuki", "ricart"})
     for (std::uint64_t s : {404ull, 505ull, 606ull})
       out.push_back({std::string("flat:") + a, s, false});
+  // Lossy links: every registered algorithm, plus composed stacks, must
+  // keep the contract when datagrams vanish and duplicate at random —
+  // the ARQ layer absorbs the losses, recovery stands by for the rest.
+  for (const auto& a : algorithm_names())
+    out.push_back({"flat:" + a, 777, true, 0.15, 0.10});
+  for (const char* c : {"naimi-naimi", "suzuki-martin", "martin-suzuki"})
+    for (std::uint64_t s : {31ull, 32ull})
+      out.push_back({c, s, true, 0.15, 0.10});
   return out;
 }
 
@@ -88,7 +101,8 @@ std::string chaos_name(const ::testing::TestParamInfo<ChaosParam>& info) {
   for (char& ch : n)
     if (ch == ':' || ch == '-') ch = '_';
   return n + "_s" + std::to_string(info.param.seed) +
-         (info.param.fifo ? "" : "_nofifo");
+         (info.param.fifo ? "" : "_nofifo") +
+         (info.param.drop > 0.0 || info.param.dup > 0.0 ? "_lossy" : "");
 }
 
 TEST_P(Chaos, RandomScheduleKeepsContract) {
@@ -108,10 +122,21 @@ TEST_P(Chaos, RandomScheduleKeepsContract) {
     net.set_reorder_spread(SimDuration::ms(5));
   }
 
+  const bool lossy = p.drop > 0.0 || p.dup > 0.0;
+  if (lossy) {
+    net.set_drop_probability(p.drop);
+    net.set_duplicate_probability(p.dup);
+  }
+
   SafetyMonitor safety(/*abort_on_violation=*/false);
   Rng root(p.seed * 7919);
   std::vector<std::unique_ptr<MutexEndpoint>> flat_eps;
   std::unique_ptr<Composition> comp;
+  // Declared after the endpoints it hooks so it detaches first.
+  std::unique_ptr<TokenRecoveryManager> recovery;
+  if (lossy)
+    recovery = std::make_unique<TokenRecoveryManager>(
+        net, RecoveryConfig{.retransmit = {.rto = SimDuration::ms(50)}});
   std::vector<std::unique_ptr<ChaosDriver>> drivers;
 
   if (flat) {
@@ -124,6 +149,14 @@ TEST_P(Chaos, RandomScheduleKeepsContract) {
           net, 1, members, int(v), make_algorithm(algo), root.fork(v)));
     for (auto& ep : flat_eps)
       ep->init(token ? 0 : MutexAlgorithm::kNoHolder);
+    if (recovery) {
+      net.set_reliable(1, recovery->config().retransmit);
+      if (token) {
+        std::vector<MutexEndpoint*> eps;
+        for (auto& ep : flat_eps) eps.push_back(ep.get());
+        recovery->watch_instance(algo, 1, std::move(eps));
+      }
+    }
     for (auto& ep : flat_eps)
       drivers.push_back(std::make_unique<ChaosDriver>(
           sim, *ep, root.fork(1000 + ep->rank()), safety));
@@ -134,6 +167,20 @@ TEST_P(Chaos, RandomScheduleKeepsContract) {
                                .inter_algorithm = spec.inter,
                                .seed = p.seed});
     comp->start();
+    if (recovery) {
+      const RetransmitConfig rt = recovery->config().retransmit;
+      net.set_reliable(comp->inter_protocol(), rt);
+      for (ClusterId c = 0; c < comp->cluster_count(); ++c)
+        net.set_reliable(comp->intra_protocol(c), rt);
+      if (is_token_based(spec.inter))
+        recovery->watch_instance("inter", comp->inter_protocol(),
+                                 comp->inter_instance());
+      if (is_token_based(spec.intra))
+        for (ClusterId c = 0; c < comp->cluster_count(); ++c)
+          recovery->watch_instance("intra" + std::to_string(c),
+                                   comp->intra_protocol(c),
+                                   comp->intra_instance(c));
+    }
     for (NodeId v : comp->app_nodes())
       drivers.push_back(std::make_unique<ChaosDriver>(
           sim, comp->app_mutex(v), root.fork(1000 + v), safety));

@@ -96,5 +96,30 @@ TEST(Csv, HeaderAndRows) {
   EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
 }
 
+TEST(Csv, FaultAndRecoveryColumnsAppend) {
+  SeriesPoint p = point("Suzuki (flat)", 180, 12.0, 10);
+  p.result.messages.dropped = 7;
+  p.result.messages.duplicated = 2;
+  p.result.messages.retransmitted = 5;
+  p.result.faults_injected = 3;
+  p.result.cs_under_faults = 40;
+  p.result.token_losses = 1;
+  p.result.token_regenerations = 1;
+  p.result.coordinator_failovers = 2;
+  p.result.recovery_latency.add(SimDuration::ms(800));
+  p.result.stalled = true;
+  std::vector<SeriesPoint> pts = {p};
+  std::ostringstream out;
+  write_csv(out, pts);
+  const std::string s = out.str();
+  EXPECT_NE(s.find("retransmitted"), std::string::npos);
+  EXPECT_NE(s.find("token_regenerations"), std::string::npos);
+  EXPECT_NE(s.find("recovery_ms,stalled"), std::string::npos);
+  // dropped,duplicated,retransmitted,faults_injected,cs_under_faults,
+  // token_losses,token_regenerations,stranded_repairs,false_alarms,
+  // coordinator_failovers,recovery_ms,stalled
+  EXPECT_NE(s.find(",7,2,5,3,40,1,1,0,0,2,800,1\n"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace gmx::testing
