@@ -115,8 +115,11 @@ class ProtocolChecker {
 
   /// Convenience: attaches a whole two-level composition — its inter
   /// instance, every intra instance, every coordinator, and the privilege
-  /// group over all coordinators.
-  void attach_composition(Composition& comp);
+  /// group over all coordinators. `prefix` is prepended to every instance
+  /// name; a LockService audit attaches each lock's composition with
+  /// "lock[i]." so token-uniqueness and exclusion are judged — and
+  /// diagnosed — per lock.
+  void attach_composition(Composition& comp, const std::string& prefix = {});
 
   /// Transition feed — normally driven by the installed hooks; public so
   /// mutation tests can probe the judgement directly.

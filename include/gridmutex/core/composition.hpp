@@ -85,9 +85,13 @@ class Composition {
   }
 
   /// Labeler for net::TraceSink: renders this composition's protocol ids
-  /// as "inter(martin).TOKEN" / "intra[2](naimi).REQUEST".
+  /// as "inter(martin).TOKEN" / "intra[2](naimi).REQUEST", with `prefix`
+  /// prepended (a LockService passes "lock[3]." so trace lines identify
+  /// which multiplexed instance a message belongs to). With a non-empty
+  /// prefix, foreign protocols yield "" — the TraceSink chain contract —
+  /// instead of the standalone "p<id>.t<type>" fallback.
   [[nodiscard]] std::function<std::string(ProtocolId, std::uint16_t)>
-  trace_labeler() const;
+  trace_labeler(std::string prefix = {}) const;
 
   /// Number of coordinators in IN/WAIT_FOR_OUT. The composition safety
   /// invariant is that this never exceeds 1 (asserted by tests after every

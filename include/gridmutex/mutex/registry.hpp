@@ -34,6 +34,10 @@ using AlgorithmFactory = std::function<std::unique_ptr<MutexAlgorithm>()>;
 /// false for permission-based ones (init accepts kNoHolder).
 [[nodiscard]] bool is_token_based(std::string_view name);
 
+/// One-line human description of an algorithm (CLI --list-algorithms).
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] std::string_view algorithm_description(std::string_view name);
+
 /// Human-readable name of a protocol message type, e.g.
 /// message_type_name("naimi", 2) == "TOKEN". Returns "type<N>" for unknown
 /// codes (trace output must never fail on a corrupt frame).

@@ -117,9 +117,33 @@ class Network {
   void attach(NodeId node, ProtocolId protocol, Handler handler);
   void detach(NodeId node, ProtocolId protocol);
 
+  /// Claims `count` consecutive protocol ids nobody else holds and returns
+  /// the first. The block is fresh with respect to every id previously
+  /// attached or reserved on this network, so independently constructed
+  /// subsystems (each lock of a LockService, the batch channel, ad-hoc
+  /// instances) can never collide. Ids start at 1 — 0 is left unused as the
+  /// traditional "no protocol" sentinel.
+  [[nodiscard]] ProtocolId reserve_protocols(std::uint32_t count);
+
   /// Sends a datagram. Self-sends are rejected (protocol bugs); loopback
   /// optimization belongs in the caller, as it did in the paper's C code.
   void send(Message msg);
+
+  /// Send interceptor (service/batch.hpp): consulted before ARQ and the
+  /// wire. Return true to absorb the message — the network then does
+  /// nothing further with it and the interceptor owns its delivery (e.g.
+  /// repackaged inside a batch frame). One slot.
+  using SendRouter = std::function<bool(Message&)>;
+  void set_send_router(SendRouter r) { send_router_ = std::move(r); }
+
+  /// Delivers `msg` to its destination handler at the current instant
+  /// without traversing the wire — the unbatching path: the enclosing
+  /// frame already paid latency, fault checks and the send/deliver
+  /// counters, so the sub-message must not be double-counted. The delivery
+  /// tap and the tracer still observe it (sent_at = now; the transit was
+  /// the frame's). Never used for reliable protocols (a batched frame
+  /// would bypass ARQ sequencing).
+  void dispatch_local(const Message& msg);
 
   /// Fault/ordering knobs (tests and robustness studies). All fault
   /// randomness (drop, duplicate, link loss) draws from a dedicated Rng
@@ -195,12 +219,24 @@ class Network {
   [[nodiscard]] const MessageCounters& counters() const { return counters_; }
   /// Per-protocol sent-message counts (diagnostics, §4.6 analyses).
   [[nodiscard]] std::uint64_t sent_by_protocol(ProtocolId p) const;
+  /// Subset of sent_by_protocol() whose src and dst are in different
+  /// clusters — the per-lock Fig. 4(b) attribution of a LockService run.
+  [[nodiscard]] std::uint64_t inter_sent_by_protocol(ProtocolId p) const;
 
   /// Messages currently in flight (scheduled, not yet delivered).
   [[nodiscard]] std::uint64_t in_flight() const { return in_flight_; }
   /// In-flight messages of one protocol (quiescence checks during adaptive
-  /// reconfiguration).
+  /// reconfiguration, token-loss sweeps). Includes the supplement below.
   [[nodiscard]] std::uint64_t in_flight_for(ProtocolId p) const;
+
+  /// Extra per-protocol in-flight counts contributed by a send router
+  /// (service/batch.hpp): a token absorbed into a batch frame is on the
+  /// wire under the *frame's* protocol id, but token-loss detectors ask
+  /// about the token's own id — the supplement keeps their answer honest.
+  using InFlightSupplement = std::function<std::uint64_t(ProtocolId)>;
+  void set_in_flight_supplement(InFlightSupplement f) {
+    in_flight_supplement_ = std::move(f);
+  }
 
  private:
   /// The raw datagram path: counters, fault drops, latency, scheduling.
@@ -252,8 +288,10 @@ class Network {
 
   MessageCounters counters_;
   std::unordered_map<ProtocolId, std::uint64_t> sent_by_protocol_;
+  std::unordered_map<ProtocolId, std::uint64_t> inter_by_protocol_;
   std::unordered_map<ProtocolId, std::uint64_t> in_flight_by_protocol_;
   std::uint64_t in_flight_ = 0;
+  ProtocolId next_protocol_ = 1;  // reserve_protocols() watermark
 
   bool fifo_ = true;
   double drop_p_ = 0.0;
@@ -268,6 +306,8 @@ class Network {
   Tracer tracer_;
   Tracer delivery_tap_;
   SendTap send_tap_;
+  SendRouter send_router_;
+  InFlightSupplement in_flight_supplement_;
 };
 
 }  // namespace gmx

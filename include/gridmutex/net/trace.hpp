@@ -8,6 +8,7 @@
 #include <functional>
 #include <ostream>
 #include <string>
+#include <vector>
 
 #include "gridmutex/net/network.hpp"
 
@@ -15,11 +16,19 @@ namespace gmx {
 
 class TraceSink {
  public:
-  /// Maps (protocol, type) to a label, e.g. "naimi.REQUEST". Optional.
+  /// Maps (protocol, type) to a label, e.g. "lock[3].intra[2](naimi).TOKEN".
+  /// A labeler that does not recognize a protocol returns "" to defer to
+  /// the next labeler in the chain; when every labeler defers the sink
+  /// falls back to the anonymous "p<protocol>/t<type>" form, so multiplexed
+  /// runs always show at least the instance's protocol id.
   using Labeler =
       std::function<std::string(ProtocolId, std::uint16_t)>;
 
   explicit TraceSink(std::ostream& out, Labeler labeler = {});
+
+  /// Appends another labeler to the chain (multiplexed runs install one per
+  /// subsystem — e.g. one per composition plus the service's own).
+  void add_labeler(Labeler labeler);
 
   /// Installs this sink on the network. The sink must outlive the network's
   /// use of it.
@@ -33,7 +42,7 @@ class TraceSink {
              SimTime recv);
 
   std::ostream& out_;
-  Labeler labeler_;
+  std::vector<Labeler> labelers_;
   bool enabled_ = true;
   std::uint64_t lines_ = 0;
 };

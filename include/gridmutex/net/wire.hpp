@@ -74,6 +74,11 @@ class Reader {
   std::uint64_t varint();
 
   std::vector<std::uint8_t> bytes();
+  /// Zero-copy variant of bytes(): the returned span aliases the Reader's
+  /// buffer and is valid only while that buffer lives. Decoders that nest
+  /// messages inside messages (service/batch.hpp) use this to avoid
+  /// copying each sub-payload twice.
+  std::span<const std::uint8_t> bytes_view();
   std::string str();
 
   std::vector<std::uint64_t> varint_array_u64();

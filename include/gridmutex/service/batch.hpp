@@ -1,0 +1,105 @@
+// Piggyback batching of same-destination control messages.
+//
+// On the hot path of a multi-lock service, one simulator instant often
+// produces several datagrams for the same (src, dst) pair — e.g. a node
+// releasing lock A and requesting lock B, or a coordinator answering
+// several locks at once. A real service coalesces those into one UDP
+// datagram; the BatchMux models exactly that:
+//
+//   - it intercepts every send (Network::set_send_router) and parks the
+//     message in a per-(src,dst) bucket;
+//   - a zero-delay flush event fires at the same simulated instant: a
+//     lone message continues unchanged, two or more are encoded into one
+//     BATCH frame under the mux's own ProtocolId (one latency sample, one
+//     application header);
+//   - on delivery the frame is unpacked and each sub-message is handed to
+//     its protocol's handler via Network::dispatch_local().
+//
+// Invariant plumbing: a token absorbed into a frame is invisible to
+// Network::in_flight_for(token protocol) — exactly the signal token-loss
+// detectors and the ProtocolChecker key on — so the mux keeps a virtual
+// per-protocol in-flight count (offer -> unpack) and publishes it through
+// Network::set_in_flight_supplement().
+//
+// Two deliberate exclusions:
+//   - reliable protocols are never absorbed: a batched frame would bypass
+//     ARQ sequencing/retransmission, silently weakening the recovery
+//     guarantees of fault campaigns;
+//   - frames themselves are plain datagrams, so a faulted network could
+//     drop one and strand the virtual counts. Fault campaigns therefore
+//     run with batching disabled (service/experiment.cpp enforces this).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "gridmutex/net/network.hpp"
+
+namespace gmx {
+
+class BatchMux {
+ public:
+  /// The one message type of the batch protocol.
+  static constexpr std::uint16_t kFrameType = 1;
+
+  struct Stats {
+    std::uint64_t absorbed = 0;        // sub-messages carried inside frames
+    std::uint64_t frames = 0;          // BATCH datagrams sent
+    std::uint64_t flushed_single = 0;  // lone bucket entries sent unbatched
+    std::uint64_t bytes_saved = 0;     // wire bytes elided vs separate sends
+  };
+
+  /// Installs the router, the in-flight supplement and a frame handler on
+  /// every node. `protocol` must be freshly reserved for this mux
+  /// (Network::reserve_protocols). The mux must outlive all traffic and be
+  /// destroyed before the network.
+  BatchMux(Network& net, ProtocolId protocol);
+  ~BatchMux();
+
+  BatchMux(const BatchMux&) = delete;
+  BatchMux& operator=(const BatchMux&) = delete;
+
+  [[nodiscard]] ProtocolId protocol() const { return protocol_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Sub-messages currently absorbed: bucketed awaiting flush or riding an
+  /// in-flight frame. A drained simulation must report 0.
+  [[nodiscard]] std::uint64_t in_transit() const { return in_transit_; }
+
+  /// Sub-messages of `p` that actually traveled inside frames — the
+  /// batched complement of Network::sent_by_protocol(p) (and its
+  /// inter-cluster split) for per-lock message accounting.
+  [[nodiscard]] std::uint64_t absorbed_for(ProtocolId p) const;
+  [[nodiscard]] std::uint64_t inter_absorbed_for(ProtocolId p) const;
+
+  /// Frame payload codec, exposed for tests and fuzzing. Encoding: varint
+  /// sub-count, then per sub-message varint protocol id, u16 type, varint
+  /// length + payload bytes. decode() throws wire::WireError on any
+  /// malformed input and restores src/dst from the enclosing frame.
+  [[nodiscard]] static std::vector<std::uint8_t> encode(
+      std::span<const Message> subs);
+  [[nodiscard]] static std::vector<Message> decode(
+      NodeId src, NodeId dst, std::span<const std::uint8_t> payload);
+
+ private:
+  [[nodiscard]] bool offer(Message& msg);
+  void flush(NodeId src, NodeId dst);
+  void on_frame(const Message& frame);
+  [[nodiscard]] static std::uint64_t pair_key(NodeId src, NodeId dst) {
+    return (std::uint64_t(src) << 32) | std::uint64_t(dst);
+  }
+
+  Network& net_;
+  ProtocolId protocol_;
+  bool flushing_ = false;  // re-entrancy guard: flushed sends bypass offer()
+  std::unordered_map<std::uint64_t, std::vector<Message>> buckets_;
+  std::unordered_map<ProtocolId, std::uint64_t> virtual_in_flight_;
+  std::unordered_map<ProtocolId, std::uint64_t> absorbed_by_protocol_;
+  std::unordered_map<ProtocolId, std::uint64_t> inter_absorbed_;
+  std::uint64_t in_transit_ = 0;
+  Stats stats_;
+};
+
+}  // namespace gmx

@@ -1,0 +1,75 @@
+// Per-node client session of a LockService.
+//
+// One session per application node. It front-ends the node's per-lock
+// mutex endpoints with the service API a client library would offer:
+//
+//   acquire(lock, cb)  enqueue a grant callback; the session issues at most
+//                      one request_cs() per lock at a time — further
+//                      acquires wait in the lock's FIFO pending queue and
+//                      are granted back-to-back on each release;
+//   release(lock)      leave the CS; if the pending queue is non-empty the
+//                      session immediately re-requests.
+//
+// The session never re-enters an algorithm: endpoint grant callbacks are
+// already deferred through a zero-delay simulator event (mutex/endpoint.hpp).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "gridmutex/mutex/endpoint.hpp"
+#include "gridmutex/service/lock_table.hpp"
+
+namespace gmx {
+
+class ClientSession {
+ public:
+  using GrantCallback = std::function<void()>;
+
+  explicit ClientSession(NodeId node) : node_(node) {}
+
+  ClientSession(const ClientSession&) = delete;
+  ClientSession& operator=(const ClientSession&) = delete;
+
+  /// Wires lock `lock` to this node's endpoint of that lock's intra
+  /// instance. Called once per lock by the LockService, in LockId order.
+  void add_lock(LockId lock, MutexEndpoint& endpoint);
+
+  /// Enqueues a grant callback for `lock`. The callback fires exactly once,
+  /// when this session holds the lock; the holder must then call release().
+  void acquire(LockId lock, GrantCallback cb);
+
+  /// Releases `lock` (the session must be holding it) and pumps the
+  /// pending queue.
+  void release(LockId lock);
+
+  /// Grant delivery from the lock's endpoint (LockService wiring).
+  void granted(LockId lock);
+
+  [[nodiscard]] NodeId node() const { return node_; }
+  [[nodiscard]] bool holding(LockId lock) const;
+  [[nodiscard]] std::size_t pending(LockId lock) const;
+  /// Grants delivered to this session for `lock` so far.
+  [[nodiscard]] std::uint64_t acquisitions(LockId lock) const;
+  /// True when no lock is held, requested or queued.
+  [[nodiscard]] bool idle() const;
+
+ private:
+  struct Slot {
+    MutexEndpoint* endpoint = nullptr;
+    std::deque<GrantCallback> waiting;
+    bool requesting = false;
+    bool holding = false;
+    std::uint64_t grants = 0;
+  };
+  [[nodiscard]] Slot& slot(LockId lock);
+  [[nodiscard]] const Slot& slot(LockId lock) const;
+  void pump(Slot& s);
+
+  NodeId node_;
+  std::vector<Slot> slots_;  // indexed by LockId
+};
+
+}  // namespace gmx

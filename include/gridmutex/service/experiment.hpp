@@ -1,0 +1,86 @@
+// LockService experiments: open-loop traffic over K sharded locks.
+//
+// `run_service_experiment` is the multi-lock sibling of
+// workload/experiment.hpp's run_experiment: it builds one simulated grid,
+// hosts a LockService of K lock compositions on it, drives Poisson/Zipf
+// open-loop traffic through per-node ClientSessions, and reports both
+// aggregate and per-lock metrics (ExperimentResult::per_lock) — throughput
+// in CS/s, obtaining-time percentiles, Jain's fairness across locks, and
+// inter-cluster messages per CS attributed to each lock's protocol block.
+//
+// Safety instrumentation mirrors the single-lock runner, per lock: one
+// SafetyMonitor per lock (two holders of *different* locks are legal; two
+// of the same lock abort), and with `check_protocol` one checker
+// attachment per lock composition ("lock[l]." prefixed), so
+// token-uniqueness and exclusion are verified independently for every
+// hosted lock.
+//
+// Fault campaigns reuse ExperimentConfig::FaultCampaign unchanged. Two
+// service-specific rules:
+//   - batching is force-disabled under faults (BATCH frames are not
+//     ARQ-covered; see service/batch.hpp);
+//   - recovery watches every lock's instances, named "lock[l].inter" /
+//     "lock[l].intra[c]" so diagnostics attribute losses to the lock.
+#pragma once
+
+#include "gridmutex/service/lock_service.hpp"
+#include "gridmutex/workload/experiment.hpp"
+#include "gridmutex/workload/open_loop.hpp"
+
+namespace gmx {
+
+struct ServiceConfig {
+  std::uint32_t locks = 4;
+  /// Default "lock<i>"; kHash placement hashes these names.
+  std::vector<std::string> lock_names;
+  std::string intra = "naimi";
+  std::string inter = "naimi";
+  Placement placement = Placement::kRoundRobin;
+  /// Piggyback batching (service/batch.hpp). Force-disabled under faults.
+  bool batching = true;
+
+  std::uint32_t clusters = 9;
+  std::uint32_t apps_per_cluster = 20;
+  LatencySpec latency = LatencySpec::grid5000();
+
+  OpenLoopParams open_loop;
+  std::uint64_t seed = 1;
+
+  /// Arms the ProtocolChecker per lock (see header comment).
+  bool check_protocol = false;
+  SimDuration grant_bound = SimDuration::sec(120);
+
+  ExperimentConfig::FaultCampaign faults;
+
+  /// Deterministic protocol layout of a service on a fresh network —
+  /// exposed so fault plans and tests can target a lock's messages without
+  /// constructing the service first (asserted against the live service).
+  static constexpr ProtocolId kBatchProtocol = 1;
+  [[nodiscard]] static constexpr ProtocolId lock_protocol_base(
+      std::uint32_t lock, std::uint32_t clusters) {
+    return 2 + lock * (clusters + 1);
+  }
+  [[nodiscard]] static constexpr ProtocolId lock_inter_protocol(
+      std::uint32_t lock, std::uint32_t clusters) {
+    return lock_protocol_base(lock, clusters);
+  }
+  [[nodiscard]] static constexpr ProtocolId lock_intra_protocol(
+      std::uint32_t lock, std::uint32_t clusters, std::uint32_t cluster) {
+    return lock_protocol_base(lock, clusters) + 1 + cluster;
+  }
+
+  /// e.g. "Naimi-Naimi K=16".
+  [[nodiscard]] std::string label() const;
+};
+
+/// Runs one seeded service experiment to completion (drain) or to the
+/// fault campaign's stall horizon. Aborts on any safety violation.
+[[nodiscard]] ExperimentResult run_service_experiment(
+    const ServiceConfig& cfg);
+
+/// Runs `repetitions` seeds (cfg.seed, cfg.seed+1, ...) and merges;
+/// throughput_cs_per_s() then averages over the summed service time.
+[[nodiscard]] ExperimentResult run_service_replicated(ServiceConfig cfg,
+                                                      int repetitions);
+
+}  // namespace gmx

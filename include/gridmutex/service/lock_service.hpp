@@ -1,0 +1,106 @@
+// LockService: K named locks multiplexed over one simulated grid.
+//
+// The ROADMAP's production-scale lock service, built from the paper's
+// pieces: every lock is an *unmodified* two-level composition (core/
+// composition.hpp) — own inter instance, own per-cluster intra instances,
+// own coordinators — multiplexed on the shared Network through a freshly
+// reserved ProtocolId block per lock (Network::reserve_protocols), so
+// instances can never collide and every existing observer (checker,
+// recovery, tracing) keeps working per lock.
+//
+// Placement: the LockTable assigns each lock a home cluster (round-robin
+// or name-hash) that seeds its inter token, sharding the root-coordinator
+// role across clusters instead of piling all K inter-level hot spots onto
+// cluster 0.
+//
+// Access: applications go through per-node ClientSessions
+// (acquire/release with per-lock FIFO queues). With batching enabled, a
+// BatchMux coalesces same-instant same-destination control messages of
+// all locks into single BATCH datagrams — the piggybacking a real
+// multiplexed service performs on its connection layer.
+//
+// Protocol id layout on a fresh network (documented because fault plans
+// and tests target protocol ids):
+//   1                      BATCH        (reserved even when batching off)
+//   2 + l*(C+1)            lock l inter
+//   2 + l*(C+1) + 1 + c    lock l intra of cluster c      (C clusters)
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridmutex/core/composition.hpp"
+#include "gridmutex/service/batch.hpp"
+#include "gridmutex/service/client_session.hpp"
+#include "gridmutex/service/lock_table.hpp"
+
+namespace gmx {
+
+struct LockServiceConfig {
+  std::uint32_t locks = 1;
+  /// Optional explicit names; default "lock<i>". Size must equal `locks`
+  /// when non-empty (kHash placement hashes these names).
+  std::vector<std::string> lock_names;
+  std::string intra_algorithm = "naimi";
+  std::string inter_algorithm = "naimi";
+  Placement placement = Placement::kRoundRobin;
+  /// Coalesce same-instant same-destination messages (service/batch.hpp).
+  /// Must be off when any fault campaign runs (frames are not ARQ-covered).
+  bool batching = true;
+  std::uint64_t seed = 1;
+};
+
+class LockService {
+ public:
+  /// The network's topology must follow the composition convention: first
+  /// node of each cluster is the coordinator, the rest are app nodes.
+  LockService(Network& net, LockServiceConfig cfg);
+  ~LockService();
+
+  LockService(const LockService&) = delete;
+  LockService& operator=(const LockService&) = delete;
+
+  /// Starts every lock's coordinators. Call once before the first acquire.
+  void start();
+
+  [[nodiscard]] std::uint32_t lock_count() const { return cfg_.locks; }
+  [[nodiscard]] const LockTable& table() const { return table_; }
+  [[nodiscard]] const LockServiceConfig& config() const { return cfg_; }
+  [[nodiscard]] const std::vector<NodeId>& app_nodes() const {
+    return comps_.front()->app_nodes();
+  }
+
+  [[nodiscard]] Composition& composition(LockId lock);
+  [[nodiscard]] ClientSession& session(NodeId app_node);
+
+  [[nodiscard]] ProtocolId batch_protocol() const { return batch_protocol_; }
+  /// First protocol id of lock `lock`'s block [base, base + clusters + 1).
+  [[nodiscard]] ProtocolId protocol_base(LockId lock) const;
+  /// nullptr when batching is disabled.
+  [[nodiscard]] BatchMux* batcher() { return mux_.get(); }
+
+  /// Messages of lock `lock` handed to the wire, including sub-messages
+  /// that rode inside BATCH frames; `inter_messages` restricts to
+  /// cluster-crossing ones (the paper's Fig. 4(b) metric, per lock).
+  [[nodiscard]] std::uint64_t messages(LockId lock) const;
+  [[nodiscard]] std::uint64_t inter_messages(LockId lock) const;
+
+  /// TraceSink labeler chain covering every lock ("lock[i].intra[c](...)")
+  /// plus the service's own BATCH frames.
+  [[nodiscard]] std::function<std::string(ProtocolId, std::uint16_t)>
+  trace_labeler() const;
+
+ private:
+  Network& net_;
+  LockServiceConfig cfg_;
+  LockTable table_;
+  ProtocolId batch_protocol_ = 0;
+  std::unique_ptr<BatchMux> mux_;
+  std::vector<std::unique_ptr<Composition>> comps_;  // one per lock
+  std::vector<std::unique_ptr<ClientSession>> sessions_;  // per app node
+  std::vector<int> session_of_node_;  // node -> index into sessions_, -1
+};
+
+}  // namespace gmx

@@ -1,0 +1,63 @@
+// Lock table: shards coordinator placement across clusters.
+//
+// Every lock hosted by a LockService is an independent two-level
+// composition whose inter-level token starts at one cluster's coordinator
+// (CompositionConfig::initial_cluster). If every lock rooted its token at
+// cluster 0 — the single-lock default — that cluster's coordinator would
+// carry the whole inter-level load of a K-lock service. The table spreads
+// the *home cluster* of each lock instead:
+//
+//   kRoundRobin  lock i  ->  cluster i mod C   (balanced by construction;
+//                the default for benchmarks, where lock ids are arbitrary)
+//   kHash        FNV-1a of the lock's NAME mod C (stable under lock
+//                addition/renumbering — the placement a real service with
+//                named locks would use; balanced in expectation)
+//
+// The home cluster only seeds the initial token position and thereby which
+// coordinator serves as the lock's root under low contention; the paper's
+// composition keeps working wherever the token wanders afterwards.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gridmutex/net/topology.hpp"
+
+namespace gmx {
+
+/// Index of a lock within one LockService, 0..K-1.
+using LockId = std::uint32_t;
+
+enum class Placement : std::uint8_t { kRoundRobin, kHash };
+
+/// "roundrobin" or "hash" (CLI --placement). Throws std::invalid_argument.
+[[nodiscard]] Placement parse_placement(std::string_view name);
+[[nodiscard]] std::string_view to_string(Placement p);
+
+class LockTable {
+ public:
+  /// `names[i]` is lock i's name; used by kHash and for reporting.
+  LockTable(std::uint32_t clusters, Placement placement,
+            std::vector<std::string> names);
+
+  [[nodiscard]] std::uint32_t lock_count() const {
+    return std::uint32_t(names_.size());
+  }
+  [[nodiscard]] const std::string& name(LockId lock) const;
+  [[nodiscard]] ClusterId home_cluster(LockId lock) const;
+  [[nodiscard]] Placement placement() const { return placement_; }
+
+  /// The kHash placement function, exposed for tests and capacity
+  /// planning: FNV-1a 64-bit over the name's bytes, folded mod `clusters`.
+  [[nodiscard]] static ClusterId hash_cluster(std::string_view name,
+                                              std::uint32_t clusters);
+
+ private:
+  Placement placement_;
+  std::vector<std::string> names_;
+  std::vector<ClusterId> home_;  // precomputed per lock
+};
+
+}  // namespace gmx

@@ -21,6 +21,12 @@
 //   --jitter <f>        default 0.05
 //   --threads <n>       sweep parallelism, 0 = hardware
 //   --csv <path>        also write a CSV of every point
+//   --locks <n>         LockService mode: host n locks over one grid and
+//                       drive open-loop traffic (service/experiment.hpp);
+//                       requires every series to be a --composition
+//   --zipf <s>          lock popularity skew, default 0.9 (needs --locks)
+//   --placement roundrobin | hash   home-cluster sharding (needs --locks)
+//   --list-algorithms   print the algorithm registry and exit
 //   --help
 // Repeating --composition/--flat adds more series to the same sweep.
 #pragma once
@@ -43,6 +49,14 @@ struct CliOptions {
   std::size_t threads = 0;
   std::optional<std::string> csv_path;
   bool help = false;
+  /// Print the algorithm registry with one-line descriptions and exit.
+  bool list_algorithms = false;
+
+  // LockService mode (--locks). Plain values, not a ServiceConfig: the
+  // workload library sits below the service library, so tools/ converts.
+  std::uint32_t locks = 0;  // 0 = classic single-lock sweep
+  double zipf_s = 0.9;
+  std::string placement = "roundrobin";
 };
 
 struct CliError {

@@ -101,6 +101,30 @@ struct ExperimentConfig {
   [[nodiscard]] std::string label() const;
 };
 
+/// Per-lock slice of a LockService run (service/experiment.hpp). Message
+/// counts include sub-messages that traveled inside BATCH frames.
+struct LockMetrics {
+  std::string name;
+  ClusterId home_cluster = 0;
+  std::uint64_t arrivals = 0;      // open-loop requests issued for this lock
+  std::uint64_t completed_cs = 0;  // grants that ran their CS to completion
+  DurationStats obtaining;         // arrival -> grant, incl. session queueing
+  Histogram obtaining_hist{10'000.0, 200};
+  std::uint64_t protocol_msgs = 0;  // all messages of this lock's instances
+  std::uint64_t inter_msgs = 0;     // cluster-crossing subset
+
+  [[nodiscard]] double inter_msgs_per_cs() const {
+    return completed_cs == 0 ? 0.0
+                             : double(inter_msgs) / double(completed_cs);
+  }
+  /// Completed CS per simulated second of service time.
+  [[nodiscard]] double throughput(double seconds) const {
+    return seconds <= 0.0 ? 0.0 : double(completed_cs) / seconds;
+  }
+
+  void merge(const LockMetrics& other);
+};
+
 struct ExperimentResult {
   std::string label;
   double rho = 0;
@@ -138,6 +162,28 @@ struct ExperimentResult {
   /// The run hit FaultCampaign::stall_horizon without draining (negative
   /// controls). total_cs then under-counts the configured workload.
   bool stalled = false;
+
+  // LockService runs only (service/experiment.hpp); empty otherwise.
+  std::vector<LockMetrics> per_lock;
+  /// Summed simulated service time across repetitions — the denominator of
+  /// throughput figures (one repetition: equals the makespan).
+  double service_seconds = 0.0;
+  std::uint32_t lock_count = 0;
+  double zipf_s = 0.0;
+  std::uint64_t batched_messages = 0;  // sub-messages that rode BATCH frames
+  std::uint64_t batch_frames = 0;
+  std::uint64_t batch_bytes_saved = 0;
+
+  /// Aggregate service throughput: completed CS per simulated second.
+  [[nodiscard]] double throughput_cs_per_s() const {
+    return service_seconds <= 0.0 ? 0.0
+                                  : double(total_cs) / service_seconds;
+  }
+  /// Jain's fairness index over per-lock throughputs:
+  /// J = (Σx)² / (K·Σx²) ∈ (0, 1]; 1 = perfectly even service. With Zipf
+  /// skew the *offered* load is uneven, so J measures how evenly the
+  /// service converts arrivals to completions across locks.
+  [[nodiscard]] double jain_fairness() const;
 
   /// Paper metrics.
   [[nodiscard]] double obtaining_ms() const { return obtaining.mean_ms(); }

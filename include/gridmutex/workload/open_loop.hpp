@@ -1,0 +1,57 @@
+// Open-loop traffic generation for the multi-lock service experiments.
+//
+// The paper's workload (§4.1) is closed-loop: each process loops
+// think → request → CS, so offered load self-throttles as obtaining times
+// grow. A lock *service* is exercised the opposite way: clients arrive
+// independently of how congested the service already is. The driver models
+// that as a Poisson arrival process (exponential inter-arrival times at a
+// configured aggregate rate); each arrival picks a requesting node
+// uniformly and a lock from a Zipf popularity distribution — the standard
+// skew model for named-object access, with s = 0 degenerating to uniform.
+//
+// ZipfSampler draws by inverse-CDF over the precomputed cumulative weights
+// w(i) = 1/(i+1)^s: O(log K) per sample, one uniform double consumed per
+// draw (deterministic replay from a forked Rng stream).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gridmutex/sim/random.hpp"
+#include "gridmutex/sim/time.hpp"
+
+namespace gmx {
+
+class ZipfSampler {
+ public:
+  /// Ranks 0..n-1 with P(i) ∝ 1/(i+1)^s. s must be >= 0 (s = 0: uniform).
+  ZipfSampler(std::uint32_t n, double s);
+
+  [[nodiscard]] std::uint32_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::uint32_t size() const {
+    return std::uint32_t(cum_.size());
+  }
+  [[nodiscard]] double s() const { return s_; }
+  /// Normalized probability of rank i (tests, expected-share assertions).
+  [[nodiscard]] double probability(std::uint32_t i) const;
+
+ private:
+  double s_;
+  std::vector<double> cum_;  // cumulative unnormalized weights
+};
+
+/// Open-loop driver parameters (service/experiment.hpp).
+struct OpenLoopParams {
+  /// Aggregate arrival rate over the whole service, requests per simulated
+  /// second. Arrivals are Poisson: inter-arrival ~ Exp(1/rate).
+  double arrivals_per_sec = 200.0;
+  /// Arrival window: requests arrive in [0, window); the run then drains.
+  SimDuration window = SimDuration::sec(5);
+  /// Zipf skew across locks. 0 = uniform popularity.
+  double zipf_s = 0.9;
+  /// Critical-section hold time per grant (paper's α, fixed).
+  SimDuration hold = SimDuration::ms(10);
+};
+
+}  // namespace gmx

@@ -46,4 +46,12 @@ void print_metric_table(std::ostream& out, std::string_view title,
 /// Full-detail CSV (one line per point, all metrics).
 void write_csv(std::ostream& out, std::span<const SeriesPoint> points);
 
+/// Service CSV (LockService runs): one row per lock of every point plus an
+/// "ALL" aggregate row carrying the Jain fairness index. `rho` holds the
+/// Zipf exponent of the sweep point.
+void write_service_csv(std::ostream& out, std::span<const SeriesPoint> points);
+
+/// Per-lock detail table of one service result (bench/tools output).
+void print_service_table(std::ostream& out, const ExperimentResult& r);
+
 }  // namespace gmx

@@ -111,24 +111,27 @@ void ProtocolChecker::attach_privilege_group(
                                              std::move(group), false});
 }
 
-void ProtocolChecker::attach_composition(Composition& comp) {
+void ProtocolChecker::attach_composition(Composition& comp,
+                                         const std::string& prefix) {
   const CompositionConfig& cfg = comp.config();
   {
     const auto inter = comp.inter_instance();
-    attach_instance("inter(" + cfg.inter_algorithm + ")", inter,
+    attach_instance(prefix + "inter(" + cfg.inter_algorithm + ")", inter,
                     is_token_based(cfg.inter_algorithm));
   }
   std::vector<const Coordinator*> group;
   for (ClusterId c = 0; c < comp.cluster_count(); ++c) {
     const auto intra = comp.intra_instance(c);
-    attach_instance(
-        "intra[" + std::to_string(c) + "](" + cfg.intra_algorithm + ")",
-        intra, is_token_based(cfg.intra_algorithm));
-    attach_coordinator("coord[" + std::to_string(c) + "]",
+    attach_instance(prefix + "intra[" + std::to_string(c) + "](" +
+                        cfg.intra_algorithm + ")",
+                    intra, is_token_based(cfg.intra_algorithm));
+    attach_coordinator(prefix + "coord[" + std::to_string(c) + "]",
                        comp.coordinator(c));
     group.push_back(&comp.coordinator(c));
   }
-  attach_privilege_group("composition", std::move(group));
+  attach_privilege_group(prefix.empty() ? "composition"
+                                        : prefix + "composition",
+                         std::move(group));
 }
 
 void ProtocolChecker::report_cs_transition(const std::string& instance,

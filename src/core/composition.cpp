@@ -109,18 +109,24 @@ std::vector<MutexEndpoint*> Composition::inter_instance() {
 }
 
 std::function<std::string(ProtocolId, std::uint16_t)>
-Composition::trace_labeler() const {
+Composition::trace_labeler(std::string prefix) const {
   const ProtocolId inter = inter_protocol();
   const ProtocolId intra_base = intra_protocol(0);
   const std::uint32_t clusters = cluster_count();
   const std::string intra_name = cfg_.intra_algorithm;
   const std::string inter_name = cfg_.inter_algorithm;
-  return [=](ProtocolId p, std::uint16_t type) -> std::string {
+  const bool chained = !prefix.empty();
+  return [=, prefix = std::move(prefix)](ProtocolId p,
+                                         std::uint16_t type) -> std::string {
     if (p == inter)
-      return "inter(" + inter_name + ")." + message_type_name(inter_name, type);
+      return prefix + "inter(" + inter_name + ")." +
+             message_type_name(inter_name, type);
     if (p >= intra_base && p < intra_base + clusters)
-      return "intra[" + std::to_string(p - intra_base) + "](" + intra_name +
-             ")." + message_type_name(intra_name, type);
+      return prefix + "intra[" + std::to_string(p - intra_base) + "](" +
+             intra_name + ")." + message_type_name(intra_name, type);
+    // Standalone use keeps the anonymous fallback; in a chain (non-empty
+    // prefix) foreign ids defer to the next labeler.
+    if (chained) return {};
     return "p" + std::to_string(p) + ".t" + std::to_string(type);
   };
 }

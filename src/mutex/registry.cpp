@@ -31,30 +31,51 @@ std::string lower(std::string_view s) {
 struct Entry {
   const char* name;
   bool token_based;
+  const char* description;  // one line, shown by `gridmutex_cli --list-algorithms`
   std::unique_ptr<MutexAlgorithm> (*make)();
 };
 
 constexpr Entry kEntries[] = {
-    {"naimi", true, [] { return std::unique_ptr<MutexAlgorithm>(
-                             std::make_unique<NaimiTrehelMutex>()); }},
-    {"martin", true, [] { return std::unique_ptr<MutexAlgorithm>(
-                              std::make_unique<MartinMutex>()); }},
-    {"suzuki", true, [] { return std::unique_ptr<MutexAlgorithm>(
-                              std::make_unique<SuzukiKasamiMutex>()); }},
-    {"raymond", true, [] { return std::unique_ptr<MutexAlgorithm>(
-                               std::make_unique<RaymondMutex>()); }},
-    {"central", true, [] { return std::unique_ptr<MutexAlgorithm>(
-                               std::make_unique<CentralServerMutex>()); }},
-    {"ricart", false, [] { return std::unique_ptr<MutexAlgorithm>(
-                               std::make_unique<RicartAgrawalaMutex>()); }},
-    {"bertier", true, [] { return std::unique_ptr<MutexAlgorithm>(
-                               std::make_unique<BertierMutex>()); }},
-    {"mueller", true, [] { return std::unique_ptr<MutexAlgorithm>(
-                               std::make_unique<MuellerMutex>()); }},
-    {"lamport", false, [] { return std::unique_ptr<MutexAlgorithm>(
-                                std::make_unique<LamportMutex>()); }},
-    {"maekawa", false, [] { return std::unique_ptr<MutexAlgorithm>(
-                                std::make_unique<MaekawaMutex>()); }},
+    {"naimi", true,
+     "Naimi-Trehel token: path-reversal last/next trees, O(log N) msgs/CS",
+     [] { return std::unique_ptr<MutexAlgorithm>(
+              std::make_unique<NaimiTrehelMutex>()); }},
+    {"martin", true,
+     "Martin ring token: requests clockwise, token counter-clockwise",
+     [] { return std::unique_ptr<MutexAlgorithm>(
+              std::make_unique<MartinMutex>()); }},
+    {"suzuki", true,
+     "Suzuki-Kasami broadcast token: N-1 REQUESTs, array-stamped token",
+     [] { return std::unique_ptr<MutexAlgorithm>(
+              std::make_unique<SuzukiKasamiMutex>()); }},
+    {"raymond", true,
+     "Raymond tree token: requests climb a static spanning tree",
+     [] { return std::unique_ptr<MutexAlgorithm>(
+              std::make_unique<RaymondMutex>()); }},
+    {"central", true,
+     "central server: one coordinator queues requests and grants the token",
+     [] { return std::unique_ptr<MutexAlgorithm>(
+              std::make_unique<CentralServerMutex>()); }},
+    {"ricart", false,
+     "Ricart-Agrawala permissions: 2(N-1) timestamped msgs/CS",
+     [] { return std::unique_ptr<MutexAlgorithm>(
+              std::make_unique<RicartAgrawalaMutex>()); }},
+    {"bertier", true,
+     "Bertier et al. hierarchical Naimi-Trehel: cluster-aware single instance",
+     [] { return std::unique_ptr<MutexAlgorithm>(
+              std::make_unique<BertierMutex>()); }},
+    {"mueller", true,
+     "Mueller prioritized token: Naimi-Trehel with request priorities",
+     [] { return std::unique_ptr<MutexAlgorithm>(
+              std::make_unique<MuellerMutex>()); }},
+    {"lamport", false,
+     "Lamport logical-clock queue: REQUEST/REPLY/RELEASE, 3(N-1) msgs/CS",
+     [] { return std::unique_ptr<MutexAlgorithm>(
+              std::make_unique<LamportMutex>()); }},
+    {"maekawa", false,
+     "Maekawa quorums: ~2*sqrt(N) arbiters vote; any two quorums intersect",
+     [] { return std::unique_ptr<MutexAlgorithm>(
+              std::make_unique<MaekawaMutex>()); }},
 };
 
 const Entry& find_entry(std::string_view name) {
@@ -88,6 +109,10 @@ const std::vector<std::string>& algorithm_names() {
 
 bool is_token_based(std::string_view name) {
   return find_entry(name).token_based;
+}
+
+std::string_view algorithm_description(std::string_view name) {
+  return find_entry(name).description;
 }
 
 std::string message_type_name(std::string_view algorithm,

@@ -37,7 +37,17 @@ Network::Network(Simulator& sim, Topology topo,
 void Network::attach(NodeId node, ProtocolId protocol, Handler handler) {
   GMX_ASSERT(node < topo_.node_count());
   GMX_ASSERT(handler != nullptr);
+  // Manually chosen ids move the reservation watermark so a later
+  // reserve_protocols() can never hand out an id already in use.
+  if (protocol >= next_protocol_) next_protocol_ = protocol + 1;
   handlers_[node][protocol] = std::move(handler);
+}
+
+ProtocolId Network::reserve_protocols(std::uint32_t count) {
+  GMX_ASSERT(count > 0);
+  const ProtocolId base = next_protocol_;
+  next_protocol_ += count;
+  return base;
 }
 
 void Network::detach(NodeId node, ProtocolId protocol) {
@@ -103,9 +113,16 @@ std::uint64_t Network::sent_by_protocol(ProtocolId p) const {
   return it == sent_by_protocol_.end() ? 0 : it->second;
 }
 
+std::uint64_t Network::inter_sent_by_protocol(ProtocolId p) const {
+  const auto it = inter_by_protocol_.find(p);
+  return it == inter_by_protocol_.end() ? 0 : it->second;
+}
+
 std::uint64_t Network::in_flight_for(ProtocolId p) const {
   const auto it = in_flight_by_protocol_.find(p);
-  return it == in_flight_by_protocol_.end() ? 0 : it->second;
+  const std::uint64_t wire =
+      it == in_flight_by_protocol_.end() ? 0 : it->second;
+  return wire + (in_flight_supplement_ ? in_flight_supplement_(p) : 0);
 }
 
 SimTime Network::departure_to_delivery(const Message& msg) {
@@ -212,6 +229,7 @@ void Network::send(Message msg) {
   GMX_ASSERT(msg.dst < topo_.node_count());
   GMX_ASSERT_MSG(msg.src != msg.dst,
                  "self-send: handle loopback in the protocol layer");
+  if (send_router_ && send_router_(msg)) return;  // absorbed (batching)
   if (!reliable_.empty()) {
     const auto it = reliable_.find(msg.protocol);
     if (it != reliable_.end() && !register_reliable_send(msg, it->second))
@@ -229,6 +247,7 @@ void Network::transmit(Message msg) {
   } else {
     ++counters_.inter_cluster;
     counters_.bytes_inter += msg.wire_size();
+    ++inter_by_protocol_[msg.protocol];
   }
   ++sent_by_protocol_[msg.protocol];
 
@@ -309,6 +328,20 @@ void Network::deliver(Message msg, SimTime sent_at) {
   const auto it = node_handlers.find(msg.protocol);
   GMX_ASSERT_MSG(it != node_handlers.end(),
                  "message delivered to node with no handler for its protocol");
+  it->second(msg);
+}
+
+void Network::dispatch_local(const Message& msg) {
+  GMX_ASSERT(msg.dst < topo_.node_count());
+  GMX_ASSERT_MSG(!reliable(msg.protocol),
+                 "reliable protocols must not bypass ARQ via dispatch_local");
+  const SimTime now = sim_.now();
+  if (delivery_tap_) delivery_tap_(msg, now, now);
+  if (tracer_) tracer_(msg, now, now);
+  auto& node_handlers = handlers_[msg.dst];
+  const auto it = node_handlers.find(msg.protocol);
+  GMX_ASSERT_MSG(it != node_handlers.end(),
+                 "batched message unpacked at node with no handler");
   it->second(msg);
 }
 

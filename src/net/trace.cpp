@@ -4,8 +4,13 @@
 
 namespace gmx {
 
-TraceSink::TraceSink(std::ostream& out, Labeler labeler)
-    : out_(out), labeler_(std::move(labeler)) {}
+TraceSink::TraceSink(std::ostream& out, Labeler labeler) : out_(out) {
+  if (labeler) labelers_.push_back(std::move(labeler));
+}
+
+void TraceSink::add_labeler(Labeler labeler) {
+  if (labeler) labelers_.push_back(std::move(labeler));
+}
 
 void TraceSink::install(Network& net) {
   net.set_tracer([this, &net](const Message& m, SimTime sent, SimTime recv) {
@@ -16,10 +21,14 @@ void TraceSink::install(Network& net) {
 void TraceSink::write(const Network& net, const Message& msg, SimTime sent,
                       SimTime recv) {
   const Topology& topo = net.topology();
-  const std::string label =
-      labeler_ ? labeler_(msg.protocol, msg.type)
-               : "p" + std::to_string(msg.protocol) + "/t" +
-                     std::to_string(msg.type);
+  std::string label;
+  for (const Labeler& l : labelers_) {
+    label = l(msg.protocol, msg.type);
+    if (!label.empty()) break;
+  }
+  if (label.empty())
+    label = "p" + std::to_string(msg.protocol) + "/t" +
+            std::to_string(msg.type);
   out_ << std::fixed << std::setprecision(3) << recv.as_ms() << "ms  "
        << label << "  n" << msg.src << "("
        << topo.cluster_name(topo.cluster_of(msg.src)) << ") -> n" << msg.dst

@@ -116,6 +116,14 @@ std::vector<std::uint8_t> Reader::bytes() {
   return out;
 }
 
+std::span<const std::uint8_t> Reader::bytes_view() {
+  const std::uint64_t n = varint();
+  need(n);
+  const std::span<const std::uint8_t> out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
 std::string Reader::str() {
   const std::uint64_t n = varint();
   need(n);

@@ -1,0 +1,156 @@
+#include "gridmutex/service/batch.hpp"
+
+#include <utility>
+
+#include "gridmutex/net/wire.hpp"
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+BatchMux::BatchMux(Network& net, ProtocolId protocol)
+    : net_(net), protocol_(protocol) {
+  const Topology& topo = net_.topology();
+  for (NodeId v = 0; v < topo.node_count(); ++v) {
+    net_.attach(v, protocol_, [this](const Message& m) { on_frame(m); });
+  }
+  net_.set_send_router([this](Message& m) { return offer(m); });
+  net_.set_in_flight_supplement([this](ProtocolId p) {
+    const auto it = virtual_in_flight_.find(p);
+    return it == virtual_in_flight_.end() ? std::uint64_t(0) : it->second;
+  });
+}
+
+BatchMux::~BatchMux() {
+  net_.set_send_router({});
+  net_.set_in_flight_supplement({});
+  const Topology& topo = net_.topology();
+  for (NodeId v = 0; v < topo.node_count(); ++v) net_.detach(v, protocol_);
+}
+
+std::uint64_t BatchMux::absorbed_for(ProtocolId p) const {
+  const auto it = absorbed_by_protocol_.find(p);
+  return it == absorbed_by_protocol_.end() ? 0 : it->second;
+}
+
+std::uint64_t BatchMux::inter_absorbed_for(ProtocolId p) const {
+  const auto it = inter_absorbed_.find(p);
+  return it == inter_absorbed_.end() ? 0 : it->second;
+}
+
+bool BatchMux::offer(Message& msg) {
+  if (flushing_) return false;  // a flushed message continues to the wire
+  if (msg.protocol == protocol_) return false;
+  // ARQ exclusion: a reliable frame must be sequenced/retransmitted by the
+  // network, which a batched copy would silently escape.
+  if (net_.reliable(msg.protocol)) return false;
+  std::vector<Message>& bucket = buckets_[pair_key(msg.src, msg.dst)];
+  if (bucket.empty()) {
+    // First message of this pair at this instant: flush after the current
+    // event cascade, still at the same simulated time.
+    net_.simulator().schedule_at(
+        net_.simulator().now(),
+        [this, src = msg.src, dst = msg.dst] { flush(src, dst); });
+  }
+  ++virtual_in_flight_[msg.protocol];
+  ++in_transit_;
+  bucket.push_back(std::move(msg));
+  return true;
+}
+
+void BatchMux::flush(NodeId src, NodeId dst) {
+  const auto it = buckets_.find(pair_key(src, dst));
+  GMX_ASSERT(it != buckets_.end() && !it->second.empty());
+  std::vector<Message> subs = std::move(it->second);
+  buckets_.erase(it);
+
+  if (subs.size() == 1) {
+    // Nothing to piggyback on: the message travels as it would have.
+    Message m = std::move(subs.front());
+    --virtual_in_flight_[m.protocol];
+    --in_transit_;
+    ++stats_.flushed_single;
+    flushing_ = true;
+    net_.send(std::move(m));
+    flushing_ = false;
+    return;
+  }
+
+  const bool inter = !net_.topology().same_cluster(src, dst);
+  std::size_t separate_bytes = 0;
+  for (const Message& s : subs) {
+    ++absorbed_by_protocol_[s.protocol];
+    if (inter) ++inter_absorbed_[s.protocol];
+    separate_bytes += s.wire_size();
+    ++stats_.absorbed;
+  }
+  Message frame;
+  frame.src = src;
+  frame.dst = dst;
+  frame.protocol = protocol_;
+  frame.type = kFrameType;
+  frame.payload = encode(subs);
+  if (frame.wire_size() < separate_bytes)
+    stats_.bytes_saved += separate_bytes - frame.wire_size();
+  ++stats_.frames;
+  flushing_ = true;
+  net_.send(std::move(frame));
+  flushing_ = false;
+  // The virtual in-flight counts stay raised until on_frame() unpacks at
+  // the destination: in between, the subs exist only inside the frame.
+}
+
+void BatchMux::on_frame(const Message& frame) {
+  const std::vector<Message> subs =
+      decode(frame.src, frame.dst, frame.payload);
+  for (const Message& sub : subs) {
+    auto it = virtual_in_flight_.find(sub.protocol);
+    GMX_ASSERT_MSG(it != virtual_in_flight_.end() && it->second > 0,
+                   "batched sub-message was never absorbed");
+    --it->second;
+    --in_transit_;
+    net_.dispatch_local(sub);
+  }
+}
+
+std::vector<std::uint8_t> BatchMux::encode(std::span<const Message> subs) {
+  wire::Writer w;
+  w.varint(subs.size());
+  for (const Message& s : subs) {
+    w.varint(s.protocol);
+    w.u16(s.type);
+    w.bytes(s.payload);
+  }
+  return w.take();
+}
+
+std::vector<Message> BatchMux::decode(NodeId src, NodeId dst,
+                                      std::span<const std::uint8_t> payload) {
+  wire::Reader r(payload);
+  const std::uint64_t count = r.varint();
+  // Each sub-message costs at least 4 bytes (protocol + type + length), so
+  // a count beyond the remaining bytes is garbage — reject before
+  // reserving memory for it.
+  if (count == 0 || count > r.remaining())
+    throw wire::WireError("batch: implausible sub-message count");
+  std::vector<Message> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Message m;
+    m.src = src;
+    m.dst = dst;
+    const std::uint64_t proto = r.varint();
+    if (proto == 0 || proto > 0xFFFFFFFFULL)
+      throw wire::WireError("batch: sub-message protocol id out of range");
+    m.protocol = ProtocolId(proto);
+    m.type = r.u16();
+    if (m.type == Message::kAckType)
+      throw wire::WireError("batch: ACK inside a batch frame");
+    const std::span<const std::uint8_t> body = r.bytes_view();
+    m.payload.assign(body.begin(), body.end());
+    out.push_back(std::move(m));
+  }
+  r.expect_end();
+  return out;
+}
+
+}  // namespace gmx

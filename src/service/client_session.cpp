@@ -1,0 +1,76 @@
+#include "gridmutex/service/client_session.hpp"
+
+#include <utility>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+void ClientSession::add_lock(LockId lock, MutexEndpoint& endpoint) {
+  GMX_ASSERT_MSG(lock == slots_.size(), "locks must be added in id order");
+  GMX_ASSERT(endpoint.node() == node_);
+  slots_.push_back(Slot{&endpoint, {}, false, false, 0});
+}
+
+ClientSession::Slot& ClientSession::slot(LockId lock) {
+  GMX_ASSERT(lock < slots_.size());
+  return slots_[lock];
+}
+
+const ClientSession::Slot& ClientSession::slot(LockId lock) const {
+  GMX_ASSERT(lock < slots_.size());
+  return slots_[lock];
+}
+
+void ClientSession::acquire(LockId lock, GrantCallback cb) {
+  GMX_ASSERT(cb != nullptr);
+  Slot& s = slot(lock);
+  s.waiting.push_back(std::move(cb));
+  pump(s);
+}
+
+void ClientSession::pump(Slot& s) {
+  if (s.requesting || s.holding || s.waiting.empty()) return;
+  s.requesting = true;
+  s.endpoint->request_cs();
+}
+
+void ClientSession::granted(LockId lock) {
+  Slot& s = slot(lock);
+  GMX_ASSERT_MSG(s.requesting && !s.holding,
+                 "grant without an outstanding request");
+  s.requesting = false;
+  s.holding = true;
+  ++s.grants;
+  GMX_ASSERT(!s.waiting.empty());
+  GrantCallback cb = std::move(s.waiting.front());
+  s.waiting.pop_front();
+  cb();
+}
+
+void ClientSession::release(LockId lock) {
+  Slot& s = slot(lock);
+  GMX_ASSERT_MSG(s.holding, "release() without holding the lock");
+  s.holding = false;
+  s.endpoint->release_cs();
+  pump(s);
+}
+
+bool ClientSession::holding(LockId lock) const { return slot(lock).holding; }
+
+std::size_t ClientSession::pending(LockId lock) const {
+  return slot(lock).waiting.size();
+}
+
+std::uint64_t ClientSession::acquisitions(LockId lock) const {
+  return slot(lock).grants;
+}
+
+bool ClientSession::idle() const {
+  for (const Slot& s : slots_) {
+    if (s.requesting || s.holding || !s.waiting.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace gmx

@@ -1,0 +1,286 @@
+#include "gridmutex/service/experiment.hpp"
+
+#include <cctype>
+#include <memory>
+#include <utility>
+
+#include "gridmutex/analysis/protocol_checker.hpp"
+#include "gridmutex/fault/failover.hpp"
+#include "gridmutex/fault/injector.hpp"
+#include "gridmutex/mutex/registry.hpp"
+#include "gridmutex/sim/assert.hpp"
+#include "gridmutex/workload/safety_monitor.hpp"
+
+namespace gmx {
+
+namespace {
+
+std::string capitalize(std::string s) {
+  if (!s.empty()) s[0] = char(std::toupper(static_cast<unsigned char>(s[0])));
+  return s;
+}
+
+/// One open-loop arrival: materialized up front so the whole trace is a
+/// pure function of the driver Rng stream, independent of service timing.
+struct Arrival {
+  SimTime at;
+  NodeId node = kInvalidNode;
+  LockId lock = 0;
+};
+
+}  // namespace
+
+std::string ServiceConfig::label() const {
+  return capitalize(intra) + "-" + capitalize(inter) +
+         " K=" + std::to_string(locks);
+}
+
+ExperimentResult run_service_experiment(const ServiceConfig& cfg) {
+  GMX_ASSERT(cfg.locks >= 1);
+  GMX_ASSERT(cfg.open_loop.arrivals_per_sec > 0.0);
+
+  Simulator sim;
+  sim.set_event_limit(600'000'000);
+
+  Topology topo = Composition::make_topology(cfg.clusters,
+                                             cfg.apps_per_cluster);
+  std::shared_ptr<const LatencyModel> latency =
+      cfg.latency.build(cfg.clusters);
+
+  Rng root(cfg.seed);
+  Network net(sim, topo, latency, root.fork(1));
+
+  // BATCH frames are plain datagrams (no ARQ); a faulted network dropping
+  // one would lose every sub-message inside. Campaigns run unbatched.
+  const bool batching = cfg.batching && !cfg.faults.enabled;
+
+  LockService svc(net, LockServiceConfig{
+                           .locks = cfg.locks,
+                           .lock_names = cfg.lock_names,
+                           .intra_algorithm = cfg.intra,
+                           .inter_algorithm = cfg.inter,
+                           .placement = cfg.placement,
+                           .batching = batching,
+                           .seed = root.fork(2).next_u64(),
+                       });
+
+  // The documented layout must match what the service actually reserved —
+  // fault plans and tests predict protocol ids through ServiceConfig.
+  GMX_ASSERT(svc.batch_protocol() == ServiceConfig::kBatchProtocol);
+  for (LockId l = 0; l < cfg.locks; ++l) {
+    GMX_ASSERT(svc.protocol_base(l) ==
+               ServiceConfig::lock_protocol_base(l, cfg.clusters));
+  }
+
+  // Fault campaign wiring mirrors run_experiment, fanned out per lock.
+  std::unique_ptr<FaultInjector> injector;
+  std::unique_ptr<TokenRecoveryManager> recovery;
+  std::vector<std::unique_ptr<CoordinatorFailover>> failovers;
+  if (cfg.faults.enabled) {
+    injector = std::make_unique<FaultInjector>(net, cfg.faults.plan);
+    if (cfg.faults.recovery) {
+      const RecoveryConfig& rc = cfg.faults.recovery_cfg;
+      recovery = std::make_unique<TokenRecoveryManager>(net, rc);
+      for (LockId l = 0; l < cfg.locks; ++l) {
+        Composition& comp = svc.composition(l);
+        const std::string tag = "lock[" + std::to_string(l) + "].";
+        if (rc.enable_retransmit) {
+          net.set_reliable(comp.inter_protocol(), rc.retransmit);
+          for (ClusterId c = 0; c < comp.cluster_count(); ++c)
+            net.set_reliable(comp.intra_protocol(c), rc.retransmit);
+        }
+        if (is_token_based(cfg.inter)) {
+          recovery->watch_instance(tag + "inter", comp.inter_protocol(),
+                                   comp.inter_instance());
+        }
+        if (is_token_based(cfg.intra)) {
+          for (ClusterId c = 0; c < comp.cluster_count(); ++c) {
+            recovery->watch_instance(
+                tag + "intra[" + std::to_string(c) + "]",
+                comp.intra_protocol(c), comp.intra_instance(c));
+          }
+        }
+        failovers.push_back(
+            std::make_unique<CoordinatorFailover>(comp, *injector));
+      }
+    }
+    injector->arm();
+  }
+
+  // Checker declared after the world it watches (its hooks uninstall
+  // first). One attachment per lock keeps every invariant lock-scoped.
+  std::unique_ptr<ProtocolChecker> checker;
+  if (cfg.check_protocol) {
+    checker = std::make_unique<ProtocolChecker>(
+        sim, CheckerOptions{.grant_bound = cfg.grant_bound,
+                            .abort_on_violation = true});
+    checker->attach_network(net);
+    for (LockId l = 0; l < cfg.locks; ++l) {
+      checker->attach_composition(svc.composition(l),
+                                  "lock[" + std::to_string(l) + "].");
+    }
+    if (recovery) {
+      const RecoveryConfig& rc = cfg.faults.recovery_cfg;
+      const SimDuration grace =
+          rc.detect_timeout + rc.probe_interval * 6 + rc.election_delay;
+      for (LockId l = 0; l < cfg.locks; ++l) {
+        Composition& comp = svc.composition(l);
+        if (is_token_based(cfg.inter))
+          checker->enable_recovery(comp.inter_protocol(), grace);
+        if (is_token_based(cfg.intra))
+          for (ClusterId c = 0; c < comp.cluster_count(); ++c)
+            checker->enable_recovery(comp.intra_protocol(c), grace);
+      }
+      recovery->set_epoch_hook([ck = checker.get()](ProtocolId p, bool open) {
+        ck->note_regeneration(p, open);
+      });
+    }
+  }
+
+  svc.start();
+
+  // Materialize the whole arrival trace from its own Rng stream: arrival
+  // times, requesting nodes and lock choices never depend on how the
+  // service behaves, which is what "open loop" means.
+  const std::vector<NodeId>& apps = svc.app_nodes();
+  const ZipfSampler zipf(cfg.locks, cfg.open_loop.zipf_s);
+  std::vector<Arrival> arrivals;
+  {
+    Rng traffic = root.fork(3);
+    const double mean_gap = 1.0 / cfg.open_loop.arrivals_per_sec;
+    double t = traffic.exponential(mean_gap);
+    while (t < cfg.open_loop.window.as_sec()) {
+      Arrival a;
+      a.at = SimTime::zero() + SimDuration::sec_f(t);
+      a.node = apps[traffic.next_below(apps.size())];
+      a.lock = zipf.sample(traffic);
+      arrivals.push_back(a);
+      t += traffic.exponential(mean_gap);
+    }
+  }
+
+  // Per-lock accounting + per-lock exclusion monitors (holding two
+  // *different* locks at once is legal; two holders of one lock abort).
+  struct LockAccount {
+    std::uint64_t arrivals = 0;
+    std::uint64_t completed = 0;
+    DurationStats obtaining;
+    Histogram obtaining_hist{10'000.0, 200};
+    SafetyMonitor safety;
+  };
+  std::vector<LockAccount> accounts(cfg.locks);
+  std::uint64_t outstanding = 0;
+  std::uint64_t cs_under_faults = 0;
+
+  for (const Arrival& a : arrivals) {
+    ++accounts[a.lock].arrivals;
+    ++outstanding;
+    sim.schedule_at(a.at, [&, a] {
+      svc.session(a.node).acquire(a.lock, [&, a] {
+        const SimTime granted = sim.now();
+        LockAccount& acct = accounts[a.lock];
+        const SimDuration obtained = granted - a.at;
+        acct.obtaining.add(obtained);
+        acct.obtaining_hist.add(obtained.as_ms());
+        acct.safety.enter(granted, int(a.lock), int(a.node));
+        if (injector && injector->active_faults() > 0) ++cs_under_faults;
+        sim.schedule_after(cfg.open_loop.hold, [&, a] {
+          accounts[a.lock].safety.exit(int(a.lock), int(a.node));
+          ++accounts[a.lock].completed;
+          --outstanding;
+          svc.session(a.node).release(a.lock);
+        });
+      });
+    });
+  }
+
+  const bool bounded =
+      cfg.faults.enabled && cfg.faults.stall_horizon < SimTime::max();
+  if (bounded) {
+    sim.run_until(cfg.faults.stall_horizon);
+  } else {
+    sim.run();
+  }
+
+  const bool stalled = outstanding > 0;
+  if (stalled) {
+    GMX_ASSERT_MSG(bounded, "liveness failure: service did not drain");
+  } else {
+    GMX_ASSERT(net.in_flight() == 0);
+    if (svc.batcher()) GMX_ASSERT(svc.batcher()->in_transit() == 0);
+    for (const NodeId v : apps) GMX_ASSERT(svc.session(v).idle());
+    for (const LockAccount& acct : accounts) GMX_ASSERT(acct.safety.in_cs() == 0);
+  }
+
+  ExperimentResult res;
+  res.label = cfg.label();
+  res.rho = cfg.open_loop.zipf_s;  // series axis of service sweeps
+  res.messages = net.counters();
+  res.makespan = sim.now() - SimTime::zero();
+  res.events = sim.events_processed();
+  res.stalled = stalled;
+  res.lock_count = cfg.locks;
+  res.zipf_s = cfg.open_loop.zipf_s;
+  res.service_seconds = res.makespan.as_sec();
+
+  res.per_lock.reserve(cfg.locks);
+  for (LockId l = 0; l < cfg.locks; ++l) {
+    LockAccount& acct = accounts[l];
+    LockMetrics m;
+    m.name = svc.table().name(l);
+    m.home_cluster = svc.table().home_cluster(l);
+    m.arrivals = acct.arrivals;
+    m.completed_cs = acct.completed;
+    m.obtaining = acct.obtaining;
+    m.obtaining_hist = acct.obtaining_hist;
+    m.protocol_msgs = svc.messages(l);
+    m.inter_msgs = svc.inter_messages(l);
+    res.total_cs += acct.completed;
+    res.obtaining.merge(acct.obtaining);
+    res.obtaining_hist.merge(acct.obtaining_hist);
+    res.safety_entries += acct.safety.entries();
+    res.safety_violations += acct.safety.violations();
+    if (res.first_violation.empty() && acct.safety.first_violation())
+      res.first_violation = acct.safety.first_violation()->to_string();
+    res.inter_acquisitions += svc.composition(l).total_inter_acquisitions();
+    res.per_lock.push_back(std::move(m));
+  }
+  GMX_ASSERT(res.safety_violations == 0);
+
+  if (svc.batcher()) {
+    const BatchMux::Stats& bs = svc.batcher()->stats();
+    res.batched_messages = bs.absorbed;
+    res.batch_frames = bs.frames;
+    res.batch_bytes_saved = bs.bytes_saved;
+  }
+  if (checker) res.invariant_checks = checker->checks_run();
+  res.cs_under_faults = cs_under_faults;
+  if (injector) {
+    const FaultInjector::Stats& fs = injector->stats();
+    res.faults_injected =
+        fs.crashes + fs.partitions + fs.lossy_links + fs.targeted_drops;
+  }
+  if (recovery) {
+    const TokenRecoveryManager::Stats& rs = recovery->stats();
+    res.token_losses = rs.losses_detected;
+    res.token_regenerations = rs.regenerations;
+    res.stranded_repairs = rs.stranded_repairs;
+    res.false_alarms = rs.false_alarms;
+    res.recovery_latency = rs.recovery_latency;
+  }
+  for (const auto& f : failovers)
+    res.coordinator_failovers += f->stats().failovers;
+  return res;
+}
+
+ExperimentResult run_service_replicated(ServiceConfig cfg, int repetitions) {
+  GMX_ASSERT(repetitions >= 1);
+  ExperimentResult merged = run_service_experiment(cfg);
+  for (int r = 1; r < repetitions; ++r) {
+    cfg.seed += 1;
+    merged.merge(run_service_experiment(cfg));
+  }
+  return merged;
+}
+
+}  // namespace gmx

@@ -1,0 +1,138 @@
+#include "gridmutex/service/lock_service.hpp"
+
+#include <utility>
+
+#include "gridmutex/sim/assert.hpp"
+#include "gridmutex/sim/random.hpp"
+
+namespace gmx {
+
+namespace {
+
+std::vector<std::string> default_names(std::uint32_t locks) {
+  std::vector<std::string> names;
+  names.reserve(locks);
+  for (std::uint32_t l = 0; l < locks; ++l)
+    names.push_back("lock" + std::to_string(l));
+  return names;
+}
+
+}  // namespace
+
+LockService::LockService(Network& net, LockServiceConfig cfg)
+    : net_(net),
+      cfg_(std::move(cfg)),
+      table_(net.topology().cluster_count(), cfg_.placement,
+             cfg_.lock_names.empty() ? default_names(cfg_.locks)
+                                     : cfg_.lock_names) {
+  GMX_ASSERT_MSG(cfg_.locks >= 1, "a LockService hosts at least one lock");
+  GMX_ASSERT_MSG(table_.lock_count() == cfg_.locks,
+                 "lock_names size must match the lock count");
+
+  // Reserve the batch protocol first so the documented layout (BATCH, then
+  // per-lock blocks) holds whether or not batching is enabled.
+  batch_protocol_ = net_.reserve_protocols(1);
+  if (cfg_.batching) mux_ = std::make_unique<BatchMux>(net_, batch_protocol_);
+
+  const std::uint32_t clusters = net_.topology().cluster_count();
+  Rng root(cfg_.seed);
+  comps_.reserve(cfg_.locks);
+  for (LockId l = 0; l < cfg_.locks; ++l) {
+    const ProtocolId base = net_.reserve_protocols(clusters + 1);
+    comps_.push_back(std::make_unique<Composition>(
+        net_, CompositionConfig{
+                  .intra_algorithm = cfg_.intra_algorithm,
+                  .inter_algorithm = cfg_.inter_algorithm,
+                  .initial_cluster = table_.home_cluster(l),
+                  .protocol_base = base,
+                  .seed = root.fork(100 + l).next_u64(),
+              }));
+  }
+
+  // One session per app node, wired to every lock's endpoint on that node.
+  const std::vector<NodeId>& apps = comps_.front()->app_nodes();
+  session_of_node_.assign(net_.topology().node_count(), -1);
+  sessions_.reserve(apps.size());
+  for (const NodeId v : apps) {
+    session_of_node_[v] = int(sessions_.size());
+    sessions_.push_back(std::make_unique<ClientSession>(v));
+    ClientSession* s = sessions_.back().get();
+    for (LockId l = 0; l < cfg_.locks; ++l) {
+      MutexEndpoint& ep = comps_[l]->app_mutex(v);
+      s->add_lock(l, ep);
+      ep.set_callbacks(MutexCallbacks{
+          .on_granted = [s, l] { s->granted(l); },
+          .on_pending = {},
+      });
+    }
+  }
+}
+
+LockService::~LockService() = default;
+
+void LockService::start() {
+  for (auto& comp : comps_) comp->start();
+}
+
+Composition& LockService::composition(LockId lock) {
+  GMX_ASSERT(lock < comps_.size());
+  return *comps_[lock];
+}
+
+ClientSession& LockService::session(NodeId app_node) {
+  GMX_ASSERT(app_node < session_of_node_.size());
+  const int idx = session_of_node_[app_node];
+  GMX_ASSERT_MSG(idx >= 0, "session() of a coordinator node");
+  return *sessions_[std::size_t(idx)];
+}
+
+ProtocolId LockService::protocol_base(LockId lock) const {
+  GMX_ASSERT(lock < comps_.size());
+  return comps_[lock]->config().protocol_base;
+}
+
+std::uint64_t LockService::messages(LockId lock) const {
+  GMX_ASSERT(lock < comps_.size());
+  const ProtocolId base = comps_[lock]->config().protocol_base;
+  const std::uint32_t span = net_.topology().cluster_count() + 1;
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < span; ++i) {
+    total += net_.sent_by_protocol(base + i);
+    if (mux_) total += mux_->absorbed_for(base + i);
+  }
+  return total;
+}
+
+std::uint64_t LockService::inter_messages(LockId lock) const {
+  GMX_ASSERT(lock < comps_.size());
+  const ProtocolId base = comps_[lock]->config().protocol_base;
+  const std::uint32_t span = net_.topology().cluster_count() + 1;
+  std::uint64_t total = 0;
+  for (std::uint32_t i = 0; i < span; ++i) {
+    total += net_.inter_sent_by_protocol(base + i);
+    if (mux_) total += mux_->inter_absorbed_for(base + i);
+  }
+  return total;
+}
+
+std::function<std::string(ProtocolId, std::uint16_t)>
+LockService::trace_labeler() const {
+  std::vector<std::function<std::string(ProtocolId, std::uint16_t)>> chain;
+  chain.reserve(comps_.size());
+  for (LockId l = 0; l < comps_.size(); ++l) {
+    chain.push_back(
+        comps_[l]->trace_labeler("lock[" + std::to_string(l) + "]."));
+  }
+  const ProtocolId batch = batch_protocol_;
+  return [chain = std::move(chain), batch](ProtocolId p,
+                                           std::uint16_t type) -> std::string {
+    if (p == batch && type == BatchMux::kFrameType) return "svc.BATCH";
+    for (const auto& labeler : chain) {
+      std::string label = labeler(p, type);
+      if (!label.empty()) return label;
+    }
+    return {};
+  };
+}
+
+}  // namespace gmx

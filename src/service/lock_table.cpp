@@ -1,0 +1,61 @@
+#include "gridmutex/service/lock_table.hpp"
+
+#include <stdexcept>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+Placement parse_placement(std::string_view name) {
+  if (name == "roundrobin" || name == "rr") return Placement::kRoundRobin;
+  if (name == "hash") return Placement::kHash;
+  throw std::invalid_argument("unknown placement policy: \"" +
+                              std::string(name) +
+                              "\" (expected roundrobin or hash)");
+}
+
+std::string_view to_string(Placement p) {
+  switch (p) {
+    case Placement::kRoundRobin:
+      return "roundrobin";
+    case Placement::kHash:
+      return "hash";
+  }
+  return "?";
+}
+
+LockTable::LockTable(std::uint32_t clusters, Placement placement,
+                     std::vector<std::string> names)
+    : placement_(placement), names_(std::move(names)) {
+  GMX_ASSERT(clusters > 0);
+  GMX_ASSERT_MSG(!names_.empty(), "a lock table needs at least one lock");
+  home_.reserve(names_.size());
+  for (LockId l = 0; l < names_.size(); ++l) {
+    home_.push_back(placement_ == Placement::kRoundRobin
+                        ? ClusterId(l % clusters)
+                        : hash_cluster(names_[l], clusters));
+  }
+}
+
+const std::string& LockTable::name(LockId lock) const {
+  GMX_ASSERT(lock < names_.size());
+  return names_[lock];
+}
+
+ClusterId LockTable::home_cluster(LockId lock) const {
+  GMX_ASSERT(lock < home_.size());
+  return home_[lock];
+}
+
+ClusterId LockTable::hash_cluster(std::string_view name,
+                                  std::uint32_t clusters) {
+  GMX_ASSERT(clusters > 0);
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (const char c : name) {
+    h ^= std::uint8_t(c);
+    h *= 0x100000001b3ULL;  // FNV prime
+  }
+  return ClusterId(h % clusters);
+}
+
+}  // namespace gmx

@@ -86,6 +86,15 @@ options:
   --jitter <f>       multiplicative latency jitter fraction (default 0.05)
   --threads <n>      sweep parallelism, 0 = hardware (default 0)
   --csv <path>       also write all points as CSV
+
+service mode (multi-lock, open-loop traffic):
+  --locks <n>        host n locks in one LockService; every series must be
+                     a --composition. rho values are ignored; one point per
+                     series is run at the configured Zipf skew
+  --zipf <s>         Zipf popularity exponent across locks (default 0.9)
+  --placement roundrobin | hash    home-cluster sharding (default roundrobin)
+
+  --list-algorithms  print the algorithm registry and exit
   --help             this text
 
 known algorithms: naimi martin suzuki raymond central ricart bertier mueller
@@ -105,6 +114,7 @@ std::variant<CliOptions, CliError> parse_cli(
   std::optional<std::vector<std::uint32_t>> ml_arity;
   std::optional<std::vector<std::string>> ml_algorithms;
   std::optional<std::vector<double>> ml_delays;
+  bool saw_zipf = false, saw_placement = false;
 
   auto err = [](std::string m) {
     return std::variant<CliOptions, CliError>(CliError{std::move(m)});
@@ -119,6 +129,26 @@ std::variant<CliOptions, CliError> parse_cli(
     if (a == "--help" || a == "-h") {
       opt.help = true;
       return opt;
+    } else if (a == "--list-algorithms") {
+      opt.list_algorithms = true;
+      return opt;
+    } else if (a == "--locks") {
+      const auto v = value();
+      const auto n = v ? parse_int(*v) : std::nullopt;
+      if (!n || *n < 1) return err("--locks needs a positive integer");
+      opt.locks = std::uint32_t(*n);
+    } else if (a == "--zipf") {
+      const auto v = value();
+      const auto f = v ? parse_double(*v) : std::nullopt;
+      if (!f || *f < 0) return err("--zipf needs a non-negative number");
+      opt.zipf_s = *f;
+      saw_zipf = true;
+    } else if (a == "--placement") {
+      const auto v = value();
+      if (!v || (*v != "roundrobin" && *v != "rr" && *v != "hash"))
+        return err("--placement expects roundrobin or hash");
+      opt.placement = std::string(*v);
+      saw_placement = true;
     } else if (a == "--composition") {
       const auto v = value();
       if (!v) return err("--composition needs a value");
@@ -263,6 +293,17 @@ std::variant<CliOptions, CliError> parse_cli(
     opt.series.push_back(std::move(cfg));
   }
   if (opt.series.empty()) opt.series.emplace_back();  // naimi-naimi default
+  if (opt.locks == 0 && (saw_zipf || saw_placement))
+    return err("--zipf/--placement apply to service mode; add --locks <n>");
+  if (opt.locks > 0) {
+    const bool all_composition = std::all_of(
+        opt.series.begin(), opt.series.end(), [](const ExperimentConfig& c) {
+          return c.mode == ExperimentConfig::Mode::kComposition;
+        });
+    if (!all_composition)
+      return err("--locks runs a LockService of two-level compositions; "
+                 "--flat/--multilevel series cannot be multiplexed");
+  }
   const bool needs_grid = std::any_of(
       opt.series.begin(), opt.series.end(), [](const ExperimentConfig& c) {
         return c.mode != ExperimentConfig::Mode::kMultiLevel;

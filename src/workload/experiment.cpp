@@ -64,6 +64,29 @@ std::string ExperimentConfig::label() const {
   return "?";
 }
 
+void LockMetrics::merge(const LockMetrics& other) {
+  GMX_ASSERT(name == other.name && home_cluster == other.home_cluster);
+  arrivals += other.arrivals;
+  completed_cs += other.completed_cs;
+  obtaining.merge(other.obtaining);
+  obtaining_hist.merge(other.obtaining_hist);
+  protocol_msgs += other.protocol_msgs;
+  inter_msgs += other.inter_msgs;
+}
+
+double ExperimentResult::jain_fairness() const {
+  if (per_lock.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const LockMetrics& l : per_lock) {
+    const double x = double(l.completed_cs);
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 0.0;
+  return (sum * sum) / (double(per_lock.size()) * sum_sq);
+}
+
 void ExperimentResult::merge(const ExperimentResult& other) {
   GMX_ASSERT(label == other.label);
   total_cs += other.total_cs;
@@ -95,6 +118,15 @@ void ExperimentResult::merge(const ExperimentResult& other) {
   coordinator_failovers += other.coordinator_failovers;
   recovery_latency.merge(other.recovery_latency);
   stalled = stalled || other.stalled;
+  GMX_ASSERT(per_lock.size() == other.per_lock.size());
+  for (std::size_t l = 0; l < per_lock.size(); ++l)
+    per_lock[l].merge(other.per_lock[l]);
+  service_seconds += other.service_seconds;
+  if (other.lock_count != 0) lock_count = other.lock_count;
+  if (other.zipf_s != 0.0) zipf_s = other.zipf_s;
+  batched_messages += other.batched_messages;
+  batch_frames += other.batch_frames;
+  batch_bytes_saved += other.batch_bytes_saved;
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {

@@ -1,0 +1,34 @@
+#include "gridmutex/workload/open_loop.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double s) : s_(s) {
+  GMX_ASSERT_MSG(n >= 1, "Zipf over an empty rank set");
+  GMX_ASSERT_MSG(s >= 0.0, "Zipf exponent must be non-negative");
+  cum_.reserve(n);
+  double acc = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    acc += 1.0 / std::pow(double(i) + 1.0, s);
+    cum_.push_back(acc);
+  }
+}
+
+std::uint32_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double() * cum_.back();
+  const auto it = std::upper_bound(cum_.begin(), cum_.end(), u);
+  const std::size_t i = std::size_t(it - cum_.begin());
+  return std::uint32_t(std::min(i, cum_.size() - 1));
+}
+
+double ZipfSampler::probability(std::uint32_t i) const {
+  GMX_ASSERT(i < cum_.size());
+  const double w = cum_[i] - (i == 0 ? 0.0 : cum_[i - 1]);
+  return w / cum_.back();
+}
+
+}  // namespace gmx

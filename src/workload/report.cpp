@@ -122,4 +122,63 @@ void write_csv(std::ostream& out, std::span<const SeriesPoint> points) {
   }
 }
 
+void write_service_csv(std::ostream& out,
+                       std::span<const SeriesPoint> points) {
+  out << "series,locks,zipf_s,lock,home_cluster,arrivals,completed_cs,"
+         "throughput_cs_per_s,obtaining_ms,obtaining_p99_ms,"
+         "protocol_msgs,inter_msgs,inter_msgs_per_cs,fairness\n";
+  for (const auto& p : points) {
+    const ExperimentResult& r = p.result;
+    for (const LockMetrics& l : r.per_lock) {
+      const bool has_hist = l.obtaining_hist.count() > 0;
+      out << p.series << ',' << r.lock_count << ',' << r.zipf_s << ','
+          << l.name << ',' << l.home_cluster << ',' << l.arrivals << ','
+          << l.completed_cs << ',' << l.throughput(r.service_seconds) << ','
+          << l.obtaining.mean_ms() << ','
+          << (has_hist ? l.obtaining_hist.percentile(0.99) : 0.0) << ','
+          << l.protocol_msgs << ',' << l.inter_msgs << ','
+          << l.inter_msgs_per_cs() << ",\n";
+    }
+    std::uint64_t total_arrivals = 0;
+    for (const LockMetrics& l : r.per_lock) total_arrivals += l.arrivals;
+    const bool has_hist = r.obtaining_hist.count() > 0;
+    out << p.series << ',' << r.lock_count << ',' << r.zipf_s << ','
+        << "ALL,," << total_arrivals << ',' << r.total_cs << ','
+        << r.throughput_cs_per_s() << ',' << r.obtaining_ms() << ','
+        << (has_hist ? r.obtaining_hist.percentile(0.99) : 0.0) << ','
+        << r.messages.sent + r.batched_messages << ','
+        << r.messages.inter_cluster << ',' << r.inter_msgs_per_cs() << ','
+        << r.jain_fairness() << "\n";
+  }
+}
+
+void print_service_table(std::ostream& out, const ExperimentResult& r) {
+  out << "\n== " << r.label << "  (zipf s=" << r.zipf_s << ") ==\n";
+  Table t({"lock", "home", "arrivals", "cs", "thr/s", "obt ms", "p99 ms",
+           "msgs", "inter", "inter/cs"});
+  for (const LockMetrics& l : r.per_lock) {
+    const bool has_hist = l.obtaining_hist.count() > 0;
+    t.add_row({l.name, std::to_string(l.home_cluster),
+               std::to_string(l.arrivals), std::to_string(l.completed_cs),
+               Table::num(l.throughput(r.service_seconds)),
+               Table::num(l.obtaining.mean_ms()),
+               Table::num(has_hist ? l.obtaining_hist.percentile(0.99) : 0.0),
+               std::to_string(l.protocol_msgs), std::to_string(l.inter_msgs),
+               Table::num(l.inter_msgs_per_cs())});
+  }
+  const bool has_hist = r.obtaining_hist.count() > 0;
+  t.add_row({"ALL", "-", "-", std::to_string(r.total_cs),
+             Table::num(r.throughput_cs_per_s()),
+             Table::num(r.obtaining_ms()),
+             Table::num(has_hist ? r.obtaining_hist.percentile(0.99) : 0.0),
+             std::to_string(r.messages.sent + r.batched_messages),
+             std::to_string(r.messages.inter_cluster),
+             Table::num(r.inter_msgs_per_cs())});
+  t.print(out);
+  out << "fairness (Jain) = " << Table::num(r.jain_fairness(), 3)
+      << "   batched = " << r.batched_messages << " subs in "
+      << r.batch_frames << " frames (" << r.batch_bytes_saved
+      << " bytes saved)\n";
+}
+
 }  // namespace gmx

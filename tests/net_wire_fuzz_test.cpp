@@ -2,9 +2,13 @@
 // Reader primitive must either decode or throw WireError — never crash,
 // never read out of bounds, never loop. Also mutation fuzzing: valid
 // encodings with flipped bytes/truncations stay within the same contract.
+// The BatchMux frame codec (service/batch.hpp) rides the same harness: it
+// is the one nested encoding on the wire, so a malformed frame must fail
+// as a WireError, never as a corrupt sub-message dispatch.
 #include <gtest/gtest.h>
 
 #include "gridmutex/net/wire.hpp"
+#include "gridmutex/service/batch.hpp"
 #include "gridmutex/sim/random.hpp"
 
 namespace gmx::wire {
@@ -146,6 +150,95 @@ TEST(WireFuzz, RoundTripPropertyRandomValues) {
     EXPECT_EQ(r.varint_array_u64(), arr);
     EXPECT_EQ(r.str(), s);
     r.expect_end();
+  }
+}
+
+Message random_sub(Rng& rng) {
+  Message m;
+  m.protocol = ProtocolId(1 + rng.next_below(40));
+  m.type = std::uint16_t(rng.next_below(Message::kAckType));  // never an ACK
+  m.payload = random_bytes(rng, 48);
+  return m;
+}
+
+TEST(BatchFuzz, RandomBytesDecodeOrThrow) {
+  Rng rng(0xBA7C);
+  for (int i = 0; i < 5000; ++i) {
+    const auto bytes = random_bytes(rng, 96);
+    try {
+      const auto subs = BatchMux::decode(3, 7, bytes);
+      // Anything that decodes must honor the frame contract: at least one
+      // sub-message, src/dst restored from the enclosing frame, and only
+      // dispatchable protocols/types.
+      EXPECT_GE(subs.size(), 1u);
+      for (const Message& m : subs) {
+        EXPECT_EQ(m.src, 3u);
+        EXPECT_EQ(m.dst, 7u);
+        EXPECT_NE(m.protocol, 0u);
+        EXPECT_NE(m.type, Message::kAckType);
+      }
+    } catch (const WireError&) {
+    }
+  }
+}
+
+TEST(BatchFuzz, RoundTripRandomSubMessageSets) {
+  Rng rng(0xBA7C2);
+  for (int i = 0; i < 1000; ++i) {
+    std::vector<Message> subs(1 + rng.next_below(8));
+    for (auto& m : subs) m = random_sub(rng);
+    const auto frame = BatchMux::encode(subs);
+    const auto back = BatchMux::decode(11, 22, frame);
+    ASSERT_EQ(back.size(), subs.size());
+    for (std::size_t k = 0; k < subs.size(); ++k) {
+      EXPECT_EQ(back[k].src, 11u);
+      EXPECT_EQ(back[k].dst, 22u);
+      EXPECT_EQ(back[k].protocol, subs[k].protocol);
+      EXPECT_EQ(back[k].type, subs[k].type);
+      EXPECT_EQ(back[k].payload, subs[k].payload);
+    }
+  }
+}
+
+TEST(BatchFuzz, MutatedFramesKeepContract) {
+  Rng rng(0xBA7C3);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<Message> subs(2 + rng.next_below(5));
+    for (auto& m : subs) m = random_sub(rng);
+    const auto base = BatchMux::encode(subs);
+    for (int j = 0; j < 20; ++j) {
+      auto mutated = base;
+      mutated[rng.next_below(mutated.size())] ^=
+          std::uint8_t(1u << rng.next_below(8));
+      try {
+        const auto back = BatchMux::decode(1, 2, mutated);
+        for (const Message& m : back) {
+          EXPECT_NE(m.protocol, 0u);
+          EXPECT_NE(m.type, Message::kAckType);
+        }
+      } catch (const WireError&) {
+      }
+    }
+  }
+}
+
+TEST(BatchFuzz, TruncatedFramesThrowOrDecodeValidSubset) {
+  Rng rng(0xBA7C4);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<Message> subs(2 + rng.next_below(4));
+    for (auto& m : subs) m = random_sub(rng);
+    const auto full = BatchMux::encode(subs);
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      const std::span<const std::uint8_t> trunc(full.data(), cut);
+      try {
+        const auto back = BatchMux::decode(5, 6, trunc);
+        // decode() demands the declared count and a fully consumed payload;
+        // a strict prefix can never satisfy both.
+        ADD_FAILURE() << "truncation at " << cut << "/" << full.size()
+                      << " decoded " << back.size() << " sub-messages";
+      } catch (const WireError&) {
+      }
+    }
   }
 }
 

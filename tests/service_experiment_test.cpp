@@ -1,0 +1,187 @@
+// End-to-end LockService experiments (service/experiment.hpp): the CI
+// service smoke gate (checker-armed K=4 run), per-lock metric consistency,
+// Zipf skew effects, determinism, batching equivalence and CSV export.
+#include "gridmutex/service/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "gridmutex/workload/report.hpp"
+
+namespace gmx::testing {
+namespace {
+
+ServiceConfig small_config(std::uint32_t locks, double zipf_s = 0.9) {
+  ServiceConfig cfg;
+  cfg.locks = locks;
+  cfg.clusters = 3;
+  cfg.apps_per_cluster = 3;
+  cfg.latency = LatencySpec::two_level(SimDuration::ms_f(0.5),
+                                       SimDuration::ms(10));
+  cfg.open_loop.arrivals_per_sec = 100;
+  cfg.open_loop.window = SimDuration::ms(800);
+  cfg.open_loop.hold = SimDuration::ms(5);
+  cfg.open_loop.zipf_s = zipf_s;
+  cfg.seed = 11;
+  return cfg;
+}
+
+std::uint64_t total_arrivals(const ExperimentResult& r) {
+  std::uint64_t n = 0;
+  for (const LockMetrics& l : r.per_lock) n += l.arrivals;
+  return n;
+}
+
+// The CI service gate: a checker-armed K=4 Zipf run must drain with
+// nonzero throughput and zero per-lock invariant violations.
+TEST(ServiceSmoke, CheckerArmedZipfRunDrainsClean) {
+  ServiceConfig cfg = small_config(4);
+  cfg.check_protocol = true;
+  const ExperimentResult r = run_service_experiment(cfg);
+
+  EXPECT_FALSE(r.stalled);
+  EXPECT_GT(r.total_cs, 0u);
+  EXPECT_GT(r.throughput_cs_per_s(), 0.0);
+  EXPECT_EQ(r.safety_violations, 0u);
+  EXPECT_GT(r.invariant_checks, 0u);
+  ASSERT_EQ(r.per_lock.size(), 4u);
+  EXPECT_EQ(r.total_cs, total_arrivals(r)) << "every arrival completed";
+  EXPECT_GT(r.jain_fairness(), 0.0);
+  EXPECT_LE(r.jain_fairness(), 1.0 + 1e-12);
+}
+
+TEST(ServiceExperiment, PerLockMetricsSumToAggregate) {
+  const ExperimentResult r = run_service_experiment(small_config(4));
+  std::uint64_t cs = 0, obtain_count = 0, proto_msgs = 0, inter = 0;
+  for (const LockMetrics& l : r.per_lock) {
+    cs += l.completed_cs;
+    obtain_count += l.obtaining.count();
+    proto_msgs += l.protocol_msgs;
+    inter += l.inter_msgs;
+  }
+  EXPECT_EQ(cs, r.total_cs);
+  EXPECT_EQ(obtain_count, r.obtaining.count());
+  EXPECT_EQ(obtain_count, r.obtaining_hist.count());
+  // Per-lock protocol messages (wire + batched) must cover everything the
+  // network sent except BATCH frames themselves, and inter-cluster splits
+  // must stay within the network's aggregate count.
+  EXPECT_EQ(proto_msgs, r.messages.sent + r.batched_messages - r.batch_frames);
+  EXPECT_LE(inter, r.messages.inter_cluster + r.batched_messages);
+  EXPECT_GT(proto_msgs, 0u);
+}
+
+TEST(ServiceExperiment, ZipfSkewConcentratesArrivalsOnHeadLock) {
+  const ExperimentResult skewed =
+      run_service_experiment(small_config(8, 1.5));
+  const ExperimentResult uniform =
+      run_service_experiment(small_config(8, 0.0));
+
+  const double head_share_skewed =
+      double(skewed.per_lock[0].arrivals) / double(total_arrivals(skewed));
+  const double head_share_uniform =
+      double(uniform.per_lock[0].arrivals) / double(total_arrivals(uniform));
+  EXPECT_GT(head_share_skewed, 2.0 * head_share_uniform);
+  EXPECT_GT(uniform.jain_fairness(), skewed.jain_fairness());
+}
+
+TEST(ServiceExperiment, RoundRobinAndHashPlacementsBothBalance) {
+  ServiceConfig cfg = small_config(6);
+  const ExperimentResult rr = run_service_experiment(cfg);
+  for (LockId l = 0; l < 6; ++l)
+    EXPECT_EQ(rr.per_lock[l].home_cluster, l % 3);
+
+  cfg.placement = Placement::kHash;
+  const ExperimentResult hashed = run_service_experiment(cfg);
+  for (LockId l = 0; l < 6; ++l) {
+    EXPECT_EQ(hashed.per_lock[l].home_cluster,
+              LockTable::hash_cluster(hashed.per_lock[l].name, 3));
+  }
+  EXPECT_EQ(hashed.total_cs, rr.total_cs)
+      << "placement moves coordinators, not workload";
+}
+
+// Acceptance bullet: a fault-free K>1 run is bit-identical across two
+// invocations with the same seed.
+TEST(ServiceExperiment, SameSeedRunsAreBitIdentical) {
+  const ServiceConfig cfg = small_config(4);
+  const ExperimentResult a = run_service_experiment(cfg);
+  const ExperimentResult b = run_service_experiment(cfg);
+
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.total_cs, b.total_cs);
+  EXPECT_EQ(a.messages.sent, b.messages.sent);
+  EXPECT_EQ(a.messages.bytes_total, b.messages.bytes_total);
+  EXPECT_EQ(a.makespan.count_ns(), b.makespan.count_ns());
+  EXPECT_EQ(a.batched_messages, b.batched_messages);
+  EXPECT_EQ(a.batch_frames, b.batch_frames);
+  ASSERT_EQ(a.per_lock.size(), b.per_lock.size());
+  for (std::size_t l = 0; l < a.per_lock.size(); ++l) {
+    EXPECT_EQ(a.per_lock[l].arrivals, b.per_lock[l].arrivals);
+    EXPECT_EQ(a.per_lock[l].completed_cs, b.per_lock[l].completed_cs);
+    EXPECT_EQ(a.per_lock[l].protocol_msgs, b.per_lock[l].protocol_msgs);
+    EXPECT_EQ(a.per_lock[l].inter_msgs, b.per_lock[l].inter_msgs);
+    // Bit-exact double equality is the point: same event trajectory.
+    EXPECT_EQ(a.per_lock[l].obtaining.mean_ms(),
+              b.per_lock[l].obtaining.mean_ms());
+  }
+}
+
+TEST(ServiceExperiment, BatchingPreservesCompletionsAndCutsDatagrams) {
+  ServiceConfig cfg = small_config(4);
+  cfg.open_loop.arrivals_per_sec = 200;  // denser instants batch more
+  const ExperimentResult batched = run_service_experiment(cfg);
+  cfg.batching = false;
+  const ExperimentResult plain = run_service_experiment(cfg);
+
+  EXPECT_EQ(batched.total_cs, plain.total_cs);
+  EXPECT_EQ(total_arrivals(batched), total_arrivals(plain));
+  EXPECT_EQ(plain.batched_messages, 0u);
+  if (batched.batched_messages > 0) {
+    EXPECT_LT(batched.messages.sent, plain.messages.sent)
+        << "each multi-message frame removes datagrams from the wire";
+  }
+}
+
+TEST(ServiceExperiment, ReplicationMergesPerLockRows) {
+  const ExperimentResult one = run_service_experiment(small_config(3));
+  ServiceConfig cfg = small_config(3);
+  const ExperimentResult merged = run_service_replicated(cfg, 2);
+
+  ASSERT_EQ(merged.per_lock.size(), 3u);
+  EXPECT_EQ(merged.repetitions, 2);
+  EXPECT_GT(merged.total_cs, one.total_cs);
+  EXPECT_GT(merged.service_seconds, one.service_seconds);
+  for (std::size_t l = 0; l < 3; ++l)
+    EXPECT_GE(merged.per_lock[l].arrivals, one.per_lock[l].arrivals);
+}
+
+TEST(ServiceExperiment, ServiceCsvHasPerLockAndAggregateRows) {
+  const ExperimentResult r = run_service_experiment(small_config(3));
+  std::ostringstream out;
+  const SeriesPoint point{r.label, r.zipf_s, r};
+  write_service_csv(out, {&point, 1});
+
+  const std::string csv = out.str();
+  std::size_t lines = 0;
+  for (const char c : csv)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 1 + 3 + 1) << "header + one row per lock + ALL row";
+  EXPECT_NE(csv.find("lock0"), std::string::npos);
+  EXPECT_NE(csv.find("ALL"), std::string::npos);
+  EXPECT_NE(csv.find("fairness"), std::string::npos);
+}
+
+TEST(ServiceExperiment, SingleLockServiceMatchesCompositionShape) {
+  // K=1 degenerates to one composition plus session plumbing: it must
+  // still drain with all arrivals served strictly one at a time.
+  const ExperimentResult r = run_service_experiment(small_config(1));
+  ASSERT_EQ(r.per_lock.size(), 1u);
+  EXPECT_EQ(r.per_lock[0].completed_cs, r.total_cs);
+  EXPECT_EQ(r.total_cs, total_arrivals(r));
+  EXPECT_EQ(r.jain_fairness(), 1.0);
+}
+
+}  // namespace
+}  // namespace gmx::testing

@@ -1,0 +1,329 @@
+// LockService building blocks: lock-table placement, protocol-id
+// reservation, per-node client sessions, piggyback batching, and the
+// per-lock trace labeling of a multiplexed service.
+#include "gridmutex/service/lock_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "gridmutex/net/latency.hpp"
+#include "gridmutex/net/trace.hpp"
+#include "gridmutex/net/wire.hpp"
+#include "gridmutex/service/experiment.hpp"
+
+namespace gmx::testing {
+namespace {
+
+std::shared_ptr<const LatencyModel> small_latency(std::uint32_t clusters) {
+  return std::make_shared<MatrixLatencyModel>(MatrixLatencyModel::two_level(
+      clusters, SimDuration::ms_f(0.5), SimDuration::ms(5), 0.0));
+}
+
+struct ServiceHarness {
+  explicit ServiceHarness(LockServiceConfig cfg, std::uint32_t clusters = 2,
+                          std::uint32_t apps = 2)
+      : topo(Composition::make_topology(clusters, apps)),
+        net(sim, topo, small_latency(clusters), Rng(7)),
+        svc(net, std::move(cfg)) {
+    svc.start();
+  }
+
+  Simulator sim;
+  Topology topo;
+  Network net;
+  LockService svc;
+};
+
+TEST(LockTable, RoundRobinSpreadsHomesAcrossClusters) {
+  std::vector<std::string> names;
+  for (int i = 0; i < 7; ++i) names.push_back("l" + std::to_string(i));
+  const LockTable t(3, Placement::kRoundRobin, names);
+  ASSERT_EQ(t.lock_count(), 7u);
+  for (LockId l = 0; l < 7; ++l) {
+    EXPECT_EQ(t.home_cluster(l), l % 3) << "lock " << l;
+    EXPECT_EQ(t.name(l), names[l]);
+  }
+}
+
+TEST(LockTable, HashPlacementIsStableAndNameKeyed) {
+  const LockTable t(5, Placement::kHash, {"alpha", "beta", "gamma"});
+  for (LockId l = 0; l < 3; ++l) {
+    EXPECT_LT(t.home_cluster(l), 5u);
+    EXPECT_EQ(t.home_cluster(l), LockTable::hash_cluster(t.name(l), 5));
+  }
+  // Renumbering does not move a named lock's home — the property that
+  // distinguishes kHash from kRoundRobin.
+  const LockTable reordered(5, Placement::kHash, {"gamma", "alpha", "beta"});
+  EXPECT_EQ(reordered.home_cluster(1), t.home_cluster(0));  // "alpha"
+  EXPECT_EQ(reordered.home_cluster(0), t.home_cluster(2));  // "gamma"
+}
+
+TEST(LockTable, PlacementParsing) {
+  EXPECT_EQ(parse_placement("roundrobin"), Placement::kRoundRobin);
+  EXPECT_EQ(parse_placement("rr"), Placement::kRoundRobin);
+  EXPECT_EQ(parse_placement("hash"), Placement::kHash);
+  EXPECT_THROW((void)parse_placement("zipf"), std::invalid_argument);
+  EXPECT_EQ(to_string(Placement::kHash), "hash");
+  EXPECT_EQ(to_string(Placement::kRoundRobin), "roundrobin");
+}
+
+TEST(Network, ReserveProtocolsNeverCollides) {
+  Simulator sim;
+  Topology topo = Topology::uniform(2, 2);
+  Network net(sim, topo, small_latency(2), Rng(3));
+  // Legacy-style manual attach below the watermark...
+  net.attach(0, 5, [](const Message&) {});
+  // ...pushes reservations past every id previously attached.
+  const ProtocolId a = net.reserve_protocols(3);
+  EXPECT_GT(a, 5u);
+  const ProtocolId b = net.reserve_protocols(1);
+  EXPECT_EQ(b, a + 3);
+  EXPECT_NE(a, 0u) << "0 stays the no-protocol sentinel";
+}
+
+TEST(LockService, LayoutMatchesServiceConfigPrediction) {
+  ServiceHarness h(LockServiceConfig{.locks = 3}, /*clusters=*/2);
+  EXPECT_EQ(h.svc.batch_protocol(), ServiceConfig::kBatchProtocol);
+  for (LockId l = 0; l < 3; ++l) {
+    EXPECT_EQ(h.svc.protocol_base(l),
+              ServiceConfig::lock_protocol_base(l, 2));
+    EXPECT_EQ(h.svc.composition(l).inter_protocol(),
+              ServiceConfig::lock_inter_protocol(l, 2));
+    EXPECT_EQ(h.svc.composition(l).intra_protocol(1),
+              ServiceConfig::lock_intra_protocol(l, 2, 1));
+  }
+}
+
+TEST(LockService, HomeClustersSeedInterTokens) {
+  ServiceHarness h(LockServiceConfig{.locks = 4}, /*clusters=*/2);
+  for (LockId l = 0; l < 4; ++l) {
+    EXPECT_EQ(h.svc.composition(l).config().initial_cluster, l % 2);
+    EXPECT_EQ(h.svc.table().home_cluster(l), l % 2);
+  }
+}
+
+TEST(ClientSession, GrantsAreFifoPerLockAndConcurrentAcrossLocks) {
+  ServiceHarness h(LockServiceConfig{.locks = 2, .batching = false});
+  const std::vector<NodeId>& apps = h.svc.app_nodes();
+  ASSERT_GE(apps.size(), 2u);
+  ClientSession& s0 = h.svc.session(apps[0]);
+
+  std::vector<int> order;
+  // Two queued acquires of lock 0 on one node: strictly FIFO, the second
+  // grant only after the first release.
+  s0.acquire(0, [&] {
+    order.push_back(1);
+    h.sim.schedule_after(SimDuration::ms(2), [&] { s0.release(0); });
+  });
+  s0.acquire(0, [&] {
+    order.push_back(2);
+    EXPECT_FALSE(s0.pending(0) > 0 && order.size() < 2);
+    h.sim.schedule_after(SimDuration::ms(2), [&] { s0.release(0); });
+  });
+  // A different lock on the same node proceeds independently.
+  s0.acquire(1, [&] {
+    order.push_back(3);
+    h.sim.schedule_after(SimDuration::ms(1), [&] { s0.release(1); });
+  });
+  // pending() counts unfired grant callbacks: the in-flight head + the
+  // queued second acquire.
+  EXPECT_EQ(s0.pending(0), 2u);
+
+  h.sim.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);  // lock 0 FIFO...
+  EXPECT_LT(std::find(order.begin(), order.end(), 1),
+            std::find(order.begin(), order.end(), 2));
+  EXPECT_EQ(s0.acquisitions(0), 2u);
+  EXPECT_EQ(s0.acquisitions(1), 1u);
+  EXPECT_TRUE(s0.idle());
+  EXPECT_EQ(h.net.in_flight(), 0u);
+}
+
+TEST(ClientSession, HoldingTwoDifferentLocksAtOnceIsLegal) {
+  ServiceHarness h(LockServiceConfig{.locks = 2, .batching = false});
+  ClientSession& s = h.svc.session(h.svc.app_nodes()[0]);
+  bool both_held = false;
+  s.acquire(0, [&] {
+    s.acquire(1, [&] {
+      both_held = s.holding(0) && s.holding(1);
+      s.release(1);
+      s.release(0);
+    });
+  });
+  h.sim.run();
+  EXPECT_TRUE(both_held);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(BatchMux, CodecRoundTripsSubMessages) {
+  std::vector<Message> subs(3);
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    subs[i].src = 4;
+    subs[i].dst = 9;
+    subs[i].protocol = ProtocolId(2 + i * 3);
+    subs[i].type = std::uint16_t(i + 1);
+    subs[i].payload.assign(i * 5, std::uint8_t(0xA0 + i));
+  }
+  const std::vector<std::uint8_t> frame = BatchMux::encode(subs);
+  const std::vector<Message> back = BatchMux::decode(4, 9, frame);
+  ASSERT_EQ(back.size(), subs.size());
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    EXPECT_EQ(back[i].src, 4u);
+    EXPECT_EQ(back[i].dst, 9u);
+    EXPECT_EQ(back[i].protocol, subs[i].protocol);
+    EXPECT_EQ(back[i].type, subs[i].type);
+    EXPECT_EQ(back[i].payload, subs[i].payload);
+  }
+}
+
+TEST(BatchMux, DecodeRejectsMalformedFrames) {
+  EXPECT_THROW((void)BatchMux::decode(0, 1, std::vector<std::uint8_t>{0}),
+               wire::WireError);  // zero sub-count
+  // ACK smuggled inside a frame.
+  Message ack;
+  ack.protocol = 2;
+  ack.type = Message::kAckType;
+  EXPECT_THROW((void)BatchMux::decode(0, 1, BatchMux::encode({&ack, 1})),
+               wire::WireError);
+  // Protocol id 0 (the sentinel) inside a frame.
+  wire::Writer w;
+  w.varint(1);
+  w.varint(0);
+  w.u16(1);
+  w.bytes({});
+  EXPECT_THROW((void)BatchMux::decode(0, 1, w.take()), wire::WireError);
+}
+
+TEST(BatchMux, CoalescesSameInstantSameDestinationSends) {
+  Simulator sim;
+  Topology topo = Topology::uniform(2, 2);
+  Network net(sim, topo, small_latency(2), Rng(5));
+  const ProtocolId batch = net.reserve_protocols(1);
+  const ProtocolId pa = net.reserve_protocols(1);
+  const ProtocolId pb = net.reserve_protocols(1);
+  int got_a = 0, got_b = 0;
+  net.attach(2, pa, [&](const Message&) { ++got_a; });
+  net.attach(2, pb, [&](const Message&) { ++got_b; });
+  BatchMux mux(net, batch);
+
+  // Three messages, same (src, dst), same instant: one frame on the wire,
+  // every handler fired at the destination. Three subs also make the frame
+  // cheaper than separate datagrams (per-sub overhead ~4 bytes vs the
+  // 8-byte header), so bytes_saved must move.
+  sim.schedule_at(SimTime::zero(), [&] {
+    Message m1{.src = 0, .dst = 2, .protocol = pa, .type = 1};
+    Message m2{.src = 0, .dst = 2, .protocol = pb, .type = 1};
+    Message m3{.src = 0, .dst = 2, .protocol = pa, .type = 2};
+    m1.payload.assign(16, 0x11);
+    m2.payload.assign(16, 0x22);
+    m3.payload.assign(16, 0x33);
+    net.send(std::move(m1));
+    net.send(std::move(m2));
+    net.send(std::move(m3));
+    EXPECT_EQ(mux.in_transit(), 3u);
+  });
+  sim.run();
+
+  EXPECT_EQ(got_a, 2);
+  EXPECT_EQ(got_b, 1);
+  EXPECT_EQ(mux.stats().frames, 1u);
+  EXPECT_EQ(mux.stats().absorbed, 3u);
+  EXPECT_EQ(net.counters().sent, 1u) << "one BATCH datagram, not three";
+  EXPECT_EQ(mux.absorbed_for(pa), 2u);
+  EXPECT_EQ(mux.absorbed_for(pb), 1u);
+  EXPECT_EQ(mux.in_transit(), 0u);
+  EXPECT_GT(mux.stats().bytes_saved, 0u);
+}
+
+TEST(BatchMux, LoneMessagesTravelUnbatched) {
+  Simulator sim;
+  Topology topo = Topology::uniform(2, 2);
+  Network net(sim, topo, small_latency(2), Rng(5));
+  const ProtocolId batch = net.reserve_protocols(1);
+  const ProtocolId pa = net.reserve_protocols(1);
+  int got = 0;
+  net.attach(1, pa, [&](const Message&) { ++got; });
+  BatchMux mux(net, batch);
+  sim.schedule_at(SimTime::zero(), [&] {
+    net.send(Message{.src = 0, .dst = 1, .protocol = pa, .type = 1});
+  });
+  sim.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(mux.stats().frames, 0u);
+  EXPECT_EQ(mux.stats().flushed_single, 1u);
+  EXPECT_EQ(net.sent_by_protocol(pa), 1u);
+}
+
+TEST(BatchMux, ReliableProtocolsBypassBatching) {
+  Simulator sim;
+  Topology topo = Topology::uniform(2, 2);
+  Network net(sim, topo, small_latency(2), Rng(5));
+  const ProtocolId batch = net.reserve_protocols(1);
+  const ProtocolId pa = net.reserve_protocols(1);
+  const ProtocolId rel = net.reserve_protocols(1);
+  net.set_reliable(rel);
+  int got = 0;
+  net.attach(2, pa, [&](const Message&) { ++got; });
+  net.attach(2, rel, [&](const Message&) { ++got; });
+  BatchMux mux(net, batch);
+  sim.schedule_at(SimTime::zero(), [&] {
+    net.send(Message{.src = 0, .dst = 2, .protocol = pa, .type = 1});
+    net.send(Message{.src = 0, .dst = 2, .protocol = rel, .type = 1});
+  });
+  sim.run();
+  EXPECT_EQ(got, 2);
+  // The ARQ-covered message must never ride a frame.
+  EXPECT_EQ(mux.absorbed_for(rel), 0u);
+  EXPECT_EQ(mux.stats().frames, 0u) << "lone unreliable message + bypassed "
+                                       "reliable one: nothing to pair";
+  // Data frame + its ARQ ACK, both direct datagrams.
+  EXPECT_GE(net.sent_by_protocol(rel), 1u);
+}
+
+TEST(LockService, TraceLabelerIdentifiesLocksAndBatchFrames) {
+  ServiceHarness h(LockServiceConfig{.locks = 2}, /*clusters=*/2);
+  const auto label = h.svc.trace_labeler();
+  const std::string inter0 =
+      label(h.svc.composition(0).inter_protocol(), 1);
+  EXPECT_EQ(inter0.rfind("lock[0].inter", 0), 0u) << inter0;
+  const std::string intra1 =
+      label(h.svc.composition(1).intra_protocol(0), 2);
+  EXPECT_EQ(intra1.rfind("lock[1].intra[0]", 0), 0u) << intra1;
+  EXPECT_EQ(label(h.svc.batch_protocol(), BatchMux::kFrameType),
+            "svc.BATCH");
+  EXPECT_EQ(label(9999, 1), "") << "foreign protocols defer";
+}
+
+TEST(LockService, TraceSinkChainsServiceLabeler) {
+  ServiceHarness h(LockServiceConfig{.locks = 2, .batching = false},
+                   /*clusters=*/2);
+  std::ostringstream out;
+  TraceSink sink(out, h.svc.trace_labeler());
+  sink.install(h.net);
+  ClientSession& s = h.svc.session(h.svc.app_nodes()[0]);
+  s.acquire(1, [&] { s.release(1); });
+  h.sim.run();
+  const std::string text = out.str();
+  EXPECT_NE(text.find("lock[1]."), std::string::npos) << text;
+  EXPECT_EQ(text.find("lock[0]."), std::string::npos)
+      << "idle lock 0 must not appear in the trace";
+}
+
+TEST(LockService, PerLockMessageAccountingSeparatesTraffic) {
+  ServiceHarness h(LockServiceConfig{.locks = 2, .batching = false},
+                   /*clusters=*/2);
+  ClientSession& s = h.svc.session(h.svc.app_nodes()[0]);
+  s.acquire(1, [&] { s.release(1); });
+  h.sim.run();
+  EXPECT_GT(h.svc.messages(1), 0u);
+  EXPECT_EQ(h.svc.messages(0), 0u)
+      << "lock 0 idle: its protocol block must stay silent";
+}
+
+}  // namespace
+}  // namespace gmx::testing

@@ -181,6 +181,61 @@ TEST(Cli, MultilevelCombinesWithOtherSeries) {
   EXPECT_EQ(o.series[1].workload.cs_count, 7);
 }
 
+TEST(Cli, ListAlgorithmsShortCircuits) {
+  EXPECT_TRUE(ok(parse({"--list-algorithms"})).list_algorithms);
+  // Like --help, it wins even when other (possibly bad) flags follow.
+  EXPECT_TRUE(ok(parse({"--list-algorithms", "--clusters", "zero"}))
+                  .list_algorithms);
+  EXPECT_FALSE(ok(parse({})).list_algorithms);
+  EXPECT_NE(cli_usage().find("--list-algorithms"), std::string::npos);
+}
+
+TEST(Cli, ServiceModeFlagsParse) {
+  const auto o = ok(parse({"--locks", "16", "--zipf", "1.2", "--placement",
+                           "hash"}));
+  EXPECT_EQ(o.locks, 16u);
+  EXPECT_EQ(o.zipf_s, 1.2);
+  EXPECT_EQ(o.placement, "hash");
+  ASSERT_EQ(o.series.size(), 1u);  // default composition series still set
+}
+
+TEST(Cli, ServiceModeDefaultsAreOff) {
+  const auto o = ok(parse({}));
+  EXPECT_EQ(o.locks, 0u);  // 0 = classic sweep, no LockService
+  EXPECT_EQ(o.placement, "roundrobin");
+}
+
+TEST(Cli, PlacementAliasesAndValidation) {
+  EXPECT_EQ(ok(parse({"--locks", "4", "--placement", "rr"})).placement, "rr");
+  EXPECT_NE(fail(parse({"--locks", "4", "--placement", "random"}))
+                .find("placement"),
+            std::string::npos);
+}
+
+TEST(Cli, ServiceFlagsRequireLocks) {
+  EXPECT_NE(fail(parse({"--zipf", "0.9"})).find("--locks"),
+            std::string::npos);
+  EXPECT_NE(fail(parse({"--placement", "hash"})).find("--locks"),
+            std::string::npos);
+}
+
+TEST(Cli, ServiceModeRejectsNonCompositionSeries) {
+  EXPECT_FALSE(fail(parse({"--locks", "4", "--flat", "naimi"})).empty());
+  EXPECT_FALSE(fail(parse({"--locks", "4", "--multilevel", "2x2",
+                           "--algorithms", "naimi,naimi", "--delays", "1,2"}))
+                   .empty());
+  // Composition series multiplex fine.
+  const auto o = ok(parse({"--locks", "4", "--composition", "suzuki-martin"}));
+  EXPECT_EQ(o.series[0].intra, "suzuki");
+}
+
+TEST(Cli, ServiceBadValuesRejected) {
+  EXPECT_FALSE(fail(parse({"--locks", "0"})).empty());
+  EXPECT_FALSE(fail(parse({"--locks", "four"})).empty());
+  EXPECT_FALSE(fail(parse({"--locks", "4", "--zipf", "-0.5"})).empty());
+  EXPECT_FALSE(fail(parse({"--locks"})).empty());
+}
+
 TEST(Cli, ParsedConfigActuallyRuns) {
   // End-to-end: a parsed tiny config must execute.
   const auto o = ok(parse({"--flat", "martin", "--clusters", "2", "--apps",

@@ -1,0 +1,81 @@
+// Zipf lock-popularity sampler: distribution shape, determinism, and the
+// uniform degenerate case (workload/open_loop.hpp).
+#include "gridmutex/workload/open_loop.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace gmx::testing {
+namespace {
+
+TEST(Zipf, SIsZeroDegeneratesToUniform) {
+  const ZipfSampler z(8, 0.0);
+  for (std::uint32_t i = 0; i < 8; ++i)
+    EXPECT_NEAR(z.probability(i), 1.0 / 8.0, 1e-12) << "rank " << i;
+}
+
+TEST(Zipf, ProbabilitiesAreNormalizedAndMonotone) {
+  for (const double s : {0.5, 0.9, 1.2, 2.0}) {
+    const ZipfSampler z(16, s);
+    double sum = 0.0;
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      sum += z.probability(i);
+      if (i > 0) {
+        EXPECT_LT(z.probability(i), z.probability(i - 1))
+            << "s=" << s << " rank " << i;
+      }
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "s=" << s;
+    // Exact head weight: p(0) = 1 / sum_i (1/(i+1)^s).
+    double denom = 0.0;
+    for (int i = 1; i <= 16; ++i) denom += 1.0 / std::pow(i, s);
+    EXPECT_NEAR(z.probability(0), 1.0 / denom, 1e-12);
+  }
+}
+
+TEST(Zipf, EmpiricalFrequenciesMatchProbabilities) {
+  const ZipfSampler z(8, 0.9);
+  Rng rng(42);
+  std::vector<int> counts(8, 0);
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) ++counts[z.sample(rng)];
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    const double freq = double(counts[i]) / n;
+    EXPECT_NEAR(freq, z.probability(i), 0.01) << "rank " << i;
+  }
+  // The head rank dominates under skew.
+  EXPECT_GT(counts[0], counts[7] * 3);
+}
+
+TEST(Zipf, SamplingIsDeterministicPerSeed) {
+  const ZipfSampler z(32, 1.2);
+  Rng a(7), b(7), c(8);
+  std::vector<std::uint32_t> sa, sb, sc;
+  for (int i = 0; i < 100; ++i) {
+    sa.push_back(z.sample(a));
+    sb.push_back(z.sample(b));
+    sc.push_back(z.sample(c));
+  }
+  EXPECT_EQ(sa, sb);
+  EXPECT_NE(sa, sc);
+}
+
+TEST(Zipf, SingleRankAlwaysSamplesZero) {
+  const ZipfSampler z(1, 1.2);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(z.sample(rng), 0u);
+  EXPECT_NEAR(z.probability(0), 1.0, 1e-12);
+}
+
+TEST(Zipf, EveryRankIsReachable) {
+  const ZipfSampler z(4, 2.0);  // heavy skew: tail ranks are rare
+  Rng rng(11);
+  std::vector<bool> seen(4, false);
+  for (int i = 0; i < 100'000; ++i) seen[z.sample(rng)] = true;
+  for (std::uint32_t i = 0; i < 4; ++i) EXPECT_TRUE(seen[i]) << "rank " << i;
+}
+
+}  // namespace
+}  // namespace gmx::testing

@@ -3,14 +3,61 @@
 //   $ gridmutex_cli --composition naimi-martin --flat naimi
 //         --rho 45,180,720 --reps 3 --csv out.csv
 //
+// Service mode hosts K locks in one LockService and drives open-loop
+// Zipf traffic instead of the closed-loop rho sweep:
+//
+//   $ gridmutex_cli --composition naimi-naimi --locks 16 --zipf 0.9
+//         --placement hash --reps 3 --csv service.csv
+//
 // See --help (workload/cli.hpp) for the full grammar.
 #include <fstream>
 #include <iostream>
 #include <vector>
 
+#include "gridmutex/mutex/registry.hpp"
+#include "gridmutex/service/experiment.hpp"
 #include "gridmutex/workload/cli.hpp"
 #include "gridmutex/workload/report.hpp"
 #include "gridmutex/workload/runner.hpp"
+
+namespace {
+
+int run_service_mode(const gmx::CliOptions& opt) {
+  using namespace gmx;
+  std::vector<SeriesPoint> points;
+  for (const ExperimentConfig& base : opt.series) {
+    ServiceConfig cfg;
+    cfg.locks = opt.locks;
+    cfg.intra = base.intra;
+    cfg.inter = base.inter;
+    cfg.placement = parse_placement(opt.placement);
+    cfg.clusters = base.clusters;
+    cfg.apps_per_cluster = base.apps_per_cluster;
+    cfg.latency = base.latency;
+    cfg.open_loop.zipf_s = opt.zipf_s;
+    cfg.seed = base.seed;
+    std::cerr << "running " << cfg.label() << " (zipf s=" << opt.zipf_s
+              << ", " << opt.placement << " placement) x "
+              << opt.repetitions << " reps...\n";
+    const ExperimentResult r =
+        run_service_replicated(cfg, opt.repetitions);
+    print_service_table(std::cout, r);
+    points.push_back(SeriesPoint{r.label, opt.zipf_s, r});
+  }
+  if (opt.csv_path) {
+    std::ofstream csv(*opt.csv_path);
+    if (!csv) {
+      std::cerr << "error: cannot write " << *opt.csv_path << "\n";
+      return 1;
+    }
+    write_service_csv(csv, points);
+    std::cerr << "wrote " << points.size() << " service points to "
+              << *opt.csv_path << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace gmx;
@@ -25,6 +72,15 @@ int main(int argc, char** argv) {
     std::cout << cli_usage();
     return 0;
   }
+  if (opt.list_algorithms) {
+    for (const std::string& name : algorithm_names()) {
+      std::cout << name;
+      for (std::size_t i = name.size(); i < 10; ++i) std::cout << ' ';
+      std::cout << algorithm_description(name) << "\n";
+    }
+    return 0;
+  }
+  if (opt.locks > 0) return run_service_mode(opt);
 
   std::vector<SeriesPoint> points;
   for (const ExperimentConfig& base : opt.series) {
