@@ -6,7 +6,9 @@
 // process, averaged over repetitions. Environment overrides for quick runs:
 //   GRIDMUTEX_REPS  repetitions per point   (default 5; paper used 10)
 //   GRIDMUTEX_CS    critical sections/proc  (default 100, as the paper)
-//   GRIDMUTEX_THREADS sweep parallelism     (default: hardware)
+//   GRIDMUTEX_JOBS  sweep parallelism over (config, seed) replication
+//                   cells (default: hardware; GRIDMUTEX_THREADS is an
+//                   alias, kept for older scripts)
 #pragma once
 
 #include <cstdio>
@@ -29,7 +31,8 @@ inline int env_int(const char* name, int fallback) {
 struct BenchParams {
   int reps = env_int("GRIDMUTEX_REPS", 5);
   int cs = env_int("GRIDMUTEX_CS", 100);
-  std::size_t threads = std::size_t(env_int("GRIDMUTEX_THREADS", 0));
+  std::size_t threads =
+      std::size_t(env_int("GRIDMUTEX_JOBS", env_int("GRIDMUTEX_THREADS", 0)));
 };
 
 /// The paper's ρ axis. N = 180: low parallelism ρ≤N, intermediate

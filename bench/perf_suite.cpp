@@ -1,0 +1,430 @@
+// perf_suite — the canned performance suite behind BENCH_PR4.json.
+//
+// One binary measures, in a single run, everything the performance gate
+// cares about:
+//
+//   micro rows   event-queue steady-state push/pop (the slab/4-ary kernel
+//                *and* an embedded copy of the pre-optimisation queue —
+//                std::function callbacks, binary heap, tombstone-set
+//                cancellation — so the speedup ratio is computed from
+//                numbers recorded on the same machine in the same run),
+//                simulator dispatch chains, and the wire codec.
+//   macro rows   full experiments: flat Naimi, composed Naimi-Martin, a
+//                K=16 LockService run, and the scalability-style sweep at
+//                --jobs 1 vs --jobs N (hardware).
+//
+// Every row reports events/sec (or items/sec), CS/sec where a workload
+// completes critical sections, wall seconds, and peak RSS so far
+// (getrusage; monotone over the run). Output is a small JSON document —
+// default ./BENCH_PR4.json — that tools/bench_compare diffs against a
+// committed baseline with tolerances.
+//
+// Flags:
+//   --quick       reduced iteration counts / scales (CI smoke)
+//   --out <path>  output path (default BENCH_PR4.json)
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "gridmutex/net/wire.hpp"
+#include "gridmutex/service/experiment.hpp"
+#include "gridmutex/sim/event_queue.hpp"
+#include "gridmutex/sim/random.hpp"
+#include "gridmutex/sim/simulator.hpp"
+#include "gridmutex/workload/runner.hpp"
+
+namespace {
+
+using namespace gmx;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+long peak_rss_kb() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  return ru.ru_maxrss;  // KiB on Linux
+}
+
+struct Row {
+  std::string name;
+  double events_per_sec = 0.0;  // items/sec for micro rows
+  double cs_per_sec = 0.0;
+  double wall_s = 0.0;
+  long rss_kb = 0;
+};
+
+// ---------------------------------------------------------------------------
+// The pre-PR event queue, verbatim in structure: std::function entries on a
+// binary std::push_heap/std::pop_heap heap, cancellation via a tombstone
+// set probed on every surfacing id. Embedded so the "how much faster is the
+// new kernel" ratio never compares numbers from different machines or
+// different compiler flags.
+class LegacyEventQueue {
+ public:
+  using Callback = std::function<void()>;
+  struct Entry {
+    SimTime time;
+    std::uint64_t id;
+    Callback fn;
+  };
+
+  std::uint64_t push(SimTime t, Callback fn) {
+    const std::uint64_t id = next_id_++;
+    heap_.push_back(HeapItem{t, id, std::move(fn)});
+    std::push_heap(heap_.begin(), heap_.end(), later);
+    ++live_;
+    return id;
+  }
+
+  bool cancel(std::uint64_t id) {
+    if (id == 0 || id >= next_id_) return false;
+    if (!cancelled_.insert(id).second) return false;
+    const bool in_heap =
+        std::any_of(heap_.begin(), heap_.end(),
+                    [id](const HeapItem& h) { return h.id == id; });
+    if (!in_heap) {
+      cancelled_.erase(id);
+      return false;
+    }
+    --live_;
+    return true;
+  }
+
+  [[nodiscard]] bool empty() const { return live_ == 0; }
+
+  Entry pop() {
+    drop_cancelled_top();
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    HeapItem item = std::move(heap_.back());
+    heap_.pop_back();
+    --live_;
+    return Entry{item.time, item.id, std::move(item.fn)};
+  }
+
+ private:
+  struct HeapItem {
+    SimTime time;
+    std::uint64_t id;
+    Callback fn;
+  };
+  static bool later(const HeapItem& a, const HeapItem& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.id > b.id;
+  }
+  void drop_cancelled_top() {
+    while (!heap_.empty()) {
+      const auto it = cancelled_.find(heap_.front().id);
+      if (it == cancelled_.end()) return;
+      cancelled_.erase(it);
+      std::pop_heap(heap_.begin(), heap_.end(), later);
+      heap_.pop_back();
+    }
+  }
+
+  std::vector<HeapItem> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  std::size_t live_ = 0;
+  std::uint64_t next_id_ = 1;
+};
+
+// ---------------------------------------------------------------------------
+// Micro scenarios. Each keeps `depth` events pending and cycles
+// push-one/pop-one `iters` times — the steady state of a running
+// simulation, where the queue depth tracks in-flight messages.
+//
+// Callbacks carry a 64-byte capture, the size class of the kernel's real
+// workload: a delivery closure holds a Message (endpoints, type, seq,
+// payload handle). That is past std::function's small-object buffer, so
+// the legacy queue pays one heap allocation per event; EventFn stores it
+// inline in the slab.
+
+struct DeliveryPayload {
+  std::uint64_t words[7];
+  volatile std::uint64_t* sink;
+  void operator()() const { *sink = *sink + words[0]; }
+};
+
+template <typename Queue>
+Row micro_push_pop(const char* name, std::size_t depth,
+                   std::uint64_t iters) {
+  Queue q;
+  Rng rng(1);
+  volatile std::uint64_t sink = 0;
+  const DeliveryPayload payload{{1, 2, 3, 4, 5, 6, 7}, &sink};
+  for (std::size_t i = 0; i < depth; ++i)
+    q.push(SimTime::from_ns(std::int64_t(rng.next_below(1'000'000))),
+           payload);
+  const auto t0 = Clock::now();
+  std::int64_t t = 1'000'000;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    q.push(SimTime::from_ns(t + std::int64_t(rng.next_below(10'000))),
+           payload);
+    ++t;
+    auto e = q.pop();
+    e.fn();
+  }
+  const double wall = seconds_since(t0);
+  return Row{name, double(iters) / wall, 0.0, wall, peak_rss_kb()};
+}
+
+// The ARQ steady state: every send schedules a delivery *and* a retransmit
+// timer that is almost always cancelled when the ack lands. Cancellation is
+// where the two kernels differ most — the legacy queue scans the whole heap
+// per cancel and parks a tombstone; the slab kernel resolves the id in O(1).
+template <typename Queue>
+Row micro_timer_mix(const char* name, std::size_t depth,
+                    std::uint64_t iters) {
+  Queue q;
+  Rng rng(1);
+  volatile std::uint64_t sink = 0;
+  const auto noop = [&sink] { sink = sink + 1; };
+  for (std::size_t i = 0; i < depth; ++i)
+    q.push(SimTime::from_ns(std::int64_t(rng.next_below(1'000'000))), noop);
+  // Ring of in-flight retransmit timers; the oldest is cancelled each
+  // iteration, modelling acks clearing timers in FIFO-ish order.
+  std::vector<std::uint64_t> timers(64, 0);
+  std::size_t cursor = 0;
+  const auto t0 = Clock::now();
+  std::int64_t t = 1'000'000;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    q.push(SimTime::from_ns(t + std::int64_t(rng.next_below(10'000))), noop);
+    const auto timer =
+        q.push(SimTime::from_ns(t + 50'000'000), noop);  // retransmit timer
+    if (timers[cursor] != 0) q.cancel(timers[cursor]);
+    timers[cursor] = timer;
+    cursor = (cursor + 1) % timers.size();
+    ++t;
+    auto e = q.pop();
+    e.fn();
+  }
+  const double wall = seconds_since(t0);
+  return Row{name, double(iters) / wall, 0.0, wall, peak_rss_kb()};
+}
+
+Row micro_dispatch(std::uint64_t iters) {
+  // Self-scheduling chain: pure kernel dispatch (schedule + pop + invoke).
+  Simulator sim;
+  std::function<void()> tick = [&] {
+    sim.schedule_after(SimDuration::us(1), [&] { tick(); });
+  };
+  tick();
+  const auto t0 = Clock::now();
+  sim.run_steps(iters);
+  const double wall = seconds_since(t0);
+  return Row{"micro_simulator_dispatch", double(iters) / wall, 0.0, wall,
+             peak_rss_kb()};
+}
+
+Row micro_wire_codec(std::uint64_t iters) {
+  // Round-trip the largest message in the system (Suzuki token, N=180).
+  const std::size_t n = 180;
+  std::vector<std::uint64_t> ln(n);
+  std::vector<std::uint32_t> q(n / 4);
+  Rng rng(5);
+  for (auto& v : ln) v = rng.next_below(1000);
+  for (auto& v : q) v = std::uint32_t(rng.next_below(n));
+  const auto t0 = Clock::now();
+  std::uint64_t sink = 0;
+  for (std::uint64_t i = 0; i < iters; ++i) {
+    wire::Writer w(n * 3);
+    w.varint_array(std::span<const std::uint64_t>(ln));
+    w.varint_array(std::span<const std::uint32_t>(q));
+    wire::Reader r(w.view());
+    sink += r.varint_array_u64().size() + r.varint_array_u32().size();
+  }
+  const double wall = seconds_since(t0);
+  if (sink == 0) std::abort();  // keep the loop honest
+  return Row{"micro_wire_codec_roundtrip", double(iters) / wall, 0.0, wall,
+             peak_rss_kb()};
+}
+
+// ---------------------------------------------------------------------------
+// Macro scenarios: complete experiments, reporting simulator events/sec and
+// completed CS/sec of wall time.
+
+Row macro_row(const std::string& name, const ExperimentResult& r,
+              double wall) {
+  return Row{name, double(r.events) / wall, double(r.total_cs) / wall, wall,
+             peak_rss_kb()};
+}
+
+ExperimentConfig paper_config(bool quick) {
+  ExperimentConfig cfg;  // 9x20, grid5000 latency
+  cfg.workload.alpha = SimDuration::ms(10);
+  cfg.workload.cs_count = quick ? 5 : 30;
+  cfg.workload.rho = 360;  // intermediate parallelism
+  return cfg;
+}
+
+Row macro_flat(bool quick) {
+  ExperimentConfig cfg = paper_config(quick);
+  cfg.mode = ExperimentConfig::Mode::kFlat;
+  cfg.flat_algorithm = "naimi";
+  const auto t0 = Clock::now();
+  const ExperimentResult r = run_experiment(cfg);
+  return macro_row("macro_flat_naimi", r, seconds_since(t0));
+}
+
+Row macro_composed(bool quick) {
+  ExperimentConfig cfg = paper_config(quick);
+  cfg.intra = "naimi";
+  cfg.inter = "martin";
+  const auto t0 = Clock::now();
+  const ExperimentResult r = run_experiment(cfg);
+  return macro_row("macro_composed_naimi_martin", r, seconds_since(t0));
+}
+
+Row macro_service(bool quick) {
+  ServiceConfig cfg;
+  cfg.locks = 16;
+  cfg.open_loop.arrivals_per_sec = 300;
+  cfg.open_loop.window = SimDuration::ms(quick ? 1000 : 3000);
+  cfg.open_loop.zipf_s = 0.9;
+  const auto t0 = Clock::now();
+  const ExperimentResult r = run_service_experiment(cfg);
+  return macro_row("macro_service_k16", r, seconds_since(t0));
+}
+
+std::vector<ExperimentConfig> sweep_configs(bool quick) {
+  std::vector<ExperimentConfig> configs;
+  for (const char* flat : {"naimi", "suzuki"}) {
+    ExperimentConfig cfg = paper_config(quick);
+    cfg.mode = ExperimentConfig::Mode::kFlat;
+    cfg.flat_algorithm = flat;
+    configs.push_back(cfg);
+  }
+  for (const char* intra : {"naimi", "suzuki"}) {
+    ExperimentConfig cfg = paper_config(quick);
+    cfg.intra = intra;
+    cfg.inter = "naimi";
+    configs.push_back(cfg);
+  }
+  return configs;
+}
+
+Row macro_sweep(const std::string& name, std::size_t jobs, bool quick) {
+  const std::vector<ExperimentConfig> configs = sweep_configs(quick);
+  const int reps = quick ? 2 : 4;
+  const auto t0 = Clock::now();
+  const std::vector<ExperimentResult> results = run_sweep(
+      configs,
+      SweepOptions{.threads = jobs, .repetitions = reps, .progress = {}});
+  const double wall = seconds_since(t0);
+  std::uint64_t events = 0, cs = 0;
+  for (const ExperimentResult& r : results) {
+    events += r.events;
+    cs += r.total_cs;
+  }
+  return Row{name, double(events) / wall, double(cs) / wall, wall,
+             peak_rss_kb()};
+}
+
+void emit_json(std::ostream& out, const std::vector<Row>& rows, bool quick) {
+  out << "{\n";
+  out << "  \"meta\": {\"cores\": "
+      << std::thread::hardware_concurrency() << ", \"quick\": "
+      << (quick ? "true" : "false") << "},\n";
+  out << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    char buf[320];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"events_per_sec\": %.1f, "
+                  "\"cs_per_sec\": %.1f, \"wall_s\": %.4f, "
+                  "\"peak_rss_kb\": %ld}%s\n",
+                  r.name.c_str(), r.events_per_sec, r.cs_per_sec, r.wall_s,
+                  r.rss_kb, i + 1 < rows.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out_path = "BENCH_PR4.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: perf_suite [--quick] [--out <path>]\n");
+      return 2;
+    }
+  }
+
+  const std::uint64_t micro_iters = quick ? 300'000 : 3'000'000;
+  std::vector<Row> rows;
+  auto log = [&](Row r) {
+    std::fprintf(stderr,
+                 "[perf_suite] %-36s %12.0f ev/s %10.0f cs/s %8.3fs\n",
+                 r.name.c_str(), r.events_per_sec, r.cs_per_sec, r.wall_s);
+    rows.push_back(std::move(r));
+  };
+
+  log(micro_push_pop<EventQueue>("micro_event_queue_push_pop", 1024,
+                                 micro_iters));
+  log(micro_push_pop<LegacyEventQueue>("micro_event_queue_push_pop_legacy",
+                                       1024, micro_iters));
+  log(micro_timer_mix<EventQueue>("micro_event_queue_timer_mix", 1024,
+                                  micro_iters));
+  log(micro_timer_mix<LegacyEventQueue>(
+      "micro_event_queue_timer_mix_legacy", 1024, micro_iters / 8));
+  log(micro_dispatch(micro_iters));
+  log(micro_wire_codec(quick ? 30'000 : 300'000));
+
+  log(macro_flat(quick));
+  log(macro_composed(quick));
+  log(macro_service(quick));
+  log(macro_sweep("macro_sweep_jobs1", 1, quick));
+  log(macro_sweep("macro_sweep_jobs_hw", 0, quick));
+
+  auto rate = [&](const char* name) {
+    for (const Row& r : rows)
+      if (r.name == name) return r.events_per_sec;
+    return 0.0;
+  };
+  auto wall = [&](const char* name) {
+    for (const Row& r : rows)
+      if (r.name == name) return r.wall_s;
+    return 0.0;
+  };
+  std::fprintf(stderr,
+               "[perf_suite] push/pop speedup vs legacy kernel: %.2fx\n",
+               rate("micro_event_queue_push_pop") /
+                   rate("micro_event_queue_push_pop_legacy"));
+  std::fprintf(stderr,
+               "[perf_suite] timer-mix dispatch speedup vs legacy kernel: "
+               "%.2fx\n",
+               rate("micro_event_queue_timer_mix") /
+                   rate("micro_event_queue_timer_mix_legacy"));
+  std::fprintf(stderr,
+               "[perf_suite] sweep jobs=hw vs jobs=1 speedup: %.2fx "
+               "(%u cores)\n",
+               wall("macro_sweep_jobs1") / wall("macro_sweep_jobs_hw"),
+               std::thread::hardware_concurrency());
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  emit_json(out, rows, quick);
+  std::fprintf(stderr, "[perf_suite] wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -28,6 +28,10 @@ int main() {
   };
   std::vector<Row> rows;
 
+  // All shape x variant points are independent, so batch every config into
+  // one sweep and let the SweepRunner fan the (config, seed) replication
+  // cells across GRIDMUTEX_JOBS threads.
+  std::vector<ExperimentConfig> configs;
   for (const GridShape s : shapes) {
     auto base = [&] {
       ExperimentConfig cfg;
@@ -39,36 +43,43 @@ int main() {
       cfg.workload.rho = 2.0 * double(s.clusters * s.apps);  // intermediate
       return cfg;
     };
-    Row row{s, 0, 0, 0, 0, 0, 0};
 
     ExperimentConfig cfg = base();
     cfg.mode = ExperimentConfig::Mode::kFlat;
     cfg.flat_algorithm = "suzuki";
-    auto r = run_replicated(cfg, p.reps);
-    row.flat_suzuki_msgs = r.total_msgs_per_cs();
-    row.flat_suzuki_bytes =
-        double(r.messages.bytes_total) / double(r.total_cs);
+    configs.push_back(cfg);
 
     cfg = base();
     cfg.intra = cfg.inter = "suzuki";
-    r = run_replicated(cfg, p.reps);
-    row.comp_suzuki_msgs = r.total_msgs_per_cs();
-    row.comp_suzuki_bytes =
-        double(r.messages.bytes_total) / double(r.total_cs);
+    configs.push_back(cfg);
 
     cfg = base();
     cfg.mode = ExperimentConfig::Mode::kFlat;
     cfg.flat_algorithm = "naimi";
-    r = run_replicated(cfg, p.reps);
-    row.flat_naimi_inter = r.inter_msgs_per_cs();
+    configs.push_back(cfg);
 
     cfg = base();
     cfg.intra = cfg.inter = "naimi";
-    r = run_replicated(cfg, p.reps);
-    row.comp_naimi_inter = r.inter_msgs_per_cs();
+    configs.push_back(cfg);
+  }
+  std::fprintf(stderr, "[scalability] running %zu configs x %d reps...\n",
+               configs.size(), p.reps);
+  const std::vector<ExperimentResult> results = run_sweep(
+      configs, SweepOptions{.threads = p.threads,
+                            .repetitions = p.reps,
+                            .progress = {}});
 
+  for (std::size_t i = 0; i < std::size(shapes); ++i) {
+    Row row{shapes[i], 0, 0, 0, 0, 0, 0};
+    const ExperimentResult& fs = results[i * 4 + 0];
+    const ExperimentResult& cs = results[i * 4 + 1];
+    row.flat_suzuki_msgs = fs.total_msgs_per_cs();
+    row.flat_suzuki_bytes = double(fs.messages.bytes_total) / double(fs.total_cs);
+    row.comp_suzuki_msgs = cs.total_msgs_per_cs();
+    row.comp_suzuki_bytes = double(cs.messages.bytes_total) / double(cs.total_cs);
+    row.flat_naimi_inter = results[i * 4 + 2].inter_msgs_per_cs();
+    row.comp_naimi_inter = results[i * 4 + 3].inter_msgs_per_cs();
     rows.push_back(row);
-    std::fprintf(stderr, "[scalability] done %ux%u\n", s.clusters, s.apps);
   }
 
   std::cout << "Section 4.7 — scalability of composition vs flat "

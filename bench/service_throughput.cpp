@@ -37,7 +37,11 @@ int main() {
   const std::vector<std::uint32_t> lock_counts = {1, 4, 16, 64};
   const std::vector<double> skews = {0.0, 0.9, 1.2};
 
-  std::vector<SeriesPoint> points;
+  // Fan every (K, s, seed) replication cell across GRIDMUTEX_JOBS threads;
+  // merged results are bit-identical to the serial run_service_replicated
+  // loop regardless of job count.
+  const BenchParams bp;
+  std::vector<ServiceConfig> configs;
   for (const std::uint32_t k : lock_counts) {
     for (const double s : skews) {
       ServiceConfig cfg;
@@ -45,11 +49,17 @@ int main() {
       cfg.open_loop.arrivals_per_sec = rate;
       cfg.open_loop.window = SimDuration::ms(window_ms);
       cfg.open_loop.zipf_s = s;
-      std::fprintf(stderr, "[service_throughput] K=%u s=%.1f x %d reps...\n",
-                   k, s, reps);
-      const ExperimentResult r = run_service_replicated(cfg, reps);
-      points.push_back(SeriesPoint{"K=" + std::to_string(k), s, r});
+      configs.push_back(cfg);
     }
+  }
+  std::fprintf(stderr, "[service_throughput] running %zu (K, s) points x %d "
+               "reps...\n", configs.size(), reps);
+  const std::vector<ExperimentResult> results =
+      run_service_sweep(configs, reps, bp.threads);
+  std::vector<SeriesPoint> points;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    points.push_back(SeriesPoint{"K=" + std::to_string(configs[i].locks),
+                                 configs[i].open_loop.zipf_s, results[i]});
   }
 
   // rho carries the Zipf exponent in this sweep's tables.

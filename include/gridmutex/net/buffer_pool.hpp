@@ -1,0 +1,58 @@
+// Datagram payload buffer pool.
+//
+// Every protocol message carries its payload in a std::vector<uint8_t>;
+// without pooling each send allocates one and each delivery frees it —
+// the second-largest allocation source on the hot path after the (now
+// slab-stored) event closures. The Network owns one BufferPool and runs
+// the cycle: senders acquire(), the delivery path recycles the payload
+// once the handler has returned (handlers receive `const Message&` and
+// must not retain references — they already could not, as the message
+// dies with its delivery event).
+//
+// Steady state is allocation-free: buffers keep their capacity across
+// reuse. The pool is bounded so a burst (e.g. a fault-campaign
+// retransmission storm) cannot pin memory forever, and per-Network, so
+// parallel sweep cells never share state.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gmx {
+
+class BufferPool {
+ public:
+  /// Upper bound on retained buffers; excess recycles are simply freed.
+  static constexpr std::size_t kMaxPooled = 1024;
+
+  BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Returns an empty buffer, reusing a pooled allocation when available.
+  [[nodiscard]] std::vector<std::uint8_t> acquire() {
+    if (free_.empty()) return {};
+    std::vector<std::uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    buf.clear();
+    ++reuses_;
+    return buf;
+  }
+
+  /// Returns a buffer to the pool. Capacity-less vectors (moved-from or
+  /// never filled) carry nothing worth keeping.
+  void recycle(std::vector<std::uint8_t>&& buf) {
+    if (buf.capacity() == 0 || free_.size() >= kMaxPooled) return;
+    free_.push_back(std::move(buf));
+  }
+
+  [[nodiscard]] std::size_t pooled() const { return free_.size(); }
+  /// Acquires served from the pool rather than a fresh allocation.
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+
+ private:
+  std::vector<std::vector<std::uint8_t>> free_;
+  std::uint64_t reuses_ = 0;
+};
+
+}  // namespace gmx

@@ -24,6 +24,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "gridmutex/net/buffer_pool.hpp"
 #include "gridmutex/net/latency.hpp"
 #include "gridmutex/net/topology.hpp"
 #include "gridmutex/sim/random.hpp"
@@ -81,6 +82,7 @@ struct MessageCounters {
     a -= b;
     return a;
   }
+  [[nodiscard]] bool operator==(const MessageCounters&) const = default;
 };
 
 /// Per-protocol ARQ parameters (set_reliable). Defaults suit the Grid5000
@@ -223,6 +225,15 @@ class Network {
   /// clusters — the per-lock Fig. 4(b) attribution of a LockService run.
   [[nodiscard]] std::uint64_t inter_sent_by_protocol(ProtocolId p) const;
 
+  /// Payload buffer pool: senders that build payloads into a pooled buffer
+  /// (MutexEndpoint does) make the send→deliver cycle allocation-free; the
+  /// delivery path recycles every payload it owns regardless of origin.
+  [[nodiscard]] BufferPool& payload_pool() { return payload_pool_; }
+  /// Convenience for senders: an empty buffer with pooled capacity.
+  [[nodiscard]] std::vector<std::uint8_t> acquire_payload() {
+    return payload_pool_.acquire();
+  }
+
   /// Messages currently in flight (scheduled, not yet delivered).
   [[nodiscard]] std::uint64_t in_flight() const { return in_flight_; }
   /// In-flight messages of one protocol (quiescence checks during adaptive
@@ -280,11 +291,19 @@ class Network {
   Rng rng_;
   Rng fault_rng_;  // forked off rng_; fault draws never shift latency draws
 
-  // handler lookup: node → (protocol → handler)
-  std::vector<std::unordered_map<ProtocolId, Handler>> handlers_;
+  // handler lookup: node → protocol-indexed flat table. Protocol ids are
+  // small consecutive integers (reserve_protocols), so dispatch is two
+  // array indexations instead of a hash probe per delivery.
+  std::vector<std::vector<Handler>> handlers_;
 
-  // FIFO clamp: last scheduled delivery per (src,dst)
+  // FIFO clamp: last scheduled delivery per (src,dst). Grids up to
+  // kFlatFifoNodes use a dense N×N nanosecond table (one indexed load per
+  // send, 0 = no previous delivery); larger ones fall back to the map.
+  static constexpr std::uint32_t kFlatFifoNodes = 512;
+  std::vector<std::int64_t> fifo_flat_;
   std::unordered_map<std::uint64_t, SimTime> last_delivery_;
+
+  BufferPool payload_pool_;
 
   MessageCounters counters_;
   std::unordered_map<ProtocolId, std::uint64_t> sent_by_protocol_;

@@ -5,9 +5,11 @@
 // and when debugging protocol interleavings; not active in benchmarks.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <ostream>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "gridmutex/net/network.hpp"
@@ -36,13 +38,20 @@ class TraceSink {
 
   void set_enabled(bool on) { enabled_ = on; }
   [[nodiscard]] std::uint64_t lines_written() const { return lines_; }
+  /// Distinct (protocol, type) labels interned so far. Labelers run once
+  /// per pair; steady-state tracing allocates no label strings.
+  [[nodiscard]] std::size_t interned_labels() const {
+    return label_cache_.size();
+  }
 
  private:
   void write(const Network& net, const Message& msg, SimTime sent,
              SimTime recv);
+  const std::string& label_for(ProtocolId protocol, std::uint16_t type);
 
   std::ostream& out_;
   std::vector<Labeler> labelers_;
+  std::unordered_map<std::uint64_t, std::string> label_cache_;
   bool enabled_ = true;
   std::uint64_t lines_ = 0;
 };

@@ -23,6 +23,8 @@
 //     "lock[l].intra[c]" so diagnostics attribute losses to the lock.
 #pragma once
 
+#include <span>
+
 #include "gridmutex/service/lock_service.hpp"
 #include "gridmutex/workload/experiment.hpp"
 #include "gridmutex/workload/open_loop.hpp"
@@ -49,6 +51,11 @@ struct ServiceConfig {
   /// Arms the ProtocolChecker per lock (see header comment).
   bool check_protocol = false;
   SimDuration grant_bound = SimDuration::sec(120);
+
+  /// FNV-1a fingerprint of the full delivery trace into
+  /// ExperimentResult::trace_hash (see workload/trace_hash.hpp). Occupies
+  /// the Network tracer slot; off by default.
+  bool hash_trace = false;
 
   ExperimentConfig::FaultCampaign faults;
 
@@ -82,5 +89,14 @@ struct ServiceConfig {
 /// throughput_cs_per_s() then averages over the summed service time.
 [[nodiscard]] ExperimentResult run_service_replicated(ServiceConfig cfg,
                                                       int repetitions);
+
+/// Parallel sweep over service configurations: fans every
+/// (config, repetition) cell across `jobs` threads (0 = hardware
+/// concurrency, 1 = serial) via workload/sweep.hpp's SweepRunner and
+/// returns one merged result per config, in input order — bit-identical
+/// to a serial run_service_replicated loop for every job count.
+[[nodiscard]] std::vector<ExperimentResult> run_service_sweep(
+    std::span<const ServiceConfig> configs, int repetitions,
+    std::size_t jobs = 0);
 
 }  // namespace gmx

@@ -1,0 +1,130 @@
+// EventFn: the kernel's small-callback representation.
+//
+// A move-only type-erased `void()` callable sized for the event loop's hot
+// closures. The dominant closure in any run is Network's delivery lambda —
+// `this` + a Message (48 bytes, payload vector inline) + a SimTime — which
+// std::function heap-allocates on every send (libstdc++ inlines only 16
+// bytes). EventFn reserves enough inline storage for it, so scheduling a
+// datagram costs zero allocations; larger or throwing-move closures fall
+// back to the heap transparently.
+//
+// Dispatch is two function pointers (invoke + manage) instead of a vtable,
+// and relocation is a plain move-construct, so EventQueue can keep EventFns
+// in a growable slab.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace gmx {
+
+class EventFn {
+ public:
+  /// Inline capacity. 104 bytes + the two dispatch pointers lands the whole
+  /// object at 120 bytes; the delivery closure (~64 bytes) fits with slack
+  /// for a fatter Message or an extra capture.
+  static constexpr std::size_t kInlineBytes = 104;
+
+  EventFn() noexcept = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::decay_t<F>, EventFn> &&
+             std::is_invocable_v<std::decay_t<F>&>)
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor): mirrors
+                     // std::function's converting constructor
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(fn));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(fn)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  EventFn(EventFn&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  EventFn& operator=(EventFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, o.buf_);
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  ~EventFn() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const noexcept {
+    return ops_ != nullptr;
+  }
+
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// True when F is stored inline (no allocation). Exposed for tests and
+  /// the micro-benchmarks that assert the delivery closure stays inline.
+  template <typename F>
+  [[nodiscard]] static constexpr bool stores_inline() {
+    return fits_inline<std::decay_t<F>>();
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-construct dst from src, then destroy src.
+    void (*relocate)(void* dst, void* src) noexcept;
+    void (*destroy)(void*) noexcept;
+  };
+
+  template <typename Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <typename Fn>
+  static constexpr Ops inline_ops{
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* dst, void* src) noexcept {
+        auto* s = static_cast<Fn*>(src);
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      },
+      [](void* p) noexcept { static_cast<Fn*>(p)->~Fn(); },
+  };
+
+  template <typename Fn>
+  static constexpr Ops heap_ops{
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* dst, void* src) noexcept {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* p) noexcept { delete *static_cast<Fn**>(p); },
+  };
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace gmx

@@ -1,32 +1,44 @@
 // Pending-event set of the discrete-event kernel.
 //
-// A binary min-heap ordered by (time, sequence). The sequence number makes
+// A 4-ary min-heap ordered by (time, sequence). The sequence number makes
 // the ordering a strict total order: two events scheduled for the same
 // instant fire in scheduling order, which keeps every simulation run
-// bit-for-bit deterministic for a given (configuration, seed) pair.
+// bit-for-bit deterministic for a given (configuration, seed) pair. The
+// 4-ary layout halves the tree depth of a binary heap and keeps sift-down
+// children on one cache line — the push/pop pair is the single hottest
+// operation in the repository.
 //
-// Cancellation is lazy: `cancel()` marks the id and the heap drops the entry
-// when it surfaces. Timers are rare next to message deliveries, so the
-// tombstone set stays small.
+// Callbacks live in a slab of stable slots (EventFn inline storage, see
+// callback.hpp); the heap array itself carries only 24-byte
+// (time, seq, slot) items. The slab and heap grow geometrically and are
+// never shrunk, so a steady-state run performs zero allocations per event.
+//
+// Cancellation is index-based: an EventId encodes (slot, generation), the
+// slab records each pending event's current heap index, and `cancel()`
+// removes the entry from the heap in O(log n) — no tombstone set, no hash
+// lookups on the pop path, no dead entries lingering in the heap, and
+// nothing that can leak when cancelled ids pop out of order (the historic
+// tombstone-set bug). The generation is bumped every time a slot is freed,
+// so a stale id can never cancel a later event that reuses the slot.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
 #include <vector>
 
+#include "gridmutex/sim/callback.hpp"
 #include "gridmutex/sim/time.hpp"
 
 namespace gmx {
 
-/// Identifies a scheduled event; valid until the event fires or is cancelled.
+/// Identifies a scheduled event; valid until the event fires or is
+/// cancelled. Encodes (slab slot, slot generation); ids never repeat.
 using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEventId = 0;
 
 class EventQueue {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventFn;
 
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
@@ -34,17 +46,31 @@ class EventQueue {
 
   /// Schedules `fn` at absolute time `t`. Returns a handle usable with
   /// `cancel()`.
-  EventId push(SimTime t, Callback fn);
+  template <typename F>
+  EventId push(SimTime t, F&& fn) {
+    const std::uint32_t slot = alloc_slot();
+    Node& n = slab_[slot];
+    n.fn = EventFn(std::forward<F>(fn));
+    n.pending = true;
+    heap_.push_back(HeapItem{t, next_seq_++, slot});
+    n.heap_index = std::uint32_t(heap_.size() - 1);
+    sift_up(heap_.size() - 1);
+    ++pushed_;
+    return make_id(slot, n.gen);
+  }
 
   /// Cancels a pending event. Returns false if the event already fired,
-  /// was already cancelled, or the id was never issued.
+  /// was already cancelled, or the id was never issued. One slab probe to
+  /// resolve the id, then an O(log n) targeted heap removal at the slot's
+  /// recorded heap index — the entry vanishes immediately.
   bool cancel(EventId id);
 
-  /// True when no live (non-cancelled) event remains.
-  [[nodiscard]] bool empty() const { return live_ == 0; }
+  /// True when no live event remains (cancelled entries are removed
+  /// eagerly, so the heap holds exactly the live events).
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
 
   /// Number of live events.
-  [[nodiscard]] std::size_t size() const { return live_; }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
 
   /// Time of the earliest live event. Precondition: !empty().
   [[nodiscard]] SimTime next_time();
@@ -53,7 +79,7 @@ class EventQueue {
   struct Entry {
     SimTime time;
     EventId id;
-    Callback fn;
+    EventFn fn;
   };
   Entry pop();
 
@@ -62,36 +88,60 @@ class EventQueue {
   /// harness, not the hot pop path.
   [[nodiscard]] std::size_t tie_count();
 
-  /// Extracts the k-th member of the tie-set, ordered by id (so
+  /// Extracts the k-th member of the tie-set, in scheduling order (so
   /// pop_nth(0) == pop()). Precondition: k < tie_count(). This is the
   /// reorder point the model checker permutes: every member of the tie-set
   /// is a legal "next event" under the DES semantics.
   Entry pop_nth(std::size_t k);
 
-  /// Drops every pending event (cancelled ids are forgotten too).
+  /// Drops every pending event (their ids become stale).
   void clear();
 
   /// Total events ever pushed; monotone, survives clear(). Used by tests
   /// and by the micro-benchmarks.
-  [[nodiscard]] std::uint64_t total_pushed() const { return next_id_ - 1; }
+  [[nodiscard]] std::uint64_t total_pushed() const { return pushed_; }
+
+  /// Slab footprint in slots — bounded by the high-water mark of
+  /// *concurrently pending* events, independent of how many were ever
+  /// pushed or cancelled. The property test pins this invariant (the old
+  /// tombstone set grew without bound under out-of-order cancel/pop).
+  [[nodiscard]] std::size_t slab_slots() const { return slab_.size(); }
 
  private:
+  struct Node {
+    EventFn fn;
+    std::uint32_t gen = 1;  // bumped on every free; 1-based so id != 0
+    std::uint32_t heap_index = 0;  // current position in heap_ while pending
+    bool pending = false;          // false = slot free
+  };
   struct HeapItem {
     SimTime time;
-    EventId id;  // doubles as the tie-break sequence: ids grow monotonically
-    Callback fn;
+    std::uint64_t seq;  // global scheduling order, the same-time tie-break
+    std::uint32_t slot;
   };
-  static bool later(const HeapItem& a, const HeapItem& b) {
-    if (a.time != b.time) return a.time > b.time;
-    return a.id > b.id;
+  static bool earlier(const HeapItem& a, const HeapItem& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+  static EventId make_id(std::uint32_t slot, std::uint32_t gen) {
+    return (EventId(gen) << 32) | EventId(slot);
   }
 
-  void drop_cancelled_top();
+  std::uint32_t alloc_slot();
+  void free_slot(std::uint32_t slot);
+  /// Writes `item` to heap_[i] and records i in the item's slab node.
+  void place(std::size_t i, const HeapItem& item);
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  /// Removes the entry at heap index i (slab bookkeeping is the caller's).
+  void heap_remove(std::size_t i);
+  Entry take(const HeapItem& item);
 
   std::vector<HeapItem> heap_;
-  std::unordered_set<EventId> cancelled_;
-  std::size_t live_ = 0;
-  EventId next_id_ = 1;  // 0 is kInvalidEventId
+  std::vector<Node> slab_;
+  std::vector<std::uint32_t> free_;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t pushed_ = 0;
 };
 
 }  // namespace gmx

@@ -15,6 +15,7 @@
 #include <functional>
 #include <limits>
 
+#include "gridmutex/sim/assert.hpp"
 #include "gridmutex/sim/event_queue.hpp"
 #include "gridmutex/sim/time.hpp"
 
@@ -30,10 +31,20 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `fn` at absolute time `t`, which must not be in the past.
-  EventId schedule_at(SimTime t, std::function<void()> fn);
+  /// Accepts any void() callable; small closures are stored inline in the
+  /// kernel slab (sim/callback.hpp) — no allocation on the hot path.
+  template <typename F>
+  EventId schedule_at(SimTime t, F&& fn) {
+    GMX_ASSERT_MSG(t >= now_, "cannot schedule an event in the past");
+    return queue_.push(t, std::forward<F>(fn));
+  }
 
   /// Schedules `fn` after a non-negative delay from now.
-  EventId schedule_after(SimDuration d, std::function<void()> fn);
+  template <typename F>
+  EventId schedule_after(SimDuration d, F&& fn) {
+    GMX_ASSERT_MSG(!d.is_negative(), "negative delay");
+    return queue_.push(now_ + d, std::forward<F>(fn));
+  }
 
   /// Cancels a pending event; returns false if it already fired.
   bool cancel(EventId id) { return queue_.cancel(id); }

@@ -34,6 +34,10 @@ class OnlineStats {
   [[nodiscard]] double max() const;
   [[nodiscard]] double sum() const { return mean() * double(n_); }
 
+  /// Bitwise state equality — used by the parallel-vs-serial sweep
+  /// equivalence tests, where results must match field for field.
+  [[nodiscard]] bool operator==(const OnlineStats&) const = default;
+
  private:
   std::uint64_t n_ = 0;
   double mean_ = 0.0;
@@ -57,6 +61,8 @@ class DurationStats {
   [[nodiscard]] double max_ms() const { return s_.max(); }
   [[nodiscard]] const OnlineStats& raw() const { return s_; }
 
+  [[nodiscard]] bool operator==(const DurationStats&) const = default;
+
  private:
   OnlineStats s_;
 };
@@ -76,11 +82,15 @@ class Histogram {
   [[nodiscard]] std::uint64_t overflow() const { return overflow_; }
 
   /// q in [0, 1]. Returns an interpolated value; values in the overflow
-  /// bucket report the limit. Precondition: count() > 0.
+  /// bucket report the limit; an empty histogram reports 0 (there is no
+  /// meaningful quantile of nothing, and report paths query p99 on runs
+  /// that may have completed zero CS).
   [[nodiscard]] double percentile(double q) const;
 
   /// Multi-line ASCII rendering (used by examples and debug dumps).
   [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+  [[nodiscard]] bool operator==(const Histogram&) const = default;
 
  private:
   double limit_;

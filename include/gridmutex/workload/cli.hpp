@@ -19,7 +19,8 @@
 //   --seed <n>          default 1
 //   --latency grid5000 | <lan_ms>:<wan_ms>   default grid5000
 //   --jitter <f>        default 0.05
-//   --threads <n>       sweep parallelism, 0 = hardware
+//   --jobs <n>          sweep parallelism over (config, seed) replication
+//                       cells, 0 = hardware (--threads is an alias)
 //   --csv <path>        also write a CSV of every point
 //   --locks <n>         LockService mode: host n locks over one grid and
 //                       drive open-loop traffic (service/experiment.hpp);

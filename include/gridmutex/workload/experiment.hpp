@@ -75,6 +75,14 @@ struct ExperimentConfig {
   /// Liveness watchdog bound used when check_protocol is set.
   SimDuration grant_bound = SimDuration::sec(120);
 
+  /// Hashes every wire delivery (time, endpoints, protocol, type, seq,
+  /// payload bytes) into ExperimentResult::trace_hash — an order-sensitive
+  /// FNV-1a fingerprint of the full observable trajectory. The golden
+  /// bit-identity tests pin these hashes so kernel/network optimisations
+  /// provably change nothing observable. Occupies the Network tracer slot;
+  /// negligible cost, off by default.
+  bool hash_trace = false;
+
   /// Fault campaign (fault/ subsystem). With `enabled == false` — the
   /// default — no fault object is constructed and no fault-stream Rng draw
   /// is made, so the trajectory is bit-for-bit the fault-free one.
@@ -123,6 +131,8 @@ struct LockMetrics {
   }
 
   void merge(const LockMetrics& other);
+
+  [[nodiscard]] bool operator==(const LockMetrics&) const = default;
 };
 
 struct ExperimentResult {
@@ -162,6 +172,12 @@ struct ExperimentResult {
   /// The run hit FaultCampaign::stall_horizon without draining (negative
   /// controls). total_cs then under-counts the configured workload.
   bool stalled = false;
+
+  /// FNV-1a fingerprint of the full delivery trace (0 unless
+  /// ExperimentConfig::hash_trace / ServiceConfig::hash_trace). merge()
+  /// folds repetition hashes order-sensitively, so replicated runs are
+  /// comparable too.
+  std::uint64_t trace_hash = 0;
 
   // LockService runs only (service/experiment.hpp); empty otherwise.
   std::vector<LockMetrics> per_lock;
@@ -203,6 +219,11 @@ struct ExperimentResult {
   }
 
   void merge(const ExperimentResult& other);
+
+  /// Field-for-field equality over every metric, forensic string and
+  /// per-lock row — the contract the parallel sweep runner is held to:
+  /// a jobs=N sweep must produce results == the jobs=1 sweep.
+  [[nodiscard]] bool operator==(const ExperimentResult&) const = default;
 };
 
 /// Runs one seeded experiment to completion. Aborts (assert) on any safety

@@ -1,0 +1,64 @@
+// Order-sensitive FNV-1a fingerprint of a simulation's delivery trace.
+//
+// The golden bit-identity tests (tests/workload_golden_trace_test.cpp) pin
+// these hashes for seed-fixed experiments, so any kernel or network change
+// that perturbs the observable trajectory — ordering, timing, payload
+// bytes — flips the hash and fails loudly. The hash covers exactly what a
+// tracer sees: (send time, delivery time, src, dst, protocol, type, ARQ
+// seq, payload bytes) of every delivered message, in delivery order.
+#pragma once
+
+#include <cstdint>
+
+#include "gridmutex/net/network.hpp"
+#include "gridmutex/sim/time.hpp"
+
+namespace gmx {
+
+/// Accumulates the fingerprint; install via `install(net)` (occupies the
+/// Network tracer slot) and read `value()` after the run drains.
+class TraceHasher {
+ public:
+  static constexpr std::uint64_t kOffset = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  void observe(const Message& m, SimTime sent, SimTime recv) {
+    mix_u64(std::uint64_t(recv.count_ns()));
+    mix_u64(std::uint64_t(sent.count_ns()));
+    mix_u64(m.src);
+    mix_u64(m.dst);
+    mix_u64(m.protocol);
+    mix_u64(m.type);
+    mix_u64(m.seq);
+    mix_u64(m.payload.size());
+    for (std::uint8_t b : m.payload) mix_byte(b);
+  }
+
+  void install(Network& net) {
+    net.set_tracer([this](const Message& m, SimTime sent, SimTime recv) {
+      observe(m, sent, recv);
+    });
+  }
+
+  [[nodiscard]] std::uint64_t value() const { return h_; }
+
+  /// Order-sensitive fold of per-repetition hashes, used by
+  /// ExperimentResult::merge so replicated runs are comparable too.
+  [[nodiscard]] static std::uint64_t fold(std::uint64_t acc,
+                                          std::uint64_t next) {
+    return (acc ^ next) * kPrime;
+  }
+
+ private:
+  void mix_byte(std::uint8_t b) {
+    h_ ^= b;
+    h_ *= kPrime;
+  }
+  void mix_u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) mix_byte(std::uint8_t(v >> (8 * i)));
+  }
+
+  std::uint64_t h_ = kOffset;
+};
+
+}  // namespace gmx

@@ -40,6 +40,9 @@ void MutexEndpoint::send(int to_rank, std::uint16_t type,
   m.dst = members_[std::size_t(to_rank)];
   m.protocol = protocol_;
   m.type = type;
+  // Pooled buffer: the delivery path recycles it, so the steady-state
+  // send→deliver cycle allocates nothing.
+  m.payload = net_.acquire_payload();
   m.payload.assign(payload.begin(), payload.end());
   net_.send(std::move(m));
 }

@@ -32,6 +32,10 @@ Network::Network(Simulator& sim, Topology topo,
       handlers_(topo_.node_count()),
       node_up_(topo_.node_count(), 1) {
   GMX_ASSERT(latency_ != nullptr);
+  if (topo_.node_count() <= kFlatFifoNodes) {
+    fifo_flat_.assign(std::size_t(topo_.node_count()) * topo_.node_count(),
+                      0);
+  }
 }
 
 void Network::attach(NodeId node, ProtocolId protocol, Handler handler) {
@@ -40,7 +44,9 @@ void Network::attach(NodeId node, ProtocolId protocol, Handler handler) {
   // Manually chosen ids move the reservation watermark so a later
   // reserve_protocols() can never hand out an id already in use.
   if (protocol >= next_protocol_) next_protocol_ = protocol + 1;
-  handlers_[node][protocol] = std::move(handler);
+  auto& table = handlers_[node];
+  if (table.size() <= protocol) table.resize(protocol + 1);
+  table[protocol] = std::move(handler);
 }
 
 ProtocolId Network::reserve_protocols(std::uint32_t count) {
@@ -52,7 +58,8 @@ ProtocolId Network::reserve_protocols(std::uint32_t count) {
 
 void Network::detach(NodeId node, ProtocolId protocol) {
   GMX_ASSERT(node < topo_.node_count());
-  handlers_[node].erase(protocol);
+  auto& table = handlers_[node];
+  if (protocol < table.size()) table[protocol] = nullptr;
 }
 
 void Network::set_drop_probability(double p) {
@@ -133,12 +140,20 @@ SimTime Network::departure_to_delivery(const Message& msg) {
         rng_.next_below(std::uint64_t(reorder_spread_.count_ns()))));
   SimTime at = sim_.now() + delay;
   if (fifo_) {
-    const std::uint64_t key =
-        (std::uint64_t(msg.src) << 32) | std::uint64_t(msg.dst);
-    auto [it, inserted] = last_delivery_.try_emplace(key, at);
-    if (!inserted) {
-      if (at < it->second) at = it->second;  // clamp: no overtaking
-      it->second = at;
+    if (!fifo_flat_.empty()) {
+      std::int64_t& prev =
+          fifo_flat_[std::size_t(msg.src) * topo_.node_count() + msg.dst];
+      if (at.count_ns() < prev)
+        at = SimTime::from_ns(prev);  // clamp: no overtaking
+      prev = at.count_ns();
+    } else {
+      const std::uint64_t key =
+          (std::uint64_t(msg.src) << 32) | std::uint64_t(msg.dst);
+      auto [it, inserted] = last_delivery_.try_emplace(key, at);
+      if (!inserted) {
+        if (at < it->second) at = it->second;
+        it->second = at;
+      }
     }
   }
   return at;
@@ -195,6 +210,7 @@ void Network::retransmit(NodeId src, NodeId dst, ProtocolId protocol,
     // Retry horizon exhausted: the frame is lost for good — a pure
     // omission, never a reorder. Token-loss detectors key off
     // unacked_for() dropping to zero here.
+    payload_pool_.recycle(std::move(p.msg.payload));
     cit->second.pending.erase(pit);
     --unacked_by_protocol_[protocol];
     launch_next(src, dst, protocol);
@@ -219,6 +235,7 @@ void Network::resolve_ack(const Message& ack) {
   const auto pit = cit->second.pending.find(ack.seq);
   if (pit == cit->second.pending.end()) return;  // duplicate ack
   sim_.cancel(pit->second.timer);
+  payload_pool_.recycle(std::move(pit->second.msg.payload));
   cit->second.pending.erase(pit);
   --unacked_by_protocol_[ack.protocol];
   launch_next(ack.dst, ack.src, ack.protocol);
@@ -253,13 +270,16 @@ void Network::transmit(Message msg) {
 
   // Fault checks, cheapest first; every branch is a no-op (no rng draw, no
   // lookup) when the corresponding fault is unconfigured, preserving
-  // bit-for-bit trajectories of fault-free runs.
+  // bit-for-bit trajectories of fault-free runs. Dropped datagrams donate
+  // their payload buffer back to the pool.
   if (node_up_[msg.src] == 0) {  // sender offline: datagram never leaves
     ++counters_.dropped;
+    payload_pool_.recycle(std::move(msg.payload));
     return;
   }
   if (drop_filter_ && drop_filter_(msg)) {
     ++counters_.dropped;
+    payload_pool_.recycle(std::move(msg.payload));
     return;
   }
   if (!link_drop_.empty() && !topo_.same_cluster(msg.src, msg.dst)) {
@@ -268,11 +288,13 @@ void Network::transmit(Message msg) {
     if (it != link_drop_.end() &&
         (it->second >= 1.0 || fault_rng_.chance(it->second))) {
       ++counters_.dropped;
+      payload_pool_.recycle(std::move(msg.payload));
       return;
     }
   }
   if (drop_p_ > 0.0 && fault_rng_.chance(drop_p_)) {
     ++counters_.dropped;
+    payload_pool_.recycle(std::move(msg.payload));
     return;
   }
 
@@ -302,6 +324,7 @@ void Network::deliver(Message msg, SimTime sent_at) {
   --in_flight_by_protocol_[msg.protocol];
   if (node_up_[msg.dst] == 0) {  // receiver offline: datagram lost on arrival
     ++counters_.dropped;
+    payload_pool_.recycle(std::move(msg.payload));
     return;
   }
   ++counters_.delivered;
@@ -310,6 +333,7 @@ void Network::deliver(Message msg, SimTime sent_at) {
   if (msg.seq != 0) {  // ARQ frame of a reliable protocol
     if (msg.type == Message::kAckType) {
       resolve_ack(msg);
+      payload_pool_.recycle(std::move(msg.payload));
       return;
     }
     // Acknowledge before deduplicating: a duplicate means our previous ack
@@ -322,13 +346,18 @@ void Network::deliver(Message msg, SimTime sent_at) {
     ack.seq = msg.seq;
     transmit(std::move(ack));
     Channel& ch = channel(msg.src, msg.dst, msg.protocol);
-    if (!ch.seen.insert(msg.seq).second) return;  // duplicate: suppress
+    if (!ch.seen.insert(msg.seq).second) {  // duplicate: suppress
+      payload_pool_.recycle(std::move(msg.payload));
+      return;
+    }
   }
-  auto& node_handlers = handlers_[msg.dst];
-  const auto it = node_handlers.find(msg.protocol);
-  GMX_ASSERT_MSG(it != node_handlers.end(),
+  auto& table = handlers_[msg.dst];
+  GMX_ASSERT_MSG(msg.protocol < table.size() && table[msg.protocol],
                  "message delivered to node with no handler for its protocol");
-  it->second(msg);
+  table[msg.protocol](msg);
+  // The message dies with this delivery event; reclaim its buffer.
+  // Handlers get `const Message&` and never retain references into it.
+  payload_pool_.recycle(std::move(msg.payload));
 }
 
 void Network::dispatch_local(const Message& msg) {
@@ -338,11 +367,10 @@ void Network::dispatch_local(const Message& msg) {
   const SimTime now = sim_.now();
   if (delivery_tap_) delivery_tap_(msg, now, now);
   if (tracer_) tracer_(msg, now, now);
-  auto& node_handlers = handlers_[msg.dst];
-  const auto it = node_handlers.find(msg.protocol);
-  GMX_ASSERT_MSG(it != node_handlers.end(),
+  auto& table = handlers_[msg.dst];
+  GMX_ASSERT_MSG(msg.protocol < table.size() && table[msg.protocol],
                  "batched message unpacked at node with no handler");
-  it->second(msg);
+  table[msg.protocol](msg);
 }
 
 }  // namespace gmx

@@ -9,7 +9,26 @@ TraceSink::TraceSink(std::ostream& out, Labeler labeler) : out_(out) {
 }
 
 void TraceSink::add_labeler(Labeler labeler) {
-  if (labeler) labelers_.push_back(std::move(labeler));
+  if (!labeler) return;
+  labelers_.push_back(std::move(labeler));
+  // Cached fallback labels may now be resolvable by the new labeler.
+  label_cache_.clear();
+}
+
+const std::string& TraceSink::label_for(ProtocolId protocol,
+                                        std::uint16_t type) {
+  const std::uint64_t key =
+      (std::uint64_t(protocol) << 16) | std::uint64_t(type);
+  const auto it = label_cache_.find(key);
+  if (it != label_cache_.end()) return it->second;
+  std::string label;
+  for (const Labeler& l : labelers_) {
+    label = l(protocol, type);
+    if (!label.empty()) break;
+  }
+  if (label.empty())
+    label = "p" + std::to_string(protocol) + "/t" + std::to_string(type);
+  return label_cache_.emplace(key, std::move(label)).first->second;
 }
 
 void TraceSink::install(Network& net) {
@@ -21,14 +40,7 @@ void TraceSink::install(Network& net) {
 void TraceSink::write(const Network& net, const Message& msg, SimTime sent,
                       SimTime recv) {
   const Topology& topo = net.topology();
-  std::string label;
-  for (const Labeler& l : labelers_) {
-    label = l(msg.protocol, msg.type);
-    if (!label.empty()) break;
-  }
-  if (label.empty())
-    label = "p" + std::to_string(msg.protocol) + "/t" +
-            std::to_string(msg.type);
+  const std::string& label = label_for(msg.protocol, msg.type);
   out_ << std::fixed << std::setprecision(3) << recv.as_ms() << "ms  "
        << label << "  n" << msg.src << "("
        << topo.cluster_name(topo.cluster_of(msg.src)) << ") -> n" << msg.dst

@@ -10,6 +10,8 @@
 #include "gridmutex/mutex/registry.hpp"
 #include "gridmutex/sim/assert.hpp"
 #include "gridmutex/workload/safety_monitor.hpp"
+#include "gridmutex/workload/sweep.hpp"
+#include "gridmutex/workload/trace_hash.hpp"
 
 namespace gmx {
 
@@ -49,6 +51,9 @@ ExperimentResult run_service_experiment(const ServiceConfig& cfg) {
 
   Rng root(cfg.seed);
   Network net(sim, topo, latency, root.fork(1));
+
+  TraceHasher hasher;
+  if (cfg.hash_trace) hasher.install(net);
 
   // BATCH frames are plain datagrams (no ARQ); a faulted network dropping
   // one would lose every sub-message inside. Campaigns run unbatched.
@@ -270,6 +275,7 @@ ExperimentResult run_service_experiment(const ServiceConfig& cfg) {
   }
   for (const auto& f : failovers)
     res.coordinator_failovers += f->stats().failovers;
+  if (cfg.hash_trace) res.trace_hash = hasher.value();
   return res;
 }
 
@@ -281,6 +287,18 @@ ExperimentResult run_service_replicated(ServiceConfig cfg, int repetitions) {
     merged.merge(run_service_experiment(cfg));
   }
   return merged;
+}
+
+std::vector<ExperimentResult> run_service_sweep(
+    std::span<const ServiceConfig> configs, int repetitions,
+    std::size_t jobs) {
+  const SweepRunner runner(jobs);
+  return runner.run_merged(configs.size(), repetitions,
+                           [&](std::size_t c, int r) {
+                             ServiceConfig cfg = configs[c];
+                             cfg.seed += std::uint64_t(r);
+                             return run_service_experiment(cfg);
+                           });
 }
 
 }  // namespace gmx

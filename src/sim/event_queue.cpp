@@ -1,110 +1,138 @@
 #include "gridmutex/sim/event_queue.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "gridmutex/sim/assert.hpp"
 
 namespace gmx {
 
-EventId EventQueue::push(SimTime t, Callback fn) {
-  GMX_ASSERT_MSG(fn != nullptr, "cannot schedule a null callback");
-  const EventId id = next_id_++;
-  heap_.push_back(HeapItem{t, id, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), later);
-  ++live_;
-  return id;
-}
-
-bool EventQueue::cancel(EventId id) {
-  if (id == kInvalidEventId || id >= next_id_) return false;
-  // An id in `cancelled_` is pending-dead; an id absent from both the heap
-  // and the set has already fired. Distinguishing the latter requires a
-  // membership probe of the heap only when the insert "succeeds" spuriously,
-  // which we avoid by checking insertion result against live heap content:
-  // ids are unique, so a second cancel of the same id fails on set insert.
-  if (!cancelled_.insert(id).second) return false;
-  // The id may have fired already; then the tombstone is garbage. Sweep it
-  // opportunistically: if nothing in the heap carries this id, erase and
-  // report failure.
-  const bool in_heap =
-      std::any_of(heap_.begin(), heap_.end(),
-                  [id](const HeapItem& h) { return h.id == id; });
-  if (!in_heap) {
-    cancelled_.erase(id);
-    return false;
+std::uint32_t EventQueue::alloc_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
   }
-  --live_;
-  return true;
+  slab_.emplace_back();
+  return std::uint32_t(slab_.size() - 1);
 }
 
-void EventQueue::drop_cancelled_top() {
-  while (!heap_.empty()) {
-    const EventId id = heap_.front().id;
-    auto it = cancelled_.find(id);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    std::pop_heap(heap_.begin(), heap_.end(), later);
+void EventQueue::free_slot(std::uint32_t slot) {
+  Node& n = slab_[slot];
+  n.fn.reset();
+  n.pending = false;
+  ++n.gen;  // stale ids (fired or cancelled) can never match again
+  free_.push_back(slot);
+}
+
+void EventQueue::place(std::size_t i, const HeapItem& item) {
+  heap_[i] = item;
+  slab_[item.slot].heap_index = std::uint32_t(i);
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  const HeapItem item = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!earlier(item, heap_[parent])) break;
+    place(i, heap_[parent]);
+    i = parent;
+  }
+  place(i, item);
+}
+
+void EventQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  const HeapItem item = heap_[i];
+  for (;;) {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    if (!earlier(heap_[best], item)) break;
+    place(i, heap_[best]);
+    i = best;
+  }
+  place(i, item);
+}
+
+void EventQueue::heap_remove(std::size_t i) {
+  const std::size_t last = heap_.size() - 1;
+  if (i != last) {
+    const HeapItem moved = heap_[last];
+    heap_.pop_back();
+    place(i, moved);
+    sift_down(i);
+    sift_up(i);
+  } else {
     heap_.pop_back();
   }
 }
 
+bool EventQueue::cancel(EventId id) {
+  const auto slot = std::uint32_t(id & 0xFFFFFFFFu);
+  const auto gen = std::uint32_t(id >> 32);
+  if (slot >= slab_.size()) return false;
+  Node& n = slab_[slot];
+  if (!n.pending || n.gen != gen) return false;  // fired, cancelled or stale
+  heap_remove(n.heap_index);
+  free_slot(slot);
+  return true;
+}
+
 SimTime EventQueue::next_time() {
-  drop_cancelled_top();
   GMX_ASSERT_MSG(!heap_.empty(), "next_time() on empty queue");
-  return heap_.front().time;
+  return heap_[0].time;
+}
+
+EventQueue::Entry EventQueue::take(const HeapItem& item) {
+  Node& n = slab_[item.slot];
+  Entry e{item.time, make_id(item.slot, n.gen), std::move(n.fn)};
+  free_slot(item.slot);
+  return e;
 }
 
 EventQueue::Entry EventQueue::pop() {
-  drop_cancelled_top();
   GMX_ASSERT_MSG(!heap_.empty(), "pop() on empty queue");
-  std::pop_heap(heap_.begin(), heap_.end(), later);
-  HeapItem item = std::move(heap_.back());
-  heap_.pop_back();
-  --live_;
-  return Entry{item.time, item.id, std::move(item.fn)};
+  const HeapItem top = heap_[0];
+  heap_remove(0);
+  return take(top);
 }
 
 std::size_t EventQueue::tie_count() {
-  drop_cancelled_top();
   GMX_ASSERT_MSG(!heap_.empty(), "tie_count() on empty queue");
-  const SimTime t = heap_.front().time;
+  const SimTime t = heap_[0].time;
   std::size_t n = 0;
   for (const HeapItem& h : heap_) {
-    if (h.time == t && cancelled_.find(h.id) == cancelled_.end()) ++n;
+    if (h.time == t) ++n;
   }
   return n;
 }
 
 EventQueue::Entry EventQueue::pop_nth(std::size_t k) {
-  drop_cancelled_top();
   GMX_ASSERT_MSG(!heap_.empty(), "pop_nth() on empty queue");
-  const SimTime t = heap_.front().time;
-  // Select the live tie-set member with the k-th smallest id. Ids grow
-  // monotonically, so id order == scheduling order (pop_nth(0) == pop()).
-  std::vector<std::pair<EventId, std::size_t>> ties;  // (id, heap index)
+  const SimTime t = heap_[0].time;
+  // Select the tie-set member with the k-th smallest seq: seq order ==
+  // scheduling order (pop_nth(0) == pop()).
+  std::vector<std::pair<std::uint64_t, std::size_t>> ties;  // (seq, index)
   for (std::size_t i = 0; i < heap_.size(); ++i) {
     const HeapItem& h = heap_[i];
-    if (h.time == t && cancelled_.find(h.id) == cancelled_.end())
-      ties.emplace_back(h.id, i);
+    if (h.time == t) ties.emplace_back(h.seq, i);
   }
   GMX_ASSERT_MSG(k < ties.size(), "pop_nth(): k outside the tie-set");
   std::sort(ties.begin(), ties.end());
   const std::size_t at = ties[k].second;
-  if (ties[k].first == heap_.front().id) return pop();
-  // Arbitrary-position removal: swap with the back and rebuild. O(n), fine
-  // for model-check queue sizes.
-  HeapItem item = std::move(heap_[at]);
-  if (at + 1 != heap_.size()) heap_[at] = std::move(heap_.back());
-  heap_.pop_back();
-  std::make_heap(heap_.begin(), heap_.end(), later);
-  --live_;
-  return Entry{item.time, item.id, std::move(item.fn)};
+  const HeapItem item = heap_[at];
+  heap_remove(at);
+  return take(item);
 }
 
 void EventQueue::clear() {
+  for (const HeapItem& h : heap_) free_slot(h.slot);
   heap_.clear();
-  cancelled_.clear();
-  live_ = 0;
 }
 
 }  // namespace gmx

@@ -6,16 +6,6 @@
 
 namespace gmx {
 
-EventId Simulator::schedule_at(SimTime t, std::function<void()> fn) {
-  GMX_ASSERT_MSG(t >= now_, "cannot schedule an event in the past");
-  return queue_.push(t, std::move(fn));
-}
-
-EventId Simulator::schedule_after(SimDuration d, std::function<void()> fn) {
-  GMX_ASSERT_MSG(!d.is_negative(), "negative delay");
-  return queue_.push(now_ + d, std::move(fn));
-}
-
 bool Simulator::step() {
   if (queue_.empty()) return false;
   EventQueue::Entry e = [&] {

@@ -85,7 +85,7 @@ void Histogram::merge(const Histogram& o) {
 }
 
 double Histogram::percentile(double q) const {
-  GMX_ASSERT(total_ > 0);
+  if (total_ == 0) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
   const double target = q * double(total_);
   double cum = 0;

@@ -84,7 +84,8 @@ options:
   --latency grid5000 | <lan_ms>:<wan_ms>   (default grid5000; grid5000
                      requires --clusters 9)
   --jitter <f>       multiplicative latency jitter fraction (default 0.05)
-  --threads <n>      sweep parallelism, 0 = hardware (default 0)
+  --jobs <n>         sweep parallelism across (config, seed) replication
+                     cells, 0 = hardware (default 0); --threads is an alias
   --csv <path>       also write all points as CSV
 
 service mode (multi-lock, open-loop traffic):
@@ -264,10 +265,11 @@ std::variant<CliOptions, CliError> parse_cli(
       if (!f || *f < 0 || *f >= 1)
         return err("--jitter needs a fraction in [0, 1)");
       jitter = *f;
-    } else if (a == "--threads") {
+    } else if (a == "--jobs" || a == "--threads") {
       const auto v = value();
       const auto n = v ? parse_int(*v) : std::nullopt;
-      if (!n || *n < 0) return err("--threads needs a non-negative integer");
+      if (!n || *n < 0)
+        return err(std::string(a) + " needs a non-negative integer");
       opt.threads = std::size_t(*n);
     } else if (a == "--csv") {
       const auto v = value();

@@ -9,6 +9,7 @@
 #include "gridmutex/fault/injector.hpp"
 #include "gridmutex/mutex/registry.hpp"
 #include "gridmutex/sim/assert.hpp"
+#include "gridmutex/workload/trace_hash.hpp"
 
 namespace gmx {
 
@@ -127,6 +128,7 @@ void ExperimentResult::merge(const ExperimentResult& other) {
   batched_messages += other.batched_messages;
   batch_frames += other.batch_frames;
   batch_bytes_saved += other.batch_bytes_saved;
+  trace_hash = TraceHasher::fold(trace_hash, other.trace_hash);
 }
 
 ExperimentResult run_experiment(const ExperimentConfig& cfg) {
@@ -152,6 +154,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
 
   Rng root(cfg.seed);
   Network net(sim, topo, latency, root.fork(1));
+
+  TraceHasher hasher;
+  if (cfg.hash_trace) hasher.install(net);
 
   // Mutex endpoints per application node.
   std::unique_ptr<Composition> comp;
@@ -353,6 +358,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     res.recovery_latency = rs.recovery_latency;
   }
   if (failover) res.coordinator_failovers = failover->stats().failovers;
+  if (cfg.hash_trace) res.trace_hash = hasher.value();
   return res;
 }
 

@@ -1,34 +1,25 @@
 #include "gridmutex/workload/runner.hpp"
 
-#include <atomic>
-#include <mutex>
-
-#include "gridmutex/workload/thread_pool.hpp"
+#include "gridmutex/workload/sweep.hpp"
 
 namespace gmx {
 
 std::vector<ExperimentResult> run_sweep(
     std::span<const ExperimentConfig> configs, const SweepOptions& opt) {
-  std::vector<ExperimentResult> results(configs.size());
-  std::atomic<std::size_t> done{0};
-  std::mutex progress_mu;
-
-  auto run_one = [&](std::size_t i) {
-    results[i] = run_replicated(configs[i], opt.repetitions);
-    const std::size_t d = ++done;
-    if (opt.progress) {
-      const std::lock_guard lock(progress_mu);
-      opt.progress(d, configs.size());
-    }
-  };
-
-  if (opt.threads == 1 || configs.size() <= 1) {
-    for (std::size_t i = 0; i < configs.size(); ++i) run_one(i);
-  } else {
-    ThreadPool pool(opt.threads);
-    pool.parallel_for(configs.size(), run_one);
-  }
-  return results;
+  const SweepRunner runner(opt.threads);
+  // Cells are (config, repetition) pairs — finer than whole configs, so a
+  // short config axis with many repetitions still fills every job slot.
+  // Seeds follow the run_replicated convention (cfg.seed + repetition) and
+  // rows merge in repetition order, so the output is bit-identical to the
+  // serial run_replicated loop for every job count.
+  return runner.run_merged(
+      configs.size(), opt.repetitions,
+      [&](std::size_t c, int r) {
+        ExperimentConfig cfg = configs[c];
+        cfg.seed += std::uint64_t(r);
+        return run_experiment(cfg);
+      },
+      opt.progress);
 }
 
 std::vector<ExperimentResult> run_rho_sweep(ExperimentConfig base,

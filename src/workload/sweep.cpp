@@ -1,0 +1,59 @@
+#include "gridmutex/workload/sweep.hpp"
+
+#include <atomic>
+#include <mutex>
+
+#include "gridmutex/sim/assert.hpp"
+#include "gridmutex/workload/thread_pool.hpp"
+
+namespace gmx {
+
+SweepRunner::SweepRunner(std::size_t jobs) : jobs_(jobs) {}
+
+std::vector<std::vector<ExperimentResult>> SweepRunner::run_cells(
+    std::size_t configs, int repetitions, const CellFn& cell,
+    const Progress& progress) const {
+  GMX_ASSERT(repetitions >= 1);
+  std::vector<std::vector<ExperimentResult>> grid(configs);
+  for (auto& row : grid) row.resize(std::size_t(repetitions));
+
+  const std::size_t cells = configs * std::size_t(repetitions);
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mu;
+
+  auto run_one = [&](std::size_t i) {
+    const std::size_t c = i / std::size_t(repetitions);
+    const int r = int(i % std::size_t(repetitions));
+    grid[c][std::size_t(r)] = cell(c, r);
+    const std::size_t d = ++done;
+    if (progress) {
+      const std::lock_guard lock(progress_mu);
+      progress(d, cells);
+    }
+  };
+
+  if (jobs_ == 1 || cells <= 1) {
+    for (std::size_t i = 0; i < cells; ++i) run_one(i);
+  } else {
+    ThreadPool pool(jobs_);
+    pool.parallel_for(cells, run_one);
+  }
+  return grid;
+}
+
+std::vector<ExperimentResult> SweepRunner::run_merged(
+    std::size_t configs, int repetitions, const CellFn& cell,
+    const Progress& progress) const {
+  std::vector<std::vector<ExperimentResult>> grid =
+      run_cells(configs, repetitions, cell, progress);
+  std::vector<ExperimentResult> merged;
+  merged.reserve(configs);
+  for (auto& row : grid) {
+    ExperimentResult acc = std::move(row.front());
+    for (std::size_t r = 1; r < row.size(); ++r) acc.merge(row[r]);
+    merged.push_back(std::move(acc));
+  }
+  return merged;
+}
+
+}  // namespace gmx

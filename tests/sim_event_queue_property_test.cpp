@@ -1,0 +1,172 @@
+// Randomized property test of the EventQueue against a reference model.
+//
+// The model is a std::multimap<(time, seq), id> — the specification of the
+// queue's strict (time, scheduling-order) total order — plus a live-id set.
+// A long random mix of push/pop/cancel operations must agree with the model
+// exactly:
+//   - pop order matches the model (same-time events fire in push order);
+//   - cancel succeeds iff the model holds the id live, and a cancelled or
+//     fired id never cancels again (false on reuse attempts);
+//   - ids never collide across the run, even as the slab recycles slots;
+//   - the slab footprint stays bounded by the concurrency high-water mark —
+//     the historic tombstone-set leak (cancel entries surviving out-of-order
+//     pops forever) would show up here as unbounded growth.
+#include "gridmutex/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "gridmutex/sim/random.hpp"
+
+namespace gmx {
+namespace {
+
+struct Model {
+  // (time ns, push sequence) -> EventId, mirroring the queue's total order.
+  std::multimap<std::pair<std::int64_t, std::uint64_t>, EventId> order;
+  std::unordered_set<EventId> live;
+
+  void push(std::int64_t t, std::uint64_t seq, EventId id) {
+    order.emplace(std::make_pair(t, seq), id);
+    live.insert(id);
+  }
+  bool cancel(EventId id) {
+    if (live.erase(id) == 0) return false;
+    for (auto it = order.begin(); it != order.end(); ++it) {
+      if (it->second == id) {
+        order.erase(it);
+        return true;
+      }
+    }
+    ADD_FAILURE() << "model corruption: live id missing from order";
+    return false;
+  }
+  EventId pop() {
+    EXPECT_FALSE(order.empty());
+    const auto it = order.begin();
+    const EventId id = it->second;
+    order.erase(it);
+    live.erase(id);
+    return id;
+  }
+};
+
+TEST(EventQueueProperty, AgreesWithReferenceModel) {
+  EventQueue q;
+  Model model;
+  Rng rng(0xC0FFEE);
+
+  std::vector<EventId> issued;        // every id ever returned by push()
+  std::unordered_set<EventId> seen;   // id-uniqueness over the whole run
+  std::vector<EventId> cancellable;   // ids we may try to cancel (any state)
+  std::uint64_t seq = 0;
+  std::size_t max_live = 0;
+  int fired = 0;
+
+  const int kOps = 20'000;
+  for (int op = 0; op < kOps; ++op) {
+    const std::uint64_t dice = rng.next_below(10);
+    if (dice < 5 || q.empty()) {
+      // Push. Times collide deliberately (range 0..63) so same-time FIFO
+      // ordering is exercised constantly.
+      const auto t = std::int64_t(rng.next_below(64));
+      const EventId id = q.push(SimTime::from_ns(t), [&fired] { ++fired; });
+      ASSERT_NE(id, kInvalidEventId);
+      ASSERT_TRUE(seen.insert(id).second)
+          << "id reuse collision after " << op << " ops";
+      model.push(t, seq++, id);
+      issued.push_back(id);
+      cancellable.push_back(id);
+    } else if (dice < 8) {
+      // Pop and compare against the model's expected id.
+      const EventId expect = model.pop();
+      EventQueue::Entry e = q.pop();
+      ASSERT_EQ(e.id, expect) << "pop order diverged after " << op << " ops";
+      e.fn();
+    } else {
+      // Cancel a random id — possibly live, possibly fired or already
+      // cancelled (the model knows which).
+      const EventId victim =
+          cancellable[rng.next_below(cancellable.size())];
+      const bool expect = model.cancel(victim);
+      EXPECT_EQ(q.cancel(victim), expect)
+          << "cancel disposition diverged after " << op << " ops";
+    }
+    ASSERT_EQ(q.size(), model.order.size());
+    ASSERT_EQ(q.empty(), model.order.empty());
+    max_live = std::max(max_live, q.size());
+  }
+
+  // Drain fully; order must match to the end.
+  while (!model.order.empty()) {
+    const EventId expect = model.pop();
+    ASSERT_EQ(q.pop().id, expect);
+  }
+  EXPECT_TRUE(q.empty());
+  EXPECT_GT(fired, 0);
+
+  // Slab boundedness: slots track peak concurrency, not operation count.
+  // (The pre-rewrite tombstone set could retain an entry per cancelled
+  // event forever when pops surfaced out of order.)
+  EXPECT_LE(q.slab_slots(), max_live);
+  EXPECT_EQ(q.total_pushed(), issued.size());
+}
+
+TEST(EventQueueProperty, CancelAfterFireIsFalseForever) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 100; ++i)
+    ids.push_back(q.push(SimTime::from_ns(i), [] {}));
+  // Fire everything, then cancel each id repeatedly: always false, and the
+  // slots recycled underneath must not be disturbed by the stale ids.
+  while (!q.empty()) q.pop();
+  std::vector<EventId> fresh;
+  for (int i = 0; i < 100; ++i)
+    fresh.push_back(q.push(SimTime::from_ns(i), [] {}));
+  for (const EventId id : ids) {
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+  }
+  EXPECT_EQ(q.size(), 100u);  // stale cancels touched nothing
+  for (const EventId id : fresh) EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueProperty, SlabStaysBoundedUnderOutOfOrderCancelPop) {
+  // The regression shape of the historic leak: schedule a far-future event,
+  // cancel it, then pop an earlier one — repeated forever. The tombstone-set
+  // implementation accumulated one entry per cycle; the slab must stay at
+  // the cycle's tiny working set.
+  EventQueue q;
+  for (int cycle = 0; cycle < 10'000; ++cycle) {
+    const EventId late =
+        q.push(SimTime::from_ns(1'000'000'000 + cycle), [] {});
+    q.push(SimTime::from_ns(cycle), [] {});
+    ASSERT_TRUE(q.cancel(late));
+    q.pop();
+    ASSERT_TRUE(q.empty());
+  }
+  EXPECT_LE(q.slab_slots(), 4u);
+}
+
+TEST(EventQueueProperty, SameTimeFifoAcrossSlotReuse) {
+  // Slot recycling must never perturb same-time ordering: seq, not slot or
+  // id, is the tie-break.
+  EventQueue q;
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<EventId> batch;
+    for (int i = 0; i < 20; ++i)
+      batch.push_back(q.push(SimTime::from_ns(42), [] {}));
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      SCOPED_TRACE(i);
+      ASSERT_EQ(q.pop().id, batch[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gmx

@@ -141,6 +141,43 @@ TEST(Histogram, NegativeValuesClampToZeroBucket) {
   EXPECT_LT(h.percentile(0.5), 1.0);
 }
 
+TEST(Histogram, PercentileOfEmptyIsZero) {
+  // Report paths query p99 on runs that may have completed zero CS; an
+  // empty histogram must answer 0 for every q, not assert.
+  Histogram h(100.0, 10);
+  EXPECT_DOUBLE_EQ(h.percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(h.percentile(1.0), 0.0);
+}
+
+TEST(Histogram, PercentileSingleSample) {
+  Histogram h(100.0, 10);
+  h.add(42.0);
+  // Every quantile of one sample lands in that sample's bucket [40, 50).
+  for (double q : {0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_GE(h.percentile(q), 40.0) << "q=" << q;
+    EXPECT_LE(h.percentile(q), 50.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, PercentileAllEqualSamples) {
+  Histogram h(100.0, 100);
+  for (int i = 0; i < 1000; ++i) h.add(7.3);
+  // A degenerate distribution: every quantile is the common value's bucket.
+  for (double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_GE(h.percentile(q), 7.0) << "q=" << q;
+    EXPECT_LE(h.percentile(q), 8.0) << "q=" << q;
+  }
+}
+
+TEST(Histogram, PercentileClampsOutOfRangeQ) {
+  Histogram h(100.0, 10);
+  h.add(15.0);
+  EXPECT_DOUBLE_EQ(h.percentile(-0.5), h.percentile(0.0));
+  EXPECT_DOUBLE_EQ(h.percentile(1.5), h.percentile(1.0));
+}
+
 TEST(Histogram, RenderProducesOneLinePerNonEmptyRegion) {
   Histogram h(10.0, 2);
   h.add(1);

@@ -89,6 +89,12 @@ TEST(Cli, CsvAndThreads) {
   EXPECT_EQ(o.threads, 3u);
 }
 
+TEST(Cli, JobsIsThreadsSpelledForSweeps) {
+  EXPECT_EQ(ok(parse({"--jobs", "8"})).threads, 8u);
+  EXPECT_NE(fail(parse({"--jobs", "many"})).find("--jobs"),
+            std::string::npos);
+}
+
 TEST(Cli, UnknownAlgorithmRejected) {
   EXPECT_NE(fail(parse({"--flat", "dijkstra"})).find("unknown"),
             std::string::npos);

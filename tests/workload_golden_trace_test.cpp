@@ -1,0 +1,105 @@
+// Golden bit-identity regression tests.
+//
+// Every simulation must be a pure function of (configuration, seed): the
+// kernel's (time, seq) total order, the slab allocator, the pooled network
+// buffers and the flat dispatch tables are all invisible to the trajectory.
+// These tests pin that guarantee two ways:
+//
+//   1. Pinned FNV-1a hashes of the full delivery trace (trace_hash) for one
+//      flat and one composed seed-fixed experiment. Any optimisation that
+//      reorders, retimes or rewrites a single observable byte flips the
+//      hash. If a change fails here *intentionally* (a semantic change to
+//      scheduling or the wire format), re-pin the constants and say why in
+//      the commit message.
+//   2. Same-seed reruns — including a K=16 LockService run under the pooled
+//      allocator — must compare equal field-for-field via
+//      ExperimentResult::operator==.
+#include <gtest/gtest.h>
+
+#include "gridmutex/service/experiment.hpp"
+#include "gridmutex/workload/experiment.hpp"
+
+namespace gmx {
+namespace {
+
+ExperimentConfig golden_flat() {
+  ExperimentConfig cfg;
+  cfg.mode = ExperimentConfig::Mode::kFlat;
+  cfg.flat_algorithm = "naimi";
+  cfg.workload.cs_count = 5;
+  cfg.workload.rho = 180;
+  cfg.seed = 42;
+  cfg.hash_trace = true;
+  return cfg;
+}
+
+ExperimentConfig golden_composed() {
+  ExperimentConfig cfg;
+  cfg.intra = "naimi";
+  cfg.inter = "martin";
+  cfg.workload.cs_count = 5;
+  cfg.workload.rho = 180;
+  cfg.seed = 42;
+  cfg.hash_trace = true;
+  return cfg;
+}
+
+// Pinned on the 9x20 grid5000 default topology at seed 42, 5 CS/process.
+constexpr std::uint64_t kGoldenFlatHash = 13497208907778862334ull;
+constexpr std::uint64_t kGoldenComposedHash = 8747629713154757312ull;
+
+TEST(GoldenTrace, FlatNaimiHashPinned) {
+  const ExperimentResult r = run_experiment(golden_flat());
+  EXPECT_EQ(r.total_cs, 900u);
+  EXPECT_EQ(r.trace_hash, kGoldenFlatHash)
+      << "the flat-Naimi delivery trace changed — if intentional, re-pin";
+}
+
+TEST(GoldenTrace, ComposedNaimiMartinHashPinned) {
+  const ExperimentResult r = run_experiment(golden_composed());
+  EXPECT_EQ(r.total_cs, 900u);
+  EXPECT_EQ(r.trace_hash, kGoldenComposedHash)
+      << "the Naimi-Martin delivery trace changed — if intentional, re-pin";
+}
+
+TEST(GoldenTrace, SameSeedRerunsAreBitIdentical) {
+  const ExperimentResult a = run_experiment(golden_composed());
+  const ExperimentResult b = run_experiment(golden_composed());
+  EXPECT_TRUE(a == b);
+}
+
+TEST(GoldenTrace, ServiceRunBitIdenticalUnderPooledAllocator) {
+  // K=16 exercises the batch mux, per-lock instances and the payload pool
+  // hard; two same-seed runs must agree on every metric, per-lock row and
+  // the full delivery trace.
+  ServiceConfig cfg;
+  cfg.locks = 16;
+  cfg.open_loop.arrivals_per_sec = 200;
+  cfg.open_loop.window = SimDuration::ms(500);
+  cfg.open_loop.zipf_s = 0.9;
+  cfg.seed = 7;
+  cfg.hash_trace = true;
+  const ExperimentResult a = run_service_experiment(cfg);
+  const ExperimentResult b = run_service_experiment(cfg);
+  EXPECT_NE(a.trace_hash, 0u);
+  EXPECT_EQ(a.trace_hash, b.trace_hash);
+  EXPECT_TRUE(a == b);
+  EXPECT_EQ(a.per_lock.size(), 16u);
+}
+
+TEST(GoldenTrace, DifferentSeedsDiverge) {
+  // Sanity: the hash is actually sensitive to the trajectory.
+  ExperimentConfig a = golden_flat();
+  ExperimentConfig b = golden_flat();
+  b.seed = 43;
+  EXPECT_NE(run_experiment(a).trace_hash, run_experiment(b).trace_hash);
+}
+
+TEST(GoldenTrace, HashOffByDefault) {
+  ExperimentConfig cfg = golden_flat();
+  cfg.hash_trace = false;
+  EXPECT_EQ(run_experiment(cfg).trace_hash, 0u);
+}
+
+}  // namespace
+}  // namespace gmx

@@ -1,0 +1,147 @@
+// Parallel-vs-serial sweep equivalence.
+//
+// The SweepRunner's contract: a jobs=N sweep is bit-identical to jobs=1 —
+// every per-cell ExperimentResult equal field for field (operator==, which
+// covers every metric, the checker forensics strings and the per-lock
+// rows), and the merged per-config results and rendered CSV equal too.
+// Each cell is one self-contained single-threaded simulation, so thread
+// count may only change wall-clock, never results.
+#include "gridmutex/workload/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+
+#include "gridmutex/service/experiment.hpp"
+#include "gridmutex/workload/report.hpp"
+#include "gridmutex/workload/runner.hpp"
+
+namespace gmx {
+namespace {
+
+std::vector<ExperimentConfig> small_configs() {
+  std::vector<ExperimentConfig> configs;
+  for (const char* inter : {"naimi", "martin"}) {
+    ExperimentConfig cfg;
+    cfg.intra = "naimi";
+    cfg.inter = inter;
+    cfg.workload.cs_count = 3;
+    cfg.workload.rho = 180;
+    cfg.seed = 11;
+    // Arm the checker so the forensic fields (invariant_checks,
+    // first_violation) participate in the comparison with real content.
+    cfg.check_protocol = true;
+    cfg.hash_trace = true;
+    configs.push_back(cfg);
+  }
+  return configs;
+}
+
+TEST(SweepRunner, ParallelCellsEqualSerialCells) {
+  const std::vector<ExperimentConfig> configs = small_configs();
+  const int reps = 2;
+  const auto cell = [&](std::size_t c, int r) {
+    ExperimentConfig cfg = configs[c];
+    cfg.seed += std::uint64_t(r);
+    return run_experiment(cfg);
+  };
+  const auto serial = SweepRunner(1).run_cells(configs.size(), reps, cell);
+  const auto parallel = SweepRunner(4).run_cells(configs.size(), reps, cell);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t c = 0; c < serial.size(); ++c) {
+    ASSERT_EQ(serial[c].size(), parallel[c].size());
+    for (std::size_t r = 0; r < serial[c].size(); ++r) {
+      SCOPED_TRACE("config " + std::to_string(c) + " rep " +
+                   std::to_string(r));
+      EXPECT_GT(serial[c][r].invariant_checks, 0u);
+      EXPECT_NE(serial[c][r].trace_hash, 0u);
+      EXPECT_TRUE(serial[c][r] == parallel[c][r]);
+    }
+  }
+}
+
+TEST(SweepRunner, MergedSweepMatchesRunReplicated) {
+  // run_sweep (any job count) must reproduce the historic serial
+  // run_replicated loop exactly: same seeds, same merge order.
+  const std::vector<ExperimentConfig> configs = small_configs();
+  const int reps = 3;
+  const auto via_sweep = run_sweep(
+      configs, SweepOptions{.threads = 4, .repetitions = reps, .progress = {}});
+  ASSERT_EQ(via_sweep.size(), configs.size());
+  for (std::size_t c = 0; c < configs.size(); ++c) {
+    SCOPED_TRACE(configs[c].label());
+    const ExperimentResult reference = run_replicated(configs[c], reps);
+    EXPECT_TRUE(via_sweep[c] == reference);
+  }
+}
+
+TEST(SweepRunner, ServiceSweepJobsInvariantIncludingPerLockCsv) {
+  std::vector<ServiceConfig> configs;
+  for (const double s : {0.0, 0.9}) {
+    ServiceConfig cfg;
+    cfg.locks = 4;
+    cfg.apps_per_cluster = 5;
+    cfg.open_loop.arrivals_per_sec = 100;
+    cfg.open_loop.window = SimDuration::ms(400);
+    cfg.open_loop.zipf_s = s;
+    cfg.seed = 5;
+    cfg.hash_trace = true;
+    configs.push_back(cfg);
+  }
+  const int reps = 2;
+  const auto serial = run_service_sweep(configs, reps, 1);
+  const auto parallel = run_service_sweep(configs, reps, 4);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  std::vector<SeriesPoint> serial_pts, parallel_pts;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_EQ(serial[i].per_lock.size(), 4u);
+    EXPECT_TRUE(serial[i] == parallel[i]);
+    serial_pts.push_back(
+        SeriesPoint{serial[i].label, configs[i].open_loop.zipf_s, serial[i]});
+    parallel_pts.push_back(SeriesPoint{parallel[i].label,
+                                       configs[i].open_loop.zipf_s,
+                                       parallel[i]});
+  }
+  // The rendered per-lock CSV — every row of every lock — is identical.
+  std::ostringstream a, b;
+  write_service_csv(a, serial_pts);
+  write_service_csv(b, parallel_pts);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("lock"), std::string::npos);
+}
+
+TEST(SweepRunner, ProgressCountsCells) {
+  const std::vector<ExperimentConfig> configs = [&] {
+    auto c = small_configs();
+    for (ExperimentConfig& cfg : c) {
+      cfg.check_protocol = false;  // keep the progress test fast
+      cfg.workload.cs_count = 1;
+    }
+    return c;
+  }();
+  std::atomic<std::size_t> calls{0};
+  std::size_t last_done = 0, last_total = 0;
+  const auto results = run_sweep(
+      configs,
+      SweepOptions{.threads = 2,
+                   .repetitions = 3,
+                   .progress =
+                       [&](std::size_t done, std::size_t total) {
+                         ++calls;
+                         // Serialized by the runner, but completion order
+                         // across threads is arbitrary — track the max.
+                         last_done = std::max(last_done, done);
+                         last_total = total;
+                       }});
+  EXPECT_EQ(results.size(), configs.size());
+  EXPECT_EQ(calls.load(), configs.size() * 3);
+  EXPECT_EQ(last_done, configs.size() * 3);
+  EXPECT_EQ(last_total, configs.size() * 3);
+}
+
+}  // namespace
+}  // namespace gmx

@@ -1,0 +1,158 @@
+// bench_compare — diff two perf_suite BENCH json files with tolerances.
+//
+//   $ bench_compare baseline.json current.json [--tolerance 0.25] [--warn-only]
+//
+// For every row name present in both files, compares the throughput
+// metrics (events_per_sec, cs_per_sec — higher is better) and reports a
+// regression when current < baseline * (1 - tolerance). Improvements and
+// new/missing rows are reported informationally. Exit status: 0 clean or
+// --warn-only, 1 on regression, 2 on usage/parse errors.
+//
+// The parser handles exactly the schema perf_suite emits (flat rows of
+// string/number fields) — deliberately not a general JSON library, so the
+// tool stays dependency-free.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Row {
+  double events_per_sec = 0.0;
+  double cs_per_sec = 0.0;
+  double wall_s = 0.0;
+  double peak_rss_kb = 0.0;
+};
+
+/// Extracts `"key": <number>` from a row object's text.
+std::optional<double> number_field(const std::string& obj,
+                                   const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = obj.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const char* p = obj.c_str() + at + needle.size();
+  char* end = nullptr;
+  const double v = std::strtod(p, &end);
+  if (end == p) return std::nullopt;
+  return v;
+}
+
+std::optional<std::string> string_field(const std::string& obj,
+                                        const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = obj.find(needle);
+  if (at == std::string::npos) return std::nullopt;
+  const std::size_t start = at + needle.size();
+  const std::size_t close = obj.find('"', start);
+  if (close == std::string::npos) return std::nullopt;
+  return obj.substr(start, close - start);
+}
+
+std::optional<std::map<std::string, Row>> parse(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  std::map<std::string, Row> rows;
+  // Row objects are the {...} groups that carry a "name" field.
+  std::size_t pos = 0;
+  while ((pos = text.find('{', pos + 1)) != std::string::npos) {
+    const std::size_t close = text.find('}', pos);
+    if (close == std::string::npos) break;
+    const std::string obj = text.substr(pos, close - pos + 1);
+    const auto name = string_field(obj, "name");
+    if (name) {
+      Row r;
+      r.events_per_sec = number_field(obj, "events_per_sec").value_or(0.0);
+      r.cs_per_sec = number_field(obj, "cs_per_sec").value_or(0.0);
+      r.wall_s = number_field(obj, "wall_s").value_or(0.0);
+      r.peak_rss_kb = number_field(obj, "peak_rss_kb").value_or(0.0);
+      rows[*name] = r;
+    }
+    pos = close;
+  }
+  if (rows.empty()) {
+    std::fprintf(stderr, "bench_compare: no rows in %s\n", path.c_str());
+    return std::nullopt;
+  }
+  return rows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  double tolerance = 0.25;
+  bool warn_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--tolerance") == 0 && i + 1 < argc) {
+      tolerance = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--warn-only") == 0) {
+      warn_only = true;
+    } else {
+      files.emplace_back(argv[i]);
+    }
+  }
+  if (files.size() != 2 || tolerance <= 0.0 || tolerance >= 1.0) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline.json> <current.json> "
+                 "[--tolerance 0.25] [--warn-only]\n");
+    return 2;
+  }
+
+  const auto base = parse(files[0]);
+  const auto cur = parse(files[1]);
+  if (!base || !cur) return 2;
+
+  int regressions = 0;
+  auto compare = [&](const std::string& name, const char* metric,
+                     double before, double after) {
+    if (before <= 0.0) return;  // metric not applicable to this row
+    const double ratio = after / before;
+    if (ratio < 1.0 - tolerance) {
+      std::printf("REGRESSION  %-36s %-16s %12.1f -> %12.1f  (%.0f%%)\n",
+                  name.c_str(), metric, before, after, 100.0 * (ratio - 1.0));
+      ++regressions;
+    } else if (ratio > 1.0 + tolerance) {
+      std::printf("improved    %-36s %-16s %12.1f -> %12.1f  (+%.0f%%)\n",
+                  name.c_str(), metric, before, after, 100.0 * (ratio - 1.0));
+    } else {
+      std::printf("ok          %-36s %-16s %12.1f -> %12.1f\n", name.c_str(),
+                  metric, before, after);
+    }
+  };
+
+  for (const auto& [name, b] : *base) {
+    const auto it = cur->find(name);
+    if (it == cur->end()) {
+      std::printf("missing     %-36s (row absent from current)\n",
+                  name.c_str());
+      continue;
+    }
+    compare(name, "events_per_sec", b.events_per_sec, it->second.events_per_sec);
+    compare(name, "cs_per_sec", b.cs_per_sec, it->second.cs_per_sec);
+  }
+  for (const auto& [name, c] : *cur) {
+    if (base->find(name) == base->end())
+      std::printf("new         %-36s\n", name.c_str());
+  }
+
+  if (regressions > 0) {
+    std::printf("%d regression(s) beyond %.0f%% tolerance%s\n", regressions,
+                tolerance * 100.0, warn_only ? " (warn-only)" : "");
+    return warn_only ? 0 : 1;
+  }
+  std::printf("no regressions beyond %.0f%% tolerance\n", tolerance * 100.0);
+  return 0;
+}

@@ -24,7 +24,7 @@ namespace {
 
 int run_service_mode(const gmx::CliOptions& opt) {
   using namespace gmx;
-  std::vector<SeriesPoint> points;
+  std::vector<ServiceConfig> configs;
   for (const ExperimentConfig& base : opt.series) {
     ServiceConfig cfg;
     cfg.locks = opt.locks;
@@ -39,8 +39,12 @@ int run_service_mode(const gmx::CliOptions& opt) {
     std::cerr << "running " << cfg.label() << " (zipf s=" << opt.zipf_s
               << ", " << opt.placement << " placement) x "
               << opt.repetitions << " reps...\n";
-    const ExperimentResult r =
-        run_service_replicated(cfg, opt.repetitions);
+    configs.push_back(std::move(cfg));
+  }
+  const std::vector<ExperimentResult> results =
+      run_service_sweep(configs, opt.repetitions, opt.threads);
+  std::vector<SeriesPoint> points;
+  for (const ExperimentResult& r : results) {
     print_service_table(std::cout, r);
     points.push_back(SeriesPoint{r.label, opt.zipf_s, r});
   }
