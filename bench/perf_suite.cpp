@@ -1,4 +1,4 @@
-// perf_suite — the canned performance suite behind BENCH_PR4.json.
+// perf_suite — the canned performance suite behind BENCH_PR5.json.
 //
 // One binary measures, in a single run, everything the performance gate
 // cares about:
@@ -14,14 +14,19 @@
 //                --jobs 1 vs --jobs N (hardware).
 //
 // Every row reports events/sec (or items/sec), CS/sec where a workload
-// completes critical sections, wall seconds, and peak RSS so far
-// (getrusage; monotone over the run). Output is a small JSON document —
-// default ./BENCH_PR4.json — that tools/bench_compare diffs against a
-// committed baseline with tolerances.
+// completes critical sections, and wall seconds. Memory comes in two
+// fields: `peak_rss_kb` is the *process-cumulative* getrusage high-water
+// mark at the end of the row (monotone across rows — later rows can never
+// report less than earlier ones), and `rss_delta_kb` is how much this row
+// raised that high-water mark (0 for a row that fit in memory already
+// allocated by earlier rows). Both are informational; bench_compare never
+// gates on them. Output is a small JSON document — default
+// ./BENCH_PR5.json — that tools/bench_compare diffs against a committed
+// baseline with tolerances.
 //
 // Flags:
 //   --quick       reduced iteration counts / scales (CI smoke)
-//   --out <path>  output path (default BENCH_PR4.json)
+//   --out <path>  output path (default BENCH_PR5.json)
 #include <sys/resource.h>
 
 #include <algorithm>
@@ -63,7 +68,8 @@ struct Row {
   double events_per_sec = 0.0;  // items/sec for micro rows
   double cs_per_sec = 0.0;
   double wall_s = 0.0;
-  long rss_kb = 0;
+  long rss_kb = 0;        // process-cumulative high-water mark (getrusage)
+  long rss_delta_kb = 0;  // growth of the mark attributable to this row
 };
 
 // ---------------------------------------------------------------------------
@@ -344,9 +350,9 @@ void emit_json(std::ostream& out, const std::vector<Row>& rows, bool quick) {
     std::snprintf(buf, sizeof(buf),
                   "    {\"name\": \"%s\", \"events_per_sec\": %.1f, "
                   "\"cs_per_sec\": %.1f, \"wall_s\": %.4f, "
-                  "\"peak_rss_kb\": %ld}%s\n",
+                  "\"peak_rss_kb\": %ld, \"rss_delta_kb\": %ld}%s\n",
                   r.name.c_str(), r.events_per_sec, r.cs_per_sec, r.wall_s,
-                  r.rss_kb, i + 1 < rows.size() ? "," : "");
+                  r.rss_kb, r.rss_delta_kb, i + 1 < rows.size() ? "," : "");
     out << buf;
   }
   out << "  ]\n}\n";
@@ -356,7 +362,7 @@ void emit_json(std::ostream& out, const std::vector<Row>& rows, bool quick) {
 
 int main(int argc, char** argv) {
   bool quick = false;
-  std::string out_path = "BENCH_PR4.json";
+  std::string out_path = "BENCH_PR5.json";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
@@ -370,7 +376,12 @@ int main(int argc, char** argv) {
 
   const std::uint64_t micro_iters = quick ? 300'000 : 3'000'000;
   std::vector<Row> rows;
+  long prev_rss = peak_rss_kb();
   auto log = [&](Row r) {
+    // getrusage's mark is cumulative; the delta isolates this row's
+    // contribution (0 when the row reused memory from earlier rows).
+    r.rss_delta_kb = r.rss_kb - prev_rss;
+    prev_rss = r.rss_kb;
     std::fprintf(stderr,
                  "[perf_suite] %-36s %12.0f ev/s %10.0f cs/s %8.3fs\n",
                  r.name.c_str(), r.events_per_sec, r.cs_per_sec, r.wall_s);

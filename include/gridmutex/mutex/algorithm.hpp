@@ -56,6 +56,26 @@ class MutexContext {
   virtual void send(int to_rank, std::uint16_t type,
                     std::span<const std::uint8_t> payload) = 0;
 
+  /// A Writer to encode a payload into. MutexEndpoint hands out a
+  /// pool-backed Writer so the bytes are built directly inside the block
+  /// the network will carry — finish with send_writer() for a zero-copy
+  /// send. The default (contexts without a pool) is a plain heap Writer.
+  [[nodiscard]] virtual wire::Writer writer(std::size_t reserve);
+
+  /// Sends the Writer's finished encoding. With a pool-backed Writer the
+  /// block moves into the datagram without a copy; the default falls back
+  /// to span send(). The Writer is consumed.
+  virtual void send_writer(int to_rank, std::uint16_t type, wire::Writer&& w);
+
+  /// Encode-once fan-out: sends an already-encoded payload, sharing the
+  /// underlying block across all sends (refcount bump per datagram, no
+  /// re-encode, no copy). Legal because payloads are immutable once
+  /// encoded — see net/buffer_pool.hpp ownership rules. Broadcast loops
+  /// (Suzuki-Kasami/Lamport/Ricart-Agrawala REQUEST) build the payload
+  /// once with writer()+take_payload() and call this per peer.
+  virtual void send_shared(int to_rank, std::uint16_t type,
+                           const Payload& payload);
+
   /// Cluster of a participant's node. Classical algorithms ignore this;
   /// cluster-aware ones (Bertier-style hierarchical Naimi-Tréhel) use it
   /// for locality-preferring grant policies.
@@ -181,6 +201,10 @@ class MutexAlgorithm {
   [[nodiscard]] MutexContext& ctx() const;
   [[nodiscard]] MutexObserver& observer() const;
   [[nodiscard]] bool attached() const { return ctx_ != nullptr; }
+
+  /// Uniform diagnostic for the on_message() default branch: throws
+  /// wire::WireError naming the algorithm and the offending type byte.
+  [[noreturn]] void throw_unknown_message(std::uint16_t type) const;
 
   void set_state(CsState s) {
     const CsState from = state_;

@@ -1,58 +1,298 @@
-// Datagram payload buffer pool.
+// Refcounted datagram payload buffers, pooled per Network.
 //
-// Every protocol message carries its payload in a std::vector<uint8_t>;
-// without pooling each send allocates one and each delivery frees it —
-// the second-largest allocation source on the hot path after the (now
-// slab-stored) event closures. The Network owns one BufferPool and runs
-// the cycle: senders acquire(), the delivery path recycles the payload
-// once the handler has returned (handlers receive `const Message&` and
-// must not retain references — they already could not, as the message
-// dies with its delivery event).
+// Every protocol message carries its payload as a `Payload`: a handle onto
+// a refcounted byte block. The handle is what makes the wire path
+// zero-copy end to end:
 //
-// Steady state is allocation-free: buffers keep their capacity across
-// reuse. The pool is bounded so a burst (e.g. a fault-campaign
-// retransmission storm) cannot pin memory forever, and per-Network, so
-// parallel sweep cells never share state.
+//   - wire::Writer encodes straight into a pool-acquired block and
+//     take_payload() hands it to the Network without an intermediate copy;
+//   - encode-once fan-out (a Suzuki-Kasami broadcast, an ARQ retransmit
+//     copy, a duplicated datagram) shares one block across N messages by
+//     bumping the refcount instead of re-encoding or memcpy-ing;
+//   - BatchMux delivery slices sub-message views out of the frame's block,
+//     so unbatching decodes in place.
+//
+// Ownership rules:
+//   - Payload handles are immutable views; receivers get `const Message&`
+//     and can never write through one. The mutating API (assign/clear,
+//     used by tests and ad-hoc builders) always detaches onto a fresh
+//     block first, so writing through one handle never changes the bytes
+//     another handle sees.
+//   - A block returns to its pool when the last handle dies. The pool may
+//     die first (payloads captured in still-scheduled simulator events
+//     outlive the Network): the pool core then outlives the pool object
+//     and the last returning block frees it.
+//   - Pooled blocks are single-threaded property of their Network's
+//     simulation thread. The refcount itself is atomic so *unpooled*
+//     (heap-origin) payloads may be handed across threads — rt/ transfers
+//     unique handles through mutex-protected queues — but a pool and its
+//     blocks must never be touched from two threads.
+//
+// Steady state is allocation-free: blocks keep their byte capacity across
+// reuse (they are not even cleared — Payload/Writer track live length
+// separately, so recycling is pointer shuffling only). The pool is bounded
+// so a burst (e.g. a fault-campaign retransmission storm) cannot pin
+// memory forever, and per-Network, so parallel sweep cells never share
+// state.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <utility>
 #include <vector>
+
+#include "gridmutex/sim/assert.hpp"
 
 namespace gmx {
 
-class BufferPool {
+class BufferPool;
+namespace wire {
+class Writer;
+}
+
+namespace detail {
+
+struct PoolCore;
+
+/// One refcounted byte block. `bytes` is kept at whatever size the block
+/// last grew to; the live payload length lives in the Payload/Writer
+/// handle, never in bytes.size().
+struct PayloadBuf {
+  std::vector<std::uint8_t> bytes;
+  std::atomic<std::uint32_t> refs{1};
+  PoolCore* origin = nullptr;  // pool to return to; nullptr = plain heap
+};
+
+/// The pool's shared state, split from BufferPool so orphaned blocks have
+/// somewhere safe to return to after the pool object is destroyed.
+struct PoolCore {
+  std::vector<PayloadBuf*> free;
+  std::uint64_t reuses = 0;
+  std::uint64_t outstanding = 0;  // blocks currently held by live handles
+  std::size_t max_pooled = 0;
+  bool alive = true;  // false once the owning BufferPool died
+};
+
+inline void return_to_core(PayloadBuf* b) {
+  PoolCore* core = b->origin;
+  if (core == nullptr) {
+    delete b;
+    return;
+  }
+  GMX_ASSERT(core->outstanding > 0);
+  --core->outstanding;
+  if (core->alive && core->free.size() < core->max_pooled) {
+    core->free.push_back(b);
+  } else {
+    delete b;
+    if (!core->alive && core->outstanding == 0) delete core;
+  }
+}
+
+inline void buf_release(PayloadBuf* b) {
+  if (b == nullptr) return;
+  // acq_rel pairs release of the dying handle's writes with acquire in
+  // whichever thread performs the final free (rt/ hands unique blocks
+  // across threads; the block must be fully published before deletion).
+  if (b->refs.fetch_sub(1, std::memory_order_acq_rel) != 1) return;
+  return_to_core(b);
+}
+
+[[nodiscard]] inline PayloadBuf* buf_retain(PayloadBuf* b) {
+  if (b != nullptr) b->refs.fetch_add(1, std::memory_order_relaxed);
+  return b;
+}
+
+}  // namespace detail
+
+/// Immutable, refcounted view of an encoded payload. Copies share the
+/// block (O(1)); mutation detaches onto a private block first.
+class Payload {
  public:
-  /// Upper bound on retained buffers; excess recycles are simply freed.
-  static constexpr std::size_t kMaxPooled = 1024;
+  Payload() = default;
 
-  BufferPool() = default;
-  BufferPool(const BufferPool&) = delete;
-  BufferPool& operator=(const BufferPool&) = delete;
-
-  /// Returns an empty buffer, reusing a pooled allocation when available.
-  [[nodiscard]] std::vector<std::uint8_t> acquire() {
-    if (free_.empty()) return {};
-    std::vector<std::uint8_t> buf = std::move(free_.back());
-    free_.pop_back();
-    buf.clear();
-    ++reuses_;
-    return buf;
+  /// Copies `bytes` into a fresh heap block (rt/, tests, ad-hoc decode).
+  explicit Payload(std::span<const std::uint8_t> bytes) {
+    if (bytes.empty()) return;
+    auto* b = new detail::PayloadBuf;
+    b->bytes.assign(bytes.begin(), bytes.end());
+    buf_ = b;
+    len_ = std::uint32_t(bytes.size());
   }
 
-  /// Returns a buffer to the pool. Capacity-less vectors (moved-from or
-  /// never filled) carry nothing worth keeping.
-  void recycle(std::vector<std::uint8_t>&& buf) {
-    if (buf.capacity() == 0 || free_.size() >= kMaxPooled) return;
-    free_.push_back(std::move(buf));
+  Payload(const Payload& o)
+      : buf_(detail::buf_retain(o.buf_)), off_(o.off_), len_(o.len_) {}
+  Payload(Payload&& o) noexcept : buf_(o.buf_), off_(o.off_), len_(o.len_) {
+    o.buf_ = nullptr;
+    o.off_ = o.len_ = 0;
+  }
+  Payload& operator=(const Payload& o) {
+    if (this != &o) {
+      detail::buf_release(buf_);
+      buf_ = detail::buf_retain(o.buf_);
+      off_ = o.off_;
+      len_ = o.len_;
+    }
+    return *this;
+  }
+  Payload& operator=(Payload&& o) noexcept {
+    if (this != &o) {
+      detail::buf_release(buf_);
+      buf_ = o.buf_;
+      off_ = o.off_;
+      len_ = o.len_;
+      o.buf_ = nullptr;
+      o.off_ = o.len_ = 0;
+    }
+    return *this;
+  }
+  ~Payload() { detail::buf_release(buf_); }
+
+  /// Adopts a byte vector as a fresh heap block (vector-payload
+  /// compatibility for tests and tools).
+  Payload& operator=(std::vector<std::uint8_t> v) {
+    detail::buf_release(buf_);
+    buf_ = nullptr;
+    off_ = len_ = 0;
+    if (!v.empty()) {
+      auto* b = new detail::PayloadBuf;
+      b->bytes = std::move(v);
+      buf_ = b;
+      len_ = std::uint32_t(b->bytes.size());
+    }
+    return *this;
+  }
+  Payload& operator=(std::initializer_list<std::uint8_t> il) {
+    return *this = std::vector<std::uint8_t>(il);
   }
 
-  [[nodiscard]] std::size_t pooled() const { return free_.size(); }
-  /// Acquires served from the pool rather than a fresh allocation.
-  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+  [[nodiscard]] std::size_t size() const { return len_; }
+  [[nodiscard]] bool empty() const { return len_ == 0; }
+  [[nodiscard]] const std::uint8_t* data() const {
+    return buf_ != nullptr ? buf_->bytes.data() + off_ : nullptr;
+  }
+  [[nodiscard]] std::span<const std::uint8_t> span() const {
+    return {data(), len_};
+  }
+  // NOLINTNEXTLINE(google-explicit-constructor): a Payload *is* its bytes;
+  // implicit conversion keeps wire::Reader(msg.payload) and span-taking
+  // call sites working unchanged.
+  operator std::span<const std::uint8_t>() const { return span(); }
+  [[nodiscard]] const std::uint8_t* begin() const { return data(); }
+  [[nodiscard]] const std::uint8_t* end() const { return data() + len_; }
+
+  [[nodiscard]] bool operator==(const Payload& o) const {
+    return len_ == o.len_ && std::equal(begin(), end(), o.begin());
+  }
+  friend bool operator==(const Payload& p,
+                         const std::vector<std::uint8_t>& v) {
+    return p.len_ == v.size() && std::equal(p.begin(), p.end(), v.begin());
+  }
+
+  /// True while other handles (or a slice) reference the same block.
+  [[nodiscard]] bool shared() const {
+    return buf_ != nullptr &&
+           buf_->refs.load(std::memory_order_relaxed) > 1;
+  }
+
+  /// Sub-view sharing this block — the BatchMux in-place decode path. The
+  /// slice keeps the whole block alive; an empty slice holds no block.
+  [[nodiscard]] Payload slice(std::size_t off, std::size_t n) const {
+    GMX_ASSERT(off + n <= len_);
+    if (n == 0) return {};
+    Payload p;
+    p.buf_ = detail::buf_retain(buf_);
+    p.off_ = off_ + std::uint32_t(off);
+    p.len_ = std::uint32_t(n);
+    return p;
+  }
+
+  /// Mutation is detach-first: the handle leaves any shared block and
+  /// rewrites a private heap block, so no other handle observes the write.
+  void assign(std::span<const std::uint8_t> bytes) {
+    *this = Payload(bytes);
+  }
+  void assign(std::size_t n, std::uint8_t v) {
+    *this = std::vector<std::uint8_t>(n, v);
+  }
+  template <typename It>
+  void assign(It first, It last) {
+    *this = std::vector<std::uint8_t>(first, last);
+  }
+  void clear() {
+    detail::buf_release(buf_);
+    buf_ = nullptr;
+    off_ = len_ = 0;
+  }
 
  private:
-  std::vector<std::vector<std::uint8_t>> free_;
-  std::uint64_t reuses_ = 0;
+  friend class BufferPool;
+  friend class wire::Writer;
+
+  /// Adopts `buf` (no retain): the caller's reference becomes this handle.
+  Payload(detail::PayloadBuf* buf, std::size_t off, std::size_t len)
+      : buf_(buf), off_(std::uint32_t(off)), len_(std::uint32_t(len)) {}
+
+  detail::PayloadBuf* buf_ = nullptr;
+  std::uint32_t off_ = 0;
+  std::uint32_t len_ = 0;
+};
+
+class BufferPool {
+ public:
+  /// Upper bound on retained blocks; excess releases are simply freed.
+  static constexpr std::size_t kMaxPooled = 1024;
+
+  BufferPool() : core_(new detail::PoolCore) {
+    core_->max_pooled = kMaxPooled;
+  }
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+  ~BufferPool() {
+    for (detail::PayloadBuf* b : core_->free) delete b;
+    core_->free.clear();
+    core_->alive = false;
+    // Orphaned blocks (payloads captured in still-scheduled simulator
+    // events) keep the core alive; the last of them frees it.
+    if (core_->outstanding == 0) delete core_;
+  }
+
+  /// Hands out a block for wire::Writer to encode into. The block arrives
+  /// with its previous capacity intact; the Writer overwrites from byte 0.
+  [[nodiscard]] detail::PayloadBuf* acquire_buf() {
+    detail::PayloadBuf* b;
+    if (!core_->free.empty()) {
+      b = core_->free.back();
+      core_->free.pop_back();
+      ++core_->reuses;
+    } else {
+      b = new detail::PayloadBuf;
+      b->origin = core_;
+    }
+    b->refs.store(1, std::memory_order_relaxed);
+    ++core_->outstanding;
+    return b;
+  }
+
+  /// A pooled payload holding a copy of `bytes` (the span-send path).
+  [[nodiscard]] Payload acquire(std::span<const std::uint8_t> bytes) {
+    if (bytes.empty()) return {};
+    detail::PayloadBuf* b = acquire_buf();
+    // assign() into the retained vector reuses its capacity; the block's
+    // byte storage only ever grows.
+    b->bytes.assign(bytes.begin(), bytes.end());
+    return Payload(b, 0, bytes.size());
+  }
+
+  [[nodiscard]] std::size_t pooled() const { return core_->free.size(); }
+  /// Acquires served from the pool rather than a fresh allocation.
+  [[nodiscard]] std::uint64_t reuses() const { return core_->reuses; }
+
+ private:
+  detail::PoolCore* core_;
 };
 
 }  // namespace gmx

@@ -45,7 +45,11 @@ struct Message {
   /// sequence piggybacks on the emulated header (no extra wire bytes), so
   /// byte accounting matches the unreliable baseline.
   std::uint64_t seq = 0;
-  std::vector<std::uint8_t> payload;
+  /// Refcounted handle (net/buffer_pool.hpp): copying a Message — ARQ
+  /// retransmit state, fault duplication, encode-once fan-out — shares the
+  /// encoded bytes instead of copying them. Handlers receive
+  /// `const Message&` and can never write through the handle.
+  Payload payload;
 
   /// Reserved `type` for ARQ acknowledgements; never dispatched to protocol
   /// handlers. Protocol MsgType enums must stay below this value.
@@ -225,14 +229,11 @@ class Network {
   /// clusters — the per-lock Fig. 4(b) attribution of a LockService run.
   [[nodiscard]] std::uint64_t inter_sent_by_protocol(ProtocolId p) const;
 
-  /// Payload buffer pool: senders that build payloads into a pooled buffer
-  /// (MutexEndpoint does) make the send→deliver cycle allocation-free; the
-  /// delivery path recycles every payload it owns regardless of origin.
+  /// Payload buffer pool: senders that encode into a pooled block
+  /// (MutexEndpoint's wire::Writer does) make the send→deliver cycle
+  /// allocation-free; the last Payload handle returns the block
+  /// automatically when the delivery event dies.
   [[nodiscard]] BufferPool& payload_pool() { return payload_pool_; }
-  /// Convenience for senders: an empty buffer with pooled capacity.
-  [[nodiscard]] std::vector<std::uint8_t> acquire_payload() {
-    return payload_pool_.acquire();
-  }
 
   /// Messages currently in flight (scheduled, not yet delivered).
   [[nodiscard]] std::uint64_t in_flight() const { return in_flight_; }

@@ -10,14 +10,28 @@
 // Encoding: little-endian fixed-width integers plus LEB128-style varints for
 // counts and ranks. Decoding is bounds-checked; malformed input throws
 // WireError (protocol bugs must fail loudly in simulation).
+//
+// The Writer builds directly into a refcounted payload block — optionally a
+// BufferPool-acquired one — and take_payload() hands the finished bytes to
+// the Network with no intermediate copy. Append operations run unchecked
+// behind a single capacity reservation (ensure() once, raw stores after),
+// which is where the codec's throughput comes from; the encoding itself is
+// byte-identical to the checked per-byte reference path (the
+// GRIDMUTEX_WIRE_AUDIT build shadows a sampled fraction of Writers through
+// that reference path and asserts equality at finalize).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "gridmutex/net/buffer_pool.hpp"
+#include "gridmutex/sim/assert.hpp"
 
 namespace gmx::wire {
 
@@ -26,37 +40,172 @@ class WireError : public std::runtime_error {
   explicit WireError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// Append-only byte sink.
+/// Append-only byte sink over a payload block.
 class Writer {
  public:
-  Writer() = default;
-  explicit Writer(std::size_t reserve) { buf_.reserve(reserve); }
+  Writer() = default;  // heap block, allocated on first append
+  explicit Writer(std::size_t reserve) { init_block(nullptr, reserve); }
+  /// Pool-aware: encodes into a block acquired from `pool`; take_payload()
+  /// then hands that block to the Network zero-copy.
+  explicit Writer(BufferPool& pool, std::size_t reserve = 0) {
+    init_block(pool.acquire_buf(), reserve);
+  }
 
-  void u8(std::uint8_t v) { buf_.push_back(v); }
-  void u16(std::uint16_t v);
-  void u32(std::uint32_t v);
-  void u64(std::uint64_t v);
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+  Writer(Writer&& o) noexcept
+      : buf_(o.buf_), data_(o.data_), len_(o.len_), cap_(o.cap_) {
+    o.buf_ = nullptr;
+    o.data_ = nullptr;
+    o.len_ = o.cap_ = 0;
+#ifdef GRIDMUTEX_WIRE_AUDIT
+    audit_ = std::move(o.audit_);
+#endif
+  }
+  Writer& operator=(Writer&& o) noexcept {
+    if (this != &o) {
+      detail::buf_release(buf_);
+      buf_ = o.buf_;
+      data_ = o.data_;
+      len_ = o.len_;
+      cap_ = o.cap_;
+      o.buf_ = nullptr;
+      o.data_ = nullptr;
+      o.len_ = o.cap_ = 0;
+#ifdef GRIDMUTEX_WIRE_AUDIT
+      audit_ = std::move(o.audit_);
+#endif
+    }
+    return *this;
+  }
+  ~Writer() {
+    audit_verify();
+    detail::buf_release(buf_);
+  }
+
+  void u8(std::uint8_t v) {
+    ensure(1);
+    data_[len_++] = v;
+    audit_u8(v);
+  }
+  void u16(std::uint16_t v) {
+    ensure(2);
+    data_[len_] = std::uint8_t(v);
+    data_[len_ + 1] = std::uint8_t(v >> 8);
+    len_ += 2;
+    audit_fixed(v, 2);
+  }
+  void u32(std::uint32_t v) {
+    ensure(4);
+    for (int i = 0; i < 4; ++i)
+      data_[len_ + std::size_t(i)] = std::uint8_t(v >> (8 * i));
+    len_ += 4;
+    audit_fixed(v, 4);
+  }
+  void u64(std::uint64_t v) {
+    ensure(8);
+    for (int i = 0; i < 8; ++i)
+      data_[len_ + std::size_t(i)] = std::uint8_t(v >> (8 * i));
+    len_ += 8;
+    audit_fixed(v, 8);
+  }
   void i64(std::int64_t v) { u64(std::uint64_t(v)); }
   void f64(double v);
 
   /// Unsigned LEB128. 1 byte for values < 128 — ranks and small counts,
-  /// which dominate our messages.
-  void varint(std::uint64_t v);
+  /// which dominate our messages. A varint never exceeds 10 bytes, so one
+  /// ensure() covers the whole unchecked encode loop.
+  void varint(std::uint64_t v) {
+    ensure(kMaxVarint);
+    audit_varint(v);
+    len_ = std::size_t(raw_varint(data_ + len_, v) - data_);
+  }
 
   /// varint length prefix followed by raw bytes.
   void bytes(std::span<const std::uint8_t> data);
   void str(std::string_view s);
 
-  /// varint count followed by each element as a varint.
+  /// varint count followed by each element as a varint. One reservation
+  /// covers the worst case of the whole array.
   void varint_array(std::span<const std::uint64_t> values);
   void varint_array(std::span<const std::uint32_t> values);
 
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
-  [[nodiscard]] std::span<const std::uint8_t> view() const { return buf_; }
-  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return len_; }
+  [[nodiscard]] std::span<const std::uint8_t> view() const {
+    return {data_, len_};
+  }
+  /// Finishes the encode and transfers the block into a Payload handle —
+  /// no copy; the Writer is empty afterwards.
+  [[nodiscard]] Payload take_payload();
+  /// Legacy finalize into a plain byte vector (tests/tools).
+  [[nodiscard]] std::vector<std::uint8_t> take();
 
  private:
-  std::vector<std::uint8_t> buf_;
+  static constexpr std::size_t kMaxVarint = 10;
+
+  /// Unchecked LEB128 append; the caller has already ensure()d room.
+  static std::uint8_t* raw_varint(std::uint8_t* p, std::uint64_t v) {
+    while (v >= 0x80) {
+      *p++ = std::uint8_t(v) | 0x80;
+      v >>= 7;
+    }
+    *p++ = std::uint8_t(v);
+    return p;
+  }
+
+  void init_block(detail::PayloadBuf* buf, std::size_t reserve);
+  void ensure(std::size_t n) {
+    if (cap_ - len_ < n) grow(n);
+  }
+  void grow(std::size_t n);
+
+  detail::PayloadBuf* buf_ = nullptr;
+  std::uint8_t* data_ = nullptr;
+  std::size_t len_ = 0;
+  std::size_t cap_ = 0;
+
+#ifdef GRIDMUTEX_WIRE_AUDIT
+  // Shadow of the reference (PR 4) per-byte encoder for a sampled fraction
+  // of Writers; audit_verify() asserts byte equality with the fast path.
+  std::unique_ptr<std::vector<std::uint8_t>> audit_;
+  void audit_u8(std::uint8_t v) {
+    if (audit_) audit_->push_back(v);
+  }
+  void audit_fixed(std::uint64_t v, int bytes) {
+    if (audit_)
+      for (int i = 0; i < bytes; ++i)
+        audit_->push_back(std::uint8_t(v >> (8 * i)));
+  }
+  void audit_varint(std::uint64_t v) {
+    if (!audit_) return;
+    while (v >= 0x80) {
+      audit_->push_back(std::uint8_t(v) | 0x80);
+      v >>= 7;
+    }
+    audit_->push_back(std::uint8_t(v));
+  }
+  void audit_bytes(std::span<const std::uint8_t> data) {
+    if (!audit_) return;
+    audit_varint(data.size());
+    audit_->insert(audit_->end(), data.begin(), data.end());
+  }
+  void audit_verify() const {
+    GMX_ASSERT_MSG(
+        !audit_ || (audit_->size() == len_ &&
+                    std::equal(audit_->begin(), audit_->end(), data_)),
+        "wire audit: fast-path encoding diverged from the reference codec");
+  }
+  void audit_arm();
+  void audit_disarm() { audit_.reset(); }
+#else
+  void audit_u8(std::uint8_t) {}
+  void audit_fixed(std::uint64_t, int) {}
+  void audit_varint(std::uint64_t) {}
+  void audit_bytes(std::span<const std::uint8_t>) {}
+  void audit_verify() const {}
+  void audit_arm() {}
+  void audit_disarm() {}
+#endif
 };
 
 /// Bounds-checked byte source.
@@ -71,13 +220,34 @@ class Reader {
   std::int64_t i64() { return std::int64_t(u64()); }
   double f64();
 
-  std::uint64_t varint();
+  std::uint64_t varint() {
+    // Fast path: with >= 10 bytes left no bounds check can fire inside the
+    // decode loop (a varint is at most 10 bytes; longer is rejected).
+    if (remaining() >= 10) {
+      const std::uint8_t* p = data_.data() + pos_;
+      std::uint64_t v = 0;
+      int shift = 0;
+      for (;;) {
+        const std::uint8_t byte = *p++;
+        if (shift == 63 && (byte & 0x7E) != 0)
+          throw WireError("wire: varint overflows 64 bits");
+        v |= std::uint64_t(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0) {
+          pos_ = std::size_t(p - data_.data());
+          return v;
+        }
+        shift += 7;
+        if (shift > 63) throw WireError("wire: varint too long");
+      }
+    }
+    return varint_slow();
+  }
 
   std::vector<std::uint8_t> bytes();
   /// Zero-copy variant of bytes(): the returned span aliases the Reader's
   /// buffer and is valid only while that buffer lives. Decoders that nest
-  /// messages inside messages (service/batch.hpp) use this to avoid
-  /// copying each sub-payload twice.
+  /// messages inside messages (service/batch.hpp) use this to splice
+  /// sub-payload views out of a frame without copying.
   std::span<const std::uint8_t> bytes_view();
   std::string str();
 
@@ -93,6 +263,7 @@ class Reader {
 
  private:
   void need(std::size_t n) const;
+  std::uint64_t varint_slow();
 
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;

@@ -91,13 +91,39 @@ class BatchMux {
     return (std::uint64_t(src) << 32) | std::uint64_t(dst);
   }
 
+  /// One sub-message located inside a frame's payload block — the
+  /// validating pre-pass of on_frame() records these, then delivery
+  /// slices each body out of the frame zero-copy.
+  struct SubRef {
+    ProtocolId protocol;
+    std::uint16_t type;
+    std::uint32_t off;
+    std::uint32_t len;
+  };
+
+  /// Grow-on-demand counter slot; protocol ids are small sequential ints
+  /// (Network::reserve_protocols), so flat vectors indexed by id replace
+  /// the hash maps these counters started as — offer/unpack bump them on
+  /// every absorbed message.
+  [[nodiscard]] static std::uint64_t& counter(
+      std::vector<std::uint64_t>& table, ProtocolId p) {
+    if (table.size() <= p) table.resize(std::size_t(p) + 1, 0);
+    return table[p];
+  }
+  [[nodiscard]] static std::uint64_t read_counter(
+      const std::vector<std::uint64_t>& table, ProtocolId p) {
+    return p < table.size() ? table[p] : 0;
+  }
+
   Network& net_;
   ProtocolId protocol_;
   bool flushing_ = false;  // re-entrancy guard: flushed sends bypass offer()
+  std::vector<SubRef> scratch_;  // reused across on_frame() calls
+  std::vector<Message> flush_scratch_;  // reused across flush() calls
   std::unordered_map<std::uint64_t, std::vector<Message>> buckets_;
-  std::unordered_map<ProtocolId, std::uint64_t> virtual_in_flight_;
-  std::unordered_map<ProtocolId, std::uint64_t> absorbed_by_protocol_;
-  std::unordered_map<ProtocolId, std::uint64_t> inter_absorbed_;
+  std::vector<std::uint64_t> virtual_in_flight_;   // indexed by ProtocolId
+  std::vector<std::uint64_t> absorbed_by_protocol_;
+  std::vector<std::uint64_t> inter_absorbed_;
   std::uint64_t in_transit_ = 0;
   Stats stats_;
 };

@@ -33,6 +33,12 @@ class ClientSession {
   ClientSession(const ClientSession&) = delete;
   ClientSession& operator=(const ClientSession&) = delete;
 
+  /// Pre-sizes the slot table. A Slot holds a std::deque, whose move
+  /// constructor is not noexcept, so vector growth during add_lock would
+  /// copy-construct every existing slot (and its deque allocation);
+  /// reserving up front makes session wiring allocation-linear.
+  void reserve_locks(std::size_t count) { slots_.reserve(count); }
+
   /// Wires lock `lock` to this node's endpoint of that lock's intra
   /// instance. Called once per lock by the LockService, in LockId order.
   void add_lock(LockId lock, MutexEndpoint& endpoint);

@@ -1,8 +1,26 @@
 #include "gridmutex/mutex/algorithm.hpp"
 
+#include <cstdio>
+#include <string>
+#include <utility>
+
 #include "gridmutex/sim/assert.hpp"
 
 namespace gmx {
+
+wire::Writer MutexContext::writer(std::size_t reserve) {
+  return wire::Writer(reserve);
+}
+
+void MutexContext::send_writer(int to_rank, std::uint16_t type,
+                               wire::Writer&& w) {
+  send(to_rank, type, w.view());
+}
+
+void MutexContext::send_shared(int to_rank, std::uint16_t type,
+                               const Payload& payload) {
+  send(to_rank, type, payload.span());
+}
 
 std::string_view to_string(CsState s) {
   switch (s) {
@@ -52,6 +70,13 @@ void MutexAlgorithm::begin_release() {
 
 void MutexAlgorithm::surrender_token_to(int) {
   GMX_ASSERT_MSG(false, "surrender_token_to() not supported by this algorithm");
+}
+
+void MutexAlgorithm::throw_unknown_message(std::uint16_t type) const {
+  char hex[8];
+  std::snprintf(hex, sizeof hex, "0x%02x", unsigned(type));
+  throw wire::WireError(std::string(name()) + ": unknown message type " +
+                        hex);
 }
 
 }  // namespace gmx

@@ -23,9 +23,9 @@ void BertierMutex::request_cs() {
     enter_cs_and_notify();
     return;
   }
-  wire::Writer w;
+  wire::Writer w = ctx().writer(4);
   w.varint(std::uint64_t(ctx().self()));
-  ctx().send(last_, kRequest, w.view());
+  ctx().send_writer(last_, kRequest, std::move(w));
   // No path reversal: the queue at the holder, not the request path,
   // decides the grant order. last_ keeps chasing the token.
 }
@@ -62,7 +62,7 @@ void BertierMutex::on_message(int from_rank, std::uint16_t type,
       break;
     }
     default:
-      throw wire::WireError("bertier: unknown message type");
+      throw_unknown_message(type);
   }
 }
 
@@ -71,9 +71,9 @@ void BertierMutex::handle_request(int requester) {
     // Chase the token: forward one hop toward the probable holder.
     GMX_ASSERT_MSG(last_ != ctx().self(),
                    "non-holder cannot be its own probable holder");
-    wire::Writer w;
+    wire::Writer w = ctx().writer(4);
     w.varint(std::uint64_t(requester));
-    ctx().send(last_, kRequest, w.view());
+    ctx().send_writer(last_, kRequest, std::move(w));
     return;
   }
   if (state() == CsState::kIdle && q_.empty()) {
@@ -116,7 +116,7 @@ void BertierMutex::grant_from_queue() {
   const bool stays_local = cluster_of(grantee) == my_cluster;
   const int new_streak = stays_local ? streak_ + 1 : 0;
 
-  wire::Writer w;
+  wire::Writer w = ctx().writer(4 + q_.size());
   w.varint(std::uint64_t(new_streak));
   std::vector<std::uint32_t> q(q_.begin(), q_.end());
   w.varint_array(std::span<const std::uint32_t>(q));
@@ -125,7 +125,7 @@ void BertierMutex::grant_from_queue() {
   q_.clear();
   streak_ = 0;
   last_ = int(grantee);
-  ctx().send(int(grantee), kToken, w.view());
+  ctx().send_writer(int(grantee), kToken, std::move(w));
 }
 
 }  // namespace gmx

@@ -63,7 +63,7 @@ void CentralServerMutex::on_message(int from_rank, std::uint16_t type,
       }
       break;
     default:
-      throw wire::WireError("central: unknown message type");
+      throw_unknown_message(type);
   }
 }
 

@@ -1,5 +1,6 @@
 #include "gridmutex/mutex/endpoint.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "gridmutex/sim/assert.hpp"
@@ -19,11 +20,13 @@ MutexEndpoint::MutexEndpoint(Network& net, ProtocolId protocol,
   GMX_ASSERT_MSG(!members_.empty(), "instance needs at least one member");
   GMX_ASSERT(self_rank >= 0 && std::size_t(self_rank) < members_.size());
   GMX_ASSERT(algo_ != nullptr);
-  for (std::size_t r = 0; r < members_.size(); ++r) {
-    const auto [it, inserted] = rank_of_.emplace(members_[r], int(r));
-    (void)it;
-    GMX_ASSERT_MSG(inserted, "duplicate node in member list");
-  }
+  rank_of_.reserve(members_.size());
+  for (std::size_t r = 0; r < members_.size(); ++r)
+    rank_of_.emplace_back(members_[r], int(r));
+  std::sort(rank_of_.begin(), rank_of_.end());
+  for (std::size_t i = 1; i < rank_of_.size(); ++i)
+    GMX_ASSERT_MSG(rank_of_[i].first != rank_of_[i - 1].first,
+                   "duplicate node in member list");
   algo_->attach(*this, *this);
   net_.attach(node(), protocol_,
               [this](const Message& m) { handle_message(m); });
@@ -40,10 +43,41 @@ void MutexEndpoint::send(int to_rank, std::uint16_t type,
   m.dst = members_[std::size_t(to_rank)];
   m.protocol = protocol_;
   m.type = type;
-  // Pooled buffer: the delivery path recycles it, so the steady-state
-  // send→deliver cycle allocates nothing.
-  m.payload = net_.acquire_payload();
-  m.payload.assign(payload.begin(), payload.end());
+  // Pooled block: the last Payload handle recycles it after delivery, so
+  // the steady-state send→deliver cycle allocates nothing.
+  if (!payload.empty()) m.payload = net_.payload_pool().acquire(payload);
+  net_.send(std::move(m));
+}
+
+wire::Writer MutexEndpoint::writer(std::size_t reserve) {
+  return wire::Writer(net_.payload_pool(), reserve);
+}
+
+void MutexEndpoint::send_writer(int to_rank, std::uint16_t type,
+                                wire::Writer&& w) {
+  GMX_ASSERT(to_rank >= 0 && std::size_t(to_rank) < members_.size());
+  GMX_ASSERT_MSG(to_rank != rank_, "algorithm attempted a self-send");
+  Message m;
+  m.src = node();
+  m.dst = members_[std::size_t(to_rank)];
+  m.protocol = protocol_;
+  m.type = type;
+  // Zero-copy: the Writer encoded straight into the pooled block that now
+  // rides the datagram.
+  m.payload = w.take_payload();
+  net_.send(std::move(m));
+}
+
+void MutexEndpoint::send_shared(int to_rank, std::uint16_t type,
+                                const Payload& payload) {
+  GMX_ASSERT(to_rank >= 0 && std::size_t(to_rank) < members_.size());
+  GMX_ASSERT_MSG(to_rank != rank_, "algorithm attempted a self-send");
+  Message m;
+  m.src = node();
+  m.dst = members_[std::size_t(to_rank)];
+  m.protocol = protocol_;
+  m.type = type;
+  m.payload = payload;  // refcount bump — encode-once fan-out
   net_.send(std::move(m));
 }
 
@@ -67,8 +101,10 @@ void MutexEndpoint::on_pending_request() {
 }
 
 void MutexEndpoint::handle_message(const Message& msg) {
-  const auto it = rank_of_.find(msg.src);
-  GMX_ASSERT_MSG(it != rank_of_.end(),
+  const auto it = std::lower_bound(
+      rank_of_.begin(), rank_of_.end(), msg.src,
+      [](const std::pair<NodeId, int>& e, NodeId v) { return e.first < v; });
+  GMX_ASSERT_MSG(it != rank_of_.end() && it->first == msg.src,
                  "message from a node outside this instance");
   algo_->on_message(it->second, msg.type, wire::Reader(msg.payload));
 }

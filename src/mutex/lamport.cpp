@@ -31,10 +31,11 @@ void LamportMutex::request_cs() {
   begin_request();
   request_ts_ = ++clock_;
   insert(Entry{request_ts_, ctx().self()});
-  wire::Writer w;
+  wire::Writer w = ctx().writer(4);
   w.varint(request_ts_);
+  const Payload req = w.take_payload();  // encode-once broadcast
   for (int r = 0; r < ctx().size(); ++r)
-    if (r != ctx().self()) ctx().send(r, kRequest, w.view());
+    if (r != ctx().self()) ctx().send_shared(r, kRequest, req);
   maybe_enter();  // singleton instance enters immediately
 }
 
@@ -54,9 +55,9 @@ void LamportMutex::on_message(int from_rank, std::uint16_t type,
       clock_ = std::max(clock_, ts) + 1;
       insert(Entry{ts, from_rank});
       if (in_cs()) observer().on_pending_request();
-      wire::Writer w;
+      wire::Writer w = ctx().writer(4);
       w.varint(++clock_);
-      ctx().send(from_rank, kReply, w.view());
+      ctx().send_writer(from_rank, kReply, std::move(w));
       break;
     }
     case kReply: {
@@ -75,7 +76,7 @@ void LamportMutex::on_message(int from_rank, std::uint16_t type,
       maybe_enter();
       break;
     default:
-      throw wire::WireError("lamport: unknown message type");
+      throw_unknown_message(type);
   }
 }
 

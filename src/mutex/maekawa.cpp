@@ -75,9 +75,9 @@ void MaekawaMutex::ask(int arbiter) {
     arb_request(Entry{request_ts_, ctx().self()});
     return;
   }
-  wire::Writer w;
+  wire::Writer w = ctx().writer(4);
   w.varint(request_ts_);
-  ctx().send(arbiter, kRequest, w.view());
+  ctx().send_writer(arbiter, kRequest, std::move(w));
 }
 
 void MaekawaMutex::on_locked(int arbiter) {
@@ -211,7 +211,7 @@ void MaekawaMutex::on_message(int from_rank, std::uint16_t type,
       on_demand();
       break;
     default:
-      throw wire::WireError("maekawa: unknown message type");
+      throw_unknown_message(type);
   }
 }
 

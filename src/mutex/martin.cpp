@@ -52,7 +52,7 @@ void MartinMutex::on_message(int from_rank, std::uint16_t type,
       handle_token();
       break;
     default:
-      throw wire::WireError("martin: unknown message type");
+      throw_unknown_message(type);
   }
 }
 

@@ -22,10 +22,10 @@ void MuellerMutex::request_cs() {
     enter_cs_and_notify();
     return;
   }
-  wire::Writer w;
+  wire::Writer w = ctx().writer(8);
   w.varint(std::uint64_t(ctx().self()));
   w.varint(std::uint64_t(my_priority_));
-  ctx().send(last_, kRequest, w.view());
+  ctx().send_writer(last_, kRequest, std::move(w));
 }
 
 void MuellerMutex::release_cs() {
@@ -67,17 +67,17 @@ void MuellerMutex::on_message(int from_rank, std::uint16_t type,
       break;
     }
     default:
-      throw wire::WireError("mueller: unknown message type");
+      throw_unknown_message(type);
   }
 }
 
 void MuellerMutex::handle_request(std::uint32_t requester,
                                   std::uint32_t base) {
   if (!has_token_) {
-    wire::Writer w;
+    wire::Writer w = ctx().writer(8);
     w.varint(requester);
     w.varint(base);
-    ctx().send(last_, kRequest, w.view());
+    ctx().send_writer(last_, kRequest, std::move(w));
     return;
   }
   q_.push_back(Pending{requester, base, 0});
@@ -100,7 +100,7 @@ void MuellerMutex::grant_from_queue() {
   // Aging: every bypassed request gains a point.
   for (Pending& p : q_) ++p.age;
 
-  wire::Writer w;
+  wire::Writer w = ctx().writer(2 + 6 * q_.size());
   w.varint(q_.size());
   for (const Pending& p : q_) {
     w.varint(p.rank);
@@ -110,7 +110,7 @@ void MuellerMutex::grant_from_queue() {
   has_token_ = false;
   q_.clear();
   last_ = int(grantee.rank);
-  ctx().send(int(grantee.rank), kToken, w.view());
+  ctx().send_writer(int(grantee.rank), kToken, std::move(w));
 }
 
 }  // namespace gmx

@@ -23,9 +23,9 @@ void NaimiTrehelMutex::request_cs() {
   // Climb the tree: ask our probable owner, then become the root.
   GMX_ASSERT_MSG(last_ != ctx().self(),
                  "root without token cannot be in Idle state");
-  wire::Writer w;
+  wire::Writer w = ctx().writer(4);
   w.varint(std::uint64_t(ctx().self()));
-  ctx().send(last_, kRequest, w.view());
+  ctx().send_writer(last_, kRequest, std::move(w));
   last_ = ctx().self();
 }
 
@@ -74,7 +74,7 @@ void NaimiTrehelMutex::on_message(int from_rank, std::uint16_t type,
       break;
     }
     default:
-      throw wire::WireError("naimi: unknown message type");
+      throw_unknown_message(type);
   }
 }
 
@@ -94,9 +94,9 @@ void NaimiTrehelMutex::handle_request(int requester) {
     }
   } else {
     // Not the root: forward one hop up the tree.
-    wire::Writer w;
+    wire::Writer w = ctx().writer(4);
     w.varint(std::uint64_t(requester));
-    ctx().send(last_, kRequest, w.view());
+    ctx().send_writer(last_, kRequest, std::move(w));
   }
   // Path reversal: the requester is the new probable owner.
   last_ = requester;
@@ -132,10 +132,11 @@ void NaimiTrehelMutex::begin_token_regeneration() {
     finish_regeneration();
     return;
   }
-  wire::Writer w;
+  wire::Writer w = ctx().writer(4);
   w.varint(regen_round_);
+  const Payload query = w.take_payload();
   for (int r = 0; r < n; ++r) {
-    if (r != ctx().self()) ctx().send(r, kRegenQuery, w.view());
+    if (r != ctx().self()) ctx().send_shared(r, kRegenQuery, query);
   }
 }
 
@@ -149,11 +150,11 @@ void NaimiTrehelMutex::handle_regen_query(int from_rank,
   std::uint64_t flags = 0;
   if (state() == CsState::kRequesting) flags |= kFlagRequesting;
   if (has_token_) flags |= kFlagHasToken;
-  wire::Writer w;
+  wire::Writer w = ctx().writer(8);
   w.varint(round);
   w.varint(flags);
   w.varint(next_ ? std::uint64_t(*next_) + 1 : 0);
-  ctx().send(from_rank, kRegenReply, w.view());
+  ctx().send_writer(from_rank, kRegenReply, std::move(w));
 }
 
 void NaimiTrehelMutex::handle_regen_reply(int from_rank, std::uint64_t round,

@@ -63,7 +63,7 @@ void RaymondMutex::on_message(int from_rank, std::uint16_t type,
       make_request();
       break;
     default:
-      throw wire::WireError("raymond: unknown message type");
+      throw_unknown_message(type);
   }
 }
 

@@ -25,10 +25,11 @@ void RicartAgrawalaMutex::request_cs() {
     enter_cs_and_notify();
     return;
   }
-  wire::Writer w;
+  wire::Writer w = ctx().writer(4);
   w.varint(request_ts_);
+  const Payload req = w.take_payload();  // encode-once broadcast
   for (int r = 0; r < ctx().size(); ++r) {
-    if (r != ctx().self()) ctx().send(r, kRequest, w.view());
+    if (r != ctx().self()) ctx().send_shared(r, kRequest, req);
   }
 }
 
@@ -66,7 +67,7 @@ void RicartAgrawalaMutex::on_message(int from_rank, std::uint16_t type,
       if (--replies_missing_ == 0) enter_cs_and_notify();
       break;
     default:
-      throw wire::WireError("ricart: unknown message type");
+      throw_unknown_message(type);
   }
 }
 

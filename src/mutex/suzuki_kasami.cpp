@@ -25,10 +25,13 @@ void SuzukiKasamiMutex::request_cs() {
     enter_cs_and_notify();
     return;
   }
-  wire::Writer w;
+  // Encode once, share across the broadcast: every REQUEST datagram rides
+  // the same refcounted payload block.
+  wire::Writer w = ctx().writer(4);
   w.varint(rn_[self]);
+  const Payload req = w.take_payload();
   for (int r = 0; r < ctx().size(); ++r) {
-    if (r != ctx().self()) ctx().send(r, kRequest, w.view());
+    if (r != ctx().self()) ctx().send_shared(r, kRequest, req);
   }
 }
 
@@ -83,7 +86,7 @@ void SuzukiKasamiMutex::on_message(int from_rank, std::uint16_t type,
       break;
     }
     default:
-      throw wire::WireError("suzuki: unknown message type");
+      throw_unknown_message(type);
   }
 }
 
@@ -121,11 +124,13 @@ void SuzukiKasamiMutex::handle_token(wire::Reader& payload) {
 void SuzukiKasamiMutex::send_token_to(int rank) {
   GMX_ASSERT(has_token_);
   has_token_ = false;
-  wire::Writer w;
+  // The O(N) token payload (§4.7) encodes straight into the pooled block
+  // the datagram carries — no intermediate copy.
+  wire::Writer w = ctx().writer(2 + 2 * ln_.size() + q_.size());
   w.varint_array(std::span<const std::uint64_t>(ln_));
   std::vector<std::uint32_t> q(q_.begin(), q_.end());
   w.varint_array(std::span<const std::uint32_t>(q));
-  ctx().send(rank, kToken, w.view());
+  ctx().send_writer(rank, kToken, std::move(w));
   q_.clear();
 }
 
@@ -150,10 +155,11 @@ void SuzukiKasamiMutex::begin_token_regeneration() {
     finish_regeneration();
     return;
   }
-  wire::Writer w;
+  wire::Writer w = ctx().writer(4);
   w.varint(regen_round_);
+  const Payload query = w.take_payload();
   for (int r = 0; r < n; ++r) {
-    if (r != ctx().self()) ctx().send(r, kRegenQuery, w.view());
+    if (r != ctx().self()) ctx().send_shared(r, kRegenQuery, query);
   }
 }
 
@@ -167,11 +173,11 @@ void SuzukiKasamiMutex::handle_regen_query(int from_rank,
   std::uint64_t flags = 0;
   if (state() == CsState::kRequesting) flags |= kFlagRequesting;
   if (has_token_) flags |= kFlagHasToken;
-  wire::Writer w;
+  wire::Writer w = ctx().writer(8);
   w.varint(round);
   w.varint(flags);
   w.varint(rn_[std::size_t(ctx().self())]);
-  ctx().send(from_rank, kRegenReply, w.view());
+  ctx().send_writer(from_rank, kRegenReply, std::move(w));
 }
 
 void SuzukiKasamiMutex::handle_regen_reply(int from_rank, std::uint64_t round,

@@ -45,7 +45,11 @@ void Network::attach(NodeId node, ProtocolId protocol, Handler handler) {
   // reserve_protocols() can never hand out an id already in use.
   if (protocol >= next_protocol_) next_protocol_ = protocol + 1;
   auto& table = handlers_[node];
-  if (table.size() <= protocol) table.resize(protocol + 1);
+  // Grow geometrically: a K-lock service attaches protocols 1..P per node
+  // in ascending order, and an exact resize per attach would shuffle the
+  // table O(P^2) times per node (measured hot in LockService setup).
+  if (table.size() <= protocol)
+    table.resize(std::max<std::size_t>(protocol + 1, table.size() * 2));
   table[protocol] = std::move(handler);
 }
 
@@ -210,7 +214,6 @@ void Network::retransmit(NodeId src, NodeId dst, ProtocolId protocol,
     // Retry horizon exhausted: the frame is lost for good — a pure
     // omission, never a reorder. Token-loss detectors key off
     // unacked_for() dropping to zero here.
-    payload_pool_.recycle(std::move(p.msg.payload));
     cit->second.pending.erase(pit);
     --unacked_by_protocol_[protocol];
     launch_next(src, dst, protocol);
@@ -235,7 +238,6 @@ void Network::resolve_ack(const Message& ack) {
   const auto pit = cit->second.pending.find(ack.seq);
   if (pit == cit->second.pending.end()) return;  // duplicate ack
   sim_.cancel(pit->second.timer);
-  payload_pool_.recycle(std::move(pit->second.msg.payload));
   cit->second.pending.erase(pit);
   --unacked_by_protocol_[ack.protocol];
   launch_next(ack.dst, ack.src, ack.protocol);
@@ -270,16 +272,14 @@ void Network::transmit(Message msg) {
 
   // Fault checks, cheapest first; every branch is a no-op (no rng draw, no
   // lookup) when the corresponding fault is unconfigured, preserving
-  // bit-for-bit trajectories of fault-free runs. Dropped datagrams donate
-  // their payload buffer back to the pool.
+  // bit-for-bit trajectories of fault-free runs. Dropped datagrams release
+  // their payload handle on return; the last handle recycles the buffer.
   if (node_up_[msg.src] == 0) {  // sender offline: datagram never leaves
     ++counters_.dropped;
-    payload_pool_.recycle(std::move(msg.payload));
     return;
   }
   if (drop_filter_ && drop_filter_(msg)) {
     ++counters_.dropped;
-    payload_pool_.recycle(std::move(msg.payload));
     return;
   }
   if (!link_drop_.empty() && !topo_.same_cluster(msg.src, msg.dst)) {
@@ -288,13 +288,11 @@ void Network::transmit(Message msg) {
     if (it != link_drop_.end() &&
         (it->second >= 1.0 || fault_rng_.chance(it->second))) {
       ++counters_.dropped;
-      payload_pool_.recycle(std::move(msg.payload));
       return;
     }
   }
   if (drop_p_ > 0.0 && fault_rng_.chance(drop_p_)) {
     ++counters_.dropped;
-    payload_pool_.recycle(std::move(msg.payload));
     return;
   }
 
@@ -324,7 +322,6 @@ void Network::deliver(Message msg, SimTime sent_at) {
   --in_flight_by_protocol_[msg.protocol];
   if (node_up_[msg.dst] == 0) {  // receiver offline: datagram lost on arrival
     ++counters_.dropped;
-    payload_pool_.recycle(std::move(msg.payload));
     return;
   }
   ++counters_.delivered;
@@ -333,7 +330,6 @@ void Network::deliver(Message msg, SimTime sent_at) {
   if (msg.seq != 0) {  // ARQ frame of a reliable protocol
     if (msg.type == Message::kAckType) {
       resolve_ack(msg);
-      payload_pool_.recycle(std::move(msg.payload));
       return;
     }
     // Acknowledge before deduplicating: a duplicate means our previous ack
@@ -346,18 +342,14 @@ void Network::deliver(Message msg, SimTime sent_at) {
     ack.seq = msg.seq;
     transmit(std::move(ack));
     Channel& ch = channel(msg.src, msg.dst, msg.protocol);
-    if (!ch.seen.insert(msg.seq).second) {  // duplicate: suppress
-      payload_pool_.recycle(std::move(msg.payload));
-      return;
-    }
+    if (!ch.seen.insert(msg.seq).second) return;  // duplicate: suppress
   }
   auto& table = handlers_[msg.dst];
   GMX_ASSERT_MSG(msg.protocol < table.size() && table[msg.protocol],
                  "message delivered to node with no handler for its protocol");
   table[msg.protocol](msg);
-  // The message dies with this delivery event; reclaim its buffer.
-  // Handlers get `const Message&` and never retain references into it.
-  payload_pool_.recycle(std::move(msg.payload));
+  // The message (and its payload handle) dies with this delivery event;
+  // if this was the last handle, the pooled buffer is recycled here.
 }
 
 void Network::dispatch_local(const Message& msg) {

@@ -1,20 +1,36 @@
 #include "gridmutex/net/wire.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace gmx::wire {
 
-void Writer::u16(std::uint16_t v) {
-  buf_.push_back(std::uint8_t(v));
-  buf_.push_back(std::uint8_t(v >> 8));
+// --- Writer ----------------------------------------------------------------
+
+void Writer::init_block(detail::PayloadBuf* buf, std::size_t reserve) {
+  if (buf == nullptr) buf = new detail::PayloadBuf;
+  buf_ = buf;
+  std::vector<std::uint8_t>& bytes = buf_->bytes;
+  // A pooled block arrives with whatever size it last grew to (recycling
+  // never shrinks or clears it); only grow when the caller asks for more.
+  if (bytes.size() < reserve) bytes.resize(reserve);
+  data_ = bytes.data();
+  cap_ = bytes.size();
+  audit_arm();
 }
 
-void Writer::u32(std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) buf_.push_back(std::uint8_t(v >> (8 * i)));
-}
-
-void Writer::u64(std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) buf_.push_back(std::uint8_t(v >> (8 * i)));
+void Writer::grow(std::size_t n) {
+  if (buf_ == nullptr) {
+    // Lazily-allocated default Writer: nothing has been written yet.
+    init_block(nullptr, std::max<std::size_t>(n, 64));
+    return;
+  }
+  std::vector<std::uint8_t>& bytes = buf_->bytes;
+  const std::size_t newcap =
+      std::max({cap_ * 2, len_ + n, std::size_t(64)});
+  bytes.resize(newcap);
+  data_ = bytes.data();
+  cap_ = newcap;
 }
 
 void Writer::f64(double v) {
@@ -24,33 +40,96 @@ void Writer::f64(double v) {
   u64(bits);
 }
 
-void Writer::varint(std::uint64_t v) {
-  while (v >= 0x80) {
-    buf_.push_back(std::uint8_t(v) | 0x80);
-    v >>= 7;
-  }
-  buf_.push_back(std::uint8_t(v));
-}
-
 void Writer::bytes(std::span<const std::uint8_t> data) {
-  varint(data.size());
-  buf_.insert(buf_.end(), data.begin(), data.end());
+  // ensure() first: a lazily-allocated Writer arms its audit shadow inside
+  // init_block(), so the shadow append must come after it.
+  ensure(kMaxVarint + data.size());
+  audit_bytes(data);
+  std::uint8_t* p = raw_varint(data_ + len_, data.size());
+  if (!data.empty()) {
+    std::memcpy(p, data.data(), data.size());
+    p += data.size();
+  }
+  len_ = std::size_t(p - data_);
 }
 
 void Writer::str(std::string_view s) {
-  varint(s.size());
-  buf_.insert(buf_.end(), s.begin(), s.end());
+  bytes(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
 }
 
 void Writer::varint_array(std::span<const std::uint64_t> values) {
-  varint(values.size());
-  for (auto v : values) varint(v);
+  ensure(kMaxVarint * (values.size() + 1));
+#ifdef GRIDMUTEX_WIRE_AUDIT
+  if (audit_) {
+    audit_varint(values.size());
+    for (std::uint64_t v : values) audit_varint(v);
+  }
+#endif
+  std::uint8_t* p = raw_varint(data_ + len_, values.size());
+  for (std::uint64_t v : values) p = raw_varint(p, v);
+  len_ = std::size_t(p - data_);
 }
 
 void Writer::varint_array(std::span<const std::uint32_t> values) {
-  varint(values.size());
-  for (auto v : values) varint(v);
+  // A u32 varint is at most 5 bytes; the count prefix still budgets 10.
+  ensure(kMaxVarint + 5 * values.size());
+#ifdef GRIDMUTEX_WIRE_AUDIT
+  if (audit_) {
+    audit_varint(values.size());
+    for (std::uint32_t v : values) audit_varint(v);
+  }
+#endif
+  std::uint8_t* p = raw_varint(data_ + len_, values.size());
+  for (std::uint32_t v : values) p = raw_varint(p, v);
+  len_ = std::size_t(p - data_);
 }
+
+Payload Writer::take_payload() {
+  audit_verify();
+  audit_disarm();
+  if (buf_ == nullptr || len_ == 0) {
+    detail::buf_release(buf_);
+    buf_ = nullptr;
+    data_ = nullptr;
+    len_ = cap_ = 0;
+    return {};
+  }
+  // Adopt: the Writer's sole reference becomes the Payload's. The block
+  // keeps its full-size byte vector; the handle carries the live length.
+  Payload p(buf_, 0, len_);
+  buf_ = nullptr;
+  data_ = nullptr;
+  len_ = cap_ = 0;
+  return p;
+}
+
+std::vector<std::uint8_t> Writer::take() {
+  audit_verify();
+  audit_disarm();
+  std::vector<std::uint8_t> out;
+  if (buf_ != nullptr) {
+    buf_->bytes.resize(len_);
+    out = std::move(buf_->bytes);
+    detail::buf_release(buf_);
+    buf_ = nullptr;
+  }
+  data_ = nullptr;
+  len_ = cap_ = 0;
+  return out;
+}
+
+#ifdef GRIDMUTEX_WIRE_AUDIT
+void Writer::audit_arm() {
+  // Sampled shadow encode: every 64th Writer per thread replays its
+  // appends through the reference per-byte path and asserts equality.
+  static thread_local std::uint32_t counter = 0;
+  if ((++counter & 63U) == 0U)
+    audit_ = std::make_unique<std::vector<std::uint8_t>>();
+}
+#endif
+
+// --- Reader ----------------------------------------------------------------
 
 void Reader::need(std::size_t n) const {
   if (remaining() < n) throw WireError("wire: truncated message");
@@ -92,7 +171,7 @@ double Reader::f64() {
   return v;
 }
 
-std::uint64_t Reader::varint() {
+std::uint64_t Reader::varint_slow() {
   std::uint64_t v = 0;
   int shift = 0;
   for (;;) {

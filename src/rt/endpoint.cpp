@@ -53,7 +53,9 @@ void RtMutexEndpoint::send(int to_rank, std::uint16_t type,
   m.dst = members_[std::size_t(to_rank)];
   m.protocol = protocol_;
   m.type = type;
-  m.payload.assign(payload.begin(), payload.end());
+  // Heap-origin block (never a pooled one): the handle crosses threads via
+  // the runtime's queues, and a pool's free-list is single-threaded.
+  m.payload = Payload(payload);
   rt_.send(std::move(m));
 }
 

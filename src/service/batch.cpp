@@ -14,10 +14,8 @@ BatchMux::BatchMux(Network& net, ProtocolId protocol)
     net_.attach(v, protocol_, [this](const Message& m) { on_frame(m); });
   }
   net_.set_send_router([this](Message& m) { return offer(m); });
-  net_.set_in_flight_supplement([this](ProtocolId p) {
-    const auto it = virtual_in_flight_.find(p);
-    return it == virtual_in_flight_.end() ? std::uint64_t(0) : it->second;
-  });
+  net_.set_in_flight_supplement(
+      [this](ProtocolId p) { return read_counter(virtual_in_flight_, p); });
 }
 
 BatchMux::~BatchMux() {
@@ -28,13 +26,11 @@ BatchMux::~BatchMux() {
 }
 
 std::uint64_t BatchMux::absorbed_for(ProtocolId p) const {
-  const auto it = absorbed_by_protocol_.find(p);
-  return it == absorbed_by_protocol_.end() ? 0 : it->second;
+  return read_counter(absorbed_by_protocol_, p);
 }
 
 std::uint64_t BatchMux::inter_absorbed_for(ProtocolId p) const {
-  const auto it = inter_absorbed_.find(p);
-  return it == inter_absorbed_.end() ? 0 : it->second;
+  return read_counter(inter_absorbed_, p);
 }
 
 bool BatchMux::offer(Message& msg) {
@@ -51,7 +47,7 @@ bool BatchMux::offer(Message& msg) {
         net_.simulator().now(),
         [this, src = msg.src, dst = msg.dst] { flush(src, dst); });
   }
-  ++virtual_in_flight_[msg.protocol];
+  ++counter(virtual_in_flight_, msg.protocol);
   ++in_transit_;
   bucket.push_back(std::move(msg));
   return true;
@@ -60,13 +56,18 @@ bool BatchMux::offer(Message& msg) {
 void BatchMux::flush(NodeId src, NodeId dst) {
   const auto it = buckets_.find(pair_key(src, dst));
   GMX_ASSERT(it != buckets_.end() && !it->second.empty());
-  std::vector<Message> subs = std::move(it->second);
-  buckets_.erase(it);
+  // Swap through the scratch vector rather than erasing the map entry:
+  // the bucket keeps its capacity (and its hash node) for the next burst
+  // on this pair, so steady-state flushing allocates nothing.
+  flush_scratch_.clear();
+  std::vector<Message>& subs = flush_scratch_;
+  subs.swap(it->second);
 
   if (subs.size() == 1) {
     // Nothing to piggyback on: the message travels as it would have.
     Message m = std::move(subs.front());
-    --virtual_in_flight_[m.protocol];
+    subs.clear();
+    --counter(virtual_in_flight_, m.protocol);
     --in_transit_;
     ++stats_.flushed_single;
     flushing_ = true;
@@ -78,8 +79,8 @@ void BatchMux::flush(NodeId src, NodeId dst) {
   const bool inter = !net_.topology().same_cluster(src, dst);
   std::size_t separate_bytes = 0;
   for (const Message& s : subs) {
-    ++absorbed_by_protocol_[s.protocol];
-    if (inter) ++inter_absorbed_[s.protocol];
+    ++counter(absorbed_by_protocol_, s.protocol);
+    if (inter) ++counter(inter_absorbed_, s.protocol);
     separate_bytes += s.wire_size();
     ++stats_.absorbed;
   }
@@ -88,10 +89,27 @@ void BatchMux::flush(NodeId src, NodeId dst) {
   frame.dst = dst;
   frame.protocol = protocol_;
   frame.type = kFrameType;
-  frame.payload = encode(subs);
+  // Splice, don't re-encode: each sub-payload is already encoded bytes;
+  // the frame Writer copies those spans once into a pooled block (plus the
+  // per-sub header), which then rides the datagram zero-copy.
+  std::size_t reserve = 2;
+  for (const Message& s : subs) reserve += 8 + s.payload.size();
+  wire::Writer w(net_.payload_pool(), reserve);
+  w.varint(subs.size());
+  for (const Message& s : subs) {
+    w.varint(s.protocol);
+    w.u16(s.type);
+    w.bytes(s.payload);
+  }
+  frame.payload = w.take_payload();
+#ifdef GRIDMUTEX_WIRE_AUDIT
+  GMX_ASSERT_MSG(frame.payload == encode(subs),
+                 "batch: spliced frame diverged from the reference encode");
+#endif
   if (frame.wire_size() < separate_bytes)
     stats_.bytes_saved += separate_bytes - frame.wire_size();
   ++stats_.frames;
+  subs.clear();  // drop the sub payload handles now that the frame owns a copy
   flushing_ = true;
   net_.send(std::move(frame));
   flushing_ = false;
@@ -100,15 +118,44 @@ void BatchMux::flush(NodeId src, NodeId dst) {
 }
 
 void BatchMux::on_frame(const Message& frame) {
-  const std::vector<Message> subs =
-      decode(frame.src, frame.dst, frame.payload);
-  for (const Message& sub : subs) {
-    auto it = virtual_in_flight_.find(sub.protocol);
-    GMX_ASSERT_MSG(it != virtual_in_flight_.end() && it->second > 0,
+  // Validating pre-pass: walk the frame once, recording where each
+  // sub-message body lives. All WireError throws happen here, before any
+  // sub-message is dispatched (same all-or-nothing semantics as decode()).
+  const std::span<const std::uint8_t> bytes = frame.payload.span();
+  wire::Reader r(bytes);
+  const std::uint64_t count = r.varint();
+  if (count == 0 || count > r.remaining())
+    throw wire::WireError("batch: implausible sub-message count");
+  scratch_.clear();
+  scratch_.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t proto = r.varint();
+    if (proto == 0 || proto > 0xFFFFFFFFULL)
+      throw wire::WireError("batch: sub-message protocol id out of range");
+    const std::uint16_t type = r.u16();
+    if (type == Message::kAckType)
+      throw wire::WireError("batch: ACK inside a batch frame");
+    const std::span<const std::uint8_t> body = r.bytes_view();
+    scratch_.push_back(SubRef{ProtocolId(proto), type,
+                              std::uint32_t(body.data() - bytes.data()),
+                              std::uint32_t(body.size())});
+  }
+  r.expect_end();
+
+  // In-place unbatching: each sub-message's payload is a slice sharing the
+  // frame's block — no per-sub copy.
+  for (const SubRef& s : scratch_) {
+    Message m;
+    m.src = frame.src;
+    m.dst = frame.dst;
+    m.protocol = s.protocol;
+    m.type = s.type;
+    m.payload = frame.payload.slice(s.off, s.len);
+    GMX_ASSERT_MSG(read_counter(virtual_in_flight_, m.protocol) > 0,
                    "batched sub-message was never absorbed");
-    --it->second;
+    --virtual_in_flight_[m.protocol];
     --in_transit_;
-    net_.dispatch_local(sub);
+    net_.dispatch_local(m);
   }
 }
 

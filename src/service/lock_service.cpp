@@ -57,6 +57,7 @@ LockService::LockService(Network& net, LockServiceConfig cfg)
     session_of_node_[v] = int(sessions_.size());
     sessions_.push_back(std::make_unique<ClientSession>(v));
     ClientSession* s = sessions_.back().get();
+    s->reserve_locks(cfg_.locks);
     for (LockId l = 0; l < cfg_.locks; ++l) {
       MutexEndpoint& ep = comps_[l]->app_mutex(v);
       s->add_lock(l, ep);

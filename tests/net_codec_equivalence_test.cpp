@@ -1,0 +1,590 @@
+// Codec equivalence: the zero-copy wire path must be a pure optimization.
+//
+// PR 5 rebuilt the encode path around pooled, refcounted payload blocks —
+// wire::Writer appends unchecked behind a single reservation, broadcasts
+// share one encoded block across N sends, and BatchMux splices
+// already-encoded sub-payloads into frames and slices them back out on
+// delivery. None of that is allowed to change a single byte on the wire:
+// byte accounting and the pinned delivery-trace hashes both hang off the
+// encodings. This suite pins the equivalence:
+//
+//   1. a naive per-byte reference encoder (the PR 4 codec, reimplemented
+//      here with push_back so the two paths share no code) must agree with
+//      wire::Writer — default, pre-reserved, and pool-backed — on random
+//      primitive mixes, including when the pool recycles dirty blocks;
+//   2. every message schema of all ten mutex algorithms encodes
+//      identically through the pooled take_payload() path;
+//   3. a BatchMux frame built by splicing encoded sub-payloads equals the
+//      reference re-encode, and the delivery-side slices are exactly the
+//      original sub-payload bytes;
+//   4. a shared fan-out payload is copy-on-write: no holder of one handle
+//      can mutate the bytes another handle sees.
+//
+// Suite names all carry the CodecEquivalence token so the TSan CI job can
+// pick the whole file up with one ctest regex.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "gridmutex/net/buffer_pool.hpp"
+#include "gridmutex/net/wire.hpp"
+#include "gridmutex/service/batch.hpp"
+#include "gridmutex/sim/random.hpp"
+
+namespace gmx::wire {
+namespace {
+
+/// The PR 4 reference codec: checked, per-byte, push_back-based. Kept
+/// deliberately naive — it shares no code with wire::Writer, so agreement
+/// between the two is evidence, not tautology.
+class RefWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(v); }
+  void u16(std::uint16_t v) { fixed(v, 2); }
+  void u32(std::uint32_t v) { fixed(v, 4); }
+  void u64(std::uint64_t v) { fixed(v, 8); }
+  void i64(std::int64_t v) { u64(std::uint64_t(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      out_.push_back(std::uint8_t(v) | 0x80);
+      v >>= 7;
+    }
+    out_.push_back(std::uint8_t(v));
+  }
+  void bytes(std::span<const std::uint8_t> data) {
+    varint(data.size());
+    out_.insert(out_.end(), data.begin(), data.end());
+  }
+  void str(std::string_view s) {
+    varint(s.size());
+    for (char c : s) out_.push_back(std::uint8_t(c));
+  }
+  void varint_array(std::span<const std::uint64_t> values) {
+    varint(values.size());
+    for (std::uint64_t v : values) varint(v);
+  }
+  void varint_array(std::span<const std::uint32_t> values) {
+    varint(values.size());
+    for (std::uint32_t v : values) varint(v);
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& bytes_out() const {
+    return out_;
+  }
+
+ private:
+  void fixed(std::uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) out_.push_back(std::uint8_t(v >> (8 * i)));
+  }
+
+  std::vector<std::uint8_t> out_;
+};
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t max_len) {
+  std::vector<std::uint8_t> out(rng.next_below(max_len + 1));
+  for (auto& b : out) b = std::uint8_t(rng.next_below(256));
+  return out;
+}
+
+/// A value whose varint length is uniform over 1..10 bytes, so short and
+/// long encodings are both exercised (a plain uniform u64 is almost always
+/// 10 bytes long).
+std::uint64_t random_varint_value(Rng& rng) {
+  const std::uint64_t bits = rng.next_below(64);
+  return rng.next_u64() >> bits;
+}
+
+/// One recorded primitive append, replayable into any writer-like sink.
+struct Op {
+  enum Kind : std::uint8_t {
+    kU8,
+    kU16,
+    kU32,
+    kU64,
+    kI64,
+    kF64,
+    kVarint,
+    kBytes,
+    kStr,
+    kArr64,
+    kArr32,
+  };
+  Kind kind;
+  std::uint64_t value = 0;
+  std::vector<std::uint8_t> blob;
+  std::vector<std::uint64_t> arr64;
+  std::vector<std::uint32_t> arr32;
+};
+
+Op random_op(Rng& rng) {
+  Op op;
+  op.kind = Op::Kind(rng.next_below(11));
+  switch (op.kind) {
+    case Op::kU8:
+    case Op::kU16:
+    case Op::kU32:
+    case Op::kU64:
+    case Op::kI64:
+    case Op::kF64:
+      op.value = rng.next_u64();
+      break;
+    case Op::kVarint:
+      op.value = random_varint_value(rng);
+      break;
+    case Op::kBytes:
+    case Op::kStr:
+      op.blob = random_bytes(rng, 48);
+      break;
+    case Op::kArr64:
+      op.arr64.resize(rng.next_below(17));
+      for (auto& v : op.arr64) v = random_varint_value(rng);
+      break;
+    case Op::kArr32:
+      op.arr32.resize(rng.next_below(17));
+      for (auto& v : op.arr32) v = std::uint32_t(rng.next_u64());
+      break;
+  }
+  return op;
+}
+
+template <typename W>
+void replay(W& w, const std::vector<Op>& ops) {
+  for (const Op& op : ops) {
+    switch (op.kind) {
+      case Op::kU8:
+        w.u8(std::uint8_t(op.value));
+        break;
+      case Op::kU16:
+        w.u16(std::uint16_t(op.value));
+        break;
+      case Op::kU32:
+        w.u32(std::uint32_t(op.value));
+        break;
+      case Op::kU64:
+        w.u64(op.value);
+        break;
+      case Op::kI64:
+        w.i64(std::int64_t(op.value));
+        break;
+      case Op::kF64: {
+        double d;
+        std::memcpy(&d, &op.value, sizeof d);
+        w.f64(d);
+        break;
+      }
+      case Op::kVarint:
+        w.varint(op.value);
+        break;
+      case Op::kBytes:
+        w.bytes(op.blob);
+        break;
+      case Op::kStr:
+        w.str(std::string_view(reinterpret_cast<const char*>(op.blob.data()),
+                               op.blob.size()));
+        break;
+      case Op::kArr64:
+        w.varint_array(op.arr64);
+        break;
+      case Op::kArr32:
+        w.varint_array(op.arr32);
+        break;
+    }
+  }
+}
+
+std::vector<std::uint8_t> reference_encode(const std::vector<Op>& ops) {
+  RefWriter ref;
+  replay(ref, ops);
+  return ref.bytes_out();
+}
+
+TEST(CodecEquivalence, FastWriterMatchesReferenceOnRandomPrimitives) {
+  Rng rng(0x5EED5);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<Op> ops(rng.next_below(13));
+    for (auto& op : ops) op = random_op(rng);
+    const std::vector<std::uint8_t> expect = reference_encode(ops);
+
+    Writer plain;
+    replay(plain, ops);
+    EXPECT_EQ(plain.take(), expect);
+
+    Writer reserved(expect.size());  // exact reservation: no grow() at all
+    replay(reserved, ops);
+    EXPECT_EQ(reserved.take(), expect);
+
+    Writer tight(1);  // undersized reservation: grow() on almost every op
+    replay(tight, ops);
+    EXPECT_EQ(tight.take(), expect);
+  }
+}
+
+TEST(CodecEquivalence, PooledWriterTakePayloadMatchesReference) {
+  BufferPool pool;
+  Rng rng(0xB10C);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<Op> ops(rng.next_below(13));
+    for (auto& op : ops) op = random_op(rng);
+    const std::vector<std::uint8_t> expect = reference_encode(ops);
+
+    Writer w(pool, rng.next_below(2) == 0 ? expect.size() : 0);
+    replay(w, ops);
+    const Payload p = w.take_payload();
+    EXPECT_EQ(p, expect);
+  }
+  // The loop above releases every block back into the pool, so recycling
+  // must have kicked in: recycled blocks arrive dirty (no-clear recycling)
+  // and the encodes still matched the reference byte-for-byte.
+  EXPECT_GT(pool.reuses(), 0u);
+}
+
+TEST(CodecEquivalence, RecycledDirtyBlocksNeverLeakStaleBytes) {
+  // Alternate long and short encodes through a single-block pool: every
+  // short encode lands in a block still holding the long encode's bytes,
+  // so any stale-length bug would surface as trailing garbage.
+  BufferPool pool;
+  Rng rng(0xD1B7);
+  for (int trial = 0; trial < 500; ++trial) {
+    const std::vector<std::uint8_t> big = random_bytes(rng, 256);
+    {
+      Writer w(pool);
+      w.bytes(big);
+      RefWriter ref;
+      ref.bytes(big);
+      EXPECT_EQ(w.take_payload(), ref.bytes_out());
+    }
+    const std::uint64_t small = rng.next_below(128);
+    {
+      Writer w(pool);
+      w.varint(small);
+      RefWriter ref;
+      ref.varint(small);
+      const Payload p = w.take_payload();
+      EXPECT_EQ(p, ref.bytes_out());
+      EXPECT_EQ(p.size(), 1u);
+    }
+  }
+}
+
+TEST(CodecEquivalence, EmptyWriterYieldsEmptyPayload) {
+  BufferPool pool;
+  Writer w(pool, 64);
+  const Payload p = w.take_payload();
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.size(), 0u);
+  Writer plain;
+  EXPECT_TRUE(plain.take().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Per-algorithm message schemas. Each case encodes the exact field sequence
+// the algorithm's send site produces (see the MsgType comments in the
+// headers) through the pooled fast path and the reference codec.
+// ---------------------------------------------------------------------------
+
+class CodecEquivalenceSchemas : public ::testing::Test {
+ protected:
+  /// Encodes `fill` through both paths and asserts byte equality.
+  template <typename Fill>
+  void expect_equal(Fill fill) {
+    RefWriter ref;
+    fill(ref);
+    Writer fast(pool_, std::size_t(rng_.next_below(32)));
+    fill(fast);
+    EXPECT_EQ(fast.take_payload(), ref.bytes_out());
+  }
+
+  BufferPool pool_;
+  Rng rng_{0xA160};
+};
+
+TEST_F(CodecEquivalenceSchemas, SuzukiKasami) {
+  for (int i = 0; i < 200; ++i) {
+    // kRequest: varint sequence number.
+    const std::uint64_t rn = random_varint_value(rng_);
+    expect_equal([&](auto& w) { w.varint(rn); });
+    // kToken: varint_array LN, varint_array Q.
+    std::vector<std::uint64_t> ln(rng_.next_below(33));
+    for (auto& v : ln) v = random_varint_value(rng_);
+    std::vector<std::uint32_t> q(rng_.next_below(33));
+    for (auto& v : q) v = std::uint32_t(rng_.next_below(1u << 16));
+    expect_equal([&](auto& w) {
+      w.varint_array(ln);
+      w.varint_array(q);
+    });
+    // kRegenQuery: varint round.  kRegenReply: round, flags, own seq.
+    const std::uint64_t round = rng_.next_below(1000);
+    const std::uint64_t flags = rng_.next_below(4);
+    const std::uint64_t seq = random_varint_value(rng_);
+    expect_equal([&](auto& w) { w.varint(round); });
+    expect_equal([&](auto& w) {
+      w.varint(round);
+      w.varint(flags);
+      w.varint(seq);
+    });
+  }
+}
+
+TEST_F(CodecEquivalenceSchemas, NaimiTrehel) {
+  for (int i = 0; i < 200; ++i) {
+    // kRequest: varint original-requester rank.  kToken: empty.
+    const std::uint64_t requester = rng_.next_below(256);
+    expect_equal([&](auto& w) { w.varint(requester); });
+    // kRegenQuery: varint round.  kRegenReply: round, flags, next+1|0.
+    const std::uint64_t round = rng_.next_below(1000);
+    const std::uint64_t flags = rng_.next_below(4);
+    const std::uint64_t next = rng_.next_below(257);
+    expect_equal([&](auto& w) { w.varint(round); });
+    expect_equal([&](auto& w) {
+      w.varint(round);
+      w.varint(flags);
+      w.varint(next);
+    });
+  }
+}
+
+TEST_F(CodecEquivalenceSchemas, Bertier) {
+  for (int i = 0; i < 200; ++i) {
+    // kRequest: varint requester rank.
+    const std::uint64_t requester = rng_.next_below(256);
+    expect_equal([&](auto& w) { w.varint(requester); });
+    // kToken: varint streak, varint_array queue.
+    std::vector<std::uint32_t> queue(rng_.next_below(33));
+    for (auto& v : queue) v = std::uint32_t(rng_.next_below(256));
+    const std::uint64_t streak = rng_.next_below(64);
+    expect_equal([&](auto& w) {
+      w.varint(streak);
+      w.varint_array(queue);
+    });
+  }
+}
+
+TEST_F(CodecEquivalenceSchemas, Mueller) {
+  for (int i = 0; i < 200; ++i) {
+    // kRequest: varint requester, varint base priority.
+    const std::uint64_t requester = rng_.next_below(256);
+    const std::uint64_t base = random_varint_value(rng_);
+    expect_equal([&](auto& w) {
+      w.varint(requester);
+      w.varint(base);
+    });
+    // kToken: varint count, then (rank, base, age) per entry.
+    const std::size_t n = rng_.next_below(17);
+    std::vector<std::uint64_t> fields(n * 3);
+    for (auto& v : fields) v = random_varint_value(rng_);
+    expect_equal([&](auto& w) {
+      w.varint(n);
+      for (std::size_t k = 0; k < n; ++k) {
+        w.varint(fields[3 * k]);
+        w.varint(fields[3 * k + 1]);
+        w.varint(fields[3 * k + 2]);
+      }
+    });
+  }
+}
+
+TEST_F(CodecEquivalenceSchemas, LamportAndRicartAgrawala) {
+  for (int i = 0; i < 200; ++i) {
+    // Lamport kRequest / kReply and Ricart-Agrawala kRequest all carry a
+    // single varint Lamport timestamp; the remaining types are empty.
+    const std::uint64_t ts = random_varint_value(rng_);
+    expect_equal([&](auto& w) { w.varint(ts); });
+  }
+}
+
+TEST_F(CodecEquivalenceSchemas, Maekawa) {
+  for (int i = 0; i < 200; ++i) {
+    // kRequest: varint timestamp. kLocked/kInquire/kRelinquish/kRelease/
+    // kDemand are empty payloads — nothing to encode.
+    const std::uint64_t ts = random_varint_value(rng_);
+    expect_equal([&](auto& w) { w.varint(ts); });
+  }
+}
+
+TEST_F(CodecEquivalenceSchemas, HeaderOnlyAlgorithms) {
+  // Martin, Raymond and the central server exchange empty payloads only:
+  // the fast path must hand the Network an empty handle, never a
+  // zero-length block.
+  Writer w(pool_);
+  const Payload p = w.take_payload();
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p, std::vector<std::uint8_t>{});
+}
+
+// ---------------------------------------------------------------------------
+// BATCH frames: splice-in equals re-encode, slice-out equals original.
+// ---------------------------------------------------------------------------
+
+Message random_sub(Rng& rng) {
+  Message m;
+  m.protocol = ProtocolId(1 + rng.next_below(40));
+  m.type = std::uint16_t(rng.next_below(Message::kAckType));  // never an ACK
+  m.payload = random_bytes(rng, 48);
+  return m;
+}
+
+/// The flush() splice path, replicated exactly: varint count, then per sub
+/// (varint protocol, u16 type, length-prefixed payload bytes), built into a
+/// pooled block sized by the same reserve heuristic.
+Payload splice_frame(BufferPool& pool, std::span<const Message> subs) {
+  std::size_t reserve = 2;
+  for (const Message& s : subs) reserve += 8 + s.payload.size();
+  Writer w(pool, reserve);
+  w.varint(subs.size());
+  for (const Message& s : subs) {
+    w.varint(s.protocol);
+    w.u16(s.type);
+    w.bytes(s.payload);
+  }
+  return w.take_payload();
+}
+
+TEST(CodecEquivalenceBatch, SplicedFrameMatchesReferenceEncode) {
+  BufferPool pool;
+  Rng rng(0xBA7C5);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<Message> subs(2 + rng.next_below(7));
+    for (auto& m : subs) m = random_sub(rng);
+    const Payload frame = splice_frame(pool, subs);
+    // BatchMux::encode is the reference frame codec (plain Writer::take).
+    EXPECT_EQ(frame, BatchMux::encode(subs));
+  }
+}
+
+TEST(CodecEquivalenceBatch, SliceOutRecoversOriginalSubPayloads) {
+  // The delivery path slices sub-payload views straight out of the frame
+  // block. Walk a spliced frame the way on_frame() does and check each
+  // slice against the original sub-message bytes.
+  BufferPool pool;
+  Rng rng(0x511CE);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<Message> subs(2 + rng.next_below(7));
+    for (auto& m : subs) m = random_sub(rng);
+    const Payload frame = splice_frame(pool, subs);
+
+    const std::span<const std::uint8_t> bytes = frame.span();
+    Reader r(bytes);
+    ASSERT_EQ(r.varint(), subs.size());
+    for (const Message& expect : subs) {
+      EXPECT_EQ(r.varint(), expect.protocol);
+      EXPECT_EQ(r.u16(), expect.type);
+      const std::span<const std::uint8_t> body = r.bytes_view();
+      const Payload slice = frame.slice(
+          std::size_t(body.data() - bytes.data()), body.size());
+      EXPECT_EQ(slice, expect.payload);
+      if (!slice.empty()) {
+        EXPECT_TRUE(slice.shared());  // no copy was made
+      }
+    }
+    r.expect_end();
+  }
+}
+
+TEST(CodecEquivalenceBatch, DecodeOfSplicedFrameRoundTrips) {
+  BufferPool pool;
+  Rng rng(0xF4A3);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Message> subs(2 + rng.next_below(7));
+    for (auto& m : subs) m = random_sub(rng);
+    const Payload frame = splice_frame(pool, subs);
+    const std::vector<Message> out = BatchMux::decode(3, 7, frame.span());
+    ASSERT_EQ(out.size(), subs.size());
+    for (std::size_t i = 0; i < subs.size(); ++i) {
+      EXPECT_EQ(out[i].protocol, subs[i].protocol);
+      EXPECT_EQ(out[i].type, subs[i].type);
+      EXPECT_EQ(out[i].payload, subs[i].payload);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Aliasing: encode-once fan-out hands the same block to N receivers; no
+// receiver may be able to mutate the bytes the others see.
+// ---------------------------------------------------------------------------
+
+TEST(CodecEquivalenceAliasing, SharedFanOutPayloadIsCopyOnWrite) {
+  BufferPool pool;
+  Writer w(pool, 8);
+  w.varint(0x1234);
+  const Payload broadcast = w.take_payload();
+  const std::vector<std::uint8_t> golden(broadcast.begin(), broadcast.end());
+
+  // Fan out: every "receiver" holds a handle onto the same block.
+  Payload a = broadcast;
+  Payload b = broadcast;
+  EXPECT_TRUE(broadcast.shared());
+  EXPECT_TRUE(a.shared());
+  EXPECT_EQ(a.data(), broadcast.data());  // genuinely the same bytes
+
+  // Receiver A "mutates" its payload: assign must detach, so B and the
+  // original still read the golden bytes.
+  a.assign(4, 0xEE);
+  EXPECT_EQ(broadcast, golden);
+  EXPECT_EQ(b, golden);
+  EXPECT_NE(a, broadcast);
+  EXPECT_NE(a.data(), broadcast.data());
+
+  // Receiver B clears: only its handle goes empty.
+  b.clear();
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(broadcast, golden);
+
+  // Vector assignment detaches too (the test/tool compatibility path).
+  Payload c = broadcast;
+  c = std::vector<std::uint8_t>{1, 2, 3};
+  EXPECT_EQ(broadcast, golden);
+  EXPECT_FALSE(broadcast.shared());  // a, b, c all detached or died
+}
+
+TEST(CodecEquivalenceAliasing, SliceMutationCannotTouchSiblings) {
+  BufferPool pool;
+  Writer w(pool, 32);
+  w.bytes(std::vector<std::uint8_t>{10, 11, 12});
+  w.bytes(std::vector<std::uint8_t>{20, 21, 22});
+  Payload frame = w.take_payload();
+
+  // Slice both bodies out the way BatchMux delivery does.
+  Reader r(frame.span());
+  const auto body1 = r.bytes_view();
+  const auto body2 = r.bytes_view();
+  Payload s1 = frame.slice(std::size_t(body1.data() - frame.data()), 3);
+  const Payload s2 = frame.slice(std::size_t(body2.data() - frame.data()), 3);
+  EXPECT_EQ(s1, (std::vector<std::uint8_t>{10, 11, 12}));
+  EXPECT_EQ(s2, (std::vector<std::uint8_t>{20, 21, 22}));
+
+  // Mutating one delivered slice detaches it; its sibling and the frame
+  // are untouched.
+  s1.assign(3, 0xFF);
+  EXPECT_EQ(s2, (std::vector<std::uint8_t>{20, 21, 22}));
+  Reader check(frame.span());
+  EXPECT_EQ(check.bytes(), (std::vector<std::uint8_t>{10, 11, 12}));
+
+  // Slices keep the block alive after the frame handle dies.
+  frame.clear();
+  EXPECT_EQ(s2, (std::vector<std::uint8_t>{20, 21, 22}));
+}
+
+TEST(CodecEquivalenceAliasing, PooledBlockNotRecycledWhileHandlesLive) {
+  BufferPool pool;
+  Payload survivor;
+  {
+    Writer w(pool, 8);
+    w.u32(0xDEADBEEF);
+    const Payload p = w.take_payload();
+    survivor = p;  // second handle outlives the first
+  }
+  EXPECT_EQ(pool.pooled(), 0u);  // block still owned by `survivor`
+  Reader r(survivor.span());
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  survivor.clear();
+  EXPECT_EQ(pool.pooled(), 1u);  // last handle returned it
+}
+
+}  // namespace
+}  // namespace gmx::wire

@@ -5,7 +5,11 @@
 // For every row name present in both files, compares the throughput
 // metrics (events_per_sec, cs_per_sec — higher is better) and reports a
 // regression when current < baseline * (1 - tolerance). Improvements and
-// new/missing rows are reported informationally. Exit status: 0 clean or
+// new/missing rows are reported informationally. Memory fields
+// (peak_rss_kb, rss_delta_kb) are *informational only*: peak_rss_kb is a
+// process-cumulative high-water mark, so comparing it per row would gate
+// on row ordering rather than on the row itself — the tool prints the
+// change but never counts it as a regression. Exit status: 0 clean or
 // --warn-only, 1 on regression, 2 on usage/parse errors.
 //
 // The parser handles exactly the schema perf_suite emits (flat rows of
@@ -142,6 +146,14 @@ int main(int argc, char** argv) {
     }
     compare(name, "events_per_sec", b.events_per_sec, it->second.events_per_sec);
     compare(name, "cs_per_sec", b.cs_per_sec, it->second.cs_per_sec);
+    // Informational only — cumulative RSS never gates (see file comment).
+    if (b.peak_rss_kb > 0.0 && it->second.peak_rss_kb > 0.0 &&
+        std::fabs(it->second.peak_rss_kb - b.peak_rss_kb) / b.peak_rss_kb >
+            tolerance) {
+      std::printf("info        %-36s %-16s %12.1f -> %12.1f  (not gated)\n",
+                  name.c_str(), "peak_rss_kb", b.peak_rss_kb,
+                  it->second.peak_rss_kb);
+    }
   }
   for (const auto& [name, c] : *cur) {
     if (base->find(name) == base->end())
