@@ -1,0 +1,165 @@
+// Clang thread-safety annotations + the concurrency vocabulary types the
+// rest of the tree is annotated with.
+//
+// gridmutex has exactly two concurrency disciplines, and this header gives
+// both a machine-checkable spelling:
+//
+//   1. *Mutex-protected* state (workload/thread_pool.hpp, rt/runtime.hpp,
+//      workload/sweep.hpp): fields carry GMX_GUARDED_BY(mu) and every lock
+//      site uses gmx::Mutex / gmx::MutexLock below. Under Clang,
+//      -Wthread-safety then proves at compile time that no guarded field is
+//      touched without its mutex — before TSan ever has to catch the race
+//      on a schedule it happens to see. Under other compilers the macros
+//      expand to nothing and the wrappers are zero-cost veneers over
+//      <mutex>.
+//
+//   2. *Single-thread affinity* (net/buffer_pool.hpp free-lists,
+//      net/network.hpp handler tables, rt/endpoint.hpp algorithm state):
+//      state that is not locked at all because exactly one thread may ever
+//      touch it — the owning simulation thread, or a node's serial queue.
+//      That capability has no static spelling Clang can check (there is no
+//      mutex to name), so it gets a *runtime* spelling instead:
+//      ThreadAffinityGuard pins itself to the first thread that uses the
+//      protected object and GMX_ASSERTs every later use is the same
+//      thread. The guard is compiled in only in debug-style builds (see
+//      GMX_AFFINITY_GUARD_ENABLED below): release binaries pay zero bytes
+//      and zero cycles.
+//
+// The macro set mirrors the canonical mutex.h from the Clang
+// thread-safety-analysis documentation, prefixed GMX_.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+
+#include "gridmutex/sim/assert.hpp"
+
+#if defined(__clang__)
+#define GMX_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define GMX_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+/// Marks a type as a lockable capability ("mutex" in diagnostics).
+#define GMX_CAPABILITY(x) GMX_THREAD_ANNOTATION__(capability(x))
+/// Marks an RAII type whose lifetime equals holding a capability.
+#define GMX_SCOPED_CAPABILITY GMX_THREAD_ANNOTATION__(scoped_lockable)
+/// Field may only be touched while holding `x`.
+#define GMX_GUARDED_BY(x) GMX_THREAD_ANNOTATION__(guarded_by(x))
+/// Pointee may only be touched while holding `x`.
+#define GMX_PT_GUARDED_BY(x) GMX_THREAD_ANNOTATION__(pt_guarded_by(x))
+/// Function acquires the capability (held after return).
+#define GMX_ACQUIRE(...) \
+  GMX_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+/// Function releases the capability (not held after return).
+#define GMX_RELEASE(...) \
+  GMX_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+/// Function acquires the capability iff it returns `b`.
+#define GMX_TRY_ACQUIRE(b, ...) \
+  GMX_THREAD_ANNOTATION__(try_acquire_capability(b, __VA_ARGS__))
+/// Caller must hold the capability for the duration of the call.
+#define GMX_REQUIRES(...) \
+  GMX_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+/// Caller must NOT hold the capability (deadlock prevention).
+#define GMX_EXCLUDES(...) GMX_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+/// Function returns a reference to the named capability.
+#define GMX_RETURN_CAPABILITY(x) GMX_THREAD_ANNOTATION__(lock_returned(x))
+/// Escape hatch; use only with a comment explaining why the analysis is
+/// wrong, never to silence a genuine finding.
+#define GMX_NO_THREAD_SAFETY_ANALYSIS \
+  GMX_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+namespace gmx {
+
+/// std::mutex with the capability annotation Clang's analysis needs.
+/// Always lock through MutexLock (below) — a bare std::lock_guard over this
+/// type locks correctly but is invisible to the analysis, which then
+/// reports every guarded access in the critical section as unlocked.
+class GMX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GMX_ACQUIRE() { mu_.lock(); }
+  void unlock() GMX_RELEASE() { mu_.unlock(); }
+  bool try_lock() GMX_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  /// The wrapped mutex, for std::condition_variable interop only (waits
+  /// need the native lock type). Never lock through this directly.
+  [[nodiscard]] std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// Scoped lock over gmx::Mutex, relockable so condition-variable loops and
+/// the dispatcher's unlock-deliver-relock pattern stay inside one scope the
+/// analysis can follow.
+class GMX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GMX_ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() GMX_RELEASE() {}  // lock_'s destructor unlocks if held
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Temporary release around work that must not hold the lock.
+  void unlock() GMX_RELEASE() { lock_.unlock(); }
+  void lock() GMX_ACQUIRE() { lock_.lock(); }
+
+  /// The underlying unique_lock, for std::condition_variable::wait /
+  /// wait_until only. Write the wait as an explicit while-loop over the
+  /// guarded predicate (not the predicate-lambda overload): the loop body
+  /// runs in this scope, where the analysis knows the lock is held — a
+  /// predicate lambda is analyzed as a separate function and would be
+  /// flagged as an unlocked access.
+  [[nodiscard]] std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+// ThreadAffinityGuard compiles to a real check wherever GMX_ASSERT-style
+// invariant checking is wanted at a cost: debug builds, or any build that
+// opts in with GRIDMUTEX_THREAD_AFFINITY_CHECKS (the sanitizer CI jobs do).
+// Release/RelWithDebInfo builds keep it a true no-op — the perf-suite
+// acceptance row (zero release-mode overhead) depends on that.
+#if !defined(NDEBUG) || defined(GRIDMUTEX_THREAD_AFFINITY_CHECKS)
+#define GMX_AFFINITY_GUARD_ENABLED 1
+#else
+#define GMX_AFFINITY_GUARD_ENABLED 0
+#endif
+
+/// Runtime spelling of the "single-thread property" capability: the first
+/// thread to call check() owns the object; any other thread aborts with the
+/// given diagnostic. reset() releases ownership for legal sequential
+/// handoff (e.g. an object built on one thread, then given wholesale to a
+/// worker before first use).
+class ThreadAffinityGuard {
+#if GMX_AFFINITY_GUARD_ENABLED
+ public:
+  void check(const char* what) const {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id unpinned{};
+    // First checked use pins; the CAS makes even a racing first use flag
+    // exactly one loser instead of silently double-pinning.
+    if (owner_.compare_exchange_strong(unpinned, self,
+                                       std::memory_order_relaxed)) {
+      return;
+    }
+    GMX_ASSERT_MSG(unpinned == self, what);
+  }
+  void reset() { owner_.store({}, std::memory_order_relaxed); }
+
+ private:
+  mutable std::atomic<std::thread::id> owner_{};
+#else
+ public:
+  void check(const char*) const {}
+  void reset() {}
+#endif
+};
+
+}  // namespace gmx

@@ -44,6 +44,7 @@
 #include <utility>
 #include <vector>
 
+#include "gridmutex/core/thread_annotations.hpp"
 #include "gridmutex/sim/assert.hpp"
 
 namespace gmx {
@@ -74,7 +75,19 @@ struct PoolCore {
   std::uint64_t outstanding = 0;  // blocks currently held by live handles
   std::size_t max_pooled = 0;
   bool alive = true;  // false once the owning BufferPool died
+  /// The free-list's single-thread-affinity capability, spelled out: every
+  /// acquire *and* every pooled-block release must happen on the pool's
+  /// simulation thread. Debug builds pin the first such thread and abort on
+  /// any other (release builds compile this to nothing) — the static layer
+  /// PDES work will have to split pools per shard before this may relax.
+  ThreadAffinityGuard affinity;
 };
+
+inline void check_core_affinity(const PoolCore* core) {
+  core->affinity.check(
+      "net: buffer pool free-list touched from a second thread "
+      "(pooled blocks are single-thread property; see buffer_pool.hpp)");
+}
 
 inline void return_to_core(PayloadBuf* b) {
   PoolCore* core = b->origin;
@@ -82,6 +95,7 @@ inline void return_to_core(PayloadBuf* b) {
     delete b;
     return;
   }
+  check_core_affinity(core);
   GMX_ASSERT(core->outstanding > 0);
   --core->outstanding;
   if (core->alive && core->free.size() < core->max_pooled) {
@@ -263,6 +277,7 @@ class BufferPool {
   /// Hands out a block for wire::Writer to encode into. The block arrives
   /// with its previous capacity intact; the Writer overwrites from byte 0.
   [[nodiscard]] detail::PayloadBuf* acquire_buf() {
+    detail::check_core_affinity(core_);
     detail::PayloadBuf* b;
     if (!core_->free.empty()) {
       b = core_->free.back();

@@ -24,6 +24,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "gridmutex/core/thread_annotations.hpp"
 #include "gridmutex/net/buffer_pool.hpp"
 #include "gridmutex/net/latency.hpp"
 #include "gridmutex/net/topology.hpp"
@@ -100,6 +101,12 @@ struct RetransmitConfig {
   int max_attempts = 8;
 };
 
+/// Single-threaded by design: a Network belongs to its Simulator's driving
+/// thread (SweepRunner gives each sweep cell its own simulator + network on
+/// one worker). There is deliberately no locking — the concurrency contract
+/// is *affinity*, enforced in debug builds by a ThreadAffinityGuard that
+/// pins the instance to the first thread that attaches, reserves, sends or
+/// dispatches, and aborts on any other.
 class Network {
  public:
   using Handler = std::function<void(const Message&)>;
@@ -288,6 +295,9 @@ class Network {
 
   Simulator& sim_;
   Topology topo_;
+  /// Pins the handler tables and mutable transport state to the simulation
+  /// thread (checked in attach/reserve_protocols/send/dispatch_local).
+  ThreadAffinityGuard affinity_;
   std::shared_ptr<const LatencyModel> latency_;
   Rng rng_;
   Rng fault_rng_;  // forked off rng_; fault draws never shift latency draws

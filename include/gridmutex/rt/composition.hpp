@@ -11,6 +11,13 @@
 //
 // Validation-only, like the rest of rt/: the simulator remains the
 // measurement substrate.
+//
+// Concurrency contract: construction and start() run on the caller's
+// thread before any traffic flows; after start() the endpoint/coordinator
+// structures are immutable and every mutation of protocol state happens on
+// the owning node's serial queue (enforced per-endpoint by
+// RtMutexEndpoint's ThreadAffinityGuard). privileged_coordinators() is a
+// quiescent-only snapshot — call it after wait_quiescent() only.
 #pragma once
 
 #include <memory>

@@ -7,6 +7,11 @@
 // same queue, so user code never re-enters an algorithm frame. State
 // accessors (in_cs(), holds_token(), ...) are snapshots — safe to call
 // from other threads only when the runtime is quiescent.
+//
+// The contract is single-thread *affinity*, not locking — there is no
+// mutex to annotate, so debug builds enforce it at runtime instead:
+// `algo_affinity_` (core/thread_annotations.hpp) pins the algorithm state
+// to the first queue thread that touches it and aborts on any other.
 #pragma once
 
 #include <chrono>
@@ -14,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "gridmutex/core/thread_annotations.hpp"
 #include "gridmutex/mutex/algorithm.hpp"
 #include "gridmutex/mutex/handle.hpp"
 #include "gridmutex/rt/runtime.hpp"
@@ -82,6 +88,8 @@ class RtMutexEndpoint final : public MutexHandle,
   Rng rng_;
   MutexCallbacks callbacks_;
   std::chrono::steady_clock::time_point epoch_;
+  /// Pins algo_/rng_ mutation to the node's serial-queue thread.
+  ThreadAffinityGuard algo_affinity_;
 };
 
 }  // namespace gmx::rt

@@ -24,6 +24,12 @@
 // the source of all reported numbers (wall-clock runs are not
 // reproducible). Tests use this module to validate safety and liveness
 // under real concurrency.
+//
+// Concurrency contract (machine-checked under Clang -Wthread-safety):
+// three capabilities partition the runtime's shared state — `rng_mu_`
+// guards the latency RNG, `handlers_mu_` the handler table, `heap_mu_` the
+// latency heap plus its FIFO clamp and sequence counter; each NodeWorker's
+// own `mu` guards its task queue. Counters cross threads as atomics.
 #pragma once
 
 #include <atomic>
@@ -32,12 +38,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "gridmutex/core/thread_annotations.hpp"
 #include "gridmutex/net/latency.hpp"
 #include "gridmutex/net/network.hpp"
 #include "gridmutex/net/topology.hpp"
@@ -83,11 +89,12 @@ class RtRuntime {
   }
 
  private:
+  friend class ThreadSafetyProbe;  // seeded-violation tests only
+
   struct NodeWorker {
-    std::mutex mu;
+    Mutex mu;
     std::condition_variable cv;
-    std::deque<std::function<void()>> tasks;
-    bool busy = false;
+    std::deque<std::function<void()>> tasks GMX_GUARDED_BY(mu);
     std::thread thread;
   };
 
@@ -109,20 +116,21 @@ class RtRuntime {
   std::shared_ptr<const LatencyModel> latency_;
   double scale_;
 
-  std::mutex rng_mu_;
-  Rng rng_;
+  Mutex rng_mu_;
+  Rng rng_ GMX_GUARDED_BY(rng_mu_);
 
   std::vector<std::unique_ptr<NodeWorker>> workers_;
-  std::mutex handlers_mu_;
-  std::unordered_map<std::uint64_t, Handler> handlers_;  // node<<32|proto
+  Mutex handlers_mu_;
+  std::unordered_map<std::uint64_t, Handler> handlers_
+      GMX_GUARDED_BY(handlers_mu_);  // node<<32|proto
 
-  std::mutex heap_mu_;
+  Mutex heap_mu_;
   std::condition_variable heap_cv_;
-  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>>
-      heap_;
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> heap_
+      GMX_GUARDED_BY(heap_mu_);
   std::unordered_map<std::uint64_t, std::chrono::steady_clock::time_point>
-      last_delivery_;  // per (src,dst) FIFO clamp
-  std::uint64_t seq_ = 0;
+      last_delivery_ GMX_GUARDED_BY(heap_mu_);  // per (src,dst) FIFO clamp
+  std::uint64_t seq_ GMX_GUARDED_BY(heap_mu_) = 0;
   std::thread dispatcher_;
 
   std::atomic<bool> stopping_{false};

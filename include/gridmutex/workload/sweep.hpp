@@ -18,13 +18,46 @@
 // axis is short (the common case for the paper's figures).
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <span>
 #include <vector>
 
+#include "gridmutex/core/thread_annotations.hpp"
 #include "gridmutex/workload/experiment.hpp"
 
 namespace gmx {
+
+namespace detail {
+
+/// Serializes a user progress callback across concurrently completing
+/// cells. The callback is the only cross-cell shared mutable touchpoint in
+/// a sweep (result slots are disjoint), so it is the only thing that needs
+/// a lock — and the lock discipline is machine-checked: `fn_` is
+/// GMX_GUARDED_BY(mu_) and invoke() requires the capability.
+class ProgressGate {
+ public:
+  using Fn = std::function<void(std::size_t done, std::size_t total)>;
+
+  explicit ProgressGate(Fn fn) : fn_(std::move(fn)) {}
+
+  void report(std::size_t done, std::size_t total) GMX_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    invoke(done, total);
+  }
+
+ private:
+  friend class ThreadSafetyProbe;  // seeded-violation tests only
+
+  void invoke(std::size_t done, std::size_t total) GMX_REQUIRES(mu_) {
+    if (fn_) fn_(done, total);
+  }
+
+  Mutex mu_;
+  Fn fn_ GMX_GUARDED_BY(mu_);
+};
+
+}  // namespace detail
 
 class SweepRunner {
  public:

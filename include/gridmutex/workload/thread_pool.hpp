@@ -5,6 +5,12 @@
 // (ρ, composition, seed) points over hardware threads. Each task runs one
 // full simulation and the results are joined in submission order, so a
 // parallel sweep is bit-identical to a serial one.
+//
+// Concurrency contract (machine-checked under Clang -Wthread-safety):
+// `queue_` and `stop_` are guarded by `mu_`; workers and submitters may
+// only touch them through MutexLock scopes. `workers_` is written in the
+// constructor and joined in the destructor only — immutable in between, so
+// thread_count() is safe from any thread.
 #pragma once
 
 #include <condition_variable>
@@ -12,9 +18,10 @@
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "gridmutex/core/thread_annotations.hpp"
 
 namespace gmx {
 
@@ -37,7 +44,7 @@ class ThreadPool {
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
     {
-      const std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();
@@ -49,13 +56,15 @@ class ThreadPool {
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
+  friend class ThreadSafetyProbe;  // seeded-violation tests only
+
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable cv_;
-  bool stop_ = false;
+  std::deque<std::function<void()>> queue_ GMX_GUARDED_BY(mu_);
+  bool stop_ GMX_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace gmx

@@ -39,6 +39,8 @@ Network::Network(Simulator& sim, Topology topo,
 }
 
 void Network::attach(NodeId node, ProtocolId protocol, Handler handler) {
+  affinity_.check("net: Network touched from a second thread "
+                  "(simulation-thread affinity; see network.hpp)");
   GMX_ASSERT(node < topo_.node_count());
   GMX_ASSERT(handler != nullptr);
   // Manually chosen ids move the reservation watermark so a later
@@ -54,6 +56,8 @@ void Network::attach(NodeId node, ProtocolId protocol, Handler handler) {
 }
 
 ProtocolId Network::reserve_protocols(std::uint32_t count) {
+  affinity_.check("net: Network touched from a second thread "
+                  "(simulation-thread affinity; see network.hpp)");
   GMX_ASSERT(count > 0);
   const ProtocolId base = next_protocol_;
   next_protocol_ += count;
@@ -244,6 +248,8 @@ void Network::resolve_ack(const Message& ack) {
 }
 
 void Network::send(Message msg) {
+  affinity_.check("net: Network touched from a second thread "
+                  "(simulation-thread affinity; see network.hpp)");
   GMX_ASSERT(msg.src < topo_.node_count());
   GMX_ASSERT(msg.dst < topo_.node_count());
   GMX_ASSERT_MSG(msg.src != msg.dst,
@@ -353,6 +359,8 @@ void Network::deliver(Message msg, SimTime sent_at) {
 }
 
 void Network::dispatch_local(const Message& msg) {
+  affinity_.check("net: Network touched from a second thread "
+                  "(simulation-thread affinity; see network.hpp)");
   GMX_ASSERT(msg.dst < topo_.node_count());
   GMX_ASSERT_MSG(!reliable(msg.protocol),
                  "reliable protocols must not bypass ARQ via dispatch_local");

@@ -28,15 +28,24 @@ RtMutexEndpoint::RtMutexEndpoint(RtRuntime& rt, ProtocolId protocol,
 }
 
 void RtMutexEndpoint::init(int holder_rank) {
-  rt_.post(node(), [this, holder_rank] { algo_->init(holder_rank); });
+  rt_.post(node(), [this, holder_rank] {
+    algo_affinity_.check("rt: algorithm state touched off its node thread");
+    algo_->init(holder_rank);
+  });
 }
 
 void RtMutexEndpoint::request_cs() {
-  rt_.post(node(), [this] { algo_->request_cs(); });
+  rt_.post(node(), [this] {
+    algo_affinity_.check("rt: algorithm state touched off its node thread");
+    algo_->request_cs();
+  });
 }
 
 void RtMutexEndpoint::release_cs() {
-  rt_.post(node(), [this] { algo_->release_cs(); });
+  rt_.post(node(), [this] {
+    algo_affinity_.check("rt: algorithm state touched off its node thread");
+    algo_->release_cs();
+  });
 }
 
 int RtMutexEndpoint::cluster_of_rank(int rank) const {
@@ -77,6 +86,7 @@ void RtMutexEndpoint::on_pending_request() {
 }
 
 void RtMutexEndpoint::handle_message(const Message& msg) {
+  algo_affinity_.check("rt: algorithm state touched off its node thread");
   const auto it = rank_of_.find(msg.src);
   GMX_ASSERT_MSG(it != rank_of_.end(),
                  "message from a node outside this instance");

@@ -37,7 +37,7 @@ void RtRuntime::shutdown() {
   if (stopping_.exchange(true)) return;
   heap_cv_.notify_all();
   for (auto& w : workers_) {
-    const std::lock_guard lock(w->mu);
+    MutexLock lock(w->mu);
     w->cv.notify_all();
   }
   if (dispatcher_.joinable()) dispatcher_.join();
@@ -49,7 +49,7 @@ void RtRuntime::shutdown() {
 void RtRuntime::attach(NodeId node, ProtocolId protocol, Handler handler) {
   GMX_ASSERT(node < topo_.node_count());
   GMX_ASSERT(handler != nullptr);
-  const std::lock_guard lock(handlers_mu_);
+  MutexLock lock(handlers_mu_);
   handlers_[pair_key(node, protocol)] = std::move(handler);
 }
 
@@ -59,7 +59,7 @@ void RtRuntime::post(NodeId node, std::function<void()> fn) {
   NodeWorker& w = *workers_[node];
   pending_work_.fetch_add(1);
   {
-    const std::lock_guard lock(w.mu);
+    MutexLock lock(w.mu);
     w.tasks.push_back(std::move(fn));
   }
   w.cv.notify_one();
@@ -75,7 +75,7 @@ void RtRuntime::send(Message msg) {
 
   SimDuration d;
   {
-    const std::lock_guard lock(rng_mu_);
+    MutexLock lock(rng_mu_);
     d = latency_->sample(topo_, msg.src, msg.dst, rng_);
   }
   const auto delay = std::chrono::nanoseconds(
@@ -83,7 +83,7 @@ void RtRuntime::send(Message msg) {
   auto due = std::chrono::steady_clock::now() + delay;
 
   {
-    const std::lock_guard lock(heap_mu_);
+    MutexLock lock(heap_mu_);
     // Per-pair FIFO: a later send never overtakes an earlier one.
     auto [it, inserted] =
         last_delivery_.try_emplace(pair_key(msg.src, msg.dst), due);
@@ -97,17 +97,19 @@ void RtRuntime::send(Message msg) {
 }
 
 void RtRuntime::dispatcher_loop() {
-  std::unique_lock lock(heap_mu_);
+  MutexLock lock(heap_mu_);
   for (;;) {
     if (stopping_.load() && heap_.empty()) return;
     if (heap_.empty()) {
-      heap_cv_.wait(lock, [this] { return stopping_.load() || !heap_.empty(); });
+      // Explicit wait loop so the guarded heap_ reads stay visible to the
+      // thread-safety analysis (see thread_annotations.hpp).
+      while (!stopping_.load() && heap_.empty()) heap_cv_.wait(lock.native());
       continue;
     }
     const auto due = heap_.top().due;
     const auto now = std::chrono::steady_clock::now();
     if (now < due) {
-      heap_cv_.wait_until(lock, due);
+      heap_cv_.wait_until(lock.native(), due);
       continue;
     }
     Message msg = heap_.top().msg;
@@ -119,21 +121,26 @@ void RtRuntime::dispatcher_loop() {
 }
 
 void RtRuntime::deliver(Message msg) {
-  Handler* handler = nullptr;
+  // Copy the handler out of the table while holding handlers_mu_ — a
+  // pointer into the map would be written concurrently if attach()
+  // re-registers the (node, protocol) pair (adaptive algorithm swapping).
+  // Surfaced by GMX_GUARDED_BY(handlers_mu_) on handlers_: the escaped
+  // reference was exactly the access the annotation forbids.
+  Handler handler;
   {
-    const std::lock_guard lock(handlers_mu_);
+    MutexLock lock(handlers_mu_);
     const auto it = handlers_.find(pair_key(msg.dst, msg.protocol));
     GMX_ASSERT_MSG(it != handlers_.end(),
                    "rt: message for an unattached (node, protocol)");
-    handler = &it->second;
+    handler = it->second;
   }
   const NodeId dst = msg.dst;
   NodeWorker& w = *workers_[dst];
   {
-    const std::lock_guard lock(w.mu);
-    w.tasks.push_back([this, handler, m = std::move(msg)] {
+    MutexLock lock(w.mu);
+    w.tasks.push_back([this, h = std::move(handler), m = std::move(msg)] {
       delivered_.fetch_add(1);
-      (*handler)(m);
+      h(m);
     });
   }
   w.cv.notify_one();
@@ -146,21 +153,16 @@ void RtRuntime::worker_loop(NodeId node) {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock lock(w.mu);
-      w.cv.wait(lock, [&] { return stopping_.load() || !w.tasks.empty(); });
+      MutexLock lock(w.mu);
+      while (!stopping_.load() && w.tasks.empty()) w.cv.wait(lock.native());
       if (w.tasks.empty()) {
         if (stopping_.load()) return;
         continue;
       }
       task = std::move(w.tasks.front());
       w.tasks.pop_front();
-      w.busy = true;
     }
     task();
-    {
-      const std::lock_guard lock(w.mu);
-      w.busy = false;
-    }
     pending_work_.fetch_sub(1);
   }
 }
@@ -170,7 +172,7 @@ bool RtRuntime::wait_quiescent(std::chrono::milliseconds timeout) {
   for (;;) {
     bool idle = pending_work_.load() == 0;
     if (idle) {
-      const std::lock_guard lock(heap_mu_);
+      MutexLock lock(heap_mu_);
       idle = heap_.empty();
     }
     if (idle) {
@@ -178,7 +180,7 @@ bool RtRuntime::wait_quiescent(std::chrono::milliseconds timeout) {
       std::this_thread::sleep_for(std::chrono::milliseconds(2));
       bool still = pending_work_.load() == 0;
       if (still) {
-        const std::lock_guard lock(heap_mu_);
+        MutexLock lock(heap_mu_);
         still = heap_.empty();
       }
       if (still) return true;

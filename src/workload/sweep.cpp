@@ -1,7 +1,6 @@
 #include "gridmutex/workload/sweep.hpp"
 
 #include <atomic>
-#include <mutex>
 
 #include "gridmutex/sim/assert.hpp"
 #include "gridmutex/workload/thread_pool.hpp"
@@ -19,17 +18,14 @@ std::vector<std::vector<ExperimentResult>> SweepRunner::run_cells(
 
   const std::size_t cells = configs * std::size_t(repetitions);
   std::atomic<std::size_t> done{0};
-  std::mutex progress_mu;
+  detail::ProgressGate gate(progress);
 
   auto run_one = [&](std::size_t i) {
     const std::size_t c = i / std::size_t(repetitions);
     const int r = int(i % std::size_t(repetitions));
     grid[c][std::size_t(r)] = cell(c, r);
     const std::size_t d = ++done;
-    if (progress) {
-      const std::lock_guard lock(progress_mu);
-      progress(d, cells);
-    }
+    gate.report(d, cells);
   };
 
   if (jobs_ == 1 || cells <= 1) {

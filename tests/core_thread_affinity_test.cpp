@@ -1,0 +1,114 @@
+// ThreadAffinityGuard and its deployments (Network, BufferPool): the
+// runtime spelling of the single-thread-affinity capability that Clang's
+// thread-safety analysis cannot express (there is no mutex to annotate).
+//
+// The guard is compiled in whenever NDEBUG is off or
+// GRIDMUTEX_THREAD_AFFINITY_CHECKS is defined; in plain release builds the
+// checks are no-ops and the death tests here self-skip (the zero-overhead
+// half of the contract is covered by the unchanged BENCH rows).
+#include "gridmutex/core/thread_annotations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gridmutex/net/buffer_pool.hpp"
+#include "gridmutex/net/network.hpp"
+
+namespace gmx {
+namespace {
+
+TEST(ThreadAffinityGuard, SameThreadUseIsFree) {
+  ThreadAffinityGuard guard;
+  guard.check("test");
+  guard.check("test");  // re-checks from the pinning thread never fire
+  SUCCEED();
+}
+
+TEST(ThreadAffinityGuard, PinsToFirstUserNotConstructor) {
+  // Construction must not pin: SweepRunner cells build pools on the main
+  // thread pattern only when the *first use* is there too.
+  ThreadAffinityGuard guard;
+  std::thread t([&] {
+    guard.check("test");
+    guard.check("test");
+  });
+  t.join();
+#if GMX_AFFINITY_GUARD_ENABLED
+  EXPECT_DEATH(guard.check("pinned elsewhere"), "pinned elsewhere");
+#endif
+}
+
+TEST(ThreadAffinityGuard, ResetAllowsRepinning) {
+  ThreadAffinityGuard guard;
+  guard.check("test");
+  guard.reset();
+  std::thread t([&] { guard.check("test"); });  // legal: fresh pin
+  t.join();
+}
+
+#if GMX_AFFINITY_GUARD_ENABLED
+
+TEST(ThreadAffinityGuardDeath, SecondThreadAborts) {
+  ThreadAffinityGuard guard;
+  guard.check("affinity violated");
+  EXPECT_DEATH(
+      {
+        std::thread t([&] { guard.check("affinity violated"); });
+        t.join();
+      },
+      "affinity violated");
+}
+
+TEST(NetworkAffinityDeath, CrossThreadSendAborts) {
+  Simulator sim;
+  Topology topo = Topology::uniform(1, 2);
+  Network net(sim, topo,
+              std::make_shared<FixedLatencyModel>(SimDuration::ms(1)),
+              Rng(1));
+  net.attach(1, 1, [](const Message&) {});  // pins to this thread
+  Message m;
+  m.src = 0;
+  m.dst = 1;
+  m.protocol = 1;
+  EXPECT_DEATH(
+      {
+        std::thread t([&] { net.send(m); });
+        t.join();
+      },
+      "simulation-thread affinity");
+}
+
+TEST(BufferPoolAffinityDeath, CrossThreadAcquireAborts) {
+  BufferPool pool;
+  const std::vector<std::uint8_t> bytes(8, std::uint8_t(0x11));
+  { Payload p = pool.acquire(bytes); }  // pins the free-list to this thread
+  EXPECT_DEATH(
+      {
+        std::thread t([&] { Payload p = pool.acquire(bytes); });
+        t.join();
+      },
+      "single-thread property");
+}
+
+#endif  // GMX_AFFINITY_GUARD_ENABLED
+
+TEST(BufferPoolAffinity, HeapBlocksMayCrossThreads) {
+  // Heap-origin handles (origin == nullptr) are the documented exception:
+  // rt/ moves them across node threads. Releasing one on a foreign thread
+  // must never trip the pool guard.
+  Payload made_elsewhere;
+  std::thread t([&] {
+    Payload p;
+    p.assign(16, std::uint8_t(0xAB));
+    made_elsewhere = std::move(p);
+  });
+  t.join();
+  EXPECT_EQ(made_elsewhere.size(), 16u);
+  made_elsewhere.clear();  // releases the heap block on this thread: legal
+}
+
+}  // namespace
+}  // namespace gmx

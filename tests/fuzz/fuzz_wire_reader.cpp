@@ -1,0 +1,184 @@
+// Fuzz harness for the wire decode surface: wire::Reader primitive walks,
+// BatchMux frame decoding, and the zero-copy Payload slice-out path.
+//
+// Contract under test (complements the PR 5 splice/decode equivalence
+// suite): malformed input must surface as wire::WireError — never an
+// out-of-bounds read, never an assert, never a crash. GMX_ASSERT stays
+// active in every build type, so an internal invariant breach aborts the
+// process and the fuzzer reports it.
+//
+// The first input byte selects a mode; the rest is the payload:
+//   mode 0 — Reader op-walk: a xorshift stream (seeded from the input, no
+//            global RNG engines — rng-discipline applies to tests too)
+//            picks decode primitives until the payload is exhausted or a
+//            WireError fires.
+//   mode 1 — BatchMux::decode() on the raw bytes; on success the decoded
+//            sub-messages are re-encoded and re-decoded, and the
+//            round-trip must be identical (differential oracle).
+//   mode 2 — the on_frame() slice-out shape: the same validating pre-pass
+//            over a refcounted Payload block, then Payload::slice() of
+//            every recorded body, each slice byte-compared against the
+//            bytes_view() span it mirrors.
+//
+// Build modes (tests/fuzz/CMakeLists.txt): with -DGRIDMUTEX_FUZZER=ON
+// under Clang this links against libFuzzer; otherwise a standalone driver
+// replays the committed seed corpus so the harness itself is exercised by
+// ctest in every configuration.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "gridmutex/net/buffer_pool.hpp"
+#include "gridmutex/net/wire.hpp"
+#include "gridmutex/service/batch.hpp"
+
+namespace {
+
+// Tiny deterministic stream for op selection; deliberately not a <random>
+// engine (see tools/lint: rng-discipline).
+struct OpStream {
+  std::uint64_t s;
+  explicit OpStream(std::uint64_t seed) : s(seed | 1) {}
+  std::uint32_t next() {
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return std::uint32_t(s);
+  }
+};
+
+void reader_walk(std::span<const std::uint8_t> payload) {
+  std::uint64_t seed = payload.size();
+  for (std::size_t i = 0; i < payload.size() && i < 8; ++i)
+    seed = seed * 257 + payload[i];
+  OpStream ops(seed);
+  gmx::wire::Reader r(payload);
+  // Sink the decoded values so the reads cannot be optimized away.
+  volatile std::uint64_t sink = 0;
+  for (int step = 0; step < 4096 && !r.at_end(); ++step) {
+    switch (ops.next() % 10) {
+      case 0: sink += r.u8(); break;
+      case 1: sink += r.u16(); break;
+      case 2: sink += r.u32(); break;
+      case 3: sink += r.varint(); break;
+      case 4: sink += r.bytes().size(); break;
+      case 5: sink += r.bytes_view().size(); break;
+      case 6: sink += r.str().size(); break;
+      case 7: sink += r.varint_array_u64().size(); break;
+      case 8: sink += r.varint_array_u32().size(); break;
+      case 9: sink += r.remaining(); break;
+    }
+  }
+  r.expect_end();  // throws unless fully consumed; both outcomes are fine
+}
+
+void batch_decode_roundtrip(std::span<const std::uint8_t> payload) {
+  const std::vector<gmx::Message> subs = gmx::BatchMux::decode(1, 2, payload);
+  // Differential oracle: decode -> encode -> decode must be a fixpoint.
+  const std::vector<std::uint8_t> re = gmx::BatchMux::encode(subs);
+  const std::vector<gmx::Message> again = gmx::BatchMux::decode(1, 2, re);
+  GMX_ASSERT_MSG(again.size() == subs.size(),
+                 "fuzz: batch round-trip changed sub-message count");
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    GMX_ASSERT_MSG(again[i].protocol == subs[i].protocol &&
+                       again[i].type == subs[i].type &&
+                       again[i].payload == subs[i].payload,
+                   "fuzz: batch round-trip changed a sub-message");
+  }
+}
+
+void slice_out(std::span<const std::uint8_t> payload) {
+  // Mirror BatchMux::on_frame()'s validating pre-pass + zero-copy slice,
+  // over a real refcounted block so slice refcounting is in the loop.
+  gmx::Payload frame;
+  frame.assign(payload);
+  const std::span<const std::uint8_t> bytes = frame.span();
+  gmx::wire::Reader r(bytes);
+  const std::uint64_t count = r.varint();
+  if (count == 0 || count > r.remaining())
+    throw gmx::wire::WireError("fuzz: implausible sub-message count");
+  std::vector<gmx::Payload> slices;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    (void)r.varint();  // protocol
+    (void)r.u16();     // type
+    const std::span<const std::uint8_t> body = r.bytes_view();
+    gmx::Payload s = frame.slice(std::size_t(body.data() - bytes.data()),
+                                 body.size());
+    GMX_ASSERT_MSG(s.span().size() == body.size() &&
+                       std::equal(body.begin(), body.end(), s.span().begin()),
+                   "fuzz: slice diverged from the view it mirrors");
+    slices.push_back(std::move(s));
+  }
+  r.expect_end();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) return 0;
+  const std::span<const std::uint8_t> payload(data + 1, size - 1);
+  try {
+    switch (data[0] % 3) {
+      case 0: reader_walk(payload); break;
+      case 1: batch_decode_roundtrip(payload); break;
+      case 2: slice_out(payload); break;
+    }
+  } catch (const gmx::wire::WireError&) {
+    // The expected failure mode for malformed input. Anything else —
+    // other exceptions, GMX_ASSERT aborts, sanitizer reports — is a bug.
+  }
+  return 0;
+}
+
+#ifdef GRIDMUTEX_FUZZ_STANDALONE
+// Corpus-replay driver for toolchains without libFuzzer: every argument is
+// a seed file or a directory of seed files; each is run through the
+// harness once. Keeps the harness compiled and the corpus green under
+// plain ctest in every build configuration.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace {
+
+int run_file(const std::filesystem::path& p) {
+  std::ifstream in(p, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "fuzz replay: cannot open %s\n", p.c_str());
+    return 1;
+  }
+  std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                  std::istreambuf_iterator<char>()};
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <seed-file-or-dir>...\n", argv[0]);
+    return 2;
+  }
+  int replayed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::filesystem::path p(argv[i]);
+    if (std::filesystem::is_directory(p)) {
+      for (const auto& entry : std::filesystem::directory_iterator(p)) {
+        if (!entry.is_regular_file()) continue;
+        if (run_file(entry.path()) != 0) return 1;
+        ++replayed;
+      }
+    } else {
+      if (run_file(p) != 0) return 1;
+      ++replayed;
+    }
+  }
+  std::printf("fuzz replay: %d input(s), no crashes\n", replayed);
+  return 0;
+}
+#endif  // GRIDMUTEX_FUZZ_STANDALONE

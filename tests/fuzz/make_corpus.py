@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Regenerates the committed seed corpus for fuzz_wire_reader.
+
+Each seed is `mode byte + payload` (see fuzz_wire_reader.cpp). The set
+covers, per mode, at least one well-formed input and the interesting
+malformed shapes: truncation mid-primitive, over-long varints, implausible
+counts, lengths pointing past the end, and trailing garbage.
+
+Deterministic by construction — re-running must reproduce the committed
+files byte-for-byte (check with git diff).
+"""
+
+import os
+import sys
+
+
+def varint(v: int) -> bytes:
+    out = bytearray()
+    while True:
+        b = v & 0x7F
+        v >>= 7
+        if v:
+            out.append(b | 0x80)
+        else:
+            out.append(b)
+            return bytes(out)
+
+
+def u16(v: int) -> bytes:
+    return bytes((v & 0xFF, (v >> 8) & 0xFF))
+
+
+def sub(proto: int, type_: int, body: bytes) -> bytes:
+    return varint(proto) + u16(type_) + varint(len(body)) + body
+
+
+def frame(*subs: bytes) -> bytes:
+    return varint(len(subs)) + b"".join(subs)
+
+
+SEEDS = {
+    # mode 0: Reader op-walk
+    "reader_empty": bytes([0]),
+    "reader_varints": bytes([0]) + b"".join(varint(v) for v in
+                                            (0, 1, 127, 128, 2**32, 2**63)),
+    "reader_overlong_varint": bytes([0]) + bytes([0x80] * 12),
+    "reader_len_past_end": bytes([0]) + varint(200) + b"short",
+    "reader_mixed": bytes([0]) + bytes(range(1, 64)),
+    # mode 1: BatchMux::decode round-trip
+    "batch_two_subs": bytes([1]) + frame(sub(3, 7, b"abc"),
+                                         sub(9, 2, bytes(range(32)))),
+    "batch_empty_bodies": bytes([1]) + frame(sub(1, 1, b""), sub(2, 1, b"")),
+    "batch_zero_count": bytes([1]) + varint(0),
+    "batch_huge_count": bytes([1]) + varint(1 << 40) + b"xx",
+    "batch_proto_zero": bytes([1]) + frame(sub(0, 1, b"z")),
+    "batch_ack_type": bytes([1]) + frame(sub(5, 0xFFFF, b"z")),
+    "batch_trailing_garbage": bytes([1]) + frame(sub(4, 4, b"ok")) + b"!!",
+    "batch_truncated_body": bytes([1]) + varint(1) + varint(6) + u16(2)
+                            + varint(50) + b"only-a-few",
+    # mode 2: Payload slice-out
+    "slice_three_subs": bytes([2]) + frame(sub(2, 1, b"first"),
+                                           sub(2, 2, b""),
+                                           sub(7, 3, bytes(64))),
+    "slice_truncated": bytes([2]) + varint(2) + varint(3) + u16(1)
+                       + varint(4) + b"ab",
+    "slice_count_lies": bytes([2]) + varint(9) + sub(1, 1, b"x"),
+}
+
+
+def main() -> int:
+    out_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "corpus")
+    os.makedirs(out_dir, exist_ok=True)
+    for name, data in SEEDS.items():
+        with open(os.path.join(out_dir, name + ".bin"), "wb") as f:
+            f.write(data)
+    print(f"wrote {len(SEEDS)} seeds to {out_dir}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+// Seeded GUARDED_BY violation: RtRuntime::handlers_ read without
+// handlers_mu_ — the exact shape of the escaped-reference defect the
+// annotation caught in deliver() (see src/rt/runtime.cpp).
+#include "gridmutex/rt/runtime.hpp"
+
+namespace gmx::rt {
+
+class ThreadSafetyProbe {
+ public:
+  static std::size_t unguarded(RtRuntime& rt) {
+    return rt.handlers_.size();  // violation: requires rt.handlers_mu_
+  }
+};
+
+}  // namespace gmx::rt

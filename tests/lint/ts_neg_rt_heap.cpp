@@ -1,0 +1,15 @@
+// Seeded GUARDED_BY violation: RtRuntime::heap_ (and the seq_ counter that
+// shares its capability) touched without heap_mu_. See
+// ts_neg_thread_pool_queue.cpp for how these TUs are registered.
+#include "gridmutex/rt/runtime.hpp"
+
+namespace gmx::rt {
+
+class ThreadSafetyProbe {
+ public:
+  static std::size_t unguarded(RtRuntime& rt) {
+    return rt.heap_.size() + rt.seq_;  // violation: requires rt.heap_mu_
+  }
+};
+
+}  // namespace gmx::rt

@@ -1,0 +1,15 @@
+// Seeded GUARDED_BY violation: a NodeWorker's serial task queue touched
+// without that worker's own mu (per-queue capability, not a global lock).
+#include "gridmutex/rt/runtime.hpp"
+
+namespace gmx::rt {
+
+class ThreadSafetyProbe {
+ public:
+  static std::size_t unguarded(RtRuntime& rt) {
+    // violation: requires rt.workers_[0]->mu
+    return rt.workers_[0]->tasks.size();
+  }
+};
+
+}  // namespace gmx::rt

@@ -1,0 +1,14 @@
+// Seeded REQUIRES violation: ProgressGate::invoke() demands the mu_
+// capability and this caller does not hold it.
+#include "gridmutex/workload/sweep.hpp"
+
+namespace gmx::detail {
+
+class ThreadSafetyProbe {
+ public:
+  static void unguarded(ProgressGate& gate) {
+    gate.invoke(1, 2);  // violation: invoke() REQUIRES(gate.mu_)
+  }
+};
+
+}  // namespace gmx::detail

@@ -1,0 +1,16 @@
+// Seeded GUARDED_BY violation: ThreadPool::queue_ read without mu_.
+// Compiled Clang-only with -fsyntax-only -Werror=thread-safety and
+// registered WILL_FAIL — if the analysis ever stops firing here, the ctest
+// entry turns red (a checker that is never seen to fail proves nothing).
+#include "gridmutex/workload/thread_pool.hpp"
+
+namespace gmx {
+
+class ThreadSafetyProbe {
+ public:
+  static std::size_t unguarded(ThreadPool& pool) {
+    return pool.queue_.size();  // violation: requires holding pool.mu_
+  }
+};
+
+}  // namespace gmx

@@ -1,0 +1,49 @@
+// Positive control for the seeded-violation suite: the same private state
+// the ts_neg_*.cpp TUs touch illegally, accessed with the locks held. Must
+// compile clean under -Werror=thread-safety — if this TU ever warns, the
+// negative tests' failures are meaningless (the analysis would be
+// rejecting correct code, not catching violations).
+#include "gridmutex/rt/runtime.hpp"
+#include "gridmutex/workload/sweep.hpp"
+#include "gridmutex/workload/thread_pool.hpp"
+
+namespace gmx {
+
+class ThreadSafetyProbe {
+ public:
+  static std::size_t guarded(ThreadPool& pool) {
+    MutexLock lock(pool.mu_);
+    return pool.queue_.size();
+  }
+};
+
+namespace detail {
+class ThreadSafetyProbe {
+ public:
+  static void guarded(ProgressGate& gate) { gate.report(1, 2); }
+};
+}  // namespace detail
+
+namespace rt {
+class ThreadSafetyProbe {
+ public:
+  static std::size_t guarded(RtRuntime& rt) {
+    std::size_t n = 0;
+    {
+      MutexLock lock(rt.heap_mu_);
+      n += rt.heap_.size() + std::size_t(rt.seq_);
+    }
+    {
+      MutexLock lock(rt.handlers_mu_);
+      n += rt.handlers_.size();
+    }
+    {
+      MutexLock lock(rt.workers_[0]->mu);
+      n += rt.workers_[0]->tasks.size();
+    }
+    return n;
+  }
+};
+}  // namespace rt
+
+}  // namespace gmx

@@ -1,0 +1,706 @@
+#!/usr/bin/env python3
+"""gridmutex-lint: project-invariant static checks over the C++ tree.
+
+Four rules no generic tool knows, each encoding a contract the codebase
+relies on (see docs/ANALYSIS.md, "Static analysis layers"):
+
+  switch-exhaustive   Every algorithm codec's on_message() switch covers
+                      every enumerator of its MsgType enum, and its
+                      `default:` arm does nothing but call
+                      throw_unknown_message(). A new message type added to
+                      the header without a decode arm is a silent protocol
+                      hole; this rule turns it into a lint failure.
+
+  codec-zero-copy     Algorithm codecs (src/mutex/*.cpp) never copy payload
+                      bytes and never construct heap-mode wire::Writers.
+                      Encoding goes through MutexContext::writer() /
+                      send_writer() / send_shared(), which borrow pooled
+                      blocks (the PR 5 zero-copy rules); empty-payload sends
+                      must pass a literal `{}`.
+
+  rng-discipline      No raw <random> engines or C rand()/srand() anywhere:
+                      all randomness flows through gmx::Rng streams
+                      (sim/random.hpp), which is what makes a run
+                      reproducible from (config, seed).
+
+  wall-clock          No std::chrono::{system,steady,high_resolution}_clock
+                      in library code (include/, src/) outside bench/, rt/
+                      and workload/thread_pool.* — simulated time comes from
+                      the DES clock, and a stray wall-clock read breaks
+                      bit-identical trace hashes.
+
+The file set is derived from the exported compile_commands.json (all
+in-repo translation units) plus every header under include/. Analysis is
+token-level: comments and string/char literals are stripped first, then
+rules run on the bare code with brace/paren matching — deterministic,
+dependency-free, and identical in any CI image (the container has no
+libclang; an AST backend can be slotted in behind the same rule interface).
+
+Ratchet mode (the default) compares findings against a committed baseline
+keyed by (rule, file): any *new* finding fails the run, disappearing
+findings are reported as improvements and never block. `--write-baseline`
+regenerates the file after an accepted change. `--self-test` runs every
+rule against seeded violations (mutation-style: a rule that has never been
+seen to fire proves nothing) and clean counter-examples.
+
+Exit codes: 0 clean/ratchet-ok, 1 new findings or self-test failure,
+2 usage/environment error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+
+class Finding(NamedTuple):
+    rule: str
+    path: str  # repo-relative
+    line: int
+    message: str
+
+
+# --------------------------------------------------------------------------
+# Lexical preparation
+# --------------------------------------------------------------------------
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literal *contents*, preserving
+    every newline (so offsets map to the same line numbers) and the quote
+    characters themselves (so token boundaries survive). Handles //, /* */,
+    "..." with escapes, '...' with escapes, and R"delim(...)delim" raw
+    strings."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            if j == -1:
+                j = n
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j == -1 else j + 2
+            out.append("".join(ch if ch == "\n" else " " for ch in text[i:j]))
+            i = j
+        elif c == "R" and nxt == '"' and (i == 0 or not (text[i - 1].isalnum() or text[i - 1] == "_")):
+            m = re.match(r'R"([^()\\\s]{0,16})\(', text[i:])
+            if m:
+                close = ")" + m.group(1) + '"'
+                j = text.find(close, i + m.end())
+                j = n if j == -1 else j + len(close)
+                out.append('""')
+                out.append("".join("\n" for ch in text[i:j] if ch == "\n"))
+                i = j
+            else:
+                out.append(c)
+                i += 1
+        elif c == '"' or c == "'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                elif text[j] == quote:
+                    j += 1
+                    break
+                elif text[j] == "\n":  # unterminated (macro trickery): bail
+                    break
+                else:
+                    j += 1
+            body = text[i:j]
+            out.append(quote + "".join("\n" if ch == "\n" else " " for ch in body[1:-1]) + quote)
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def match_bracket(text: str, open_pos: int) -> int:
+    """Returns the index just past the bracket matching text[open_pos]
+    (one of ( [ {). Input must already be comment/string-stripped."""
+    pairs = {"(": ")", "[": "]", "{": "}"}
+    op = text[open_pos]
+    cl = pairs[op]
+    depth = 0
+    for i in range(open_pos, len(text)):
+        if text[i] == op:
+            depth += 1
+        elif text[i] == cl:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+    return len(text)
+
+
+def split_top_level_args(arglist: str) -> List[str]:
+    """Splits `a, b, {c, d}` on top-level commas."""
+    args, depth, start = [], 0, 0
+    for i, ch in enumerate(arglist):
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        elif ch == "," and depth == 0:
+            args.append(arglist[start:i])
+            start = i + 1
+    tail = arglist[start:]
+    if tail.strip() or args:
+        args.append(tail)
+    return [a.strip() for a in args]
+
+
+# --------------------------------------------------------------------------
+# Rule: switch-exhaustive
+# --------------------------------------------------------------------------
+
+ENUM_RE = re.compile(r"\benum\s+MsgType\b[^{]*\{")
+ENUMERATOR_RE = re.compile(r"([A-Za-z_]\w*)\s*(?:=[^,}]*)?(?:,|$)")
+
+
+def parse_msgtype_enumerators(header_text: str) -> List[str]:
+    stripped = strip_comments_and_strings(header_text)
+    m = ENUM_RE.search(stripped)
+    if not m:
+        return []
+    open_pos = m.end() - 1
+    body = stripped[m.end():match_bracket(stripped, open_pos) - 1]
+    names = []
+    for entry in body.split(","):
+        em = re.match(r"\s*([A-Za-z_]\w*)", entry)
+        if em:
+            names.append(em.group(1))
+    return names
+
+
+def rule_switch_exhaustive(path: str, text: str, header_text: Optional[str]) -> List[Finding]:
+    """Checks the on_message() dispatch switch of one codec TU against the
+    MsgType enum in its header."""
+    findings: List[Finding] = []
+    if header_text is None:
+        return findings
+    enumerators = parse_msgtype_enumerators(header_text)
+    if not enumerators:
+        return findings
+    stripped = strip_comments_and_strings(text)
+
+    m = re.search(r"::on_message\s*\(", stripped)
+    if m is None:
+        findings.append(Finding("switch-exhaustive", path, 1,
+                                "codec header declares MsgType but TU defines no on_message()"))
+        return findings
+    params_end = match_bracket(stripped, m.end() - 1)
+    body_open = stripped.find("{", params_end)
+    if body_open == -1:
+        return findings
+    body_close = match_bracket(stripped, body_open)
+    body = stripped[body_open:body_close]
+    body_line0 = line_of(stripped, body_open)
+
+    sm = re.search(r"\bswitch\s*\(\s*type\s*\)\s*\{", body)
+    if sm is None:
+        findings.append(Finding("switch-exhaustive", path, body_line0,
+                                "on_message() has no `switch (type)` dispatch"))
+        return findings
+    sw_open = sm.end() - 1
+    sw_body = body[sw_open + 1:match_bracket(body, sw_open) - 1]
+    sw_line0 = body_line0 + body.count("\n", 0, sw_open)
+
+    cases = set(re.findall(r"\bcase\s+([A-Za-z_]\w*)\s*:", sw_body))
+    for name in enumerators:
+        if name not in cases:
+            findings.append(Finding(
+                "switch-exhaustive", path, sw_line0,
+                f"MsgType::{name} has no case in the on_message() switch"))
+    dm = re.search(r"\bdefault\s*:", sw_body)
+    if dm is None:
+        findings.append(Finding(
+            "switch-exhaustive", path, sw_line0,
+            "on_message() switch has no default: -> throw_unknown_message arm"))
+    else:
+        nxt = re.compile(r"\bcase\s+[A-Za-z_]\w*\s*:").search(sw_body, dm.end())
+        arm = sw_body[dm.end():nxt.start() if nxt else len(sw_body)]
+        if "throw_unknown_message" not in arm:
+            findings.append(Finding(
+                "switch-exhaustive", path,
+                sw_line0 + sw_body.count("\n", 0, dm.start()),
+                "default: arm must only call throw_unknown_message(type)"))
+        # The arm must not swallow the unknown type: nothing but the throw
+        # helper (plus break/;) is allowed.
+        residue = re.sub(r"throw_unknown_message\s*\([^)]*\)|[\s;]|break", "", arm)
+        if residue:
+            findings.append(Finding(
+                "switch-exhaustive", path,
+                sw_line0 + sw_body.count("\n", 0, dm.start()),
+                f"default: arm does extra work besides throw_unknown_message: `{residue[:40]}`"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: codec-zero-copy
+# --------------------------------------------------------------------------
+
+# MutexContext/endpoint plumbing legitimately owns Writer/Payload
+# mechanics; every other TU in src/mutex/ is a codec and must not.
+CODEC_EXEMPT = {"algorithm.cpp", "endpoint.cpp"}
+
+WRITER_DECL_RE = re.compile(r"\b(?:wire::)?Writer\s+([A-Za-z_]\w*)\s*[({=]")
+TAKE_RE = re.compile(r"\.\s*take\s*\(")
+PAYLOAD_RE = re.compile(r"\bPayload\b")
+CTX_SEND_RE = re.compile(r"\bctx\s*\(\s*\)\s*\.\s*send\s*\(")
+
+
+def rule_codec_zero_copy(path: str, text: str) -> List[Finding]:
+    findings: List[Finding] = []
+    stripped = strip_comments_and_strings(text)
+
+    for m in WRITER_DECL_RE.finditer(stripped):
+        stmt_end = stripped.find(";", m.start())
+        stmt = stripped[m.start():stmt_end if stmt_end != -1 else len(stripped)]
+        if ".writer(" not in stmt.replace(" ", ""):
+            findings.append(Finding(
+                "codec-zero-copy", path, line_of(stripped, m.start()),
+                f"Writer `{m.group(1)}` not obtained from ctx().writer() "
+                "(heap-mode Writers are forbidden in codecs)"))
+    for m in TAKE_RE.finditer(stripped):
+        findings.append(Finding(
+            "codec-zero-copy", path, line_of(stripped, m.start()),
+            ".take() materializes a byte copy; pass the handle through "
+            "send_writer()/send_shared() instead"))
+    for m in PAYLOAD_RE.finditer(stripped):
+        # The one blessed Payload in a codec is the encode-once broadcast
+        # handle: `const Payload req = w.take_payload();` (moves the pooled
+        # block, no byte copy) later fanned out via send_shared().
+        stmt_end = stripped.find(";", m.start())
+        stmt = stripped[m.start():stmt_end if stmt_end != -1 else len(stripped)]
+        if "take_payload(" not in stmt.replace(" ", ""):
+            findings.append(Finding(
+                "codec-zero-copy", path, line_of(stripped, m.start()),
+                "Payload in a codec must come from Writer::take_payload() "
+                "(anything else copies bytes or bypasses the pool)"))
+    for m in CTX_SEND_RE.finditer(stripped):
+        open_pos = m.end() - 1
+        args = split_top_level_args(stripped[open_pos + 1:match_bracket(stripped, open_pos) - 1])
+        if len(args) != 3 or args[2] != "{}":
+            findings.append(Finding(
+                "codec-zero-copy", path, line_of(stripped, m.start()),
+                "ctx().send() in a codec must pass an empty `{}` payload; "
+                "encoded payloads go through send_writer()/send_shared()"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: rng-discipline
+# --------------------------------------------------------------------------
+
+RNG_ALLOWED = {
+    "include/gridmutex/sim/random.hpp",
+    "src/sim/random.cpp",
+}
+
+RNG_PATTERNS: List[Tuple[re.Pattern, str]] = [
+    (re.compile(r"\bstd::mt19937(?:_64)?\b"), "raw std::mt19937 engine"),
+    (re.compile(r"\bstd::minstd_rand0?\b"), "raw std::minstd_rand engine"),
+    (re.compile(r"\bstd::default_random_engine\b"), "raw std::default_random_engine"),
+    (re.compile(r"\bstd::random_device\b"), "std::random_device (non-reproducible entropy)"),
+    (re.compile(r"(?<![\w:.>])s?rand\s*\("), "C rand()/srand()"),
+    (re.compile(r"#\s*include\s*<random>"), "#include <random>"),
+]
+
+
+def rule_rng_discipline(path: str, text: str) -> List[Finding]:
+    if path in RNG_ALLOWED:
+        return []
+    stripped = strip_comments_and_strings(text)
+    findings = []
+    for pat, what in RNG_PATTERNS:
+        for m in pat.finditer(stripped):
+            findings.append(Finding(
+                "rng-discipline", path, line_of(stripped, m.start()),
+                f"{what}: all randomness must flow through gmx::Rng streams "
+                "(sim/random.hpp)"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: wall-clock
+# --------------------------------------------------------------------------
+
+CLOCK_RE = re.compile(r"\b(?:system_clock|steady_clock|high_resolution_clock)\b")
+
+
+def wall_clock_in_scope(path: str) -> bool:
+    """Library code only: include/ and src/. Tests, tools and examples are
+    drivers, not simulation logic."""
+    if not (path.startswith("include/") or path.startswith("src/")):
+        return False
+    if "/rt/" in path:
+        return False  # the real-time runtime is wall-clock by definition
+    if path.startswith("bench/"):
+        return False
+    if path in ("include/gridmutex/workload/thread_pool.hpp",
+                "src/workload/thread_pool.cpp"):
+        return False  # pool wait/wakeup may use timed waits
+    return True
+
+
+def rule_wall_clock(path: str, text: str) -> List[Finding]:
+    if not wall_clock_in_scope(path):
+        return []
+    stripped = strip_comments_and_strings(text)
+    findings = []
+    for m in CLOCK_RE.finditer(stripped):
+        findings.append(Finding(
+            "wall-clock", path, line_of(stripped, m.start()),
+            f"{m.group(0)} in deterministic library code: simulated time "
+            "comes from Simulator::now()"))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# File discovery
+# --------------------------------------------------------------------------
+
+def discover_files(root: str, compile_commands: str) -> List[str]:
+    """Repo-relative paths of every in-repo TU in compile_commands.json
+    plus every header under include/."""
+    files = set()
+    with open(compile_commands, "r", encoding="utf-8") as f:
+        for entry in json.load(f):
+            p = entry["file"]
+            if not os.path.isabs(p):
+                p = os.path.join(entry.get("directory", ""), p)
+            p = os.path.realpath(p)
+            rel = os.path.relpath(p, root)
+            if rel.startswith("..") or rel.startswith("build"):
+                continue  # generated / external TU
+            files.add(rel)
+    inc_root = os.path.join(root, "include")
+    for dirpath, _dirs, names in os.walk(inc_root):
+        for name in names:
+            if name.endswith(".hpp") or name.endswith(".h"):
+                files.add(os.path.relpath(os.path.join(dirpath, name), root))
+    return sorted(files)
+
+
+def codec_header_for(root: str, rel_cpp: str) -> Optional[str]:
+    base = os.path.splitext(os.path.basename(rel_cpp))[0]
+    hdr = os.path.join(root, "include", "gridmutex", "mutex", base + ".hpp")
+    if os.path.exists(hdr):
+        with open(hdr, "r", encoding="utf-8") as f:
+            return f.read()
+    return None
+
+
+def run_rules(root: str, files: List[str]) -> List[Finding]:
+    findings: List[Finding] = []
+    for rel in files:
+        try:
+            with open(os.path.join(root, rel), "r", encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"gridmutex-lint: cannot read {rel}: {e}", file=sys.stderr)
+            continue
+        if rel.startswith("src/mutex/") and rel.endswith(".cpp"):
+            name = os.path.basename(rel)
+            if name not in CODEC_EXEMPT and name != "registry.cpp":
+                findings.extend(rule_switch_exhaustive(
+                    rel, text, codec_header_for(root, rel)))
+            if name not in CODEC_EXEMPT:
+                findings.extend(rule_codec_zero_copy(rel, text))
+        findings.extend(rule_rng_discipline(rel, text))
+        findings.extend(rule_wall_clock(rel, text))
+    return sorted(findings)
+
+
+# --------------------------------------------------------------------------
+# Ratchet
+# --------------------------------------------------------------------------
+
+def findings_to_counts(findings: List[Finding]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for f in findings:
+        key = f"{f.rule}|{f.path}"
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as f:
+        data = json.load(f)
+    return {str(k): int(v) for k, v in data.get("findings", {}).items()}
+
+
+def write_baseline(path: str, counts: Dict[str, int]) -> None:
+    doc = {
+        "comment": "gridmutex-lint ratchet baseline: (rule|file) -> count. "
+                   "Regenerate with tools/lint/run.sh --write-baseline after "
+                   "an accepted change; new findings above these counts fail CI.",
+        "findings": dict(sorted(counts.items())),
+    }
+    with open(path, "w", encoding="utf-8") as f:
+        json.dump(doc, f, indent=2)
+        f.write("\n")
+
+
+def ratchet(findings: List[Finding], baseline: Dict[str, int]) -> int:
+    counts = findings_to_counts(findings)
+    regressed = {k: (baseline.get(k, 0), v) for k, v in counts.items()
+                 if v > baseline.get(k, 0)}
+    improved = {k: (v, counts.get(k, 0)) for k, v in baseline.items()
+                if counts.get(k, 0) < v}
+    if improved:
+        print("gridmutex-lint: improvements vs baseline "
+              "(run --write-baseline to lock in):")
+        for k, (old, new) in sorted(improved.items()):
+            print(f"  {k}: {old} -> {new}")
+    if not regressed:
+        total = sum(counts.values())
+        print(f"gridmutex-lint: OK ({total} finding(s), all within baseline)")
+        return 0
+    print("gridmutex-lint: NEW findings vs baseline:", file=sys.stderr)
+    for f in findings:
+        key = f"{f.rule}|{f.path}"
+        if key in regressed:
+            print(f"  {f.path}:{f.line}: [{f.rule}] {f.message}", file=sys.stderr)
+    print(f"gridmutex-lint: FAIL ({len(regressed)} regressed (rule, file) "
+          "key(s))", file=sys.stderr)
+    return 1
+
+
+# --------------------------------------------------------------------------
+# clang-tidy ratchet (same mechanism, different producer)
+# --------------------------------------------------------------------------
+
+TIDY_LINE_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):\d+:\s+(?:warning|error):\s+"
+    r".*\[(?P<check>[\w.,-]+)\]\s*$")
+
+
+def tidy_counts_from_log(log_path: str, root: str) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    with open(log_path, "r", encoding="utf-8", errors="replace") as f:
+        for line in f:
+            m = TIDY_LINE_RE.match(line.strip())
+            if not m:
+                continue
+            p = m.group("path")
+            if os.path.isabs(p):
+                p = os.path.relpath(os.path.realpath(p), root)
+            if p.startswith(".."):
+                continue  # system header noise
+            key = f"{m.group('check')}|{p}"
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def tidy_ratchet(log_path: str, baseline_path: str, root: str,
+                 write: bool) -> int:
+    counts = tidy_counts_from_log(log_path, root)
+    if write:
+        write_baseline(baseline_path, counts)
+        print(f"clang-tidy ratchet: baseline written "
+              f"({sum(counts.values())} finding(s))")
+        return 0
+    baseline = load_baseline(baseline_path)
+    regressed = {k: (baseline.get(k, 0), v) for k, v in counts.items()
+                 if v > baseline.get(k, 0)}
+    if not regressed:
+        print(f"clang-tidy ratchet: OK ({sum(counts.values())} finding(s), "
+              "all within baseline)")
+        return 0
+    print("clang-tidy ratchet: NEW diagnostics vs baseline:", file=sys.stderr)
+    for k, (old, new) in sorted(regressed.items()):
+        print(f"  {k}: {old} -> {new}", file=sys.stderr)
+    return 1
+
+
+# --------------------------------------------------------------------------
+# Self-test: every rule must fire on a seeded violation and stay quiet on
+# the clean counter-example.
+# --------------------------------------------------------------------------
+
+SELF_TESTS = [
+    # (rule function description, runner, expected finding count)
+    ("switch-exhaustive fires on missing case", lambda: rule_switch_exhaustive(
+        "src/mutex/demo.cpp",
+        "void DemoMutex::on_message(int f, std::uint16_t type, wire::Reader p) {"
+        "  switch (type) { case kRequest: break; default: throw_unknown_message(type); } }",
+        "class DemoMutex { enum MsgType : std::uint16_t { kRequest = 1, kToken = 2, }; };"),
+     1),
+    ("switch-exhaustive fires on missing default", lambda: rule_switch_exhaustive(
+        "src/mutex/demo.cpp",
+        "void DemoMutex::on_message(int f, std::uint16_t type, wire::Reader p) {"
+        "  switch (type) { case kRequest: break; } }",
+        "class DemoMutex { enum MsgType : std::uint16_t { kRequest = 1, }; };"),
+     1),
+    ("switch-exhaustive fires on a swallowing default", lambda: rule_switch_exhaustive(
+        "src/mutex/demo.cpp",
+        "void DemoMutex::on_message(int f, std::uint16_t type, wire::Reader p) {"
+        "  switch (type) { case kRequest: break; default: break; } }",
+        "class DemoMutex { enum MsgType : std::uint16_t { kRequest = 1, }; };"),
+     1),
+    ("switch-exhaustive quiet on exhaustive switch", lambda: rule_switch_exhaustive(
+        "src/mutex/demo.cpp",
+        "void DemoMutex::on_message(int f, std::uint16_t type, wire::Reader p) {"
+        "  switch (type) { case kRequest: break; case kToken: break;"
+        "  default: throw_unknown_message(type); } }",
+        "class DemoMutex { enum MsgType : std::uint16_t { kRequest = 1, kToken = 2, }; };"),
+     0),
+    ("switch-exhaustive ignores commented-out cases", lambda: rule_switch_exhaustive(
+        "src/mutex/demo.cpp",
+        "void DemoMutex::on_message(int f, std::uint16_t type, wire::Reader p) {"
+        "  switch (type) { /* case kToken: */ case kRequest: break;"
+        "  default: throw_unknown_message(type); } }",
+        "class DemoMutex { enum MsgType : std::uint16_t { kRequest = 1, kToken = 2, }; };"),
+     1),
+    ("codec-zero-copy fires on heap Writer", lambda: rule_codec_zero_copy(
+        "src/mutex/demo.cpp", "void f() { wire::Writer w(64); w.varint(1); }"),
+     1),
+    ("codec-zero-copy fires on .take()", lambda: rule_codec_zero_copy(
+        "src/mutex/demo.cpp", "void f() { auto bytes = w.take(); }"),
+     1),
+    ("codec-zero-copy fires on Payload copy", lambda: rule_codec_zero_copy(
+        "src/mutex/demo.cpp", "void f() { Payload p(other); }"),
+     1),
+    ("codec-zero-copy quiet on encode-once take_payload",
+     lambda: rule_codec_zero_copy(
+        "src/mutex/demo.cpp",
+        "void f() { wire::Writer w = ctx().writer(4);"
+        " const Payload req = w.take_payload(); }"),
+     0),
+    ("codec-zero-copy fires on payloadful ctx().send", lambda: rule_codec_zero_copy(
+        "src/mutex/demo.cpp", "void f() { ctx().send(1, kTok, payload.span()); }"),
+     1),
+    ("codec-zero-copy quiet on pooled writer + empty send", lambda: rule_codec_zero_copy(
+        "src/mutex/demo.cpp",
+        "void f() { wire::Writer w = ctx().writer(4); w.varint(1);"
+        " ctx().send_writer(1, kTok, std::move(w)); ctx().send(2, kAck, {}); }"),
+     0),
+    ("rng-discipline fires on std::mt19937", lambda: rule_rng_discipline(
+        "src/sim/bad.cpp", "static std::mt19937 g_bad{42};"),
+     1),
+    ("rng-discipline fires on rand()", lambda: rule_rng_discipline(
+        "src/sim/bad.cpp", "int roll() { return rand() % 6; }"),
+     1),
+    ("rng-discipline quiet in sim/random.hpp itself", lambda: rule_rng_discipline(
+        "include/gridmutex/sim/random.hpp", "// engine notes: std::mt19937"),
+     0),
+    ("rng-discipline quiet on gmx::Rng and mentions in comments",
+     lambda: rule_rng_discipline(
+        "src/sim/good.cpp", "// not std::mt19937\nRng rng(7); rng.next_u64();"),
+     0),
+    ("wall-clock fires on steady_clock in library code", lambda: rule_wall_clock(
+        "src/sim/bad.cpp", "auto t = std::chrono::steady_clock::now();"),
+     1),
+    ("wall-clock quiet in rt/", lambda: rule_wall_clock(
+        "src/rt/runtime.cpp", "auto t = std::chrono::steady_clock::now();"),
+     0),
+    ("wall-clock quiet in bench/", lambda: rule_wall_clock(
+        "bench/perf_suite.cpp", "auto t = std::chrono::steady_clock::now();"),
+     0),
+    ("wall-clock quiet outside library code", lambda: rule_wall_clock(
+        "tests/rt_runtime_test.cpp", "std::chrono::steady_clock::now();"),
+     0),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for desc, runner, expected in SELF_TESTS:
+        got = runner()
+        if len(got) != expected:
+            failures += 1
+            print(f"SELF-TEST FAIL: {desc}: expected {expected} finding(s), "
+                  f"got {len(got)}", file=sys.stderr)
+            for f in got:
+                print(f"    {f.path}:{f.line}: [{f.rule}] {f.message}",
+                      file=sys.stderr)
+        else:
+            print(f"self-test ok: {desc}")
+    if failures:
+        print(f"gridmutex-lint --self-test: {failures} failure(s)",
+              file=sys.stderr)
+        return 1
+    print(f"gridmutex-lint --self-test: all {len(SELF_TESTS)} checks passed")
+    return 0
+
+
+# --------------------------------------------------------------------------
+# Entry point
+# --------------------------------------------------------------------------
+
+def main(argv: List[str]) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels above this script)")
+    ap.add_argument("--compile-commands", default=None,
+                    help="path to compile_commands.json "
+                         "(default: <root>/build/compile_commands.json)")
+    ap.add_argument("--baseline", default=None,
+                    help="ratchet baseline JSON "
+                         "(default: tools/lint/baseline.json)")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="regenerate the baseline from current findings")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run each rule against seeded violations and exit")
+    ap.add_argument("--list-files", action="store_true",
+                    help="print the discovered file set and exit")
+    ap.add_argument("--tidy-input", default=None,
+                    help="ratchet a clang-tidy log instead of running rules")
+    ap.add_argument("--tidy-baseline", default=None,
+                    help="clang-tidy ratchet baseline JSON "
+                         "(default: tools/lint/clang_tidy_baseline.json)")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+
+    root = os.path.realpath(
+        args.root or os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                  "..", ".."))
+    lint_dir = os.path.join(root, "tools", "lint")
+
+    if args.tidy_input:
+        baseline = args.tidy_baseline or os.path.join(
+            lint_dir, "clang_tidy_baseline.json")
+        return tidy_ratchet(args.tidy_input, baseline, root,
+                            args.write_baseline)
+
+    cc = args.compile_commands or os.path.join(root, "build",
+                                               "compile_commands.json")
+    if not os.path.exists(cc):
+        print(f"gridmutex-lint: {cc} not found — configure with "
+              "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON first", file=sys.stderr)
+        return 2
+    files = discover_files(root, cc)
+    if args.list_files:
+        print("\n".join(files))
+        return 0
+    findings = run_rules(root, files)
+
+    baseline_path = args.baseline or os.path.join(lint_dir, "baseline.json")
+    if args.write_baseline:
+        write_baseline(baseline_path, findings_to_counts(findings))
+        print(f"gridmutex-lint: baseline written "
+              f"({len(findings)} finding(s) across {len(files)} files)")
+        return 0
+    return ratchet(findings, load_baseline(baseline_path))
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Runs the full static-analysis ratchet exactly as CI does:
+#
+#   1. gridmutex-lint self-tests (every rule proven live on a seeded
+#      violation before it is trusted on the tree);
+#   2. gridmutex-lint over the exported compilation database, ratcheted
+#      against tools/lint/baseline.json;
+#   3. clang-tidy (if installed) over all first-party TUs, ratcheted
+#      against tools/lint/clang_tidy_baseline.json.
+#
+# Usage:
+#   tools/lint/run.sh [BUILD_DIR]                 # check (default: build)
+#   tools/lint/run.sh [BUILD_DIR] --write-baseline  # accept current findings
+#
+# The build dir must have been configured by this repo's CMakeLists (it
+# always exports compile_commands.json). Exit code is non-zero on any new
+# finding.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
+BUILD_DIR="${1:-build}"
+case "${BUILD_DIR}" in --*) BUILD_DIR=build ;; esac
+WRITE=""
+for arg in "$@"; do
+  [[ "${arg}" == "--write-baseline" ]] && WRITE="--write-baseline"
+done
+
+CDB="${ROOT}/${BUILD_DIR}/compile_commands.json"
+if [[ ! -f "${CDB}" ]]; then
+  echo "tools/lint/run.sh: ${CDB} not found — run cmake -B ${BUILD_DIR} -S . first" >&2
+  exit 2
+fi
+
+echo "=== gridmutex-lint: self-tests ==="
+python3 "${ROOT}/tools/lint/gridmutex_lint.py" --self-test
+
+echo "=== gridmutex-lint: tree (ratchet vs tools/lint/baseline.json) ==="
+python3 "${ROOT}/tools/lint/gridmutex_lint.py" \
+  --root "${ROOT}" --compile-commands "${CDB}" ${WRITE}
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== clang-tidy (ratchet vs tools/lint/clang_tidy_baseline.json) ==="
+  TIDY_LOG="$(mktemp)"
+  trap 'rm -f "${TIDY_LOG}"' EXIT
+  # First-party TUs only: everything the database lists under src/, tools/,
+  # bench/ and examples/ (tests are gtest-macro heavy and not part of the
+  # tidy gate; .clang-tidy's HeaderFilterRegex scopes header diagnostics).
+  mapfile -t TUS < <(python3 - "$CDB" "$ROOT" <<'EOF'
+import json, os, sys
+cdb, root = sys.argv[1], sys.argv[2]
+for e in json.load(open(cdb)):
+    p = os.path.realpath(os.path.join(e.get("directory", ""), e["file"])
+                         if not os.path.isabs(e["file"]) else e["file"])
+    rel = os.path.relpath(p, root)
+    if rel.startswith(("src/", "tools/", "bench/", "examples/")):
+        print(p)
+EOF
+)
+  # || true: clang-tidy exits non-zero on any diagnostic; the ratchet below
+  # is the gate, so pre-existing baselined findings must not abort the run.
+  if command -v run-clang-tidy >/dev/null 2>&1; then
+    run-clang-tidy -quiet -p "${ROOT}/${BUILD_DIR}" "${TUS[@]}" \
+      >"${TIDY_LOG}" 2>/dev/null || true
+  else
+    clang-tidy -quiet -p "${ROOT}/${BUILD_DIR}" "${TUS[@]}" \
+      >"${TIDY_LOG}" 2>/dev/null || true
+  fi
+  python3 "${ROOT}/tools/lint/gridmutex_lint.py" \
+    --root "${ROOT}" --tidy-input "${TIDY_LOG}" ${WRITE}
+else
+  echo "=== clang-tidy: not installed, skipping (CI runs it) ==="
+fi
+
+echo "static-analysis: all gates passed"

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""End-to-end tests for the gridmutex-lint ratchet.
+
+The self-tests in gridmutex_lint.py prove each rule fires on a seeded
+snippet; this script proves the *pipeline* does — that a violation
+injected into a real codec TU inside a scratch checkout makes the lint
+exit non-zero, that a clean tree passes, and that the baseline ratchet
+tolerates exactly the findings it has recorded and nothing more.
+
+Run directly (exit 0/1) or via ctest (lint_ratchet_test).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO = os.path.realpath(os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                     "..", ".."))
+LINT = os.path.join(REPO, "tools", "lint", "gridmutex_lint.py")
+
+FAILURES = []
+
+
+def check(desc: str, ok: bool, detail: str = "") -> None:
+    if ok:
+        print(f"ok: {desc}")
+    else:
+        FAILURES.append(desc)
+        print(f"FAIL: {desc}{': ' + detail if detail else ''}",
+              file=sys.stderr)
+
+
+def make_scratch_tree(tmp: str) -> str:
+    """A minimal repo copy: one real codec TU + its header, enough for
+    every rule to have a surface."""
+    root = os.path.join(tmp, "scratch")
+    for rel in ("src/mutex", "src/sim", "include/gridmutex/mutex",
+                "include/gridmutex/sim", "tools/lint", "build"):
+        os.makedirs(os.path.join(root, rel), exist_ok=True)
+    for rel in ("src/mutex/suzuki_kasami.cpp",
+                "include/gridmutex/mutex/suzuki_kasami.hpp",
+                "include/gridmutex/sim/random.hpp"):
+        shutil.copy(os.path.join(REPO, rel), os.path.join(root, rel))
+    cdb = [{
+        "directory": root,
+        "file": os.path.join(root, "src/mutex/suzuki_kasami.cpp"),
+        "command": "c++ -c src/mutex/suzuki_kasami.cpp",
+    }]
+    with open(os.path.join(root, "build", "compile_commands.json"), "w") as f:
+        json.dump(cdb, f)
+    return root
+
+
+def run_lint(root: str, *extra: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, LINT, "--root", root, "--compile-commands",
+         os.path.join(root, "build", "compile_commands.json"),
+         "--baseline", os.path.join(root, "tools", "lint", "baseline.json"),
+         *extra],
+        capture_output=True, text=True)
+
+
+def append(root: str, rel: str, text: str) -> None:
+    with open(os.path.join(root, rel), "a") as f:
+        f.write(text)
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory() as tmp:
+        # 1. The pristine scratch tree (real shipped codec) is clean.
+        root = make_scratch_tree(tmp)
+        r = run_lint(root)
+        check("clean scratch tree passes with no baseline",
+              r.returncode == 0, r.stdout + r.stderr)
+
+        # 2. Injected raw-RNG use in a codec TU: lint exits non-zero and
+        # names the rule.
+        append(root, "src/mutex/suzuki_kasami.cpp",
+               "\nstatic std::mt19937 g_totally_not_deterministic{42};\n")
+        r = run_lint(root)
+        check("injected std::mt19937 fails the run",
+              r.returncode == 1 and "rng-discipline" in r.stderr,
+              r.stdout + r.stderr)
+
+        # 3. Writing a baseline with the violation present ratchets it in:
+        # the same tree now passes...
+        r = run_lint(root, "--write-baseline")
+        check("baseline write succeeds", r.returncode == 0, r.stderr)
+        r = run_lint(root)
+        check("baselined finding no longer fails", r.returncode == 0,
+              r.stdout + r.stderr)
+
+        # 4. ...but a *new* finding of a different rule still fails.
+        append(root, "src/mutex/suzuki_kasami.cpp",
+               "\nstatic wire::Writer g_heap_writer(64);\n")
+        r = run_lint(root)
+        check("new finding on top of baseline still fails",
+              r.returncode == 1 and "codec-zero-copy" in r.stderr,
+              r.stdout + r.stderr)
+
+        # 5. Wall-clock rule end-to-end: a steady_clock read in library
+        # code (fresh scratch tree so the baseline is empty again).
+        root = make_scratch_tree(os.path.join(tmp, "t2"))
+        append(root, "src/mutex/suzuki_kasami.cpp",
+               "\n#include <chrono>\n"
+               "static auto g_t0 = std::chrono::steady_clock::now();\n")
+        r = run_lint(root)
+        check("injected steady_clock fails the run",
+              r.returncode == 1 and "wall-clock" in r.stderr,
+              r.stdout + r.stderr)
+
+        # 6. Switch-exhaustiveness end-to-end: grow the enum in the header
+        # without touching the codec's dispatch switch.
+        root = make_scratch_tree(os.path.join(tmp, "t3"))
+        hdr = os.path.join(root, "include/gridmutex/mutex/suzuki_kasami.hpp")
+        with open(hdr) as f:
+            text = f.read()
+        text = text.replace(
+            "kRegenReply = 4,",
+            "kRegenReply = 4,\n    kPhantom = 5,", 1)
+        with open(hdr, "w") as f:
+            f.write(text)
+        r = run_lint(root)
+        check("new enumerator without a case fails the run",
+              r.returncode == 1 and "switch-exhaustive" in r.stderr
+              and "kPhantom" in r.stderr,
+              r.stdout + r.stderr)
+
+        # 7. clang-tidy ratchet path: a synthetic log with one diagnostic
+        # fails against the committed empty baseline, passes after
+        # --write-baseline into a scratch copy.
+        root = make_scratch_tree(os.path.join(tmp, "t4"))
+        log = os.path.join(root, "tidy.log")
+        with open(log, "w") as f:
+            f.write(os.path.join(root, "src/mutex/suzuki_kasami.cpp")
+                    + ":10:5: warning: do not use bugprone things "
+                    "[bugprone-use-after-move]\n")
+        tidy_base = os.path.join(root, "tools/lint/clang_tidy_baseline.json")
+        r = subprocess.run([sys.executable, LINT, "--root", root,
+                            "--tidy-input", log,
+                            "--tidy-baseline", tidy_base],
+                           capture_output=True, text=True)
+        check("new clang-tidy diagnostic fails the ratchet",
+              r.returncode == 1 and "bugprone-use-after-move" in r.stderr,
+              r.stdout + r.stderr)
+        r = subprocess.run([sys.executable, LINT, "--root", root,
+                            "--tidy-input", log,
+                            "--tidy-baseline", tidy_base,
+                            "--write-baseline"],
+                           capture_output=True, text=True)
+        check("clang-tidy baseline write succeeds", r.returncode == 0,
+              r.stderr)
+        r = subprocess.run([sys.executable, LINT, "--root", root,
+                            "--tidy-input", log,
+                            "--tidy-baseline", tidy_base],
+                           capture_output=True, text=True)
+        check("baselined clang-tidy diagnostic passes", r.returncode == 0,
+              r.stdout + r.stderr)
+
+    if FAILURES:
+        print(f"test_lint: {len(FAILURES)} failure(s)", file=sys.stderr)
+        return 1
+    print("test_lint: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
