@@ -79,6 +79,8 @@ class ProtocolChecker {
       kMessageNonConservation,
       kForeignDelivery,
       kRegenerationOverlap,
+      kFencingRegression,
+      kRevocationOverlap,
     };
     Kind kind;
     SimTime time;
@@ -147,6 +149,26 @@ class ProtocolChecker {
   /// regeneration in flight per instance).
   void note_regeneration(ProtocolId protocol, bool open);
 
+  /// Registers a service-level lease domain — one per lock of a leased
+  /// LockService (service/lease.hpp). The rules, fed by the three report
+  /// calls below (wire them to LeaseManager::Hooks):
+  ///   - fencing-token monotonicity is GLOBAL and unconditional: every
+  ///     grant's fence must strictly exceed every earlier fence of the
+  ///     domain, revocation or not (kFencingRegression otherwise);
+  ///   - an involuntary release is legal only inside an open revocation
+  ///     epoch, and a grant is legal only when no hold is active — holder
+  ///     identity may change *inside* a declared epoch, never silently
+  ///     (kRevocationOverlap otherwise);
+  ///   - opening an epoch while one is open is itself a violation.
+  /// CS exclusion is NOT relaxed by any epoch: the algorithm-level
+  /// kOverlappingCs rule keeps judging every instant.
+  void attach_lease_domain(const std::string& name);
+  void report_lease_grant(const std::string& name, std::uint64_t fence);
+  void report_lease_release(const std::string& name, std::uint64_t fence,
+                            bool voluntary);
+  /// Revocation epoch boundary for a lease domain.
+  void note_revocation(const std::string& name, bool open);
+
   [[nodiscard]] bool ok() const { return violations_.empty(); }
   [[nodiscard]] const std::vector<Violation>& violations() const {
     return violations_;
@@ -195,6 +217,13 @@ class ProtocolChecker {
     Coordinator* coordinator;
   };
   std::vector<CoordinatorSlot> coordinators_;
+  struct LeaseDomain {
+    std::uint64_t last_fence = 0;    // high-water mark, never decreases
+    std::uint64_t active_fence = 0;  // 0 = no hold active
+    bool in_revocation = false;
+  };
+  LeaseDomain& lease_domain(const std::string& name);
+  std::unordered_map<std::string, LeaseDomain> lease_domains_;
   struct PrivilegeGroup {
     std::string name;
     std::vector<const Coordinator*> group;

@@ -30,6 +30,8 @@ class FaultInjector {
   struct Stats {
     std::uint64_t crashes = 0;
     std::uint64_t restarts = 0;
+    std::uint64_t client_crashes = 0;
+    std::uint64_t client_restarts = 0;
     std::uint64_t partitions = 0;
     std::uint64_t heals = 0;
     std::uint64_t lossy_links = 0;
@@ -55,6 +57,22 @@ class FaultInjector {
     node_hooks_.push_back(std::move(hook));
   }
 
+  /// Notification of client-process death / rejoin on an app node. Kept
+  /// distinct from add_node_hook so coordinator-failover machinery does
+  /// not trigger on client churn; the wire-level omission window is still
+  /// applied (a dead process neither sends nor receives). Subscribe the
+  /// service layer here to fail queued tickets and abandon held locks
+  /// (ClientSession::crash / restart).
+  using ClientHook = std::function<void(NodeId node, bool up)>;
+  void add_client_hook(ClientHook hook) {
+    client_hooks_.push_back(std::move(hook));
+  }
+
+  /// Fires a client crash right now — the dynamic faults a declarative
+  /// plan cannot name, e.g. "crash whichever client holds lock 3 at t".
+  /// When `restart` is bounded the rejoin is scheduled like a plan entry.
+  void inject_client_crash(NodeId node, SimTime restart = SimTime::max());
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const FaultPlan& plan() const { return plan_; }
   [[nodiscard]] Network& network() { return net_; }
@@ -74,6 +92,7 @@ class FaultInjector {
 
   void schedule(SimTime at, std::function<void()> fn);
   void set_node(NodeId node, bool up);
+  void set_client(NodeId node, bool up);
   [[nodiscard]] bool should_drop(const Message& msg);
 
   Network& net_;
@@ -84,6 +103,7 @@ class FaultInjector {
   std::vector<EventId> scheduled_;  // cancelled on destruction
   std::vector<ActiveDrop> drops_;
   std::vector<NodeHook> node_hooks_;
+  std::vector<ClientHook> client_hooks_;
 };
 
 }  // namespace gmx

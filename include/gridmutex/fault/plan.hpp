@@ -7,9 +7,14 @@
 // seed yields the same trajectory, and a plan can be printed, stored next
 // to experiment configs, or perturbed programmatically.
 //
-// Three fault families, mirroring what Grid5000 deployments actually see:
+// Four fault families, mirroring what Grid5000 deployments actually see:
 //   - node crash/restart: the process disappears for a window (messages to
 //     and from it are lost; its protocol state survives — warm restart);
+//   - client crash/restart: the *application* process on a node dies — the
+//     same omission window on the wire, plus a service-level notification
+//     (FaultInjector::add_client_hook) so the ClientSession fails its
+//     queued tickets and abandons held locks to the lease layer. This is
+//     the churn / crash-while-holding axis of ISSUE 7;
 //   - inter-cluster partition / lossy link: the WAN path between two
 //     clusters drops all (or a fraction of) datagrams for a window;
 //   - targeted message drops: the next `count` messages matching a
@@ -35,6 +40,13 @@ struct FaultPlan {
     SimTime at;
     SimTime restart = SimTime::max();  // max() = never restarts
   };
+  /// Application-process death on an app node (same shape as Crash, its
+  /// own family so the injector can notify the service layer).
+  struct ClientCrash {
+    NodeId node = kInvalidNode;
+    SimTime at;
+    SimTime restart = SimTime::max();  // max() = never rejoins
+  };
   struct Partition {
     ClusterId a = 0;
     ClusterId b = 0;
@@ -57,6 +69,7 @@ struct FaultPlan {
   };
 
   std::vector<Crash> crashes;
+  std::vector<ClientCrash> client_crashes;
   std::vector<Partition> partitions;
   std::vector<LossyLink> lossy_links;
   std::vector<MessageDrops> message_drops;
@@ -68,6 +81,14 @@ struct FaultPlan {
   }
   FaultPlan& crash_forever(NodeId node, SimTime at) {
     crashes.push_back({node, at, SimTime::max()});
+    return *this;
+  }
+  FaultPlan& client_crash(NodeId node, SimTime at, SimTime restart) {
+    client_crashes.push_back({node, at, restart});
+    return *this;
+  }
+  FaultPlan& client_crash_forever(NodeId node, SimTime at) {
+    client_crashes.push_back({node, at, SimTime::max()});
     return *this;
   }
   FaultPlan& partition_clusters(ClusterId a, ClusterId b, SimTime at,
@@ -87,8 +108,8 @@ struct FaultPlan {
   }
 
   [[nodiscard]] bool empty() const {
-    return crashes.empty() && partitions.empty() && lossy_links.empty() &&
-           message_drops.empty();
+    return crashes.empty() && client_crashes.empty() && partitions.empty() &&
+           lossy_links.empty() && message_drops.empty();
   }
 };
 

@@ -3,32 +3,68 @@
 // One session per application node. It front-ends the node's per-lock
 // mutex endpoints with the service API a client library would offer:
 //
-//   acquire(lock, cb)  enqueue a grant callback; the session issues at most
+//   acquire(lock, opts, cb)  enqueue a ticket; the session issues at most
 //                      one request_cs() per lock at a time — further
 //                      acquires wait in the lock's FIFO pending queue and
-//                      are granted back-to-back on each release;
+//                      are granted back-to-back on each release. A ticket
+//                      can carry a deadline (kDeadlineExpired past it) and
+//                      is subject to admission control when configured;
+//   cancel(lock, id)   withdraw a queued ticket. Cancelling the head while
+//                      its algorithm request is on the wire marks the slot
+//                      abandoned: the request cannot be recalled, so the
+//                      eventual grant is auto-released the instant it
+//                      arrives — this is the granted-race, made explicit.
+//                      Cancelling a ticket that was already granted returns
+//                      false and does nothing (never a silent release);
 //   release(lock)      leave the CS; if the pending queue is non-empty the
 //                      session immediately re-requests.
 //
+// Resilience plumbing (service/resilience.hpp): admission bounds the
+// pending queue with a shed policy; shed / deadline-expired tickets retry
+// with jittered exponential backoff drawn from an Rng stream the
+// LockService dedicates to resilience (fault-free runs draw nothing);
+// crash()/restart() model client churn — a crashed session fails its queue
+// with kSessionDown and leaves held locks dangling for the lease layer
+// (service/lease.hpp) to revoke via force_release().
+//
 // The session never re-enters an algorithm: endpoint grant callbacks are
-// already deferred through a zero-delay simulator event (mutex/endpoint.hpp).
+// already deferred through a zero-delay simulator event (mutex/endpoint.hpp),
+// and every non-granted ticket completion is deferred the same way, so a
+// caller's stack never sees its own callback.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "gridmutex/mutex/endpoint.hpp"
 #include "gridmutex/service/lock_table.hpp"
+#include "gridmutex/service/resilience.hpp"
+#include "gridmutex/sim/simulator.hpp"
 
 namespace gmx {
 
 class ClientSession {
  public:
   using GrantCallback = std::function<void()>;
+  using ResultCallback = std::function<void(const AcquireResult&)>;
 
-  explicit ClientSession(NodeId node) : node_(node) {}
+  /// Lease-layer attachment points (service/lease.hpp). All optional; the
+  /// session works untouched without them.
+  struct LeaseHooks {
+    /// Mint the fencing token for a grant the session is about to deliver;
+    /// also starts the holder's renewal timers. Unset -> fence 0.
+    std::function<std::uint64_t(LockId)> on_grant;
+    /// A held lock was released; `voluntary` is false for force_release().
+    std::function<void(LockId, std::uint64_t fence, bool voluntary)>
+        on_release;
+    /// Ticket rejected (kShed / kCancelled) — load telemetry.
+    std::function<void(LockId, AcquireOutcome)> on_reject;
+  };
+
+  ClientSession(Simulator& sim, NodeId node) : sim_(sim), node_(node) {}
 
   ClientSession(const ClientSession&) = delete;
   ClientSession& operator=(const ClientSession&) = delete;
@@ -43,39 +79,142 @@ class ClientSession {
   /// instance. Called once per lock by the LockService, in LockId order.
   void add_lock(LockId lock, MutexEndpoint& endpoint);
 
-  /// Enqueues a grant callback for `lock`. The callback fires exactly once,
-  /// when this session holds the lock; the holder must then call release().
+  // ---- resilience wiring (LockService, before traffic) ----
+  void set_admission(AdmissionConfig cfg) { admission_ = cfg; }
+  /// `rng` must outlive the session; draws happen only on actual retries.
+  void set_retry(RetryConfig cfg, Rng* rng) {
+    retry_ = cfg;
+    retry_rng_ = rng;
+  }
+  void set_lease_hooks(LeaseHooks hooks) { lease_ = std::move(hooks); }
+
+  /// Enqueues a grant callback for `lock` (legacy API). The callback fires
+  /// exactly once, when this session holds the lock; the holder must then
+  /// call release(). No deadline; admission still applies if configured.
   void acquire(LockId lock, GrantCallback cb);
+
+  /// Ticketed acquire. The result callback fires exactly once with the
+  /// ticket's terminal outcome; on kGranted the caller holds the lock and
+  /// must release it (release() or release_if_current()).
+  TicketId acquire(LockId lock, AcquireOptions opts, ResultCallback cb);
+
+  /// Withdraws ticket `id` if it has not been granted. Returns false when
+  /// the ticket is unknown or already granted — cancelling the current
+  /// holder is a refusal, never a silent release.
+  bool cancel(LockId lock, TicketId id);
 
   /// Releases `lock` (the session must be holding it) and pumps the
   /// pending queue.
   void release(LockId lock);
+
+  /// Fencing-guarded release: releases only if the session still holds
+  /// `lock` under exactly `fence`. Returns false (counting a stale
+  /// release) when the hold was revoked or re-granted in the meantime —
+  /// the application-side discipline that makes revocation safe.
+  bool release_if_current(LockId lock, std::uint64_t fence);
+
+  /// Lease-layer revocation: involuntarily releases `lock` if held.
+  /// Returns false if the session was not holding it.
+  bool force_release(LockId lock);
+
+  /// Client churn. crash() fails every queued ticket with kSessionDown
+  /// (abandoning in-flight heads) and leaves held locks dangling — the
+  /// lease layer revokes them; the caller is responsible for the matching
+  /// Network::set_node_up() flip. restart() re-opens the session (warm:
+  /// endpoint state survived).
+  void crash();
+  void restart();
+  [[nodiscard]] bool down() const { return down_; }
 
   /// Grant delivery from the lock's endpoint (LockService wiring).
   void granted(LockId lock);
 
   [[nodiscard]] NodeId node() const { return node_; }
   [[nodiscard]] bool holding(LockId lock) const;
+  /// Fencing token of the current hold (0 when not holding / no leases).
+  [[nodiscard]] std::uint64_t current_fence(LockId lock) const;
   [[nodiscard]] std::size_t pending(LockId lock) const;
   /// Grants delivered to this session for `lock` so far.
   [[nodiscard]] std::uint64_t acquisitions(LockId lock) const;
   /// True when no lock is held, requested or queued.
   [[nodiscard]] bool idle() const;
 
+  /// Resilience counters (each occurrence, including retried ones).
+  [[nodiscard]] std::uint64_t sheds() const { return sheds_; }
+  [[nodiscard]] std::uint64_t cancels() const { return cancels_; }
+  [[nodiscard]] std::uint64_t deadline_misses() const {
+    return deadline_misses_;
+  }
+  [[nodiscard]] std::uint64_t retries() const { return retries_; }
+  [[nodiscard]] std::uint64_t forced_releases() const {
+    return forced_releases_;
+  }
+  [[nodiscard]] std::uint64_t stale_releases() const {
+    return stale_releases_;
+  }
+  /// Grants that arrived after their ticket was withdrawn (the granted
+  /// race) and were auto-released.
+  [[nodiscard]] std::uint64_t abandoned_grants() const {
+    return abandoned_grants_;
+  }
+
  private:
+  struct Ticket {
+    TicketId id = kInvalidTicket;
+    ResultCallback cb;
+    /// Relative deadline, re-applied from scratch on each retry attempt.
+    std::optional<SimDuration> rel_deadline;
+    /// Absolute expiry of the current attempt (max() = none) — the
+    /// reject-by-deadline comparison key.
+    SimTime deadline_at = SimTime::max();
+    EventId deadline_timer = kInvalidEventId;
+    std::uint32_t attempts = 0;  // retries consumed so far
+  };
   struct Slot {
     MutexEndpoint* endpoint = nullptr;
-    std::deque<GrantCallback> waiting;
+    std::deque<Ticket> waiting;
     bool requesting = false;
     bool holding = false;
+    /// The requesting head was withdrawn (cancel/deadline/crash): the
+    /// algorithm request cannot be recalled, so the grant it wins is
+    /// released the instant it arrives.
+    bool abandoned = false;
+    std::uint64_t fence = 0;  // of the current hold
     std::uint64_t grants = 0;
   };
+
   [[nodiscard]] Slot& slot(LockId lock);
   [[nodiscard]] const Slot& slot(LockId lock) const;
   void pump(Slot& s);
+  /// Admission-checks and enqueues; entry point for both acquire and retry.
+  void admit(LockId lock, Ticket t);
+  void enqueue(LockId lock, Ticket t);
+  /// Terminal (or retried) non-granted resolution of a ticket.
+  void finish(LockId lock, Ticket t, AcquireOutcome outcome);
+  /// Defers the result callback through a zero-delay event.
+  void complete(Ticket t, AcquireOutcome outcome);
+  void on_deadline(LockId lock, TicketId id);
+  void cancel_timer(Ticket& t);
+  [[nodiscard]] SimDuration backoff_delay(std::uint32_t attempt);
+  void do_release(Slot& s, LockId lock, bool voluntary);
 
+  Simulator& sim_;
   NodeId node_;
   std::vector<Slot> slots_;  // indexed by LockId
+  AdmissionConfig admission_;
+  RetryConfig retry_;
+  Rng* retry_rng_ = nullptr;
+  LeaseHooks lease_;
+  bool down_ = false;
+  TicketId next_ticket_ = 1;
+
+  std::uint64_t sheds_ = 0;
+  std::uint64_t cancels_ = 0;
+  std::uint64_t deadline_misses_ = 0;
+  std::uint64_t retries_ = 0;
+  std::uint64_t forced_releases_ = 0;
+  std::uint64_t stale_releases_ = 0;
+  std::uint64_t abandoned_grants_ = 0;
 };
 
 }  // namespace gmx

@@ -48,6 +48,45 @@ struct ServiceConfig {
   OpenLoopParams open_loop;
   std::uint64_t seed = 1;
 
+  /// Service-level resilience (leases/fencing, deadlines, admission
+  /// control, retry backoff — service/resilience.hpp). Default-inert:
+  /// a default config adds no protocol, no timers and no Rng draws, so
+  /// fault-free trajectories stay bit-identical to pre-resilience runs.
+  ResilienceConfig resilience;
+
+  /// Client churn: `crashes` client-process deaths, round-robin over the
+  /// app nodes, starting at `first` and spaced `every`; each node rejoins
+  /// after `down` (<= 0: never — the negative-control flavour). Implies
+  /// the fault machinery (injector armed, batching off) even when
+  /// `faults.enabled` is false.
+  struct ChurnSpec {
+    std::uint32_t crashes = 0;  // 0 = no churn
+    SimDuration first = SimDuration::sec(2);
+    SimDuration every = SimDuration::ms(500);
+    SimDuration down = SimDuration::ms(800);
+  };
+  ChurnSpec churn;
+
+  /// Flash crowd: multiply the open-loop arrival rate by `factor` inside
+  /// [from, until). factor == 1 draws the identical arrival stream, so an
+  /// inert spec preserves bit-identity.
+  struct FlashCrowdSpec {
+    double factor = 1.0;
+    SimDuration from;
+    SimDuration until;
+  };
+  FlashCrowdSpec flash;
+
+  /// Crash-while-holding: at `at`, kill whichever client session holds
+  /// `lock` at that instant (no-op when nobody does); rejoin after `down`
+  /// (<= 0: never). Dynamic — resolved against live state at fire time.
+  struct HolderCrashSpec {
+    LockId lock = 0;
+    SimDuration at;
+    SimDuration down = SimDuration::ms(800);
+  };
+  std::vector<HolderCrashSpec> holder_crashes;
+
   /// Arms the ProtocolChecker per lock (see header comment).
   bool check_protocol = false;
   SimDuration grant_bound = SimDuration::sec(120);
@@ -74,6 +113,12 @@ struct ServiceConfig {
   [[nodiscard]] static constexpr ProtocolId lock_intra_protocol(
       std::uint32_t lock, std::uint32_t clusters, std::uint32_t cluster) {
     return lock_protocol_base(lock, clusters) + 1 + cluster;
+  }
+  /// LEASE protocol — reserved after every lock block, and only when
+  /// resilience.leases is on (the layout above is untouched otherwise).
+  [[nodiscard]] static constexpr ProtocolId lease_protocol(
+      std::uint32_t locks, std::uint32_t clusters) {
+    return 2 + locks * (clusters + 1);
   }
 
   /// e.g. "Naimi-Naimi K=16".

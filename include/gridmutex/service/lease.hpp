@@ -1,0 +1,203 @@
+// Lock leases with fencing epochs — the LockService's defense against its
+// own clients (ISSUE 7 tentpole).
+//
+// The algorithms below the service already survive message loss and
+// coordinator crashes (PR 2), but a *client* that dies while holding a
+// critical section stalls that lock forever: no protocol message is
+// missing, the token simply sits on a corpse. The LeaseManager closes that
+// hole at the service level:
+//
+//   - every client-visible grant is stamped with a **fencing token**, a
+//     per-lock counter that only ever grows (strictly monotone — the
+//     ProtocolChecker verifies this globally). The token rides the lock
+//     itself, so minting needs no extra round-trip;
+//   - while a session holds a lock it sends LEASE_RENEW datagrams every
+//     `renew_interval` to the lock's **authority** — the coordinator node
+//     of its home cluster. Renewals are real datagrams: a crashed,
+//     omitted, or partitioned holder stops renewing *as observed by the
+//     authority*, whatever the root cause;
+//   - an authority that sees no renewal for `ttl` opens a **revocation
+//     epoch** (reported to the checker), sends REVOKE to the holder, and
+//     waits `drain` for a graceful release. A live holder that receives
+//     the REVOKE releases inside the drain window; a dead one is
+//     force-released on its behalf when the window closes. Either way the
+//     epoch closes after the release, and the next grant's larger fencing
+//     token fences out any late release from the old holder
+//     (ClientSession::release_if_current refuses stale fences);
+//   - a force-release executed on a *down* node reuses PR 2's machinery:
+//     the release's outgoing datagrams are dropped by the omission window,
+//     the token is lost, and ARQ / token-regeneration mint the
+//     replacement. Revocation adds no new recovery protocol — it converts
+//     "client died holding the lock" into the already-solved "token lost".
+//
+// CANCEL and SHED are load-telemetry datagrams: sessions report admission
+// rejections and cancellations to the lock's authority, which aggregates
+// per-lock overload counters (the service's shed metrics).
+//
+// All four message schemas go through the zero-copy wire::Writer path and
+// are exposed for the codec-equivalence and fuzz suites like every other
+// protocol schema.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "gridmutex/net/network.hpp"
+#include "gridmutex/net/wire.hpp"
+#include "gridmutex/service/client_session.hpp"
+#include "gridmutex/service/lock_table.hpp"
+#include "gridmutex/service/resilience.hpp"
+
+namespace gmx {
+
+class LeaseManager {
+ public:
+  /// Message types on the lease protocol (below Message::kAckType).
+  static constexpr std::uint16_t kRenewType = 1;
+  static constexpr std::uint16_t kRevokeType = 2;
+  static constexpr std::uint16_t kCancelType = 3;
+  static constexpr std::uint16_t kShedType = 4;
+
+  // ---- wire schemas (all-varint; encode/decode exposed for the
+  //      codec-equivalence and fuzz differential oracles) ----
+  struct Renew {
+    std::uint64_t lock = 0;
+    std::uint64_t node = 0;
+    std::uint64_t fence = 0;
+    void encode(wire::Writer& w) const;
+    [[nodiscard]] static Renew decode(wire::Reader& r);
+    [[nodiscard]] bool operator==(const Renew&) const = default;
+  };
+  struct Revoke {
+    std::uint64_t lock = 0;
+    std::uint64_t fence = 0;
+    void encode(wire::Writer& w) const;
+    [[nodiscard]] static Revoke decode(wire::Reader& r);
+    [[nodiscard]] bool operator==(const Revoke&) const = default;
+  };
+  /// Shared shape of the CANCEL and SHED telemetry reports.
+  struct LoadReport {
+    std::uint64_t lock = 0;
+    std::uint64_t node = 0;
+    std::uint64_t count = 0;
+    void encode(wire::Writer& w) const;
+    [[nodiscard]] static LoadReport decode(wire::Reader& r);
+    [[nodiscard]] bool operator==(const LoadReport&) const = default;
+  };
+
+  /// Analysis attachment points (the recovery-manager idiom: the service
+  /// stays ignorant of the checker; the experiment wires these through).
+  struct Hooks {
+    std::function<void(LockId, std::uint64_t fence)> on_grant;
+    std::function<void(LockId, std::uint64_t fence, bool voluntary)>
+        on_release;
+    /// Revocation epoch open/close for `lock`.
+    std::function<void(LockId, bool open)> on_revocation;
+  };
+
+  struct Stats {
+    std::uint64_t grants = 0;
+    std::uint64_t renews_sent = 0;
+    std::uint64_t renews_received = 0;
+    std::uint64_t revocations = 0;      ///< epochs opened (TTL expiries)
+    std::uint64_t drain_releases = 0;   ///< holder honored REVOKE in time
+    std::uint64_t forced_releases = 0;  ///< drain expired, fenced out
+    std::uint64_t shed_reports = 0;     ///< SHED datagrams received
+    std::uint64_t cancel_reports = 0;   ///< CANCEL datagrams received
+  };
+
+  /// `authority_of_lock[l]` is the coordinator node owning lock l's lease
+  /// bookkeeping; `resolve(node)` returns the ClientSession living on an
+  /// app node (nullptr for non-session nodes). Attaches a handler for
+  /// `protocol` on every node of the network's topology.
+  LeaseManager(Network& net, ProtocolId protocol, LeaseConfig cfg,
+               std::vector<NodeId> authority_of_lock,
+               std::function<ClientSession*(NodeId)> resolve);
+  ~LeaseManager();
+
+  LeaseManager(const LeaseManager&) = delete;
+  LeaseManager& operator=(const LeaseManager&) = delete;
+
+  void set_hooks(Hooks hooks) { hooks_ = std::move(hooks); }
+
+  // ---- ClientSession lease-hook entry points (LockService wiring) ----
+  /// Mints the fencing token for a grant `session` is delivering and
+  /// starts its renewal stream. Returns the fence.
+  std::uint64_t grant(ClientSession& session, LockId lock);
+  /// A hold ended (released voluntarily or force-released).
+  void released(NodeId node, LockId lock, std::uint64_t fence,
+                bool voluntary);
+  /// A ticket was shed or cancelled on `node` — emit the telemetry
+  /// datagram to the lock's authority.
+  void report_reject(NodeId node, LockId lock, AcquireOutcome outcome);
+
+  /// The client *process* on `node` died (fault layer; call right after
+  /// ClientSession::crash). Stops the node's renewal streams — a restarted
+  /// process has no memory of its holds, so it must not keep leases alive.
+  /// The authority is deliberately NOT told: it finds out the honest way,
+  /// when the TTL expires without renewals, and revokes.
+  void client_died(NodeId node);
+
+  [[nodiscard]] ProtocolId protocol() const { return protocol_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const LeaseConfig& config() const { return cfg_; }
+  /// Last fencing token minted for `lock` (0 = never granted).
+  [[nodiscard]] std::uint64_t fence_of(LockId lock) const;
+  /// True while `lock`'s revocation epoch is open.
+  [[nodiscard]] bool revoking(LockId lock) const;
+  /// Per-lock telemetry aggregated at the authority.
+  [[nodiscard]] std::uint64_t shed_reports_for(LockId lock) const;
+  [[nodiscard]] std::uint64_t cancel_reports_for(LockId lock) const;
+
+  /// TraceSink label for the lease protocol's message types ("" when the
+  /// protocol id is not ours — the labeler-chain contract).
+  [[nodiscard]] std::string trace_label(ProtocolId p,
+                                        std::uint16_t type) const;
+
+ private:
+  /// Authority-side view of one lock's lease.
+  struct Auth {
+    NodeId holder = kInvalidNode;
+    std::uint64_t fence = 0;
+    SimTime last_renewal;
+    EventId ttl_timer = kInvalidEventId;
+    EventId drain_timer = kInvalidEventId;
+    bool revoking = false;  // epoch open
+    std::uint64_t shed_reports = 0;
+    std::uint64_t cancel_reports = 0;
+  };
+  /// Holder-side renewal stream of one (node, lock) hold.
+  struct Holder {
+    std::uint64_t fence = 0;
+    EventId renew_timer = kInvalidEventId;
+  };
+
+  [[nodiscard]] static std::uint64_t holder_key(NodeId node, LockId lock) {
+    return (std::uint64_t(node) << 32) | std::uint64_t(lock);
+  }
+  void on_message(NodeId at, const Message& msg);
+  void send_renew(NodeId node, LockId lock);
+  void schedule_renew(NodeId node, LockId lock);
+  void check_ttl(LockId lock);
+  void arm_ttl(LockId lock, SimTime at);
+  void start_revocation(LockId lock);
+  void drain_expired(LockId lock, std::uint64_t fence);
+  void close_epoch(LockId lock);
+  void send(NodeId src, NodeId dst, std::uint16_t type, wire::Writer w);
+
+  Network& net_;
+  Simulator& sim_;
+  ProtocolId protocol_;
+  LeaseConfig cfg_;
+  std::vector<NodeId> authority_of_lock_;
+  std::function<ClientSession*(NodeId)> resolve_;
+  Hooks hooks_;
+  std::vector<std::uint64_t> fence_counter_;  // per lock, monotone
+  std::vector<Auth> auth_;                    // per lock
+  std::unordered_map<std::uint64_t, Holder> holders_;
+  Stats stats_;
+};
+
+}  // namespace gmx

@@ -24,6 +24,13 @@
 //   1                      BATCH        (reserved even when batching off)
 //   2 + l*(C+1)            lock l inter
 //   2 + l*(C+1) + 1 + c    lock l intra of cluster c      (C clusters)
+//   2 + K*(C+1)            LEASE        (only when resilience.leases is on)
+//
+// Resilience (service/resilience.hpp, service/lease.hpp): when configured,
+// sessions get admission control, deadline tickets and backoff retry, and a
+// LeaseManager mints fencing tokens and revokes unresponsive holders. The
+// default ResilienceConfig is inert — no protocol reserved, no timer, no
+// Rng draw — so fault-free runs stay bit-identical to the bare service.
 #pragma once
 
 #include <functional>
@@ -34,7 +41,9 @@
 #include "gridmutex/core/composition.hpp"
 #include "gridmutex/service/batch.hpp"
 #include "gridmutex/service/client_session.hpp"
+#include "gridmutex/service/lease.hpp"
 #include "gridmutex/service/lock_table.hpp"
+#include "gridmutex/service/resilience.hpp"
 
 namespace gmx {
 
@@ -50,6 +59,8 @@ struct LockServiceConfig {
   /// Must be off when any fault campaign runs (frames are not ARQ-covered).
   bool batching = true;
   std::uint64_t seed = 1;
+  /// Leases, admission control, retry (service/resilience.hpp).
+  ResilienceConfig resilience;
 };
 
 class LockService {
@@ -80,6 +91,10 @@ class LockService {
   [[nodiscard]] ProtocolId protocol_base(LockId lock) const;
   /// nullptr when batching is disabled.
   [[nodiscard]] BatchMux* batcher() { return mux_.get(); }
+  /// nullptr unless resilience.leases is on.
+  [[nodiscard]] LeaseManager* leases() { return lease_.get(); }
+  /// 0 unless resilience.leases is on.
+  [[nodiscard]] ProtocolId lease_protocol() const { return lease_protocol_; }
 
   /// Messages of lock `lock` handed to the wire, including sub-messages
   /// that rode inside BATCH frames; `inter_messages` restricts to
@@ -97,10 +112,14 @@ class LockService {
   LockServiceConfig cfg_;
   LockTable table_;
   ProtocolId batch_protocol_ = 0;
+  ProtocolId lease_protocol_ = 0;
   std::unique_ptr<BatchMux> mux_;
   std::vector<std::unique_ptr<Composition>> comps_;  // one per lock
   std::vector<std::unique_ptr<ClientSession>> sessions_;  // per app node
   std::vector<int> session_of_node_;  // node -> index into sessions_, -1
+  /// Dedicated stream for retry jitter; fault-free runs never draw from it.
+  Rng resilience_rng_;
+  std::unique_ptr<LeaseManager> lease_;  // after sessions_: destroyed first
 };
 
 }  // namespace gmx

@@ -1,0 +1,145 @@
+// Service-level resilience vocabulary: acquire outcomes, lease/admission/
+// retry configuration, and the chaos scenario axes built from them.
+//
+// The algorithms (PR 2) already survive message loss, token loss and
+// coordinator crashes. This header names the failure modes of the *service
+// layer itself* — a client that dies while holding a critical section, an
+// acquire with no deadline, unbounded queueing under overload — and the
+// knobs that contain them:
+//
+//   - leases with fencing epochs: every grant carries a fencing token,
+//     strictly monotone per lock; a holder that stops renewing its lease is
+//     revoked through a drain-and-force-release protocol (service/lease.hpp)
+//     and the replacement holder's larger token fences out the stale one;
+//   - deadline-based acquire and cancellation: a ticket that cannot be
+//     granted in time fails cleanly instead of waiting forever, and a
+//     queued ticket can be withdrawn (the granted-race is detected, never
+//     silently dropped);
+//   - admission control: the per-(session, lock) pending queue is bounded
+//     and overflow is shed by policy, so overload degrades into explicit
+//     rejections instead of unbounded latency;
+//   - retry with jittered exponential backoff: shed or expired tickets
+//     retry from a dedicated Rng stream — fault-free runs make zero draws,
+//     so the pinned delivery-trace hashes are untouched.
+//
+// Everything here is inert configuration; behavior lives in
+// service/client_session.hpp (tickets) and service/lease.hpp (leases).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "gridmutex/sim/time.hpp"
+
+namespace gmx {
+
+/// Ticket handle returned by ClientSession::acquire; unique per session.
+using TicketId = std::uint64_t;
+inline constexpr TicketId kInvalidTicket = 0;
+
+/// Terminal state of an acquire ticket. Exactly one outcome is delivered
+/// per ticket (after session-internal retries are exhausted).
+enum class AcquireOutcome : std::uint8_t {
+  kGranted,          ///< the session holds the lock; caller must release
+  kDeadlineExpired,  ///< not granted within the ticket's deadline
+  kCancelled,        ///< withdrawn via ClientSession::cancel
+  kShed,             ///< rejected by admission control (queue bound)
+  kSessionDown,      ///< the client session crashed before a grant
+};
+
+[[nodiscard]] std::string_view to_string(AcquireOutcome o);
+
+/// Delivered to the ticket's callback on completion.
+struct AcquireResult {
+  AcquireOutcome outcome = AcquireOutcome::kGranted;
+  /// Fencing token of the grant — strictly monotone per lock, 0 for every
+  /// non-granted outcome. The holder passes it back to
+  /// release_if_current(): a release fenced by a stale token is refused,
+  /// which is how a revoked client's late release stays harmless.
+  std::uint64_t fence = 0;
+  /// Session-internal retry attempts consumed before this outcome.
+  std::uint32_t attempts = 0;
+};
+
+/// Per-ticket acquire options.
+struct AcquireOptions {
+  /// Grant deadline measured from the acquire() call. nullopt = wait
+  /// forever (the pre-resilience behavior). A zero or negative deadline is
+  /// already expired: the ticket fails with kDeadlineExpired without ever
+  /// reaching the algorithm (a grant can never be synchronous — even an
+  /// uncontended request crosses at least one zero-delay event).
+  std::optional<SimDuration> deadline;
+};
+
+/// What to evict when the pending queue of one (session, lock) is full.
+enum class ShedPolicy : std::uint8_t {
+  /// Reject the incoming ticket (classic tail drop).
+  kRejectNewest,
+  /// Keep the most urgent work: evict the queued ticket with the *latest*
+  /// deadline (no deadline = latest possible) if the newcomer is more
+  /// urgent; otherwise reject the newcomer. The head ticket is never
+  /// evicted — its algorithm request is already on the wire.
+  kRejectByDeadline,
+};
+
+[[nodiscard]] std::string_view to_string(ShedPolicy p);
+
+struct AdmissionConfig {
+  /// Maximum tickets queued per (session, lock), counting the requesting
+  /// head. 0 = unbounded (the pre-resilience behavior).
+  std::uint32_t max_pending = 0;
+  ShedPolicy policy = ShedPolicy::kRejectNewest;
+};
+
+/// Session-internal retry of shed / deadline-expired tickets. Backoff for
+/// attempt k (0-based) is min(cap, base * multiplier^k), scaled by a
+/// uniform jitter factor in [1 - jitter, 1 + jitter] drawn from the
+/// service's dedicated resilience Rng stream. attempts == 0 disables
+/// retries; fault-free runs then draw nothing from the stream.
+struct RetryConfig {
+  std::uint32_t attempts = 0;
+  SimDuration base = SimDuration::ms(50);
+  double multiplier = 2.0;
+  SimDuration cap = SimDuration::sec(2);
+  double jitter = 0.5;  ///< in [0, 1)
+};
+
+/// Lock leases (service/lease.hpp). While a session holds a lock it renews
+/// its lease every `renew_interval` with a LEASE_RENEW datagram to the
+/// lock's authority (the home cluster's coordinator node). An authority
+/// that sees no renewal for `ttl` starts revocation: it sends REVOKE to
+/// the holder, waits `drain` for a voluntary release, then force-releases
+/// the lock on the holder's behalf — reusing the PR 2 machinery underneath
+/// (a release from a crashed node loses the token; ARQ/regeneration mint a
+/// replacement). Choose ttl > renew_interval + one WAN round-trip, and
+/// drain > one WAN round-trip.
+struct LeaseConfig {
+  SimDuration renew_interval = SimDuration::ms(100);
+  SimDuration ttl = SimDuration::ms(500);
+  SimDuration drain = SimDuration::ms(200);
+};
+
+/// The service-level resilience bundle (LockServiceConfig::resilience).
+/// Default-constructed it is entirely inert: no lease protocol is
+/// reserved, no timer is scheduled, no Rng draw is made — fault-free runs
+/// stay bit-identical to the pre-resilience service.
+struct ResilienceConfig {
+  /// Lock leases with fencing-epoch revocation. Requires the run to keep
+  /// recovery enabled under faults: a force-release from a dead node leans
+  /// on ARQ/token-regeneration to re-home the token.
+  bool leases = false;
+  LeaseConfig lease;
+  AdmissionConfig admission;
+  RetryConfig retry;
+  /// Deadline applied to tickets acquired without explicit options
+  /// (the open-loop driver uses this as every arrival's deadline).
+  std::optional<SimDuration> default_deadline;
+
+  [[nodiscard]] bool any() const {
+    return leases || admission.max_pending > 0 || retry.attempts > 0 ||
+           default_deadline.has_value();
+  }
+};
+
+}  // namespace gmx

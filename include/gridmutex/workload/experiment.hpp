@@ -120,6 +120,8 @@ struct LockMetrics {
   Histogram obtaining_hist{10'000.0, 200};
   std::uint64_t protocol_msgs = 0;  // all messages of this lock's instances
   std::uint64_t inter_msgs = 0;     // cluster-crossing subset
+  std::uint64_t sheds = 0;          // arrivals rejected by admission control
+  std::uint64_t revocations = 0;    // lease revocation epochs opened
 
   [[nodiscard]] double inter_msgs_per_cs() const {
     return completed_cs == 0 ? 0.0
@@ -172,6 +174,21 @@ struct ExperimentResult {
   /// The run hit FaultCampaign::stall_horizon without draining (negative
   /// controls). total_cs then under-counts the configured workload.
   bool stalled = false;
+
+  // Service-resilience outcome (ISSUE 7; all zero on non-leased,
+  // churn-free runs). Session counters tally every occurrence — a shed
+  // arrival that is retried and shed again counts twice here but resolves
+  // once in per_lock[].sheds.
+  std::uint64_t lease_renewals = 0;    // renewals received by authorities
+  std::uint64_t lease_revocations = 0; // revocation epochs opened
+  std::uint64_t forced_releases = 0;   // involuntary releases executed
+  std::uint64_t sheds = 0;             // admission-control rejections
+  std::uint64_t cancels = 0;           // explicit cancellations honoured
+  std::uint64_t deadline_misses = 0;   // acquire deadlines that expired
+  std::uint64_t acquire_retries = 0;   // backoff re-admissions
+  std::uint64_t client_crashes = 0;    // client-process deaths injected
+  std::uint64_t cs_interrupted = 0;    // grants revoked / lost mid-CS
+  std::uint64_t stale_releases = 0;    // fence-mismatched releases refused
 
   /// FNV-1a fingerprint of the full delivery trace (0 unless
   /// ExperimentConfig::hash_trace / ServiceConfig::hash_trace). merge()

@@ -31,6 +31,10 @@ std::string_view to_string(ProtocolChecker::Violation::Kind k) {
       return "foreign delivery";
     case Kind::kRegenerationOverlap:
       return "overlapping regeneration";
+    case Kind::kFencingRegression:
+      return "fencing-token regression";
+    case Kind::kRevocationOverlap:
+      return "revocation protocol breach";
   }
   return "?";
 }
@@ -323,6 +327,76 @@ void ProtocolChecker::note_regeneration(ProtocolId protocol, bool open) {
     inst.token_missing_since = SimTime::max();
     inst.token_flagged = false;
   }
+}
+
+ProtocolChecker::LeaseDomain& ProtocolChecker::lease_domain(
+    const std::string& name) {
+  const auto it = lease_domains_.find(name);
+  GMX_ASSERT_MSG(it != lease_domains_.end(),
+                 "lease report on an unattached domain");
+  return it->second;
+}
+
+void ProtocolChecker::attach_lease_domain(const std::string& name) {
+  const auto [it, inserted] = lease_domains_.emplace(name, LeaseDomain{});
+  (void)it;
+  GMX_ASSERT_MSG(inserted, "lease domain attached twice");
+}
+
+void ProtocolChecker::report_lease_grant(const std::string& name,
+                                         std::uint64_t fence) {
+  LeaseDomain& d = lease_domain(name);
+  if (fence <= d.last_fence) {
+    add_violation(Violation{
+        Violation::Kind::kFencingRegression, sim_.now(), name, -1,
+        "grant fence " + std::to_string(fence) +
+            " does not exceed the domain's high-water mark " +
+            std::to_string(d.last_fence) +
+            " (fencing tokens must be strictly monotone per lock)"});
+  } else {
+    d.last_fence = fence;
+  }
+  if (d.active_fence != 0) {
+    add_violation(Violation{
+        Violation::Kind::kRevocationOverlap, sim_.now(), name, -1,
+        "grant (fence " + std::to_string(fence) +
+            ") while the hold under fence " +
+            std::to_string(d.active_fence) +
+            " is still active — holder change without a release"});
+  }
+  d.active_fence = fence;
+}
+
+void ProtocolChecker::report_lease_release(const std::string& name,
+                                           std::uint64_t fence,
+                                           bool voluntary) {
+  LeaseDomain& d = lease_domain(name);
+  if (fence != d.active_fence) {
+    add_violation(Violation{
+        Violation::Kind::kFencingRegression, sim_.now(), name, -1,
+        "release of fence " + std::to_string(fence) +
+            " but the active hold is fence " +
+            std::to_string(d.active_fence) +
+            " (a stale-fenced release must be refused, not executed)"});
+  }
+  if (!voluntary && !d.in_revocation) {
+    add_violation(Violation{
+        Violation::Kind::kRevocationOverlap, sim_.now(), name, -1,
+        "involuntary release (fence " + std::to_string(fence) +
+            ") outside a declared revocation epoch"});
+  }
+  d.active_fence = 0;
+}
+
+void ProtocolChecker::note_revocation(const std::string& name, bool open) {
+  LeaseDomain& d = lease_domain(name);
+  if (open && d.in_revocation) {
+    add_violation(Violation{
+        Violation::Kind::kRevocationOverlap, sim_.now(), name, -1,
+        "revocation epoch opened while one is already open (at most one "
+        "revocation per lock)"});
+  }
+  d.in_revocation = open;
 }
 
 void ProtocolChecker::check_conservation() {

@@ -35,6 +35,19 @@ void FaultInjector::arm() {
         set_node(node, true);
       });
   }
+  for (const auto& c : plan_.client_crashes) {
+    GMX_ASSERT(c.at >= now);
+    GMX_ASSERT(c.restart > c.at);
+    schedule(c.at, [this, node = c.node] {
+      ++active_windows_;
+      set_client(node, false);
+    });
+    if (c.restart < SimTime::max())
+      schedule(c.restart, [this, node = c.node] {
+        --active_windows_;
+        set_client(node, true);
+      });
+  }
   for (const auto& p : plan_.partitions) {
     GMX_ASSERT(p.at >= now && p.heal > p.at);
     schedule(p.at, [this, a = p.a, b = p.b] {
@@ -80,6 +93,31 @@ void FaultInjector::set_node(NodeId node, bool up) {
     ++stats_.crashes;
   }
   for (const auto& hook : node_hooks_) hook(node, up);
+}
+
+void FaultInjector::inject_client_crash(NodeId node, SimTime restart) {
+  ++active_windows_;
+  set_client(node, false);
+  if (restart < SimTime::max()) {
+    GMX_ASSERT(restart > net_.simulator().now());
+    schedule(restart, [this, node] {
+      --active_windows_;
+      set_client(node, true);
+    });
+  }
+}
+
+void FaultInjector::set_client(NodeId node, bool up) {
+  // A dead client process stops sending and receiving — the same omission
+  // window as a node crash — but only client hooks fire, so failover and
+  // token-recovery machinery watching node events stays quiet.
+  net_.set_node_up(node, up);
+  if (up) {
+    ++stats_.client_restarts;
+  } else {
+    ++stats_.client_crashes;
+  }
+  for (const auto& hook : client_hooks_) hook(node, up);
 }
 
 int FaultInjector::active_faults() const {

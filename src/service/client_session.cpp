@@ -1,15 +1,38 @@
 #include "gridmutex/service/client_session.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 #include "gridmutex/sim/assert.hpp"
 
 namespace gmx {
 
+std::string_view to_string(AcquireOutcome o) {
+  switch (o) {
+    case AcquireOutcome::kGranted: return "granted";
+    case AcquireOutcome::kDeadlineExpired: return "deadline-expired";
+    case AcquireOutcome::kCancelled: return "cancelled";
+    case AcquireOutcome::kShed: return "shed";
+    case AcquireOutcome::kSessionDown: return "session-down";
+  }
+  return "?";
+}
+
+std::string_view to_string(ShedPolicy p) {
+  switch (p) {
+    case ShedPolicy::kRejectNewest: return "reject-newest";
+    case ShedPolicy::kRejectByDeadline: return "reject-by-deadline";
+  }
+  return "?";
+}
+
 void ClientSession::add_lock(LockId lock, MutexEndpoint& endpoint) {
   GMX_ASSERT_MSG(lock == slots_.size(), "locks must be added in id order");
   GMX_ASSERT(endpoint.node() == node_);
-  slots_.push_back(Slot{&endpoint, {}, false, false, 0});
+  Slot s;
+  s.endpoint = &endpoint;
+  slots_.push_back(std::move(s));
 }
 
 ClientSession::Slot& ClientSession::slot(LockId lock) {
@@ -24,13 +47,83 @@ const ClientSession::Slot& ClientSession::slot(LockId lock) const {
 
 void ClientSession::acquire(LockId lock, GrantCallback cb) {
   GMX_ASSERT(cb != nullptr);
+  acquire(lock, AcquireOptions{},
+          [cb = std::move(cb)](const AcquireResult& r) {
+            // The legacy API has no failure channel; it is only legal on
+            // sessions without admission bounds or crash campaigns.
+            GMX_ASSERT_MSG(r.outcome == AcquireOutcome::kGranted,
+                           "legacy acquire() ticket failed; use the "
+                           "ticketed acquire for resilient clients");
+            cb();
+          });
+}
+
+TicketId ClientSession::acquire(LockId lock, AcquireOptions opts,
+                                ResultCallback cb) {
+  GMX_ASSERT(cb != nullptr);
+  Ticket t;
+  t.id = next_ticket_++;
+  t.cb = std::move(cb);
+  t.rel_deadline = opts.deadline;
+  const TicketId id = t.id;
+  if (down_) {
+    complete(std::move(t), AcquireOutcome::kSessionDown);
+    return id;
+  }
+  admit(lock, std::move(t));
+  return id;
+}
+
+void ClientSession::admit(LockId lock, Ticket t) {
   Slot& s = slot(lock);
-  s.waiting.push_back(std::move(cb));
+  // An already-expired deadline never reaches the algorithm: even an
+  // uncontended grant crosses at least one zero-delay event, so a zero
+  // budget cannot be met.
+  if (t.rel_deadline && t.rel_deadline->count_ns() <= 0) {
+    finish(lock, std::move(t), AcquireOutcome::kDeadlineExpired);
+    return;
+  }
+  t.deadline_at =
+      t.rel_deadline ? sim_.now() + *t.rel_deadline : SimTime::max();
+  if (admission_.max_pending > 0 && s.waiting.size() >= admission_.max_pending) {
+    if (admission_.policy == ShedPolicy::kRejectByDeadline) {
+      // Evict the least urgent queued ticket if the newcomer beats it.
+      // The requesting head is not evictable: its request is on the wire.
+      const std::size_t first = s.requesting ? 1 : 0;
+      std::size_t victim = s.waiting.size();
+      for (std::size_t i = first; i < s.waiting.size(); ++i) {
+        if (victim == s.waiting.size() ||
+            s.waiting[i].deadline_at > s.waiting[victim].deadline_at)
+          victim = i;
+      }
+      if (victim < s.waiting.size() &&
+          t.deadline_at < s.waiting[victim].deadline_at) {
+        Ticket evicted = std::move(s.waiting[victim]);
+        s.waiting.erase(s.waiting.begin() + std::ptrdiff_t(victim));
+        cancel_timer(evicted);
+        enqueue(lock, std::move(t));
+        finish(lock, std::move(evicted), AcquireOutcome::kShed);
+        return;
+      }
+    }
+    finish(lock, std::move(t), AcquireOutcome::kShed);
+    return;
+  }
+  enqueue(lock, std::move(t));
+}
+
+void ClientSession::enqueue(LockId lock, Ticket t) {
+  Slot& s = slot(lock);
+  if (t.deadline_at != SimTime::max()) {
+    t.deadline_timer = sim_.schedule_at(
+        t.deadline_at, [this, lock, id = t.id] { on_deadline(lock, id); });
+  }
+  s.waiting.push_back(std::move(t));
   pump(s);
 }
 
 void ClientSession::pump(Slot& s) {
-  if (s.requesting || s.holding || s.waiting.empty()) return;
+  if (s.requesting || s.holding || s.waiting.empty() || down_) return;
   s.requesting = true;
   s.endpoint->request_cs();
 }
@@ -40,23 +133,180 @@ void ClientSession::granted(LockId lock) {
   GMX_ASSERT_MSG(s.requesting && !s.holding,
                  "grant without an outstanding request");
   s.requesting = false;
+  if (s.abandoned || down_) {
+    // The granted race: the winning ticket was withdrawn (or the client
+    // died) after its request left. Nobody observes this grant — release
+    // immediately so the lock moves on.
+    s.abandoned = false;
+    ++abandoned_grants_;
+    s.endpoint->release_cs();
+    pump(s);
+    return;
+  }
+  GMX_ASSERT(!s.waiting.empty());
+  Ticket t = std::move(s.waiting.front());
+  s.waiting.pop_front();
+  cancel_timer(t);
   s.holding = true;
   ++s.grants;
-  GMX_ASSERT(!s.waiting.empty());
-  GrantCallback cb = std::move(s.waiting.front());
-  s.waiting.pop_front();
-  cb();
+  s.fence = lease_.on_grant ? lease_.on_grant(lock) : 0;
+  // Delivered synchronously: we are already inside the endpoint's deferred
+  // grant event, so the caller's stack is long gone.
+  t.cb(AcquireResult{AcquireOutcome::kGranted, s.fence, t.attempts});
+}
+
+bool ClientSession::cancel(LockId lock, TicketId id) {
+  Slot& s = slot(lock);
+  if (down_) return false;
+  for (std::size_t i = 0; i < s.waiting.size(); ++i) {
+    if (s.waiting[i].id != id) continue;
+    if (i == 0 && s.requesting) s.abandoned = true;
+    Ticket t = std::move(s.waiting[i]);
+    s.waiting.erase(s.waiting.begin() + std::ptrdiff_t(i));
+    cancel_timer(t);
+    finish(lock, std::move(t), AcquireOutcome::kCancelled);
+    return true;
+  }
+  // Unknown, completed, or already granted — cancelling the current holder
+  // must never silently release, so it is a plain refusal.
+  return false;
+}
+
+void ClientSession::on_deadline(LockId lock, TicketId id) {
+  Slot& s = slot(lock);
+  for (std::size_t i = 0; i < s.waiting.size(); ++i) {
+    if (s.waiting[i].id != id) continue;
+    if (i == 0 && s.requesting) s.abandoned = true;
+    Ticket t = std::move(s.waiting[i]);
+    s.waiting.erase(s.waiting.begin() + std::ptrdiff_t(i));
+    t.deadline_timer = kInvalidEventId;  // this timer just fired
+    finish(lock, std::move(t), AcquireOutcome::kDeadlineExpired);
+    return;
+  }
+  // Granted or cancelled in the same instant; the timer lost the race.
+}
+
+void ClientSession::finish(LockId lock, Ticket t, AcquireOutcome outcome) {
+  if (outcome == AcquireOutcome::kShed) ++sheds_;
+  if (outcome == AcquireOutcome::kDeadlineExpired) ++deadline_misses_;
+  if (outcome == AcquireOutcome::kCancelled) ++cancels_;
+  const bool retryable = outcome == AcquireOutcome::kShed ||
+                         outcome == AcquireOutcome::kDeadlineExpired;
+  if (retryable && retry_.attempts > 0 && t.attempts < retry_.attempts &&
+      retry_rng_ != nullptr && !down_) {
+    const SimDuration delay = backoff_delay(t.attempts);
+    ++t.attempts;
+    ++retries_;
+    sim_.schedule_after(delay, [this, lock, t = std::move(t)]() mutable {
+      if (down_) {
+        complete(std::move(t), AcquireOutcome::kSessionDown);
+        return;
+      }
+      admit(lock, std::move(t));
+    });
+    return;
+  }
+  if (lease_.on_reject && (outcome == AcquireOutcome::kShed ||
+                           outcome == AcquireOutcome::kCancelled)) {
+    lease_.on_reject(lock, outcome);
+  }
+  complete(std::move(t), outcome);
+}
+
+void ClientSession::complete(Ticket t, AcquireOutcome outcome) {
+  // Deferred so acquire()/cancel() callers never see their own callback
+  // on the current stack (mirrors the endpoint's deferred grants).
+  sim_.schedule_after(
+      SimDuration::ns(0),
+      [cb = std::move(t.cb),
+       res = AcquireResult{outcome, 0, t.attempts}] { cb(res); });
+}
+
+SimDuration ClientSession::backoff_delay(std::uint32_t attempt) {
+  double scale = retry_.base.as_sec();
+  for (std::uint32_t i = 0; i < attempt; ++i) scale *= retry_.multiplier;
+  scale = std::min(scale, retry_.cap.as_sec());
+  if (retry_.jitter > 0.0) {
+    GMX_ASSERT_MSG(retry_.jitter < 1.0, "retry jitter must be in [0, 1)");
+    scale *= retry_rng_->uniform(1.0 - retry_.jitter, 1.0 + retry_.jitter);
+  }
+  SimDuration d = SimDuration::sec_f(scale);
+  if (d.count_ns() < 1) d = SimDuration::ns(1);
+  return d;
+}
+
+void ClientSession::do_release(Slot& s, LockId lock, bool voluntary) {
+  s.holding = false;
+  const std::uint64_t fence = s.fence;
+  s.fence = 0;
+  if (lease_.on_release) lease_.on_release(lock, fence, voluntary);
+  s.endpoint->release_cs();
+  pump(s);
 }
 
 void ClientSession::release(LockId lock) {
   Slot& s = slot(lock);
   GMX_ASSERT_MSG(s.holding, "release() without holding the lock");
-  s.holding = false;
-  s.endpoint->release_cs();
-  pump(s);
+  do_release(s, lock, /*voluntary=*/true);
+}
+
+bool ClientSession::release_if_current(LockId lock, std::uint64_t fence) {
+  Slot& s = slot(lock);
+  if (down_ || !s.holding || s.fence != fence) {
+    ++stale_releases_;
+    return false;
+  }
+  do_release(s, lock, /*voluntary=*/true);
+  return true;
+}
+
+bool ClientSession::force_release(LockId lock) {
+  Slot& s = slot(lock);
+  if (!s.holding) return false;
+  ++forced_releases_;
+  // Involuntary: on a down node the release's outgoing datagrams are
+  // dropped — the token is lost and PR 2's regeneration machinery mints
+  // the replacement. On a live node this is a plain takeover release.
+  do_release(s, lock, /*voluntary=*/false);
+  return true;
+}
+
+void ClientSession::crash() {
+  GMX_ASSERT_MSG(!down_, "crash() of a session that is already down");
+  down_ = true;
+  for (LockId l = 0; l < slots_.size(); ++l) {
+    Slot& s = slots_[l];
+    if (s.requesting && !s.waiting.empty()) s.abandoned = true;
+    while (!s.waiting.empty()) {
+      Ticket t = std::move(s.waiting.front());
+      s.waiting.pop_front();
+      cancel_timer(t);
+      complete(std::move(t), AcquireOutcome::kSessionDown);
+    }
+    // Held locks stay dangling on purpose: the lease layer notices the
+    // missing renewals and revokes them (or the client restarts in time
+    // and resumes renewing).
+  }
+}
+
+void ClientSession::restart() {
+  GMX_ASSERT_MSG(down_, "restart() of a session that is up");
+  down_ = false;
+  for (Slot& s : slots_) pump(s);
+}
+
+void ClientSession::cancel_timer(Ticket& t) {
+  if (t.deadline_timer != kInvalidEventId) {
+    sim_.cancel(t.deadline_timer);
+    t.deadline_timer = kInvalidEventId;
+  }
 }
 
 bool ClientSession::holding(LockId lock) const { return slot(lock).holding; }
+
+std::uint64_t ClientSession::current_fence(LockId lock) const {
+  return slot(lock).fence;
+}
 
 std::size_t ClientSession::pending(LockId lock) const {
   return slot(lock).waiting.size();

@@ -55,9 +55,13 @@ ExperimentResult run_service_experiment(const ServiceConfig& cfg) {
   TraceHasher hasher;
   if (cfg.hash_trace) hasher.install(net);
 
-  // BATCH frames are plain datagrams (no ARQ); a faulted network dropping
-  // one would lose every sub-message inside. Campaigns run unbatched.
-  const bool batching = cfg.batching && !cfg.faults.enabled;
+  // Churn and holder-crash axes imply the fault machinery even without an
+  // explicit campaign; all of them disable batching (BATCH frames are
+  // plain datagrams — no ARQ — so a faulted network dropping one would
+  // lose every sub-message inside).
+  const bool faulted = cfg.faults.enabled || cfg.churn.crashes > 0 ||
+                       !cfg.holder_crashes.empty();
+  const bool batching = cfg.batching && !faulted;
 
   LockService svc(net, LockServiceConfig{
                            .locks = cfg.locks,
@@ -67,6 +71,7 @@ ExperimentResult run_service_experiment(const ServiceConfig& cfg) {
                            .placement = cfg.placement,
                            .batching = batching,
                            .seed = root.fork(2).next_u64(),
+                           .resilience = cfg.resilience,
                        });
 
   // The documented layout must match what the service actually reserved —
@@ -76,13 +81,51 @@ ExperimentResult run_service_experiment(const ServiceConfig& cfg) {
     GMX_ASSERT(svc.protocol_base(l) ==
                ServiceConfig::lock_protocol_base(l, cfg.clusters));
   }
+  if (cfg.resilience.leases) {
+    GMX_ASSERT(svc.lease_protocol() ==
+               ServiceConfig::lease_protocol(cfg.locks, cfg.clusters));
+  }
+
+  const std::vector<NodeId>& apps = svc.app_nodes();
 
   // Fault campaign wiring mirrors run_experiment, fanned out per lock.
   std::unique_ptr<FaultInjector> injector;
   std::unique_ptr<TokenRecoveryManager> recovery;
   std::vector<std::unique_ptr<CoordinatorFailover>> failovers;
-  if (cfg.faults.enabled) {
-    injector = std::make_unique<FaultInjector>(net, cfg.faults.plan);
+  if (faulted) {
+    // Compile the churn axis into declarative client-crash entries,
+    // round-robin over the app nodes so the damage spreads across
+    // clusters the way real grid churn does.
+    FaultPlan plan = cfg.faults.plan;
+    for (std::uint32_t i = 0; i < cfg.churn.crashes; ++i) {
+      const NodeId node = apps[i % apps.size()];
+      const SimTime at =
+          SimTime::zero() + cfg.churn.first + cfg.churn.every * std::int64_t(i);
+      const SimTime restart = cfg.churn.down.count_ns() > 0
+                                  ? at + cfg.churn.down
+                                  : SimTime::max();
+      plan.client_crash(node, at, restart);
+    }
+    injector = std::make_unique<FaultInjector>(net, std::move(plan));
+    // Client churn reaches the service layer through the client hook:
+    // queued tickets fail with kSessionDown, held locks dangle until the
+    // lease layer revokes them (or the run stalls — the negative control).
+    std::vector<char> is_app(topo.node_count(), 0);
+    for (const NodeId v : apps) is_app[v] = 1;
+    injector->add_client_hook(
+        [&svc, is_app = std::move(is_app)](NodeId node, bool up) {
+          if (!is_app[node]) return;
+          ClientSession& s = svc.session(node);
+          if (up != s.down()) return;
+          if (up) {
+            s.restart();
+          } else {
+            s.crash();
+            // A dead process forgets its holds: stop its renewal streams
+            // so the authority's TTL — not a zombie timer — decides.
+            if (svc.leases() != nullptr) svc.leases()->client_died(node);
+          }
+        });
     if (cfg.faults.recovery) {
       const RecoveryConfig& rc = cfg.faults.recovery_cfg;
       recovery = std::make_unique<TokenRecoveryManager>(net, rc);
@@ -110,6 +153,23 @@ ExperimentResult run_service_experiment(const ServiceConfig& cfg) {
       }
     }
     injector->arm();
+    // Crash-while-holding resolves its victim at fire time: whichever
+    // session holds the lock at that instant dies (nobody holding = no-op).
+    for (const ServiceConfig::HolderCrashSpec& h : cfg.holder_crashes) {
+      GMX_ASSERT(h.lock < cfg.locks);
+      sim.schedule_at(SimTime::zero() + h.at, [&sim, &svc, &injector, &apps,
+                                               h] {
+        for (const NodeId v : apps) {
+          ClientSession& s = svc.session(v);
+          if (s.down() || !s.holding(h.lock)) continue;
+          const SimTime restart = h.down.count_ns() > 0
+                                      ? sim.now() + h.down
+                                      : SimTime::max();
+          injector->inject_client_crash(v, restart);
+          return;
+        }
+      });
+    }
   }
 
   // Checker declared after the world it watches (its hooks uninstall
@@ -146,21 +206,30 @@ ExperimentResult run_service_experiment(const ServiceConfig& cfg) {
 
   // Materialize the whole arrival trace from its own Rng stream: arrival
   // times, requesting nodes and lock choices never depend on how the
-  // service behaves, which is what "open loop" means.
-  const std::vector<NodeId>& apps = svc.app_nodes();
+  // service behaves, which is what "open loop" means. A flash crowd
+  // shrinks the mean gap inside its window; factor == 1 computes the
+  // identical stream (same draws, same arithmetic), preserving
+  // bit-identity for inert specs.
   const ZipfSampler zipf(cfg.locks, cfg.open_loop.zipf_s);
   std::vector<Arrival> arrivals;
   {
+    GMX_ASSERT(cfg.flash.factor > 0.0);
     Rng traffic = root.fork(3);
     const double mean_gap = 1.0 / cfg.open_loop.arrivals_per_sec;
-    double t = traffic.exponential(mean_gap);
+    const double flash_from = cfg.flash.from.as_sec();
+    const double flash_until = cfg.flash.until.as_sec();
+    const auto gap_at = [&](double t) {
+      const bool in_flash = t >= flash_from && t < flash_until;
+      return in_flash ? mean_gap / cfg.flash.factor : mean_gap;
+    };
+    double t = traffic.exponential(gap_at(0.0));
     while (t < cfg.open_loop.window.as_sec()) {
       Arrival a;
       a.at = SimTime::zero() + SimDuration::sec_f(t);
       a.node = apps[traffic.next_below(apps.size())];
       a.lock = zipf.sample(traffic);
       arrivals.push_back(a);
-      t += traffic.exponential(mean_gap);
+      t += traffic.exponential(gap_at(t));
     }
   }
 
@@ -169,38 +238,120 @@ ExperimentResult run_service_experiment(const ServiceConfig& cfg) {
   struct LockAccount {
     std::uint64_t arrivals = 0;
     std::uint64_t completed = 0;
+    std::uint64_t sheds = 0;        // arrivals resolved kShed
+    std::uint64_t revocations = 0;  // revocation epochs opened
     DurationStats obtaining;
     Histogram obtaining_hist{10'000.0, 200};
     SafetyMonitor safety;
+    // Current experiment-level occupant, so an involuntary release (lease
+    // revocation / crash-while-holding) can close the safety window at the
+    // instant the hold actually ends, not when the hold timer fires.
+    bool in_cs = false;
+    int cur_node = -1;
+    std::uint64_t cur_fence = 0;
   };
   std::vector<LockAccount> accounts(cfg.locks);
   std::uint64_t outstanding = 0;
   std::uint64_t cs_under_faults = 0;
+  std::uint64_t cs_interrupted = 0;
 
+  // Lease observation channel: feeds the checker's fencing/revocation
+  // rules and lets an involuntary release exit the safety monitor for the
+  // evicted holder before the replacement grant can enter it.
+  std::vector<std::string> domain_names;
+  if (svc.leases() != nullptr) {
+    domain_names.reserve(cfg.locks);
+    for (LockId l = 0; l < cfg.locks; ++l)
+      domain_names.push_back("lock[" + std::to_string(l) + "]");
+    if (checker) {
+      for (const std::string& name : domain_names)
+        checker->attach_lease_domain(name);
+    }
+    svc.leases()->set_hooks(LeaseManager::Hooks{
+        .on_grant =
+            [&](LockId l, std::uint64_t fence) {
+              if (checker) checker->report_lease_grant(domain_names[l], fence);
+            },
+        .on_release =
+            [&](LockId l, std::uint64_t fence, bool voluntary) {
+              if (checker)
+                checker->report_lease_release(domain_names[l], fence,
+                                              voluntary);
+              if (voluntary) return;
+              LockAccount& acct = accounts[l];
+              if (acct.in_cs && acct.cur_fence == fence) {
+                acct.safety.exit(int(l), acct.cur_node);
+                acct.in_cs = false;
+              }
+            },
+        .on_revocation =
+            [&](LockId l, bool open) {
+              if (checker) checker->note_revocation(domain_names[l], open);
+              if (open) ++accounts[l].revocations;
+            },
+    });
+  }
+
+  const bool leases = cfg.resilience.leases;
+  const AcquireOptions acquire_opts{.deadline =
+                                        cfg.resilience.default_deadline};
   for (const Arrival& a : arrivals) {
     ++accounts[a.lock].arrivals;
     ++outstanding;
     sim.schedule_at(a.at, [&, a] {
-      svc.session(a.node).acquire(a.lock, [&, a] {
-        const SimTime granted = sim.now();
+      svc.session(a.node).acquire(a.lock, acquire_opts, [&,
+                                                         a](AcquireResult r) {
         LockAccount& acct = accounts[a.lock];
+        if (r.outcome != AcquireOutcome::kGranted) {
+          // Arrival resolved without a CS: shed, deadline miss, or the
+          // client died while queued. Each resolves exactly once.
+          if (r.outcome == AcquireOutcome::kShed) ++acct.sheds;
+          --outstanding;
+          return;
+        }
+        const SimTime granted = sim.now();
         const SimDuration obtained = granted - a.at;
         acct.obtaining.add(obtained);
         acct.obtaining_hist.add(obtained.as_ms());
         acct.safety.enter(granted, int(a.lock), int(a.node));
+        acct.in_cs = true;
+        acct.cur_node = int(a.node);
+        acct.cur_fence = r.fence;
         if (injector && injector->active_faults() > 0) ++cs_under_faults;
-        sim.schedule_after(cfg.open_loop.hold, [&, a] {
-          accounts[a.lock].safety.exit(int(a.lock), int(a.node));
-          ++accounts[a.lock].completed;
-          --outstanding;
-          svc.session(a.node).release(a.lock);
+        sim.schedule_after(cfg.open_loop.hold, [&, a,
+                                                fence = r.fence] {
+          LockAccount& end = accounts[a.lock];
+          ClientSession& s = svc.session(a.node);
+          // Still the undisturbed holder? With leases the fence decides
+          // (a revoked grant must not be released on the next holder);
+          // a crashed-while-holding client waits for the lease layer.
+          const bool current = end.in_cs && end.cur_node == int(a.node) &&
+                               (!leases || end.cur_fence == fence) &&
+                               !s.down();
+          if (current) {
+            end.safety.exit(int(a.lock), int(a.node));
+            end.in_cs = false;
+            ++end.completed;
+            --outstanding;
+            if (leases) {
+              const bool released = s.release_if_current(a.lock, fence);
+              GMX_ASSERT(released);
+            } else {
+              s.release(a.lock);
+            }
+          } else {
+            // The CS was cut short (revocation or client crash); the
+            // safety window was / will be closed by the lease hook.
+            ++cs_interrupted;
+            --outstanding;
+          }
         });
       });
     });
   }
 
   const bool bounded =
-      cfg.faults.enabled && cfg.faults.stall_horizon < SimTime::max();
+      faulted && cfg.faults.stall_horizon < SimTime::max();
   if (bounded) {
     sim.run_until(cfg.faults.stall_horizon);
   } else {
@@ -213,7 +364,17 @@ ExperimentResult run_service_experiment(const ServiceConfig& cfg) {
   } else {
     GMX_ASSERT(net.in_flight() == 0);
     if (svc.batcher()) GMX_ASSERT(svc.batcher()->in_transit() == 0);
-    for (const NodeId v : apps) GMX_ASSERT(svc.session(v).idle());
+    // Client crashes can leave sessions permanently non-idle even though
+    // every ticket resolved (outstanding == 0 above): a dead client keeps
+    // a dangling `requesting` flag for the grant that died with its node,
+    // and a live session's REQUEST swallowed by a corpse is simply gone —
+    // its ticket already failed by deadline. Quiescence is only owed by
+    // runs that never killed a client process.
+    const bool client_churned =
+        injector != nullptr && injector->stats().client_crashes > 0;
+    if (!client_churned) {
+      for (const NodeId v : apps) GMX_ASSERT(svc.session(v).idle());
+    }
     for (const LockAccount& acct : accounts) GMX_ASSERT(acct.safety.in_cs() == 0);
   }
 
@@ -240,6 +401,8 @@ ExperimentResult run_service_experiment(const ServiceConfig& cfg) {
     m.obtaining_hist = acct.obtaining_hist;
     m.protocol_msgs = svc.messages(l);
     m.inter_msgs = svc.inter_messages(l);
+    m.sheds = acct.sheds;
+    m.revocations = acct.revocations;
     res.total_cs += acct.completed;
     res.obtaining.merge(acct.obtaining);
     res.obtaining_hist.merge(acct.obtaining_hist);
@@ -260,10 +423,26 @@ ExperimentResult run_service_experiment(const ServiceConfig& cfg) {
   }
   if (checker) res.invariant_checks = checker->checks_run();
   res.cs_under_faults = cs_under_faults;
+  res.cs_interrupted = cs_interrupted;
   if (injector) {
     const FaultInjector::Stats& fs = injector->stats();
-    res.faults_injected =
-        fs.crashes + fs.partitions + fs.lossy_links + fs.targeted_drops;
+    res.faults_injected = fs.crashes + fs.client_crashes + fs.partitions +
+                          fs.lossy_links + fs.targeted_drops;
+    res.client_crashes = fs.client_crashes;
+  }
+  for (const NodeId v : apps) {
+    const ClientSession& s = svc.session(v);
+    res.sheds += s.sheds();
+    res.cancels += s.cancels();
+    res.deadline_misses += s.deadline_misses();
+    res.acquire_retries += s.retries();
+    res.forced_releases += s.forced_releases();
+    res.stale_releases += s.stale_releases();
+  }
+  if (svc.leases() != nullptr) {
+    const LeaseManager::Stats& ls = svc.leases()->stats();
+    res.lease_renewals = ls.renews_received;
+    res.lease_revocations = ls.revocations;
   }
   if (recovery) {
     const TokenRecoveryManager::Stats& rs = recovery->stats();

@@ -1,0 +1,330 @@
+#include "gridmutex/service/lease.hpp"
+
+#include <utility>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx {
+
+// ---- wire schemas ----
+
+void LeaseManager::Renew::encode(wire::Writer& w) const {
+  w.varint(lock);
+  w.varint(node);
+  w.varint(fence);
+}
+
+LeaseManager::Renew LeaseManager::Renew::decode(wire::Reader& r) {
+  Renew m;
+  m.lock = r.varint();
+  m.node = r.varint();
+  m.fence = r.varint();
+  return m;
+}
+
+void LeaseManager::Revoke::encode(wire::Writer& w) const {
+  w.varint(lock);
+  w.varint(fence);
+}
+
+LeaseManager::Revoke LeaseManager::Revoke::decode(wire::Reader& r) {
+  Revoke m;
+  m.lock = r.varint();
+  m.fence = r.varint();
+  return m;
+}
+
+void LeaseManager::LoadReport::encode(wire::Writer& w) const {
+  w.varint(lock);
+  w.varint(node);
+  w.varint(count);
+}
+
+LeaseManager::LoadReport LeaseManager::LoadReport::decode(wire::Reader& r) {
+  LoadReport m;
+  m.lock = r.varint();
+  m.node = r.varint();
+  m.count = r.varint();
+  return m;
+}
+
+// ---- manager ----
+
+LeaseManager::LeaseManager(Network& net, ProtocolId protocol, LeaseConfig cfg,
+                           std::vector<NodeId> authority_of_lock,
+                           std::function<ClientSession*(NodeId)> resolve)
+    : net_(net),
+      sim_(net.simulator()),
+      protocol_(protocol),
+      cfg_(cfg),
+      authority_of_lock_(std::move(authority_of_lock)),
+      resolve_(std::move(resolve)),
+      fence_counter_(authority_of_lock_.size(), 0),
+      auth_(authority_of_lock_.size()) {
+  GMX_ASSERT_MSG(!authority_of_lock_.empty(), "a lease table needs locks");
+  GMX_ASSERT(resolve_ != nullptr);
+  for (NodeId n = 0; n < net_.topology().node_count(); ++n) {
+    net_.attach(n, protocol_,
+                [this, n](const Message& msg) { on_message(n, msg); });
+  }
+}
+
+LeaseManager::~LeaseManager() {
+  for (NodeId n = 0; n < net_.topology().node_count(); ++n)
+    net_.detach(n, protocol_);
+}
+
+std::uint64_t LeaseManager::grant(ClientSession& session, LockId lock) {
+  GMX_ASSERT(lock < fence_counter_.size());
+  const std::uint64_t fence = ++fence_counter_[lock];
+  ++stats_.grants;
+  if (hooks_.on_grant) hooks_.on_grant(lock, fence);
+  Holder& h = holders_[holder_key(session.node(), lock)];
+  h.fence = fence;
+  // Authority registration rides the grant itself (the same modeling
+  // shortcut as released(): the token arriving IS the notification), so a
+  // holder that dies before its first renewal lands is still revocable.
+  // Only the ongoing renewals and the revoke are loss-subject datagrams.
+  Auth& a = auth_[lock];
+  a.holder = session.node();
+  a.fence = fence;
+  a.last_renewal = sim_.now();
+  if (a.ttl_timer == kInvalidEventId) arm_ttl(lock, sim_.now() + cfg_.ttl);
+  send_renew(session.node(), lock);
+  schedule_renew(session.node(), lock);
+  return fence;
+}
+
+void LeaseManager::released(NodeId node, LockId lock, std::uint64_t fence,
+                            bool voluntary) {
+  auto it = holders_.find(holder_key(node, lock));
+  if (it != holders_.end()) {
+    if (it->second.renew_timer != kInvalidEventId)
+      sim_.cancel(it->second.renew_timer);
+    holders_.erase(it);
+  }
+  // Authority-side bookkeeping. Modeling shortcut: the release notification
+  // rides the lock transfer itself (the token leaving the node IS the
+  // release), so the authority's grant table updates without an extra
+  // datagram — renewals and revokes remain the only lease traffic subject
+  // to loss.
+  Auth& a = auth_[lock];
+  if (a.fence == fence && a.holder != kInvalidNode) {
+    a.holder = kInvalidNode;
+    if (a.drain_timer != kInvalidEventId) {
+      sim_.cancel(a.drain_timer);
+      a.drain_timer = kInvalidEventId;
+    }
+  }
+  if (hooks_.on_release) hooks_.on_release(lock, fence, voluntary);
+  // The epoch stays open across the involuntary release it legitimizes and
+  // closes right after it; a voluntary release inside the drain window
+  // resolves the revocation the graceful way.
+  if (a.revoking && a.fence == fence) close_epoch(lock);
+}
+
+void LeaseManager::report_reject(NodeId node, LockId lock,
+                                 AcquireOutcome outcome) {
+  GMX_ASSERT(outcome == AcquireOutcome::kShed ||
+             outcome == AcquireOutcome::kCancelled);
+  wire::Writer w(net_.payload_pool(), 16);
+  LoadReport{lock, node, 1}.encode(w);
+  send(node, authority_of_lock_[lock],
+       outcome == AcquireOutcome::kShed ? kShedType : kCancelType,
+       std::move(w));
+}
+
+void LeaseManager::client_died(NodeId node) {
+  for (auto it = holders_.begin(); it != holders_.end();) {
+    if (NodeId(it->first >> 32) == node) {
+      if (it->second.renew_timer != kInvalidEventId)
+        sim_.cancel(it->second.renew_timer);
+      it = holders_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void LeaseManager::send_renew(NodeId node, LockId lock) {
+  auto it = holders_.find(holder_key(node, lock));
+  if (it == holders_.end()) return;
+  ++stats_.renews_sent;
+  wire::Writer w(net_.payload_pool(), 16);
+  Renew{lock, node, it->second.fence}.encode(w);
+  send(node, authority_of_lock_[lock], kRenewType, std::move(w));
+}
+
+void LeaseManager::schedule_renew(NodeId node, LockId lock) {
+  auto it = holders_.find(holder_key(node, lock));
+  if (it == holders_.end()) return;
+  it->second.renew_timer =
+      sim_.schedule_after(cfg_.renew_interval, [this, node, lock] {
+        auto h = holders_.find(holder_key(node, lock));
+        if (h == holders_.end()) return;  // released meanwhile
+        h->second.renew_timer = kInvalidEventId;
+        send_renew(node, lock);
+        schedule_renew(node, lock);
+      });
+}
+
+void LeaseManager::send(NodeId src, NodeId dst, std::uint16_t type,
+                        wire::Writer w) {
+  Message msg;
+  msg.src = src;
+  msg.dst = dst;
+  msg.protocol = protocol_;
+  msg.type = type;
+  msg.payload = w.take_payload();
+  net_.send(std::move(msg));
+}
+
+void LeaseManager::on_message(NodeId at, const Message& msg) {
+  wire::Reader r(msg.payload.span());
+  switch (msg.type) {
+    case kRenewType: {
+      const Renew m = Renew::decode(r);
+      r.expect_end();
+      GMX_ASSERT(m.lock < auth_.size());
+      GMX_ASSERT_MSG(authority_of_lock_[m.lock] == at,
+                     "lease renewal delivered to the wrong authority");
+      Auth& a = auth_[m.lock];
+      if (m.fence < a.fence) return;  // stale holder's late renewal
+      ++stats_.renews_received;
+      a.holder = NodeId(m.node);
+      a.fence = m.fence;
+      a.last_renewal = sim_.now();
+      // A renewal landing inside the drain window rescinds the revocation:
+      // the lease is alive after all (healed partition, late delivery).
+      if (a.revoking) {
+        if (a.drain_timer != kInvalidEventId) {
+          sim_.cancel(a.drain_timer);
+          a.drain_timer = kInvalidEventId;
+        }
+        close_epoch(m.lock);
+      }
+      if (a.ttl_timer == kInvalidEventId)
+        arm_ttl(LockId(m.lock), sim_.now() + cfg_.ttl);
+      return;
+    }
+    case kRevokeType: {
+      const Revoke m = Revoke::decode(r);
+      r.expect_end();
+      ClientSession* s = resolve_(at);
+      if (s == nullptr || s->down()) return;
+      if (!s->holding(LockId(m.lock)) ||
+          s->current_fence(LockId(m.lock)) != m.fence)
+        return;  // already released / re-granted: stale revoke
+      ++stats_.drain_releases;
+      s->force_release(LockId(m.lock));
+      return;
+    }
+    case kCancelType:
+    case kShedType: {
+      const LoadReport m = LoadReport::decode(r);
+      r.expect_end();
+      GMX_ASSERT(m.lock < auth_.size());
+      Auth& a = auth_[m.lock];
+      if (msg.type == kShedType) {
+        a.shed_reports += m.count;
+        stats_.shed_reports += m.count;
+      } else {
+        a.cancel_reports += m.count;
+        stats_.cancel_reports += m.count;
+      }
+      return;
+    }
+    default:
+      GMX_ASSERT_MSG(false, "unknown lease message type");
+  }
+}
+
+void LeaseManager::arm_ttl(LockId lock, SimTime at) {
+  Auth& a = auth_[lock];
+  a.ttl_timer = sim_.schedule_at(at, [this, lock] { check_ttl(lock); });
+}
+
+void LeaseManager::check_ttl(LockId lock) {
+  Auth& a = auth_[lock];
+  a.ttl_timer = kInvalidEventId;
+  if (a.holder == kInvalidNode || a.revoking) return;
+  const SimTime due = a.last_renewal + cfg_.ttl;
+  if (sim_.now() < due) {
+    arm_ttl(lock, due);  // renewed since; re-arm at the fresh expiry
+    return;
+  }
+  start_revocation(lock);
+}
+
+void LeaseManager::start_revocation(LockId lock) {
+  Auth& a = auth_[lock];
+  ++stats_.revocations;
+  a.revoking = true;
+  if (hooks_.on_revocation) hooks_.on_revocation(lock, true);
+  wire::Writer w(net_.payload_pool(), 16);
+  Revoke{lock, a.fence}.encode(w);
+  send(authority_of_lock_[lock], a.holder, kRevokeType, std::move(w));
+  const std::uint64_t fence = a.fence;
+  a.drain_timer = sim_.schedule_after(
+      cfg_.drain, [this, lock, fence] { drain_expired(lock, fence); });
+}
+
+void LeaseManager::drain_expired(LockId lock, std::uint64_t fence) {
+  Auth& a = auth_[lock];
+  a.drain_timer = kInvalidEventId;
+  if (!a.revoking || a.fence != fence || a.holder == kInvalidNode)
+    return;  // resolved inside the drain window
+  ClientSession* s = resolve_(a.holder);
+  GMX_ASSERT_MSG(s != nullptr, "lease holder is not a session node");
+  ++stats_.forced_releases;
+  if (s->holding(lock) && s->current_fence(lock) == fence) {
+    // Fences out the unresponsive holder; released() closes the epoch.
+    s->force_release(lock);
+  } else {
+    // The session lost the hold without the authority's table hearing of
+    // it (e.g. crashed mid-release). Nothing to release; just resolve.
+    a.holder = kInvalidNode;
+    close_epoch(lock);
+  }
+}
+
+void LeaseManager::close_epoch(LockId lock) {
+  Auth& a = auth_[lock];
+  GMX_ASSERT(a.revoking);
+  a.revoking = false;
+  if (hooks_.on_revocation) hooks_.on_revocation(lock, false);
+}
+
+std::uint64_t LeaseManager::fence_of(LockId lock) const {
+  GMX_ASSERT(lock < fence_counter_.size());
+  return fence_counter_[lock];
+}
+
+bool LeaseManager::revoking(LockId lock) const {
+  GMX_ASSERT(lock < auth_.size());
+  return auth_[lock].revoking;
+}
+
+std::uint64_t LeaseManager::shed_reports_for(LockId lock) const {
+  GMX_ASSERT(lock < auth_.size());
+  return auth_[lock].shed_reports;
+}
+
+std::uint64_t LeaseManager::cancel_reports_for(LockId lock) const {
+  GMX_ASSERT(lock < auth_.size());
+  return auth_[lock].cancel_reports;
+}
+
+std::string LeaseManager::trace_label(ProtocolId p,
+                                      std::uint16_t type) const {
+  if (p != protocol_) return {};
+  switch (type) {
+    case kRenewType: return "svc.LEASE_RENEW";
+    case kRevokeType: return "svc.REVOKE";
+    case kCancelType: return "svc.CANCEL";
+    case kShedType: return "svc.SHED";
+    default: return "svc.LEASE?";
+  }
+}
+
+}  // namespace gmx

@@ -49,21 +49,59 @@ LockService::LockService(Network& net, LockServiceConfig cfg)
               }));
   }
 
+  // The lease protocol is reserved AFTER every lock block so the
+  // documented layout — which fault plans and pinned traces key on —
+  // is untouched whether or not leases are enabled.
+  if (cfg_.resilience.leases) lease_protocol_ = net_.reserve_protocols(1);
+
+  // Derived (not drawn) from the seed: forking is free and keyed, so an
+  // inert resilience config costs zero draws on the traffic streams.
+  resilience_rng_ = root.fork(777);
+
   // One session per app node, wired to every lock's endpoint on that node.
   const std::vector<NodeId>& apps = comps_.front()->app_nodes();
   session_of_node_.assign(net_.topology().node_count(), -1);
   sessions_.reserve(apps.size());
   for (const NodeId v : apps) {
     session_of_node_[v] = int(sessions_.size());
-    sessions_.push_back(std::make_unique<ClientSession>(v));
+    sessions_.push_back(std::make_unique<ClientSession>(net_.simulator(), v));
     ClientSession* s = sessions_.back().get();
     s->reserve_locks(cfg_.locks);
+    s->set_admission(cfg_.resilience.admission);
+    if (cfg_.resilience.retry.attempts > 0)
+      s->set_retry(cfg_.resilience.retry, &resilience_rng_);
     for (LockId l = 0; l < cfg_.locks; ++l) {
       MutexEndpoint& ep = comps_[l]->app_mutex(v);
       s->add_lock(l, ep);
       ep.set_callbacks(MutexCallbacks{
           .on_granted = [s, l] { s->granted(l); },
           .on_pending = {},
+      });
+    }
+  }
+
+  if (cfg_.resilience.leases) {
+    std::vector<NodeId> authority(cfg_.locks);
+    for (LockId l = 0; l < cfg_.locks; ++l)
+      authority[l] = net_.topology().first_node_of(table_.home_cluster(l));
+    lease_ = std::make_unique<LeaseManager>(
+        net_, lease_protocol_, cfg_.resilience.lease, std::move(authority),
+        [this](NodeId n) -> ClientSession* {
+          const int idx = session_of_node_[n];
+          return idx < 0 ? nullptr : sessions_[std::size_t(idx)].get();
+        });
+    for (auto& sp : sessions_) {
+      ClientSession* s = sp.get();
+      s->set_lease_hooks(ClientSession::LeaseHooks{
+          .on_grant = [this, s](LockId l) { return lease_->grant(*s, l); },
+          .on_release =
+              [this, s](LockId l, std::uint64_t fence, bool voluntary) {
+                lease_->released(s->node(), l, fence, voluntary);
+              },
+          .on_reject =
+              [this, s](LockId l, AcquireOutcome o) {
+                lease_->report_reject(s->node(), l, o);
+              },
       });
     }
   }
@@ -125,9 +163,14 @@ LockService::trace_labeler() const {
         comps_[l]->trace_labeler("lock[" + std::to_string(l) + "]."));
   }
   const ProtocolId batch = batch_protocol_;
-  return [chain = std::move(chain), batch](ProtocolId p,
-                                           std::uint16_t type) -> std::string {
+  const LeaseManager* lease = lease_.get();
+  return [chain = std::move(chain), batch,
+          lease](ProtocolId p, std::uint16_t type) -> std::string {
     if (p == batch && type == BatchMux::kFrameType) return "svc.BATCH";
+    if (lease != nullptr) {
+      std::string label = lease->trace_label(p, type);
+      if (!label.empty()) return label;
+    }
     for (const auto& labeler : chain) {
       std::string label = labeler(p, type);
       if (!label.empty()) return label;

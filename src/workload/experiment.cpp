@@ -73,6 +73,8 @@ void LockMetrics::merge(const LockMetrics& other) {
   obtaining_hist.merge(other.obtaining_hist);
   protocol_msgs += other.protocol_msgs;
   inter_msgs += other.inter_msgs;
+  sheds += other.sheds;
+  revocations += other.revocations;
 }
 
 double ExperimentResult::jain_fairness() const {
@@ -119,6 +121,16 @@ void ExperimentResult::merge(const ExperimentResult& other) {
   coordinator_failovers += other.coordinator_failovers;
   recovery_latency.merge(other.recovery_latency);
   stalled = stalled || other.stalled;
+  lease_renewals += other.lease_renewals;
+  lease_revocations += other.lease_revocations;
+  forced_releases += other.forced_releases;
+  sheds += other.sheds;
+  cancels += other.cancels;
+  deadline_misses += other.deadline_misses;
+  acquire_retries += other.acquire_retries;
+  client_crashes += other.client_crashes;
+  cs_interrupted += other.cs_interrupted;
+  stale_releases += other.stale_releases;
   GMX_ASSERT(per_lock.size() == other.per_lock.size());
   for (std::size_t l = 0; l < per_lock.size(); ++l)
     per_lock[l].merge(other.per_lock[l]);

@@ -19,6 +19,12 @@
 //            over a refcounted Payload block, then Payload::slice() of
 //            every recorded body, each slice byte-compared against the
 //            bytes_view() span it mirrors.
+//   mode 3 — the ISSUE 7 service lease schemas (LEASE_RENEW / REVOKE /
+//            CANCEL / SHED): a sub-selector byte picks the schema, the
+//            struct decode must either throw WireError or round-trip
+//            decode -> encode -> decode to the identical struct
+//            (differential oracle at the value level — a non-canonical
+//            varint input re-encodes canonically but must keep the value).
 //
 // Build modes (tests/fuzz/CMakeLists.txt): with -DGRIDMUTEX_FUZZER=ON
 // under Clang this links against libFuzzer; otherwise a standalone driver
@@ -34,6 +40,7 @@
 #include "gridmutex/net/buffer_pool.hpp"
 #include "gridmutex/net/wire.hpp"
 #include "gridmutex/service/batch.hpp"
+#include "gridmutex/service/lease.hpp"
 
 namespace {
 
@@ -115,6 +122,32 @@ void slice_out(std::span<const std::uint8_t> payload) {
   r.expect_end();
 }
 
+/// Struct-level fixpoint for one lease schema: decode the raw bytes (must
+/// consume them exactly), re-encode canonically, decode again, compare.
+template <typename M>
+void lease_roundtrip(std::span<const std::uint8_t> bytes) {
+  gmx::wire::Reader r(bytes);
+  const M m = M::decode(r);
+  r.expect_end();
+  gmx::wire::Writer w;
+  m.encode(w);
+  const std::vector<std::uint8_t> re = w.take();
+  gmx::wire::Reader r2(re);
+  const M m2 = M::decode(r2);
+  r2.expect_end();
+  GMX_ASSERT_MSG(m2 == m, "fuzz: lease schema round-trip changed the value");
+}
+
+void lease_schemas(std::span<const std::uint8_t> payload) {
+  if (payload.empty()) return;
+  const std::span<const std::uint8_t> body = payload.subspan(1);
+  switch (payload[0] % 3) {
+    case 0: lease_roundtrip<gmx::LeaseManager::Renew>(body); break;
+    case 1: lease_roundtrip<gmx::LeaseManager::Revoke>(body); break;
+    case 2: lease_roundtrip<gmx::LeaseManager::LoadReport>(body); break;
+  }
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
@@ -122,10 +155,11 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   if (size == 0) return 0;
   const std::span<const std::uint8_t> payload(data + 1, size - 1);
   try {
-    switch (data[0] % 3) {
+    switch (data[0] % 4) {
       case 0: reader_walk(payload); break;
       case 1: batch_decode_roundtrip(payload); break;
       case 2: slice_out(payload); break;
+      case 3: lease_schemas(payload); break;
     }
   } catch (const gmx::wire::WireError&) {
     // The expected failure mode for malformed input. Anything else —

@@ -64,6 +64,15 @@ SEEDS = {
     "slice_truncated": bytes([2]) + varint(2) + varint(3) + u16(1)
                        + varint(4) + b"ab",
     "slice_count_lies": bytes([2]) + varint(9) + sub(1, 1, b"x"),
+    # mode 3: service lease schemas (sub-selector: 0=RENEW 1=REVOKE 2=LOAD)
+    "lease_renew_ok": bytes([3, 0]) + varint(5) + varint(12) + varint(2**40),
+    "lease_renew_truncated": bytes([3, 0]) + varint(5) + varint(12),
+    "lease_renew_noncanonical": bytes([3, 0]) + bytes([0x85, 0x00])
+                                + varint(1) + varint(1),
+    "lease_revoke_ok": bytes([3, 1]) + varint(0) + varint(7),
+    "lease_revoke_trailing": bytes([3, 1]) + varint(0) + varint(7) + b"!",
+    "lease_load_ok": bytes([3, 2]) + varint(9) + varint(3) + varint(1),
+    "lease_load_overlong": bytes([3, 2]) + bytes([0x80] * 12),
 }
 
 

@@ -30,6 +30,7 @@
 #include "gridmutex/net/buffer_pool.hpp"
 #include "gridmutex/net/wire.hpp"
 #include "gridmutex/service/batch.hpp"
+#include "gridmutex/service/lease.hpp"
 #include "gridmutex/sim/random.hpp"
 
 namespace gmx::wire {
@@ -404,6 +405,59 @@ TEST_F(CodecEquivalenceSchemas, Maekawa) {
     // kDemand are empty payloads — nothing to encode.
     const std::uint64_t ts = random_varint_value(rng_);
     expect_equal([&](auto& w) { w.varint(ts); });
+  }
+}
+
+TEST_F(CodecEquivalenceSchemas, ServiceLeaseMessages) {
+  // The ISSUE 7 service messages (LEASE_RENEW / REVOKE / CANCEL / SHED):
+  // all-varint schemas owned by LeaseManager. Their encode() goes through
+  // the pooled Writer in production; here it must match the reference
+  // codec byte-for-byte, and decode() must round-trip the struct.
+  for (int i = 0; i < 200; ++i) {
+    const LeaseManager::Renew renew{random_varint_value(rng_),
+                                    rng_.next_below(256),
+                                    random_varint_value(rng_)};
+    expect_equal([&](auto& w) {
+      w.varint(renew.lock);
+      w.varint(renew.node);
+      w.varint(renew.fence);
+    });
+    const LeaseManager::Revoke revoke{random_varint_value(rng_),
+                                      random_varint_value(rng_)};
+    expect_equal([&](auto& w) {
+      w.varint(revoke.lock);
+      w.varint(revoke.fence);
+    });
+    const LeaseManager::LoadReport report{random_varint_value(rng_),
+                                          rng_.next_below(256),
+                                          random_varint_value(rng_)};
+    expect_equal([&](auto& w) {
+      w.varint(report.lock);
+      w.varint(report.node);
+      w.varint(report.count);
+    });
+
+    // Struct-level round trips through the production encode()/decode().
+    Writer wr(pool_, 16);
+    renew.encode(wr);
+    const Payload pr = wr.take_payload();
+    Reader rr(pr.span());
+    EXPECT_EQ(LeaseManager::Renew::decode(rr), renew);
+    rr.expect_end();
+
+    Writer wv(pool_, 16);
+    revoke.encode(wv);
+    const Payload pv = wv.take_payload();
+    Reader rv(pv.span());
+    EXPECT_EQ(LeaseManager::Revoke::decode(rv), revoke);
+    rv.expect_end();
+
+    Writer wl(pool_, 16);
+    report.encode(wl);
+    const Payload pl = wl.take_payload();
+    Reader rl(pl.span());
+    EXPECT_EQ(LeaseManager::LoadReport::decode(rl), report);
+    rl.expect_end();
   }
 }
 

@@ -1,0 +1,292 @@
+// Chaos campaigns for the resilient LockService (ISSUE 7): client churn,
+// flash crowds and crash-while-holding composed with the PR 2 fault axes
+// (loss, partitions), checker-armed where the run must stay clean, with
+// stall-horizon negative controls proving the lease layer is what restores
+// liveness — plus the determinism contracts (parallel sweep equivalence,
+// chaotic replay, inert-resilience bit-identity).
+#include "gridmutex/service/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gmx::testing {
+namespace {
+
+ServiceConfig chaos_base(std::uint32_t locks, double arrivals_per_sec = 100) {
+  ServiceConfig cfg;
+  cfg.locks = locks;
+  cfg.clusters = 3;
+  cfg.apps_per_cluster = 3;
+  cfg.latency = LatencySpec::two_level(SimDuration::ms_f(0.5),
+                                       SimDuration::ms(10));
+  cfg.open_loop.arrivals_per_sec = arrivals_per_sec;
+  cfg.open_loop.window = SimDuration::ms(800);
+  cfg.open_loop.hold = SimDuration::ms(5);
+  cfg.open_loop.zipf_s = 0.9;
+  cfg.seed = 11;
+  return cfg;
+}
+
+/// The full resilience bundle the chaos rows run with: leases with a tight
+/// renewal clock, a generous per-arrival deadline, bounded admission and
+/// backoff retry.
+void arm_resilience(ServiceConfig& cfg) {
+  cfg.resilience.leases = true;
+  cfg.resilience.lease = {.renew_interval = SimDuration::ms(20),
+                          .ttl = SimDuration::ms(120),
+                          .drain = SimDuration::ms(100)};
+  cfg.resilience.default_deadline = SimDuration::sec(4);
+  cfg.resilience.admission = {.max_pending = 64,
+                              .policy = ShedPolicy::kRejectNewest};
+  cfg.resilience.retry = {.attempts = 3,
+                          .base = SimDuration::ms(20),
+                          .multiplier = 2.0,
+                          .cap = SimDuration::ms(500),
+                          .jitter = 0.5};
+}
+
+std::uint64_t total_arrivals(const ExperimentResult& r) {
+  std::uint64_t n = 0;
+  for (const LockMetrics& l : r.per_lock) n += l.arrivals;
+  return n;
+}
+
+// ---- the campaign matrix ----
+
+TEST(ServiceChaos, ChurnWithLossLeasedK1RecoversCheckerGreen) {
+  ServiceConfig cfg = chaos_base(1, 150);
+  arm_resilience(cfg);
+  cfg.check_protocol = true;
+  cfg.churn.crashes = 3;
+  cfg.churn.first = SimDuration::ms(100);
+  cfg.churn.every = SimDuration::ms(150);
+  cfg.churn.down = SimDuration::ms(400);
+  cfg.faults.enabled = true;
+  cfg.faults.plan.lossy_link(0, 1, 0.2, SimTime::zero() + SimDuration::ms(50),
+                             SimTime::zero() + SimDuration::ms(600));
+  cfg.faults.stall_horizon = SimTime::zero() + SimDuration::sec(30);
+
+  const ExperimentResult r = run_service_experiment(cfg);
+  EXPECT_FALSE(r.stalled) << "leases + deadlines + retry restore liveness";
+  EXPECT_GT(r.total_cs, 0u);
+  EXPECT_EQ(r.safety_violations, 0u);
+  EXPECT_GT(r.invariant_checks, 0u);
+  EXPECT_EQ(r.client_crashes, 3u);
+  EXPECT_GT(r.lease_renewals, 0u);
+}
+
+TEST(ServiceChaos, ChurnLossPartitionLeasedK16RecoversCheckerGreen) {
+  ServiceConfig cfg = chaos_base(16, 120);
+  arm_resilience(cfg);
+  cfg.check_protocol = true;
+  cfg.churn.crashes = 3;
+  cfg.churn.first = SimDuration::ms(100);
+  cfg.churn.every = SimDuration::ms(150);
+  cfg.churn.down = SimDuration::ms(300);
+  cfg.faults.enabled = true;
+  cfg.faults.plan.lossy_link(0, 2, 0.2, SimTime::zero() + SimDuration::ms(80),
+                             SimTime::zero() + SimDuration::ms(500));
+  cfg.faults.plan.partition_clusters(0, 1,
+                                     SimTime::zero() + SimDuration::ms(150),
+                                     SimTime::zero() + SimDuration::ms(350));
+  cfg.faults.stall_horizon = SimTime::zero() + SimDuration::sec(30);
+
+  const ExperimentResult r = run_service_experiment(cfg);
+  EXPECT_FALSE(r.stalled);
+  EXPECT_GT(r.total_cs, 0u);
+  EXPECT_EQ(r.safety_violations, 0u);
+  EXPECT_GT(r.invariant_checks, 0u);
+  EXPECT_EQ(r.client_crashes, 3u);
+  ASSERT_EQ(r.per_lock.size(), 16u);
+  EXPECT_EQ(r.faults_injected,
+            3u + 1u + 1u);  // client crashes + lossy link + partition
+}
+
+TEST(ServiceChaos, CrashWhileHoldingIsRevokedAndServiceDrains) {
+  // Kill whichever session holds lock 0 at t = 200 ms and never restart
+  // it. The lease TTL expires, the authority revokes, the force-release
+  // from the dead node loses the token, and PR 2's regeneration mints the
+  // replacement — the service finishes every other arrival.
+  ServiceConfig cfg = chaos_base(1, 400);  // overloaded: always a holder
+  arm_resilience(cfg);
+  cfg.check_protocol = true;
+  cfg.holder_crashes.push_back(
+      {.lock = 0, .at = SimDuration::ms(200), .down = SimDuration::ms(-1)});
+  cfg.faults.stall_horizon = SimTime::zero() + SimDuration::sec(30);
+
+  const ExperimentResult r = run_service_experiment(cfg);
+  EXPECT_FALSE(r.stalled) << "revocation re-homed the orphaned lock";
+  EXPECT_EQ(r.client_crashes, 1u);
+  EXPECT_EQ(r.cs_interrupted, 1u) << "exactly the victim's CS was cut";
+  EXPECT_EQ(r.lease_revocations, 1u);
+  EXPECT_EQ(r.forced_releases, 1u);
+  EXPECT_EQ(r.per_lock[0].revocations, 1u);
+  EXPECT_EQ(r.safety_violations, 0u);
+  EXPECT_GT(r.total_cs, 0u);
+  EXPECT_LE(r.total_cs + r.cs_interrupted, total_arrivals(r));
+}
+
+TEST(ServiceChaos, NegativeControlCrashedHolderWithoutLeasesStalls) {
+  // Same crash, no lease layer: the hold dangles on the corpse, nothing
+  // ever revokes it, and every later arrival for the lock starves. The
+  // run provably stalls at the horizon — the watchdog the positive rows
+  // are measured against. (Recovery stays armed: it cannot help, because
+  // the token is not lost — it sits on a dead client.)
+  ServiceConfig cfg = chaos_base(1, 400);
+  cfg.holder_crashes.push_back(
+      {.lock = 0, .at = SimDuration::ms(200), .down = SimDuration::ms(-1)});
+  cfg.faults.stall_horizon = SimTime::zero() + SimDuration::sec(6);
+
+  const ExperimentResult r = run_service_experiment(cfg);
+  EXPECT_TRUE(r.stalled) << "without leases the orphaned hold is forever";
+  EXPECT_EQ(r.client_crashes, 1u);
+  EXPECT_GE(r.cs_interrupted, 1u);
+  EXPECT_EQ(r.lease_revocations, 0u);
+  EXPECT_EQ(r.forced_releases, 0u);
+  EXPECT_LT(r.total_cs, total_arrivals(r));
+  EXPECT_EQ(r.safety_violations, 0u) << "a stall is a liveness failure only";
+}
+
+// ---- overload / flash crowd ----
+
+TEST(ServiceChaos, FlashCrowdShedsAreFullyAccounted) {
+  // An 8x arrival burst against bounded queues and deadlines, retry off:
+  // every arrival resolves exactly once, so completions + sheds + deadline
+  // misses must tile the arrival count exactly.
+  ServiceConfig cfg = chaos_base(2, 100);
+  cfg.resilience.admission = {.max_pending = 3,
+                              .policy = ShedPolicy::kRejectByDeadline};
+  cfg.resilience.default_deadline = SimDuration::ms(100);
+  cfg.flash.factor = 8.0;
+  cfg.flash.from = SimDuration::ms(200);
+  cfg.flash.until = SimDuration::ms(400);
+
+  const ExperimentResult r = run_service_experiment(cfg);
+  EXPECT_FALSE(r.stalled);
+  EXPECT_GT(r.sheds + r.deadline_misses, 0u) << "the burst overloads";
+  EXPECT_EQ(r.total_cs + r.sheds + r.deadline_misses, total_arrivals(r));
+  std::uint64_t per_lock_sheds = 0;
+  for (const LockMetrics& l : r.per_lock) per_lock_sheds += l.sheds;
+  EXPECT_EQ(per_lock_sheds, r.sheds) << "retry off: every shed is terminal";
+  EXPECT_EQ(r.acquire_retries, 0u);
+  EXPECT_EQ(r.cs_interrupted, 0u);
+
+  // The burst is real: the same config without it sees fewer arrivals.
+  ServiceConfig calm = cfg;
+  calm.flash.factor = 1.0;
+  const ExperimentResult c = run_service_experiment(calm);
+  EXPECT_GT(total_arrivals(r), total_arrivals(c));
+}
+
+// ---- determinism contracts ----
+
+TEST(ServiceChaos, ChaoticRunsReplayBitIdentically) {
+  ServiceConfig cfg = chaos_base(2, 150);
+  arm_resilience(cfg);
+  cfg.churn.crashes = 2;
+  cfg.churn.first = SimDuration::ms(100);
+  cfg.churn.every = SimDuration::ms(200);
+  cfg.churn.down = SimDuration::ms(300);
+  cfg.flash.factor = 4.0;
+  cfg.flash.from = SimDuration::ms(300);
+  cfg.flash.until = SimDuration::ms(500);
+  cfg.faults.stall_horizon = SimTime::zero() + SimDuration::sec(30);
+
+  const ExperimentResult a = run_service_experiment(cfg);
+  const ExperimentResult b = run_service_experiment(cfg);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.total_cs, b.total_cs);
+  EXPECT_EQ(a.messages.sent, b.messages.sent);
+  EXPECT_EQ(a.makespan.count_ns(), b.makespan.count_ns());
+  EXPECT_EQ(a.sheds, b.sheds);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.acquire_retries, b.acquire_retries);
+  EXPECT_EQ(a.lease_renewals, b.lease_renewals);
+  EXPECT_EQ(a.lease_revocations, b.lease_revocations);
+  EXPECT_EQ(a.forced_releases, b.forced_releases);
+  EXPECT_EQ(a.cs_interrupted, b.cs_interrupted);
+  EXPECT_EQ(a.client_crashes, b.client_crashes);
+}
+
+TEST(ServiceChaos, InertResilienceKeepsTheDeliveryTraceBitIdentical) {
+  // The acceptance bullet behind the pinned golden hashes: resilience
+  // machinery that never triggers — generous deadlines (every ticket is
+  // granted first), a queue bound never reached, retry that never fires,
+  // a flash window with factor 1 — adds no message, no draw and no
+  // reordering. Leases stay off: renewals are real traffic by design.
+  ServiceConfig base = chaos_base(4);
+  base.hash_trace = true;
+  const ExperimentResult plain = run_service_experiment(base);
+
+  ServiceConfig inert = base;
+  inert.resilience.default_deadline = SimDuration::sec(30);
+  inert.resilience.admission = {.max_pending = 100'000,
+                                .policy = ShedPolicy::kRejectByDeadline};
+  inert.resilience.retry.attempts = 3;
+  inert.flash.factor = 1.0;
+  inert.flash.from = SimDuration::ms(100);
+  inert.flash.until = SimDuration::ms(700);
+  ASSERT_TRUE(inert.resilience.any());
+  const ExperimentResult armed = run_service_experiment(inert);
+
+  EXPECT_EQ(armed.trace_hash, plain.trace_hash);
+  EXPECT_EQ(armed.messages.sent, plain.messages.sent);
+  EXPECT_EQ(armed.total_cs, plain.total_cs);
+  EXPECT_EQ(armed.makespan.count_ns(), plain.makespan.count_ns());
+  EXPECT_EQ(armed.sheds + armed.deadline_misses + armed.acquire_retries, 0u);
+}
+
+// Parallel sweep equivalence over chaotic configs — the suite name is a
+// TSan CI row: the sweep fans (config, repetition) cells across threads
+// and must be bit-identical to the serial run for every job count.
+TEST(ServiceChaosSweep, ParallelSweepMatchesSerialUnderChaos) {
+  ServiceConfig churny = chaos_base(2, 150);
+  arm_resilience(churny);
+  churny.churn.crashes = 2;
+  churny.churn.first = SimDuration::ms(100);
+  churny.churn.every = SimDuration::ms(200);
+  churny.churn.down = SimDuration::ms(300);
+  churny.faults.stall_horizon = SimTime::zero() + SimDuration::sec(30);
+
+  ServiceConfig bursty = chaos_base(2, 100);
+  bursty.resilience.admission = {.max_pending = 3,
+                                 .policy = ShedPolicy::kRejectNewest};
+  bursty.resilience.default_deadline = SimDuration::ms(100);
+  bursty.flash.factor = 6.0;
+  bursty.flash.from = SimDuration::ms(200);
+  bursty.flash.until = SimDuration::ms(400);
+
+  const std::vector<ServiceConfig> configs{churny, bursty};
+  const std::vector<ExperimentResult> serial =
+      run_service_sweep(configs, 2, /*jobs=*/1);
+  const std::vector<ExperimentResult> parallel =
+      run_service_sweep(configs, 2, /*jobs=*/2);
+
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    const ExperimentResult& s = serial[i];
+    const ExperimentResult& p = parallel[i];
+    EXPECT_EQ(s.events, p.events);
+    EXPECT_EQ(s.total_cs, p.total_cs);
+    EXPECT_EQ(s.messages.sent, p.messages.sent);
+    EXPECT_EQ(s.makespan.count_ns(), p.makespan.count_ns());
+    EXPECT_EQ(s.sheds, p.sheds);
+    EXPECT_EQ(s.deadline_misses, p.deadline_misses);
+    EXPECT_EQ(s.acquire_retries, p.acquire_retries);
+    EXPECT_EQ(s.lease_renewals, p.lease_renewals);
+    EXPECT_EQ(s.lease_revocations, p.lease_revocations);
+    EXPECT_EQ(s.cs_interrupted, p.cs_interrupted);
+    EXPECT_EQ(s.client_crashes, p.client_crashes);
+    ASSERT_EQ(s.per_lock.size(), p.per_lock.size());
+    for (std::size_t l = 0; l < s.per_lock.size(); ++l) {
+      EXPECT_EQ(s.per_lock[l].arrivals, p.per_lock[l].arrivals);
+      EXPECT_EQ(s.per_lock[l].completed_cs, p.per_lock[l].completed_cs);
+      EXPECT_EQ(s.per_lock[l].sheds, p.per_lock[l].sheds);
+      EXPECT_EQ(s.per_lock[l].revocations, p.per_lock[l].revocations);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace gmx::testing

@@ -1,0 +1,601 @@
+// Service-level resilience (ISSUE 7): deadline-based acquire and its edge
+// cases, cancellation (including the granted race and the holder refusal),
+// admission control with both shed policies, backoff retry, client churn,
+// lock leases with fencing epochs, revocation of unresponsive holders, and
+// the ProtocolChecker's fencing-monotonicity / revocation-epoch rules.
+#include "gridmutex/service/lock_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gridmutex/analysis/protocol_checker.hpp"
+#include "gridmutex/fault/injector.hpp"
+#include "gridmutex/net/latency.hpp"
+#include "gridmutex/service/experiment.hpp"
+
+namespace gmx::testing {
+namespace {
+
+std::shared_ptr<const LatencyModel> small_latency(std::uint32_t clusters) {
+  return std::make_shared<MatrixLatencyModel>(MatrixLatencyModel::two_level(
+      clusters, SimDuration::ms_f(0.5), SimDuration::ms(5), 0.0));
+}
+
+struct ServiceHarness {
+  explicit ServiceHarness(LockServiceConfig cfg, std::uint32_t clusters = 2,
+                          std::uint32_t apps = 2)
+      : topo(Composition::make_topology(clusters, apps)),
+        net(sim, topo, small_latency(clusters), Rng(7)),
+        svc(net, std::move(cfg)) {
+    svc.start();
+  }
+
+  Simulator sim;
+  Topology topo;
+  Network net;
+  LockService svc;
+};
+
+LockServiceConfig plain_cfg(std::uint32_t locks = 1) {
+  LockServiceConfig cfg;
+  cfg.locks = locks;
+  cfg.batching = false;
+  return cfg;
+}
+
+// Collects ticket outcomes so tests can assert terminal resolutions.
+struct Outcomes {
+  std::vector<AcquireOutcome> seen;
+  std::vector<std::uint64_t> fences;
+  ClientSession::ResultCallback cb() {
+    return [this](const AcquireResult& r) {
+      seen.push_back(r.outcome);
+      fences.push_back(r.fence);
+    };
+  }
+  /// Records, and on a grant releases shortly after (keeps queues moving).
+  ClientSession::ResultCallback releasing_cb(Simulator& sim, ClientSession& s,
+                                             LockId lock) {
+    return [this, &sim, &s, lock](const AcquireResult& r) {
+      seen.push_back(r.outcome);
+      fences.push_back(r.fence);
+      if (r.outcome == AcquireOutcome::kGranted)
+        sim.schedule_after(SimDuration::ms(1), [&s, lock] { s.release(lock); });
+    };
+  }
+};
+
+TEST(Resilience, OutcomeAndPolicyStrings) {
+  EXPECT_EQ(to_string(AcquireOutcome::kGranted), "granted");
+  EXPECT_EQ(to_string(AcquireOutcome::kDeadlineExpired), "deadline-expired");
+  EXPECT_EQ(to_string(AcquireOutcome::kCancelled), "cancelled");
+  EXPECT_EQ(to_string(AcquireOutcome::kShed), "shed");
+  EXPECT_EQ(to_string(AcquireOutcome::kSessionDown), "session-down");
+  EXPECT_EQ(to_string(ShedPolicy::kRejectNewest), "reject-newest");
+  EXPECT_EQ(to_string(ShedPolicy::kRejectByDeadline), "reject-by-deadline");
+  EXPECT_FALSE(ResilienceConfig{}.any()) << "default config must be inert";
+}
+
+TEST(AcquireDeadline, ZeroAndNegativeDeadlinesExpireWithoutRequesting) {
+  ServiceHarness h(plain_cfg());
+  ClientSession& s = h.svc.session(h.svc.app_nodes()[0]);
+  Outcomes out;
+  s.acquire(0, AcquireOptions{.deadline = SimDuration::ns(0)}, out.cb());
+  s.acquire(0, AcquireOptions{.deadline = SimDuration::ms(-3)}, out.cb());
+  h.sim.run();
+
+  ASSERT_EQ(out.seen.size(), 2u);
+  EXPECT_EQ(out.seen[0], AcquireOutcome::kDeadlineExpired);
+  EXPECT_EQ(out.seen[1], AcquireOutcome::kDeadlineExpired);
+  EXPECT_EQ(s.deadline_misses(), 2u);
+  EXPECT_EQ(s.acquisitions(0), 0u) << "never reached the algorithm";
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(AcquireDeadline, ExpiresWhileQueuedBehindLongHolder) {
+  ServiceHarness h(plain_cfg());
+  ClientSession& s = h.svc.session(h.svc.app_nodes()[0]);
+  Outcomes out;
+  s.acquire(0, AcquireOptions{}, [&](const AcquireResult& r) {
+    ASSERT_EQ(r.outcome, AcquireOutcome::kGranted);
+    h.sim.schedule_after(SimDuration::ms(50), [&] { s.release(0); });
+  });
+  // Queued behind a 50 ms hold with a 10 ms deadline: must expire.
+  s.acquire(0, AcquireOptions{.deadline = SimDuration::ms(10)}, out.cb());
+  h.sim.run();
+
+  ASSERT_EQ(out.seen.size(), 1u);
+  EXPECT_EQ(out.seen[0], AcquireOutcome::kDeadlineExpired);
+  EXPECT_EQ(s.deadline_misses(), 1u);
+  EXPECT_EQ(s.acquisitions(0), 1u) << "expired ticket never got the lock";
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(AcquireDeadline, ShorterThanOneRttAbandonsAndAutoReleasesTheGrant) {
+  // Lock 1 is homed on cluster 1; a cluster-0 session needs an inter-cluster
+  // round trip (>= 10 ms here) to win it. A 1 ms deadline expires while the
+  // request is on the wire — the granted race, resolved by auto-release.
+  ServiceHarness h(plain_cfg(2));
+  ClientSession& s = h.svc.session(h.svc.app_nodes()[0]);
+  Outcomes out;
+  s.acquire(1, AcquireOptions{.deadline = SimDuration::ms(1)}, out.cb());
+  h.sim.run();
+
+  ASSERT_EQ(out.seen.size(), 1u);
+  EXPECT_EQ(out.seen[0], AcquireOutcome::kDeadlineExpired);
+  EXPECT_EQ(s.abandoned_grants(), 1u)
+      << "the grant arrived after expiry and was auto-released";
+  EXPECT_FALSE(s.holding(1));
+  EXPECT_TRUE(s.idle());
+
+  // The auto-release left the lock serviceable.
+  Outcomes again;
+  s.acquire(1, AcquireOptions{}, again.cb());
+  h.sim.run();
+  ASSERT_EQ(again.seen.size(), 1u);
+  EXPECT_EQ(again.seen[0], AcquireOutcome::kGranted);
+  s.release(1);
+  h.sim.run();
+}
+
+TEST(Cancel, QueuedTicketResolvesCancelled) {
+  ServiceHarness h(plain_cfg());
+  ClientSession& s = h.svc.session(h.svc.app_nodes()[0]);
+  Outcomes out;
+  s.acquire(0, AcquireOptions{}, [&](const AcquireResult& r) {
+    ASSERT_EQ(r.outcome, AcquireOutcome::kGranted);
+    h.sim.schedule_after(SimDuration::ms(5), [&] { s.release(0); });
+  });
+  const TicketId queued = s.acquire(0, AcquireOptions{}, out.cb());
+  h.sim.schedule_after(SimDuration::ms(1),
+                       [&] { EXPECT_TRUE(s.cancel(0, queued)); });
+  h.sim.run();
+
+  ASSERT_EQ(out.seen.size(), 1u);
+  EXPECT_EQ(out.seen[0], AcquireOutcome::kCancelled);
+  EXPECT_EQ(s.cancels(), 1u);
+  EXPECT_EQ(s.acquisitions(0), 1u);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Cancel, RacingTheGrantAutoReleases) {
+  ServiceHarness h(plain_cfg(2));
+  ClientSession& s = h.svc.session(h.svc.app_nodes()[0]);
+  Outcomes out;
+  // Remote lock: the request is on the wire for >= 10 ms. Cancel at 1 ms —
+  // the algorithm request cannot be recalled, so the eventual grant is
+  // auto-released without ever reaching a client.
+  const TicketId t = s.acquire(1, AcquireOptions{}, out.cb());
+  h.sim.schedule_after(SimDuration::ms(1),
+                       [&] { EXPECT_TRUE(s.cancel(1, t)); });
+  h.sim.run();
+
+  ASSERT_EQ(out.seen.size(), 1u);
+  EXPECT_EQ(out.seen[0], AcquireOutcome::kCancelled);
+  EXPECT_EQ(s.abandoned_grants(), 1u);
+  EXPECT_FALSE(s.holding(1));
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Cancel, OfTheCurrentHolderIsRefusedNeverASilentRelease) {
+  ServiceHarness h(plain_cfg());
+  ClientSession& s = h.svc.session(h.svc.app_nodes()[0]);
+  TicketId t = kInvalidTicket;
+  bool granted = false;
+  t = s.acquire(0, AcquireOptions{}, [&](const AcquireResult& r) {
+    ASSERT_EQ(r.outcome, AcquireOutcome::kGranted);
+    granted = true;
+  });
+  h.sim.run();
+  ASSERT_TRUE(granted);
+  ASSERT_TRUE(s.holding(0));
+
+  EXPECT_FALSE(s.cancel(0, t)) << "cancelling a granted ticket is refused";
+  EXPECT_TRUE(s.holding(0)) << "and must not silently release";
+  EXPECT_EQ(s.cancels(), 0u);
+  s.release(0);
+  h.sim.run();
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Admission, RejectNewestShedsWhenPendingQueueIsFull) {
+  LockServiceConfig cfg = plain_cfg();
+  // max_pending counts the requesting head: head + one queued ticket.
+  cfg.resilience.admission = {.max_pending = 2,
+                              .policy = ShedPolicy::kRejectNewest};
+  ServiceHarness h(cfg);
+  ClientSession& s = h.svc.session(h.svc.app_nodes()[0]);
+  Outcomes out;
+  s.acquire(0, AcquireOptions{}, [&](const AcquireResult& r) {
+    ASSERT_EQ(r.outcome, AcquireOutcome::kGranted);
+    h.sim.schedule_after(SimDuration::ms(5), [&] { s.release(0); });
+  });
+  s.acquire(0, AcquireOptions{}, out.releasing_cb(h.sim, s, 0));  // queued
+  s.acquire(0, AcquireOptions{}, out.cb());  // newest: shed
+  h.sim.run();
+
+  // Outcomes arrive in delivery order: the shed resolves immediately, the
+  // queued ticket only once the holder releases.
+  ASSERT_EQ(out.seen.size(), 2u);
+  EXPECT_EQ(out.seen[0], AcquireOutcome::kShed) << "newest rejected";
+  EXPECT_EQ(out.seen[1], AcquireOutcome::kGranted) << "queued one served";
+  EXPECT_EQ(s.sheds(), 1u);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Admission, RejectByDeadlineEvictsTheLatestDeadline) {
+  LockServiceConfig cfg = plain_cfg();
+  // Head + two queued tickets fit; the fourth arrival must shed someone.
+  cfg.resilience.admission = {.max_pending = 3,
+                              .policy = ShedPolicy::kRejectByDeadline};
+  ServiceHarness h(cfg);
+  ClientSession& s = h.svc.session(h.svc.app_nodes()[0]);
+  Outcomes lax, tight, urgent;
+  s.acquire(0, AcquireOptions{}, [&](const AcquireResult& r) {
+    ASSERT_EQ(r.outcome, AcquireOutcome::kGranted);
+    h.sim.schedule_after(SimDuration::ms(5), [&] { s.release(0); });
+  });
+  s.acquire(0, AcquireOptions{.deadline = SimDuration::ms(500)},
+            lax.releasing_cb(h.sim, s, 0));
+  s.acquire(0, AcquireOptions{.deadline = SimDuration::ms(400)},
+            tight.releasing_cb(h.sim, s, 0));
+  // Queue full. An urgent newcomer evicts the laxest queued ticket...
+  s.acquire(0, AcquireOptions{.deadline = SimDuration::ms(100)},
+            urgent.releasing_cb(h.sim, s, 0));
+  h.sim.run();
+
+  ASSERT_EQ(lax.seen.size(), 1u);
+  EXPECT_EQ(lax.seen[0], AcquireOutcome::kShed) << "laxest deadline evicted";
+  ASSERT_EQ(tight.seen.size(), 1u);
+  EXPECT_EQ(tight.seen[0], AcquireOutcome::kGranted);
+  ASSERT_EQ(urgent.seen.size(), 1u);
+  EXPECT_EQ(urgent.seen[0], AcquireOutcome::kGranted);
+  EXPECT_EQ(s.sheds(), 1u);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Admission, RejectByDeadlineShedsALaxNewcomerInstead) {
+  LockServiceConfig cfg = plain_cfg();
+  cfg.resilience.admission = {.max_pending = 2,
+                              .policy = ShedPolicy::kRejectByDeadline};
+  ServiceHarness h(cfg);
+  ClientSession& s = h.svc.session(h.svc.app_nodes()[0]);
+  Outcomes queued, newcomer;
+  s.acquire(0, AcquireOptions{}, [&](const AcquireResult& r) {
+    ASSERT_EQ(r.outcome, AcquireOutcome::kGranted);
+    h.sim.schedule_after(SimDuration::ms(5), [&] { s.release(0); });
+  });
+  s.acquire(0, AcquireOptions{.deadline = SimDuration::ms(100)},
+            queued.releasing_cb(h.sim, s, 0));
+  s.acquire(0, AcquireOptions{.deadline = SimDuration::ms(900)},
+            newcomer.cb());
+  h.sim.run();
+
+  ASSERT_EQ(newcomer.seen.size(), 1u);
+  EXPECT_EQ(newcomer.seen[0], AcquireOutcome::kShed)
+      << "a newcomer with the laxer deadline is the one shed";
+  ASSERT_EQ(queued.seen.size(), 1u);
+  EXPECT_EQ(queued.seen[0], AcquireOutcome::kGranted);
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Retry, ShedTicketBacksOffAndEventuallyLands) {
+  LockServiceConfig cfg = plain_cfg();
+  cfg.resilience.admission = {.max_pending = 1,
+                              .policy = ShedPolicy::kRejectNewest};
+  cfg.resilience.retry = {.attempts = 5,
+                          .base = SimDuration::ms(20),
+                          .multiplier = 2.0,
+                          .cap = SimDuration::ms(200),
+                          .jitter = 0.5};
+  ServiceHarness h(cfg);
+  ClientSession& s = h.svc.session(h.svc.app_nodes()[0]);
+  Outcomes out;
+  s.acquire(0, AcquireOptions{}, [&](const AcquireResult& r) {
+    ASSERT_EQ(r.outcome, AcquireOutcome::kGranted);
+    h.sim.schedule_after(SimDuration::ms(5), [&] { s.release(0); });
+  });
+  s.acquire(0, AcquireOptions{}, [&](const AcquireResult& r) {
+    ASSERT_EQ(r.outcome, AcquireOutcome::kGranted);
+    h.sim.schedule_after(SimDuration::ms(5), [&] { s.release(0); });
+  });
+  // Shed on first admission, retried with backoff once the queue drains.
+  s.acquire(0, AcquireOptions{}, out.releasing_cb(h.sim, s, 0));
+  h.sim.run();
+
+  ASSERT_EQ(out.seen.size(), 1u);
+  EXPECT_EQ(out.seen[0], AcquireOutcome::kGranted);
+  EXPECT_GE(s.retries(), 1u);
+  EXPECT_GE(s.sheds(), 1u) << "the shed that triggered the retry";
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Churn, CrashFailsQueuedTicketsAndRestartRecovers) {
+  // A process-level crash: the network stays up (taking the node down too
+  // would lose the in-flight token, which is the recovery layer's job —
+  // covered by the chaos campaigns). The session fails its queue, abandons
+  // the in-flight request, and serves again after restart().
+  ServiceHarness h(plain_cfg(2));
+  ClientSession& s = h.svc.session(h.svc.app_nodes()[0]);
+  Outcomes out;
+  s.acquire(1, AcquireOptions{}, out.cb());  // remote: in flight a while
+  h.sim.schedule_after(SimDuration::ms(1), [&] { s.crash(); });
+  h.sim.schedule_after(SimDuration::ms(40), [&] { s.restart(); });
+  h.sim.run();
+
+  ASSERT_EQ(out.seen.size(), 1u);
+  EXPECT_EQ(out.seen[0], AcquireOutcome::kSessionDown);
+  EXPECT_FALSE(s.down());
+  EXPECT_TRUE(s.idle()) << "the abandoned in-flight grant was auto-released";
+  EXPECT_EQ(s.abandoned_grants(), 1u);
+
+  Outcomes again;
+  s.acquire(1, AcquireOptions{}, again.cb());
+  h.sim.run();
+  ASSERT_EQ(again.seen.size(), 1u);
+  EXPECT_EQ(again.seen[0], AcquireOutcome::kGranted);
+  s.release(1);
+  h.sim.run();
+}
+
+// ---- leases & fencing ----
+
+LockServiceConfig leased_cfg() {
+  LockServiceConfig cfg = plain_cfg();
+  cfg.resilience.leases = true;
+  cfg.resilience.lease = {.renew_interval = SimDuration::ms(20),
+                          .ttl = SimDuration::ms(100),
+                          .drain = SimDuration::ms(200)};
+  return cfg;
+}
+
+TEST(Lease, ProtocolReservedAfterEveryLockBlockOnlyWhenEnabled) {
+  LockServiceConfig cfg = leased_cfg();
+  cfg.locks = 3;
+  ServiceHarness on(cfg, /*clusters=*/2);
+  EXPECT_EQ(on.svc.lease_protocol(), ServiceConfig::lease_protocol(3, 2));
+  ASSERT_NE(on.svc.leases(), nullptr);
+  EXPECT_EQ(on.svc.leases()->protocol(), on.svc.lease_protocol());
+
+  ServiceHarness off(plain_cfg(3), /*clusters=*/2);
+  EXPECT_EQ(off.svc.lease_protocol(), 0u);
+  EXPECT_EQ(off.svc.leases(), nullptr);
+}
+
+TEST(Lease, FencingTokensAreStrictlyMonotoneAcrossHolders) {
+  ServiceHarness h(leased_cfg());
+  const std::vector<NodeId>& apps = h.svc.app_nodes();
+  ClientSession& s1 = h.svc.session(apps[0]);
+  ClientSession& s2 = h.svc.session(apps[1]);
+  Outcomes out;
+  for (int round = 0; round < 2; ++round) {
+    for (ClientSession* s : {&s1, &s2}) {
+      h.sim.schedule_after(SimDuration::ms(1), [&, s] {
+        s->acquire(0, AcquireOptions{}, [&, s](const AcquireResult& r) {
+          ASSERT_EQ(r.outcome, AcquireOutcome::kGranted);
+          out.fences.push_back(r.fence);
+          EXPECT_EQ(s->current_fence(0), r.fence);
+          h.sim.schedule_after(SimDuration::ms(3), [&, s] { s->release(0); });
+        });
+      });
+    }
+  }
+  h.sim.run();
+
+  ASSERT_EQ(out.fences.size(), 4u);
+  for (std::size_t i = 0; i < out.fences.size(); ++i)
+    EXPECT_EQ(out.fences[i], i + 1) << "fences count up from 1, no gaps";
+  EXPECT_EQ(h.svc.leases()->fence_of(0), 4u);
+  EXPECT_EQ(h.svc.leases()->stats().revocations, 0u)
+      << "healthy holders are never revoked";
+  EXPECT_GT(h.svc.leases()->stats().renews_received, 0u);
+}
+
+TEST(Lease, StaleFenceReleaseIsRefusedAndCounted) {
+  ServiceHarness h(leased_cfg());
+  ClientSession& s = h.svc.session(h.svc.app_nodes()[0]);
+  std::uint64_t fence = 0;
+  s.acquire(0, AcquireOptions{}, [&](const AcquireResult& r) {
+    ASSERT_EQ(r.outcome, AcquireOutcome::kGranted);
+    fence = r.fence;
+  });
+  h.sim.run_until(SimTime::zero() + SimDuration::ms(10));
+  ASSERT_TRUE(s.holding(0));
+
+  EXPECT_FALSE(s.release_if_current(0, fence + 1)) << "wrong fence refused";
+  EXPECT_TRUE(s.holding(0));
+  EXPECT_EQ(s.stale_releases(), 1u);
+  EXPECT_TRUE(s.release_if_current(0, fence));
+  h.sim.run();
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Lease, RenewalLossRevokesALiveHolderWhoDrainsGracefully) {
+  // Drop every renewal after the first: the authority's TTL expires, it
+  // opens a revocation epoch and sends REVOKE; the live holder releases
+  // inside the drain window; the next grant carries a larger fence.
+  ServiceHarness h(leased_cfg());
+  const ProtocolId lease_p = h.svc.lease_protocol();
+  FaultPlan plan;
+  // Bounded window: the replacement holder's renewals (from ~103 ms) must
+  // resume before ITS ttl expires, or a second revocation fires.
+  plan.drop_messages(lease_p, LeaseManager::kRenewType, 1000,
+                     SimTime::zero() + SimDuration::ms(5),
+                     SimTime::zero() + SimDuration::ms(120));
+  FaultInjector injector(h.net, plan);
+  injector.arm();
+
+  const std::vector<NodeId>& apps = h.svc.app_nodes();
+  ClientSession& s1 = h.svc.session(apps[0]);
+  ClientSession& s2 = h.svc.session(apps[1]);
+  Outcomes first, second;
+  s1.acquire(0, AcquireOptions{}, first.cb());  // holds "forever"
+  h.sim.schedule_after(SimDuration::ms(50),
+                       [&] { s2.acquire(0, AcquireOptions{}, second.cb()); });
+  h.sim.run_until(SimTime::zero() + SimDuration::sec(2));
+
+  const LeaseManager::Stats& ls = h.svc.leases()->stats();
+  EXPECT_EQ(ls.revocations, 1u);
+  EXPECT_EQ(ls.drain_releases, 1u) << "live holder honored the REVOKE";
+  EXPECT_EQ(ls.forced_releases, 0u);
+  EXPECT_EQ(s1.forced_releases(), 1u);
+  EXPECT_FALSE(s1.holding(0));
+  ASSERT_EQ(second.seen.size(), 1u);
+  EXPECT_EQ(second.seen[0], AcquireOutcome::kGranted);
+  ASSERT_EQ(first.fences.size(), 1u);
+  EXPECT_GT(second.fences[0], first.fences[0])
+      << "the replacement grant fences out the revoked holder";
+  EXPECT_FALSE(h.svc.leases()->revoking(0)) << "epoch closed";
+  s2.release(0);
+  h.sim.run_until(SimTime::zero() + SimDuration::sec(3));
+}
+
+TEST(Lease, RenewalDuringDrainRescindsTheRevocation) {
+  // Renewals are lost for a bounded window, long enough to expire the TTL
+  // but short enough that a renewal lands inside the drain window. The
+  // REVOKE must be lost too (a live holder that receives it drains
+  // gracefully on the spot) — this is the healed-partition shape: both
+  // directions dark, then traffic resumes and the authority rescinds.
+  ServiceHarness h(leased_cfg());
+  FaultPlan plan;
+  plan.drop_messages(h.svc.lease_protocol(), LeaseManager::kRenewType, 1000,
+                     SimTime::zero() + SimDuration::ms(5),
+                     SimTime::zero() + SimDuration::ms(170));
+  plan.drop_messages(h.svc.lease_protocol(), LeaseManager::kRevokeType, 1000,
+                     SimTime::zero(), SimTime::zero() + SimDuration::ms(250));
+  FaultInjector injector(h.net, plan);
+  injector.arm();
+
+  ClientSession& s = h.svc.session(h.svc.app_nodes()[0]);
+  Outcomes out;
+  s.acquire(0, AcquireOptions{}, out.cb());
+  h.sim.schedule_after(SimDuration::ms(400), [&] { s.release(0); });
+  h.sim.run();
+
+  const LeaseManager::Stats& ls = h.svc.leases()->stats();
+  EXPECT_EQ(ls.revocations, 1u) << "TTL did expire";
+  EXPECT_EQ(ls.drain_releases, 0u);
+  EXPECT_EQ(ls.forced_releases, 0u);
+  EXPECT_EQ(s.forced_releases(), 0u) << "holder never disturbed";
+  EXPECT_EQ(h.svc.leases()->fence_of(0), 1u) << "no replacement grant";
+  EXPECT_TRUE(s.idle());
+}
+
+TEST(Lease, RejectTelemetryReachesTheAuthority) {
+  LockServiceConfig cfg = leased_cfg();
+  cfg.resilience.admission = {.max_pending = 2,
+                              .policy = ShedPolicy::kRejectNewest};
+  ServiceHarness h(cfg);
+  ClientSession& s = h.svc.session(h.svc.app_nodes()[0]);
+  Outcomes out;
+  TicketId cancel_me = kInvalidTicket;
+  s.acquire(0, AcquireOptions{}, [&](const AcquireResult& r) {
+    ASSERT_EQ(r.outcome, AcquireOutcome::kGranted);
+    h.sim.schedule_after(SimDuration::ms(5), [&] { s.release(0); });
+  });
+  cancel_me = s.acquire(0, AcquireOptions{}, out.cb());
+  s.acquire(0, AcquireOptions{}, out.cb());  // shed (queue full)
+  h.sim.schedule_after(SimDuration::ms(1),
+                       [&] { EXPECT_TRUE(s.cancel(0, cancel_me)); });
+  h.sim.run();
+
+  const LeaseManager::Stats& ls = h.svc.leases()->stats();
+  EXPECT_EQ(ls.shed_reports, 1u);
+  EXPECT_EQ(ls.cancel_reports, 1u);
+  EXPECT_EQ(h.svc.leases()->shed_reports_for(0), 1u);
+  EXPECT_EQ(h.svc.leases()->cancel_reports_for(0), 1u);
+}
+
+// ---- ProtocolChecker: fencing monotonicity + revocation epochs ----
+
+struct CheckerFixture {
+  Simulator sim;
+  ProtocolChecker checker{sim, CheckerOptions{.abort_on_violation = false}};
+  CheckerFixture() { checker.attach_lease_domain("lock[0]"); }
+  [[nodiscard]] std::size_t violations() const {
+    return checker.violations().size();
+  }
+};
+
+TEST(CheckerLease, LegalRevocationSequencePassesClean) {
+  CheckerFixture f;
+  f.checker.report_lease_grant("lock[0]", 1);
+  f.checker.report_lease_release("lock[0]", 1, /*voluntary=*/true);
+  f.checker.report_lease_grant("lock[0]", 2);
+  f.checker.note_revocation("lock[0]", true);
+  f.checker.report_lease_release("lock[0]", 2, /*voluntary=*/false);
+  f.checker.note_revocation("lock[0]", false);
+  f.checker.report_lease_grant("lock[0]", 3);
+  EXPECT_TRUE(f.checker.ok()) << f.checker.summary();
+}
+
+TEST(CheckerLease, FenceRegressionIsFlagged) {
+  CheckerFixture f;
+  f.checker.report_lease_grant("lock[0]", 5);
+  f.checker.report_lease_release("lock[0]", 5, true);
+  f.checker.report_lease_grant("lock[0]", 4);  // regression
+  ASSERT_EQ(f.violations(), 1u);
+  EXPECT_EQ(f.checker.violations()[0].kind,
+            ProtocolChecker::Violation::Kind::kFencingRegression);
+}
+
+TEST(CheckerLease, EqualFenceIsARegressionToo) {
+  CheckerFixture f;
+  f.checker.report_lease_grant("lock[0]", 7);
+  f.checker.report_lease_release("lock[0]", 7, true);
+  f.checker.report_lease_grant("lock[0]", 7);  // strictly monotone required
+  ASSERT_EQ(f.violations(), 1u);
+  EXPECT_EQ(f.checker.violations()[0].kind,
+            ProtocolChecker::Violation::Kind::kFencingRegression);
+}
+
+TEST(CheckerLease, StaleFencedReleaseIsFlagged) {
+  CheckerFixture f;
+  f.checker.report_lease_grant("lock[0]", 3);
+  f.checker.report_lease_release("lock[0]", 2, true);  // wrong fence executed
+  ASSERT_GE(f.violations(), 1u);
+  EXPECT_EQ(f.checker.violations()[0].kind,
+            ProtocolChecker::Violation::Kind::kFencingRegression);
+}
+
+TEST(CheckerLease, InvoluntaryReleaseOutsideAnEpochIsFlagged) {
+  CheckerFixture f;
+  f.checker.report_lease_grant("lock[0]", 1);
+  f.checker.report_lease_release("lock[0]", 1, /*voluntary=*/false);
+  ASSERT_EQ(f.violations(), 1u);
+  EXPECT_EQ(f.checker.violations()[0].kind,
+            ProtocolChecker::Violation::Kind::kRevocationOverlap);
+}
+
+TEST(CheckerLease, GrantOverAnActiveHoldIsFlagged) {
+  CheckerFixture f;
+  f.checker.report_lease_grant("lock[0]", 1);
+  f.checker.report_lease_grant("lock[0]", 2);  // no release in between
+  ASSERT_EQ(f.violations(), 1u);
+  EXPECT_EQ(f.checker.violations()[0].kind,
+            ProtocolChecker::Violation::Kind::kRevocationOverlap);
+}
+
+TEST(CheckerLease, OpeningAnEpochTwiceIsFlagged) {
+  CheckerFixture f;
+  f.checker.note_revocation("lock[0]", true);
+  f.checker.note_revocation("lock[0]", true);
+  ASSERT_EQ(f.violations(), 1u);
+  EXPECT_EQ(f.checker.violations()[0].kind,
+            ProtocolChecker::Violation::Kind::kRevocationOverlap);
+}
+
+TEST(CheckerLease, DomainsAreIndependent) {
+  CheckerFixture f;
+  f.checker.attach_lease_domain("lock[1]");
+  f.checker.report_lease_grant("lock[0]", 9);
+  // A lower fence on another domain is fine — monotonicity is per domain.
+  f.checker.report_lease_grant("lock[1]", 1);
+  EXPECT_TRUE(f.checker.ok()) << f.checker.summary();
+}
+
+}  // namespace
+}  // namespace gmx::testing

@@ -1,6 +1,7 @@
 // bench_compare — diff two perf_suite BENCH json files with tolerances.
 //
 //   $ bench_compare baseline.json current.json [--tolerance 0.25] [--warn-only]
+//                   [--only <substr>]... [--exclude <substr>]...
 //
 // For every row name present in both files, compares the throughput
 // metrics (events_per_sec, cs_per_sec — higher is better) and reports a
@@ -15,6 +16,14 @@
 // The parser handles exactly the schema perf_suite emits (flat rows of
 // string/number fields) — deliberately not a general JSON library, so the
 // tool stays dependency-free.
+//
+// Row selection: --only keeps rows whose name contains any given
+// substring; --exclude then drops rows matching any of its substrings
+// (exclude wins over only). This lets CI gate the stable macro rows hard
+// (--only macro_ --tolerance 0.10) while keeping the noisier micro rows
+// warn-only at a looser tolerance, from one BENCH json pair. Rows dropped
+// by selection are silently skipped — they count as neither regression
+// nor missing.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -97,6 +106,8 @@ std::optional<std::map<std::string, Row>> parse(const std::string& path) {
 
 int main(int argc, char** argv) {
   std::vector<std::string> files;
+  std::vector<std::string> only;
+  std::vector<std::string> exclude;
   double tolerance = 0.25;
   bool warn_only = false;
   for (int i = 1; i < argc; ++i) {
@@ -104,6 +115,10 @@ int main(int argc, char** argv) {
       tolerance = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--warn-only") == 0) {
       warn_only = true;
+    } else if (std::strcmp(argv[i], "--only") == 0 && i + 1 < argc) {
+      only.emplace_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--exclude") == 0 && i + 1 < argc) {
+      exclude.emplace_back(argv[++i]);
     } else {
       files.emplace_back(argv[i]);
     }
@@ -111,9 +126,20 @@ int main(int argc, char** argv) {
   if (files.size() != 2 || tolerance <= 0.0 || tolerance >= 1.0) {
     std::fprintf(stderr,
                  "usage: bench_compare <baseline.json> <current.json> "
-                 "[--tolerance 0.25] [--warn-only]\n");
+                 "[--tolerance 0.25] [--warn-only] [--only <substr>]... "
+                 "[--exclude <substr>]...\n");
     return 2;
   }
+
+  const auto selected = [&](const std::string& name) {
+    const auto matches_any = [&](const std::vector<std::string>& pats) {
+      for (const std::string& p : pats)
+        if (name.find(p) != std::string::npos) return true;
+      return false;
+    };
+    if (!only.empty() && !matches_any(only)) return false;
+    return !matches_any(exclude);  // exclude wins over only
+  };
 
   const auto base = parse(files[0]);
   const auto cur = parse(files[1]);
@@ -137,7 +163,10 @@ int main(int argc, char** argv) {
     }
   };
 
+  int compared = 0;
   for (const auto& [name, b] : *base) {
+    if (!selected(name)) continue;
+    ++compared;
     const auto it = cur->find(name);
     if (it == cur->end()) {
       std::printf("missing     %-36s (row absent from current)\n",
@@ -156,8 +185,14 @@ int main(int argc, char** argv) {
     }
   }
   for (const auto& [name, c] : *cur) {
-    if (base->find(name) == base->end())
+    if (selected(name) && base->find(name) == base->end())
       std::printf("new         %-36s\n", name.c_str());
+  }
+  if (compared == 0) {
+    // A selection that matches nothing is almost certainly a typo in the
+    // CI invocation — fail loudly rather than report a hollow pass.
+    std::fprintf(stderr, "bench_compare: selection matched no baseline rows\n");
+    return 2;
   }
 
   if (regressions > 0) {

@@ -18,10 +18,17 @@ relies on (see docs/ANALYSIS.md, "Static analysis layers"):
                       blocks (the PR 5 zero-copy rules); empty-payload sends
                       must pass a literal `{}`.
 
-  rng-discipline      No raw <random> engines or C rand()/srand() anywhere:
-                      all randomness flows through gmx::Rng streams
+  rng-discipline      No raw <random> engines or C rand()/srand() anywhere,
+                      and no hand-rolled inline LCGs: the multiplier
+                      constants of the classic generators (glibc's
+                      1103515245, PCG's 6364136223846793005, Vigna's
+                      2862933555777941757 — decimal or hex, any suffix) are
+                      flagged wherever they appear outside sim/random.*.
+                      All randomness flows through gmx::Rng streams
                       (sim/random.hpp), which is what makes a run
-                      reproducible from (config, seed).
+                      reproducible from (config, seed); an inline LCG next
+                      to a backoff/jitter path silently forks the draw
+                      sequence and breaks bit-identical replays.
 
   wall-clock          No std::chrono::{system,steady,high_resolution}_clock
                       in library code (include/, src/) outside bench/, rt/
@@ -310,6 +317,20 @@ RNG_ALLOWED = {
     "src/sim/random.cpp",
 }
 
+# Multiplier constants of the classic LCG/PCG generators: glibc rand()'s
+# 1103515245 (0x41C64E6D), the PCG/Knuth MMIX multiplier
+# 6364136223846793005 (0x5851F42D4C957F2D), and Vigna's splitmix-style
+# 2862933555777941757 (0x27BB2EE687B0B0FD). One of these appearing in code
+# is a hand-rolled inline generator — exactly the kind of "just a little
+# jitter" shortcut a backoff path invites — and it draws outside the
+# gmx::Rng stream accounting. Integer suffixes (u/l/ull in any case/order)
+# are part of the token so `...ULL` still matches.
+LCG_CONST_RE = re.compile(
+    r"(?<![\w.])(?:1103515245|6364136223846793005|2862933555777941757|"
+    r"0x41c64e6d|0x5851f42d4c957f2d|0x27bb2ee687b0b0fd)"
+    r"(?:u?l{0,2}|l{1,2}u?)?(?![\w.])",
+    re.IGNORECASE)
+
 RNG_PATTERNS: List[Tuple[re.Pattern, str]] = [
     (re.compile(r"\bstd::mt19937(?:_64)?\b"), "raw std::mt19937 engine"),
     (re.compile(r"\bstd::minstd_rand0?\b"), "raw std::minstd_rand engine"),
@@ -317,6 +338,7 @@ RNG_PATTERNS: List[Tuple[re.Pattern, str]] = [
     (re.compile(r"\bstd::random_device\b"), "std::random_device (non-reproducible entropy)"),
     (re.compile(r"(?<![\w:.>])s?rand\s*\("), "C rand()/srand()"),
     (re.compile(r"#\s*include\s*<random>"), "#include <random>"),
+    (LCG_CONST_RE, "hand-rolled LCG multiplier constant (inline generator)"),
 ]
 
 
@@ -603,6 +625,29 @@ SELF_TESTS = [
     ("rng-discipline quiet on gmx::Rng and mentions in comments",
      lambda: rule_rng_discipline(
         "src/sim/good.cpp", "// not std::mt19937\nRng rng(7); rng.next_u64();"),
+     0),
+    ("rng-discipline fires on glibc LCG constant", lambda: rule_rng_discipline(
+        "src/service/bad_backoff.cpp",
+        "std::uint32_t jitter(std::uint32_t s) {"
+        " return s * 1103515245u + 12345u; }"),
+     1),
+    ("rng-discipline fires on PCG multiplier with ULL suffix",
+     lambda: rule_rng_discipline(
+        "src/service/bad_backoff.cpp",
+        "state = state * 6364136223846793005ULL + increment;"),
+     1),
+    ("rng-discipline fires on hex LCG constant", lambda: rule_rng_discipline(
+        "src/service/bad_backoff.cpp", "x *= 0x5851F42D4C957F2D;"),
+     1),
+    ("rng-discipline fires on Vigna multiplier", lambda: rule_rng_discipline(
+        "src/service/bad_backoff.cpp", "z = z * 2862933555777941757ull + 3;"),
+     1),
+    ("rng-discipline quiet on a near-miss constant", lambda: rule_rng_discipline(
+        "src/service/good_backoff.cpp", "const auto cap = 1103515246u;"),
+     0),
+    ("rng-discipline quiet on LCG constant inside sim/random.cpp",
+     lambda: rule_rng_discipline(
+        "src/sim/random.cpp", "s = s * 6364136223846793005ull + 1;"),
      0),
     ("wall-clock fires on steady_clock in library code", lambda: rule_wall_clock(
         "src/sim/bad.cpp", "auto t = std::chrono::steady_clock::now();"),

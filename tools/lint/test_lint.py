@@ -103,6 +103,20 @@ def main() -> int:
               r.returncode == 1 and "codec-zero-copy" in r.stderr,
               r.stdout + r.stderr)
 
+        # 4b. Hand-rolled LCG end-to-end: a backoff-jitter shortcut using
+        # the PCG multiplier constant must fail even though it never names
+        # a <random> engine (fresh scratch tree, empty baseline).
+        root = make_scratch_tree(os.path.join(tmp, "t1b"))
+        append(root, "src/mutex/suzuki_kasami.cpp",
+               "\nstatic std::uint64_t quick_jitter(std::uint64_t s) {\n"
+               "  return s * 6364136223846793005ULL + 1442695040888963407ULL;\n"
+               "}\n")
+        r = run_lint(root)
+        check("injected inline-LCG jitter fails the run",
+              r.returncode == 1 and "rng-discipline" in r.stderr
+              and "LCG" in r.stderr,
+              r.stdout + r.stderr)
+
         # 5. Wall-clock rule end-to-end: a steady_clock read in library
         # code (fresh scratch tree so the baseline is empty again).
         root = make_scratch_tree(os.path.join(tmp, "t2"))
