@@ -35,7 +35,9 @@
 #include <cstring>
 #include <fstream>
 #include <functional>
+#include <future>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -46,6 +48,7 @@
 #include "gridmutex/sim/event_queue.hpp"
 #include "gridmutex/sim/random.hpp"
 #include "gridmutex/sim/simulator.hpp"
+#include "gridmutex/transport/udp.hpp"
 #include "gridmutex/workload/runner.hpp"
 
 namespace {
@@ -257,6 +260,66 @@ Row micro_wire_codec(std::uint64_t iters) {
              peak_rss_kb()};
 }
 
+Row micro_transport_roundtrip(std::uint64_t iters) {
+  // Serial request/reply ping-pong between two UdpTransports over loopback
+  // UDP, on the reliable (ARQ-sequenced, acked) path lockd itself uses —
+  // so one "msg" here is the full stack: encode, frame, sendmsg, poll,
+  // decode, ack, dispatch, and the echo of all of that coming back.
+  // Round-trips/sec, warn-only in bench_compare (wall-clock jitter on
+  // loaded CI machines is expected).
+  using transport::PeerAddr;
+  using transport::UdpTransport;
+  UdpTransport a(0, "127.0.0.1", 0);
+  UdpTransport b(1, "127.0.0.1", 0);
+  a.add_peer(1, PeerAddr::loopback(b.port()));
+  b.add_peer(0, PeerAddr::loopback(a.port()));
+  const ProtocolId kProto = 1;
+  a.set_reliable(kProto);
+  b.set_reliable(kProto);
+
+  b.attach(kProto, [&b](const Message& m) {
+    wire::Reader rd(m.payload);
+    Message echo;
+    echo.dst = 0;
+    echo.protocol = m.protocol;
+    echo.type = 2;
+    wire::Writer w = b.writer(16);
+    w.u64(rd.u64());
+    echo.payload = w.take_payload();
+    b.send(echo);
+  });
+  std::promise<void> all_done;
+  auto completed = std::make_shared<std::uint64_t>(0);
+  const auto fire = [kProto](UdpTransport& tp, std::uint64_t n) {
+    Message m;
+    m.dst = 1;
+    m.protocol = kProto;
+    m.type = 1;
+    wire::Writer w = tp.writer(16);
+    w.u64(n);
+    m.payload = w.take_payload();
+    tp.send(m);
+  };
+  a.attach(kProto, [&a, completed, iters, &all_done, fire](const Message&) {
+    if (++*completed >= iters) {
+      all_done.set_value();
+      return;
+    }
+    fire(a, *completed);
+  });
+
+  b.start();
+  a.start();
+  const auto t0 = Clock::now();
+  a.post([&a, fire] { fire(a, 0); });
+  all_done.get_future().wait();
+  const double wall = seconds_since(t0);
+  a.stop();
+  b.stop();
+  return Row{"micro_transport_roundtrip", double(iters) / wall, 0.0, wall,
+             peak_rss_kb()};
+}
+
 // ---------------------------------------------------------------------------
 // Macro scenarios: complete experiments, reporting simulator events/sec and
 // completed CS/sec of wall time.
@@ -398,6 +461,7 @@ int main(int argc, char** argv) {
       "micro_event_queue_timer_mix_legacy", 1024, micro_iters / 8));
   log(micro_dispatch(micro_iters));
   log(micro_wire_codec(quick ? 30'000 : 300'000));
+  log(micro_transport_roundtrip(quick ? 2'000 : 20'000));
 
   log(macro_flat(quick));
   log(macro_composed(quick));

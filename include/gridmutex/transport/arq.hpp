@@ -1,0 +1,143 @@
+// Stop-and-wait ARQ for the real-socket transport.
+//
+// The simulator's Network implements per-(src,dst,protocol) stop-and-wait
+// reliability (net/network.hpp): one frame in flight per channel, later
+// frames queue behind the unacked head, exponential-backoff retransmission,
+// and a bounded retry horizon after which the frame is given up — a pure
+// omission, indistinguishable from a lost unreliable datagram. The
+// FIFO-dependent mutex algorithms were validated against exactly those
+// semantics, so the real transport must reproduce them bit for bit in
+// behavior (not in clocking: here the timers are wall-clock).
+//
+// The state machines live in these two classes with *injected* effects —
+// transmit, arm-timer, cancel-timer are callbacks — so the lossy-delivery
+// tests drive them deterministically with fake timers and a scripted wire,
+// and UdpTransport wires them to sendmsg and its timer heap. The split also
+// keeps every line of protocol logic out of the socket code.
+//
+// Sender channel (per (dst, protocol)):
+//   seq numbers start at 1 (0 = unsequenced, as in the simulator);
+//   send() transmits immediately iff the channel head is free, else queues;
+//   an ack matching the head cancels its timer and launches the next frame;
+//   a timeout retransmits with rto *= backoff (capped) until max_attempts,
+//   then gives up — the frame is dropped and the next one launches.
+//
+// Receiver channel (per (src, protocol)):
+//   every sequenced frame is acked (including duplicates — the ack may
+//   have been lost); a frame is delivered iff seq > last_delivered.
+//   With a stop-and-wait FIFO sender, sequence numbers arrive
+//   monotonically except for retransmissions of the current head, so
+//   "greater than last delivered" is exactly the simulator's seen-set
+//   dedup — including across give-up gaps, where the skipped seq simply
+//   never arrives — with O(1) state per channel instead of a set.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <utility>
+
+#include "gridmutex/net/network.hpp"
+
+namespace gmx::transport {
+
+/// Wall-clock analogue of net/network.hpp's RetransmitConfig; defaults
+/// match it so sim-validated retry horizons carry over.
+struct ArqConfig {
+  std::uint32_t rto_ms = 200;
+  double backoff = 2.0;
+  std::uint32_t rto_max_ms = 2000;
+  int max_attempts = 8;
+};
+
+struct ArqCounters {
+  std::uint64_t sent = 0;           // first transmissions
+  std::uint64_t retransmitted = 0;  // timer-driven resends
+  std::uint64_t acked = 0;
+  std::uint64_t gave_up = 0;  // retry horizon exhausted (omission)
+  std::uint64_t delivered = 0;
+  std::uint64_t duplicates = 0;  // re-acked, not delivered
+  std::uint64_t stale_acks = 0;  // ack for no in-flight frame
+
+  [[nodiscard]] bool operator==(const ArqCounters&) const = default;
+};
+
+/// Opaque handle for an armed retransmission timer.
+using ArqTimerToken = std::uint64_t;
+
+class ArqSender {
+ public:
+  struct Hooks {
+    /// Puts the frame on the wire (first transmission and resends alike).
+    std::function<void(const Message&)> transmit;
+    /// Arms a one-shot timer; `fire` must be invoked after ~delay_ms
+    /// unless the returned token is cancelled first.
+    std::function<ArqTimerToken(std::uint32_t delay_ms,
+                                std::function<void()> fire)>
+        arm;
+    std::function<void(ArqTimerToken)> cancel;
+    /// Optional: observes frames dropped at the retry horizon.
+    std::function<void(const Message&)> on_give_up;
+  };
+
+  ArqSender(ArqConfig cfg, Hooks hooks);
+
+  ArqSender(const ArqSender&) = delete;
+  ArqSender& operator=(const ArqSender&) = delete;
+
+  /// Sequences `msg` on its (dst, protocol) channel and transmits it now
+  /// if the channel head is free, else queues it. msg.seq is assigned.
+  void send(Message msg);
+
+  /// Resolves an incoming acknowledgement frame (type == Message::kAckType,
+  /// src = the acking peer).
+  void on_ack(NodeId peer, ProtocolId protocol, std::uint64_t seq);
+
+  /// Frames not yet acknowledged: in flight, awaiting retransmission, or
+  /// queued behind a channel head.
+  [[nodiscard]] std::uint64_t unacked() const { return unacked_; }
+  [[nodiscard]] const ArqCounters& counters() const { return counters_; }
+
+ private:
+  struct Pending {
+    Message msg;
+    int attempts = 1;
+    std::uint32_t rto_ms = 0;
+    ArqTimerToken timer = 0;
+  };
+  struct Channel {
+    std::uint64_t next_seq = 0;
+    bool head_busy = false;
+    Pending head;
+    std::deque<Message> queue;
+  };
+  using Key = std::pair<NodeId, ProtocolId>;
+
+  void launch(Channel& ch, Message msg);
+  void on_timeout(Key key, std::uint64_t seq);
+  void launch_next(Channel& ch);
+
+  ArqConfig cfg_;
+  Hooks hooks_;
+  std::map<Key, Channel> channels_;
+  std::uint64_t unacked_ = 0;
+  ArqCounters counters_;
+};
+
+class ArqReceiver {
+ public:
+  enum class Verdict : std::uint8_t { kDeliver, kDuplicate };
+
+  /// Classifies a sequenced frame (msg.seq > 0). The caller acks in both
+  /// cases — a duplicate usually means our previous ack was lost.
+  [[nodiscard]] Verdict on_frame(const Message& msg);
+
+  [[nodiscard]] const ArqCounters& counters() const { return counters_; }
+
+ private:
+  std::map<std::pair<NodeId, ProtocolId>, std::uint64_t> last_delivered_;
+  ArqCounters counters_;
+};
+
+}  // namespace gmx::transport

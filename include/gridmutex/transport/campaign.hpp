@@ -1,0 +1,72 @@
+// Open-loop campaign over a real lockd grid.
+//
+// run_campaign() replays the *bit-identical* Poisson/Zipf arrival trace
+// the simulator's service experiments use — materialize_open_loop() from
+// the same fork(3) stream of the same seed — against live lockd daemons,
+// measuring wall-clock obtaining times. This is the "real" half of the
+// sim-vs-real cross-validation (docs/TRANSPORT.md): same algorithms, same
+// topology, same arrival instants; only the latency substrate differs.
+//
+// The campaign is a single asynchronous client: arrivals are scheduled on
+// the transport's timer heap at their trace instants (optionally
+// compressed by `time_scale`), each request retransmits until its
+// terminal reply, each grant holds the lock for the trace's hold time and
+// then releases. Safety is asserted client-side:
+//   - fencing: per lock, granted fences must be strictly increasing;
+//   - exclusion: a grant for lock l while another of the campaign's
+//     requests still holds l is a violation (the service serializes
+//     grants through the composition CS, so overlap means broken mutual
+//     exclusion, not mere reordering).
+// Accounting closure — arrivals == grants + sheds + deadline_misses — is
+// checked by the caller against the daemons' kStats counters.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gridmutex/transport/node.hpp"
+#include "gridmutex/workload/open_loop.hpp"
+
+namespace gmx::transport {
+
+struct CampaignConfig {
+  GridConfig grid;
+  OpenLoopParams open_loop;
+  /// Forwarded in every kAcquire; 0 = no deadline.
+  std::uint32_t deadline_ms = 0;
+  /// Divides every trace instant and hold time: 2.0 runs the trace twice
+  /// as fast as simulated time. 1.0 = real-time replay.
+  double time_scale = 1.0;
+  /// Client-side retransmit period for unacknowledged requests.
+  std::uint32_t retry_ms = 250;
+};
+
+struct CampaignResult {
+  std::uint64_t arrivals = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t fence_violations = 0;
+  std::uint64_t exclusion_violations = 0;
+  /// Wall-clock request->grant latency per grant, milliseconds.
+  std::vector<double> obtain_ms;
+  double wall_sec = 0.0;
+
+  [[nodiscard]] bool safe() const {
+    return fence_violations == 0 && exclusion_violations == 0;
+  }
+  [[nodiscard]] double obtain_mean_ms() const;
+  /// q in [0,1]; nearest-rank over the sorted sample.
+  [[nodiscard]] double obtain_percentile_ms(double q) const;
+  [[nodiscard]] double throughput_cs_per_s() const {
+    return wall_sec > 0.0 ? double(grants) / wall_sec : 0.0;
+  }
+};
+
+/// Drives one campaign to completion (every arrival terminal, every grant
+/// released and acknowledged). `nodes[i]` is grid node i's address; the
+/// daemons must already be peered and started (client.hpp handshake).
+[[nodiscard]] CampaignResult run_campaign(std::vector<PeerAddr> nodes,
+                                          const CampaignConfig& cfg);
+
+}  // namespace gmx::transport

@@ -1,0 +1,168 @@
+// Client-facing protocol of lockd, and the LockClient library over it.
+//
+// Clients (lockctl, the cross-validation campaign) are not grid nodes:
+// they speak an *unsequenced* request/reply protocol on the CLIENT
+// protocol id, are routed by datagram source address rather than the node
+// table, and own reliability themselves — a client retransmits its request
+// until a reply arrives, and lockd deduplicates by (client_id, req_id)
+// with a bounded cache of terminal replies, so every operation below is
+// idempotent end to end.
+//
+// Message grammar (CLIENT protocol; all encodings via net/wire.hpp):
+//   kPing      u64 token                 -> kPong    u64 token, u32 node,
+//                                                    u8 started
+//   kPeers     varint n, n x (u32 ip, u16 port)      -> kPeersOk  (empty)
+//              (node id = table index; installs the grid's address map)
+//   kStart     (empty)                   -> kStarted (empty)
+//              (idempotent; starts the hosted coordinators)
+//   kAcquire   u64 client_id, u64 req_id, varint lock, varint deadline_ms
+//       -> kGranted u64 req_id, varint lock, u64 fence
+//        | kShed    u64 req_id, varint lock     (admission queue full)
+//        | kExpired u64 req_id, varint lock     (deadline passed)
+//   kRelease   u64 client_id, u64 req_id, varint lock
+//       -> kReleased u64 req_id                 (idempotent)
+//   kStats     (empty)                   -> kStatsReply  6 x u64
+//                                           (NodeStats field order)
+//   kShutdown  (empty)                   -> kBye (empty); daemon exits
+//
+// Fencing: every grant carries a fence token drawn from a per-lock
+// monotone counter at the lock's home coordinator. Fence fetches happen
+// while the granting node is inside the lock's critical section, so
+// successive grants of one lock observe strictly increasing fences —
+// the client-side safety assertion of the campaign.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "gridmutex/service/lock_table.hpp"
+#include "gridmutex/transport/udp.hpp"
+
+namespace gmx::transport {
+
+enum class ClientMsg : std::uint16_t {
+  kPing = 1,
+  kPong = 2,
+  kPeers = 3,
+  kPeersOk = 4,
+  kStart = 5,
+  kStarted = 6,
+  kAcquire = 7,
+  kGranted = 8,
+  kShed = 9,
+  kExpired = 10,
+  kRelease = 11,
+  kReleased = 12,
+  kStats = 13,
+  kStatsReply = 14,
+  kShutdown = 15,
+  kBye = 16,
+};
+
+/// Per-daemon service counters; the kStatsReply payload. The accounting
+/// closure every run must satisfy:
+///   arrivals == grants + sheds + deadline_misses   (once drained)
+struct NodeStats {
+  std::uint64_t arrivals = 0;
+  std::uint64_t grants = 0;
+  std::uint64_t sheds = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t releases = 0;
+  std::uint64_t fences_issued = 0;
+
+  NodeStats& operator+=(const NodeStats& o);
+  [[nodiscard]] bool operator==(const NodeStats&) const = default;
+};
+
+void encode_stats(wire::Writer& w, const NodeStats& s);
+[[nodiscard]] NodeStats decode_stats(wire::Reader& r);
+
+/// Blocking request/reply client for lockd grids: one UDP socket, an
+/// internal loop thread (via UdpTransport), client-side retransmission.
+/// Used by lockctl and by xvalidate's control plane; the open-loop
+/// campaign drives a transport asynchronously instead (campaign.hpp).
+class LockClient {
+ public:
+  /// `nodes[i]` is node i's address. `client_protocol` is the grid's
+  /// CLIENT protocol id (GridConfig::client_protocol()).
+  LockClient(std::vector<PeerAddr> nodes, ProtocolId client_protocol,
+             const std::string& bind_ip = "127.0.0.1");
+  ~LockClient();
+
+  LockClient(const LockClient&) = delete;
+  LockClient& operator=(const LockClient&) = delete;
+
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] std::uint64_t client_id() const { return client_id_; }
+  /// Overrides the derived client id — lockd matches releases by
+  /// (client_id, req_id), so releasing from a different process than the
+  /// acquiring one (lockctl) must pin the id. Call before any operation.
+  void set_client_id(std::uint64_t id) { client_id_ = id; }
+
+  /// True once the node answered a ping; `started` reports whether its
+  /// coordinators are running.
+  struct PingReply {
+    NodeId node = kInvalidNode;
+    bool started = false;
+  };
+  [[nodiscard]] std::optional<PingReply> ping(NodeId node,
+                                              std::uint32_t timeout_ms);
+  /// Pushes the ctor's address table to `node` (kPeers).
+  [[nodiscard]] bool send_peers(NodeId node, std::uint32_t timeout_ms);
+  [[nodiscard]] bool start(NodeId node, std::uint32_t timeout_ms);
+
+  struct Acquire {
+    enum class Status : std::uint8_t {
+      kGranted,
+      kShed,
+      kExpired,
+      kTimeout
+    };
+    Status status = Status::kTimeout;
+    std::uint64_t req_id = 0;
+    std::uint64_t fence = 0;
+    double obtain_ms = 0.0;
+  };
+  [[nodiscard]] Acquire acquire(NodeId node, LockId lock,
+                                std::uint32_t deadline_ms,
+                                std::uint32_t timeout_ms);
+  [[nodiscard]] bool release(NodeId node, LockId lock, std::uint64_t req_id,
+                             std::uint32_t timeout_ms);
+
+  [[nodiscard]] std::optional<NodeStats> stats(NodeId node,
+                                               std::uint32_t timeout_ms);
+  [[nodiscard]] bool shutdown(NodeId node, std::uint32_t timeout_ms);
+
+ private:
+  struct RpcReply {
+    std::uint16_t type = 0;
+    std::vector<std::uint8_t> payload;
+  };
+  /// Sends `make()` to `node` every `retry_ms` until a frame satisfying
+  /// `match` arrives or `timeout_ms` elapses. Runs on the loop thread;
+  /// blocks the caller.
+  [[nodiscard]] std::optional<RpcReply> rpc(
+      NodeId node, std::function<Message()> make,
+      std::function<bool(const Message&)> match, std::uint32_t timeout_ms,
+      std::uint32_t retry_ms = 250);
+
+  std::vector<PeerAddr> nodes_;
+  ProtocolId protocol_;
+  std::uint64_t client_id_;
+  std::uint64_t next_req_id_ = 1;
+  UdpTransport tp_;
+
+  // Loop-thread state: the single outstanding expecter (LockClient is a
+  // blocking, one-op-at-a-time client).
+  struct Expecter {
+    std::function<bool(const Message&)> match;
+    std::function<void(RpcReply)> fulfill;
+    UdpTransport::TimerToken retry_timer = 0;
+    UdpTransport::TimerToken deadline_timer = 0;
+  };
+  std::optional<Expecter> expecter_;
+};
+
+}  // namespace gmx::transport

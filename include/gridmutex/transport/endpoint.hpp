@@ -1,0 +1,110 @@
+// TransportMutexEndpoint: a MutexAlgorithm participant over real sockets.
+//
+// The socket counterpart of mutex/endpoint.hpp (simulator) and
+// rt/endpoint.hpp (thread runtime): the same unmodified algorithm object
+// code, bound to a UdpTransport. Everything the algorithm touches runs on
+// the transport's loop thread — public entry points post there, protocol
+// frames already arrive there, and observer upcalls re-post the user
+// callbacks so user code never re-enters an algorithm frame.
+//
+// Unlike rt/ (whose payloads must be heap-origin because they cross
+// thread-queue boundaries), all algorithm activity here lives on one loop
+// thread, so the endpoint hands out the transport's pool-backed Writer:
+// encode → frame → sendmsg without a copy, the simulator's zero-copy path
+// reproduced over a real wire.
+//
+// A frame from a node outside the member list throws wire::WireError
+// (caught and counted by the transport) rather than asserting: on a real
+// socket a stray datagram is environmental, not a protocol bug.
+#pragma once
+
+#include <chrono>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "gridmutex/mutex/algorithm.hpp"
+#include "gridmutex/mutex/handle.hpp"
+#include "gridmutex/net/topology.hpp"
+#include "gridmutex/transport/udp.hpp"
+
+namespace gmx::transport {
+
+class TransportMutexEndpoint final : public MutexHandle,
+                                     private MutexContext,
+                                     private MutexObserver {
+ public:
+  /// `members[rank]` maps instance ranks onto grid nodes; `topo` backs
+  /// cluster_of_rank and must outlive the endpoint. members[self_rank]
+  /// must equal tp.self(). Attaches the protocol handler and marks the
+  /// protocol reliable (algorithm traffic always rides ARQ).
+  TransportMutexEndpoint(UdpTransport& tp, ProtocolId protocol,
+                         std::vector<NodeId> members, int self_rank,
+                         const Topology& topo,
+                         std::unique_ptr<MutexAlgorithm> algorithm, Rng rng);
+
+  TransportMutexEndpoint(const TransportMutexEndpoint&) = delete;
+  TransportMutexEndpoint& operator=(const TransportMutexEndpoint&) = delete;
+
+  void set_callbacks(MutexCallbacks cb) override {
+    callbacks_ = std::move(cb);
+  }
+
+  /// Asynchronous: posts to the loop thread (no-op wrapper when already
+  /// there — post preserves FIFO order either way).
+  void init(int holder_rank);
+  void request_cs() override;
+  void release_cs() override;
+
+  [[nodiscard]] NodeId node() const override {
+    return members_[std::size_t(rank_)];
+  }
+  [[nodiscard]] int rank() const { return rank_; }
+  /// Snapshots: exact on the loop thread; racy-but-atomic reads otherwise.
+  [[nodiscard]] CsState state() const override { return algo_->state(); }
+  [[nodiscard]] bool in_cs() const override { return algo_->in_cs(); }
+  [[nodiscard]] bool holds_token() const override {
+    return algo_->holds_token();
+  }
+  [[nodiscard]] bool has_pending_requests() const override {
+    return algo_->has_pending_requests();
+  }
+  [[nodiscard]] const MutexAlgorithm& algorithm() const { return *algo_; }
+
+ private:
+  // MutexContext
+  [[nodiscard]] int self() const override { return rank_; }
+  [[nodiscard]] int size() const override { return int(members_.size()); }
+  [[nodiscard]] int cluster_of_rank(int rank) const override;
+  void send(int to_rank, std::uint16_t type,
+            std::span<const std::uint8_t> payload) override;
+  [[nodiscard]] wire::Writer writer(std::size_t reserve) override;
+  void send_writer(int to_rank, std::uint16_t type,
+                   wire::Writer&& w) override;
+  void send_shared(int to_rank, std::uint16_t type,
+                   const Payload& payload) override;
+  Rng& rng() override { return rng_; }
+  [[nodiscard]] SimTime now() const override;
+
+  // MutexObserver
+  void on_cs_granted() override;
+  void on_pending_request() override;
+
+  void handle_message(const Message& msg);
+  [[nodiscard]] Message frame_to(int to_rank, std::uint16_t type) const;
+
+  UdpTransport& tp_;
+  ProtocolId protocol_;
+  std::vector<NodeId> members_;
+  std::unordered_map<NodeId, int> rank_of_;
+  int rank_;
+  const Topology& topo_;
+  std::unique_ptr<MutexAlgorithm> algo_;
+  Rng rng_;
+  MutexCallbacks callbacks_;
+  std::chrono::steady_clock::time_point epoch_;
+  /// Pins algo_/rng_ mutation to the transport loop thread.
+  ThreadAffinityGuard algo_affinity_;
+};
+
+}  // namespace gmx::transport

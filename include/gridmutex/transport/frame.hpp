@@ -1,0 +1,70 @@
+// Datagram framing for the real-socket transport.
+//
+// The simulator's Network never serializes its routing metadata — src, dst,
+// protocol, type and ARQ seq travel alongside the payload as C++ struct
+// fields (Message::kHeaderBytes merely *accounts* for them). On a real UDP
+// socket those fields must actually cross the wire, so this header defines
+// the one place the transport adds bytes the simulator does not: a
+// versioned datagram envelope carrying one or more frames, each of which
+// decodes back into exactly the `Message` the Network-shaped dispatch seam
+// expects.
+//
+//   datagram := u8 version (kWireVersion) , frame+
+//   frame    := u32 src , u32 dst , varint protocol , u16 type ,
+//               varint seq , bytes payload        (wire::Writer::bytes)
+//
+// All integers use the existing wire codec (little-endian fixed width +
+// LEB128 varints), so the frame header is fuzzed through the same
+// Reader/Writer machinery as every protocol payload (tests/fuzz mode 4).
+// Constraints enforced by decode_datagram (violations throw
+// wire::WireError — a corrupt or hostile datagram must never reach a
+// protocol handler):
+//   - version must equal kWireVersion;
+//   - protocol must be nonzero (0 is the "no protocol" sentinel) and fit
+//     ProtocolId (32 bits);
+//   - a datagram must contain at least one frame and no trailing garbage
+//     (the frame grammar is self-delimiting, so the loop just runs to the
+//     end of the buffer);
+//   - payload length is bounds-checked against the datagram.
+//
+// Decoded payloads are Payload::slice views into the receive buffer's
+// block — zero-copy, exactly like BatchMux unbatching. On the send side
+// append_frame() re-encodes a Message; the transport's sendmsg path writes
+// [envelope+header][payload] as an iovec pair instead, so a pool-backed
+// wire::Writer payload goes out without ever being copied into the frame.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "gridmutex/net/network.hpp"
+#include "gridmutex/net/wire.hpp"
+
+namespace gmx::transport {
+
+/// Wire format version; bumped on any frame-grammar change.
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// Ceiling on datagrams we build or accept. Localhost loopback carries
+/// 64 KiB UDP; staying under it keeps sendmsg single-datagram.
+inline constexpr std::size_t kMaxDatagramBytes = 60000;
+
+/// Appends the envelope byte. Call once per datagram, before any frame.
+void begin_datagram(wire::Writer& w);
+
+/// Appends one complete frame (header + length-prefixed payload copy).
+/// The sendmsg fast path in udp.cpp appends only the header via
+/// append_frame_header() and splices the payload as a second iovec; this
+/// full-copy form is for tests, the fuzz re-encode oracle, and callers
+/// that coalesce multiple frames into one buffer.
+void append_frame(wire::Writer& w, const Message& msg);
+
+/// Header only: everything of append_frame() up to and including the
+/// payload length varint, but not the payload bytes themselves.
+void append_frame_header(wire::Writer& w, const Message& msg);
+
+/// Decodes a whole datagram into Messages whose payloads are zero-copy
+/// slices of `dgram`'s block. Throws wire::WireError on any malformation.
+[[nodiscard]] std::vector<Message> decode_datagram(const Payload& dgram);
+
+}  // namespace gmx::transport

@@ -1,0 +1,218 @@
+// LockdNode: one grid node's share of the lock service over real sockets.
+//
+// A lockd process hosts exactly one node of a clusters x (apps+1) grid:
+//
+//   - per lock, the node's endpoints of that lock's two-level composition
+//     (coordinator nodes run an inter endpoint, the intra rank 0 endpoint
+//     and the Coordinator bridge; app nodes run their intra endpoint) —
+//     the same algorithm object code as the simulator, over UdpTransport;
+//   - on coordinator nodes, the FENCE service: a per-lock monotone counter
+//     for the locks whose home cluster this coordinator leads;
+//   - on app nodes, a per-lock grant queue driving acquire/release for
+//     clients (the CLIENT protocol of client.hpp).
+//
+// Protocol layout mirrors ServiceConfig exactly so a transport grid and a
+// simulated service with the same shape use the same protocol ids:
+//   1                BATCH (reserved, unused by the transport)
+//   2 + l*(C+1)      lock l inter
+//   .. + 1 + c       lock l intra, cluster c
+//   2 + K*(C+1)      FENCE   (the slot the sim's lease protocol occupies)
+//   fence + 1        CLIENT  (address-routed, unsequenced)
+//
+// Seed derivation also mirrors the simulator: GridConfig::seed plays
+// ServiceConfig::seed, the service stream is fork(2) of it, and lock l's
+// composition seed is fork(100 + l) of the service stream — so a
+// transport grid and a sim service with equal shape and seed hand every
+// algorithm instance the identical rng stream.
+//
+// Startup handshake (see client.hpp): the daemon binds (possibly an
+// ephemeral port), answers kPing immediately, learns the grid's address
+// table from kPeers, and only starts its Coordinators on kStart — by
+// then every peer is reachable, so permission-based intra algorithms can
+// broadcast their first REQUEST safely.
+//
+// Fencing: when an app node wins a lock's critical section it fetches a
+// fence from the lock's home coordinator (kFenceReq/kFenceRep, reliable)
+// *while still inside the CS*, then replies kGranted to the client.
+// Because fetches are serialized by the CS, the fences observed by
+// successive grants of one lock are strictly increasing — the property
+// the campaign asserts client-side.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "gridmutex/core/coordinator.hpp"
+#include "gridmutex/service/experiment.hpp"
+#include "gridmutex/service/lock_table.hpp"
+#include "gridmutex/transport/client.hpp"
+#include "gridmutex/transport/endpoint.hpp"
+#include "gridmutex/transport/udp.hpp"
+
+namespace gmx::transport {
+
+/// FENCE protocol message kinds.
+enum class FenceMsg : std::uint16_t {
+  kFenceReq = 1,  // varint lock, u64 nonce
+  kFenceRep = 2,  // varint lock, u64 nonce, u64 fence
+};
+
+/// Shape and seeding of a transport grid; the subset of ServiceConfig a
+/// real deployment needs, with the same defaults where they overlap.
+struct GridConfig {
+  std::uint32_t clusters = 2;
+  std::uint32_t apps_per_cluster = 4;
+  std::uint32_t locks = 4;
+  std::string intra_algorithm = "naimi";
+  std::string inter_algorithm = "naimi";
+  Placement placement = Placement::kRoundRobin;
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] std::uint32_t node_count() const {
+    return clusters * (apps_per_cluster + 1);
+  }
+  [[nodiscard]] Topology topology() const {
+    return Topology::uniform(clusters, apps_per_cluster + 1);
+  }
+  [[nodiscard]] std::vector<std::string> lock_names() const;
+  /// App nodes in cluster order, coordinator (rank 0) skipped — the same
+  /// order Composition::app_nodes() reports in the simulator, which the
+  /// open-loop materializer indexes.
+  [[nodiscard]] std::vector<NodeId> app_nodes() const;
+
+  [[nodiscard]] ProtocolId inter_protocol(LockId l) const {
+    return ServiceConfig::lock_inter_protocol(l, clusters);
+  }
+  [[nodiscard]] ProtocolId intra_protocol(LockId l, ClusterId c) const {
+    return ServiceConfig::lock_intra_protocol(l, clusters, c);
+  }
+  [[nodiscard]] ProtocolId fence_protocol() const {
+    return ServiceConfig::lease_protocol(locks, clusters);
+  }
+  [[nodiscard]] ProtocolId client_protocol() const {
+    return fence_protocol() + 1;
+  }
+  /// The stream ServiceConfig-seeded experiments hand their LockService.
+  [[nodiscard]] std::uint64_t service_seed() const {
+    return Rng(seed).fork(2).next_u64();
+  }
+};
+
+class LockdNode {
+ public:
+  struct Options {
+    /// Per-(node, lock) grant queue bound; arrivals beyond it are shed.
+    std::size_t max_pending = 64;
+    /// Terminal replies remembered for client retransmit dedup.
+    std::size_t reply_cache = 8192;
+  };
+
+  /// Attaches every handler and posts endpoint inits; call before
+  /// tp.start(). `tp.self()` selects which node of `cfg` this is.
+  LockdNode(UdpTransport& tp, GridConfig cfg, Options opts);
+  LockdNode(UdpTransport& tp, GridConfig cfg)
+      : LockdNode(tp, std::move(cfg), Options{}) {}
+  ~LockdNode();
+
+  LockdNode(const LockdNode&) = delete;
+  LockdNode& operator=(const LockdNode&) = delete;
+
+  [[nodiscard]] NodeId node() const { return tp_.self(); }
+  [[nodiscard]] bool is_coordinator() const { return is_coordinator_node_; }
+  [[nodiscard]] const GridConfig& config() const { return cfg_; }
+
+  /// Blocks until a kShutdown was served; the caller then stops the
+  /// transport (the loop thread cannot join itself).
+  void wait_shutdown();
+
+ private:
+  struct PerLock;
+  struct LockSrv;
+  struct Pending;
+  struct CachedReply;
+  using ReqKey = std::pair<std::uint64_t, std::uint64_t>;  // client, req
+
+  void handle_client(const Message& m, const PeerAddr& from);
+  void handle_fence(const Message& m);
+  void on_acquire(const Message& m, const PeerAddr& from);
+  void on_release(const Message& m, const PeerAddr& from);
+  void pump(LockId lock);
+  void on_granted(LockId lock);
+  void finish(LockId lock, ClientMsg type, std::uint64_t fence);
+  void reply(const PeerAddr& to, ClientMsg type,
+             std::vector<std::uint8_t> payload = {});
+  void remember(const ReqKey& key, ClientMsg type, LockId lock,
+                std::uint64_t fence);
+  [[nodiscard]] std::uint64_t steady_ms() const;
+
+  UdpTransport& tp_;
+  GridConfig cfg_;
+  Options opts_;
+  Topology topo_;
+  LockTable table_;
+  ClusterId my_cluster_;
+  bool is_coordinator_node_;
+
+  struct PerLock {
+    // Coordinator nodes: inter + intra(rank 0) + bridge. App nodes:
+    // intra only.
+    std::unique_ptr<TransportMutexEndpoint> inter;
+    std::unique_ptr<TransportMutexEndpoint> intra;
+    std::unique_ptr<Coordinator> coordinator;
+  };
+  std::vector<PerLock> locks_;
+
+  // ---- client-facing service state (loop thread only) ----
+  struct Pending {
+    std::uint64_t client_id = 0;
+    std::uint64_t req_id = 0;
+    std::uint64_t deadline_at_ms = 0;  // steady_ms deadline; 0 = none
+    PeerAddr client;
+  };
+  enum class SrvState : std::uint8_t {
+    kIdle,
+    kRequesting,
+    kAwaitFence,
+    kHeld
+  };
+  struct LockSrv {
+    SrvState state = SrvState::kIdle;
+    Pending current;
+    std::deque<Pending> queue;
+  };
+  std::vector<LockSrv> srv_;  // per lock; empty on coordinator nodes
+
+  struct CachedReply {
+    ClientMsg type = ClientMsg::kShed;
+    LockId lock = 0;
+    std::uint64_t fence = 0;
+  };
+  std::map<ReqKey, CachedReply> reply_cache_;
+  std::deque<ReqKey> reply_fifo_;
+  std::set<ReqKey> inflight_;
+
+  // Fence client side (app nodes): outstanding nonce -> lock.
+  std::uint64_t next_nonce_ = 1;
+  std::map<std::uint64_t, LockId> fence_waits_;
+  // Fence server side (home coordinator): per-lock monotone counters.
+  std::vector<std::uint64_t> fence_counter_;
+
+  NodeStats stats_;
+  bool started_ = false;
+  std::chrono::steady_clock::time_point epoch_;
+
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+  bool shutdown_ = false;
+};
+
+}  // namespace gmx::transport

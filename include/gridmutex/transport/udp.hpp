@@ -1,0 +1,211 @@
+// UdpTransport: the Network-shaped send/dispatch seam over real sockets.
+//
+// The third substrate (after the DES Network and the rt/ thread runtime):
+// one non-blocking UDP socket, one poll-driven loop thread, and the same
+// attach(protocol, handler) / send(Message) surface the in-process
+// substrates expose — so TransportMutexEndpoint hosts the unmodified
+// algorithm object code over it, which is the point of the MutexContext
+// seam.
+//
+// Threading model (mirrors rt/'s "one serial queue per node", except the
+// whole process is one node, so one loop thread owns everything):
+//   - The loop thread exclusively owns the socket, the BufferPool, the ARQ
+//     state, the timer heap and the handler tables. No locks on the hot
+//     path; debug builds pin the pool to the loop thread via its
+//     ThreadAffinityGuard.
+//   - Other threads interact only through post() (a mutex-guarded task
+//     queue drained via a self-pipe) and request_stop(). send(), writer(),
+//     schedule_ms() and friends are loop-thread-only.
+//   - attach/set_reliable/add_peer may additionally be called before
+//     start(), which is how lockd builds its node: construct everything,
+//     then start the loop.
+//
+// Wire path: send() resolves the peer address, routes reliable protocols
+// through the ArqSender, and writes [version+frame-header][payload] as an
+// iovec pair via sendmsg — a pool-backed wire::Writer payload goes from
+// encode to the kernel without a single copy. Receives land in a
+// pool-acquired block; decode_datagram() slices zero-copy Message payloads
+// out of it, ACKs are resolved, sequenced frames pass the ArqReceiver
+// dedup, and survivors dispatch to the protocol handler. A handler that
+// throws wire::WireError poisons only that frame (counted, never fatal) —
+// hostile bytes must not take the daemon down.
+//
+// Deterministic fault injection for tests (the transport analogue of the
+// simulator's drop/duplicate knobs): set_send_fault() intercepts every
+// outgoing frame and may drop it, duplicate it, or hold it back until
+// after the next transmission (which reorders two frames on the real
+// wire). The hook runs below ARQ, so retransmission/dedup/FIFO semantics
+// are exercised against genuine loss, not simulated bookkeeping.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "gridmutex/core/thread_annotations.hpp"
+#include "gridmutex/net/buffer_pool.hpp"
+#include "gridmutex/net/network.hpp"
+#include "gridmutex/net/wire.hpp"
+#include "gridmutex/transport/arq.hpp"
+
+namespace gmx::transport {
+
+/// An IPv4 UDP endpoint, host byte order.
+struct PeerAddr {
+  std::uint32_t ip = 0;
+  std::uint16_t port = 0;
+
+  [[nodiscard]] bool operator==(const PeerAddr&) const = default;
+  /// "a.b.c.d:port".
+  [[nodiscard]] std::string to_string() const;
+  /// Parses "a.b.c.d:port"; nullopt on malformed input.
+  [[nodiscard]] static std::optional<PeerAddr> parse(std::string_view s);
+  /// 127.0.0.1:port.
+  [[nodiscard]] static PeerAddr loopback(std::uint16_t port);
+};
+
+struct TransportCounters {
+  std::uint64_t datagrams_sent = 0;
+  std::uint64_t datagrams_received = 0;
+  std::uint64_t frames_sent = 0;  // excludes acks
+  std::uint64_t acks_sent = 0;
+  std::uint64_t frames_delivered = 0;
+  std::uint64_t decode_errors = 0;   // malformed datagrams
+  std::uint64_t handler_errors = 0;  // WireError out of a handler
+  std::uint64_t misrouted = 0;       // dst != self
+  std::uint64_t unroutable = 0;      // no handler for protocol
+  std::uint64_t fault_dropped = 0;   // send-fault hook drops
+  std::uint64_t fault_duplicated = 0;
+  std::uint64_t fault_held = 0;
+  std::uint64_t send_errors = 0;  // sendmsg failures (incl. EAGAIN)
+
+  [[nodiscard]] bool operator==(const TransportCounters&) const = default;
+};
+
+class UdpTransport {
+ public:
+  using Handler = std::function<void(const Message&)>;
+  /// Address-routed delivery for unsequenced client traffic: the handler
+  /// additionally learns where the datagram came from, so it can reply to
+  /// peers outside the node table (lockctl, the campaign driver).
+  using RawHandler = std::function<void(const Message&, const PeerAddr&)>;
+  using TimerToken = ArqTimerToken;
+
+  /// Binds `bind_ip:port` (port 0 = ephemeral; read back via port()).
+  /// Throws std::runtime_error on socket/bind failure.
+  UdpTransport(NodeId self, const std::string& bind_ip, std::uint16_t port,
+               ArqConfig arq = {});
+  ~UdpTransport();
+
+  UdpTransport(const UdpTransport&) = delete;
+  UdpTransport& operator=(const UdpTransport&) = delete;
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  /// The actually bound port (resolves ephemeral binds).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  // --- configuration: before start(), or on the loop thread -------------
+  void add_peer(NodeId node, PeerAddr addr);
+  [[nodiscard]] std::optional<PeerAddr> peer(NodeId node) const;
+  void attach(ProtocolId protocol, Handler handler);
+  void attach_raw(ProtocolId protocol, RawHandler handler);
+  void set_reliable(ProtocolId protocol);
+  [[nodiscard]] bool reliable(ProtocolId protocol) const;
+
+  /// Fault hook, consulted per outgoing frame; OR of FaultAction bits.
+  enum FaultAction : int { kPass = 0, kDrop = 1, kDuplicate = 2, kHold = 4 };
+  using SendFault = std::function<int(const Message&)>;
+  void set_send_fault(SendFault f) { send_fault_ = std::move(f); }
+
+  // --- lifecycle --------------------------------------------------------
+  void start();
+  /// Signals the loop to exit; safe from any thread including the loop's.
+  void request_stop();
+  /// request_stop() + join. Must not be called from the loop thread.
+  void stop();
+  [[nodiscard]] bool running() const {
+    return loop_.joinable() && !stop_requested_.load(std::memory_order_relaxed);
+  }
+
+  /// Enqueues `fn` for the loop thread; callable from any thread.
+  void post(std::function<void()> fn);
+
+  // --- loop-thread-only surface -----------------------------------------
+  /// Sends to the node table entry for msg.dst. Reliable protocols go
+  /// through ARQ (seq assigned); others leave seq 0.
+  void send(Message msg);
+  /// Unsequenced send to an explicit address (replies to raw peers).
+  void send_raw(const PeerAddr& to, Message msg);
+  /// Pool-backed Writer; finished payloads pass to send() zero-copy.
+  [[nodiscard]] wire::Writer writer(std::size_t reserve);
+  [[nodiscard]] BufferPool& pool() { return pool_; }
+  /// One-shot wall-clock timer on the loop thread.
+  TimerToken schedule_ms(std::uint32_t delay_ms, std::function<void()> fn);
+  void cancel(TimerToken token);
+
+  /// Loop-thread exact; stable after stop() returns.
+  [[nodiscard]] const TransportCounters& counters() const {
+    return counters_;
+  }
+  [[nodiscard]] const ArqCounters& arq_send_counters() const;
+  [[nodiscard]] const ArqCounters& arq_recv_counters() const;
+
+ private:
+  struct Timer {
+    std::int64_t deadline_ns;  // steady_clock epoch
+    TimerToken token;
+    std::function<void()> fn;
+  };
+
+  void run();
+  void drain_socket();
+  void drain_tasks();
+  void fire_due_timers();
+  [[nodiscard]] int poll_timeout_ms() const;
+  void handle_datagram(const Payload& dgram, const PeerAddr& from);
+  void dispatch(const Message& msg, const PeerAddr& from);
+  void send_ack(const Message& msg, const PeerAddr& to);
+  void transmit_frame(const Message& msg, const PeerAddr& to);
+  void write_datagram(const Message& msg, const PeerAddr& to);
+  [[nodiscard]] PeerAddr addr_of(NodeId node) const;
+  void wake();
+
+  NodeId self_;
+  int sock_ = -1;
+  int wake_r_ = -1;
+  int wake_w_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::thread loop_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> started_{false};
+
+  gmx::Mutex tasks_mu_;
+  std::deque<std::function<void()>> tasks_ GMX_GUARDED_BY(tasks_mu_);
+
+  // Loop-thread-owned state below (pre-start configuration excepted).
+  BufferPool pool_;
+  std::unordered_map<NodeId, PeerAddr> peers_;
+  std::unordered_map<ProtocolId, Handler> handlers_;
+  std::unordered_map<ProtocolId, RawHandler> raw_handlers_;
+  std::unordered_map<ProtocolId, bool> reliable_;
+  std::unique_ptr<ArqSender> arq_send_;
+  ArqReceiver arq_recv_;
+  SendFault send_fault_;
+  std::vector<std::pair<Message, PeerAddr>> held_;  // kHold reorder buffer
+  bool flushing_held_ = false;
+
+  std::vector<Timer> timers_;  // min-heap by deadline
+  TimerToken next_timer_token_ = 1;
+
+  TransportCounters counters_;
+};
+
+}  // namespace gmx::transport

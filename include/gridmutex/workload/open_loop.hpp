@@ -15,8 +15,10 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "gridmutex/net/topology.hpp"
 #include "gridmutex/sim/random.hpp"
 #include "gridmutex/sim/time.hpp"
 
@@ -53,5 +55,35 @@ struct OpenLoopParams {
   /// Critical-section hold time per grant (paper's α, fixed).
   SimDuration hold = SimDuration::ms(10);
 };
+
+/// One open-loop arrival, materialized up front so the whole trace is a
+/// pure function of the driver Rng stream — independent of how the service
+/// (simulated *or* real, see transport/campaign.hpp) behaves.
+struct OpenLoopArrival {
+  SimTime at;
+  NodeId node = kInvalidNode;
+  std::uint32_t lock = 0;
+};
+
+/// Flash-crowd modifier for materialize_open_loop(): the arrival rate is
+/// multiplied by `factor` inside [from_sec, until_sec). factor == 1
+/// computes the identical stream (same draws, same arithmetic), so an
+/// inert spec preserves bit-identity.
+struct OpenLoopFlash {
+  double factor = 1.0;
+  double from_sec = 0.0;
+  double until_sec = 0.0;
+};
+
+/// Materializes the full Poisson/Zipf arrival trace from `traffic`:
+/// exponential inter-arrival gaps at the configured rate, a uniformly
+/// drawn requesting node from `apps`, and a Zipf-ranked lock per arrival.
+/// The draw sequence (gap, node, lock, gap, ...) is part of the
+/// reproducibility contract: the simulator's service experiments and the
+/// real-socket cross-validation campaign both call this with the same
+/// forked stream and therefore replay the *bit-identical* trace.
+[[nodiscard]] std::vector<OpenLoopArrival> materialize_open_loop(
+    const OpenLoopParams& params, std::span<const NodeId> apps,
+    const ZipfSampler& zipf, Rng& traffic, const OpenLoopFlash& flash = {});
 
 }  // namespace gmx

@@ -22,14 +22,6 @@ std::string capitalize(std::string s) {
   return s;
 }
 
-/// One open-loop arrival: materialized up front so the whole trace is a
-/// pure function of the driver Rng stream, independent of service timing.
-struct Arrival {
-  SimTime at;
-  NodeId node = kInvalidNode;
-  LockId lock = 0;
-};
-
 }  // namespace
 
 std::string ServiceConfig::label() const {
@@ -206,32 +198,19 @@ ExperimentResult run_service_experiment(const ServiceConfig& cfg) {
 
   // Materialize the whole arrival trace from its own Rng stream: arrival
   // times, requesting nodes and lock choices never depend on how the
-  // service behaves, which is what "open loop" means. A flash crowd
-  // shrinks the mean gap inside its window; factor == 1 computes the
-  // identical stream (same draws, same arithmetic), preserving
-  // bit-identity for inert specs.
+  // service behaves, which is what "open loop" means. The materialization
+  // itself lives in workload/open_loop.cpp because the real-socket
+  // cross-validation campaign (transport/campaign.hpp) replays the same
+  // trace from the same fork(3) stream — sim and real runs must draw the
+  // bit-identical arrival sequence from one seed.
   const ZipfSampler zipf(cfg.locks, cfg.open_loop.zipf_s);
-  std::vector<Arrival> arrivals;
-  {
-    GMX_ASSERT(cfg.flash.factor > 0.0);
-    Rng traffic = root.fork(3);
-    const double mean_gap = 1.0 / cfg.open_loop.arrivals_per_sec;
-    const double flash_from = cfg.flash.from.as_sec();
-    const double flash_until = cfg.flash.until.as_sec();
-    const auto gap_at = [&](double t) {
-      const bool in_flash = t >= flash_from && t < flash_until;
-      return in_flash ? mean_gap / cfg.flash.factor : mean_gap;
-    };
-    double t = traffic.exponential(gap_at(0.0));
-    while (t < cfg.open_loop.window.as_sec()) {
-      Arrival a;
-      a.at = SimTime::zero() + SimDuration::sec_f(t);
-      a.node = apps[traffic.next_below(apps.size())];
-      a.lock = zipf.sample(traffic);
-      arrivals.push_back(a);
-      t += traffic.exponential(gap_at(t));
-    }
-  }
+  GMX_ASSERT(cfg.flash.factor > 0.0);
+  Rng traffic = root.fork(3);
+  const std::vector<OpenLoopArrival> arrivals = materialize_open_loop(
+      cfg.open_loop, apps, zipf, traffic,
+      OpenLoopFlash{.factor = cfg.flash.factor,
+                    .from_sec = cfg.flash.from.as_sec(),
+                    .until_sec = cfg.flash.until.as_sec()});
 
   // Per-lock accounting + per-lock exclusion monitors (holding two
   // *different* locks at once is legal; two holders of one lock abort).
@@ -295,7 +274,7 @@ ExperimentResult run_service_experiment(const ServiceConfig& cfg) {
   const bool leases = cfg.resilience.leases;
   const AcquireOptions acquire_opts{.deadline =
                                         cfg.resilience.default_deadline};
-  for (const Arrival& a : arrivals) {
+  for (const OpenLoopArrival& a : arrivals) {
     ++accounts[a.lock].arrivals;
     ++outstanding;
     sim.schedule_at(a.at, [&, a] {

@@ -1,0 +1,105 @@
+#include "gridmutex/transport/arq.hpp"
+
+#include <algorithm>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx::transport {
+
+ArqSender::ArqSender(ArqConfig cfg, Hooks hooks)
+    : cfg_(cfg), hooks_(std::move(hooks)) {
+  GMX_ASSERT(hooks_.transmit && hooks_.arm && hooks_.cancel);
+  GMX_ASSERT(cfg_.rto_ms > 0 && cfg_.backoff >= 1.0);
+  GMX_ASSERT(cfg_.max_attempts >= 1);
+}
+
+void ArqSender::send(Message msg) {
+  GMX_ASSERT_MSG(msg.protocol != 0, "arq: protocol 0 is unsequenced");
+  Channel& ch = channels_[{msg.dst, msg.protocol}];
+  msg.seq = ++ch.next_seq;
+  ++unacked_;
+  if (ch.head_busy) {
+    ch.queue.push_back(std::move(msg));
+    return;
+  }
+  launch(ch, std::move(msg));
+}
+
+void ArqSender::launch(Channel& ch, Message msg) {
+  ch.head_busy = true;
+  ch.head.msg = std::move(msg);
+  ch.head.attempts = 1;
+  ch.head.rto_ms = cfg_.rto_ms;
+  const Key key{ch.head.msg.dst, ch.head.msg.protocol};
+  const std::uint64_t seq = ch.head.msg.seq;
+  ++counters_.sent;
+  hooks_.transmit(ch.head.msg);
+  ch.head.timer =
+      hooks_.arm(ch.head.rto_ms, [this, key, seq] { on_timeout(key, seq); });
+}
+
+void ArqSender::on_ack(NodeId peer, ProtocolId protocol, std::uint64_t seq) {
+  const auto it = channels_.find({peer, protocol});
+  if (it == channels_.end() || !it->second.head_busy ||
+      it->second.head.msg.seq != seq) {
+    ++counters_.stale_acks;  // late ack of a retransmitted/given-up frame
+    return;
+  }
+  Channel& ch = it->second;
+  hooks_.cancel(ch.head.timer);
+  ch.head_busy = false;
+  ch.head.msg.payload.clear();
+  GMX_ASSERT(unacked_ > 0);
+  --unacked_;
+  ++counters_.acked;
+  launch_next(ch);
+}
+
+void ArqSender::on_timeout(Key key, std::uint64_t seq) {
+  const auto it = channels_.find(key);
+  if (it == channels_.end() || !it->second.head_busy ||
+      it->second.head.msg.seq != seq) {
+    return;  // ack won the race with the timer callback
+  }
+  Channel& ch = it->second;
+  if (ch.head.attempts >= cfg_.max_attempts) {
+    // Retry horizon exhausted: the frame becomes a pure omission and the
+    // channel moves on, exactly as the simulator's ARQ does.
+    ++counters_.gave_up;
+    GMX_ASSERT(unacked_ > 0);
+    --unacked_;
+    Message dead = std::move(ch.head.msg);
+    ch.head_busy = false;
+    if (hooks_.on_give_up) hooks_.on_give_up(dead);
+    launch_next(ch);
+    return;
+  }
+  ++ch.head.attempts;
+  ch.head.rto_ms = std::min<std::uint32_t>(
+      std::uint32_t(double(ch.head.rto_ms) * cfg_.backoff), cfg_.rto_max_ms);
+  ++counters_.retransmitted;
+  hooks_.transmit(ch.head.msg);
+  ch.head.timer =
+      hooks_.arm(ch.head.rto_ms, [this, key, seq] { on_timeout(key, seq); });
+}
+
+void ArqSender::launch_next(Channel& ch) {
+  if (ch.queue.empty()) return;
+  Message next = std::move(ch.queue.front());
+  ch.queue.pop_front();
+  launch(ch, std::move(next));
+}
+
+ArqReceiver::Verdict ArqReceiver::on_frame(const Message& msg) {
+  GMX_ASSERT_MSG(msg.seq > 0, "arq: unsequenced frame on receive path");
+  std::uint64_t& last = last_delivered_[{msg.src, msg.protocol}];
+  if (msg.seq > last) {
+    last = msg.seq;
+    ++counters_.delivered;
+    return Verdict::kDeliver;
+  }
+  ++counters_.duplicates;
+  return Verdict::kDuplicate;
+}
+
+}  // namespace gmx::transport

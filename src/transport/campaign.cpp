@@ -1,0 +1,273 @@
+#include "gridmutex/transport/campaign.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx::transport {
+
+double CampaignResult::obtain_mean_ms() const {
+  if (obtain_ms.empty()) return 0.0;
+  double sum = 0.0;
+  for (const double v : obtain_ms) sum += v;
+  return sum / double(obtain_ms.size());
+}
+
+double CampaignResult::obtain_percentile_ms(double q) const {
+  if (obtain_ms.empty()) return 0.0;
+  std::vector<double> sorted = obtain_ms;
+  std::sort(sorted.begin(), sorted.end());
+  const auto rank = std::size_t(
+      std::ceil(q * double(sorted.size())));
+  return sorted[std::min(rank == 0 ? 0 : rank - 1, sorted.size() - 1)];
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// All state lives on the transport loop thread; run_campaign blocks on
+/// the completion future from the calling thread.
+class Driver {
+ public:
+  Driver(UdpTransport& tp, CampaignConfig cfg, std::vector<PeerAddr> nodes,
+         std::vector<OpenLoopArrival> trace)
+      : tp_(tp),
+        cfg_(std::move(cfg)),
+        nodes_(std::move(nodes)),
+        trace_(std::move(trace)),
+        protocol_(cfg_.grid.client_protocol()),
+        last_fence_(cfg_.grid.locks, 0),
+        holding_(cfg_.grid.locks, 0) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        Clock::now().time_since_epoch())
+                        .count();
+    client_id_ = (std::uint64_t(getpid()) << 40) ^ std::uint64_t(ns);
+    hold_ms_ = scaled_ms(cfg_.open_loop.hold.as_ms());
+  }
+
+  void begin() {
+    start_ = Clock::now();
+    res_.arrivals = trace_.size();
+    if (trace_.empty()) {
+      done_.set_value();
+      return;
+    }
+    for (std::size_t i = 0; i < trace_.size(); ++i) {
+      tp_.schedule_ms(scaled_ms(trace_[i].at.as_ms()),
+                      [this, i] { dispatch(i); });
+    }
+  }
+
+  void on_reply(const Message& m) {
+    wire::Reader r(m.payload);
+    const std::uint64_t req_id = r.u64();
+    const auto it = reqs_.find(req_id);
+    if (it == reqs_.end()) return;
+    Req& req = it->second;
+    switch (ClientMsg(m.type)) {
+      case ClientMsg::kGranted: {
+        if (req.state != Req::S::kAwaitGrant) return;  // dup reply
+        tp_.cancel(req.retry);
+        ++res_.grants;
+        res_.obtain_ms.push_back(
+            std::chrono::duration<double, std::milli>(Clock::now() -
+                                                      req.sent_at)
+                .count());
+        (void)r.varint();  // lock, known from the trace
+        const std::uint64_t fence = r.u64();
+        // Client-side safety: fences per lock strictly increase, and no
+        // grant may arrive while another of our requests holds the lock.
+        if (fence <= last_fence_[req.lock]) ++res_.fence_violations;
+        last_fence_[req.lock] = std::max(last_fence_[req.lock], fence);
+        if (holding_[req.lock] != 0) ++res_.exclusion_violations;
+        ++holding_[req.lock];
+        req.state = Req::S::kHolding;
+        tp_.schedule_ms(hold_ms_, [this, req_id] { begin_release(req_id); });
+        return;
+      }
+      case ClientMsg::kShed: {
+        if (req.state != Req::S::kAwaitGrant) return;
+        tp_.cancel(req.retry);
+        ++res_.sheds;
+        complete(req);
+        return;
+      }
+      case ClientMsg::kExpired: {
+        if (req.state != Req::S::kAwaitGrant) return;
+        tp_.cancel(req.retry);
+        ++res_.deadline_misses;
+        complete(req);
+        return;
+      }
+      case ClientMsg::kReleased: {
+        if (req.state != Req::S::kReleasing) return;
+        tp_.cancel(req.retry);
+        complete(req);
+        return;
+      }
+      default:
+        return;  // not a campaign reply
+    }
+  }
+
+  [[nodiscard]] std::future<void> done_future() {
+    return done_.get_future();
+  }
+  [[nodiscard]] CampaignResult take_result() { return std::move(res_); }
+
+ private:
+  struct Req {
+    enum class S : std::uint8_t {
+      kAwaitGrant,
+      kHolding,
+      kReleasing,
+      kDone
+    };
+    S state = S::kAwaitGrant;
+    NodeId node = kInvalidNode;
+    LockId lock = 0;
+    Clock::time_point sent_at;
+    UdpTransport::TimerToken retry = 0;
+  };
+
+  [[nodiscard]] std::uint32_t scaled_ms(double ms) const {
+    GMX_ASSERT(cfg_.time_scale > 0.0);
+    return std::uint32_t(
+        std::max(0.0, std::llround(ms / cfg_.time_scale) * 1.0));
+  }
+
+  void dispatch(std::size_t i) {
+    const OpenLoopArrival& a = trace_[i];
+    const std::uint64_t req_id = std::uint64_t(i) + 1;
+    Req req;
+    req.node = a.node;
+    req.lock = a.lock;
+    req.sent_at = Clock::now();
+    reqs_.emplace(req_id, req);
+    send_acquire(req_id);
+    arm_retry(req_id);
+  }
+
+  void send_acquire(std::uint64_t req_id) {
+    const Req& req = reqs_.at(req_id);
+    wire::Writer w;
+    w.u64(client_id_);
+    w.u64(req_id);
+    w.varint(req.lock);
+    w.varint(cfg_.deadline_ms);
+    send(req.node, ClientMsg::kAcquire, w.take());
+  }
+
+  void send_release(std::uint64_t req_id) {
+    const Req& req = reqs_.at(req_id);
+    wire::Writer w;
+    w.u64(client_id_);
+    w.u64(req_id);
+    w.varint(req.lock);
+    send(req.node, ClientMsg::kRelease, w.take());
+  }
+
+  void send(NodeId node, ClientMsg type, std::vector<std::uint8_t> payload) {
+    GMX_ASSERT(node < nodes_.size());
+    Message m;
+    m.dst = node;
+    m.protocol = protocol_;
+    m.type = std::uint16_t(type);
+    m.payload = std::move(payload);
+    tp_.send_raw(nodes_[node], std::move(m));
+  }
+
+  void arm_retry(std::uint64_t req_id) {
+    reqs_.at(req_id).retry =
+        tp_.schedule_ms(cfg_.retry_ms, [this, req_id] { on_retry(req_id); });
+  }
+
+  void on_retry(std::uint64_t req_id) {
+    const auto it = reqs_.find(req_id);
+    if (it == reqs_.end()) return;
+    if (it->second.state == Req::S::kAwaitGrant) {
+      send_acquire(req_id);
+    } else if (it->second.state == Req::S::kReleasing) {
+      send_release(req_id);
+    } else {
+      return;
+    }
+    arm_retry(req_id);
+  }
+
+  void begin_release(std::uint64_t req_id) {
+    Req& req = reqs_.at(req_id);
+    GMX_ASSERT(req.state == Req::S::kHolding);
+    GMX_ASSERT(holding_[req.lock] > 0);
+    --holding_[req.lock];
+    req.state = Req::S::kReleasing;
+    send_release(req_id);
+    arm_retry(req_id);
+  }
+
+  void complete(Req& req) {
+    req.state = Req::S::kDone;
+    ++completed_;
+    if (completed_ == trace_.size()) {
+      res_.wall_sec =
+          std::chrono::duration<double>(Clock::now() - start_).count();
+      done_.set_value();
+    }
+  }
+
+  UdpTransport& tp_;
+  CampaignConfig cfg_;
+  std::vector<PeerAddr> nodes_;
+  std::vector<OpenLoopArrival> trace_;
+  ProtocolId protocol_;
+  std::uint64_t client_id_ = 0;
+  std::uint32_t hold_ms_ = 0;
+
+  std::map<std::uint64_t, Req> reqs_;
+  std::vector<std::uint64_t> last_fence_;  // per lock
+  std::vector<std::uint32_t> holding_;     // per lock, our live holds
+  std::size_t completed_ = 0;
+  Clock::time_point start_;
+  CampaignResult res_;
+  std::promise<void> done_;
+};
+
+}  // namespace
+
+CampaignResult run_campaign(std::vector<PeerAddr> nodes,
+                            const CampaignConfig& cfg) {
+  // The trace is drawn exactly as run_service_experiment draws it: the
+  // traffic stream is fork(3) of the seed root, and the draw order per
+  // arrival is gap -> node -> lock. Same seed + shape => identical trace.
+  Rng root(cfg.grid.seed);
+  Rng traffic = root.fork(3);
+  const std::vector<NodeId> apps = cfg.grid.app_nodes();
+  const ZipfSampler zipf(cfg.grid.locks, cfg.open_loop.zipf_s);
+  std::vector<OpenLoopArrival> trace = materialize_open_loop(
+      cfg.open_loop, apps, zipf, traffic);
+
+  UdpTransport tp(kInvalidNode, "127.0.0.1", 0);
+  auto driver = std::make_shared<Driver>(tp, cfg, std::move(nodes),
+                                         std::move(trace));
+  tp.attach_raw(cfg.grid.client_protocol(),
+                [driver](const Message& m, const PeerAddr&) {
+                  driver->on_reply(m);
+                });
+  auto done = driver->done_future();
+  tp.start();
+  tp.post([driver] { driver->begin(); });
+  done.wait();
+  tp.stop();
+  return driver->take_result();
+}
+
+}  // namespace gmx::transport

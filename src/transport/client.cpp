@@ -1,0 +1,293 @@
+#include "gridmutex/transport/client.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <future>
+#include <utility>
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx::transport {
+
+NodeStats& NodeStats::operator+=(const NodeStats& o) {
+  arrivals += o.arrivals;
+  grants += o.grants;
+  sheds += o.sheds;
+  deadline_misses += o.deadline_misses;
+  releases += o.releases;
+  fences_issued += o.fences_issued;
+  return *this;
+}
+
+void encode_stats(wire::Writer& w, const NodeStats& s) {
+  w.u64(s.arrivals);
+  w.u64(s.grants);
+  w.u64(s.sheds);
+  w.u64(s.deadline_misses);
+  w.u64(s.releases);
+  w.u64(s.fences_issued);
+}
+
+NodeStats decode_stats(wire::Reader& r) {
+  NodeStats s;
+  s.arrivals = r.u64();
+  s.grants = r.u64();
+  s.sheds = r.u64();
+  s.deadline_misses = r.u64();
+  s.releases = r.u64();
+  s.fences_issued = r.u64();
+  return s;
+}
+
+namespace {
+
+[[nodiscard]] std::uint64_t derive_client_id() {
+  const auto ticks = std::chrono::steady_clock::now().time_since_epoch();
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(ticks).count();
+  return (std::uint64_t(getpid()) << 40) ^ std::uint64_t(ns);
+}
+
+/// A client-originated frame: src stays kInvalidNode (clients are not grid
+/// nodes; the daemon replies to the datagram's source address), dst names
+/// the target node so its routing check accepts the frame.
+[[nodiscard]] Message client_frame(NodeId dst, ProtocolId protocol,
+                                   ClientMsg type,
+                                   std::vector<std::uint8_t> payload = {}) {
+  Message m;
+  m.dst = dst;
+  m.protocol = protocol;
+  m.type = std::uint16_t(type);
+  m.payload = std::move(payload);
+  return m;
+}
+
+}  // namespace
+
+LockClient::LockClient(std::vector<PeerAddr> nodes,
+                       ProtocolId client_protocol,
+                       const std::string& bind_ip)
+    : nodes_(std::move(nodes)),
+      protocol_(client_protocol),
+      client_id_(derive_client_id()),
+      tp_(kInvalidNode, bind_ip, 0) {
+  tp_.attach_raw(protocol_, [this](const Message& m, const PeerAddr&) {
+    if (expecter_ && expecter_->match(m)) {
+      Expecter e = std::move(*expecter_);
+      expecter_.reset();
+      tp_.cancel(e.retry_timer);
+      tp_.cancel(e.deadline_timer);
+      RpcReply reply;
+      reply.type = m.type;
+      reply.payload.assign(m.payload.begin(), m.payload.end());
+      e.fulfill(std::move(reply));
+    }
+  });
+  tp_.start();
+}
+
+LockClient::~LockClient() { tp_.stop(); }
+
+std::optional<LockClient::RpcReply> LockClient::rpc(
+    NodeId node, std::function<Message()> make,
+    std::function<bool(const Message&)> match, std::uint32_t timeout_ms,
+    std::uint32_t retry_ms) {
+  GMX_ASSERT(node < nodes_.size());
+  auto promise = std::make_shared<std::promise<std::optional<RpcReply>>>();
+  auto future = promise->get_future();
+  const PeerAddr to = nodes_[node];
+  tp_.post([this, to, make = std::move(make), match = std::move(match),
+            promise, timeout_ms, retry_ms] {
+    GMX_ASSERT_MSG(!expecter_, "LockClient: overlapping rpc");
+    // The retransmit loop re-arms itself until the expecter resolves.
+    auto resend = std::make_shared<std::function<void()>>();
+    *resend = [this, to, make, resend, retry_ms] {
+      if (!expecter_) return;
+      tp_.send_raw(to, make());
+      expecter_->retry_timer = tp_.schedule_ms(retry_ms, *resend);
+    };
+    Expecter e;
+    e.match = match;
+    e.fulfill = [promise](RpcReply r) { promise->set_value(std::move(r)); };
+    e.deadline_timer = tp_.schedule_ms(timeout_ms, [this, promise] {
+      if (!expecter_) return;
+      tp_.cancel(expecter_->retry_timer);
+      expecter_.reset();
+      promise->set_value(std::nullopt);
+    });
+    expecter_ = std::move(e);
+    tp_.send_raw(to, make());
+    expecter_->retry_timer = tp_.schedule_ms(retry_ms, *resend);
+  });
+  return future.get();
+}
+
+std::optional<LockClient::PingReply> LockClient::ping(
+    NodeId node, std::uint32_t timeout_ms) {
+  const std::uint64_t token = client_id_ ^ (0x9E3779B97F4A7C15ull *
+                                            next_req_id_++);
+  const auto reply = rpc(
+      node,
+      [this, node, token] {
+        wire::Writer w;
+        w.u64(token);
+        return client_frame(node, protocol_, ClientMsg::kPing, w.take());
+      },
+      [token](const Message& m) {
+        if (m.type != std::uint16_t(ClientMsg::kPong)) return false;
+        try {
+          wire::Reader r(m.payload);
+          return r.u64() == token;
+        } catch (const wire::WireError&) {
+          return false;
+        }
+      },
+      timeout_ms);
+  if (!reply) return std::nullopt;
+  wire::Reader r(std::span<const std::uint8_t>(reply->payload));
+  (void)r.u64();  // token, already matched
+  PingReply out;
+  out.node = r.u32();
+  out.started = r.u8() != 0;
+  return out;
+}
+
+bool LockClient::send_peers(NodeId node, std::uint32_t timeout_ms) {
+  return rpc(
+             node,
+             [this, node] {
+               wire::Writer w;
+               w.varint(nodes_.size());
+               for (const PeerAddr& a : nodes_) {
+                 w.u32(a.ip);
+                 w.u16(a.port);
+               }
+               return client_frame(node, protocol_, ClientMsg::kPeers,
+                                   w.take());
+             },
+             [](const Message& m) {
+               return m.type == std::uint16_t(ClientMsg::kPeersOk);
+             },
+             timeout_ms)
+      .has_value();
+}
+
+bool LockClient::start(NodeId node, std::uint32_t timeout_ms) {
+  return rpc(
+             node,
+             [this, node] {
+               return client_frame(node, protocol_, ClientMsg::kStart);
+             },
+             [](const Message& m) {
+               return m.type == std::uint16_t(ClientMsg::kStarted);
+             },
+             timeout_ms)
+      .has_value();
+}
+
+LockClient::Acquire LockClient::acquire(NodeId node, LockId lock,
+                                        std::uint32_t deadline_ms,
+                                        std::uint32_t timeout_ms) {
+  const std::uint64_t req_id = next_req_id_++;
+  const auto sent_at = std::chrono::steady_clock::now();
+  Acquire out;
+  out.req_id = req_id;
+  const auto reply = rpc(
+      node,
+      [this, node, lock, req_id, deadline_ms] {
+        wire::Writer w;
+        w.u64(client_id_);
+        w.u64(req_id);
+        w.varint(lock);
+        w.varint(deadline_ms);
+        return client_frame(node, protocol_, ClientMsg::kAcquire, w.take());
+      },
+      [req_id](const Message& m) {
+        if (m.type != std::uint16_t(ClientMsg::kGranted) &&
+            m.type != std::uint16_t(ClientMsg::kShed) &&
+            m.type != std::uint16_t(ClientMsg::kExpired)) {
+          return false;
+        }
+        try {
+          wire::Reader r(m.payload);
+          return r.u64() == req_id;
+        } catch (const wire::WireError&) {
+          return false;
+        }
+      },
+      timeout_ms);
+  if (!reply) return out;  // kTimeout
+  out.obtain_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - sent_at)
+                      .count();
+  if (reply->type == std::uint16_t(ClientMsg::kGranted)) {
+    wire::Reader r(std::span<const std::uint8_t>(reply->payload));
+    (void)r.u64();    // req_id
+    (void)r.varint();  // lock
+    out.fence = r.u64();
+    out.status = Acquire::Status::kGranted;
+  } else if (reply->type == std::uint16_t(ClientMsg::kShed)) {
+    out.status = Acquire::Status::kShed;
+  } else {
+    out.status = Acquire::Status::kExpired;
+  }
+  return out;
+}
+
+bool LockClient::release(NodeId node, LockId lock, std::uint64_t req_id,
+                         std::uint32_t timeout_ms) {
+  return rpc(
+             node,
+             [this, node, lock, req_id] {
+               wire::Writer w;
+               w.u64(client_id_);
+               w.u64(req_id);
+               w.varint(lock);
+               return client_frame(node, protocol_, ClientMsg::kRelease,
+                                   w.take());
+             },
+             [req_id](const Message& m) {
+               if (m.type != std::uint16_t(ClientMsg::kReleased))
+                 return false;
+               try {
+                 wire::Reader r(m.payload);
+                 return r.u64() == req_id;
+               } catch (const wire::WireError&) {
+                 return false;
+               }
+             },
+             timeout_ms)
+      .has_value();
+}
+
+std::optional<NodeStats> LockClient::stats(NodeId node,
+                                           std::uint32_t timeout_ms) {
+  const auto reply = rpc(
+      node,
+      [this, node] {
+        return client_frame(node, protocol_, ClientMsg::kStats);
+      },
+      [](const Message& m) {
+        return m.type == std::uint16_t(ClientMsg::kStatsReply);
+      },
+      timeout_ms);
+  if (!reply) return std::nullopt;
+  wire::Reader r(std::span<const std::uint8_t>(reply->payload));
+  return decode_stats(r);
+}
+
+bool LockClient::shutdown(NodeId node, std::uint32_t timeout_ms) {
+  return rpc(
+             node,
+             [this, node] {
+               return client_frame(node, protocol_, ClientMsg::kShutdown);
+             },
+             [](const Message& m) {
+               return m.type == std::uint16_t(ClientMsg::kBye);
+             },
+             timeout_ms)
+      .has_value();
+}
+
+}  // namespace gmx::transport

@@ -1,0 +1,128 @@
+#include "gridmutex/transport/endpoint.hpp"
+
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx::transport {
+
+TransportMutexEndpoint::TransportMutexEndpoint(
+    UdpTransport& tp, ProtocolId protocol, std::vector<NodeId> members,
+    int self_rank, const Topology& topo,
+    std::unique_ptr<MutexAlgorithm> algorithm, Rng rng)
+    : tp_(tp),
+      protocol_(protocol),
+      members_(std::move(members)),
+      rank_(self_rank),
+      topo_(topo),
+      algo_(std::move(algorithm)),
+      rng_(rng),
+      epoch_(std::chrono::steady_clock::now()) {
+  GMX_ASSERT(!members_.empty());
+  GMX_ASSERT(self_rank >= 0 && std::size_t(self_rank) < members_.size());
+  GMX_ASSERT_MSG(members_[std::size_t(self_rank)] == tp_.self(),
+                 "endpoint rank does not map to this transport's node");
+  for (std::size_t r = 0; r < members_.size(); ++r) {
+    const auto [it, inserted] = rank_of_.emplace(members_[r], int(r));
+    (void)it;
+    GMX_ASSERT_MSG(inserted, "duplicate node in member list");
+  }
+  algo_->attach(*this, *this);
+  tp_.set_reliable(protocol_);
+  tp_.attach(protocol_, [this](const Message& m) { handle_message(m); });
+}
+
+void TransportMutexEndpoint::init(int holder_rank) {
+  tp_.post([this, holder_rank] {
+    algo_affinity_.check(
+        "transport: algorithm state touched off the loop thread");
+    algo_->init(holder_rank);
+  });
+}
+
+void TransportMutexEndpoint::request_cs() {
+  tp_.post([this] {
+    algo_affinity_.check(
+        "transport: algorithm state touched off the loop thread");
+    algo_->request_cs();
+  });
+}
+
+void TransportMutexEndpoint::release_cs() {
+  tp_.post([this] {
+    algo_affinity_.check(
+        "transport: algorithm state touched off the loop thread");
+    algo_->release_cs();
+  });
+}
+
+int TransportMutexEndpoint::cluster_of_rank(int rank) const {
+  GMX_ASSERT(rank >= 0 && std::size_t(rank) < members_.size());
+  return int(topo_.cluster_of(members_[std::size_t(rank)]));
+}
+
+Message TransportMutexEndpoint::frame_to(int to_rank,
+                                         std::uint16_t type) const {
+  GMX_ASSERT(to_rank >= 0 && std::size_t(to_rank) < members_.size());
+  GMX_ASSERT_MSG(to_rank != rank_, "algorithm attempted a self-send");
+  Message m;
+  m.src = node();
+  m.dst = members_[std::size_t(to_rank)];
+  m.protocol = protocol_;
+  m.type = type;
+  return m;
+}
+
+void TransportMutexEndpoint::send(int to_rank, std::uint16_t type,
+                                  std::span<const std::uint8_t> payload) {
+  Message m = frame_to(to_rank, type);
+  // Pool-backed copy: the span-send path still avoids a heap allocation
+  // (all algorithm sends happen on the loop thread that owns the pool).
+  m.payload = tp_.pool().acquire(payload);
+  tp_.send(std::move(m));
+}
+
+wire::Writer TransportMutexEndpoint::writer(std::size_t reserve) {
+  return tp_.writer(reserve);
+}
+
+void TransportMutexEndpoint::send_writer(int to_rank, std::uint16_t type,
+                                         wire::Writer&& w) {
+  Message m = frame_to(to_rank, type);
+  m.payload = w.take_payload();
+  tp_.send(std::move(m));
+}
+
+void TransportMutexEndpoint::send_shared(int to_rank, std::uint16_t type,
+                                         const Payload& payload) {
+  Message m = frame_to(to_rank, type);
+  m.payload = payload;  // refcount bump, encode-once fan-out
+  tp_.send(std::move(m));
+}
+
+SimTime TransportMutexEndpoint::now() const {
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - epoch_)
+                      .count();
+  return SimTime::from_ns(ns);
+}
+
+void TransportMutexEndpoint::on_cs_granted() {
+  if (!callbacks_.on_granted) return;
+  tp_.post([cb = callbacks_.on_granted] { cb(); });
+}
+
+void TransportMutexEndpoint::on_pending_request() {
+  if (!callbacks_.on_pending) return;
+  tp_.post([cb = callbacks_.on_pending] { cb(); });
+}
+
+void TransportMutexEndpoint::handle_message(const Message& msg) {
+  algo_affinity_.check(
+      "transport: algorithm state touched off the loop thread");
+  const auto it = rank_of_.find(msg.src);
+  if (it == rank_of_.end())
+    throw wire::WireError("transport: frame from a node outside the "
+                          "mutex instance");
+  algo_->on_message(it->second, msg.type, wire::Reader(msg.payload));
+}
+
+}  // namespace gmx::transport

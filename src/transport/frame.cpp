@@ -1,0 +1,62 @@
+#include "gridmutex/transport/frame.hpp"
+
+#include <limits>
+
+namespace gmx::transport {
+
+void begin_datagram(wire::Writer& w) { w.u8(kWireVersion); }
+
+void append_frame_header(wire::Writer& w, const Message& msg) {
+  w.u32(msg.src);
+  w.u32(msg.dst);
+  w.varint(msg.protocol);
+  w.u16(msg.type);
+  w.varint(msg.seq);
+  w.varint(msg.payload.size());
+}
+
+void append_frame(wire::Writer& w, const Message& msg) {
+  append_frame_header(w, msg);
+  // Raw append, not Writer::bytes(): the header already wrote the length
+  // varint, so the payload follows bare.
+  for (const std::uint8_t b : msg.payload) w.u8(b);
+}
+
+std::vector<Message> decode_datagram(const Payload& dgram) {
+  wire::Reader envelope(dgram.span());
+  const std::uint8_t version = envelope.u8();
+  if (version != kWireVersion)
+    throw wire::WireError("transport: unknown frame version " +
+                          std::to_string(int(version)));
+  if (envelope.at_end())
+    throw wire::WireError("transport: datagram has no frames");
+
+  std::vector<Message> out;
+  std::size_t pos = 1;  // past the version byte
+  while (pos < dgram.size()) {
+    wire::Reader r(dgram.span().subspan(pos));
+    Message m;
+    m.src = r.u32();
+    m.dst = r.u32();
+    const std::uint64_t protocol = r.varint();
+    if (protocol == 0)
+      throw wire::WireError("transport: frame with protocol 0");
+    if (protocol > std::numeric_limits<ProtocolId>::max())
+      throw wire::WireError("transport: protocol id overflows 32 bits");
+    m.protocol = ProtocolId(protocol);
+    m.type = r.u16();
+    m.seq = r.varint();
+    const std::uint64_t len = r.varint();
+    if (len > r.remaining())
+      throw wire::WireError("transport: frame payload truncated");
+    const std::size_t header = (dgram.size() - pos) - r.remaining();
+    // Zero-copy: the payload is a slice of the datagram's block, exactly
+    // like BatchMux unbatching (net/buffer_pool.hpp).
+    m.payload = dgram.slice(pos + header, std::size_t(len));
+    pos += header + std::size_t(len);
+    out.push_back(std::move(m));
+  }
+  return out;
+}
+
+}  // namespace gmx::transport

@@ -1,0 +1,358 @@
+#include "gridmutex/transport/node.hpp"
+
+#include <utility>
+
+#include "gridmutex/mutex/registry.hpp"
+#include "gridmutex/sim/assert.hpp"
+
+namespace gmx::transport {
+
+std::vector<std::string> GridConfig::lock_names() const {
+  std::vector<std::string> names;
+  names.reserve(locks);
+  for (std::uint32_t l = 0; l < locks; ++l)
+    names.push_back("lock" + std::to_string(l));
+  return names;
+}
+
+std::vector<NodeId> GridConfig::app_nodes() const {
+  const Topology topo = topology();
+  std::vector<NodeId> apps;
+  apps.reserve(std::size_t(clusters) * apps_per_cluster);
+  for (ClusterId c = 0; c < clusters; ++c) {
+    const std::vector<NodeId> members = topo.nodes_of(c);
+    for (std::size_t r = 1; r < members.size(); ++r)
+      apps.push_back(members[r]);
+  }
+  return apps;
+}
+
+LockdNode::LockdNode(UdpTransport& tp, GridConfig cfg, Options opts)
+    : tp_(tp),
+      cfg_(std::move(cfg)),
+      opts_(opts),
+      topo_(cfg_.topology()),
+      table_(cfg_.clusters, cfg_.placement, cfg_.lock_names()),
+      epoch_(std::chrono::steady_clock::now()) {
+  GMX_ASSERT_MSG(tp_.self() < topo_.node_count(),
+                 "transport node id outside the grid");
+  my_cluster_ = topo_.cluster_of(tp_.self());
+  is_coordinator_node_ = tp_.self() == topo_.first_node_of(my_cluster_);
+
+  std::vector<NodeId> coordinator_nodes;
+  coordinator_nodes.reserve(cfg_.clusters);
+  for (ClusterId c = 0; c < cfg_.clusters; ++c)
+    coordinator_nodes.push_back(topo_.first_node_of(c));
+  const std::vector<NodeId> members = topo_.nodes_of(my_cluster_);
+  int my_rank = -1;
+  for (std::size_t r = 0; r < members.size(); ++r)
+    if (members[r] == tp_.self()) my_rank = int(r);
+  GMX_ASSERT(my_rank >= 0);
+
+  const bool inter_token = is_token_based(cfg_.inter_algorithm);
+  const bool intra_token = is_token_based(cfg_.intra_algorithm);
+
+  // Same derivation chain as run_service_experiment -> LockService:
+  // lock l's composition draws from fork(100 + l) of the service stream.
+  const Rng service_root(cfg_.service_seed());
+  locks_.resize(cfg_.locks);
+  for (LockId l = 0; l < cfg_.locks; ++l) {
+    const Rng root(service_root.fork(100 + l).next_u64());
+    PerLock& pl = locks_[l];
+    const ClusterId home = table_.home_cluster(l);
+    if (is_coordinator_node_) {
+      pl.inter = std::make_unique<TransportMutexEndpoint>(
+          tp_, cfg_.inter_protocol(l), coordinator_nodes, int(my_cluster_),
+          topo_, make_algorithm(cfg_.inter_algorithm),
+          root.fork(1000 + my_cluster_));
+      pl.intra = std::make_unique<TransportMutexEndpoint>(
+          tp_, cfg_.intra_protocol(l, my_cluster_), members, 0, topo_,
+          make_algorithm(cfg_.intra_algorithm),
+          root.fork(2000 + std::uint64_t(my_cluster_) * 64));
+      pl.coordinator = std::make_unique<Coordinator>(*pl.intra, *pl.inter);
+      pl.inter->init(inter_token ? int(home) : MutexAlgorithm::kNoHolder);
+    } else {
+      pl.intra = std::make_unique<TransportMutexEndpoint>(
+          tp_, cfg_.intra_protocol(l, my_cluster_), members, my_rank, topo_,
+          make_algorithm(cfg_.intra_algorithm),
+          root.fork(2000 + std::uint64_t(my_cluster_) * 64 +
+                    std::uint64_t(my_rank)));
+      pl.intra->set_callbacks(
+          MutexCallbacks{.on_granted = [this, l] { on_granted(l); }});
+    }
+    pl.intra->init(intra_token ? 0 : MutexAlgorithm::kNoHolder);
+  }
+
+  if (!is_coordinator_node_) srv_.resize(cfg_.locks);
+  fence_counter_.assign(cfg_.locks, 0);
+
+  tp_.set_reliable(cfg_.fence_protocol());
+  tp_.attach(cfg_.fence_protocol(),
+             [this](const Message& m) { handle_fence(m); });
+  tp_.attach_raw(cfg_.client_protocol(),
+                 [this](const Message& m, const PeerAddr& from) {
+                   handle_client(m, from);
+                 });
+}
+
+LockdNode::~LockdNode() = default;
+
+void LockdNode::wait_shutdown() {
+  std::unique_lock<std::mutex> lk(shutdown_mu_);
+  shutdown_cv_.wait(lk, [this] { return shutdown_; });
+}
+
+std::uint64_t LockdNode::steady_ms() const {
+  return std::uint64_t(std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - epoch_)
+                           .count());
+}
+
+void LockdNode::reply(const PeerAddr& to, ClientMsg type,
+                      std::vector<std::uint8_t> payload) {
+  Message m;
+  m.src = tp_.self();
+  m.dst = kInvalidNode;  // the client transport's self
+  m.protocol = cfg_.client_protocol();
+  m.type = std::uint16_t(type);
+  m.payload = std::move(payload);
+  tp_.send_raw(to, std::move(m));
+}
+
+void LockdNode::remember(const ReqKey& key, ClientMsg type, LockId lock,
+                         std::uint64_t fence) {
+  reply_cache_[key] = CachedReply{type, lock, fence};
+  reply_fifo_.push_back(key);
+  while (reply_fifo_.size() > opts_.reply_cache) {
+    reply_cache_.erase(reply_fifo_.front());
+    reply_fifo_.pop_front();
+  }
+  inflight_.erase(key);
+}
+
+void LockdNode::handle_client(const Message& m, const PeerAddr& from) {
+  switch (ClientMsg(m.type)) {
+    case ClientMsg::kPing: {
+      wire::Reader r(m.payload);
+      const std::uint64_t token = r.u64();
+      wire::Writer w;
+      w.u64(token);
+      w.u32(tp_.self());
+      w.u8(started_ ? 1 : 0);
+      reply(from, ClientMsg::kPong, w.take());
+      return;
+    }
+    case ClientMsg::kPeers: {
+      wire::Reader r(m.payload);
+      const std::uint64_t n = r.varint();
+      if (n != topo_.node_count())
+        throw wire::WireError("lockd: peer table size != grid size");
+      for (NodeId i = 0; i < NodeId(n); ++i) {
+        PeerAddr a;
+        a.ip = r.u32();
+        a.port = r.u16();
+        if (i != tp_.self()) tp_.add_peer(i, a);
+      }
+      reply(from, ClientMsg::kPeersOk);
+      return;
+    }
+    case ClientMsg::kStart: {
+      if (!started_) {
+        started_ = true;
+        for (PerLock& pl : locks_)
+          if (pl.coordinator) pl.coordinator->start();
+      }
+      reply(from, ClientMsg::kStarted);
+      return;
+    }
+    case ClientMsg::kAcquire:
+      on_acquire(m, from);
+      return;
+    case ClientMsg::kRelease:
+      on_release(m, from);
+      return;
+    case ClientMsg::kStats: {
+      wire::Writer w;
+      encode_stats(w, stats_);
+      reply(from, ClientMsg::kStatsReply, w.take());
+      return;
+    }
+    case ClientMsg::kShutdown: {
+      reply(from, ClientMsg::kBye);
+      {
+        std::lock_guard<std::mutex> lk(shutdown_mu_);
+        shutdown_ = true;
+      }
+      shutdown_cv_.notify_all();
+      return;
+    }
+    default:
+      throw wire::WireError("lockd: unknown client message type");
+  }
+}
+
+void LockdNode::on_acquire(const Message& m, const PeerAddr& from) {
+  wire::Reader r(m.payload);
+  const std::uint64_t client_id = r.u64();
+  const std::uint64_t req_id = r.u64();
+  const LockId lock = LockId(r.varint());
+  const std::uint64_t deadline_ms = r.varint();
+  const ReqKey key{client_id, req_id};
+
+  // Retransmit of a finished request: re-send the cached terminal reply.
+  if (const auto it = reply_cache_.find(key); it != reply_cache_.end()) {
+    const CachedReply& c = it->second;
+    wire::Writer w;
+    w.u64(req_id);
+    w.varint(c.lock);
+    if (c.type == ClientMsg::kGranted) w.u64(c.fence);
+    reply(from, c.type, w.take());
+    return;
+  }
+  // Retransmit of an in-flight request: the terminal reply will come.
+  if (inflight_.count(key) != 0) return;
+
+  if (lock >= cfg_.locks)
+    throw wire::WireError("lockd: acquire names an unknown lock");
+  ++stats_.arrivals;
+
+  // Coordinator nodes host no application session (the grid reserves
+  // rank 0 for the bridge, as in the simulator); queue overflow sheds.
+  if (is_coordinator_node_ || srv_[lock].queue.size() >= opts_.max_pending) {
+    ++stats_.sheds;
+    wire::Writer w;
+    w.u64(req_id);
+    w.varint(lock);
+    reply(from, ClientMsg::kShed, w.take());
+    remember(key, ClientMsg::kShed, lock, 0);
+    return;
+  }
+
+  inflight_.insert(key);
+  Pending p;
+  p.client_id = client_id;
+  p.req_id = req_id;
+  p.deadline_at_ms = deadline_ms != 0 ? steady_ms() + deadline_ms : 0;
+  p.client = from;
+  srv_[lock].queue.push_back(p);
+  pump(lock);
+}
+
+void LockdNode::pump(LockId lock) {
+  LockSrv& s = srv_[lock];
+  if (s.state != SrvState::kIdle || s.queue.empty()) return;
+  s.current = s.queue.front();
+  s.queue.pop_front();
+  s.state = SrvState::kRequesting;
+  locks_[lock].intra->request_cs();
+}
+
+void LockdNode::on_granted(LockId lock) {
+  LockSrv& s = srv_[lock];
+  GMX_ASSERT_MSG(s.state == SrvState::kRequesting,
+                 "lockd: grant with no request in flight");
+  if (s.current.deadline_at_ms != 0 &&
+      steady_ms() > s.current.deadline_at_ms) {
+    finish(lock, ClientMsg::kExpired, 0);
+    return;
+  }
+  // Fence fetch while still inside the CS: successive grants of this lock
+  // serialize their fetches, so observed fences strictly increase.
+  s.state = SrvState::kAwaitFence;
+  const std::uint64_t nonce = next_nonce_++;
+  fence_waits_[nonce] = lock;
+  Message m;
+  m.dst = topo_.first_node_of(table_.home_cluster(lock));
+  m.protocol = cfg_.fence_protocol();
+  m.type = std::uint16_t(FenceMsg::kFenceReq);
+  wire::Writer w(tp_.pool());
+  w.varint(lock);
+  w.u64(nonce);
+  m.payload = w.take_payload();
+  tp_.send(std::move(m));
+}
+
+void LockdNode::handle_fence(const Message& m) {
+  wire::Reader r(m.payload);
+  switch (FenceMsg(m.type)) {
+    case FenceMsg::kFenceReq: {
+      const LockId lock = LockId(r.varint());
+      const std::uint64_t nonce = r.u64();
+      if (lock >= cfg_.locks || !is_coordinator_node_ ||
+          table_.home_cluster(lock) != my_cluster_)
+        throw wire::WireError("lockd: fence request at a non-home node");
+      const std::uint64_t fence = ++fence_counter_[lock];
+      ++stats_.fences_issued;
+      Message rep;
+      rep.dst = m.src;
+      rep.protocol = cfg_.fence_protocol();
+      rep.type = std::uint16_t(FenceMsg::kFenceRep);
+      wire::Writer w(tp_.pool());
+      w.varint(lock);
+      w.u64(nonce);
+      w.u64(fence);
+      rep.payload = w.take_payload();
+      tp_.send(std::move(rep));
+      return;
+    }
+    case FenceMsg::kFenceRep: {
+      const LockId lock = LockId(r.varint());
+      const std::uint64_t nonce = r.u64();
+      const std::uint64_t fence = r.u64();
+      const auto it = fence_waits_.find(nonce);
+      if (it == fence_waits_.end() || it->second != lock)
+        throw wire::WireError("lockd: fence reply for no outstanding fetch");
+      fence_waits_.erase(it);
+      GMX_ASSERT(lock < srv_.size() &&
+                 srv_[lock].state == SrvState::kAwaitFence);
+      finish(lock, ClientMsg::kGranted, fence);
+      return;
+    }
+    default:
+      throw wire::WireError("lockd: unknown fence message type");
+  }
+}
+
+void LockdNode::finish(LockId lock, ClientMsg type, std::uint64_t fence) {
+  LockSrv& s = srv_[lock];
+  const ReqKey key{s.current.client_id, s.current.req_id};
+  wire::Writer w;
+  w.u64(s.current.req_id);
+  w.varint(lock);
+  if (type == ClientMsg::kGranted) w.u64(fence);
+  reply(s.current.client, type, w.take());
+  remember(key, type, lock, fence);
+  if (type == ClientMsg::kGranted) {
+    ++stats_.grants;
+    s.state = SrvState::kHeld;  // CS held until the client releases
+    return;
+  }
+  GMX_ASSERT(type == ClientMsg::kExpired);
+  ++stats_.deadline_misses;
+  s.state = SrvState::kIdle;
+  locks_[lock].intra->release_cs();
+  pump(lock);
+}
+
+void LockdNode::on_release(const Message& m, const PeerAddr& from) {
+  wire::Reader r(m.payload);
+  const std::uint64_t client_id = r.u64();
+  const std::uint64_t req_id = r.u64();
+  const LockId lock = LockId(r.varint());
+  if (!is_coordinator_node_ && lock < cfg_.locks) {
+    LockSrv& s = srv_[lock];
+    if (s.state == SrvState::kHeld && s.current.client_id == client_id &&
+        s.current.req_id == req_id) {
+      ++stats_.releases;
+      s.state = SrvState::kIdle;
+      locks_[lock].intra->release_cs();
+      pump(lock);
+    }
+  }
+  // Idempotent: stale or duplicate releases still get their ack.
+  wire::Writer w;
+  w.u64(req_id);
+  reply(from, ClientMsg::kReleased, w.take());
+}
+
+}  // namespace gmx::transport

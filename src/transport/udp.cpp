@@ -1,0 +1,457 @@
+#include "gridmutex/transport/udp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cerrno>
+#include <charconv>
+#include <cstring>
+#include <stdexcept>
+
+#include "gridmutex/sim/assert.hpp"
+#include "gridmutex/transport/frame.hpp"
+
+namespace gmx::transport {
+
+namespace {
+
+[[nodiscard]] std::int64_t steady_now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+[[nodiscard]] sockaddr_in to_sockaddr(const PeerAddr& a) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(a.ip);
+  sa.sin_port = htons(a.port);
+  return sa;
+}
+
+[[nodiscard]] PeerAddr from_sockaddr(const sockaddr_in& sa) {
+  return PeerAddr{ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+}
+
+void set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    throw std::runtime_error("transport: fcntl(O_NONBLOCK) failed");
+}
+
+}  // namespace
+
+std::string PeerAddr::to_string() const {
+  in_addr a{};
+  a.s_addr = htonl(ip);
+  char buf[INET_ADDRSTRLEN] = {};
+  inet_ntop(AF_INET, &a, buf, sizeof(buf));
+  return std::string(buf) + ":" + std::to_string(port);
+}
+
+std::optional<PeerAddr> PeerAddr::parse(std::string_view s) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 >= s.size()) {
+    return std::nullopt;
+  }
+  const std::string host(s.substr(0, colon));
+  in_addr a{};
+  if (inet_pton(AF_INET, host.c_str(), &a) != 1) return std::nullopt;
+  std::uint32_t port = 0;
+  const std::string_view p = s.substr(colon + 1);
+  const auto [ptr, ec] = std::from_chars(p.data(), p.data() + p.size(), port);
+  if (ec != std::errc{} || ptr != p.data() + p.size() || port > 65535)
+    return std::nullopt;
+  return PeerAddr{ntohl(a.s_addr), std::uint16_t(port)};
+}
+
+PeerAddr PeerAddr::loopback(std::uint16_t port) {
+  return PeerAddr{0x7F000001u, port};
+}
+
+UdpTransport::UdpTransport(NodeId self, const std::string& bind_ip,
+                           std::uint16_t port, ArqConfig arq)
+    : self_(self) {
+  sock_ = socket(AF_INET, SOCK_DGRAM, 0);
+  if (sock_ < 0) throw std::runtime_error("transport: socket() failed");
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  if (inet_pton(AF_INET, bind_ip.c_str(), &sa.sin_addr) != 1) {
+    close(sock_);
+    throw std::runtime_error("transport: bad bind address " + bind_ip);
+  }
+  if (bind(sock_, reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) < 0) {
+    close(sock_);
+    throw std::runtime_error("transport: bind to " + bind_ip + ":" +
+                             std::to_string(port) + " failed: " +
+                             std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (getsockname(sock_, reinterpret_cast<sockaddr*>(&bound), &len) < 0) {
+    close(sock_);
+    throw std::runtime_error("transport: getsockname() failed");
+  }
+  port_ = ntohs(bound.sin_port);
+  set_nonblocking(sock_);
+
+  int pipefd[2];
+  if (pipe(pipefd) < 0) {
+    close(sock_);
+    throw std::runtime_error("transport: pipe() failed");
+  }
+  wake_r_ = pipefd[0];
+  wake_w_ = pipefd[1];
+  set_nonblocking(wake_r_);
+  set_nonblocking(wake_w_);
+
+  arq_send_ = std::make_unique<ArqSender>(
+      arq,
+      ArqSender::Hooks{
+          .transmit =
+              [this](const Message& m) { transmit_frame(m, addr_of(m.dst)); },
+          .arm =
+              [this](std::uint32_t delay_ms, std::function<void()> fire) {
+                return schedule_ms(delay_ms, std::move(fire));
+              },
+          .cancel = [this](TimerToken t) { cancel(t); },
+          .on_give_up = nullptr,
+      });
+}
+
+UdpTransport::~UdpTransport() {
+  if (loop_.joinable()) stop();
+  if (sock_ >= 0) close(sock_);
+  if (wake_r_ >= 0) close(wake_r_);
+  if (wake_w_ >= 0) close(wake_w_);
+}
+
+void UdpTransport::add_peer(NodeId node, PeerAddr addr) {
+  peers_[node] = addr;
+}
+
+std::optional<PeerAddr> UdpTransport::peer(NodeId node) const {
+  const auto it = peers_.find(node);
+  if (it == peers_.end()) return std::nullopt;
+  return it->second;
+}
+
+void UdpTransport::attach(ProtocolId protocol, Handler handler) {
+  GMX_ASSERT(protocol != 0);
+  handlers_[protocol] = std::move(handler);
+}
+
+void UdpTransport::attach_raw(ProtocolId protocol, RawHandler handler) {
+  GMX_ASSERT(protocol != 0);
+  raw_handlers_[protocol] = std::move(handler);
+}
+
+void UdpTransport::set_reliable(ProtocolId protocol) {
+  reliable_[protocol] = true;
+}
+
+bool UdpTransport::reliable(ProtocolId protocol) const {
+  const auto it = reliable_.find(protocol);
+  return it != reliable_.end() && it->second;
+}
+
+void UdpTransport::start() {
+  GMX_ASSERT_MSG(!started_.load(), "transport: start() called twice");
+  started_.store(true);
+  loop_ = std::thread([this] { run(); });
+}
+
+void UdpTransport::request_stop() {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  wake();
+}
+
+void UdpTransport::stop() {
+  GMX_ASSERT_MSG(loop_.get_id() != std::this_thread::get_id(),
+                 "transport: stop() (join) from the loop thread; use "
+                 "request_stop()");
+  request_stop();
+  if (loop_.joinable()) loop_.join();
+}
+
+void UdpTransport::post(std::function<void()> fn) {
+  {
+    MutexLock lock(tasks_mu_);
+    tasks_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+void UdpTransport::wake() {
+  if (wake_w_ < 0) return;
+  const char byte = 1;
+  // Best-effort: a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n = write(wake_w_, &byte, 1);
+}
+
+wire::Writer UdpTransport::writer(std::size_t reserve) {
+  return wire::Writer(pool_, reserve);
+}
+
+UdpTransport::TimerToken UdpTransport::schedule_ms(std::uint32_t delay_ms,
+                                                   std::function<void()> fn) {
+  const TimerToken token = next_timer_token_++;
+  timers_.push_back(Timer{
+      steady_now_ns() + std::int64_t(delay_ms) * 1'000'000, token,
+      std::move(fn)});
+  std::push_heap(timers_.begin(), timers_.end(),
+                 [](const Timer& a, const Timer& b) {
+                   return a.deadline_ns > b.deadline_ns;
+                 });
+  return token;
+}
+
+void UdpTransport::cancel(TimerToken token) {
+  // Lazy cancellation: null the callback; the heap entry expires silently.
+  for (Timer& t : timers_) {
+    if (t.token == token) {
+      t.fn = nullptr;
+      return;
+    }
+  }
+}
+
+int UdpTransport::poll_timeout_ms() const {
+  if (timers_.empty()) return 100;
+  const std::int64_t next = timers_.front().deadline_ns;
+  const std::int64_t now = steady_now_ns();
+  if (next <= now) return 0;
+  const std::int64_t ms = (next - now + 999'999) / 1'000'000;
+  return int(std::min<std::int64_t>(ms, 100));
+}
+
+void UdpTransport::run() {
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    pollfd fds[2] = {
+        {.fd = sock_, .events = POLLIN, .revents = 0},
+        {.fd = wake_r_, .events = POLLIN, .revents = 0},
+    };
+    const int rc = poll(fds, 2, poll_timeout_ms());
+    if (rc < 0 && errno != EINTR) break;
+    if (fds[1].revents & POLLIN) {
+      char buf[256];
+      while (read(wake_r_, buf, sizeof(buf)) > 0) {
+      }
+    }
+    drain_tasks();
+    if (fds[0].revents & POLLIN) drain_socket();
+    fire_due_timers();
+  }
+  // Final drain so posted shutdown work (e.g. farewell replies) runs.
+  drain_tasks();
+}
+
+void UdpTransport::drain_tasks() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      MutexLock lock(tasks_mu_);
+      if (tasks_.empty()) return;
+      fn = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    fn();
+  }
+}
+
+void UdpTransport::fire_due_timers() {
+  const std::int64_t now = steady_now_ns();
+  const auto later = [](const Timer& a, const Timer& b) {
+    return a.deadline_ns > b.deadline_ns;
+  };
+  while (!timers_.empty() && timers_.front().deadline_ns <= now) {
+    std::pop_heap(timers_.begin(), timers_.end(), later);
+    Timer t = std::move(timers_.back());
+    timers_.pop_back();
+    if (t.fn) t.fn();
+  }
+}
+
+void UdpTransport::drain_socket() {
+  std::uint8_t buf[65536];
+  for (;;) {
+    sockaddr_in sa{};
+    socklen_t len = sizeof(sa);
+    const ssize_t n = recvfrom(sock_, buf, sizeof(buf), 0,
+                               reinterpret_cast<sockaddr*>(&sa), &len);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+      return;
+    }
+    if (n == 0) continue;
+    ++counters_.datagrams_received;
+    // One pooled copy kernel→block; every frame payload then slices it.
+    const Payload dgram =
+        pool_.acquire({buf, std::size_t(n)});
+    const PeerAddr from = from_sockaddr(sa);
+    try {
+      handle_datagram(dgram, from);
+    } catch (const wire::WireError&) {
+      ++counters_.decode_errors;
+    }
+  }
+}
+
+void UdpTransport::handle_datagram(const Payload& dgram,
+                                   const PeerAddr& from) {
+  for (const Message& msg : decode_datagram(dgram)) {
+    if (msg.type == Message::kAckType) {
+      arq_send_->on_ack(msg.src, msg.protocol, msg.seq);
+      continue;
+    }
+    if (msg.dst != self_) {
+      ++counters_.misrouted;
+      continue;
+    }
+    if (reliable(msg.protocol)) {
+      if (msg.seq == 0) {
+        ++counters_.decode_errors;  // sequenced protocol, unsequenced frame
+        continue;
+      }
+      // Always ack — a duplicate means our previous ack was lost.
+      send_ack(msg, from);
+      if (arq_recv_.on_frame(msg) == ArqReceiver::Verdict::kDuplicate)
+        continue;
+    }
+    try {
+      dispatch(msg, from);
+    } catch (const wire::WireError&) {
+      ++counters_.handler_errors;
+    }
+  }
+}
+
+void UdpTransport::dispatch(const Message& msg, const PeerAddr& from) {
+  if (const auto it = handlers_.find(msg.protocol); it != handlers_.end()) {
+    ++counters_.frames_delivered;
+    it->second(msg);
+    return;
+  }
+  if (const auto it = raw_handlers_.find(msg.protocol);
+      it != raw_handlers_.end()) {
+    ++counters_.frames_delivered;
+    it->second(msg, from);
+    return;
+  }
+  ++counters_.unroutable;
+}
+
+void UdpTransport::send_ack(const Message& msg, const PeerAddr& to) {
+  Message ack;
+  ack.src = self_;
+  ack.dst = msg.src;
+  ack.protocol = msg.protocol;
+  ack.type = Message::kAckType;
+  ack.seq = msg.seq;
+  ++counters_.acks_sent;
+  write_datagram(ack, to);
+}
+
+PeerAddr UdpTransport::addr_of(NodeId node) const {
+  const auto it = peers_.find(node);
+  GMX_ASSERT_MSG(it != peers_.end(), "transport: send to unknown peer node");
+  return it->second;
+}
+
+void UdpTransport::send(Message msg) {
+  GMX_ASSERT_MSG(msg.src == self_ || msg.src == kInvalidNode,
+                 "transport: forged source node");
+  msg.src = self_;
+  if (reliable(msg.protocol)) {
+    arq_send_->send(std::move(msg));  // transmits via transmit_frame hook
+    return;
+  }
+  msg.seq = 0;
+  transmit_frame(msg, addr_of(msg.dst));
+}
+
+void UdpTransport::send_raw(const PeerAddr& to, Message msg) {
+  msg.seq = 0;
+  transmit_frame(msg, to);
+}
+
+void UdpTransport::transmit_frame(const Message& msg, const PeerAddr& to) {
+  if (send_fault_) {
+    const int action = send_fault_(msg);
+    if (action & kDrop) {
+      ++counters_.fault_dropped;
+      return;
+    }
+    if (action & kHold) {
+      ++counters_.fault_held;
+      held_.emplace_back(msg, to);
+      return;
+    }
+    if (action & kDuplicate) {
+      ++counters_.fault_duplicated;
+      ++counters_.frames_sent;
+      write_datagram(msg, to);
+    }
+  }
+  ++counters_.frames_sent;
+  write_datagram(msg, to);
+  // Flush frames a kHold verdict parked: they depart *after* the frame
+  // that triggered this call, which reorders them on the real wire.
+  if (!held_.empty() && !flushing_held_) {
+    flushing_held_ = true;
+    std::vector<std::pair<Message, PeerAddr>> held;
+    held.swap(held_);
+    for (auto& [m, addr] : held) {
+      ++counters_.frames_sent;
+      write_datagram(m, addr);
+    }
+    flushing_held_ = false;
+  }
+}
+
+void UdpTransport::write_datagram(const Message& msg, const PeerAddr& to) {
+  GMX_ASSERT(msg.payload.size() + 64 < kMaxDatagramBytes);
+  // Envelope + header into a small pooled block; payload spliced as the
+  // second iovec — the pool-backed encode is never copied.
+  wire::Writer hdr(pool_, 32);
+  begin_datagram(hdr);
+  append_frame_header(hdr, msg);
+  const std::span<const std::uint8_t> head = hdr.view();
+  iovec iov[2] = {
+      {.iov_base = const_cast<std::uint8_t*>(head.data()),
+       .iov_len = head.size()},
+      {.iov_base = const_cast<std::uint8_t*>(msg.payload.data()),
+       .iov_len = msg.payload.size()},
+  };
+  sockaddr_in sa = to_sockaddr(to);
+  msghdr mh{};
+  mh.msg_name = &sa;
+  mh.msg_namelen = sizeof(sa);
+  mh.msg_iov = iov;
+  mh.msg_iovlen = msg.payload.empty() ? 1 : 2;
+  const ssize_t n = sendmsg(sock_, &mh, 0);
+  if (n < 0) {
+    // UDP may drop under pressure; ARQ recovers reliable traffic.
+    ++counters_.send_errors;
+    return;
+  }
+  ++counters_.datagrams_sent;
+}
+
+const ArqCounters& UdpTransport::arq_send_counters() const {
+  return arq_send_->counters();
+}
+
+const ArqCounters& UdpTransport::arq_recv_counters() const {
+  return arq_recv_.counters();
+}
+
+}  // namespace gmx::transport

@@ -31,4 +31,28 @@ double ZipfSampler::probability(std::uint32_t i) const {
   return w / cum_.back();
 }
 
+std::vector<OpenLoopArrival> materialize_open_loop(
+    const OpenLoopParams& params, std::span<const NodeId> apps,
+    const ZipfSampler& zipf, Rng& traffic, const OpenLoopFlash& flash) {
+  GMX_ASSERT(params.arrivals_per_sec > 0.0);
+  GMX_ASSERT(!apps.empty());
+  GMX_ASSERT(flash.factor > 0.0);
+  const double mean_gap = 1.0 / params.arrivals_per_sec;
+  const auto gap_at = [&](double t) {
+    const bool in_flash = t >= flash.from_sec && t < flash.until_sec;
+    return in_flash ? mean_gap / flash.factor : mean_gap;
+  };
+  std::vector<OpenLoopArrival> arrivals;
+  double t = traffic.exponential(gap_at(0.0));
+  while (t < params.window.as_sec()) {
+    OpenLoopArrival a;
+    a.at = SimTime::zero() + SimDuration::sec_f(t);
+    a.node = apps[traffic.next_below(apps.size())];
+    a.lock = zipf.sample(traffic);
+    arrivals.push_back(a);
+    t += traffic.exponential(gap_at(t));
+  }
+  return arrivals;
+}
+
 }  // namespace gmx

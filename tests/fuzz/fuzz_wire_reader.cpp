@@ -25,6 +25,12 @@
 //            decode -> encode -> decode to the identical struct
 //            (differential oracle at the value level — a non-canonical
 //            varint input re-encodes canonically but must keep the value).
+//   mode 4 — the transport datagram envelope (transport/frame.hpp): the
+//            bytes go through decode_datagram() — the exact path hostile
+//            UDP datagrams take in lockd — and on success every decoded
+//            Message is re-encoded with begin_datagram()/append_frame()
+//            and re-decoded; the round-trip must reproduce each frame's
+//            header fields and payload bytes (differential oracle).
 //
 // Build modes (tests/fuzz/CMakeLists.txt): with -DGRIDMUTEX_FUZZER=ON
 // under Clang this links against libFuzzer; otherwise a standalone driver
@@ -41,6 +47,7 @@
 #include "gridmutex/net/wire.hpp"
 #include "gridmutex/service/batch.hpp"
 #include "gridmutex/service/lease.hpp"
+#include "gridmutex/transport/frame.hpp"
 
 namespace {
 
@@ -148,6 +155,36 @@ void lease_schemas(std::span<const std::uint8_t> payload) {
   }
 }
 
+void transport_datagram_roundtrip(std::span<const std::uint8_t> payload) {
+  gmx::Payload dgram;
+  dgram.assign(payload);
+  const std::vector<gmx::Message> msgs = gmx::transport::decode_datagram(dgram);
+  GMX_ASSERT_MSG(!msgs.empty(),
+                 "fuzz: decode_datagram accepted a frameless datagram");
+  // Differential oracle: re-encode through the framing writer and decode
+  // again; the envelope grammar is canonical, so the frames must agree
+  // field for field and byte for byte.
+  gmx::wire::Writer w;
+  gmx::transport::begin_datagram(w);
+  for (const gmx::Message& m : msgs) gmx::transport::append_frame(w, m);
+  gmx::Payload re;
+  re = w.take();
+  const std::vector<gmx::Message> again = gmx::transport::decode_datagram(re);
+  GMX_ASSERT_MSG(again.size() == msgs.size(),
+                 "fuzz: datagram round-trip changed the frame count");
+  for (std::size_t i = 0; i < msgs.size(); ++i) {
+    const std::span<const std::uint8_t> a = msgs[i].payload;
+    const std::span<const std::uint8_t> b = again[i].payload;
+    GMX_ASSERT_MSG(again[i].src == msgs[i].src &&
+                       again[i].dst == msgs[i].dst &&
+                       again[i].protocol == msgs[i].protocol &&
+                       again[i].type == msgs[i].type &&
+                       again[i].seq == msgs[i].seq && a.size() == b.size() &&
+                       std::equal(a.begin(), a.end(), b.begin()),
+                   "fuzz: datagram round-trip changed a frame");
+  }
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
@@ -155,11 +192,12 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   if (size == 0) return 0;
   const std::span<const std::uint8_t> payload(data + 1, size - 1);
   try {
-    switch (data[0] % 4) {
+    switch (data[0] % 5) {
       case 0: reader_walk(payload); break;
       case 1: batch_decode_roundtrip(payload); break;
       case 2: slice_out(payload); break;
       case 3: lease_schemas(payload); break;
+      case 4: transport_datagram_roundtrip(payload); break;
     }
   } catch (const gmx::wire::WireError&) {
     // The expected failure mode for malformed input. Anything else —

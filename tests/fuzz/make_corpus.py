@@ -30,12 +30,29 @@ def u16(v: int) -> bytes:
     return bytes((v & 0xFF, (v >> 8) & 0xFF))
 
 
+def u32(v: int) -> bytes:
+    return bytes((v & 0xFF, (v >> 8) & 0xFF, (v >> 16) & 0xFF,
+                  (v >> 24) & 0xFF))
+
+
 def sub(proto: int, type_: int, body: bytes) -> bytes:
     return varint(proto) + u16(type_) + varint(len(body)) + body
 
 
 def frame(*subs: bytes) -> bytes:
     return varint(len(subs)) + b"".join(subs)
+
+
+def tframe(src: int, dst: int, proto: int, type_: int, seq: int,
+           body: bytes) -> bytes:
+    """One transport frame (transport/frame.hpp grammar)."""
+    return (u32(src) + u32(dst) + varint(proto) + u16(type_) + varint(seq)
+            + varint(len(body)) + body)
+
+
+def dgram(*frames: bytes) -> bytes:
+    """A version-1 transport datagram envelope."""
+    return bytes([1]) + b"".join(frames)
 
 
 SEEDS = {
@@ -73,6 +90,24 @@ SEEDS = {
     "lease_revoke_trailing": bytes([3, 1]) + varint(0) + varint(7) + b"!",
     "lease_load_ok": bytes([3, 2]) + varint(9) + varint(3) + varint(1),
     "lease_load_overlong": bytes([3, 2]) + bytes([0x80] * 12),
+    # mode 4: transport datagram envelope round-trip
+    "dgram_single": bytes([4]) + dgram(tframe(1, 2, 3, 4, 5, b"hello")),
+    "dgram_multi": bytes([4]) + dgram(tframe(0, 1, 2, 7, 1, b""),
+                                      tframe(3, 0, 9, 0xFFFF, 12, b""),
+                                      tframe(2, 1, 8, 3, 2**40, bytes(48))),
+    "dgram_version_only": bytes([4, 1]),
+    "dgram_bad_version": bytes([4, 2]) + tframe(1, 2, 3, 4, 5, b"x"),
+    "dgram_proto_zero": bytes([4]) + dgram(tframe(1, 2, 0, 4, 5, b"x")),
+    "dgram_proto_too_wide": bytes([4]) + dgram(tframe(1, 2, 2**40, 4, 5,
+                                                      b"x")),
+    "dgram_truncated_payload": bytes([4, 1]) + u32(1) + u32(2) + varint(3)
+                               + u16(4) + varint(5) + varint(50) + b"short",
+    "dgram_overlong_seq": bytes([4, 1]) + u32(1) + u32(2) + varint(3)
+                          + u16(4) + bytes([0x80] * 12),
+    "dgram_trailing_garbage": bytes([4]) + dgram(tframe(1, 2, 3, 4, 5,
+                                                        b"ok")) + b"!",
+    "dgram_big_fields": bytes([4]) + dgram(tframe(2**32 - 2, 0, 2**31 - 1,
+                                                  0xFFFE, 2**63, b"\x00")),
 }
 
 

@@ -1,0 +1,242 @@
+// Stop-and-wait ARQ state-machine tests, driven deterministically through
+// the injected hooks: a scripted wire and hand-fired fake timers stand in
+// for sendmsg and the transport's timer heap, so every lossy-delivery
+// scenario — retransmission, backoff, give-up-as-omission, dedup across
+// give-up gaps — runs with zero real waiting.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "gridmutex/transport/arq.hpp"
+
+namespace gmx::transport {
+namespace {
+
+struct FakeWire {
+  struct Timer {
+    std::uint32_t delay_ms = 0;
+    std::function<void()> fire;
+  };
+
+  std::vector<Message> sent;     // every transmit, in order
+  std::vector<Message> gave_up;  // frames dropped at the retry horizon
+  std::map<ArqTimerToken, Timer> timers;
+  ArqTimerToken next_token = 1;
+
+  ArqSender::Hooks hooks() {
+    ArqSender::Hooks h;
+    h.transmit = [this](const Message& m) { sent.push_back(m); };
+    h.arm = [this](std::uint32_t delay_ms, std::function<void()> fire) {
+      const ArqTimerToken t = next_token++;
+      timers[t] = Timer{delay_ms, std::move(fire)};
+      return t;
+    };
+    h.cancel = [this](ArqTimerToken t) { timers.erase(t); };
+    h.on_give_up = [this](const Message& m) { gave_up.push_back(m); };
+    return h;
+  }
+
+  /// Fires the single armed timer (asserts exactly one exists).
+  void fire_only_timer() {
+    ASSERT_EQ(timers.size(), 1u);
+    Timer t = std::move(timers.begin()->second);
+    timers.erase(timers.begin());
+    t.fire();
+  }
+
+  std::uint32_t only_timer_delay() const {
+    EXPECT_EQ(timers.size(), 1u);
+    return timers.begin()->second.delay_ms;
+  }
+};
+
+Message msg_to(NodeId dst, ProtocolId protocol, std::uint8_t tag) {
+  Message m;
+  m.src = 0;
+  m.dst = dst;
+  m.protocol = protocol;
+  m.type = tag;
+  m.payload = std::vector<std::uint8_t>{tag};
+  return m;
+}
+
+TEST(TransportArq, AssignsSeqAndQueuesBehindUnackedHead) {
+  FakeWire wire;
+  ArqSender s(ArqConfig{}, wire.hooks());
+  s.send(msg_to(1, 5, 10));
+  s.send(msg_to(1, 5, 11));
+  s.send(msg_to(1, 5, 12));
+  // Stop-and-wait: only the head is on the wire; seq numbers start at 1.
+  ASSERT_EQ(wire.sent.size(), 1u);
+  EXPECT_EQ(wire.sent[0].seq, 1u);
+  EXPECT_EQ(wire.sent[0].type, 10);
+  EXPECT_EQ(s.unacked(), 3u);
+  EXPECT_EQ(s.counters().sent, 1u);
+}
+
+TEST(TransportArq, AckLaunchesNextAndCancelsTimer) {
+  FakeWire wire;
+  ArqSender s(ArqConfig{}, wire.hooks());
+  s.send(msg_to(1, 5, 10));
+  s.send(msg_to(1, 5, 11));
+  s.on_ack(1, 5, 1);
+  ASSERT_EQ(wire.sent.size(), 2u);
+  EXPECT_EQ(wire.sent[1].seq, 2u);
+  EXPECT_EQ(wire.sent[1].type, 11);
+  EXPECT_EQ(s.unacked(), 1u);
+  EXPECT_EQ(s.counters().acked, 1u);
+  // The acked head's timer is gone; only the new head's remains.
+  EXPECT_EQ(wire.timers.size(), 1u);
+  s.on_ack(1, 5, 2);
+  EXPECT_EQ(s.unacked(), 0u);
+  EXPECT_TRUE(wire.timers.empty());
+}
+
+TEST(TransportArq, ChannelsArePerDstProtocol) {
+  FakeWire wire;
+  ArqSender s(ArqConfig{}, wire.hooks());
+  s.send(msg_to(1, 5, 10));
+  s.send(msg_to(2, 5, 11));  // different dst
+  s.send(msg_to(1, 6, 12));  // different protocol
+  // Three independent channels, three heads in flight at once.
+  ASSERT_EQ(wire.sent.size(), 3u);
+  EXPECT_EQ(wire.sent[0].seq, 1u);
+  EXPECT_EQ(wire.sent[1].seq, 1u);
+  EXPECT_EQ(wire.sent[2].seq, 1u);
+}
+
+TEST(TransportArq, RetransmitsWithExponentialBackoffCapped) {
+  FakeWire wire;
+  ArqSender s(ArqConfig{.rto_ms = 100, .backoff = 2.0, .rto_max_ms = 300,
+                        .max_attempts = 8},
+              wire.hooks());
+  s.send(msg_to(1, 5, 10));
+  EXPECT_EQ(wire.only_timer_delay(), 100u);
+  wire.fire_only_timer();
+  EXPECT_EQ(wire.sent.size(), 2u);  // same frame, resent
+  EXPECT_EQ(wire.sent[1].seq, 1u);
+  EXPECT_EQ(wire.only_timer_delay(), 200u);
+  wire.fire_only_timer();
+  EXPECT_EQ(wire.only_timer_delay(), 300u);  // capped at rto_max
+  wire.fire_only_timer();
+  EXPECT_EQ(wire.only_timer_delay(), 300u);
+  EXPECT_EQ(s.counters().retransmitted, 3u);
+  // A late ack after retransmissions still resolves the head.
+  s.on_ack(1, 5, 1);
+  EXPECT_EQ(s.unacked(), 0u);
+}
+
+TEST(TransportArq, GivesUpAsOmissionAndLaunchesNext) {
+  FakeWire wire;
+  ArqSender s(ArqConfig{.rto_ms = 10, .backoff = 2.0, .rto_max_ms = 40,
+                        .max_attempts = 3},
+              wire.hooks());
+  s.send(msg_to(1, 5, 10));
+  s.send(msg_to(1, 5, 11));
+  // Attempts: initial + 2 retransmissions, then the horizon.
+  wire.fire_only_timer();
+  wire.fire_only_timer();
+  ASSERT_EQ(wire.sent.size(), 3u);
+  wire.fire_only_timer();  // attempts == max: give up, launch next
+  EXPECT_EQ(s.counters().gave_up, 1u);
+  ASSERT_EQ(wire.gave_up.size(), 1u);
+  EXPECT_EQ(wire.gave_up[0].type, 10);
+  // The successor launched with the *next* seq — the gap is permanent,
+  // exactly like a simulator omission.
+  ASSERT_EQ(wire.sent.size(), 4u);
+  EXPECT_EQ(wire.sent[3].seq, 2u);
+  EXPECT_EQ(wire.sent[3].type, 11);
+  EXPECT_EQ(s.unacked(), 1u);
+}
+
+TEST(TransportArq, StaleAcksAreCountedAndIgnored) {
+  FakeWire wire;
+  ArqSender s(ArqConfig{}, wire.hooks());
+  s.on_ack(1, 5, 1);  // no channel at all
+  s.send(msg_to(1, 5, 10));
+  s.on_ack(1, 5, 7);  // wrong seq
+  s.on_ack(2, 5, 1);  // wrong peer
+  EXPECT_EQ(s.counters().stale_acks, 3u);
+  EXPECT_EQ(s.unacked(), 1u);
+  s.on_ack(1, 5, 1);
+  EXPECT_EQ(s.unacked(), 0u);
+  // Re-acking an already-resolved head is stale too (duplicate ack).
+  s.on_ack(1, 5, 1);
+  EXPECT_EQ(s.counters().stale_acks, 4u);
+}
+
+TEST(TransportArq, ReceiverDeliversOnceAndDedupsRetransmissions) {
+  ArqReceiver r;
+  Message m = msg_to(1, 5, 10);
+  m.src = 3;
+  m.seq = 1;
+  EXPECT_EQ(r.on_frame(m), ArqReceiver::Verdict::kDeliver);
+  EXPECT_EQ(r.on_frame(m), ArqReceiver::Verdict::kDuplicate);  // retransmit
+  m.seq = 2;
+  EXPECT_EQ(r.on_frame(m), ArqReceiver::Verdict::kDeliver);
+  m.seq = 1;  // very late duplicate
+  EXPECT_EQ(r.on_frame(m), ArqReceiver::Verdict::kDuplicate);
+  EXPECT_EQ(r.counters().delivered, 2u);
+  EXPECT_EQ(r.counters().duplicates, 2u);
+}
+
+TEST(TransportArq, ReceiverDeliversAcrossGiveUpGaps) {
+  // Seq 2 was given up by the sender and never arrives; seq 3 must still
+  // deliver — "greater than last delivered" spans omission gaps.
+  ArqReceiver r;
+  Message m = msg_to(1, 5, 10);
+  m.src = 3;
+  m.seq = 1;
+  EXPECT_EQ(r.on_frame(m), ArqReceiver::Verdict::kDeliver);
+  m.seq = 3;
+  EXPECT_EQ(r.on_frame(m), ArqReceiver::Verdict::kDeliver);
+}
+
+TEST(TransportArq, ReceiverChannelsArePerSrcProtocol) {
+  ArqReceiver r;
+  Message m = msg_to(1, 5, 10);
+  m.seq = 1;
+  m.src = 3;
+  EXPECT_EQ(r.on_frame(m), ArqReceiver::Verdict::kDeliver);
+  m.src = 4;  // same seq, different sender: fresh channel
+  EXPECT_EQ(r.on_frame(m), ArqReceiver::Verdict::kDeliver);
+  m.src = 3;
+  m.protocol = 6;  // same sender, different protocol
+  EXPECT_EQ(r.on_frame(m), ArqReceiver::Verdict::kDeliver);
+  EXPECT_EQ(r.counters().delivered, 3u);
+}
+
+TEST(TransportArq, LossyRoundtripSenderToReceiver) {
+  // End-to-end over a scripted lossy wire: drop every 3rd transmission,
+  // deliver the rest to a receiver, ack deliveries and duplicates alike.
+  // Everything must come out exactly once, in order.
+  FakeWire wire;
+  ArqReceiver recv;
+  std::vector<std::uint8_t> delivered;
+  ArqSender s(ArqConfig{.rto_ms = 10, .backoff = 1.0, .rto_max_ms = 10,
+                        .max_attempts = 100},
+              wire.hooks());
+  for (std::uint8_t i = 0; i < 10; ++i) s.send(msg_to(1, 5, i));
+  std::size_t cursor = 0;  // transmissions already processed
+  std::uint64_t n = 0;
+  while (s.unacked() > 0) {
+    for (; cursor < wire.sent.size(); ++cursor) {
+      if (++n % 3 == 0) continue;  // the wire eats this one
+      const Message& m = wire.sent[cursor];
+      if (recv.on_frame(m) == ArqReceiver::Verdict::kDeliver)
+        delivered.push_back(m.type & 0xFF);
+      s.on_ack(m.dst, m.protocol, m.seq);  // ack travels back losslessly
+    }
+    if (s.unacked() > 0) wire.fire_only_timer();
+  }
+  ASSERT_EQ(delivered.size(), 10u);
+  for (std::uint8_t i = 0; i < 10; ++i) EXPECT_EQ(delivered[i], i);
+  EXPECT_EQ(recv.counters().duplicates, 0u);  // drops, not dups, here
+  EXPECT_EQ(s.counters().gave_up, 0u);
+}
+
+}  // namespace
+}  // namespace gmx::transport

@@ -1,0 +1,107 @@
+// Open-loop campaign tests: CampaignResult statistics math, and a full
+// run_campaign() against an in-process grid — the same replay xvalidate
+// does across processes — asserting zero safety violations and exact
+// accounting closure between the campaign's client-side view and the
+// daemons' kStats counters.
+#include <gtest/gtest.h>
+
+#include "gridmutex/transport/campaign.hpp"
+#include "transport_test_grid.hpp"
+
+namespace gmx::transport {
+namespace {
+
+TEST(TransportCampaign, ResultStatisticsMath) {
+  CampaignResult r;
+  EXPECT_EQ(r.obtain_mean_ms(), 0.0);
+  EXPECT_EQ(r.obtain_percentile_ms(0.5), 0.0);
+  EXPECT_EQ(r.throughput_cs_per_s(), 0.0);
+  EXPECT_TRUE(r.safe());
+
+  r.obtain_ms = {4.0, 1.0, 3.0, 2.0};
+  r.grants = 4;
+  r.wall_sec = 2.0;
+  EXPECT_DOUBLE_EQ(r.obtain_mean_ms(), 2.5);
+  EXPECT_DOUBLE_EQ(r.obtain_percentile_ms(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(r.obtain_percentile_ms(0.5), 2.0);
+  EXPECT_DOUBLE_EQ(r.obtain_percentile_ms(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(r.throughput_cs_per_s(), 2.0);
+  r.fence_violations = 1;
+  EXPECT_FALSE(r.safe());
+}
+
+TEST(TransportCampaign, OpenLoopReplayClosesAccountingSafely) {
+  CampaignConfig cc;
+  cc.grid.clusters = 2;
+  cc.grid.apps_per_cluster = 2;
+  cc.grid.locks = 2;
+  cc.grid.seed = 21;
+  cc.open_loop.arrivals_per_sec = 200.0;
+  cc.open_loop.window = SimDuration::ms(500);
+  cc.open_loop.hold = SimDuration::ms(2);
+  cc.time_scale = 2.0;
+  cc.retry_ms = 100;
+
+  TestGrid grid(cc.grid);
+  LockClient client(grid.addrs(), cc.grid.client_protocol());
+  ASSERT_TRUE(grid.start_all(client));
+
+  const CampaignResult r = run_campaign(grid.addrs(), cc);
+  ASSERT_GT(r.arrivals, 0u);
+  EXPECT_EQ(r.fence_violations, 0u);
+  EXPECT_EQ(r.exclusion_violations, 0u);
+  // No deadlines, campaign-sized queues: every arrival is granted.
+  EXPECT_EQ(r.grants, r.arrivals);
+  EXPECT_EQ(r.sheds, 0u);
+  EXPECT_EQ(r.deadline_misses, 0u);
+  EXPECT_EQ(r.obtain_ms.size(), r.grants);
+  EXPECT_GT(r.wall_sec, 0.0);
+
+  // The daemons' accounting agrees with the client's, entry for entry.
+  const auto total = grid.total_stats(client);
+  ASSERT_TRUE(total.has_value());
+  EXPECT_EQ(total->arrivals, r.arrivals);
+  EXPECT_EQ(total->grants, r.grants);
+  EXPECT_EQ(total->sheds, r.sheds);
+  EXPECT_EQ(total->deadline_misses, r.deadline_misses);
+  EXPECT_EQ(total->releases, total->grants);
+  EXPECT_GE(total->fences_issued, total->grants);
+}
+
+TEST(TransportCampaign, DeadlinesProduceMissesButCloseAccounting) {
+  // A 1ms deadline against multi-ms queueing under contention: some
+  // arrivals must expire, and expiry is still a terminal, accounted
+  // outcome — the closure invariant is deadline-independent.
+  CampaignConfig cc;
+  cc.grid.clusters = 2;
+  cc.grid.apps_per_cluster = 2;
+  cc.grid.locks = 1;  // every arrival fights for one lock
+  cc.grid.seed = 23;
+  cc.open_loop.arrivals_per_sec = 300.0;
+  cc.open_loop.window = SimDuration::ms(400);
+  cc.open_loop.hold = SimDuration::ms(5);
+  cc.open_loop.zipf_s = 0.0;
+  cc.deadline_ms = 1;
+  cc.time_scale = 2.0;
+  cc.retry_ms = 100;
+
+  TestGrid grid(cc.grid);
+  LockClient client(grid.addrs(), cc.grid.client_protocol());
+  ASSERT_TRUE(grid.start_all(client));
+
+  const CampaignResult r = run_campaign(grid.addrs(), cc);
+  ASSERT_GT(r.arrivals, 0u);
+  EXPECT_TRUE(r.safe());
+  EXPECT_GT(r.deadline_misses, 0u);
+  EXPECT_EQ(r.arrivals, r.grants + r.sheds + r.deadline_misses);
+
+  const auto total = grid.total_stats(client);
+  ASSERT_TRUE(total.has_value());
+  EXPECT_EQ(total->arrivals, r.arrivals);
+  EXPECT_EQ(total->grants, r.grants);
+  EXPECT_EQ(total->deadline_misses, r.deadline_misses);
+  EXPECT_EQ(total->releases, total->grants);
+}
+
+}  // namespace
+}  // namespace gmx::transport

@@ -1,0 +1,153 @@
+// LockdNode service tests against an in-process grid: the client
+// handshake, grant/fence/release lifecycle, fencing monotonicity across
+// clusters, admission shedding, deadline expiry, idempotent release,
+// stats accounting closure, and shutdown. Everything flows over real UDP
+// loopback sockets through LockClient, exactly as lockctl would drive a
+// deployed grid.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "gridmutex/service/lock_table.hpp"
+#include "transport_test_grid.hpp"
+
+namespace gmx::transport {
+namespace {
+
+GridConfig small_grid(std::uint64_t seed) {
+  GridConfig g;
+  g.clusters = 2;
+  g.apps_per_cluster = 2;
+  g.locks = 2;
+  g.seed = seed;
+  return g;
+}
+
+TEST(TransportGridConfig, ProtocolLayoutMirrorsServiceConfig) {
+  const GridConfig g = small_grid(1);
+  EXPECT_EQ(g.node_count(), 6u);
+  // Nodes 0 and 3 are rank-0 coordinators; apps in cluster order.
+  EXPECT_EQ(g.app_nodes(), (std::vector<NodeId>{1, 2, 4, 5}));
+  EXPECT_EQ(g.inter_protocol(0), ServiceConfig::lock_inter_protocol(0, 2));
+  EXPECT_EQ(g.intra_protocol(0, 1), ServiceConfig::lock_intra_protocol(0, 2, 1));
+  EXPECT_EQ(g.inter_protocol(1), ServiceConfig::lock_inter_protocol(1, 2));
+  EXPECT_EQ(g.fence_protocol(), ServiceConfig::lease_protocol(2, 2));
+  EXPECT_EQ(g.client_protocol(), g.fence_protocol() + 1);
+  // Seed derivation matches the simulator's experiment -> service chain.
+  EXPECT_EQ(g.service_seed(), Rng(g.seed).fork(2).next_u64());
+  EXPECT_EQ(g.lock_names(), (std::vector<std::string>{"lock0", "lock1"}));
+}
+
+TEST(TransportNode, HandshakeAcquireReleaseLifecycle) {
+  TestGrid grid(small_grid(7));
+  LockClient client(grid.addrs(), grid.config().client_protocol());
+
+  // Ping answers before start, and reports the started transition.
+  const auto before = client.ping(1, 5000);
+  ASSERT_TRUE(before.has_value());
+  EXPECT_EQ(before->node, 1u);
+  EXPECT_FALSE(before->started);
+  ASSERT_TRUE(grid.start_all(client));
+  const auto after = client.ping(1, 5000);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_TRUE(after->started);
+  EXPECT_TRUE(client.start(1, 5000));  // idempotent
+
+  // Coordinator placement: rank 0 of each cluster, nobody else.
+  EXPECT_TRUE(grid.node(0).is_coordinator());
+  EXPECT_FALSE(grid.node(1).is_coordinator());
+  EXPECT_TRUE(grid.node(3).is_coordinator());
+
+  const auto a = client.acquire(1, 0, 0, 10000);
+  ASSERT_EQ(a.status, LockClient::Acquire::Status::kGranted);
+  EXPECT_GE(a.fence, 1u);
+  EXPECT_TRUE(client.release(1, 0, a.req_id, 10000));
+  // Release is idempotent: the retransmit-deduped path answers again.
+  EXPECT_TRUE(client.release(1, 0, a.req_id, 10000));
+
+  const auto total = grid.total_stats(client);
+  ASSERT_TRUE(total.has_value());
+  EXPECT_EQ(total->arrivals, 1u);
+  EXPECT_EQ(total->grants, 1u);
+  EXPECT_EQ(total->releases, 1u);
+  EXPECT_EQ(total->fences_issued, 1u);
+}
+
+TEST(TransportNode, FencesStrictlyIncreaseAcrossClusters) {
+  TestGrid grid(small_grid(11));
+  LockClient client(grid.addrs(), grid.config().client_protocol());
+  ASSERT_TRUE(grid.start_all(client));
+
+  // Same lock from app nodes in *both* clusters: the fence fetch rides
+  // the inter-cluster composition CS, so tokens stay strictly increasing
+  // no matter which cluster wins.
+  const NodeId targets[] = {1, 4, 2, 5, 1, 4};
+  std::uint64_t last_fence = 0;
+  for (const NodeId n : targets) {
+    const auto a = client.acquire(n, 0, 0, 10000);
+    ASSERT_EQ(a.status, LockClient::Acquire::Status::kGranted)
+        << "node " << n;
+    EXPECT_GT(a.fence, last_fence);
+    last_fence = a.fence;
+    ASSERT_TRUE(client.release(n, 0, a.req_id, 10000));
+  }
+  // Locks fence independently: lock 1 starts at its own counter.
+  const auto b = client.acquire(2, 1, 0, 10000);
+  ASSERT_EQ(b.status, LockClient::Acquire::Status::kGranted);
+  EXPECT_EQ(b.fence, 1u);
+  ASSERT_TRUE(client.release(2, 1, b.req_id, 10000));
+}
+
+TEST(TransportNode, CoordinatorShedsClientAcquires) {
+  TestGrid grid(small_grid(13));
+  LockClient client(grid.addrs(), grid.config().client_protocol());
+  ASSERT_TRUE(grid.start_all(client));
+  // Node 0 is a coordinator: no grant queue, every acquire is shed.
+  const auto a = client.acquire(0, 0, 0, 10000);
+  EXPECT_EQ(a.status, LockClient::Acquire::Status::kShed);
+  const auto total = grid.total_stats(client);
+  ASSERT_TRUE(total.has_value());
+  EXPECT_EQ(total->sheds, 1u);
+  EXPECT_EQ(total->arrivals, total->grants + total->sheds +
+                                 total->deadline_misses);
+}
+
+TEST(TransportNode, DeadlinePassedWhileQueuedExpires) {
+  TestGrid grid(small_grid(17));
+  LockClient holder(grid.addrs(), grid.config().client_protocol());
+  ASSERT_TRUE(grid.start_all(holder));
+
+  const auto h = holder.acquire(1, 0, 0, 10000);
+  ASSERT_EQ(h.status, LockClient::Acquire::Status::kGranted);
+
+  // A second client wants the same lock from the other cluster with a
+  // deadline far shorter than the holder keeps it.
+  LockClient waiter(grid.addrs(), grid.config().client_protocol());
+  LockClient::Acquire w;
+  std::thread t([&waiter, &w] { w = waiter.acquire(4, 0, 100, 20000); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  ASSERT_TRUE(holder.release(1, 0, h.req_id, 10000));
+  t.join();
+  EXPECT_EQ(w.status, LockClient::Acquire::Status::kExpired);
+
+  const auto total = grid.total_stats(holder);
+  ASSERT_TRUE(total.has_value());
+  EXPECT_EQ(total->deadline_misses, 1u);
+  EXPECT_EQ(total->grants, 1u);
+  EXPECT_EQ(total->releases, 1u);  // the expired request never held
+  EXPECT_EQ(total->arrivals, total->grants + total->sheds +
+                                 total->deadline_misses);
+}
+
+TEST(TransportNode, ShutdownUnblocksWaiter) {
+  TestGrid grid(small_grid(19));
+  LockClient client(grid.addrs(), grid.config().client_protocol());
+  std::thread waiter([&grid] { grid.node(1).wait_shutdown(); });
+  EXPECT_TRUE(client.shutdown(1, 5000));
+  waiter.join();  // wait_shutdown returned: the daemon would now exit
+  // The rest of the grid is still serving.
+  EXPECT_TRUE(client.ping(2, 5000).has_value());
+}
+
+}  // namespace
+}  // namespace gmx::transport

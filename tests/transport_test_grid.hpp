@@ -1,0 +1,70 @@
+// In-process lockd grid for transport tests: every node of a GridConfig
+// hosted in this process, one UdpTransport (ephemeral loopback port) +
+// LockdNode per node, peer tables wired from the actually-bound ports
+// before any loop starts. Tests then talk to it exactly like a real
+// deployment — through LockClient / run_campaign over UDP.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "gridmutex/transport/client.hpp"
+#include "gridmutex/transport/node.hpp"
+#include "gridmutex/transport/udp.hpp"
+
+namespace gmx::transport {
+
+class TestGrid {
+ public:
+  explicit TestGrid(GridConfig cfg,
+                    LockdNode::Options opts = LockdNode::Options{})
+      : cfg_(std::move(cfg)) {
+    const std::uint32_t n = cfg_.node_count();
+    for (NodeId i = 0; i < n; ++i)
+      tps_.push_back(std::make_unique<UdpTransport>(i, "127.0.0.1", 0));
+    for (const auto& tp : tps_) addrs_.push_back(PeerAddr::loopback(tp->port()));
+    for (NodeId i = 0; i < n; ++i) {
+      nodes_.push_back(std::make_unique<LockdNode>(*tps_[i], cfg_, opts));
+      for (NodeId j = 0; j < n; ++j)
+        if (j != i) tps_[i]->add_peer(j, addrs_[j]);
+    }
+    for (const auto& tp : tps_) tp->start();
+  }
+
+  ~TestGrid() {
+    for (const auto& tp : tps_) tp->stop();
+  }
+
+  TestGrid(const TestGrid&) = delete;
+  TestGrid& operator=(const TestGrid&) = delete;
+
+  [[nodiscard]] const GridConfig& config() const { return cfg_; }
+  [[nodiscard]] const std::vector<PeerAddr>& addrs() const { return addrs_; }
+  [[nodiscard]] LockdNode& node(NodeId i) { return *nodes_[i]; }
+
+  /// kStart on every node (peer tables are pre-wired here, so no kPeers).
+  [[nodiscard]] bool start_all(LockClient& client) {
+    for (NodeId i = 0; i < cfg_.node_count(); ++i)
+      if (!client.start(i, 5000)) return false;
+    return true;
+  }
+
+  /// Sums kStats over the grid; returns nullopt on any timeout.
+  [[nodiscard]] std::optional<NodeStats> total_stats(LockClient& client) {
+    NodeStats total;
+    for (NodeId i = 0; i < cfg_.node_count(); ++i) {
+      const auto s = client.stats(i, 5000);
+      if (!s) return std::nullopt;
+      total += *s;
+    }
+    return total;
+  }
+
+ private:
+  GridConfig cfg_;
+  std::vector<std::unique_ptr<UdpTransport>> tps_;
+  std::vector<std::unique_ptr<LockdNode>> nodes_;
+  std::vector<PeerAddr> addrs_;
+};
+
+}  // namespace gmx::transport

@@ -370,6 +370,8 @@ def wall_clock_in_scope(path: str) -> bool:
         return False
     if "/rt/" in path:
         return False  # the real-time runtime is wall-clock by definition
+    if "/transport/" in path:
+        return False  # real sockets run on real time, like rt/
     if path.startswith("bench/"):
         return False
     if path in ("include/gridmutex/workload/thread_pool.hpp",
@@ -655,6 +657,23 @@ SELF_TESTS = [
     ("wall-clock quiet in rt/", lambda: rule_wall_clock(
         "src/rt/runtime.cpp", "auto t = std::chrono::steady_clock::now();"),
      0),
+    ("wall-clock quiet in transport/", lambda: rule_wall_clock(
+        "src/transport/udp.cpp", "auto t = std::chrono::steady_clock::now();"),
+     0),
+    ("wall-clock quiet in transport/ headers", lambda: rule_wall_clock(
+        "include/gridmutex/transport/endpoint.hpp",
+        "std::chrono::steady_clock::time_point epoch_;"),
+     0),
+    ("wall-clock still fires in mutex/ with transport allowlisted",
+     lambda: rule_wall_clock(
+        "src/mutex/naimi_trehel.cpp",
+        "auto t = std::chrono::steady_clock::now();"),
+     1),
+    ("wall-clock still fires in service/ with transport allowlisted",
+     lambda: rule_wall_clock(
+        "src/service/lock_service.cpp",
+        "auto t = std::chrono::system_clock::now();"),
+     1),
     ("wall-clock quiet in bench/", lambda: rule_wall_clock(
         "bench/perf_suite.cpp", "auto t = std::chrono::steady_clock::now();"),
      0),

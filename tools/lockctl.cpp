@@ -1,0 +1,254 @@
+// lockctl — control-plane CLI for a lockd grid.
+//
+//   $ lockctl --nodes 127.0.0.1:19000,...  ping [--wait-sec 15]
+//   $ lockctl --nodes ...                  start
+//   $ lockctl --nodes ... acquire --target 1 --lock 0 [--deadline-ms D]
+//   $ lockctl --nodes ... release --target 1 --lock 0 --req R
+//   $ lockctl --nodes ...                  stats
+//   $ lockctl --nodes ... campaign [grid flags] [campaign flags]
+//   $ lockctl --nodes ...                  shutdown
+//
+// `start` pushes the --nodes address table to every daemon (kPeers) and
+// then starts their coordinators — run it once, after `ping` confirms the
+// whole grid is up. `campaign` replays the simulator's open-loop trace
+// (grid flags must match the daemons' launch flags), prints the result,
+// cross-checks the daemons' kStats accounting closure
+// (arrivals == grants + sheds + deadline_misses, releases == grants) and
+// exits non-zero on any safety violation or closure mismatch.
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gridmutex/transport/campaign.hpp"
+#include "gridmutex/transport/client.hpp"
+#include "gridmutex/transport/node.hpp"
+#include "lockd_flags.hpp"
+
+namespace {
+
+using namespace gmx::transport;
+using gmx::LockId;
+using gmx::NodeId;
+
+int usage() {
+  std::cerr << "usage: lockctl --nodes ip:port,... "
+               "ping|start|acquire|release|stats|campaign|shutdown "
+               "[flags]\n";
+  return 2;
+}
+
+int cmd_ping(LockClient& client, double wait_sec) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(wait_sec);
+  std::vector<bool> up(client.node_count(), false);
+  std::size_t answered = 0;
+  while (answered < client.node_count()) {
+    for (NodeId n = 0; n < client.node_count(); ++n) {
+      if (up[n]) continue;
+      if (const auto r = client.ping(n, 500)) {
+        up[n] = true;
+        ++answered;
+        std::cout << "node " << n << ": up"
+                  << (r->started ? " (started)" : "") << "\n";
+      }
+    }
+    if (answered == client.node_count()) break;
+    if (std::chrono::steady_clock::now() > deadline) {
+      for (NodeId n = 0; n < client.node_count(); ++n)
+        if (!up[n]) std::cout << "node " << n << ": no answer\n";
+      return 1;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  return 0;
+}
+
+int cmd_start(LockClient& client) {
+  for (NodeId n = 0; n < client.node_count(); ++n) {
+    if (!client.send_peers(n, 5000)) {
+      std::cerr << "node " << n << ": kPeers timed out\n";
+      return 1;
+    }
+    if (!client.start(n, 5000)) {
+      std::cerr << "node " << n << ": kStart timed out\n";
+      return 1;
+    }
+  }
+  std::cout << "started " << client.node_count() << " nodes\n";
+  return 0;
+}
+
+int cmd_stats(LockClient& client) {
+  NodeStats total;
+  for (NodeId n = 0; n < client.node_count(); ++n) {
+    const auto s = client.stats(n, 5000);
+    if (!s) {
+      std::cerr << "node " << n << ": kStats timed out\n";
+      return 1;
+    }
+    std::cout << "node " << n << ": arrivals=" << s->arrivals
+              << " grants=" << s->grants << " sheds=" << s->sheds
+              << " misses=" << s->deadline_misses
+              << " releases=" << s->releases
+              << " fences=" << s->fences_issued << "\n";
+    total += *s;
+  }
+  std::cout << "total:  arrivals=" << total.arrivals
+            << " grants=" << total.grants << " sheds=" << total.sheds
+            << " misses=" << total.deadline_misses
+            << " releases=" << total.releases
+            << " fences=" << total.fences_issued << "\n";
+  return 0;
+}
+
+int cmd_shutdown(LockClient& client) {
+  int rc = 0;
+  for (NodeId n = 0; n < client.node_count(); ++n) {
+    if (!client.shutdown(n, 5000)) {
+      std::cerr << "node " << n << ": kShutdown timed out\n";
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
+int cmd_campaign(const std::vector<PeerAddr>& nodes,
+                 const CampaignConfig& cc) {
+  // Closure is checked on stat *deltas*: the grid may already have served
+  // ad-hoc acquire/release traffic before this campaign, and that history
+  // must not be charged against the campaign's trace.
+  LockClient client(nodes, cc.grid.client_protocol());
+  NodeStats before;
+  for (NodeId n = 0; n < client.node_count(); ++n) {
+    const auto s = client.stats(n, 5000);
+    if (!s) {
+      std::cerr << "node " << n << ": kStats timed out\n";
+      return 1;
+    }
+    before += *s;
+  }
+
+  const CampaignResult r = run_campaign(nodes, cc);
+  std::cout << "campaign: arrivals=" << r.arrivals
+            << " grants=" << r.grants << " sheds=" << r.sheds
+            << " misses=" << r.deadline_misses << " wall=" << r.wall_sec
+            << "s\n  obtain mean=" << r.obtain_mean_ms()
+            << "ms p50=" << r.obtain_percentile_ms(0.5)
+            << "ms p99=" << r.obtain_percentile_ms(0.99)
+            << "ms  throughput=" << r.throughput_cs_per_s() << " cs/s\n"
+            << "  fence_violations=" << r.fence_violations
+            << " exclusion_violations=" << r.exclusion_violations << "\n";
+
+  // Server-side closure: every arrival resolved exactly once, every grant
+  // released, the client and the daemons agree on the counts.
+  NodeStats after;
+  for (NodeId n = 0; n < client.node_count(); ++n) {
+    const auto s = client.stats(n, 5000);
+    if (!s) {
+      std::cerr << "node " << n << ": kStats timed out\n";
+      return 1;
+    }
+    after += *s;
+  }
+  NodeStats total;
+  total.arrivals = after.arrivals - before.arrivals;
+  total.grants = after.grants - before.grants;
+  total.sheds = after.sheds - before.sheds;
+  total.deadline_misses = after.deadline_misses - before.deadline_misses;
+  total.releases = after.releases - before.releases;
+  total.fences_issued = after.fences_issued - before.fences_issued;
+  bool ok = r.safe();
+  const auto check = [&ok](bool cond, const char* what) {
+    if (!cond) {
+      std::cerr << "closure FAILED: " << what << "\n";
+      ok = false;
+    }
+  };
+  check(total.arrivals == total.grants + total.sheds + total.deadline_misses,
+        "server arrivals != grants + sheds + deadline_misses");
+  check(total.releases == total.grants, "server releases != grants");
+  check(total.arrivals == r.arrivals, "server arrivals != trace arrivals");
+  check(total.grants == r.grants, "server grants != client grants");
+  check(total.sheds == r.sheds, "server sheds != client sheds");
+  check(total.deadline_misses == r.deadline_misses,
+        "server deadline misses != client deadline misses");
+  std::cout << (ok ? "campaign OK: accounting closed, no safety violations"
+                   : "campaign FAILED")
+            << "\n";
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string_view> args(argv + 1, argv + argc);
+  std::string nodes_arg;
+  std::string command;
+  CampaignConfig cc;
+  NodeId target = gmx::kInvalidNode;
+  LockId lock = 0;
+  std::uint64_t req = 0;
+  std::uint64_t client_id = 0;
+  double wait_sec = 15.0;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string_view a = args[i];
+    if (!a.starts_with("--")) {
+      if (!command.empty()) return usage();
+      command = std::string(a);
+      continue;
+    }
+    if (i + 1 >= args.size()) return usage();
+    const std::string_view val = args[++i];
+    if (a == "--nodes") nodes_arg = std::string(val);
+    else if (a == "--target") target = lockd_flags::to_u32(val);
+    else if (a == "--lock") lock = lockd_flags::to_u32(val);
+    else if (a == "--req") req = lockd_flags::to_u64(val);
+    else if (a == "--client") client_id = lockd_flags::to_u64(val);
+    else if (a == "--wait-sec") wait_sec = lockd_flags::to_f64(val);
+    else if (lockd_flags::parse_campaign_flag(cc, a, val)) continue;
+    else return usage();
+  }
+  const auto nodes = lockd_flags::parse_nodes(nodes_arg);
+  if (!nodes || nodes->empty() || command.empty()) return usage();
+
+  if (command == "campaign") return cmd_campaign(*nodes, cc);
+
+  LockClient client(*nodes, cc.grid.client_protocol());
+  if (client_id != 0) client.set_client_id(client_id);
+  if (command == "ping") return cmd_ping(client, wait_sec);
+  if (command == "start") return cmd_start(client);
+  if (command == "stats") return cmd_stats(client);
+  if (command == "shutdown") return cmd_shutdown(client);
+  if (command == "acquire") {
+    if (target >= client.node_count()) return usage();
+    const auto a = client.acquire(target, lock, cc.deadline_ms, 30000);
+    switch (LockClient::Acquire::Status(a.status)) {
+      case LockClient::Acquire::Status::kGranted:
+        // client/req identify the grant for a later `lockctl release`.
+        std::cout << "granted client=" << client.client_id()
+                  << " req=" << a.req_id << " fence=" << a.fence
+                  << " obtain=" << a.obtain_ms << "ms\n";
+        return 0;
+      case LockClient::Acquire::Status::kShed:
+        std::cout << "shed req=" << a.req_id << "\n";
+        return 1;
+      case LockClient::Acquire::Status::kExpired:
+        std::cout << "expired req=" << a.req_id << "\n";
+        return 1;
+      case LockClient::Acquire::Status::kTimeout:
+        std::cout << "timeout req=" << a.req_id << "\n";
+        return 1;
+    }
+    return 1;
+  }
+  if (command == "release") {
+    if (target >= client.node_count()) return usage();
+    const bool ok = client.release(target, lock, req, 30000);
+    std::cout << (ok ? "released\n" : "timeout\n");
+    return ok ? 0 : 1;
+  }
+  return usage();
+}

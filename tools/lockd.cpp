@@ -1,0 +1,73 @@
+// lockd — one grid node of the real-socket lock service.
+//
+//   $ lockd --node 0 --clusters 2 --apps 4 --locks 4 --port 19000
+//   lockd node=0 port=19000
+//
+// Binds a UDP socket (--port 0 = ephemeral; the actually bound port is
+// printed on the "lockd node=N port=P" line, which launchers parse), then
+// serves until a kShutdown arrives on the client protocol. Peer addresses
+// come either from --peers (fixed-port deployments, e.g. the CI smoke
+// grid) or later over the wire via kPeers (ephemeral-port deployments,
+// e.g. xvalidate). See docs/TRANSPORT.md for the full quickstart.
+#include <iostream>
+#include <string>
+
+#include "gridmutex/transport/node.hpp"
+#include "gridmutex/transport/udp.hpp"
+#include "lockd_flags.hpp"
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: lockd --node N [grid flags] [--bind IP] [--port P]\n"
+         "             [--peers ip:port,...]\n"
+         "grid flags: --clusters N --apps N --locks K --intra ALGO\n"
+         "            --inter ALGO --placement roundrobin|hash --seed S\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gmx::transport;
+  using gmx::NodeId;
+  GridConfig grid;
+  NodeId node = gmx::kInvalidNode;
+  std::string bind_ip = "127.0.0.1";
+  std::uint16_t port = 0;
+  std::string peers;
+
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string_view key = argv[i];
+    const std::string_view val = argv[i + 1];
+    if (lockd_flags::parse_grid_flag(grid, key, val)) continue;
+    if (key == "--node") node = NodeId(lockd_flags::to_u32(val));
+    else if (key == "--bind") bind_ip = std::string(val);
+    else if (key == "--port") port = std::uint16_t(lockd_flags::to_u32(val));
+    else if (key == "--peers") peers = std::string(val);
+    else return usage();
+  }
+  if (node == gmx::kInvalidNode || node >= grid.node_count()) return usage();
+
+  UdpTransport tp(node, bind_ip, port);
+  LockdNode daemon(tp, grid);
+  if (!peers.empty()) {
+    const auto nodes = lockd_flags::parse_nodes(peers);
+    if (!nodes || nodes->size() != grid.node_count()) {
+      std::cerr << "lockd: --peers must list all " << grid.node_count()
+                << " node addresses\n";
+      return 2;
+    }
+    for (NodeId i = 0; i < nodes->size(); ++i)
+      if (i != node) tp.add_peer(i, (*nodes)[i]);
+  }
+
+  // The launch handshake line; xvalidate parses the ephemeral port off it.
+  std::cout << "lockd node=" << node << " port=" << tp.port() << std::endl;
+
+  tp.start();
+  daemon.wait_shutdown();
+  tp.stop();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Shared flag grammar for the lockd tool family (lockd, lockctl,
+// xvalidate). Every tool accepts the same grid-shape flags so a grid
+// launched by one tool can be addressed by another:
+//
+//   --clusters N --apps N --locks K --intra ALGO --inter ALGO
+//   --placement roundrobin|hash --seed S
+//
+// and the campaign-driving tools additionally share the open-loop flags:
+//
+//   --rate R --window-sec W --zipf S --hold-ms H
+//   --deadline-ms D --time-scale X
+//
+// Node address lists are "ip:port,ip:port,..." in node-id order.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gridmutex/transport/campaign.hpp"
+#include "gridmutex/transport/node.hpp"
+
+namespace lockd_flags {
+
+inline std::uint64_t to_u64(std::string_view v) {
+  return std::strtoull(std::string(v).c_str(), nullptr, 10);
+}
+inline std::uint32_t to_u32(std::string_view v) {
+  return std::uint32_t(to_u64(v));
+}
+inline double to_f64(std::string_view v) {
+  return std::strtod(std::string(v).c_str(), nullptr);
+}
+
+/// Consumes one "--key value" pair into the grid config; false if the key
+/// is not a grid flag.
+inline bool parse_grid_flag(gmx::transport::GridConfig& grid,
+                            std::string_view key, std::string_view val) {
+  if (key == "--clusters") grid.clusters = to_u32(val);
+  else if (key == "--apps") grid.apps_per_cluster = to_u32(val);
+  else if (key == "--locks") grid.locks = to_u32(val);
+  else if (key == "--intra") grid.intra_algorithm = std::string(val);
+  else if (key == "--inter") grid.inter_algorithm = std::string(val);
+  else if (key == "--placement") grid.placement = gmx::parse_placement(val);
+  else if (key == "--seed") grid.seed = to_u64(val);
+  else return false;
+  return true;
+}
+
+/// Consumes one "--key value" pair into the campaign config (open-loop
+/// shape plus the transport-only knobs); false if not a campaign flag.
+inline bool parse_campaign_flag(gmx::transport::CampaignConfig& cc,
+                                std::string_view key, std::string_view val) {
+  if (parse_grid_flag(cc.grid, key, val)) return true;
+  if (key == "--rate") cc.open_loop.arrivals_per_sec = to_f64(val);
+  else if (key == "--window-sec")
+    cc.open_loop.window = gmx::SimDuration::sec_f(to_f64(val));
+  else if (key == "--zipf") cc.open_loop.zipf_s = to_f64(val);
+  else if (key == "--hold-ms")
+    cc.open_loop.hold = gmx::SimDuration::ms_f(to_f64(val));
+  else if (key == "--deadline-ms") cc.deadline_ms = to_u32(val);
+  else if (key == "--time-scale") cc.time_scale = to_f64(val);
+  else if (key == "--retry-ms") cc.retry_ms = to_u32(val);
+  else return false;
+  return true;
+}
+
+/// "ip:port,ip:port,..." in node-id order; nullopt on malformed input.
+inline std::optional<std::vector<gmx::transport::PeerAddr>> parse_nodes(
+    std::string_view list) {
+  std::vector<gmx::transport::PeerAddr> nodes;
+  while (!list.empty()) {
+    const std::size_t comma = list.find(',');
+    const std::string_view item = list.substr(0, comma);
+    const auto addr = gmx::transport::PeerAddr::parse(item);
+    if (!addr) return std::nullopt;
+    nodes.push_back(*addr);
+    if (comma == std::string_view::npos) break;
+    list.remove_prefix(comma + 1);
+  }
+  return nodes;
+}
+
+}  // namespace lockd_flags

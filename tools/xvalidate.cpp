@@ -1,0 +1,238 @@
+// xvalidate — sim-vs-real cross-validation harness.
+//
+//   $ xvalidate --clusters 2 --apps 4 --locks 4 --rate 150
+//               --window-sec 2 --zipf 0.9 --hold-ms 5 --seed 7
+//
+// Launches one lockd process per grid node on localhost (ephemeral
+// ports, parsed off each child's "lockd node=N port=P" line), wires and
+// starts the grid over the client protocol, replays the simulator's
+// open-loop trace against it (transport/campaign.hpp), then runs the
+// *same* trace through run_service_experiment on a localhost-like
+// latency model and prints a side-by-side comparison table — the
+// methodology behind the table in docs/TRANSPORT.md.
+//
+// Exit status is non-zero on any client-side safety violation (fencing
+// monotonicity, CS exclusion) or accounting-closure mismatch, so the
+// harness doubles as an end-to-end correctness gate.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gridmutex/service/experiment.hpp"
+#include "gridmutex/transport/campaign.hpp"
+#include "gridmutex/transport/client.hpp"
+#include "lockd_flags.hpp"
+
+namespace {
+
+using namespace gmx::transport;
+using gmx::NodeId;
+
+struct Child {
+  pid_t pid = -1;
+  int out = -1;  // read end of the stdout pipe
+};
+
+/// fork/exec one lockd with --port 0; returns the child and leaves the
+/// handshake line unread on `out`.
+Child spawn_lockd(const std::string& lockd_path, const GridConfig& grid,
+                  NodeId node) {
+  int fds[2];
+  if (pipe(fds) != 0) {
+    std::perror("pipe");
+    std::exit(1);
+  }
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(1);
+  }
+  if (pid == 0) {
+    dup2(fds[1], STDOUT_FILENO);
+    close(fds[0]);
+    close(fds[1]);
+    const std::vector<std::string> args = {
+        lockd_path,
+        "--node", std::to_string(node),
+        "--clusters", std::to_string(grid.clusters),
+        "--apps", std::to_string(grid.apps_per_cluster),
+        "--locks", std::to_string(grid.locks),
+        "--intra", grid.intra_algorithm,
+        "--inter", grid.inter_algorithm,
+        "--placement", std::string(gmx::to_string(grid.placement)),
+        "--seed", std::to_string(grid.seed),
+        "--port", "0",
+    };
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string& a : args) argv.push_back(const_cast<char*>(a.c_str()));
+    argv.push_back(nullptr);
+    execv(lockd_path.c_str(), argv.data());
+    std::perror("execv lockd");
+    _exit(127);
+  }
+  close(fds[1]);
+  return Child{pid, fds[0]};
+}
+
+/// Reads the child's "lockd node=N port=P" handshake; 0 on failure.
+std::uint16_t read_port(const Child& child) {
+  std::string line;
+  char ch = 0;
+  while (read(child.out, &ch, 1) == 1 && ch != '\n') line.push_back(ch);
+  const std::size_t at = line.rfind("port=");
+  if (at == std::string::npos) return 0;
+  return std::uint16_t(std::strtoul(line.c_str() + at + 5, nullptr, 10));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CampaignConfig cc;
+  cc.open_loop.arrivals_per_sec = 150.0;
+  cc.open_loop.window = gmx::SimDuration::sec(2);
+  cc.open_loop.hold = gmx::SimDuration::ms(5);
+  std::string lockd_path;
+
+  for (int i = 1; i + 1 < argc; i += 2) {
+    const std::string_view key = argv[i];
+    const std::string_view val = argv[i + 1];
+    if (lockd_flags::parse_campaign_flag(cc, key, val)) continue;
+    if (key == "--lockd") lockd_path = std::string(val);
+    else {
+      std::cerr << "usage: xvalidate [grid flags] [campaign flags] "
+                   "[--lockd PATH]\n";
+      return 2;
+    }
+  }
+  if (lockd_path.empty()) {
+    // Default: the lockd built next to this binary.
+    std::string self = argv[0];
+    const std::size_t slash = self.rfind('/');
+    lockd_path = (slash == std::string::npos ? std::string(".")
+                                             : self.substr(0, slash)) +
+                 "/lockd";
+  }
+  const GridConfig& grid = cc.grid;
+  const std::uint32_t n = grid.node_count();
+
+  // --- launch the grid --------------------------------------------------
+  std::cerr << "xvalidate: launching " << n << " lockd processes ("
+            << grid.clusters << " clusters x " << grid.apps_per_cluster
+            << " apps, K=" << grid.locks << ", "
+            << grid.intra_algorithm << "-" << grid.inter_algorithm
+            << ", seed " << grid.seed << ")\n";
+  std::vector<Child> children;
+  std::vector<PeerAddr> nodes;
+  for (NodeId i = 0; i < n; ++i)
+    children.push_back(spawn_lockd(lockd_path, grid, i));
+  for (NodeId i = 0; i < n; ++i) {
+    const std::uint16_t port = read_port(children[i]);
+    if (port == 0) {
+      std::cerr << "xvalidate: lockd " << i << " failed to report a port\n";
+      return 1;
+    }
+    nodes.push_back(PeerAddr::loopback(port));
+  }
+
+  // --- handshake: ping-wait, peer tables, start -------------------------
+  {
+    LockClient client(nodes, grid.client_protocol());
+    for (NodeId i = 0; i < n; ++i) {
+      if (!client.ping(i, 10000)) {
+        std::cerr << "xvalidate: node " << i << " unreachable\n";
+        return 1;
+      }
+    }
+    for (NodeId i = 0; i < n; ++i) {
+      if (!client.send_peers(i, 5000) || !client.start(i, 5000)) {
+        std::cerr << "xvalidate: node " << i << " failed the handshake\n";
+        return 1;
+      }
+    }
+  }
+
+  // --- real half: the campaign ------------------------------------------
+  const CampaignResult real = run_campaign(nodes, cc);
+
+  // --- stats, closure, shutdown -----------------------------------------
+  NodeStats total;
+  bool ok = real.safe();
+  {
+    LockClient client(nodes, grid.client_protocol());
+    for (NodeId i = 0; i < n; ++i) {
+      const auto s = client.stats(i, 5000);
+      if (!s) {
+        std::cerr << "xvalidate: node " << i << " kStats timed out\n";
+        return 1;
+      }
+      total += *s;
+    }
+    for (NodeId i = 0; i < n; ++i) (void)client.shutdown(i, 5000);
+  }
+  for (const Child& c : children) {
+    int status = 0;
+    waitpid(c.pid, &status, 0);
+    close(c.out);
+  }
+  const bool closed =
+      total.arrivals == total.grants + total.sheds + total.deadline_misses &&
+      total.releases == total.grants && total.arrivals == real.arrivals &&
+      total.grants == real.grants;
+  ok = ok && closed;
+
+  // --- sim half: the same trace through the simulator -------------------
+  gmx::ServiceConfig sim;
+  sim.clusters = grid.clusters;
+  sim.apps_per_cluster = grid.apps_per_cluster;
+  sim.locks = grid.locks;
+  sim.intra = grid.intra_algorithm;
+  sim.inter = grid.inter_algorithm;
+  sim.placement = grid.placement;
+  sim.seed = grid.seed;
+  sim.open_loop = cc.open_loop;
+  // Localhost-like latency: ~50us one-way everywhere. The residual
+  // real-minus-sim delta is the genuine protocol-stack overhead.
+  sim.latency = gmx::LatencySpec::two_level(
+      gmx::SimDuration::us(50), gmx::SimDuration::us(50), 0.0);
+  const gmx::ExperimentResult simr = gmx::run_service_experiment(sim);
+
+  // --- the table --------------------------------------------------------
+  const double scale = cc.time_scale;
+  std::cout << "\n### Cross-validation: " << grid.intra_algorithm << "-"
+            << grid.inter_algorithm << ", " << grid.clusters << "x"
+            << grid.apps_per_cluster << " apps, K=" << grid.locks
+            << ", rate " << cc.open_loop.arrivals_per_sec << "/s, zipf "
+            << cc.open_loop.zipf_s << ", hold "
+            << cc.open_loop.hold.as_ms() << "ms, seed " << grid.seed
+            << (scale != 1.0 ? " (time_scale " + std::to_string(scale) + ")"
+                             : std::string())
+            << "\n\n";
+  std::cout << "| substrate | cs | throughput (cs/s) | obtain mean (ms) | "
+               "p50 | p99 |\n";
+  std::cout << "|---|---|---|---|---|---|\n";
+  std::printf("| sim (DES, 50us links) | %llu | %.1f | %.3f | %.3f | %.3f |\n",
+              (unsigned long long)simr.total_cs, simr.throughput_cs_per_s(),
+              simr.obtaining.mean_ms(), simr.obtaining_hist.percentile(0.5),
+              simr.obtaining_hist.percentile(0.99));
+  std::printf("| real (UDP localhost) | %llu | %.1f | %.3f | %.3f | %.3f |\n",
+              (unsigned long long)real.grants,
+              real.throughput_cs_per_s() * scale, real.obtain_mean_ms(),
+              real.obtain_percentile_ms(0.5), real.obtain_percentile_ms(0.99));
+  std::cout << "\nreal run: arrivals=" << real.arrivals << " grants="
+            << real.grants << " sheds=" << real.sheds << " misses="
+            << real.deadline_misses << " fences_issued="
+            << total.fences_issued << " wall=" << real.wall_sec << "s\n"
+            << "safety: fence_violations=" << real.fence_violations
+            << " exclusion_violations=" << real.exclusion_violations
+            << "; accounting " << (closed ? "closed" : "MISMATCH") << "\n"
+            << (ok ? "xvalidate OK" : "xvalidate FAILED") << "\n";
+  return ok ? 0 : 1;
+}
